@@ -1,0 +1,56 @@
+//! Criterion bench behind the paper's ">100× TCAD speedup" claim
+//! (§II: 142.07 s commercial TCAD vs 1.38 s GNN): full nonlinear Poisson
+//! device solves versus one RelGAT surrogate inference on the same
+//! device.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stco_nn::train::TrainConfig;
+use stco_surrogate::poisson_emulator::{PoissonConfig, PoissonEmulator};
+use stco_tcad::dataset::generate_dataset;
+use stco_tcad::device::Bias;
+use stco_tcad::materials::Technology;
+use stco_tcad::poisson::solve_poisson;
+
+fn bench_tcad_vs_gnn(c: &mut Criterion) {
+    let data = generate_dataset(42, 6, &[Technology::Cnt]).expect("devices");
+    let sample = data[0].clone();
+    let bias = Bias {
+        gate: sample.bias.gate,
+        drain: sample.bias.drain,
+    };
+
+    // A small trained emulator (training cost excluded — it is the
+    // paper's offline environment setup).
+    let mut emulator = PoissonEmulator::new(PoissonConfig {
+        depth: 2,
+        heads: 1,
+        head_dim: 8,
+        ..PoissonConfig::default()
+    });
+    let (train, val) = data.split_at(5);
+    emulator
+        .train(
+            train,
+            val,
+            &TrainConfig {
+                epochs: 5,
+                batch_size: 2,
+                patience: None,
+                ..TrainConfig::default()
+            },
+        )
+        .expect("trains");
+
+    let mut group = c.benchmark_group("tcad_vs_gnn");
+    group.sample_size(10);
+    group.bench_function("fem_poisson_solve", |b| {
+        b.iter(|| solve_poisson(&sample.device, bias).expect("solves"))
+    });
+    group.bench_function("relgat_inference", |b| {
+        b.iter(|| emulator.predict(&sample))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tcad_vs_gnn);
+criterion_main!(benches);

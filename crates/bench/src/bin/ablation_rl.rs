@@ -1,0 +1,72 @@
+//! RL ablation bench: sample efficiency of Q-learning versus random
+//! search versus exhaustive grid search on the technology design space,
+//! using the analytic PPA proxy (instant per-corner cost) so the
+//! comparison isolates the explorers themselves.
+
+use stco_bench::banner;
+use stco_compact::tech::{Corner, TechnologyCard};
+use stco_core::rl::{grid_search, q_learning_explore, random_search, AgentConfig};
+use stco_core::space::DesignSpace;
+use stco_tcad::materials::Technology;
+
+/// Analytic PPA proxy with a timing-constraint cliff: corners whose
+/// delay misses the target take a large penalty, as real sign-off does.
+/// The cliff makes the landscape non-smooth — the regime where a learner
+/// that exploits local structure beats uniform sampling.
+fn ppa_proxy(base: &TechnologyCard, corner: Corner) -> f64 {
+    let card = base.at_corner(corner);
+    let ion = card.nfet.on_current(card.vdd).max(1e-15);
+    let cload = 20.0e-15 * corner.cox_scale;
+    let delay = cload * card.vdd / ion;
+    let leak = card.nfet.off_current(card.vdd) * card.vdd;
+    let dynamic = cload * card.vdd * card.vdd / delay * 0.1;
+    let mut cost = (delay.ln() + (leak + dynamic).ln() + corner.cox_scale.ln()) / 3.0;
+    // Timing sign-off: delay worse than 60 ns fails the constraint.
+    if delay > 60.0e-9 {
+        cost += 2.0 + (delay / 60.0e-9).ln();
+    }
+    cost
+}
+
+fn main() {
+    banner("RL ablation: explorer sample efficiency");
+    let base = TechnologyCard::reference(Technology::Ltps);
+    for levels in [4, 6, 8] {
+        let space = DesignSpace::new(levels);
+        let grid = grid_search(&space, |c| ppa_proxy(&base, c));
+        let mut rl_evals = Vec::new();
+        let mut rl_gap = Vec::new();
+        let mut rand_gap = Vec::new();
+        for seed in 0..5u64 {
+            let rl = q_learning_explore(
+                &space,
+                &AgentConfig {
+                    seed: 100 + seed,
+                    episodes: 5 * levels,
+                    steps_per_episode: 3 * levels,
+                    ..AgentConfig::default()
+                },
+                |c| ppa_proxy(&base, c),
+            );
+            let rand = random_search(&space, rl.evaluations, 200 + seed, |c| {
+                ppa_proxy(&base, c)
+            });
+            rl_evals.push(rl.evaluations as f64);
+            rl_gap.push(rl.best_cost - grid.best_cost);
+            rand_gap.push(rand.best_cost - grid.best_cost);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "space {0}^3 = {1:>4} corners | grid: {1} evals (exact) | rl: {2:>5.1} evals, gap {3:+.4} | random (same budget): gap {4:+.4}",
+            levels,
+            space.size(),
+            mean(&rl_evals),
+            mean(&rl_gap),
+            mean(&rand_gap)
+        );
+    }
+    println!("\nexpected shape: both samplers reach (near-)optimal corners with a");
+    println!("fraction of the exhaustive budget; the RL agent additionally learns a");
+    println!("*policy* over moves — the asset the paper's framework carries across");
+    println!("benchmarks, where each corner evaluation costs a full system run.");
+}

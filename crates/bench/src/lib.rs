@@ -1,0 +1,59 @@
+//! Shared helpers for the table/figure regenerator binaries and the
+//! Criterion benches.
+//!
+//! Every binary honours a `STCO_SCALE` environment variable:
+//! `STCO_SCALE=paper` runs closer to paper scale (slow), anything else
+//! (or unset) runs the scaled-down defaults documented in EXPERIMENTS.md.
+
+use stco_cells::charac::CharConfig;
+
+/// Whether the expensive "paper-scale" mode was requested.
+pub fn paper_scale() -> bool {
+    std::env::var("STCO_SCALE").map(|v| v == "paper").unwrap_or(false)
+}
+
+/// The characterization grid used by the benches (2×2; paper grids are
+/// denser but the NLDM structure is identical).
+pub fn bench_char_config() -> CharConfig {
+    CharConfig {
+        slews: vec![2.0e-9, 8.0e-9],
+        loads: vec![5.0e-15, 20.0e-15],
+        samples: 200,
+        max_leakage_states: 2,
+    }
+}
+
+/// Prints a horizontal rule with a title.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats seconds in engineering style.
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.2} us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_seconds(2.5), "2.50 s");
+        assert_eq!(fmt_seconds(0.0025), "2.50 ms");
+        assert_eq!(fmt_seconds(2.5e-6), "2.50 us");
+    }
+
+    #[test]
+    fn bench_grid_is_square() {
+        let c = bench_char_config();
+        assert_eq!(c.slews.len(), 2);
+        assert_eq!(c.loads.len(), 2);
+    }
+}

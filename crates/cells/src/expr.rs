@@ -1,0 +1,381 @@
+//! Static-CMOS stage descriptions: a cell is a cascade of stages, each an
+//! inverting gate defined by its pull-down expression. The pull-up
+//! network is always the series/parallel dual, so one [`Expr`] fully
+//! determines both transistor networks — exactly how static-CMOS standard
+//! cells are designed.
+
+use std::collections::BTreeMap;
+
+use stco_compact::tech::TechnologyCard;
+use stco_spice::netlist::{Circuit, NodeId};
+
+/// A literal or series/parallel composition over signal names.
+///
+/// Used as a pull-down network description: the stage output is pulled
+/// low when the expression (over signal logic levels) evaluates true.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A signal (cell input pin or internal stage output).
+    In(&'static str),
+    /// Series composition (logical AND of conduction).
+    And(Vec<Expr>),
+    /// Parallel composition (logical OR of conduction).
+    Or(Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience AND of two expressions.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::And(vec![a, b])
+    }
+
+    /// Convenience OR of two expressions.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::Or(vec![a, b])
+    }
+
+    /// Evaluates the expression over signal values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced signal is missing from `values`.
+    pub fn eval(&self, values: &BTreeMap<&str, bool>) -> bool {
+        match self {
+            Expr::In(name) => *values
+                .get(name)
+                .unwrap_or_else(|| panic!("signal {name} not driven")),
+            Expr::And(parts) => parts.iter().all(|p| p.eval(values)),
+            Expr::Or(parts) => parts.iter().any(|p| p.eval(values)),
+        }
+    }
+
+    /// Signals referenced by the expression, in first-use order.
+    pub fn signals(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        self.collect_signals(&mut out);
+        out
+    }
+
+    fn collect_signals(&self, out: &mut Vec<&'static str>) {
+        match self {
+            Expr::In(name) => {
+                if !out.contains(name) {
+                    out.push(name);
+                }
+            }
+            Expr::And(parts) | Expr::Or(parts) => {
+                for p in parts {
+                    p.collect_signals(out);
+                }
+            }
+        }
+    }
+
+    /// Maximum series-stack depth (used to upsize stacked devices).
+    pub fn stack_depth(&self) -> usize {
+        match self {
+            Expr::In(_) => 1,
+            Expr::And(parts) => parts.iter().map(Expr::stack_depth).sum(),
+            Expr::Or(parts) => parts.iter().map(Expr::stack_depth).max().unwrap_or(1),
+        }
+    }
+
+    /// The series/parallel dual (And↔Or), i.e. the pull-up topology.
+    pub fn dual(&self) -> Expr {
+        match self {
+            Expr::In(name) => Expr::In(name),
+            Expr::And(parts) => Expr::Or(parts.iter().map(Expr::dual).collect()),
+            Expr::Or(parts) => Expr::And(parts.iter().map(Expr::dual).collect()),
+        }
+    }
+
+    /// Transistor count of one network implementing this expression.
+    pub fn transistor_count(&self) -> usize {
+        match self {
+            Expr::In(_) => 1,
+            Expr::And(parts) | Expr::Or(parts) => parts.iter().map(Expr::transistor_count).sum(),
+        }
+    }
+}
+
+/// One inverting static-CMOS stage: `out = NOT(pdn)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Output signal name.
+    pub out: &'static str,
+    /// Pull-down expression over input pins and earlier stage outputs.
+    pub pdn: Expr,
+    /// Drive multiplier relative to the cell's base drive.
+    pub drive: f64,
+}
+
+impl Stage {
+    /// A unit-drive stage.
+    pub fn new(out: &'static str, pdn: Expr) -> Self {
+        Stage {
+            out,
+            pdn,
+            drive: 1.0,
+        }
+    }
+
+    /// A stage with explicit drive strength.
+    pub fn with_drive(out: &'static str, pdn: Expr, drive: f64) -> Self {
+        Stage { out, pdn, drive }
+    }
+}
+
+/// Record of one transistor emitted during netlist expansion (consumed by
+/// the Table-III graph encoder and by capacitance bookkeeping).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransistorInfo {
+    /// Element name in the circuit.
+    pub name: String,
+    /// True for the p-type (pull-up) device.
+    pub is_pfet: bool,
+    /// Gate signal name.
+    pub gate: String,
+    /// Drain-side net name (toward the stage output).
+    pub drain: String,
+    /// Source-side net name (toward the supply).
+    pub source: String,
+    /// Device width, m.
+    pub width: f64,
+    /// Threshold voltage of the stamped model, V.
+    pub vth: f64,
+    /// Gate oxide capacitance per area of the stamped model, F/m².
+    pub cox: f64,
+    /// Gate capacitance of the instance, F.
+    pub gate_capacitance: f64,
+}
+
+/// Expands a list of stages into transistors on a [`Circuit`].
+///
+/// Returns the transistor records. `signal_node` must already contain the
+/// nodes for `"VDD"`, `"VSS"` and every cell input; stage outputs and
+/// internal stack nodes are created on demand.
+pub fn expand_stages(
+    ckt: &mut Circuit,
+    card: &TechnologyCard,
+    stages: &[Stage],
+    base_drive: f64,
+    signal_node: &mut BTreeMap<String, NodeId>,
+) -> Vec<TransistorInfo> {
+    let mut transistors = Vec::new();
+    for (si, stage) in stages.iter().enumerate() {
+        let out_node = *signal_node
+            .entry(stage.out.to_string())
+            .or_insert_with(|| ckt.node(stage.out));
+        let drive = base_drive * stage.drive;
+        // Pull-down: NFETs between out and VSS; upsize by stack depth.
+        let n_stack = stage.pdn.stack_depth();
+        let vss = signal_node["VSS"];
+        expand_network(
+            ckt,
+            card,
+            &stage.pdn,
+            out_node,
+            vss,
+            false,
+            drive * n_stack as f64,
+            &format!("s{si}n"),
+            signal_node,
+            &mut transistors,
+            stage.out,
+            "VSS",
+        );
+        // Pull-up: dual network of PFETs between VDD and out; PFETs get a
+        // 1.5× width boost plus stack upsizing.
+        let pun = stage.pdn.dual();
+        let p_stack = pun.stack_depth();
+        let vdd = signal_node["VDD"];
+        expand_network(
+            ckt,
+            card,
+            &pun,
+            out_node,
+            vdd,
+            true,
+            drive * 1.5 * p_stack as f64,
+            &format!("s{si}p"),
+            signal_node,
+            &mut transistors,
+            stage.out,
+            "VDD",
+        );
+    }
+    transistors
+}
+
+/// Recursively expands a series/parallel network between `top` (stage
+/// output side) and `bottom` (supply side).
+#[allow(clippy::too_many_arguments)]
+fn expand_network(
+    ckt: &mut Circuit,
+    card: &TechnologyCard,
+    expr: &Expr,
+    top: NodeId,
+    bottom: NodeId,
+    is_pfet: bool,
+    width_mult: f64,
+    prefix: &str,
+    signal_node: &mut BTreeMap<String, NodeId>,
+    transistors: &mut Vec<TransistorInfo>,
+    top_name: &str,
+    bottom_name: &str,
+) {
+    match expr {
+        Expr::In(gate_sig) => {
+            let gate_node = *signal_node
+                .entry(gate_sig.to_string())
+                .or_insert_with(|| ckt.node(gate_sig));
+            let model = if is_pfet {
+                card.pfet_sized(width_mult)
+            } else {
+                card.nfet_sized(width_mult)
+            };
+            let name = format!("M_{prefix}_{}", transistors.len());
+            // For NFETs the source sits at the supply (bottom) side; for
+            // PFETs the source is at VDD (also the bottom side here).
+            ckt.add_tft(&name, top, gate_node, bottom, model.clone());
+            transistors.push(TransistorInfo {
+                name,
+                is_pfet,
+                gate: gate_sig.to_string(),
+                drain: top_name.to_string(),
+                source: bottom_name.to_string(),
+                width: model.width,
+                vth: model.vth,
+                cox: model.cox,
+                gate_capacitance: model.gate_capacitance(),
+            });
+        }
+        Expr::And(parts) => {
+            // Series chain: intermediate nodes between consecutive parts.
+            let mut upper = top;
+            let mut upper_name = top_name.to_string();
+            for (i, part) in parts.iter().enumerate() {
+                let (lower, lower_name) = if i + 1 == parts.len() {
+                    (bottom, bottom_name.to_string())
+                } else {
+                    let nm = format!("{prefix}_x{i}_{}", transistors.len());
+                    let node = ckt.node(&nm);
+                    (node, nm)
+                };
+                expand_network(
+                    ckt,
+                    card,
+                    part,
+                    upper,
+                    lower,
+                    is_pfet,
+                    width_mult,
+                    &format!("{prefix}a{i}"),
+                    signal_node,
+                    transistors,
+                    &upper_name,
+                    &lower_name,
+                );
+                upper = lower;
+                upper_name = lower_name;
+            }
+        }
+        Expr::Or(parts) => {
+            for (i, part) in parts.iter().enumerate() {
+                expand_network(
+                    ckt,
+                    card,
+                    part,
+                    top,
+                    bottom,
+                    is_pfet,
+                    width_mult,
+                    &format!("{prefix}o{i}"),
+                    signal_node,
+                    transistors,
+                    top_name,
+                    bottom_name,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stco_tcad::materials::Technology;
+
+    fn values(pairs: &[(&'static str, bool)]) -> BTreeMap<&'static str, bool> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn expr_evaluation() {
+        let e = Expr::or(Expr::and(Expr::In("a"), Expr::In("b")), Expr::In("c"));
+        assert!(e.eval(&values(&[("a", true), ("b", true), ("c", false)])));
+        assert!(e.eval(&values(&[("a", false), ("b", false), ("c", true)])));
+        assert!(!e.eval(&values(&[("a", true), ("b", false), ("c", false)])));
+    }
+
+    #[test]
+    fn dual_swaps_and_or() {
+        let e = Expr::and(Expr::In("a"), Expr::or(Expr::In("b"), Expr::In("c")));
+        let d = e.dual();
+        assert_eq!(
+            d,
+            Expr::or(Expr::In("a"), Expr::and(Expr::In("b"), Expr::In("c")))
+        );
+        // Dual of dual is the original.
+        assert_eq!(d.dual(), e);
+    }
+
+    #[test]
+    fn stack_depth_counts_series() {
+        let nand3 = Expr::And(vec![Expr::In("a"), Expr::In("b"), Expr::In("c")]);
+        assert_eq!(nand3.stack_depth(), 3);
+        assert_eq!(nand3.dual().stack_depth(), 1);
+        assert_eq!(nand3.transistor_count(), 3);
+    }
+
+    #[test]
+    fn nand2_expansion_produces_four_transistors() {
+        let card = TechnologyCard::reference(Technology::Ltps);
+        let mut ckt = Circuit::new();
+        let mut sig = BTreeMap::new();
+        sig.insert("VDD".to_string(), ckt.node("VDD"));
+        sig.insert("VSS".to_string(), Circuit::GROUND);
+        sig.insert("a".to_string(), ckt.node("a"));
+        sig.insert("b".to_string(), ckt.node("b"));
+        let stages = [Stage::new("y", Expr::and(Expr::In("a"), Expr::In("b")))];
+        let ts = expand_stages(&mut ckt, &card, &stages, 1.0, &mut sig);
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.iter().filter(|t| t.is_pfet).count(), 2);
+        // Series NFETs are upsized 2×; parallel PFETs get the 1.5× boost.
+        let nfet = ts.iter().find(|t| !t.is_pfet).unwrap();
+        assert!((nfet.width / card.nfet.width - 2.0).abs() < 1e-9);
+        let pfet = ts.iter().find(|t| t.is_pfet).unwrap();
+        assert!((pfet.width / card.pfet.width - 1.5).abs() < 1e-9);
+        assert!(sig.contains_key("y"));
+    }
+
+    #[test]
+    fn series_chain_creates_internal_nodes() {
+        let card = TechnologyCard::reference(Technology::Ltps);
+        let mut ckt = Circuit::new();
+        let mut sig = BTreeMap::new();
+        sig.insert("VDD".to_string(), ckt.node("VDD"));
+        sig.insert("VSS".to_string(), Circuit::GROUND);
+        for p in ["a", "b", "c"] {
+            sig.insert(p.to_string(), ckt.node(p));
+        }
+        let before = ckt.num_nodes();
+        let stages = [Stage::new(
+            "y",
+            Expr::And(vec![Expr::In("a"), Expr::In("b"), Expr::In("c")]),
+        )];
+        let _ = expand_stages(&mut ckt, &card, &stages, 1.0, &mut sig);
+        // y + 2 internal stack nodes.
+        assert_eq!(ckt.num_nodes(), before + 3);
+    }
+}

@@ -1,0 +1,96 @@
+//! The standard-cell substrate of the `fast-stco` reproduction: a 35-cell
+//! TFT library, a transistor-level nine-metric characterization engine,
+//! the paper's Table III graph encoding and NLDM-style liberty views.
+//!
+//! Pipeline: a [`library::CellType`] elaborates to transistors over a
+//! [`stco_compact::tech::TechnologyCard`] (optionally shifted to a
+//! (V_DD, V_th, C_ox) corner), [`charac::characterize`] measures the nine
+//! metrics of the paper's Table IV by SPICE simulation, and
+//! [`liberty::Library`] condenses the results into the lookup views that
+//! the system-evaluation substrate (`stco-system`) and the GCN surrogate
+//! (`stco-surrogate`) consume. [`encode::encode_cell`] produces the
+//! Table III node-feature graphs.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use stco_cells::charac::{characterize, CharConfig};
+//! use stco_cells::library::{CellKind, CellType};
+//! use stco_compact::tech::TechnologyCard;
+//! use stco_tcad::materials::Technology;
+//!
+//! let card = TechnologyCard::reference(Technology::Ltps);
+//! let inv = CellType::by_kind(CellKind::Inv);
+//! let metrics = characterize(&inv, &card, &CharConfig::fast())?;
+//! println!("leakage: {:.3e} W", metrics.leakage_power);
+//! # Ok::<(), stco_cells::CellsError>(())
+//! ```
+
+pub mod charac;
+pub mod encode;
+pub mod expr;
+pub mod library;
+pub mod liberty;
+
+/// Errors from library construction and characterization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellsError {
+    /// A cell input could not be sensitized (no assignment of the other
+    /// pins lets it toggle the output).
+    NoSensitization {
+        /// Cell name.
+        cell: String,
+        /// Pin name.
+        pin: String,
+    },
+    /// A measurement failed (missing crossing, no passing bisection
+    /// bracket, malformed stimulus).
+    Characterization {
+        /// Human-readable description.
+        context: String,
+    },
+    /// An underlying SPICE failure.
+    Spice(stco_spice::SpiceError),
+    /// An underlying numerical failure.
+    Numerics(stco_numerics::NumericsError),
+}
+
+impl std::fmt::Display for CellsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellsError::NoSensitization { cell, pin } => {
+                write!(f, "cannot sensitize pin {pin} of cell {cell}")
+            }
+            CellsError::Characterization { context } => {
+                write!(f, "characterization failed: {context}")
+            }
+            CellsError::Spice(e) => write!(f, "spice failure: {e}"),
+            CellsError::Numerics(e) => write!(f, "numerics failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CellsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CellsError::Spice(e) => Some(e),
+            CellsError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<stco_spice::SpiceError> for CellsError {
+    fn from(e: stco_spice::SpiceError) -> Self {
+        CellsError::Spice(e)
+    }
+}
+
+impl From<stco_numerics::NumericsError> for CellsError {
+    fn from(e: stco_numerics::NumericsError) -> Self {
+        CellsError::Numerics(e)
+    }
+}
+
+/// Result alias for cell-library routines.
+pub type Result<T> = std::result::Result<T, CellsError>;

@@ -1,0 +1,858 @@
+//! The standard-cell library: 35 combinational and sequential cells, as
+//! in the paper's characterization study ("a comprehensive cell library
+//! comprising 35 types of combinational and sequential cells").
+//!
+//! Every cell is a cascade of static-CMOS stages ([`crate::expr`]);
+//! sequential cells are gate-level NAND-latch structures (master–slave
+//! for the flip-flops), so the whole library elaborates to transistor
+//! netlists over the unified compact model with no special primitives.
+
+use std::collections::BTreeMap;
+
+use stco_compact::tech::TechnologyCard;
+use stco_spice::netlist::{Circuit, NodeId};
+
+use crate::expr::{expand_stages, Expr, Stage, TransistorInfo};
+
+use Expr::In;
+
+/// Identifier of a library cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CellKind {
+    /// Inverter (unit drive).
+    Inv,
+    /// Inverter (double drive).
+    Invx2,
+    /// Buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 4-input NAND.
+    Nand4,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+    /// 4-input NOR.
+    Nor4,
+    /// 2-input AND.
+    And2,
+    /// 3-input AND.
+    And3,
+    /// 4-input AND.
+    And4,
+    /// 2-input OR.
+    Or2,
+    /// 3-input OR.
+    Or3,
+    /// 4-input OR.
+    Or4,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// AND-OR-invert 2-1.
+    Aoi21,
+    /// AND-OR-invert 2-2.
+    Aoi22,
+    /// OR-AND-invert 2-1.
+    Oai21,
+    /// OR-AND-invert 2-2.
+    Oai22,
+    /// AND-OR 2-1.
+    Ao21,
+    /// OR-AND 2-1.
+    Oa21,
+    /// 2:1 multiplexer.
+    Mux2,
+    /// 4:1 multiplexer.
+    Mux4,
+    /// 3-input majority.
+    Maj3,
+    /// Half adder (sum + carry).
+    HalfAdder,
+    /// Full adder (sum + carry).
+    FullAdder,
+    /// Active-high transparent latch.
+    Dlatch,
+    /// Active-low transparent latch.
+    DlatchN,
+    /// Positive-edge D flip-flop.
+    Dff,
+    /// Negative-edge D flip-flop.
+    DffN,
+    /// Positive-edge D flip-flop with async active-low reset.
+    DffR,
+    /// Positive-edge D flip-flop with async active-low set.
+    DffS,
+    /// Positive-edge scan D flip-flop (SE-selected SI input).
+    Sdff,
+}
+
+/// Behavioral class of a cell for logic simulation and characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqBehavior {
+    /// Purely combinational.
+    Combinational,
+    /// Level-sensitive latch (`enable_high` selects the transparent level).
+    Latch {
+        /// Transparent when the enable pin is high.
+        enable_high: bool,
+    },
+    /// Edge-triggered flip-flop.
+    FlipFlop {
+        /// Captures on the falling clock edge if true.
+        negedge: bool,
+        /// Has an async active-low reset pin `RN`.
+        has_reset: bool,
+        /// Has an async active-low set pin `SN`.
+        has_set: bool,
+        /// Has scan pins `SI`/`SE`.
+        has_scan: bool,
+    },
+}
+
+/// A library cell type: pins, stage netlist and behavior class.
+#[derive(Debug, Clone)]
+pub struct CellType {
+    /// Which cell this is.
+    pub kind: CellKind,
+    /// Library name, e.g. `"NAND2"`.
+    pub name: &'static str,
+    /// Input pin names (clock/enable/reset included, data first).
+    pub inputs: Vec<&'static str>,
+    /// Output pin names.
+    pub outputs: Vec<&'static str>,
+    /// Static-CMOS stage cascade.
+    pub stages: Vec<Stage>,
+    /// Behavior class.
+    pub seq: SeqBehavior,
+}
+
+impl CellType {
+    /// The complete 35-cell library, in stable order.
+    pub fn library() -> Vec<CellType> {
+        use CellKind::*;
+        let mut cells = Vec::new();
+        let comb = |kind, name, inputs: &[&'static str], outputs: &[&'static str], stages| CellType {
+            kind,
+            name,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            stages,
+            seq: SeqBehavior::Combinational,
+        };
+
+        cells.push(comb(Inv, "INV", &["A"], &["Y"], vec![Stage::new("Y", In("A"))]));
+        cells.push(comb(
+            Invx2,
+            "INVX2",
+            &["A"],
+            &["Y"],
+            vec![Stage::with_drive("Y", In("A"), 2.0)],
+        ));
+        cells.push(comb(
+            Buf,
+            "BUF",
+            &["A"],
+            &["Y"],
+            vec![
+                Stage::new("n1", In("A")),
+                Stage::with_drive("Y", In("n1"), 2.0),
+            ],
+        ));
+        // NAND / NOR families.
+        let ins = ["A", "B", "C", "D"];
+        for (kind, name, n) in [(Nand2, "NAND2", 2), (Nand3, "NAND3", 3), (Nand4, "NAND4", 4)] {
+            let pdn = Expr::And(ins[..n].iter().map(|&p| In(p)).collect());
+            cells.push(comb(kind, name, &ins[..n], &["Y"], vec![Stage::new("Y", pdn)]));
+        }
+        for (kind, name, n) in [(Nor2, "NOR2", 2), (Nor3, "NOR3", 3), (Nor4, "NOR4", 4)] {
+            let pdn = Expr::Or(ins[..n].iter().map(|&p| In(p)).collect());
+            cells.push(comb(kind, name, &ins[..n], &["Y"], vec![Stage::new("Y", pdn)]));
+        }
+        for (kind, name, n) in [(And2, "AND2", 2), (And3, "AND3", 3), (And4, "AND4", 4)] {
+            let pdn = Expr::And(ins[..n].iter().map(|&p| In(p)).collect());
+            cells.push(comb(
+                kind,
+                name,
+                &ins[..n],
+                &["Y"],
+                vec![Stage::new("n1", pdn), Stage::with_drive("Y", In("n1"), 2.0)],
+            ));
+        }
+        for (kind, name, n) in [(Or2, "OR2", 2), (Or3, "OR3", 3), (Or4, "OR4", 4)] {
+            let pdn = Expr::Or(ins[..n].iter().map(|&p| In(p)).collect());
+            cells.push(comb(
+                kind,
+                name,
+                &ins[..n],
+                &["Y"],
+                vec![Stage::new("n1", pdn), Stage::with_drive("Y", In("n1"), 2.0)],
+            ));
+        }
+        // XOR / XNOR with internal complements.
+        cells.push(comb(
+            Xor2,
+            "XOR2",
+            &["A", "B"],
+            &["Y"],
+            vec![
+                Stage::new("an", In("A")),
+                Stage::new("bn", In("B")),
+                Stage::new(
+                    "Y",
+                    Expr::or(
+                        Expr::and(In("A"), In("B")),
+                        Expr::and(In("an"), In("bn")),
+                    ),
+                ),
+            ],
+        ));
+        cells.push(comb(
+            Xnor2,
+            "XNOR2",
+            &["A", "B"],
+            &["Y"],
+            vec![
+                Stage::new("an", In("A")),
+                Stage::new("bn", In("B")),
+                Stage::new(
+                    "Y",
+                    Expr::or(
+                        Expr::and(In("A"), In("bn")),
+                        Expr::and(In("an"), In("B")),
+                    ),
+                ),
+            ],
+        ));
+        // Complex gates.
+        cells.push(comb(
+            Aoi21,
+            "AOI21",
+            &["A", "B", "C"],
+            &["Y"],
+            vec![Stage::new("Y", Expr::or(Expr::and(In("A"), In("B")), In("C")))],
+        ));
+        cells.push(comb(
+            Aoi22,
+            "AOI22",
+            &["A", "B", "C", "D"],
+            &["Y"],
+            vec![Stage::new(
+                "Y",
+                Expr::or(Expr::and(In("A"), In("B")), Expr::and(In("C"), In("D"))),
+            )],
+        ));
+        cells.push(comb(
+            Oai21,
+            "OAI21",
+            &["A", "B", "C"],
+            &["Y"],
+            vec![Stage::new("Y", Expr::and(Expr::or(In("A"), In("B")), In("C")))],
+        ));
+        cells.push(comb(
+            Oai22,
+            "OAI22",
+            &["A", "B", "C", "D"],
+            &["Y"],
+            vec![Stage::new(
+                "Y",
+                Expr::and(Expr::or(In("A"), In("B")), Expr::or(In("C"), In("D"))),
+            )],
+        ));
+        cells.push(comb(
+            Ao21,
+            "AO21",
+            &["A", "B", "C"],
+            &["Y"],
+            vec![
+                Stage::new("n1", Expr::or(Expr::and(In("A"), In("B")), In("C"))),
+                Stage::with_drive("Y", In("n1"), 2.0),
+            ],
+        ));
+        cells.push(comb(
+            Oa21,
+            "OA21",
+            &["A", "B", "C"],
+            &["Y"],
+            vec![
+                Stage::new("n1", Expr::and(Expr::or(In("A"), In("B")), In("C"))),
+                Stage::with_drive("Y", In("n1"), 2.0),
+            ],
+        ));
+        // Multiplexers.
+        cells.push(comb(
+            Mux2,
+            "MUX2",
+            &["A", "B", "S"],
+            &["Y"],
+            vec![
+                Stage::new("sn", In("S")),
+                Stage::new(
+                    "n1",
+                    Expr::or(Expr::and(In("A"), In("sn")), Expr::and(In("B"), In("S"))),
+                ),
+                Stage::with_drive("Y", In("n1"), 2.0),
+            ],
+        ));
+        cells.push(comb(
+            Mux4,
+            "MUX4",
+            &["A", "B", "C", "D", "S0", "S1"],
+            &["Y"],
+            vec![
+                Stage::new("s0n", In("S0")),
+                Stage::new("s1n", In("S1")),
+                Stage::new(
+                    "n1",
+                    Expr::Or(vec![
+                        Expr::And(vec![In("A"), In("s1n"), In("s0n")]),
+                        Expr::And(vec![In("B"), In("s1n"), In("S0")]),
+                        Expr::And(vec![In("C"), In("S1"), In("s0n")]),
+                        Expr::And(vec![In("D"), In("S1"), In("S0")]),
+                    ]),
+                ),
+                Stage::with_drive("Y", In("n1"), 2.0),
+            ],
+        ));
+        cells.push(comb(
+            Maj3,
+            "MAJ3",
+            &["A", "B", "C"],
+            &["Y"],
+            vec![
+                Stage::new(
+                    "n1",
+                    Expr::or(
+                        Expr::and(In("A"), In("B")),
+                        Expr::and(In("C"), Expr::or(In("A"), In("B"))),
+                    ),
+                ),
+                Stage::with_drive("Y", In("n1"), 2.0),
+            ],
+        ));
+        // Adders (mirror-adder structure for the FA).
+        cells.push(comb(
+            HalfAdder,
+            "HA",
+            &["A", "B"],
+            &["S", "CO"],
+            vec![
+                Stage::new("an", In("A")),
+                Stage::new("bn", In("B")),
+                Stage::new(
+                    "S",
+                    Expr::or(
+                        Expr::and(In("A"), In("B")),
+                        Expr::and(In("an"), In("bn")),
+                    ),
+                ),
+                Stage::new("cn", Expr::and(In("A"), In("B"))),
+                Stage::with_drive("CO", In("cn"), 2.0),
+            ],
+        ));
+        cells.push(comb(
+            FullAdder,
+            "FA",
+            &["A", "B", "CI"],
+            &["S", "CO"],
+            vec![
+                Stage::new(
+                    "cn",
+                    Expr::or(
+                        Expr::and(In("A"), In("B")),
+                        Expr::and(In("CI"), Expr::or(In("A"), In("B"))),
+                    ),
+                ),
+                Stage::with_drive("CO", In("cn"), 2.0),
+                Stage::new(
+                    "sn",
+                    Expr::or(
+                        Expr::And(vec![In("A"), In("B"), In("CI")]),
+                        Expr::and(In("cn"), Expr::Or(vec![In("A"), In("B"), In("CI")])),
+                    ),
+                ),
+                Stage::with_drive("S", In("sn"), 2.0),
+            ],
+        ));
+        // Latches: cross-coupled NAND structure.
+        cells.push(CellType {
+            kind: Dlatch,
+            name: "DLATCH",
+            inputs: vec!["D", "EN"],
+            outputs: vec!["Q"],
+            stages: latch_stages("D", "EN", "Q", "qn", "dn", "sq", "rq"),
+            seq: SeqBehavior::Latch { enable_high: true },
+        });
+        let mut dlatchn_stages = vec![Stage::new("enb", In("EN"))];
+        dlatchn_stages.extend(latch_stages("D", "enb", "Q", "qn", "dn", "sq", "rq"));
+        cells.push(CellType {
+            kind: DlatchN,
+            name: "DLATCHN",
+            inputs: vec!["D", "EN"],
+            outputs: vec!["Q"],
+            stages: dlatchn_stages,
+            seq: SeqBehavior::Latch { enable_high: false },
+        });
+        // Flip-flops: master (transparent at CK low) + slave (CK high).
+        cells.push(CellType {
+            kind: Dff,
+            name: "DFF",
+            inputs: vec!["D", "CK"],
+            outputs: vec!["Q"],
+            stages: dff_stages(false),
+            seq: SeqBehavior::FlipFlop {
+                negedge: false,
+                has_reset: false,
+                has_set: false,
+                has_scan: false,
+            },
+        });
+        cells.push(CellType {
+            kind: DffN,
+            name: "DFFN",
+            inputs: vec!["D", "CK"],
+            outputs: vec!["Q"],
+            stages: dff_stages(true),
+            seq: SeqBehavior::FlipFlop {
+                negedge: true,
+                has_reset: false,
+                has_set: false,
+                has_scan: false,
+            },
+        });
+        cells.push(CellType {
+            kind: DffR,
+            name: "DFFR",
+            inputs: vec!["D", "CK", "RN"],
+            outputs: vec!["Q"],
+            stages: dffr_stages(),
+            seq: SeqBehavior::FlipFlop {
+                negedge: false,
+                has_reset: true,
+                has_set: false,
+                has_scan: false,
+            },
+        });
+        cells.push(CellType {
+            kind: DffS,
+            name: "DFFS",
+            inputs: vec!["D", "CK", "SN"],
+            outputs: vec!["Q"],
+            stages: dffs_stages(),
+            seq: SeqBehavior::FlipFlop {
+                negedge: false,
+                has_reset: false,
+                has_set: true,
+                has_scan: false,
+            },
+        });
+        // Scan flop: front-end mux then the plain DFF structure.
+        let mut sdff_stages = vec![
+            Stage::new("sen", In("SE")),
+            Stage::new(
+                "mdn",
+                Expr::or(Expr::and(In("D"), In("sen")), Expr::and(In("SI"), In("SE"))),
+            ),
+            Stage::new("md", In("mdn")),
+        ];
+        sdff_stages.extend(dff_stages_with_data("md", false));
+        cells.push(CellType {
+            kind: Sdff,
+            name: "SDFF",
+            inputs: vec!["D", "SI", "SE", "CK"],
+            outputs: vec!["Q"],
+            stages: sdff_stages,
+            seq: SeqBehavior::FlipFlop {
+                negedge: false,
+                has_reset: false,
+                has_set: false,
+                has_scan: true,
+            },
+        });
+        cells
+    }
+
+    /// Looks up a cell by kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is somehow missing from the library (impossible
+    /// by construction).
+    pub fn by_kind(kind: CellKind) -> CellType {
+        Self::library()
+            .into_iter()
+            .find(|c| c.kind == kind)
+            .expect("all kinds are in the library")
+    }
+
+    /// Whether the cell is sequential.
+    pub fn is_sequential(&self) -> bool {
+        !matches!(self.seq, SeqBehavior::Combinational)
+    }
+
+    /// Transistor count of the full cell.
+    pub fn transistor_count(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|s| 2 * s.pdn.transistor_count())
+            .sum()
+    }
+
+    /// Evaluates combinational logic for the given input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a sequential cell or with a wrong input count.
+    pub fn eval_comb(&self, inputs: &[bool]) -> Vec<bool> {
+        assert!(
+            !self.is_sequential(),
+            "eval_comb on sequential cell {}",
+            self.name
+        );
+        assert_eq!(inputs.len(), self.inputs.len(), "input count mismatch");
+        let mut values: BTreeMap<&str, bool> =
+            self.inputs.iter().copied().zip(inputs.iter().copied()).collect();
+        for stage in &self.stages {
+            let v = !stage.pdn.eval(&values);
+            values.insert(stage.out, v);
+        }
+        self.outputs
+            .iter()
+            .map(|o| *values.get(o).expect("output driven by some stage"))
+            .collect()
+    }
+
+    /// Elaborates the cell to a transistor-level circuit at the given
+    /// technology card and base drive, returning the built instance.
+    pub fn build(&self, card: &TechnologyCard, drive: f64) -> BuiltCell {
+        let mut ckt = Circuit::new();
+        let mut signal_node: BTreeMap<String, NodeId> = BTreeMap::new();
+        let vdd = ckt.node("VDD");
+        signal_node.insert("VDD".to_string(), vdd);
+        signal_node.insert("VSS".to_string(), Circuit::GROUND);
+        for pin in &self.inputs {
+            let n = ckt.node(pin);
+            signal_node.insert(pin.to_string(), n);
+        }
+        let transistors = expand_stages(&mut ckt, card, &self.stages, drive, &mut signal_node);
+        BuiltCell {
+            cell: self.clone(),
+            circuit: ckt,
+            signal_node,
+            transistors,
+            card: card.clone(),
+        }
+    }
+}
+
+/// NAND-latch stage set shared by the latch cells: `d`/`en` in, `q` out.
+fn latch_stages(
+    d: &'static str,
+    en: &'static str,
+    q: &'static str,
+    qn: &'static str,
+    dn: &'static str,
+    sq: &'static str,
+    rq: &'static str,
+) -> Vec<Stage> {
+    vec![
+        Stage::new(dn, In(d)),
+        Stage::new(sq, Expr::and(In(d), In(en))),
+        Stage::new(rq, Expr::and(In(dn), In(en))),
+        Stage::new(q, Expr::and(In(sq), In(qn))),
+        Stage::new(qn, Expr::and(In(rq), In(q))),
+    ]
+}
+
+fn dff_stages(negedge: bool) -> Vec<Stage> {
+    dff_stages_with_data("D", negedge)
+}
+
+/// Master–slave flip-flop stages with a configurable data signal (so the
+/// scan flop can feed its mux output in).
+fn dff_stages_with_data(data: &'static str, negedge: bool) -> Vec<Stage> {
+    // For posedge: master transparent while CK low (enable = ckn), slave
+    // transparent while CK high (enable = ckb, a buffered CK).
+    let mut stages = vec![Stage::new("ckn", In("CK")), Stage::new("ckb", In("ckn"))];
+    let (men, sen) = if negedge { ("ckb", "ckn") } else { ("ckn", "ckb") };
+    // The data complement is named "mdb" (not "mdn") so the scan flop's
+    // mux output net cannot collide with it.
+    stages.extend(vec![
+        Stage::new("mdb", In(data)),
+        Stage::new("msq", Expr::and(In(data), In(men))),
+        Stage::new("mrq", Expr::and(In("mdb"), In(men))),
+        Stage::new("mq", Expr::and(In("msq"), In("mqn"))),
+        Stage::new("mqn", Expr::and(In("mrq"), In("mq"))),
+        Stage::new("ssq", Expr::and(In("mq"), In(sen))),
+        Stage::new("srq", Expr::and(In("mqn"), In(sen))),
+        Stage::new("Q", Expr::and(In("ssq"), In("qn"))),
+        Stage::new("qn", Expr::and(In("srq"), In("Q"))),
+    ]);
+    stages
+}
+
+fn dffr_stages() -> Vec<Stage> {
+    // Async active-low reset: rst = !RN forces Q low and qn high.
+    let mut stages = vec![Stage::new("rst", In("RN"))];
+    stages.extend(vec![Stage::new("ckn", In("CK")), Stage::new("ckb", In("ckn"))]);
+    stages.extend(vec![
+        Stage::new("mdn", In("D")),
+        Stage::new("msq", Expr::and(In("D"), In("ckn"))),
+        Stage::new("mrq", Expr::and(In("mdn"), In("ckn"))),
+        Stage::new("mq", Expr::or(Expr::and(In("msq"), In("mqn")), In("rst"))),
+        Stage::new("mqn", Expr::And(vec![In("mrq"), In("mq"), In("RN")])),
+        Stage::new("ssq", Expr::and(In("mq"), In("ckb"))),
+        Stage::new("srq", Expr::and(In("mqn"), In("ckb"))),
+        Stage::new("Q", Expr::or(Expr::and(In("ssq"), In("qn")), In("rst"))),
+        Stage::new("qn", Expr::And(vec![In("srq"), In("Q"), In("RN")])),
+    ]);
+    stages
+}
+
+fn dffs_stages() -> Vec<Stage> {
+    // Async active-low set: set = !SN forces Q high and qn low.
+    let mut stages = vec![Stage::new("set", In("SN"))];
+    stages.extend(vec![Stage::new("ckn", In("CK")), Stage::new("ckb", In("ckn"))]);
+    stages.extend(vec![
+        Stage::new("mdn", In("D")),
+        Stage::new("msq", Expr::and(In("D"), In("ckn"))),
+        Stage::new("mrq", Expr::and(In("mdn"), In("ckn"))),
+        Stage::new("mq", Expr::And(vec![In("msq"), In("mqn"), In("SN")])),
+        Stage::new("mqn", Expr::or(Expr::and(In("mrq"), In("mq")), In("set"))),
+        Stage::new("ssq", Expr::and(In("mq"), In("ckb"))),
+        Stage::new("srq", Expr::and(In("mqn"), In("ckb"))),
+        Stage::new("Q", Expr::And(vec![In("ssq"), In("qn"), In("SN")])),
+        Stage::new("qn", Expr::or(Expr::and(In("srq"), In("Q")), In("set"))),
+    ]);
+    stages
+}
+
+/// A cell elaborated to a transistor netlist for one technology card.
+#[derive(Debug, Clone)]
+pub struct BuiltCell {
+    /// The originating cell type.
+    pub cell: CellType,
+    /// The transistor-level circuit (pins + VDD as named nodes; supplies
+    /// and stimuli are added by the characterizer).
+    pub circuit: Circuit,
+    /// Signal-name → node map (pins, VDD/VSS, internals).
+    pub signal_node: BTreeMap<String, NodeId>,
+    /// Transistor records for encoding and bookkeeping.
+    pub transistors: Vec<TransistorInfo>,
+    /// The card the cell was built against.
+    pub card: TechnologyCard,
+}
+
+impl BuiltCell {
+    /// Input capacitance of a pin: the summed gate capacitance of every
+    /// transistor whose gate is (transitively, through internal inverter
+    /// stages not included) directly driven by the pin.
+    pub fn pin_capacitance(&self, pin: &str) -> f64 {
+        self.transistors
+            .iter()
+            .filter(|t| t.gate == pin)
+            .map(|t| t.gate_capacitance)
+            .sum()
+    }
+
+    /// Largest input-pin capacitance — the "capacitance" metric of
+    /// Table IV.
+    pub fn max_input_capacitance(&self) -> f64 {
+        self.cell
+            .inputs
+            .iter()
+            .map(|p| self.pin_capacitance(p))
+            .fold(0.0, f64::max)
+    }
+
+    /// Crude layout area, m²: summed gate area times a routing factor.
+    pub fn area(&self) -> f64 {
+        let gate_area: f64 = self
+            .transistors
+            .iter()
+            .map(|t| t.width * self.card.unit_length)
+            .sum();
+        8.0 * gate_area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stco_tcad::materials::Technology;
+
+    #[test]
+    fn library_has_exactly_35_cells() {
+        let lib = CellType::library();
+        assert_eq!(lib.len(), 35);
+        // Names are unique.
+        let mut names: Vec<&str> = lib.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 35);
+        // Paper: both combinational and sequential types present.
+        assert_eq!(lib.iter().filter(|c| c.is_sequential()).count(), 7);
+    }
+
+    #[test]
+    fn truth_tables_of_basic_gates() {
+        let check = |kind: CellKind, table: &[(&[bool], bool)]| {
+            let cell = CellType::by_kind(kind);
+            for (inputs, expected) in table {
+                let out = cell.eval_comb(inputs);
+                assert_eq!(
+                    out[0], *expected,
+                    "{} of {:?} gave {}",
+                    cell.name, inputs, out[0]
+                );
+            }
+        };
+        check(
+            CellKind::Inv,
+            &[(&[false], true), (&[true], false)],
+        );
+        check(
+            CellKind::Nand2,
+            &[
+                (&[false, false], true),
+                (&[true, false], true),
+                (&[true, true], false),
+            ],
+        );
+        check(
+            CellKind::Nor2,
+            &[(&[false, false], true), (&[true, false], false)],
+        );
+        check(
+            CellKind::Xor2,
+            &[
+                (&[false, false], false),
+                (&[true, false], true),
+                (&[false, true], true),
+                (&[true, true], false),
+            ],
+        );
+        check(
+            CellKind::Xnor2,
+            &[(&[true, true], true), (&[true, false], false)],
+        );
+        check(
+            CellKind::Aoi21,
+            &[
+                (&[true, true, false], false),
+                (&[false, false, true], false),
+                (&[false, false, false], true),
+            ],
+        );
+        check(
+            CellKind::Mux2,
+            &[
+                // A, B, S: S=0 → A; S=1 → B.
+                (&[true, false, false], true),
+                (&[true, false, true], false),
+                (&[false, true, true], true),
+            ],
+        );
+    }
+
+    #[test]
+    fn mux4_selects_each_input() {
+        let cell = CellType::by_kind(CellKind::Mux4);
+        // Inputs: A, B, C, D, S0, S1.
+        for (sel, idx) in [((false, false), 0), ((true, false), 1), ((false, true), 2), ((true, true), 3)]
+        {
+            for active in 0..4 {
+                let mut inputs = [false; 6];
+                inputs[active] = true;
+                inputs[4] = sel.0;
+                inputs[5] = sel.1;
+                let out = cell.eval_comb(&inputs);
+                assert_eq!(out[0], active == idx, "sel {sel:?} input {active}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let cell = CellType::by_kind(CellKind::FullAdder);
+        for a in [false, true] {
+            for b in [false, true] {
+                for ci in [false, true] {
+                    let out = cell.eval_comb(&[a, b, ci]);
+                    let total = a as u8 + b as u8 + ci as u8;
+                    assert_eq!(out[0], total % 2 == 1, "sum of {a} {b} {ci}");
+                    assert_eq!(out[1], total >= 2, "carry of {a} {b} {ci}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn majority_gate_truth_table() {
+        let cell = CellType::by_kind(CellKind::Maj3);
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let out = cell.eval_comb(&[a, b, c]);
+                    let expected = (a as u8 + b as u8 + c as u8) >= 2;
+                    assert_eq!(out[0], expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transistor_counts_are_sane() {
+        let inv = CellType::by_kind(CellKind::Inv);
+        assert_eq!(inv.transistor_count(), 2);
+        let nand3 = CellType::by_kind(CellKind::Nand3);
+        assert_eq!(nand3.transistor_count(), 6);
+        let dff = CellType::by_kind(CellKind::Dff);
+        assert!(dff.transistor_count() >= 20, "DFF is a real master–slave");
+    }
+
+    #[test]
+    fn built_inverter_has_pin_capacitance() {
+        let card = TechnologyCard::reference(Technology::Ltps);
+        let built = CellType::by_kind(CellKind::Inv).build(&card, 1.0);
+        assert_eq!(built.transistors.len(), 2);
+        let cap = built.pin_capacitance("A");
+        assert!(cap > 0.0);
+        assert_eq!(built.max_input_capacitance(), cap);
+        assert!(built.area() > 0.0);
+    }
+
+    #[test]
+    fn nand4_inputs_have_equal_capacitance() {
+        let card = TechnologyCard::reference(Technology::Igzo);
+        let built = CellType::by_kind(CellKind::Nand4).build(&card, 1.0);
+        let caps: Vec<f64> = ["A", "B", "C", "D"]
+            .iter()
+            .map(|p| built.pin_capacitance(p))
+            .collect();
+        for c in &caps[1..] {
+            assert!((c - caps[0]).abs() < 1e-20);
+        }
+    }
+
+    #[test]
+    fn sequential_cells_expose_expected_pins() {
+        let dff = CellType::by_kind(CellKind::Dff);
+        assert_eq!(dff.inputs, vec!["D", "CK"]);
+        let dffr = CellType::by_kind(CellKind::DffR);
+        assert!(dffr.inputs.contains(&"RN"));
+        let sdff = CellType::by_kind(CellKind::Sdff);
+        assert!(sdff.inputs.contains(&"SI") && sdff.inputs.contains(&"SE"));
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential")]
+    fn eval_comb_rejects_sequential() {
+        let dff = CellType::by_kind(CellKind::Dff);
+        let _ = dff.eval_comb(&[false, false]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the cell library: every combinational cell's
+//! stage logic is consistent (no floating outputs, duals complementary),
+//! transistor netlists stay well-formed for random drive strengths, and
+//! the Table III encoding respects its structural invariants.
+
+use proptest::prelude::*;
+use stco_cells::encode::{encode_cell, CellNodeKind, EncodingContext, FEATURE_DIM};
+use stco_cells::library::CellType;
+use stco_compact::tech::{Corner, TechnologyCard};
+use stco_tcad::materials::Technology;
+
+/// Strategy: any cell of the 35-cell library by index.
+fn any_cell() -> impl Strategy<Value = CellType> {
+    (0usize..35).prop_map(|i| CellType::library().swap_remove(i))
+}
+
+/// Strategy: any combinational cell.
+fn any_comb_cell() -> impl Strategy<Value = CellType> {
+    any_cell().prop_filter("combinational", |c| !c.is_sequential())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn comb_outputs_are_complement_of_pdn(cell in any_comb_cell(), bits in prop::collection::vec(any::<bool>(), 6)) {
+        // For every input assignment, evaluating twice is deterministic
+        // and output count matches the declared pins.
+        let inputs: Vec<bool> = bits.into_iter().take(cell.inputs.len()).collect();
+        prop_assume!(inputs.len() == cell.inputs.len());
+        let a = cell.eval_comb(&inputs);
+        let b = cell.eval_comb(&inputs);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), cell.outputs.len());
+    }
+
+    #[test]
+    fn inverting_input_changes_some_output_somewhere(cell in any_comb_cell()) {
+        // Every input pin must be observable: some assignment of the
+        // other pins lets it toggle an output (otherwise the pin is dead).
+        let n = cell.inputs.len();
+        for pin in 0..n {
+            let mut observable = false;
+            for mask in 0..(1usize << (n - 1)) {
+                let mut assign = vec![false; n];
+                let mut bit = 0;
+                for (i, a) in assign.iter_mut().enumerate() {
+                    if i != pin {
+                        *a = (mask >> bit) & 1 == 1;
+                        bit += 1;
+                    }
+                }
+                let mut hi = assign.clone();
+                hi[pin] = true;
+                if cell.eval_comb(&assign) != cell.eval_comb(&hi) {
+                    observable = true;
+                    break;
+                }
+            }
+            prop_assert!(observable, "{}: pin {} unobservable", cell.name, cell.inputs[pin]);
+        }
+    }
+
+    #[test]
+    fn built_cells_have_balanced_fet_counts(cell in any_cell(), drive in 0.5..3.0f64) {
+        let card = TechnologyCard::reference(Technology::Ltps);
+        let built = cell.build(&card, drive);
+        let n_fets = built.transistors.iter().filter(|t| !t.is_pfet).count();
+        let p_fets = built.transistors.iter().filter(|t| t.is_pfet).count();
+        // Static CMOS: every stage contributes equal N and P counts.
+        prop_assert_eq!(n_fets, p_fets, "{}", cell.name);
+        prop_assert_eq!(n_fets + p_fets, cell.transistor_count());
+        // All widths scale with the drive.
+        for t in &built.transistors {
+            prop_assert!(t.width > 0.0);
+            prop_assert!(t.gate_capacitance > 0.0);
+        }
+    }
+
+    #[test]
+    fn pin_capacitance_scales_with_drive(cell in any_cell(), scale in 1.5..4.0f64) {
+        let card = TechnologyCard::reference(Technology::Igzo);
+        let base = cell.build(&card, 1.0);
+        let big = cell.build(&card, scale);
+        for pin in &cell.inputs {
+            let c0 = base.pin_capacitance(pin);
+            let c1 = big.pin_capacitance(pin);
+            prop_assert!(c0 > 0.0, "{}: pin {pin} has no gate load", cell.name);
+            prop_assert!(
+                (c1 / c0 - scale).abs() / scale < 1e-9,
+                "{}: pin {pin} cap did not scale",
+                cell.name
+            );
+        }
+    }
+
+    #[test]
+    fn encoding_is_structurally_sound(cell in any_cell(), vdd in 2.0..4.0f64, load_ff in 1.0..50.0f64) {
+        let card = TechnologyCard::reference(Technology::Cnt)
+            .at_corner(Corner::nominal(vdd));
+        let built = cell.build(&card, 1.0);
+        let mut ctx = EncodingContext::default();
+        for pin in &cell.inputs {
+            ctx.input_slew.insert((*pin).to_string(), 2.0e-9);
+        }
+        for pin in &cell.outputs {
+            ctx.output_load.insert((*pin).to_string(), load_ff * 1e-15);
+        }
+        let g = encode_cell(&built, &ctx);
+        // One node per transistor + pins + supplies (internal nets vary).
+        prop_assert!(g.num_nodes() >= built.transistors.len() + cell.inputs.len() + 2);
+        prop_assert_eq!(g.features.len(), g.num_nodes() * FEATURE_DIM);
+        // Every edge endpoint in range; every FET node has degree ≥ 3
+        // (gate, drain, source connections, undirected counted twice).
+        let mut degree = vec![0usize; g.num_nodes()];
+        for &(a, b) in &g.edges {
+            prop_assert!(a < g.num_nodes() && b < g.num_nodes());
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        for i in 0..g.num_nodes() {
+            if matches!(g.kinds[i], CellNodeKind::NFet | CellNodeKind::PFet) {
+                prop_assert!(degree[i] >= 6, "{}: FET {} degree {}", cell.name, i, degree[i]);
+            }
+        }
+        // The VDD node carries the corner's supply.
+        let vdd_node = g.kinds.iter().position(|&k| k == CellNodeKind::Vdd).expect("has VDD");
+        prop_assert!((g.feature_row(vdd_node)[4] - vdd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fet_feature_rows_match_the_card(cell in any_cell()) {
+        let card = TechnologyCard::reference(Technology::Ltps);
+        let built = cell.build(&card, 1.0);
+        let g = encode_cell(&built, &EncodingContext::default());
+        for i in 0..g.num_nodes() {
+            let row = g.feature_row(i);
+            match g.kinds[i] {
+                CellNodeKind::NFet => {
+                    prop_assert_eq!(row[3], -1.0);
+                    prop_assert!((row[7] - card.nfet.vth).abs() < 1e-12);
+                }
+                CellNodeKind::PFet => {
+                    prop_assert_eq!(row[3], 1.0);
+                    prop_assert!((row[7] - card.pfet.vth).abs() < 1e-12);
+                }
+                _ => {
+                    prop_assert_eq!(row[3], 0.0);
+                    prop_assert_eq!(row[5], 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Technology presets and PVT-style corner grids over the three critical
+//! parameters the paper varies: supply voltage `V_DD`, threshold voltage
+//! `V_th` and gate unit capacitance `C_ox`.
+//!
+//! The cell-characterization study (Table IV) trains on 125 corners
+//! (5 levels per parameter) and tests on 512 corners (8 levels per
+//! parameter); [`CornerGrid`] generates both grids, plus arbitrary `n³`
+//! grids for scaled-down runs.
+
+use crate::model::{CompactModel, DeviceType};
+use stco_tcad::materials::Technology;
+
+/// A CMOS-style device pair (pull-up + pull-down) for one technology.
+///
+/// Emerging TFT flows often use hybrid pairs; here CNT provides the
+/// p-type device and IGZO/LTPS the n-type, with same-technology pairs
+/// synthesized by polarity mirroring when requested.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechnologyCard {
+    /// Technology family the card models.
+    pub technology: Technology,
+    /// N-type (pull-down) template at unit size.
+    pub nfet: CompactModel,
+    /// P-type (pull-up) template at unit size.
+    pub pfet: CompactModel,
+    /// Nominal supply voltage, V.
+    pub vdd: f64,
+    /// Minimum transistor width, m (unit drive).
+    pub unit_width: f64,
+    /// Transistor channel length, m.
+    pub unit_length: f64,
+}
+
+impl TechnologyCard {
+    /// Reference card for a technology.
+    ///
+    /// CNT's native device is p-type, so its card pairs the strong CNT
+    /// pFET with a mirrored (weaker) nFET; IGZO and LTPS are n-type native
+    /// with mirrored pFETs — matching how hybrid emerging-technology cell
+    /// libraries are actually constructed.
+    pub fn reference(technology: Technology) -> Self {
+        let (vdd, unit_width, unit_length) = match technology {
+            Technology::Cnt => (3.0, 4.0e-6, 2.0e-6),
+            Technology::Igzo => (3.0, 6.0e-6, 3.0e-6),
+            Technology::Ltps => (3.0, 3.0e-6, 1.5e-6),
+        };
+        let (nfet, pfet) = match technology {
+            Technology::Cnt => {
+                let p = CompactModel::with_params(DeviceType::PType, 2.2e-3, -0.8, 0.5);
+                let mut n = CompactModel::with_params(DeviceType::NType, 1.5e-3, 0.8, 0.5);
+                n.ss_factor = 1.8;
+                (n, p)
+            }
+            Technology::Igzo => {
+                let n = CompactModel::with_params(DeviceType::NType, 1.1e-3, 0.7, 0.32);
+                let mut p = CompactModel::with_params(DeviceType::PType, 0.6e-3, -0.7, 0.32);
+                p.ss_factor = 1.5;
+                (n, p)
+            }
+            Technology::Ltps => {
+                let n = CompactModel::with_params(DeviceType::NType, 4.5e-3, 0.9, 0.18);
+                let p = CompactModel::with_params(DeviceType::PType, 2.2e-3, -0.9, 0.2);
+                (n, p)
+            }
+        };
+        let mut nfet = nfet.resized(unit_width, unit_length);
+        let mut pfet = pfet.resized(unit_width, unit_length);
+        nfet.cox = 1.0e-3;
+        pfet.cox = 1.0e-3;
+        TechnologyCard {
+            technology,
+            nfet,
+            pfet,
+            vdd,
+            unit_width,
+            unit_length,
+        }
+    }
+
+    /// Applies a corner: shifts both thresholds, scales both C_ox and
+    /// replaces V_DD.
+    pub fn at_corner(&self, corner: Corner) -> TechnologyCard {
+        let mut card = self.clone();
+        card.vdd = corner.vdd;
+        card.nfet.vth += corner.vth_shift;
+        card.pfet.vth -= corner.vth_shift;
+        card.nfet.cox *= corner.cox_scale;
+        card.pfet.cox *= corner.cox_scale;
+        card
+    }
+
+    /// N-type device scaled to `drive` multiples of the unit width.
+    pub fn nfet_sized(&self, drive: f64) -> CompactModel {
+        self.nfet.resized(self.unit_width * drive, self.unit_length)
+    }
+
+    /// P-type device scaled to `drive` multiples of the unit width.
+    pub fn pfet_sized(&self, drive: f64) -> CompactModel {
+        self.pfet.resized(self.unit_width * drive, self.unit_length)
+    }
+}
+
+/// One technology corner: the (V_DD, V_th, C_ox) triple of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corner {
+    /// Supply voltage, V.
+    pub vdd: f64,
+    /// Threshold shift applied to both devices (±, V).
+    pub vth_shift: f64,
+    /// Gate-capacitance scale factor (dimensionless).
+    pub cox_scale: f64,
+}
+
+impl Corner {
+    /// The nominal corner (no shift, unit scale) at the given V_DD.
+    pub fn nominal(vdd: f64) -> Self {
+        Corner {
+            vdd,
+            vth_shift: 0.0,
+            cox_scale: 1.0,
+        }
+    }
+}
+
+/// Generator of `n³` corner grids over (V_DD, V_th, C_ox).
+#[derive(Debug, Clone, Copy)]
+pub struct CornerGrid {
+    /// V_DD range, V.
+    pub vdd: (f64, f64),
+    /// V_th shift range, V.
+    pub vth_shift: (f64, f64),
+    /// C_ox scale range.
+    pub cox_scale: (f64, f64),
+}
+
+impl Default for CornerGrid {
+    fn default() -> Self {
+        CornerGrid {
+            vdd: (2.0, 4.0),
+            vth_shift: (-0.2, 0.2),
+            cox_scale: (0.8, 1.25),
+        }
+    }
+}
+
+impl CornerGrid {
+    /// All `levels³` corners on a uniform grid (paper: 5 → 125 training,
+    /// 8 → 512 testing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2`.
+    pub fn corners(&self, levels: usize) -> Vec<Corner> {
+        assert!(levels >= 2, "need at least 2 levels per axis");
+        let axis = |(lo, hi): (f64, f64)| -> Vec<f64> {
+            (0..levels)
+                .map(|k| lo + (hi - lo) * k as f64 / (levels - 1) as f64)
+                .collect()
+        };
+        let vdds = axis(self.vdd);
+        let vths = axis(self.vth_shift);
+        let coxs = axis(self.cox_scale);
+        let mut out = Vec::with_capacity(levels * levels * levels);
+        for &vdd in &vdds {
+            for &vth_shift in &vths {
+                for &cox_scale in &coxs {
+                    out.push(Corner {
+                        vdd,
+                        vth_shift,
+                        cox_scale,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The paper's 125-corner training grid (5 levels per axis).
+    pub fn training_corners(&self) -> Vec<Corner> {
+        self.corners(5)
+    }
+
+    /// The paper's 512-corner testing grid (8 levels per axis).
+    pub fn testing_corners(&self) -> Vec<Corner> {
+        self.corners(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cards_exist_for_all_technologies() {
+        for t in Technology::ALL {
+            let c = TechnologyCard::reference(t);
+            c.nfet.validate().unwrap();
+            c.pfet.validate().unwrap();
+            assert_eq!(c.nfet.device_type(), DeviceType::NType);
+            assert_eq!(c.pfet.device_type(), DeviceType::PType);
+            assert!(c.vdd > 0.0);
+        }
+    }
+
+    #[test]
+    fn corner_counts_match_paper() {
+        let g = CornerGrid::default();
+        assert_eq!(g.training_corners().len(), 125);
+        assert_eq!(g.testing_corners().len(), 512);
+        assert_eq!(g.corners(3).len(), 27);
+    }
+
+    #[test]
+    fn corners_span_the_ranges() {
+        let g = CornerGrid::default();
+        let cs = g.corners(5);
+        let vdd_min = cs.iter().map(|c| c.vdd).fold(f64::INFINITY, f64::min);
+        let vdd_max = cs.iter().map(|c| c.vdd).fold(0.0, f64::max);
+        assert_eq!(vdd_min, 2.0);
+        assert_eq!(vdd_max, 4.0);
+    }
+
+    #[test]
+    fn corner_application_shifts_devices() {
+        let card = TechnologyCard::reference(Technology::Ltps);
+        let corner = Corner {
+            vdd: 2.5,
+            vth_shift: 0.1,
+            cox_scale: 1.2,
+        };
+        let shifted = card.at_corner(corner);
+        assert_eq!(shifted.vdd, 2.5);
+        assert!((shifted.nfet.vth - (card.nfet.vth + 0.1)).abs() < 1e-12);
+        assert!((shifted.pfet.vth - (card.pfet.vth - 0.1)).abs() < 1e-12);
+        assert!((shifted.nfet.cox / card.nfet.cox - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sized_devices_scale_width_only() {
+        let card = TechnologyCard::reference(Technology::Igzo);
+        let big = card.nfet_sized(3.0);
+        assert!((big.width / card.nfet.width - 3.0).abs() < 1e-12);
+        assert_eq!(big.length, card.nfet.length);
+    }
+
+    #[test]
+    fn higher_vdd_gives_more_drive() {
+        let card = TechnologyCard::reference(Technology::Cnt);
+        let weak = card.at_corner(Corner::nominal(2.0));
+        let strong = card.at_corner(Corner::nominal(4.0));
+        assert!(strong.nfet.on_current(strong.vdd) > weak.nfet.on_current(weak.vdd));
+    }
+
+    #[test]
+    fn corner_grids_are_deterministic() {
+        let g = CornerGrid::default();
+        assert_eq!(g.corners(4), g.corners(4));
+    }
+}

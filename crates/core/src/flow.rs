@@ -1,0 +1,561 @@
+//! One STCO iteration, in both flavors:
+//!
+//! * **Traditional** — TCAD device simulation → compact-model extraction
+//!   → SPICE cell characterization → system evaluation;
+//! * **Fast** — the same loop with the two technology stages replaced by
+//!   the GNN surrogates: a self-consistent RelGAT Poisson/IV loop for the
+//!   device, and the GCN cell model for characterization.
+//!
+//! Both paths meet at the compact model (Fig. 1's "unified compact
+//! model" hub) and share the system-evaluation back-end, so PPA numbers
+//! are comparable and the only difference is *runtime* — which
+//! [`crate::speedup`] accounts per stage.
+
+use stco_cells::charac::CharConfig;
+use stco_cells::encode::{encode_cell, EncodingContext};
+use stco_cells::liberty::{LibCell, Library, TimingTable};
+use stco_cells::library::{CellType, SeqBehavior};
+use stco_compact::extract::{extract_parameters, TransferCurve};
+use stco_compact::tech::{Corner, TechnologyCard};
+use stco_numerics::interp::Bilinear;
+use stco_surrogate::cell_model::{metric_index, CellModel};
+use stco_surrogate::iv_predictor::IvPredictor;
+use stco_surrogate::poisson_emulator::PoissonEmulator;
+use stco_system::bench_gen::Benchmark;
+use stco_system::netlist::LogicNetlist;
+use stco_system::ppa::{evaluate_system, map_netlist_cells, EvalConfig, PpaReport};
+use stco_system::runtime::StageTimer;
+use stco_tcad::dataset::DeviceSample;
+use stco_tcad::device::{Bias, DeviceSpec};
+use stco_tcad::materials::{Polarity, Technology};
+use stco_tcad::poisson::{solve_poisson, PotentialSolution};
+use stco_tcad::transport::drain_current;
+use stco_tcad::physics;
+
+use crate::{Result, StcoError};
+
+/// Which implementation handles the two technology stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TechnologyStage {
+    /// Full TCAD + SPICE (the paper's "traditional STCO framework").
+    Traditional,
+    /// GNN surrogates (the paper's contribution).
+    Fast,
+}
+
+/// The trained surrogate bundle (the "environment" whose setup the paper
+/// prices at 8.12 s per iteration).
+#[derive(Debug, Clone)]
+pub struct TrainedSurrogates {
+    /// The Poisson emulator.
+    pub poisson: PoissonEmulator,
+    /// The IV predictor.
+    pub iv: IvPredictor,
+    /// The cell-characterization model.
+    pub cells: CellModel,
+}
+
+/// Configuration of an STCO flow for one benchmark.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Channel technology.
+    pub technology: Technology,
+    /// The benchmark under optimization.
+    pub benchmark: Benchmark,
+    /// Characterization grid (shared by both flows and the surrogate
+    /// encodings).
+    pub char_config: CharConfig,
+    /// System-evaluation settings.
+    pub eval: EvalConfig,
+    /// Gate-sweep points of the device-simulation stage.
+    pub iv_points: usize,
+}
+
+impl FlowConfig {
+    /// A fast configuration for tests and scaled benches.
+    pub fn fast(technology: Technology, benchmark: Benchmark) -> Self {
+        FlowConfig {
+            technology,
+            benchmark,
+            char_config: CharConfig {
+                slews: vec![2.0e-9, 8.0e-9],
+                loads: vec![5.0e-15, 20.0e-15],
+                samples: 200,
+                max_leakage_states: 2,
+            },
+            eval: EvalConfig::fast(),
+            iv_points: 5,
+        }
+    }
+}
+
+/// Per-stage wall-clock seconds of one iteration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageSeconds {
+    /// Device simulation (TCAD or surrogate).
+    pub device: f64,
+    /// Compact-model extraction.
+    pub compact: f64,
+    /// Cell characterization (SPICE or surrogate).
+    pub cells: f64,
+    /// System evaluation (always the full mapping/P&R/STA/power flow).
+    pub system: f64,
+}
+
+impl StageSeconds {
+    /// Total iteration seconds.
+    pub fn total(&self) -> f64 {
+        self.device + self.compact + self.cells + self.system
+    }
+
+    /// Technology-stage (device + compact + cells) seconds.
+    pub fn technology(&self) -> f64 {
+        self.device + self.compact + self.cells
+    }
+}
+
+/// The result of one STCO iteration.
+#[derive(Debug, Clone)]
+pub struct IterationResult {
+    /// PPA of the benchmark at this corner.
+    pub ppa: PpaReport,
+    /// Per-stage runtimes.
+    pub seconds: StageSeconds,
+    /// Extracted compact parameters `(μ0, V_th, γ)` of the native device.
+    pub extracted: (f64, f64, f64),
+    /// Which flow produced this result.
+    pub stage: TechnologyStage,
+}
+
+/// An STCO flow bound to one benchmark and technology.
+#[derive(Debug, Clone)]
+pub struct StcoFlow {
+    logic: LogicNetlist,
+    cells: Vec<CellType>,
+    base_card: TechnologyCard,
+    device_template: DeviceSpec,
+    config: FlowConfig,
+}
+
+impl StcoFlow {
+    /// Builds the flow: generates the benchmark, determines the cell
+    /// subset it uses and prepares the reference device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist/mapping failures.
+    pub fn new(config: FlowConfig) -> Result<Self> {
+        let logic = config.benchmark.generate();
+        let cells = map_netlist_cells(&logic)?;
+        let base_card = TechnologyCard::reference(config.technology);
+        let device_template = DeviceSpec::reference(config.technology);
+        Ok(StcoFlow {
+            logic,
+            cells,
+            base_card,
+            device_template,
+            config,
+        })
+    }
+
+    /// The benchmark netlist.
+    pub fn logic(&self) -> &LogicNetlist {
+        &self.logic
+    }
+
+    /// The library cells this benchmark requires.
+    pub fn cells(&self) -> &[CellType] {
+        &self.cells
+    }
+
+    /// The device spec at a corner: C_ox scaling via oxide thickness and
+    /// the threshold shift via the flat band.
+    pub fn device_at(&self, corner: Corner) -> DeviceSpec {
+        let mut spec = self.device_template.clone();
+        spec.oxide_thickness /= corner.cox_scale;
+        spec.channel.flat_band += corner.vth_shift * spec.channel.polarity.sign();
+        spec
+    }
+
+    /// The gate sweep of the device-simulation stage at a corner.
+    pub fn gate_sweep(&self, corner: Corner) -> (Vec<f64>, f64) {
+        let sign = self.device_template.channel.polarity.sign();
+        let n = self.config.iv_points.max(3);
+        let gates: Vec<f64> = (0..n)
+            .map(|k| sign * corner.vdd * (0.3 + 0.7 * k as f64 / (n - 1) as f64))
+            .collect();
+        (gates, sign * corner.vdd)
+    }
+
+    /// Runs one STCO iteration at a corner.
+    ///
+    /// `surrogates` must be provided for [`TechnologyStage::Fast`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StcoError::InvalidConfig`] if the fast flow is requested
+    /// without surrogates, or propagates stage failures.
+    pub fn run_iteration(
+        &self,
+        corner: Corner,
+        stage: TechnologyStage,
+        surrogates: Option<&TrainedSurrogates>,
+    ) -> Result<IterationResult> {
+        let mut timer = StageTimer::new();
+        let spec = self.device_at(corner);
+        let device = spec.build()?;
+        let (gates, vd) = self.gate_sweep(corner);
+
+        // Stage 1: device simulation.
+        timer.start("device");
+        let iv_points: Vec<(f64, f64)> = match stage {
+            TechnologyStage::Traditional => {
+                let mut out = Vec::with_capacity(gates.len());
+                for &vg in &gates {
+                    let sol = solve_poisson(&device, Bias { gate: vg, drain: vd })?;
+                    out.push((vg, drain_current(&device, &sol, Bias { gate: vg, drain: vd })));
+                }
+                out
+            }
+            TechnologyStage::Fast => {
+                let s = surrogates.ok_or_else(|| StcoError::InvalidConfig {
+                    context: "fast flow requires trained surrogates".into(),
+                })?;
+                let mut out = Vec::with_capacity(gates.len());
+                for &vg in &gates {
+                    let sample =
+                        fast_device_solution(&spec, Bias { gate: vg, drain: vd }, &s.poisson)?;
+                    let sign = spec.channel.polarity.sign();
+                    out.push((vg, sign * s.iv.predict_current(&sample)));
+                }
+                out
+            }
+        };
+        timer.finish();
+
+        // Stage 2: compact-model extraction (shared).
+        timer.start("compact");
+        let curve = TransferCurve {
+            vgs: iv_points.iter().map(|p| p.0).collect(),
+            vds: vd,
+            id: iv_points.iter().map(|p| p.1).collect(),
+        };
+        let template = match self.device_template.channel.polarity {
+            Polarity::NType => self.base_card.nfet.clone(),
+            Polarity::PType => self.base_card.pfet.clone(),
+        };
+        let extraction = extract_parameters(&template, &[curve])?;
+        let extracted = (
+            extraction.model.mu0,
+            extraction.model.vth,
+            extraction.model.gamma,
+        );
+        let card = self.card_from_extraction(corner, extracted);
+        timer.finish();
+
+        // Stage 3: cell-library characterization.
+        timer.start("cells");
+        let library = match stage {
+            TechnologyStage::Traditional => {
+                Library::characterize_subset(&card, &self.config.char_config, &self.cells)?
+            }
+            TechnologyStage::Fast => {
+                let s = surrogates.expect("checked above");
+                predicted_library(&self.cells, &card, &s.cells, &self.config.char_config)
+            }
+        };
+        timer.finish();
+
+        // Stage 4: system evaluation (always the real flow).
+        timer.start("system");
+        let ppa = evaluate_system(&self.logic, &library, &self.config.eval)?;
+        timer.finish();
+
+        let seconds = StageSeconds {
+            device: timer.total_of("device"),
+            compact: timer.total_of("compact"),
+            cells: timer.total_of("cells"),
+            system: timer.total_of("system"),
+        };
+        Ok(IterationResult {
+            ppa,
+            seconds,
+            extracted,
+            stage,
+        })
+    }
+
+    /// Builds the at-corner technology card from extracted parameters:
+    /// the native-polarity device takes them exactly; the complementary
+    /// device scales proportionally (hybrid-pair convention).
+    fn card_from_extraction(&self, corner: Corner, extracted: (f64, f64, f64)) -> TechnologyCard {
+        let mut card = self.base_card.at_corner(corner);
+        let (mu0, vth, gamma) = extracted;
+        match self.device_template.channel.polarity {
+            Polarity::NType => {
+                let ratio = mu0 / self.base_card.nfet.mu0;
+                card.nfet.mu0 = mu0;
+                card.nfet.vth = vth;
+                card.nfet.gamma = gamma;
+                card.pfet.mu0 *= ratio;
+            }
+            Polarity::PType => {
+                let ratio = mu0 / self.base_card.pfet.mu0;
+                card.pfet.mu0 = mu0;
+                card.pfet.vth = vth;
+                card.pfet.gamma = gamma;
+                card.nfet.mu0 *= ratio;
+            }
+        }
+        card
+    }
+}
+
+/// The self-consistent surrogate device solve: alternate the RelGAT
+/// Poisson emulator (charge → potential) with the analytic carrier
+/// statistics (potential → charge), as the paper's interconnected
+/// TCAD-surrogate models do, then package the result as a
+/// [`DeviceSample`] for the IV predictor.
+///
+/// # Errors
+///
+/// Propagates geometry failures.
+pub fn fast_device_solution(
+    spec: &DeviceSpec,
+    bias: Bias,
+    poisson: &PoissonEmulator,
+) -> Result<DeviceSample> {
+    let device = spec.build()?;
+    let mesh = device.mesh();
+    let n = mesh.num_nodes();
+    // Initial guess: Dirichlet potentials, zero elsewhere; charge from it.
+    let mut psi = vec![0.0; n];
+    for i in 0..n {
+        if let Some(pd) = device.dirichlet_potential(i, bias) {
+            psi[i] = pd;
+        }
+    }
+    let mut sample = DeviceSample {
+        spec: spec.clone(),
+        device: device.clone(),
+        bias,
+        solution: derived_solution(&device, bias, psi),
+        current: 0.0,
+    };
+    // A few fixed-point sweeps: predict ψ from the charge features, then
+    // refresh the charge from the predicted ψ.
+    for _ in 0..3 {
+        let mut predicted = poisson.predict(&sample);
+        // Keep electrodes pinned exactly.
+        for (i, p) in predicted.iter_mut().enumerate() {
+            if let Some(pd) = device.dirichlet_potential(i, bias) {
+                *p = pd;
+            }
+        }
+        sample.solution = derived_solution(&device, bias, predicted);
+    }
+    Ok(sample)
+}
+
+/// Rebuilds the derived per-node quantities from a potential map.
+fn derived_solution(
+    device: &stco_tcad::device::Device,
+    bias: Bias,
+    psi: Vec<f64>,
+) -> PotentialSolution {
+    let mesh = device.mesh();
+    let params = device.channel();
+    let n = mesh.num_nodes();
+    let mut carrier = vec![0.0; n];
+    let mut charge = vec![0.0; n];
+    let mut srh = vec![0.0; n];
+    for i in 0..n {
+        if mesh.material(i).is_semiconductor() && !mesh.region(i).is_dirichlet() {
+            let (x, _) = mesh.position(i);
+            let phi = device.quasi_fermi(x, bias);
+            let nd = physics::carrier_density(params, psi[i], phi);
+            carrier[i] = nd;
+            charge[i] = physics::space_charge(params, psi[i], phi);
+            let ni = params.intrinsic_density.max(1.0);
+            srh[i] = physics::srh_recombination(params, nd, ni * ni / nd.max(ni));
+        }
+    }
+    PotentialSolution {
+        psi,
+        carrier_density: carrier,
+        space_charge: charge,
+        srh,
+        newton_iterations: 0,
+    }
+}
+
+/// Builds a fully surrogate-predicted library: NLDM tables, capacitance,
+/// leakage, switching energy and sequential constraints all come from
+/// the GCN; only the layout area stays analytic (it is geometric).
+pub fn predicted_library(
+    cells: &[CellType],
+    card: &TechnologyCard,
+    model: &CellModel,
+    config: &CharConfig,
+) -> Library {
+    let slews = expand(&config.slews);
+    let loads = expand(&config.loads);
+    let mut out = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let built = cell.build(card, 1.0);
+        let context = |slew: f64, load: f64| -> EncodingContext {
+            let mut ctx = EncodingContext::default();
+            for pin in &cell.inputs {
+                ctx.input_slew.insert((*pin).to_string(), slew);
+                ctx.current_state.insert((*pin).to_string(), 0.0);
+                ctx.next_state.insert((*pin).to_string(), 1.0);
+            }
+            for pin in &cell.outputs {
+                ctx.output_load.insert((*pin).to_string(), load);
+            }
+            ctx
+        };
+        let m_delay = metric_index("delay").expect("known");
+        let m_slew = metric_index("output_slew").expect("known");
+        let mut delay_values = Vec::new();
+        let mut slew_values = Vec::new();
+        for &s in &slews {
+            for &l in &loads {
+                let graph = encode_cell(&built, &context(s, l));
+                delay_values.push(model.predict(&graph, m_delay));
+                slew_values.push(model.predict(&graph, m_slew));
+            }
+        }
+        let delay = Bilinear::new(slews.clone(), loads.clone(), delay_values)
+            .expect("grid axes are valid");
+        let out_slew = Bilinear::new(slews.clone(), loads.clone(), slew_values)
+            .expect("grid axes are valid");
+        let nominal = encode_cell(
+            &built,
+            &context(slews[slews.len() / 2], loads[loads.len() / 2]),
+        );
+        let predict = |name: &str| -> f64 {
+            model.predict(&nominal, metric_index(name).expect("known"))
+        };
+        let seq = !matches!(cell.seq, SeqBehavior::Combinational);
+        out.push(LibCell {
+            kind: cell.kind,
+            name: cell.name.to_string(),
+            area: built.area(),
+            input_capacitance: predict("capacitance"),
+            leakage_power: predict("leakage_power"),
+            switch_energy: predict("flip_power"),
+            timing: TimingTable::from_tables(delay, out_slew),
+            min_setup: seq.then(|| predict("min_setup")),
+            min_hold: seq.then(|| predict("min_hold")),
+            min_pulse_width: seq.then(|| predict("min_pulse_width")),
+        });
+    }
+    Library {
+        card: card.clone(),
+        cells: out,
+    }
+}
+
+fn expand(axis: &[f64]) -> Vec<f64> {
+    if axis.len() >= 2 {
+        axis.to_vec()
+    } else {
+        vec![axis[0], axis[0] * 2.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stco_surrogate::cell_model::CellModelConfig;
+
+    fn test_flow() -> StcoFlow {
+        StcoFlow::new(FlowConfig::fast(Technology::Ltps, Benchmark::S298)).expect("builds")
+    }
+
+    #[test]
+    fn flow_discovers_benchmark_cells() {
+        let flow = test_flow();
+        assert!(flow.cells().len() >= 5, "s298 maps to several cell kinds");
+        assert_eq!(flow.logic().name, "s298");
+    }
+
+    #[test]
+    fn corner_moves_device_geometry_and_threshold() {
+        let flow = test_flow();
+        let base = flow.device_at(Corner::nominal(3.0));
+        let shifted = flow.device_at(Corner {
+            vdd: 3.0,
+            vth_shift: 0.15,
+            cox_scale: 1.2,
+        });
+        assert!(shifted.oxide_thickness < base.oxide_thickness);
+        assert!(shifted.channel.flat_band != base.channel.flat_band);
+    }
+
+    #[test]
+    fn gate_sweep_spans_the_supply() {
+        let flow = test_flow();
+        let (gates, vd) = flow.gate_sweep(Corner::nominal(3.0));
+        assert!(gates.len() >= 3);
+        assert!((vd - 3.0).abs() < 1e-12, "LTPS is n-type: positive drive");
+        assert!(gates.iter().all(|&g| g > 0.0 && g <= 3.0 + 1e-12));
+        // Monotone sweep.
+        for w in gates.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn predicted_library_is_structurally_complete() {
+        // Even an untrained GCN yields a structurally valid library:
+        // every requested cell present, finite positive values, seq
+        // constraints only on sequential cells.
+        let flow = test_flow();
+        let card = TechnologyCard::reference(Technology::Ltps);
+        let model = CellModel::new(CellModelConfig::default());
+        let lib = predicted_library(
+            flow.cells(),
+            &card,
+            &model,
+            &FlowConfig::fast(Technology::Ltps, Benchmark::S298).char_config,
+        );
+        assert_eq!(lib.cells.len(), flow.cells().len());
+        for (cell, lib_cell) in flow.cells().iter().zip(&lib.cells) {
+            assert_eq!(cell.kind, lib_cell.kind);
+            assert!(lib_cell.area > 0.0);
+            assert!(lib_cell.input_capacitance > 0.0);
+            assert!(lib_cell.leakage_power.is_finite());
+            let d = lib_cell.timing.delay(2.0e-9, 10.0e-15);
+            assert!(d.is_finite() && d >= 0.0);
+            let seq = !matches!(cell.seq, SeqBehavior::Combinational);
+            assert_eq!(lib_cell.min_setup.is_some(), seq, "{}", cell.name);
+        }
+    }
+
+    #[test]
+    fn fast_device_solution_produces_consistent_sample() {
+        use stco_surrogate::poisson_emulator::{PoissonConfig, PoissonEmulator};
+        let flow = test_flow();
+        let spec = flow.device_at(Corner::nominal(3.0));
+        let emulator = PoissonEmulator::new(PoissonConfig {
+            depth: 1,
+            heads: 1,
+            head_dim: 4,
+            ..PoissonConfig::default()
+        });
+        let bias = Bias { gate: 2.0, drain: 1.0 };
+        let sample = fast_device_solution(&spec, bias, &emulator).expect("runs");
+        let n = sample.device.mesh().num_nodes();
+        assert_eq!(sample.solution.psi.len(), n);
+        assert_eq!(sample.solution.carrier_density.len(), n);
+        // Electrodes stay pinned exactly even through the surrogate loop.
+        for i in 0..n {
+            if let Some(pd) = sample.device.dirichlet_potential(i, bias) {
+                assert!((sample.solution.psi[i] - pd).abs() < 1e-12);
+            }
+        }
+        assert!(sample.solution.carrier_density.iter().all(|&v| v >= 0.0));
+    }
+}

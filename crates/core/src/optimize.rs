@@ -1,0 +1,179 @@
+//! The end-to-end optimization driver: the RL agent exploring real STCO
+//! iterations, optionally pre-screened by the system-evaluation surrogate
+//! (the paper's anticipated "AI-driven system evaluation" extension).
+//!
+//! Two drivers are provided:
+//!
+//! * [`explore_with_flow`] — every corner the agent visits runs a real
+//!   (fast or traditional) STCO iteration; evaluations are memoized by
+//!   the agent, so the number of expensive runs equals the number of
+//!   distinct corners visited.
+//! * [`explore_with_prescreen`] — a [`SystemSurrogate`] is bootstrapped
+//!   from a few real evaluations, the agent then explores on surrogate
+//!   costs, and only the shortlist of best surrogate corners is
+//!   re-evaluated for real — cutting full evaluations further.
+
+use stco_compact::tech::Corner;
+
+use crate::flow::{IterationResult, StcoFlow, TechnologyStage, TrainedSurrogates};
+use crate::rl::{q_learning_explore, AgentConfig, ExplorationResult};
+use crate::space::DesignSpace;
+use crate::sys_surrogate::{EvalRecord, SystemSurrogate};
+use crate::Result;
+
+/// Outcome of a flow-backed exploration.
+#[derive(Debug)]
+pub struct OptimizeOutcome {
+    /// The agent's exploration result (costs are PPA log-costs).
+    pub exploration: ExplorationResult,
+    /// The full iteration result at the best corner.
+    pub best_iteration: IterationResult,
+    /// Real STCO iterations executed.
+    pub real_evaluations: usize,
+}
+
+/// Runs the RL agent over real STCO iterations.
+///
+/// # Errors
+///
+/// Propagates flow failures (the first failing corner aborts the run).
+pub fn explore_with_flow(
+    flow: &StcoFlow,
+    space: &DesignSpace,
+    agent: &AgentConfig,
+    stage: TechnologyStage,
+    surrogates: Option<&TrainedSurrogates>,
+) -> Result<OptimizeOutcome> {
+    let mut failure: Option<crate::StcoError> = None;
+    let mut count = 0usize;
+    let exploration = q_learning_explore(space, agent, |corner| {
+        if failure.is_some() {
+            return f64::INFINITY;
+        }
+        match flow.run_iteration(corner, stage, surrogates) {
+            Ok(result) => {
+                count += 1;
+                result.ppa.cost()
+            }
+            Err(e) => {
+                failure = Some(e);
+                f64::INFINITY
+            }
+        }
+    });
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    let best_iteration = flow.run_iteration(exploration.best_corner, stage, surrogates)?;
+    Ok(OptimizeOutcome {
+        exploration,
+        best_iteration,
+        real_evaluations: count,
+    })
+}
+
+/// Configuration of the surrogate-prescreened driver.
+#[derive(Debug, Clone, Copy)]
+pub struct PrescreenConfig {
+    /// Real evaluations used to bootstrap the PPA surrogate.
+    pub bootstrap_evaluations: usize,
+    /// Surrogate-ranked corners re-evaluated for real at the end.
+    pub shortlist: usize,
+    /// Seed for the bootstrap corner sample.
+    pub seed: u64,
+}
+
+impl Default for PrescreenConfig {
+    fn default() -> Self {
+        PrescreenConfig {
+            bootstrap_evaluations: 8,
+            shortlist: 3,
+            seed: 31,
+        }
+    }
+}
+
+/// Runs the agent on surrogate-predicted costs, then re-evaluates the
+/// shortlist for real and returns the true best.
+///
+/// # Errors
+///
+/// Propagates flow/training failures.
+pub fn explore_with_prescreen(
+    flow: &StcoFlow,
+    space: &DesignSpace,
+    agent: &AgentConfig,
+    stage: TechnologyStage,
+    surrogates: Option<&TrainedSurrogates>,
+    config: &PrescreenConfig,
+) -> Result<OptimizeOutcome> {
+    // Bootstrap: evaluate a deterministic spread of corners for real.
+    let mut rng = stco_numerics::rng::Xorshift::new(config.seed);
+    let mut records = Vec::new();
+    let mut real = 0usize;
+    for _ in 0..config.bootstrap_evaluations.max(4) {
+        let p = crate::space::SpacePoint {
+            vdd: rng.gen_range(space.levels()),
+            vth: rng.gen_range(space.levels()),
+            cox: rng.gen_range(space.levels()),
+        };
+        let corner = space.corner(p);
+        let result = flow.run_iteration(corner, stage, surrogates)?;
+        real += 1;
+        records.push(EvalRecord::from_report(flow.logic(), corner, &result.ppa));
+    }
+    let mut ppa_model = SystemSurrogate::new(config.seed ^ 0xABCD);
+    ppa_model.train(
+        &records,
+        &stco_nn::train::TrainConfig {
+            epochs: 400,
+            batch_size: 8,
+            patience: None,
+            ..stco_nn::train::TrainConfig::default()
+        },
+    )?;
+
+    // Explore on the surrogate (free), then shortlist.
+    let exploration = q_learning_explore(space, agent, |corner| {
+        ppa_model.predict(flow.logic(), corner).cost()
+    });
+    let mut ranked: Vec<(f64, Corner)> = space
+        .all_points()
+        .into_iter()
+        .map(|p| {
+            let corner = space.corner(p);
+            (ppa_model.predict(flow.logic(), corner).cost(), corner)
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+
+    let mut best: Option<(f64, IterationResult)> = None;
+    for (_, corner) in ranked.into_iter().take(config.shortlist.max(1)) {
+        let result = flow.run_iteration(corner, stage, surrogates)?;
+        real += 1;
+        let cost = result.ppa.cost();
+        if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+            best = Some((cost, result));
+        }
+    }
+    let (best_cost, best_iteration) = best.expect("shortlist is non-empty");
+    let mut exploration = exploration;
+    exploration.best_cost = best_cost;
+    Ok(OptimizeOutcome {
+        exploration,
+        best_iteration,
+        real_evaluations: real,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prescreen_config_defaults_are_sane() {
+        let c = PrescreenConfig::default();
+        assert!(c.bootstrap_evaluations >= 4);
+        assert!(c.shortlist >= 1);
+    }
+}

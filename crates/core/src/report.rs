@@ -1,0 +1,129 @@
+//! Markdown report rendering: exploration results, iteration summaries
+//! and Table-I-style runtime tables, for dropping straight into logs or
+//! EXPERIMENTS.md-style documents.
+
+use crate::flow::IterationResult;
+use crate::rl::ExplorationResult;
+use crate::speedup::MeasuredRow;
+
+/// Renders an exploration result as a Markdown section.
+pub fn exploration_markdown(title: &str, result: &ExplorationResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n\n"));
+    out.push_str(&format!(
+        "- best corner: V_DD = {:.2} V, ΔV_th = {:+.3} V, C_ox × {:.3}\n",
+        result.best_corner.vdd, result.best_corner.vth_shift, result.best_corner.cox_scale
+    ));
+    out.push_str(&format!("- best cost: {:+.4}\n", result.best_cost));
+    out.push_str(&format!(
+        "- distinct evaluations: {}\n\n",
+        result.evaluations
+    ));
+    out.push_str("| evaluation | best-so-far cost |\n|---:|---:|\n");
+    let step = (result.convergence.len() / 10).max(1);
+    for (i, c) in result.convergence.iter().enumerate() {
+        if i % step == 0 || i + 1 == result.convergence.len() {
+            out.push_str(&format!("| {} | {:+.4} |\n", i + 1, c));
+        }
+    }
+    out
+}
+
+/// Renders one iteration's PPA + runtime as a Markdown section.
+pub fn iteration_markdown(title: &str, result: &IterationResult) -> String {
+    let ppa = &result.ppa;
+    let s = &result.seconds;
+    format!(
+        "## {title}\n\n\
+         | quantity | value |\n|---|---:|\n\
+         | gates | {} |\n\
+         | critical path | {:.3} ns |\n\
+         | max frequency | {:.3} MHz |\n\
+         | total power | {:.3} µW |\n\
+         | area | {:.3e} m² |\n\
+         | wirelength | {:.3} mm |\n\
+         | device stage | {:.3} s |\n\
+         | compact stage | {:.3} s |\n\
+         | cell stage | {:.3} s |\n\
+         | system stage | {:.3} s |\n\
+         | **iteration total** | **{:.3} s** |\n",
+        ppa.gate_count,
+        ppa.timing.critical_path_delay * 1e9,
+        ppa.timing.max_frequency / 1e6,
+        ppa.power.total() * 1e6,
+        ppa.area,
+        ppa.wirelength * 1e3,
+        s.device,
+        s.compact,
+        s.cells,
+        s.system,
+        s.total(),
+    )
+}
+
+/// Renders measured Table-I rows as a Markdown table.
+pub fn table1_markdown(rows: &[MeasuredRow]) -> String {
+    let mut out = String::from(
+        "| benchmark | sys eval (s) | trad tech (s) | fast tech (s) | speedup | tech speedup |\n\
+         |---|---:|---:|---:|---:|---:|\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "| {} | {:.3} | {:.3} | {:.3} | {:.1}× | {:.1}× |\n",
+            row.benchmark,
+            row.traditional.system,
+            row.traditional.technology(),
+            row.fast.technology(),
+            row.speedup(),
+            row.technology_speedup(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::StageSeconds;
+    use crate::space::SpacePoint;
+    use stco_compact::tech::Corner;
+
+    #[test]
+    fn exploration_markdown_contains_key_fields() {
+        let r = ExplorationResult {
+            best_corner: Corner::nominal(3.0),
+            best_point: SpacePoint { vdd: 1, vth: 2, cox: 0 },
+            best_cost: -1.25,
+            evaluations: 17,
+            convergence: vec![-0.5, -1.0, -1.25],
+        };
+        let md = exploration_markdown("RL run", &r);
+        assert!(md.contains("## RL run"));
+        assert!(md.contains("-1.2500"));
+        assert!(md.contains("17"));
+        assert!(md.contains("| 3 |"), "last convergence row present");
+    }
+
+    #[test]
+    fn table1_markdown_renders_rows() {
+        let rows = vec![MeasuredRow {
+            benchmark: "s298".into(),
+            traditional: StageSeconds {
+                device: 1.0,
+                compact: 0.1,
+                cells: 2.0,
+                system: 0.5,
+            },
+            fast: StageSeconds {
+                device: 0.05,
+                compact: 0.1,
+                cells: 0.2,
+                system: 0.5,
+            },
+        }];
+        let md = table1_markdown(&rows);
+        assert!(md.contains("| s298 |"));
+        assert!(md.contains("×"));
+        assert!(md.lines().count() >= 3);
+    }
+}

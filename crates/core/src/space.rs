@@ -1,0 +1,185 @@
+//! The technology design space the RL agent explores: a discrete grid
+//! over the paper's three critical parameters (V_DD, V_th, C_ox).
+
+use stco_compact::tech::{Corner, CornerGrid};
+
+/// A discrete design space: `levels³` corners on a uniform grid.
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    grid: CornerGrid,
+    levels: usize,
+}
+
+/// A point in the design space (indices along each axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpacePoint {
+    /// V_DD axis index.
+    pub vdd: usize,
+    /// V_th-shift axis index.
+    pub vth: usize,
+    /// C_ox-scale axis index.
+    pub cox: usize,
+}
+
+impl DesignSpace {
+    /// Builds a design space with `levels` points per axis over the
+    /// default corner ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2`.
+    pub fn new(levels: usize) -> Self {
+        assert!(levels >= 2, "need at least 2 levels per axis");
+        DesignSpace {
+            grid: CornerGrid::default(),
+            levels,
+        }
+    }
+
+    /// Builds over explicit ranges.
+    pub fn with_grid(grid: CornerGrid, levels: usize) -> Self {
+        assert!(levels >= 2, "need at least 2 levels per axis");
+        DesignSpace { grid, levels }
+    }
+
+    /// Levels per axis.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Total number of corners.
+    pub fn size(&self) -> usize {
+        self.levels.pow(3)
+    }
+
+    /// The corner at a space point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn corner(&self, p: SpacePoint) -> Corner {
+        assert!(p.vdd < self.levels && p.vth < self.levels && p.cox < self.levels);
+        let lerp = |(lo, hi): (f64, f64), i: usize| {
+            lo + (hi - lo) * i as f64 / (self.levels - 1) as f64
+        };
+        Corner {
+            vdd: lerp(self.grid.vdd, p.vdd),
+            vth_shift: lerp(self.grid.vth_shift, p.vth),
+            cox_scale: lerp(self.grid.cox_scale, p.cox),
+        }
+    }
+
+    /// Flat index of a point (for Q-tables).
+    pub fn flat_index(&self, p: SpacePoint) -> usize {
+        (p.vdd * self.levels + p.vth) * self.levels + p.cox
+    }
+
+    /// Inverse of [`DesignSpace::flat_index`].
+    pub fn point(&self, flat: usize) -> SpacePoint {
+        SpacePoint {
+            vdd: flat / (self.levels * self.levels),
+            vth: (flat / self.levels) % self.levels,
+            cox: flat % self.levels,
+        }
+    }
+
+    /// All points, in flat-index order.
+    pub fn all_points(&self) -> Vec<SpacePoint> {
+        (0..self.size()).map(|i| self.point(i)).collect()
+    }
+
+    /// Applies a move along an axis, clamped at the borders; returns the
+    /// new point (possibly unchanged at a border).
+    pub fn step(&self, p: SpacePoint, action: Action) -> SpacePoint {
+        let clamp_up = |i: usize| (i + 1).min(self.levels - 1);
+        let clamp_dn = |i: usize| i.saturating_sub(1);
+        match action {
+            Action::VddUp => SpacePoint { vdd: clamp_up(p.vdd), ..p },
+            Action::VddDown => SpacePoint { vdd: clamp_dn(p.vdd), ..p },
+            Action::VthUp => SpacePoint { vth: clamp_up(p.vth), ..p },
+            Action::VthDown => SpacePoint { vth: clamp_dn(p.vth), ..p },
+            Action::CoxUp => SpacePoint { cox: clamp_up(p.cox), ..p },
+            Action::CoxDown => SpacePoint { cox: clamp_dn(p.cox), ..p },
+            Action::Stay => p,
+        }
+    }
+}
+
+/// A design-space move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Increase V_DD one level.
+    VddUp,
+    /// Decrease V_DD one level.
+    VddDown,
+    /// Increase the V_th shift one level.
+    VthUp,
+    /// Decrease the V_th shift one level.
+    VthDown,
+    /// Increase the C_ox scale one level.
+    CoxUp,
+    /// Decrease the C_ox scale one level.
+    CoxDown,
+    /// Remain at the current point.
+    Stay,
+}
+
+impl Action {
+    /// All actions, in Q-table order.
+    pub const ALL: [Action; 7] = [
+        Action::VddUp,
+        Action::VddDown,
+        Action::VthUp,
+        Action::VthDown,
+        Action::CoxUp,
+        Action::CoxDown,
+        Action::Stay,
+    ];
+
+    /// Q-table index of the action.
+    pub fn index(self) -> usize {
+        Action::ALL.iter().position(|a| *a == self).expect("listed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_round_trips() {
+        let s = DesignSpace::new(4);
+        for i in 0..s.size() {
+            assert_eq!(s.flat_index(s.point(i)), i);
+        }
+        assert_eq!(s.size(), 64);
+    }
+
+    #[test]
+    fn corners_span_ranges() {
+        let s = DesignSpace::new(3);
+        let lo = s.corner(SpacePoint { vdd: 0, vth: 0, cox: 0 });
+        let hi = s.corner(SpacePoint { vdd: 2, vth: 2, cox: 2 });
+        assert!(lo.vdd < hi.vdd);
+        assert!(lo.vth_shift < hi.vth_shift);
+        assert!(lo.cox_scale < hi.cox_scale);
+    }
+
+    #[test]
+    fn steps_clamp_at_borders() {
+        let s = DesignSpace::new(3);
+        let corner_point = SpacePoint { vdd: 0, vth: 2, cox: 1 };
+        assert_eq!(s.step(corner_point, Action::VddDown), corner_point);
+        assert_eq!(s.step(corner_point, Action::VthUp), corner_point);
+        let moved = s.step(corner_point, Action::CoxUp);
+        assert_eq!(moved.cox, 2);
+        assert_eq!(s.step(corner_point, Action::Stay), corner_point);
+    }
+
+    #[test]
+    fn action_indices_are_dense() {
+        for (i, a) in Action::ALL.iter().enumerate() {
+            assert_eq!(a.index(), i);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Table I accounting: measured and paper-calibrated runtime rows.
+//!
+//! Two views are reported, as DESIGN.md specifies:
+//!
+//! * **measured** — every stage timed on our own substrates (FEM TCAD,
+//!   MNA SPICE, GNN inference, real mapping/placement/STA), so the
+//!   speedup and its design-size dependence emerge from real work;
+//! * **calibrated** — the four technology-stage constants taken from the
+//!   paper (142.07 s commercial TCAD, ≈1900 s commercial
+//!   characterization, 1.38 + 8.88 + 8.12 s for the GNN path) composed
+//!   with either the paper's or our measured system-evaluation seconds.
+
+use stco_system::bench_gen::Benchmark;
+use stco_system::runtime::{PaperConstants, SpeedupRow};
+
+use crate::flow::{IterationResult, StageSeconds, TechnologyStage};
+
+/// One benchmark's measured Table I row: both flows timed end to end.
+#[derive(Debug, Clone)]
+pub struct MeasuredRow {
+    /// Benchmark label.
+    pub benchmark: String,
+    /// Traditional-flow stage seconds.
+    pub traditional: StageSeconds,
+    /// Fast-flow stage seconds.
+    pub fast: StageSeconds,
+}
+
+impl MeasuredRow {
+    /// Composes a row from two iteration results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the results come from the same flow.
+    pub fn from_results(
+        benchmark: Benchmark,
+        a: &IterationResult,
+        b: &IterationResult,
+    ) -> MeasuredRow {
+        assert_ne!(a.stage, b.stage, "need one result per flow");
+        let (trad, fast) = if a.stage == TechnologyStage::Traditional {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        MeasuredRow {
+            benchmark: benchmark.name().to_string(),
+            traditional: trad.seconds,
+            fast: fast.seconds,
+        }
+    }
+
+    /// The measured full-iteration speedup.
+    pub fn speedup(&self) -> f64 {
+        self.traditional.total() / self.fast.total().max(1e-12)
+    }
+
+    /// The measured technology-stage-only speedup (device + compact +
+    /// cells; the ">100×" claim of the paper applies here).
+    pub fn technology_speedup(&self) -> f64 {
+        self.traditional.technology() / self.fast.technology().max(1e-12)
+    }
+}
+
+/// The paper's own Table I rows (system-eval seconds and reported
+/// speedups), used as the reference series in EXPERIMENTS.md.
+pub fn paper_table1() -> Vec<(Benchmark, f64, f64)> {
+    vec![
+        (Benchmark::S298, 142.0, 13.6),
+        (Benchmark::S386, 136.0, 14.1),
+        (Benchmark::S526, 202.0, 10.2),
+        (Benchmark::S820, 198.0, 10.4),
+        (Benchmark::S1196, 223.0, 9.4),
+        (Benchmark::S1488, 230.0, 9.2),
+        (Benchmark::Mac16, 536.0, 4.7),
+        (Benchmark::Mac32, 1270.0, 2.6),
+        (Benchmark::Picorv32, 939.0, 3.1),
+        (Benchmark::Darkriscv, 2250.0, 1.9),
+    ]
+}
+
+/// Calibrated rows: the paper's stage constants composed with the given
+/// per-benchmark system-evaluation seconds.
+pub fn calibrated_rows(system_eval: &[(Benchmark, f64)]) -> Vec<SpeedupRow> {
+    let constants = PaperConstants::default();
+    system_eval
+        .iter()
+        .map(|(b, sys)| SpeedupRow::compose(b.name(), *sys, &constants))
+        .collect()
+}
+
+/// Scales measured system-evaluation seconds so that the largest
+/// benchmark matches the paper's largest (our substrate is a single
+/// core; only relative size matters), then composes calibrated rows —
+/// the "measured system eval, paper technology constants" hybrid.
+pub fn calibrated_from_measured(measured: &[(Benchmark, f64)]) -> Vec<SpeedupRow> {
+    let paper_max = paper_table1()
+        .iter()
+        .map(|(_, s, _)| *s)
+        .fold(0.0_f64, f64::max);
+    let our_max = measured.iter().map(|(_, s)| *s).fold(0.0_f64, f64::max);
+    let scale = if our_max > 0.0 { paper_max / our_max } else { 1.0 };
+    let scaled: Vec<(Benchmark, f64)> =
+        measured.iter().map(|(b, s)| (*b, s * scale)).collect();
+    calibrated_rows(&scaled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rows_reproduce_reported_speedups() {
+        let sys: Vec<(Benchmark, f64)> =
+            paper_table1().iter().map(|(b, s, _)| (*b, *s)).collect();
+        let rows = calibrated_rows(&sys);
+        for (row, (_, _, expected)) in rows.iter().zip(paper_table1()) {
+            assert!(
+                (row.speedup - expected).abs() < 0.3,
+                "{}: {:.2} vs paper {expected}",
+                row.benchmark,
+                row.speedup
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_shrinks_with_design_size() {
+        let sys: Vec<(Benchmark, f64)> =
+            paper_table1().iter().map(|(b, s, _)| (*b, *s)).collect();
+        let rows = calibrated_rows(&sys);
+        let s298 = rows.iter().find(|r| r.benchmark == "s298").unwrap();
+        let dark = rows.iter().find(|r| r.benchmark == "Darkriscv").unwrap();
+        assert!(s298.speedup > 3.0 * dark.speedup);
+    }
+
+    #[test]
+    fn measured_scaling_preserves_ordering() {
+        // Fake measured seconds with the right ordering.
+        let measured = vec![
+            (Benchmark::S298, 0.5),
+            (Benchmark::Mac32, 4.0),
+            (Benchmark::Darkriscv, 8.0),
+        ];
+        let rows = calibrated_from_measured(&measured);
+        assert!(rows[0].speedup > rows[1].speedup);
+        assert!(rows[1].speedup > rows[2].speedup);
+        // The largest is pinned to the paper's largest system-eval time.
+        assert!((rows[2].system_eval - 2250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_row_computes_both_speedups() {
+        use crate::flow::StageSeconds;
+        let row = MeasuredRow {
+            benchmark: "x".into(),
+            traditional: StageSeconds {
+                device: 10.0,
+                compact: 0.5,
+                cells: 40.0,
+                system: 5.0,
+            },
+            fast: StageSeconds {
+                device: 0.1,
+                compact: 0.5,
+                cells: 0.4,
+                system: 5.0,
+            },
+        };
+        assert!((row.speedup() - 55.5 / 6.0).abs() < 1e-12);
+        assert!(row.technology_speedup() > 50.0);
+    }
+}

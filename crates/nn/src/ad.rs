@@ -1,0 +1,1149 @@
+//! The reverse-mode automatic differentiation tape.
+//!
+//! A [`Graph`] is rebuilt for every forward pass (define-by-run). Each
+//! operation appends a node holding its computed value and a typed [`Op`]
+//! record; [`Graph::backward`] then walks the tape in reverse, applying the
+//! hand-written adjoint of each op and accumulating parameter gradients
+//! into [`Params`].
+//!
+//! Besides the usual dense ops, the tape has first-class graph ops:
+//! [`Graph::gather_rows`]/[`Graph::scatter_add_rows`] for edge-list message
+//! passing, [`Graph::segment_softmax`] for GAT attention normalized per
+//! destination node, [`Graph::segment_mean`] for batched graph readout and
+//! [`Graph::spmm`] for GCN-style normalized-adjacency aggregation. Every
+//! adjoint is verified against central finite differences in the tests.
+
+use std::rc::Rc;
+
+use stco_numerics::{CsrMatrix, Matrix};
+
+use crate::{params_accumulate, ParamId, Params};
+
+/// Identifier of a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// A differentiable operation recorded on the tape.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Constant input (no gradient tracked beyond the tape).
+    Input,
+    /// Trainable parameter; gradients flow into [`Params`].
+    Param(ParamId),
+    /// Dense matrix product.
+    MatMul(NodeId, NodeId),
+    /// Elementwise sum of equal shapes.
+    Add(NodeId, NodeId),
+    /// `a [n×d] + b [1×d]` broadcast over rows (bias add).
+    AddRowBroadcast(NodeId, NodeId),
+    /// Elementwise difference.
+    Sub(NodeId, NodeId),
+    /// Elementwise (Hadamard) product of equal shapes.
+    Mul(NodeId, NodeId),
+    /// `a [n×d] * b [n×1]` broadcast over columns (attention weighting).
+    MulColBroadcast(NodeId, NodeId),
+    /// Multiplication by a compile-time scalar.
+    Scale(NodeId, f64),
+    /// Rectified linear unit.
+    Relu(NodeId),
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(NodeId, f64),
+    /// Exponential linear unit with the given alpha.
+    Elu(NodeId, f64),
+    /// Hyperbolic tangent.
+    Tanh(NodeId),
+    /// Logistic sigmoid.
+    Sigmoid(NodeId),
+    /// Per-row layer normalization with learnable gain/shift.
+    LayerNorm {
+        /// Input activations `[n×d]`.
+        x: NodeId,
+        /// Gain `[1×d]`.
+        gamma: NodeId,
+        /// Shift `[1×d]`.
+        beta: NodeId,
+        /// Variance epsilon.
+        eps: f64,
+    },
+    /// Column-wise concatenation.
+    ConcatCols(Vec<NodeId>),
+    /// Row gather: `y[i] = x[idx[i]]`.
+    GatherRows {
+        /// Source rows.
+        x: NodeId,
+        /// Row indices, one per output row.
+        idx: Rc<Vec<usize>>,
+    },
+    /// Row scatter-add: `y[idx[i]] += x[i]` over `out_rows` rows.
+    ScatterAddRows {
+        /// Source rows.
+        x: NodeId,
+        /// Destination row per source row.
+        idx: Rc<Vec<usize>>,
+        /// Number of output rows.
+        out_rows: usize,
+    },
+    /// Softmax over entries sharing a segment id (`x` is `[m×1]`).
+    SegmentSoftmax {
+        /// Scores `[m×1]`.
+        x: NodeId,
+        /// Segment id per row.
+        seg: Rc<Vec<usize>>,
+        /// Number of segments.
+        n_seg: usize,
+    },
+    /// Mean of rows sharing a segment id (batched graph readout).
+    SegmentMean {
+        /// Input rows `[m×d]`.
+        x: NodeId,
+        /// Segment id per row.
+        seg: Rc<Vec<usize>>,
+        /// Number of segments.
+        n_seg: usize,
+    },
+    /// Sparse-dense product `A · x` with a constant sparse matrix (GCN).
+    SpMm {
+        /// The (row-normalized adjacency) sparse operand.
+        a: Rc<CsrMatrix>,
+        /// Its transpose, cached for the adjoint.
+        a_t: Rc<CsrMatrix>,
+        /// Dense operand.
+        x: NodeId,
+    },
+    /// Mean over all rows: `[n×d] → [1×d]`.
+    MeanRows(NodeId),
+    /// Mean-squared-error loss between equal-shaped nodes → `[1×1]`.
+    MseLoss(NodeId, NodeId),
+    /// Smooth-L1 (Huber) loss with threshold delta → `[1×1]`.
+    HuberLoss(NodeId, NodeId, f64),
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// A define-by-run autodiff tape.
+///
+/// See the crate-level example for end-to-end training usage.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The computed value of a node.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> NodeId {
+        self.nodes.push(Node { value, op });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Records a constant input tensor.
+    pub fn input(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Input)
+    }
+
+    /// Records a trainable parameter by copying its current value onto the
+    /// tape; gradients flow back into [`Params`] on [`Graph::backward`].
+    pub fn param(&mut self, params: &Params, id: ParamId) -> NodeId {
+        self.push(params.value(id).clone(), Op::Param(id))
+    }
+
+    /// Dense matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Adds a `[1×d]` row vector to every row of a `[n×d]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not `1×d` with matching `d`.
+    pub fn add_row_broadcast(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(bv.rows(), 1, "broadcast operand must be a row vector");
+        assert_eq!(av.cols(), bv.cols(), "broadcast width mismatch");
+        let mut out = av.clone();
+        for i in 0..out.rows() {
+            let brow: Vec<f64> = bv.row(0).to_vec();
+            for (o, b) in out.row_mut(i).iter_mut().zip(brow) {
+                *o += b;
+            }
+        }
+        self.push(out, Op::AddRowBroadcast(a, b))
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!((av.rows(), av.cols()), (bv.rows(), bv.cols()));
+        let data = av
+            .as_slice()
+            .iter()
+            .zip(bv.as_slice())
+            .map(|(x, y)| x - y)
+            .collect();
+        let v = Matrix::from_vec(av.rows(), av.cols(), data);
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!((av.rows(), av.cols()), (bv.rows(), bv.cols()));
+        let data = av
+            .as_slice()
+            .iter()
+            .zip(bv.as_slice())
+            .map(|(x, y)| x * y)
+            .collect();
+        let v = Matrix::from_vec(av.rows(), av.cols(), data);
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Multiplies each row `i` of `a [n×d]` by scalar `b[i, 0]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not `n×1`.
+    pub fn mul_col_broadcast(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(bv.cols(), 1, "column-broadcast operand must be n×1");
+        assert_eq!(av.rows(), bv.rows(), "column-broadcast height mismatch");
+        let mut out = av.clone();
+        for i in 0..out.rows() {
+            let s = bv.get(i, 0);
+            for v in out.row_mut(i) {
+                *v *= s;
+            }
+        }
+        self.push(out, Op::MulColBroadcast(a, b))
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(&mut self, a: NodeId, s: f64) -> NodeId {
+        let mut v = self.value(a).clone();
+        v.scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.map_unary(a, |x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Leaky ReLU (`slope` on the negative side; GAT attention uses 0.2).
+    pub fn leaky_relu(&mut self, a: NodeId, slope: f64) -> NodeId {
+        let v = self.map_unary(a, |x| if x > 0.0 { x } else { slope * x });
+        self.push(v, Op::LeakyRelu(a, slope))
+    }
+
+    /// Exponential linear unit.
+    pub fn elu(&mut self, a: NodeId, alpha: f64) -> NodeId {
+        let v = self.map_unary(a, |x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
+        self.push(v, Op::Elu(a, alpha))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh_act(&mut self, a: NodeId) -> NodeId {
+        let v = self.map_unary(a, f64::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.map_unary(a, |x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    fn map_unary(&self, a: NodeId, f: impl Fn(f64) -> f64) -> Matrix {
+        let av = self.value(a);
+        let data = av.as_slice().iter().map(|&x| f(x)).collect();
+        Matrix::from_vec(av.rows(), av.cols(), data)
+    }
+
+    /// Per-row layer normalization with learnable `gamma`/`beta` (`[1×d]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if gamma/beta are not `1×d` row vectors matching `x`.
+    pub fn layer_norm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId) -> NodeId {
+        let eps = 1e-5;
+        let xv = self.value(x);
+        let gv = self.value(gamma);
+        let bv = self.value(beta);
+        let d = xv.cols();
+        assert_eq!((gv.rows(), gv.cols()), (1, d), "gamma must be 1×d");
+        assert_eq!((bv.rows(), bv.cols()), (1, d), "beta must be 1×d");
+        let mut out = Matrix::zeros(xv.rows(), d);
+        for i in 0..xv.rows() {
+            let row = xv.row(i);
+            let mean = row.iter().sum::<f64>() / d as f64;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / d as f64;
+            let inv = 1.0 / (var + eps).sqrt();
+            for j in 0..d {
+                let xhat = (row[j] - mean) * inv;
+                out.set(i, j, xhat * gv.get(0, j) + bv.get(0, j));
+            }
+        }
+        self.push(out, Op::LayerNorm { x, gamma, beta, eps })
+    }
+
+    /// Concatenates nodes along the column axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ or `parts` is empty.
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat of zero parts");
+        let rows = self.value(parts[0]).rows();
+        let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
+        let mut out = Matrix::zeros(rows, total);
+        let mut col0 = 0;
+        for &p in parts {
+            let pv = self.value(p);
+            assert_eq!(pv.rows(), rows, "concat row mismatch");
+            for i in 0..rows {
+                for j in 0..pv.cols() {
+                    out.set(i, col0 + j, pv.get(i, j));
+                }
+            }
+            col0 += pv.cols();
+        }
+        self.push(out, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Gathers rows: output row `i` is `x[idx[i]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn gather_rows(&mut self, x: NodeId, idx: Rc<Vec<usize>>) -> NodeId {
+        let xv = self.value(x);
+        let mut out = Matrix::zeros(idx.len(), xv.cols());
+        for (i, &r) in idx.iter().enumerate() {
+            assert!(r < xv.rows(), "gather index {r} out of {}", xv.rows());
+            out.row_mut(i).copy_from_slice(xv.row(r));
+        }
+        self.push(out, Op::GatherRows { x, idx })
+    }
+
+    /// Scatter-add rows of `x` into `out_rows` destination rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len() != x.rows()` or an index is out of range.
+    pub fn scatter_add_rows(&mut self, x: NodeId, idx: Rc<Vec<usize>>, out_rows: usize) -> NodeId {
+        let xv = self.value(x);
+        assert_eq!(idx.len(), xv.rows(), "one destination per source row");
+        let mut out = Matrix::zeros(out_rows, xv.cols());
+        for (i, &r) in idx.iter().enumerate() {
+            assert!(r < out_rows, "scatter index {r} out of {out_rows}");
+            let src: Vec<f64> = xv.row(i).to_vec();
+            for (o, s) in out.row_mut(r).iter_mut().zip(src) {
+                *o += s;
+            }
+        }
+        self.push(out, Op::ScatterAddRows { x, idx, out_rows })
+    }
+
+    /// Numerically-stable softmax over entries sharing a segment id.
+    ///
+    /// `x` must be `[m×1]`; entry `i` belongs to segment `seg[i]`. Within
+    /// each segment the outputs sum to 1 (GAT attention per destination).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not a column vector or a segment id is out of range.
+    pub fn segment_softmax(&mut self, x: NodeId, seg: Rc<Vec<usize>>, n_seg: usize) -> NodeId {
+        let xv = self.value(x);
+        assert_eq!(xv.cols(), 1, "segment softmax expects a column vector");
+        assert_eq!(seg.len(), xv.rows(), "one segment id per row");
+        let out = segment_softmax_forward(xv, &seg, n_seg);
+        self.push(out, Op::SegmentSoftmax { x, seg, n_seg })
+    }
+
+    /// Mean of rows sharing a segment id → `[n_seg × d]`. Empty segments
+    /// yield zero rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg.len() != x.rows()` or an id is out of range.
+    pub fn segment_mean(&mut self, x: NodeId, seg: Rc<Vec<usize>>, n_seg: usize) -> NodeId {
+        let xv = self.value(x);
+        assert_eq!(seg.len(), xv.rows(), "one segment id per row");
+        let mut out = Matrix::zeros(n_seg, xv.cols());
+        let mut counts = vec![0usize; n_seg];
+        for (i, &s) in seg.iter().enumerate() {
+            assert!(s < n_seg, "segment id {s} out of {n_seg}");
+            counts[s] += 1;
+            let src: Vec<f64> = xv.row(i).to_vec();
+            for (o, v) in out.row_mut(s).iter_mut().zip(src) {
+                *o += v;
+            }
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                for v in out.row_mut(s) {
+                    *v /= c as f64;
+                }
+            }
+        }
+        self.push(out, Op::SegmentMean { x, seg, n_seg })
+    }
+
+    /// Sparse-dense product `a · x` where `a` is a constant sparse matrix
+    /// (e.g. a symmetrically normalized adjacency for GCN).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != x.rows()`.
+    pub fn spmm(&mut self, a: Rc<CsrMatrix>, x: NodeId) -> NodeId {
+        let xv = self.value(x);
+        assert_eq!(a.cols(), xv.rows(), "spmm shape mismatch");
+        let mut out = Matrix::zeros(a.rows(), xv.cols());
+        for i in 0..a.rows() {
+            for (j, w) in a.row_entries(i) {
+                let src: Vec<f64> = xv.row(j).to_vec();
+                for (o, v) in out.row_mut(i).iter_mut().zip(src) {
+                    *o += w * v;
+                }
+            }
+        }
+        let a_t = Rc::new(a.transpose());
+        self.push(out, Op::SpMm { a, a_t, x })
+    }
+
+    /// Convenience wrapper: mean of rows grouped by a destination-index
+    /// list (message-passing mean aggregation). Equivalent to
+    /// [`Graph::segment_mean`] with `seg = dst`.
+    pub fn segment_mean_rows(
+        &mut self,
+        x: NodeId,
+        dst: &std::rc::Rc<Vec<usize>>,
+        num_nodes: usize,
+    ) -> NodeId {
+        self.segment_mean(x, std::rc::Rc::clone(dst), num_nodes)
+    }
+
+    /// Mean over all rows: `[n×d] → [1×d]`.
+    pub fn mean_rows(&mut self, x: NodeId) -> NodeId {
+        let xv = self.value(x);
+        let n = xv.rows().max(1);
+        let mut out = Matrix::zeros(1, xv.cols());
+        for i in 0..xv.rows() {
+            let src: Vec<f64> = xv.row(i).to_vec();
+            for (o, v) in out.row_mut(0).iter_mut().zip(src) {
+                *o += v / n as f64;
+            }
+        }
+        self.push(out, Op::MeanRows(x))
+    }
+
+    /// Mean-squared-error loss over all elements → scalar node `[1×1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mse_loss(&mut self, pred: NodeId, target: NodeId) -> NodeId {
+        let (pv, tv) = (self.value(pred), self.value(target));
+        assert_eq!((pv.rows(), pv.cols()), (tv.rows(), tv.cols()));
+        let n = (pv.rows() * pv.cols()) as f64;
+        let loss = pv
+            .as_slice()
+            .iter()
+            .zip(tv.as_slice())
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / n;
+        self.push(Matrix::from_vec(1, 1, vec![loss]), Op::MseLoss(pred, target))
+    }
+
+    /// Huber (smooth-L1) loss with threshold `delta` → scalar node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn huber_loss(&mut self, pred: NodeId, target: NodeId, delta: f64) -> NodeId {
+        let (pv, tv) = (self.value(pred), self.value(target));
+        assert_eq!((pv.rows(), pv.cols()), (tv.rows(), tv.cols()));
+        let n = (pv.rows() * pv.cols()) as f64;
+        let loss = pv
+            .as_slice()
+            .iter()
+            .zip(tv.as_slice())
+            .map(|(p, t)| {
+                let e = (p - t).abs();
+                if e <= delta {
+                    0.5 * e * e
+                } else {
+                    delta * (e - 0.5 * delta)
+                }
+            })
+            .sum::<f64>()
+            / n;
+        self.push(
+            Matrix::from_vec(1, 1, vec![loss]),
+            Op::HuberLoss(pred, target, delta),
+        )
+    }
+
+    /// Reverse pass from `loss` (which must be `1×1`), accumulating
+    /// parameter gradients into `params`. The tape itself is left intact so
+    /// node values can still be read afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a scalar node.
+    pub fn backward(&mut self, loss: NodeId, params: &mut Params) {
+        let lv = self.value(loss);
+        assert_eq!((lv.rows(), lv.cols()), (1, 1), "loss must be scalar");
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        for i in (0..self.nodes.len()).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            // Re-store (value reads below need immutable self).
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Input => {}
+                Op::Param(pid) => params_accumulate(params, pid, &g),
+                Op::MatMul(a, b) => {
+                    let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    let da = g.matmul(&bv.transpose());
+                    let db = av.transpose().matmul(&g);
+                    accumulate(&mut grads, a.0, da);
+                    accumulate(&mut grads, b.0, db);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, a.0, g.clone());
+                    accumulate(&mut grads, b.0, g);
+                }
+                Op::AddRowBroadcast(a, b) => {
+                    let mut db = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            db.add_at(0, c, g.get(r, c));
+                        }
+                    }
+                    accumulate(&mut grads, a.0, g);
+                    accumulate(&mut grads, b.0, db);
+                }
+                Op::Sub(a, b) => {
+                    let mut neg = g.clone();
+                    neg.scale(-1.0);
+                    accumulate(&mut grads, a.0, g);
+                    accumulate(&mut grads, b.0, neg);
+                }
+                Op::Mul(a, b) => {
+                    let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    let da = hadamard(&g, bv);
+                    let db = hadamard(&g, av);
+                    accumulate(&mut grads, a.0, da);
+                    accumulate(&mut grads, b.0, db);
+                }
+                Op::MulColBroadcast(a, b) => {
+                    let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    let mut da = g.clone();
+                    for r in 0..da.rows() {
+                        let s = bv.get(r, 0);
+                        for v in da.row_mut(r) {
+                            *v *= s;
+                        }
+                    }
+                    let mut db = Matrix::zeros(bv.rows(), 1);
+                    for r in 0..g.rows() {
+                        let mut s = 0.0;
+                        for c in 0..g.cols() {
+                            s += g.get(r, c) * av.get(r, c);
+                        }
+                        db.set(r, 0, s);
+                    }
+                    accumulate(&mut grads, a.0, da);
+                    accumulate(&mut grads, b.0, db);
+                }
+                Op::Scale(a, s) => {
+                    let mut da = g;
+                    da.scale(s);
+                    accumulate(&mut grads, a.0, da);
+                }
+                Op::Relu(a) => {
+                    let av = &self.nodes[a.0].value;
+                    let da = map_grad(&g, av, |x| if x > 0.0 { 1.0 } else { 0.0 });
+                    accumulate(&mut grads, a.0, da);
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let av = &self.nodes[a.0].value;
+                    let da = map_grad(&g, av, |x| if x > 0.0 { 1.0 } else { slope });
+                    accumulate(&mut grads, a.0, da);
+                }
+                Op::Elu(a, alpha) => {
+                    let av = &self.nodes[a.0].value;
+                    let da = map_grad(&g, av, |x| if x > 0.0 { 1.0 } else { alpha * x.exp() });
+                    accumulate(&mut grads, a.0, da);
+                }
+                Op::Tanh(a) => {
+                    let yv = &self.nodes[i].value;
+                    let da = map_grad(&g, yv, |y| 1.0 - y * y);
+                    accumulate(&mut grads, a.0, da);
+                }
+                Op::Sigmoid(a) => {
+                    let yv = &self.nodes[i].value;
+                    let da = map_grad(&g, yv, |y| y * (1.0 - y));
+                    accumulate(&mut grads, a.0, da);
+                }
+                Op::LayerNorm { x, gamma, beta, eps } => {
+                    let xv = &self.nodes[x.0].value;
+                    let gv = &self.nodes[gamma.0].value;
+                    let d = xv.cols();
+                    let mut dx = Matrix::zeros(xv.rows(), d);
+                    let mut dgamma = Matrix::zeros(1, d);
+                    let mut dbeta = Matrix::zeros(1, d);
+                    for r in 0..xv.rows() {
+                        let row = xv.row(r);
+                        let mean = row.iter().sum::<f64>() / d as f64;
+                        let var =
+                            row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / d as f64;
+                        let inv = 1.0 / (var + eps).sqrt();
+                        let xhat: Vec<f64> = row.iter().map(|v| (v - mean) * inv).collect();
+                        let grow = g.row(r);
+                        let mut sum_dxhat = 0.0;
+                        let mut sum_dxhat_xhat = 0.0;
+                        let mut dxhat = vec![0.0; d];
+                        for j in 0..d {
+                            dgamma.add_at(0, j, grow[j] * xhat[j]);
+                            dbeta.add_at(0, j, grow[j]);
+                            dxhat[j] = grow[j] * gv.get(0, j);
+                            sum_dxhat += dxhat[j];
+                            sum_dxhat_xhat += dxhat[j] * xhat[j];
+                        }
+                        for j in 0..d {
+                            let v = inv
+                                * (dxhat[j]
+                                    - sum_dxhat / d as f64
+                                    - xhat[j] * sum_dxhat_xhat / d as f64);
+                            dx.set(r, j, v);
+                        }
+                    }
+                    accumulate(&mut grads, x.0, dx);
+                    accumulate(&mut grads, gamma.0, dgamma);
+                    accumulate(&mut grads, beta.0, dbeta);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut col0 = 0;
+                    for p in parts {
+                        let pv = &self.nodes[p.0].value;
+                        let mut dp = Matrix::zeros(pv.rows(), pv.cols());
+                        for r in 0..pv.rows() {
+                            for c in 0..pv.cols() {
+                                dp.set(r, c, g.get(r, col0 + c));
+                            }
+                        }
+                        col0 += pv.cols();
+                        accumulate(&mut grads, p.0, dp);
+                    }
+                }
+                Op::GatherRows { x, idx } => {
+                    let xv = &self.nodes[x.0].value;
+                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
+                    for (r, &src) in idx.iter().enumerate() {
+                        let grow: Vec<f64> = g.row(r).to_vec();
+                        for (o, v) in dx.row_mut(src).iter_mut().zip(grow) {
+                            *o += v;
+                        }
+                    }
+                    accumulate(&mut grads, x.0, dx);
+                }
+                Op::ScatterAddRows { x, idx, .. } => {
+                    let xv = &self.nodes[x.0].value;
+                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
+                    for (r, &dst) in idx.iter().enumerate() {
+                        dx.row_mut(r).copy_from_slice(g.row(dst));
+                    }
+                    accumulate(&mut grads, x.0, dx);
+                }
+                Op::SegmentSoftmax { x, seg, n_seg } => {
+                    let yv = &self.nodes[i].value;
+                    // d x_i = y_i (g_i − Σ_{j ∈ seg(i)} y_j g_j)
+                    let mut seg_dot = vec![0.0; n_seg];
+                    for (r, &s) in seg.iter().enumerate() {
+                        seg_dot[s] += yv.get(r, 0) * g.get(r, 0);
+                    }
+                    let mut dx = Matrix::zeros(yv.rows(), 1);
+                    for (r, &s) in seg.iter().enumerate() {
+                        dx.set(r, 0, yv.get(r, 0) * (g.get(r, 0) - seg_dot[s]));
+                    }
+                    accumulate(&mut grads, x.0, dx);
+                }
+                Op::SegmentMean { x, seg, n_seg } => {
+                    let xv = &self.nodes[x.0].value;
+                    let mut counts = vec![0usize; n_seg];
+                    for &s in seg.iter() {
+                        counts[s] += 1;
+                    }
+                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
+                    for (r, &s) in seg.iter().enumerate() {
+                        let c = counts[s] as f64;
+                        let grow: Vec<f64> = g.row(s).to_vec();
+                        for (o, v) in dx.row_mut(r).iter_mut().zip(grow) {
+                            *o = v / c;
+                        }
+                    }
+                    accumulate(&mut grads, x.0, dx);
+                }
+                Op::SpMm { a_t, x, .. } => {
+                    // dX = Aᵀ · G
+                    let mut dx = Matrix::zeros(a_t.rows(), g.cols());
+                    for r in 0..a_t.rows() {
+                        for (j, w) in a_t.row_entries(r) {
+                            let grow: Vec<f64> = g.row(j).to_vec();
+                            for (o, v) in dx.row_mut(r).iter_mut().zip(grow) {
+                                *o += w * v;
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, x.0, dx);
+                }
+                Op::MeanRows(x) => {
+                    let xv = &self.nodes[x.0].value;
+                    let n = xv.rows().max(1) as f64;
+                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
+                    for r in 0..xv.rows() {
+                        let grow: Vec<f64> = g.row(0).to_vec();
+                        for (o, v) in dx.row_mut(r).iter_mut().zip(grow) {
+                            *o = v / n;
+                        }
+                    }
+                    accumulate(&mut grads, x.0, dx);
+                }
+                Op::MseLoss(pred, target) => {
+                    let (pv, tv) = (&self.nodes[pred.0].value, &self.nodes[target.0].value);
+                    let n = (pv.rows() * pv.cols()) as f64;
+                    let scale = 2.0 * g.get(0, 0) / n;
+                    let dp_data: Vec<f64> = pv
+                        .as_slice()
+                        .iter()
+                        .zip(tv.as_slice())
+                        .map(|(p, t)| scale * (p - t))
+                        .collect();
+                    let dp = Matrix::from_vec(pv.rows(), pv.cols(), dp_data);
+                    let mut dt = dp.clone();
+                    dt.scale(-1.0);
+                    accumulate(&mut grads, pred.0, dp);
+                    accumulate(&mut grads, target.0, dt);
+                }
+                Op::HuberLoss(pred, target, delta) => {
+                    let (pv, tv) = (&self.nodes[pred.0].value, &self.nodes[target.0].value);
+                    let n = (pv.rows() * pv.cols()) as f64;
+                    let scale = g.get(0, 0) / n;
+                    let dp_data: Vec<f64> = pv
+                        .as_slice()
+                        .iter()
+                        .zip(tv.as_slice())
+                        .map(|(p, t)| {
+                            let e = p - t;
+                            scale * if e.abs() <= delta { e } else { delta * e.signum() }
+                        })
+                        .collect();
+                    let dp = Matrix::from_vec(pv.rows(), pv.cols(), dp_data);
+                    let mut dt = dp.clone();
+                    dt.scale(-1.0);
+                    accumulate(&mut grads, pred.0, dp);
+                    accumulate(&mut grads, target.0, dt);
+                }
+            }
+        }
+    }
+}
+
+fn segment_softmax_forward(x: &Matrix, seg: &[usize], n_seg: usize) -> Matrix {
+    let mut seg_max = vec![f64::NEG_INFINITY; n_seg];
+    for (r, &s) in seg.iter().enumerate() {
+        assert!(s < n_seg, "segment id {s} out of {n_seg}");
+        seg_max[s] = seg_max[s].max(x.get(r, 0));
+    }
+    let mut seg_sum = vec![0.0; n_seg];
+    let mut exps = vec![0.0; seg.len()];
+    for (r, &s) in seg.iter().enumerate() {
+        let e = (x.get(r, 0) - seg_max[s]).exp();
+        exps[r] = e;
+        seg_sum[s] += e;
+    }
+    let data: Vec<f64> = seg
+        .iter()
+        .enumerate()
+        .map(|(r, &s)| exps[r] / seg_sum[s].max(1e-300))
+        .collect();
+    Matrix::from_vec(seg.len(), 1, data)
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], idx: usize, g: Matrix) {
+    match &mut grads[idx] {
+        Some(existing) => {
+            for (e, n) in existing.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                *e += n;
+            }
+        }
+        slot => *slot = Some(g),
+    }
+}
+
+fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x * y)
+        .collect();
+    Matrix::from_vec(a.rows(), a.cols(), data)
+}
+
+fn map_grad(g: &Matrix, basis: &Matrix, f: impl Fn(f64) -> f64) -> Matrix {
+    let data = g
+        .as_slice()
+        .iter()
+        .zip(basis.as_slice())
+        .map(|(gv, bv)| gv * f(*bv))
+        .collect();
+    Matrix::from_vec(g.rows(), g.cols(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stco_numerics::rng::Xorshift;
+
+    /// Central finite-difference check of d loss / d param against the
+    /// tape's analytic gradient for an arbitrary scalar-valued builder.
+    fn grad_check<F>(params: &mut Params, ids: &[ParamId], build: F)
+    where
+        F: Fn(&mut Graph, &Params) -> NodeId,
+    {
+        let mut g = Graph::new();
+        let loss = build(&mut g, params);
+        params.zero_grads();
+        g.backward(loss, params);
+        let analytic: Vec<Matrix> = ids.iter().map(|&id| params.grad(id).clone()).collect();
+
+        let h = 1e-6;
+        for (k, &id) in ids.iter().enumerate() {
+            let (rows, cols) = {
+                let m = params.value(id);
+                (m.rows(), m.cols())
+            };
+            for r in 0..rows {
+                for c in 0..cols {
+                    let orig = params.value(id).get(r, c);
+                    params.value_mut(id).set(r, c, orig + h);
+                    let mut gp = Graph::new();
+                    let lp = build(&mut gp, params);
+                    let fp = gp.value(lp).get(0, 0);
+                    params.value_mut(id).set(r, c, orig - h);
+                    let mut gm = Graph::new();
+                    let lm = build(&mut gm, params);
+                    let fm = gm.value(lm).get(0, 0);
+                    params.value_mut(id).set(r, c, orig);
+                    let numeric = (fp - fm) / (2.0 * h);
+                    let a = analytic[k].get(r, c);
+                    let denom = a.abs().max(numeric.abs()).max(1e-6);
+                    assert!(
+                        (a - numeric).abs() / denom < 1e-4,
+                        "param {k} ({r},{c}): analytic {a} vs numeric {numeric}"
+                    );
+                }
+            }
+        }
+    }
+
+    fn random_matrix(rng: &mut Xorshift, rows: usize, cols: usize) -> Matrix {
+        let data = (0..rows * cols).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn grad_matmul_add_relu() {
+        let mut rng = Xorshift::new(1);
+        let mut params = Params::new(2);
+        let w = params.glorot(3, 2);
+        let b = params.zeros(1, 2);
+        let x = random_matrix(&mut rng, 4, 3);
+        let t = random_matrix(&mut rng, 4, 2);
+        grad_check(&mut params, &[w, b], |g, p| {
+            let xi = g.input(x.clone());
+            let ti = g.input(t.clone());
+            let wi = g.param(p, w);
+            let bi = g.param(p, b);
+            let h = g.matmul(xi, wi);
+            let h = g.add_row_broadcast(h, bi);
+            let h = g.relu(h);
+            g.mse_loss(h, ti)
+        });
+    }
+
+    #[test]
+    fn grad_activations() {
+        let mut rng = Xorshift::new(3);
+        let mut params = Params::new(4);
+        let w = params.glorot(2, 2);
+        let x = random_matrix(&mut rng, 3, 2);
+        let t = random_matrix(&mut rng, 3, 2);
+        for act in 0..4 {
+            grad_check(&mut params, &[w], |g, p| {
+                let xi = g.input(x.clone());
+                let ti = g.input(t.clone());
+                let wi = g.param(p, w);
+                let h = g.matmul(xi, wi);
+                let h = match act {
+                    0 => g.leaky_relu(h, 0.2),
+                    1 => g.elu(h, 1.0),
+                    2 => g.tanh_act(h),
+                    _ => g.sigmoid(h),
+                };
+                g.mse_loss(h, ti)
+            });
+        }
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        let mut rng = Xorshift::new(5);
+        let mut params = Params::new(6);
+        let w = params.glorot(3, 4);
+        let gamma = params.full(1, 4, 1.0);
+        let beta = params.zeros(1, 4);
+        let x = random_matrix(&mut rng, 5, 3);
+        let t = random_matrix(&mut rng, 5, 4);
+        grad_check(&mut params, &[w, gamma, beta], |g, p| {
+            let xi = g.input(x.clone());
+            let ti = g.input(t.clone());
+            let wi = g.param(p, w);
+            let gi = g.param(p, gamma);
+            let bi = g.param(p, beta);
+            let h = g.matmul(xi, wi);
+            let h = g.layer_norm(h, gi, bi);
+            g.mse_loss(h, ti)
+        });
+    }
+
+    #[test]
+    fn grad_gather_scatter() {
+        let mut rng = Xorshift::new(7);
+        let mut params = Params::new(8);
+        let w = params.glorot(3, 3);
+        let x = random_matrix(&mut rng, 4, 3);
+        let t = random_matrix(&mut rng, 4, 3);
+        let idx = Rc::new(vec![0usize, 2, 2, 3, 1]);
+        grad_check(&mut params, &[w], |g, p| {
+            let xi = g.input(x.clone());
+            let ti = g.input(t.clone());
+            let wi = g.param(p, w);
+            let h = g.matmul(xi, wi);
+            let gat = g.gather_rows(h, Rc::clone(&idx));
+            let back = g.scatter_add_rows(gat, Rc::clone(&idx), 4);
+            g.mse_loss(back, ti)
+        });
+    }
+
+    #[test]
+    fn grad_segment_softmax_attention() {
+        let mut rng = Xorshift::new(9);
+        let mut params = Params::new(10);
+        let w = params.glorot(2, 1);
+        let x = random_matrix(&mut rng, 6, 2);
+        let msg = random_matrix(&mut rng, 6, 3);
+        let t = random_matrix(&mut rng, 3, 3);
+        let seg = Rc::new(vec![0usize, 0, 1, 1, 2, 2]);
+        grad_check(&mut params, &[w], |g, p| {
+            let xi = g.input(x.clone());
+            let mi = g.input(msg.clone());
+            let ti = g.input(t.clone());
+            let wi = g.param(p, w);
+            let scores = g.matmul(xi, wi);
+            let alpha = g.segment_softmax(scores, Rc::clone(&seg), 3);
+            let weighted = g.mul_col_broadcast(mi, alpha);
+            let agg = g.scatter_add_rows(weighted, Rc::clone(&seg), 3);
+            g.mse_loss(agg, ti)
+        });
+    }
+
+    #[test]
+    fn grad_segment_mean_readout() {
+        let mut rng = Xorshift::new(11);
+        let mut params = Params::new(12);
+        let w = params.glorot(2, 3);
+        let x = random_matrix(&mut rng, 5, 2);
+        let t = random_matrix(&mut rng, 2, 3);
+        let seg = Rc::new(vec![0usize, 0, 0, 1, 1]);
+        grad_check(&mut params, &[w], |g, p| {
+            let xi = g.input(x.clone());
+            let ti = g.input(t.clone());
+            let wi = g.param(p, w);
+            let h = g.matmul(xi, wi);
+            let pooled = g.segment_mean(h, Rc::clone(&seg), 2);
+            g.mse_loss(pooled, ti)
+        });
+    }
+
+    #[test]
+    fn grad_spmm() {
+        let mut rng = Xorshift::new(13);
+        let mut params = Params::new(14);
+        let w = params.glorot(2, 2);
+        let x = random_matrix(&mut rng, 4, 2);
+        let t = random_matrix(&mut rng, 4, 2);
+        let adj = Rc::new(CsrMatrix::from_triplets(
+            4,
+            4,
+            &[
+                (0, 0, 0.5),
+                (0, 1, 0.5),
+                (1, 0, 0.3),
+                (1, 1, 0.7),
+                (2, 2, 1.0),
+                (3, 2, 0.4),
+                (3, 3, 0.6),
+            ],
+        ));
+        grad_check(&mut params, &[w], |g, p| {
+            let xi = g.input(x.clone());
+            let ti = g.input(t.clone());
+            let wi = g.param(p, w);
+            let h = g.matmul(xi, wi);
+            let agg = g.spmm(Rc::clone(&adj), h);
+            g.mse_loss(agg, ti)
+        });
+    }
+
+    #[test]
+    fn grad_concat_mul_scale_sub() {
+        let mut rng = Xorshift::new(15);
+        let mut params = Params::new(16);
+        let w1 = params.glorot(2, 2);
+        let w2 = params.glorot(2, 2);
+        let x = random_matrix(&mut rng, 3, 2);
+        let t = random_matrix(&mut rng, 3, 4);
+        grad_check(&mut params, &[w1, w2], |g, p| {
+            let xi = g.input(x.clone());
+            let ti = g.input(t.clone());
+            let a = g.param(p, w1);
+            let b = g.param(p, w2);
+            let ha = g.matmul(xi, a);
+            let hb = g.matmul(xi, b);
+            let prod = g.mul(ha, hb);
+            let diff = g.sub(ha, hb);
+            let scaled = g.scale(diff, 0.7);
+            let cat = g.concat_cols(&[prod, scaled]);
+            g.mse_loss(cat, ti)
+        });
+    }
+
+    #[test]
+    fn grad_huber_and_mean_rows() {
+        let mut rng = Xorshift::new(17);
+        let mut params = Params::new(18);
+        let w = params.glorot(2, 3);
+        let x = random_matrix(&mut rng, 6, 2);
+        let t = random_matrix(&mut rng, 1, 3);
+        grad_check(&mut params, &[w], |g, p| {
+            let xi = g.input(x.clone());
+            let ti = g.input(t.clone());
+            let wi = g.param(p, w);
+            let h = g.matmul(xi, wi);
+            let pooled = g.mean_rows(h);
+            g.huber_loss(pooled, ti, 0.4)
+        });
+    }
+
+    #[test]
+    fn segment_softmax_sums_to_one() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_vec(5, 1, vec![1.0, -2.0, 0.5, 3.0, 3.0]));
+        let seg = Rc::new(vec![0usize, 0, 0, 1, 1]);
+        let sm = g.segment_softmax(x, seg, 2);
+        let v = g.value(sm);
+        let s0 = v.get(0, 0) + v.get(1, 0) + v.get(2, 0);
+        let s1 = v.get(3, 0) + v.get(4, 0);
+        assert!((s0 - 1.0).abs() < 1e-12);
+        assert!((s1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_softmax_is_stable_for_large_scores() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_vec(2, 1, vec![1000.0, 999.0]));
+        let sm = g.segment_softmax(x, Rc::new(vec![0, 0]), 1);
+        let v = g.value(sm);
+        assert!(v.get(0, 0).is_finite());
+        assert!((v.get(0, 0) + v.get(1, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_accumulates_across_shared_use() {
+        // A param used twice must receive the sum of both paths' grads.
+        let mut params = Params::new(20);
+        let w = params.glorot(1, 1);
+        params.value_mut(w).set(0, 0, 3.0);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_vec(1, 1, vec![1.0]));
+        let t = g.input(Matrix::from_vec(1, 1, vec![0.0]));
+        let wi = g.param(&params, w);
+        let h1 = g.matmul(x, wi);
+        let h2 = g.mul(h1, wi); // w² — w used twice
+        let loss = g.mse_loss(h2, t);
+        params.zero_grads();
+        g.backward(loss, &mut params);
+        // loss = w⁴, d/dw = 4w³ = 108.
+        assert!((params.grad(w).get(0, 0) - 108.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,489 @@
+//! Dense row-major matrices and the vector helpers the rest of the
+//! workspace leans on.
+//!
+//! [`Matrix`] is deliberately simple: a `Vec<f64>` with a shape. The SPICE
+//! engine factors MNA systems of at most a few hundred unknowns, and the
+//! neural-network crate multiplies feature matrices of a few thousand rows,
+//! so a cache-friendly row-major layout with straightforward loops is both
+//! sufficient and easy to audit.
+
+use crate::{NumericsError, Result};
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use stco_numerics::dense::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = a.matmul(&a);
+/// assert_eq!(b.get(0, 0), 7.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix filled with a constant value.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must match shape");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its row-major storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns element `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets element `(i, j)` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = value;
+    }
+
+    /// Adds `value` to element `(i, j)`; the idiom every MNA stamp uses.
+    #[inline]
+    pub fn add_at(&mut self, i: usize, j: usize, value: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] += value;
+    }
+
+    /// Borrow of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // ikj loop order keeps the inner loop contiguous in both operands.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, r) in orow.iter_mut().zip(rrow.iter()) {
+                    *o += a * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec shape mismatch");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            out[i] = dot(self.row(i), x);
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// In-place scaling by a scalar.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Elementwise sum of two equally-shaped matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Solves `self · x = b` by LU factorization with partial pivoting.
+    ///
+    /// The receiver is copied; use [`Matrix::lu_factor`] to reuse a
+    /// factorization across multiple right-hand sides (the SPICE transient
+    /// loop does this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::SingularMatrix`] if a pivot underflows, and
+    /// [`NumericsError::ShapeMismatch`] if `b.len() != self.rows()` or the
+    /// matrix is not square.
+    pub fn lu_solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let lu = self.lu_factor()?;
+        lu.solve(b)
+    }
+
+    /// Computes an LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::ShapeMismatch`] if the matrix is not square
+    /// and [`NumericsError::SingularMatrix`] on pivot breakdown.
+    pub fn lu_factor(&self) -> Result<LuFactors> {
+        if self.rows != self.cols {
+            return Err(NumericsError::ShapeMismatch {
+                context: format!("LU of non-square {}x{} matrix", self.rows, self.cols),
+            });
+        }
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivoting: find the largest magnitude in column k.
+            let mut p = k;
+            let mut max = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < 1e-300 {
+                return Err(NumericsError::SingularMatrix { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+                perm.swap(k, p);
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                for j in (k + 1)..n {
+                    lu[i * n + j] -= factor * lu[k * n + j];
+                }
+            }
+        }
+        Ok(LuFactors { n, lu, perm })
+    }
+}
+
+/// An LU factorization with partial pivoting, reusable across right-hand
+/// sides.
+///
+/// # Example
+///
+/// ```
+/// use stco_numerics::dense::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let lu = a.lu_factor().expect("nonsingular");
+/// let x = lu.solve(&[3.0, 5.0]).expect("solve");
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n {
+            return Err(NumericsError::ShapeMismatch {
+                context: format!("rhs length {} vs system dim {}", b.len(), self.n),
+            });
+        }
+        let n = self.n;
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit-diagonal L.
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = s;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = s / self.lu[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Infinity norm (largest absolute entry) of a slice.
+#[inline]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// `y ← y + alpha * x` for equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::identity(4);
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        let x = a.lu_solve(&b).unwrap();
+        for (xi, bi) in x.iter().zip(b.iter()) {
+            assert!((xi - bi).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn lu_solve_matches_known_solution() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let x = a.lu_solve(&[8.0, -11.0, -3.0]).unwrap();
+        let expected = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(expected.iter()) {
+            assert!((xi - ei).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn lu_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.lu_solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        match a.lu_solve(&[1.0, 2.0]) {
+            Err(NumericsError::SingularMatrix { .. }) => {}
+            other => panic!("expected singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_square_lu_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.lu_factor(),
+            Err(NumericsError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_against_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c.get(0, 0), 58.0);
+        assert_eq!(c.get(0, 1), 64.0);
+        assert_eq!(c.get(1, 0), 139.0);
+        assert_eq!(c.get(1, 1), 154.0);
+    }
+
+    #[test]
+    fn matvec_matches_matmul_with_column() {
+        let a = Matrix::from_rows(&[&[1.0, -1.0], &[2.0, 0.5]]);
+        let y = a.matvec(&[3.0, 4.0]);
+        assert_eq!(y, vec![-1.0, 8.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn lu_factors_reusable_across_rhs() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let lu = a.lu_factor().unwrap();
+        for b in [[1.0, 0.0], [0.0, 1.0], [5.0, -2.0]] {
+            let x = lu.solve(&b).unwrap();
+            let r0 = 4.0 * x[0] + x[1] - b[0];
+            let r1 = x[0] + 3.0 * x[1] - b[1];
+            assert!(r0.abs() < 1e-12 && r1.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+}

@@ -1,0 +1,422 @@
+//! Nonlinear solvers: damped Newton for square systems and
+//! Levenberg–Marquardt for least-squares parameter extraction.
+//!
+//! The TCAD Poisson solver drives [`newton`] with an analytic sparse
+//! Jacobian; the compact-model extractor drives [`levenberg_marquardt`]
+//! with finite-difference Jacobians over a handful of parameters.
+
+use crate::dense::{norm2, norm_inf, Matrix};
+use crate::{NumericsError, Result};
+
+/// Options for the damped Newton iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonOptions {
+    /// Stop when the residual infinity-norm falls below this.
+    pub residual_tol: f64,
+    /// Stop when the update infinity-norm falls below this.
+    pub step_tol: f64,
+    /// Maximum Newton iterations.
+    pub max_iter: usize,
+    /// Maximum damping halvings per iteration.
+    pub max_backtracks: usize,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            residual_tol: 1e-10,
+            step_tol: 1e-12,
+            max_iter: 100,
+            max_backtracks: 20,
+        }
+    }
+}
+
+/// Result of a converged Newton solve.
+#[derive(Debug, Clone)]
+pub struct NewtonSolution {
+    /// The converged state vector.
+    pub x: Vec<f64>,
+    /// Newton iterations consumed.
+    pub iterations: usize,
+    /// Final residual infinity-norm.
+    pub residual: f64,
+}
+
+/// Damped Newton iteration on `F(x) = 0`.
+///
+/// `system` must, given a state `x`, return the residual `F(x)` and solve
+/// the linearized update `J(x) · dx = F(x)`, returning `dx`. Pushing the
+/// linear solve into the callback lets the TCAD crate keep its sparse
+/// Jacobian assembly and Krylov solve fused, while tests can use dense LU.
+///
+/// Damping: the full step is halved until the residual norm decreases (or
+/// `max_backtracks` is hit, in which case the last trial step is accepted —
+/// Poisson problems occasionally need to climb before converging).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::NoConvergence`] if the tolerances are not met
+/// within `opts.max_iter` iterations, or propagates errors from `system`.
+pub fn newton<F>(x0: Vec<f64>, opts: &NewtonOptions, mut system: F) -> Result<NewtonSolution>
+where
+    F: FnMut(&[f64]) -> Result<(Vec<f64>, Vec<f64>)>,
+{
+    let mut x = x0;
+    let (mut residual, mut dx) = system(&x)?;
+    let mut rnorm = norm_inf(&residual);
+    for it in 1..=opts.max_iter {
+        if rnorm <= opts.residual_tol {
+            return Ok(NewtonSolution {
+                x,
+                iterations: it - 1,
+                residual: rnorm,
+            });
+        }
+        // Try the full step, then halve while the residual grows.
+        let mut lambda = 1.0;
+        let mut accepted = None;
+        for _ in 0..=opts.max_backtracks {
+            let trial: Vec<f64> = x
+                .iter()
+                .zip(dx.iter())
+                .map(|(xi, di)| xi - lambda * di)
+                .collect();
+            let (trial_res, trial_dx) = system(&trial)?;
+            let trial_norm = norm_inf(&trial_res);
+            if trial_norm < rnorm || lambda <= 1.0 / (1 << opts.max_backtracks) as f64 {
+                accepted = Some((trial, trial_res, trial_dx, trial_norm));
+                break;
+            }
+            lambda *= 0.5;
+        }
+        let (nx, nres, ndx, nnorm) =
+            accepted.expect("loop always breaks with an accepted candidate");
+        let step = norm_inf(&dx) * lambda;
+        x = nx;
+        residual = nres;
+        dx = ndx;
+        rnorm = nnorm;
+        if rnorm <= opts.residual_tol || step <= opts.step_tol {
+            return Ok(NewtonSolution {
+                x,
+                iterations: it,
+                residual: rnorm,
+            });
+        }
+    }
+    if rnorm <= opts.residual_tol * 10.0 {
+        // Near-converged: accept with the achieved residual. The TCAD bias
+        // continuation relies on this leniency at extreme corners.
+        return Ok(NewtonSolution {
+            x,
+            iterations: opts.max_iter,
+            residual: rnorm,
+        });
+    }
+    let _ = residual;
+    Err(NumericsError::NoConvergence {
+        iterations: opts.max_iter,
+        residual: rnorm,
+    })
+}
+
+/// Options for Levenberg–Marquardt.
+#[derive(Debug, Clone, Copy)]
+pub struct LmOptions {
+    /// Maximum LM iterations.
+    pub max_iter: usize,
+    /// Stop when the relative reduction of the cost falls below this.
+    pub cost_tol: f64,
+    /// Initial damping parameter.
+    pub lambda0: f64,
+    /// Relative step used for forward-difference Jacobians.
+    pub fd_step: f64,
+}
+
+impl Default for LmOptions {
+    fn default() -> Self {
+        LmOptions {
+            max_iter: 200,
+            cost_tol: 1e-12,
+            lambda0: 1e-3,
+            fd_step: 1e-6,
+        }
+    }
+}
+
+/// Result of a Levenberg–Marquardt fit.
+#[derive(Debug, Clone)]
+pub struct LmSolution {
+    /// Fitted parameter vector.
+    pub params: Vec<f64>,
+    /// Final cost `0.5 · ‖r‖²`.
+    pub cost: f64,
+    /// Iterations consumed.
+    pub iterations: usize,
+}
+
+/// Levenberg–Marquardt least squares: minimizes `0.5‖r(p)‖²` over `p`.
+///
+/// `residuals(p)` returns the residual vector; the Jacobian is estimated by
+/// forward differences (the compact model has 3–5 parameters, so this costs
+/// only a few extra evaluations per iteration). Parameters can be bounded
+/// with `lower`/`upper` (clamped after each step).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] if the bounds are malformed
+/// and [`NumericsError::NoConvergence`] if no damping value yields progress.
+pub fn levenberg_marquardt<F>(
+    p0: Vec<f64>,
+    lower: &[f64],
+    upper: &[f64],
+    opts: &LmOptions,
+    mut residuals: F,
+) -> Result<LmSolution>
+where
+    F: FnMut(&[f64]) -> Vec<f64>,
+{
+    let np = p0.len();
+    if lower.len() != np || upper.len() != np {
+        return Err(NumericsError::InvalidArgument {
+            context: "bounds must match parameter count".into(),
+        });
+    }
+    if lower.iter().zip(upper).any(|(l, u)| l > u) {
+        return Err(NumericsError::InvalidArgument {
+            context: "lower bound exceeds upper bound".into(),
+        });
+    }
+    let clamp = |p: &mut [f64]| {
+        for ((pi, &l), &u) in p.iter_mut().zip(lower).zip(upper) {
+            *pi = pi.clamp(l, u);
+        }
+    };
+
+    let mut p = p0;
+    clamp(&mut p);
+    let mut r = residuals(&p);
+    let m = r.len();
+    let mut cost = 0.5 * norm2(&r).powi(2);
+    let mut lambda = opts.lambda0;
+
+    for it in 1..=opts.max_iter {
+        // Forward-difference Jacobian: J[i][j] = d r_i / d p_j.
+        let mut jac = Matrix::zeros(m, np);
+        for j in 0..np {
+            let h = opts.fd_step * p[j].abs().max(1e-8);
+            let mut pp = p.clone();
+            pp[j] = (pp[j] + h).min(upper[j]);
+            let actual_h = pp[j] - p[j];
+            let rp = if actual_h.abs() < 1e-300 {
+                // At the upper bound: step backwards instead.
+                let mut pm = p.clone();
+                pm[j] = (pm[j] - h).max(lower[j]);
+                let hb = p[j] - pm[j];
+                let rm = residuals(&pm);
+                for i in 0..m {
+                    jac.set(i, j, (r[i] - rm[i]) / hb.max(1e-300));
+                }
+                continue;
+            } else {
+                residuals(&pp)
+            };
+            for i in 0..m {
+                jac.set(i, j, (rp[i] - r[i]) / actual_h);
+            }
+        }
+        // Normal equations with LM damping: (JᵀJ + λ diag(JᵀJ)) dp = -Jᵀ r.
+        let jt = jac.transpose();
+        let jtj = jt.matmul(&jac);
+        let jtr = jt.matvec(&r);
+        let mut improved = false;
+        for _ in 0..12 {
+            let mut a = jtj.clone();
+            for d in 0..np {
+                let diag = jtj.get(d, d).max(1e-12);
+                a.add_at(d, d, lambda * diag);
+            }
+            let neg_jtr: Vec<f64> = jtr.iter().map(|v| -v).collect();
+            let dp = match a.lu_solve(&neg_jtr) {
+                Ok(dp) => dp,
+                Err(_) => {
+                    lambda *= 10.0;
+                    continue;
+                }
+            };
+            let mut trial = p.clone();
+            for (ti, di) in trial.iter_mut().zip(&dp) {
+                *ti += di;
+            }
+            clamp(&mut trial);
+            let tr = residuals(&trial);
+            let tcost = 0.5 * norm2(&tr).powi(2);
+            if tcost < cost {
+                let rel = (cost - tcost) / cost.max(1e-300);
+                p = trial;
+                r = tr;
+                cost = tcost;
+                lambda = (lambda * 0.3).max(1e-12);
+                improved = true;
+                if rel < opts.cost_tol {
+                    return Ok(LmSolution {
+                        params: p,
+                        cost,
+                        iterations: it,
+                    });
+                }
+                break;
+            }
+            lambda *= 10.0;
+        }
+        if !improved {
+            // Stalled: current point is the (local) optimum at this damping.
+            return Ok(LmSolution {
+                params: p,
+                cost,
+                iterations: it,
+            });
+        }
+    }
+    Ok(LmSolution {
+        params: p,
+        cost,
+        iterations: opts.max_iter,
+    })
+}
+
+/// Scalar bisection on a monotone predicate: returns the smallest `x` in
+/// `[lo, hi]` (to within `tol`) where `pred(x)` is `true`.
+///
+/// The cell characterizer uses this for minimum setup/hold/pulse-width
+/// searches, where `pred` is "the flip-flop still captures correctly".
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] if `pred(hi)` is `false`
+/// (no passing point in range) — the interval must bracket the threshold.
+pub fn bisect_threshold<F>(lo: f64, hi: f64, tol: f64, mut pred: F) -> Result<f64>
+where
+    F: FnMut(f64) -> bool,
+{
+    if !pred(hi) {
+        return Err(NumericsError::InvalidArgument {
+            context: format!("predicate false at upper bracket {hi}"),
+        });
+    }
+    if pred(lo) {
+        return Ok(lo);
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if pred(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Matrix;
+
+    #[test]
+    fn newton_solves_scalar_quadratic() {
+        // F(x) = x² - 4, root at 2.
+        let sol = newton(vec![3.0], &NewtonOptions::default(), |x| {
+            let f = x[0] * x[0] - 4.0;
+            let j = 2.0 * x[0];
+            Ok((vec![f], vec![f / j]))
+        })
+        .unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn newton_solves_coupled_system() {
+        // x² + y² = 5, x·y = 2 → (2, 1).
+        let sol = newton(vec![2.5, 0.5], &NewtonOptions::default(), |v| {
+            let (x, y) = (v[0], v[1]);
+            let f = vec![x * x + y * y - 5.0, x * y - 2.0];
+            let j = Matrix::from_rows(&[&[2.0 * x, 2.0 * y], &[y, x]]);
+            let dx = j.lu_solve(&f)?;
+            Ok((f, dx))
+        })
+        .unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-8, "{:?}", sol.x);
+        assert!((sol.x[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn newton_damping_rescues_overshoot() {
+        // atan has a tiny derivative far out; undamped Newton diverges from 4.
+        let sol = newton(vec![4.0], &NewtonOptions::default(), |x| {
+            let f = x[0].atan();
+            let j = 1.0 / (1.0 + x[0] * x[0]);
+            Ok((vec![f], vec![f / j]))
+        })
+        .unwrap();
+        assert!(sol.x[0].abs() < 1e-6, "{}", sol.x[0]);
+    }
+
+    #[test]
+    fn lm_fits_exponential_decay() {
+        // y = a · exp(-b t) with a=2, b=0.5.
+        let ts: Vec<f64> = (0..20).map(|i| i as f64 * 0.3).collect();
+        let ys: Vec<f64> = ts.iter().map(|t| 2.0 * (-0.5 * t).exp()).collect();
+        let sol = levenberg_marquardt(
+            vec![1.0, 1.0],
+            &[0.01, 0.01],
+            &[10.0, 10.0],
+            &LmOptions::default(),
+            |p| {
+                ts.iter()
+                    .zip(&ys)
+                    .map(|(t, y)| p[0] * (-p[1] * t).exp() - y)
+                    .collect()
+            },
+        )
+        .unwrap();
+        assert!((sol.params[0] - 2.0).abs() < 1e-4, "{:?}", sol.params);
+        assert!((sol.params[1] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lm_respects_bounds() {
+        // Unconstrained optimum at p = -1; bound at 0.
+        let sol = levenberg_marquardt(
+            vec![2.0],
+            &[0.0],
+            &[5.0],
+            &LmOptions::default(),
+            |p| vec![p[0] + 1.0],
+        )
+        .unwrap();
+        assert!(sol.params[0] >= 0.0);
+        assert!(sol.params[0] < 1e-6, "{:?}", sol.params);
+    }
+
+    #[test]
+    fn lm_rejects_bad_bounds() {
+        let r = levenberg_marquardt(vec![0.0], &[1.0], &[0.0], &LmOptions::default(), |_| {
+            vec![0.0]
+        });
+        assert!(matches!(r, Err(NumericsError::InvalidArgument { .. })));
+    }
+
+    #[test]
+    fn bisect_finds_threshold() {
+        let x = bisect_threshold(0.0, 10.0, 1e-9, |v| v >= std::f64::consts::PI).unwrap();
+        assert!((x - std::f64::consts::PI).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bisect_rejects_unbracketed() {
+        assert!(bisect_threshold(0.0, 1.0, 1e-6, |v| v > 2.0).is_err());
+    }
+}

@@ -1,0 +1,738 @@
+//! DC operating-point and transient analyses.
+//!
+//! Both analyses run damped Newton over the MNA system: nonlinear TFTs
+//! are linearized through their companion model (I_eq, g_m, g_ds) each
+//! iteration, node-voltage updates are clamped to ±0.5 V, and a small
+//! g-min ties every node to ground. DC falls back to source stepping when
+//! cold-start Newton fails; the backward-Euler transient halves its step
+//! on Newton failure (up to 10 times) before giving up.
+
+use crate::netlist::{Circuit, Element, MnaSystem, NodeId};
+use crate::{Result, SpiceError};
+
+/// Conductance from every node to ground, S (convergence aid). Public so
+/// measurement code can subtract the (artificial) g-min currents from
+/// supply-current readings — without the correction, g-min swamps the
+/// femto-ampere leakage of off TFTs.
+pub const GMIN: f64 = 1e-12;
+
+/// Maximum Newton iterations per solve.
+const MAX_NEWTON: usize = 900;
+
+/// Node-voltage update clamp per Newton iteration, V.
+const VOLTAGE_CLAMP: f64 = 0.3;
+
+/// Convergence threshold on the update infinity-norm. The TFT companion
+/// model uses central-difference derivatives, whose O(h²) inconsistency
+/// leaves a sub-µV limit cycle; 1 µV is far below any measured quantity
+/// (3 V swings, ns transitions).
+const UPDATE_TOL: f64 = 1e-6;
+
+/// Parasitic capacitance on every node during transient analysis, F.
+/// Represents junction/wiring parasitics; also regularizes the Newton
+/// iteration on otherwise capacitance-free interior stack nodes.
+const NODE_PARASITIC_CAP: f64 = 5.0e-17;
+
+/// A converged DC operating point.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    voltages: Vec<f64>,
+    branch_currents: Vec<f64>,
+}
+
+impl DcSolution {
+    /// Voltage of a node (ground reads 0).
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        if node == Circuit::GROUND {
+            0.0
+        } else {
+            self.voltages[node.0 - 1]
+        }
+    }
+
+    /// Current through voltage source `branch` (positive out of its +
+    /// terminal through the external circuit... i.e. the MNA branch
+    /// current, which flows + → − inside the source).
+    pub fn branch_current(&self, branch: usize) -> f64 {
+        self.branch_currents[branch]
+    }
+
+    /// All non-ground node voltages in node-index order (useful for
+    /// whole-circuit sums such as the g-min power correction).
+    pub fn node_voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+}
+
+/// A transient simulation trace.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    times: Vec<f64>,
+    /// Per-sample full state (node voltages then branch currents).
+    states: Vec<Vec<f64>>,
+    num_node_unknowns: usize,
+}
+
+impl TranResult {
+    /// Sample times, s.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Voltage trace of a node.
+    pub fn voltage_trace(&self, node: NodeId) -> Vec<f64> {
+        if node == Circuit::GROUND {
+            return vec![0.0; self.times.len()];
+        }
+        self.states.iter().map(|s| s[node.0 - 1]).collect()
+    }
+
+    /// Branch-current trace of a voltage source.
+    pub fn branch_current_trace(&self, branch: usize) -> Vec<f64> {
+        self.states
+            .iter()
+            .map(|s| s[self.num_node_unknowns + branch])
+            .collect()
+    }
+
+    /// Voltage of a node at the final time point.
+    pub fn final_voltage(&self, node: NodeId) -> f64 {
+        if node == Circuit::GROUND {
+            return 0.0;
+        }
+        self.states.last().map_or(0.0, |s| s[node.0 - 1])
+    }
+}
+
+/// Transient configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TranConfig {
+    /// Stop time, s.
+    pub t_stop: f64,
+    /// Nominal time step, s.
+    pub dt: f64,
+}
+
+/// Transient integration method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integration {
+    /// First-order implicit Euler: unconditionally stable, O(dt) error.
+    #[default]
+    BackwardEuler,
+    /// Second-order trapezoidal rule: O(dt²) error; the SPICE default.
+    Trapezoidal,
+}
+
+/// Everything the stamps need in a dynamic (time-stepping) solve.
+struct DynamicCtx<'a> {
+    /// Node voltages at the previous accepted time point.
+    prev_v: &'a [f64],
+    /// Step size, s.
+    dt: f64,
+    /// Integration method for the explicit capacitive elements.
+    method: Integration,
+    /// Per-capacitor currents at the previous time point (trapezoidal
+    /// state; indexed in [`Circuit::cap_list`] order). Empty slices read
+    /// as zero.
+    cap_currents: &'a [f64],
+}
+
+impl Circuit {
+    /// Solves the DC operating point (capacitors open, waveform DC
+    /// values), with source-stepping fallback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NoConvergence`] if Newton fails even with
+    /// stepping, or propagates LU failures.
+    pub fn dc_operating_point(&self) -> Result<DcSolution> {
+        let size = self.system_size();
+        let mut x = vec![0.0; size];
+        let direct = newton_solve(self, &mut x, 0.0, 1.0, None, 0.0);
+        if direct.is_err() {
+            // Source stepping: ramp all sources from 10 % to 100 %.
+            x = vec![0.0; size];
+            let mut stepped = Ok(());
+            for k in 1..=10 {
+                let scale = k as f64 / 10.0;
+                stepped = newton_solve(self, &mut x, 0.0, scale, None, 0.0);
+                if stepped.is_err() {
+                    break;
+                }
+            }
+            if stepped.is_err() {
+                // Pseudo-transient continuation: march backward-Euler with
+                // artificial node capacitors toward steady state, growing
+                // the step until the artificial conductance vanishes.
+                // Bulletproof for self-limiting device stacks that defeat
+                // damped Newton.
+                x = vec![0.0; size];
+                self.pseudo_transient_dc(&mut x)?;
+            }
+        }
+        let n = self.num_nodes() - 1;
+        Ok(DcSolution {
+            voltages: x[..n].to_vec(),
+            branch_currents: x[n..].to_vec(),
+        })
+    }
+
+    /// Pseudo-transient DC: BE steps with an artificial capacitance on
+    /// every node, step growing geometrically until the solution stops
+    /// moving and the artificial conductance is negligible.
+    fn pseudo_transient_dc(&self, x: &mut [f64]) -> Result<()> {
+        let n = self.num_nodes() - 1;
+        let c_art = 1.0e-12; // 1 pF on every node
+        let mut dt = 1.0e-9;
+        let mut last_residual = f64::INFINITY;
+        let mut failures = 0usize;
+        let mut step = 0usize;
+        while step < 160 {
+            step += 1;
+            let prev: Vec<f64> = x[..n].to_vec();
+            let g_art = c_art / dt;
+            let mut trial = x.to_vec();
+            let ctx = DynamicCtx {
+                prev_v: &prev,
+                dt,
+                method: Integration::BackwardEuler,
+                cap_currents: &[],
+            };
+            match newton_solve(self, &mut trial, 0.0, 1.0, Some(&ctx), g_art) {
+                Ok(()) => {
+                    x.copy_from_slice(&trial);
+                    let moved = x[..n]
+                        .iter()
+                        .zip(&prev)
+                        .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()));
+                    last_residual = moved;
+                    if moved < 1e-9 && g_art < 1e-9 {
+                        return Ok(());
+                    }
+                    dt *= 2.0;
+                }
+                Err(e) => {
+                    // Too aggressive a pseudo-step: back off and retry from
+                    // the previous (accepted) state.
+                    failures += 1;
+                    dt *= 0.2;
+                    if failures > 40 || dt < 1e-15 {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        if last_residual < 1e-6 {
+            return Ok(());
+        }
+        Err(SpiceError::NoConvergence {
+            analysis: "dc",
+            residual: last_residual,
+        })
+    }
+
+    /// Runs a backward-Euler transient from the DC operating point.
+    ///
+    /// The first sample is the operating point at `t = 0`; subsequent
+    /// samples land on the nominal `dt` grid (internal step halving on
+    /// Newton failure is invisible to the caller). For second-order
+    /// accuracy use [`Circuit::transient_with`] with
+    /// [`Integration::Trapezoidal`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NoConvergence`] if a step fails even at
+    /// `dt/1024`, or propagates LU failures.
+    pub fn transient(&self, config: &TranConfig) -> Result<TranResult> {
+        self.transient_with(config, Integration::BackwardEuler)
+    }
+
+    /// Runs a transient with the chosen integration method.
+    ///
+    /// Trapezoidal integration keeps per-capacitor current state (the
+    /// standard SPICE companion form `i_{n+1} = (2C/dt)(v_{n+1} − v_n) −
+    /// i_n`), halving the local error order relative to backward Euler.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Circuit::transient`].
+    pub fn transient_with(&self, config: &TranConfig, method: Integration) -> Result<TranResult> {
+        if config.dt <= 0.0 || config.t_stop <= 0.0 {
+            return Err(SpiceError::BadNetlist {
+                context: "transient needs positive dt and t_stop".into(),
+            });
+        }
+        let dc = self.dc_operating_point()?;
+        let n = self.num_nodes() - 1;
+        let caps = self.cap_list();
+        let mut state: Vec<f64> = dc
+            .voltages
+            .iter()
+            .chain(dc.branch_currents.iter())
+            .copied()
+            .collect();
+        // At the operating point every capacitor carries zero current.
+        let mut cap_currents = vec![0.0; caps.len()];
+        let mut times = vec![0.0];
+        let mut states = vec![state.clone()];
+        let mut t = 0.0;
+        while t < config.t_stop - 1e-18 {
+            let target = (t + config.dt).min(config.t_stop);
+            let mut sub_dt = target - t;
+            let mut t_local = t;
+            let mut local_state = state.clone();
+            let mut local_cap_i = cap_currents.clone();
+            let mut halvings = 0;
+            while t_local < target - 1e-18 {
+                let step_end = (t_local + sub_dt).min(target);
+                let dt = step_end - t_local;
+                let mut trial = local_state.clone();
+                let prev_v = local_state[..n].to_vec();
+                let ctx = DynamicCtx {
+                    prev_v: &prev_v,
+                    dt,
+                    method,
+                    cap_currents: &local_cap_i,
+                };
+                match newton_solve(self, &mut trial, step_end, 1.0, Some(&ctx), 0.0) {
+                    Ok(()) => {
+                        // Advance the capacitor-current state.
+                        let volt = |v: &[f64], node: NodeId| -> f64 {
+                            if node == Circuit::GROUND {
+                                0.0
+                            } else {
+                                v[node.0 - 1]
+                            }
+                        };
+                        for (k, &(a, b, c)) in caps.iter().enumerate() {
+                            let dv = (volt(&trial, a) - volt(&trial, b))
+                                - (volt(&prev_v, a) - volt(&prev_v, b));
+                            local_cap_i[k] = match method {
+                                Integration::BackwardEuler => c / dt * dv,
+                                Integration::Trapezoidal => {
+                                    2.0 * c / dt * dv - local_cap_i[k]
+                                }
+                            };
+                        }
+                        local_state = trial;
+                        t_local = step_end;
+                    }
+                    Err(e) => {
+                        halvings += 1;
+                        if halvings > 10 {
+                            if std::env::var("STCO_SPICE_DEBUG").is_ok() {
+                                eprintln!(
+                                    "tran step failed at t={t_local:.4e}, sub_dt={sub_dt:.3e}"
+                                );
+                            }
+                            return Err(e);
+                        }
+                        sub_dt *= 0.5;
+                    }
+                }
+            }
+            state = local_state;
+            cap_currents = local_cap_i;
+            t = target;
+            times.push(t);
+            states.push(state.clone());
+        }
+        Ok(TranResult {
+            times,
+            states,
+            num_node_unknowns: n,
+        })
+    }
+
+    /// The explicit capacitive elements in deterministic stamp order:
+    /// capacitors, then each TFT's C_gs and C_gd halves.
+    fn cap_list(&self) -> Vec<(NodeId, NodeId, f64)> {
+        let mut caps = Vec::new();
+        for e in self.elements() {
+            match e {
+                Element::Capacitor {
+                    nodes: (a, b),
+                    capacitance,
+                    ..
+                } => caps.push((*a, *b, *capacitance)),
+                Element::Tft {
+                    dgs: (d, g, s),
+                    model,
+                    ..
+                } => {
+                    let half = 0.5 * model.gate_capacitance();
+                    caps.push((*g, *s, half));
+                    caps.push((*g, *d, half));
+                }
+                _ => {}
+            }
+        }
+        caps
+    }
+}
+
+/// One damped-Newton solve of the MNA system at time `t`.
+///
+/// `cap_companion = Some((prev_node_voltages, dt))` enables backward-Euler
+/// capacitor companions; `None` leaves capacitors open (DC).
+fn newton_solve(
+    ckt: &Circuit,
+    x: &mut [f64],
+    t: f64,
+    source_scale: f64,
+    dynamic: Option<&DynamicCtx<'_>>,
+    artificial_g: f64,
+) -> Result<()> {
+    let size = ckt.system_size();
+    let n = ckt.num_nodes() - 1;
+    let mut x_prev: Vec<f64> = x.to_vec();
+    for iter in 0..MAX_NEWTON {
+        let mut sys = MnaSystem::new(size);
+        stamp_all(ckt, x, t, source_scale, dynamic, artificial_g, &mut sys);
+        let solution = sys.matrix.lu_solve(&sys.rhs)?;
+        // Progressive under-relaxation: full steps while easy progress is
+        // made (supply ramp-up), then increasingly strong damping. The
+        // companion fixed point is exact, so damping only has to defeat
+        // the local divergence of the stiffest stack nodes — each halving
+        // of the relaxation factor doubles the tolerable eigenvalue.
+        let relax = match iter {
+            0..=29 => 1.0,
+            30..=99 => 0.6,
+            100..=199 => 0.3,
+            200..=349 => 0.12,
+            350..=599 => 0.05,
+            _ => 0.02,
+        };
+        let mut max_dx = 0.0_f64;
+        for (i, (xi, xn)) in x.iter_mut().zip(&solution).enumerate() {
+            let mut dx = xn - *xi;
+            if i < n {
+                dx = dx.clamp(-VOLTAGE_CLAMP, VOLTAGE_CLAMP);
+            }
+            *xi += relax * dx;
+            max_dx = max_dx.max(dx.abs());
+        }
+        if max_dx < UPDATE_TOL {
+            return Ok(());
+        }
+        // Period-2 cycle breaker: averaging consecutive iterates lands a
+        // two-cycle exactly on its midpoint (cross-coupled latch nodes).
+        if iter % 16 == 15 {
+            for (xi, pi) in x.iter_mut().zip(&x_prev) {
+                *xi = 0.5 * (*xi + pi);
+            }
+        }
+        x_prev.copy_from_slice(x);
+        if std::env::var("STCO_SPICE_DEBUG").is_ok() && iter % 25 == 0 {
+            eprintln!("  newton iter {iter}: max_dx {max_dx:.3e} x[..4] {:?}", &x[..x.len().min(4)]);
+        }
+    }
+    Err(SpiceError::NoConvergence {
+        analysis: if dynamic.is_some() { "tran" } else { "dc" },
+        residual: f64::NAN,
+    })
+}
+
+fn stamp_all(
+    ckt: &Circuit,
+    x: &[f64],
+    t: f64,
+    source_scale: f64,
+    dynamic: Option<&DynamicCtx<'_>>,
+    artificial_g: f64,
+    sys: &mut MnaSystem,
+) {
+    let volt = |node: NodeId| -> f64 {
+        if node == Circuit::GROUND {
+            0.0
+        } else {
+            x[node.0 - 1]
+        }
+    };
+    // g-min to ground on every node. In any dynamic mode, each node also
+    // carries its parasitic capacitance companion; pseudo-transient DC
+    // adds the (much larger) artificial capacitor on top.
+    for i in 1..ckt.num_nodes() {
+        sys.stamp_conductance(ckt, NodeId(i), Circuit::GROUND, GMIN);
+        if let Some(ctx) = dynamic {
+            // Parasitic/artificial node capacitance always integrates
+            // backward-Euler: it is a regularizer, not a modeled element.
+            let g_node = artificial_g + NODE_PARASITIC_CAP / ctx.dt;
+            let v_prev = ctx.prev_v[i - 1];
+            sys.stamp_conductance(ckt, NodeId(i), Circuit::GROUND, g_node);
+            sys.stamp_current(ckt, NodeId(i), Circuit::GROUND, -g_node * v_prev);
+        }
+    }
+    let mut cap_index = 0usize;
+    for e in ckt.elements() {
+        match e {
+            Element::Resistor {
+                nodes: (a, b),
+                resistance,
+                ..
+            } => {
+                sys.stamp_conductance(ckt, *a, *b, 1.0 / resistance);
+            }
+            Element::Capacitor {
+                nodes: (a, b),
+                capacitance,
+                ..
+            } => {
+                stamp_capacitor(ckt, sys, *a, *b, *capacitance, dynamic, &mut cap_index);
+            }
+            Element::VoltageSource {
+                nodes: (p, m),
+                waveform,
+                branch,
+                ..
+            } => {
+                let v = waveform.value_at(t) * source_scale;
+                sys.stamp_vsource(ckt, *p, *m, *branch, v);
+            }
+            Element::Tft {
+                dgs: (d, g, s),
+                model,
+                ..
+            } => {
+                let vgs = volt(*g) - volt(*s);
+                let vds = volt(*d) - volt(*s);
+                let id0 = model.drain_current(vgs, vds);
+                // True linearization — gm is legitimately negative when a
+                // stacked device operates with reversed V_DS, and clamping
+                // it corrupts the Jacobian (per-node g-min keeps the
+                // system nonsingular regardless).
+                let gm = model.gm(vgs, vds);
+                let gds = model.gds(vgs, vds);
+                // Companion: i_d = I_eq + gm·v_gs + gds·v_ds.
+                let i_eq = id0 - gm * vgs - gds * vds;
+                sys.stamp_conductance(ckt, *d, *s, gds);
+                sys.stamp_transconductance(ckt, *d, *s, *g, *s, gm);
+                sys.stamp_current(ckt, *d, *s, i_eq);
+                // Gate loading: Cgs and Cgd at half the gate capacitance.
+                let half_cg = 0.5 * model.gate_capacitance();
+                stamp_capacitor(ckt, sys, *g, *s, half_cg, dynamic, &mut cap_index);
+                stamp_capacitor(ckt, sys, *g, *d, half_cg, dynamic, &mut cap_index);
+            }
+        }
+    }
+}
+
+fn stamp_capacitor(
+    ckt: &Circuit,
+    sys: &mut MnaSystem,
+    a: NodeId,
+    b: NodeId,
+    c: f64,
+    dynamic: Option<&DynamicCtx<'_>>,
+    cap_index: &mut usize,
+) {
+    let k = *cap_index;
+    *cap_index += 1;
+    let Some(ctx) = dynamic else {
+        // DC: capacitor is open; nothing to stamp (g-min ties nodes).
+        return;
+    };
+    let pv = |node: NodeId| -> f64 {
+        if node == Circuit::GROUND {
+            0.0
+        } else {
+            ctx.prev_v[node.0 - 1]
+        }
+    };
+    let v_prev = pv(a) - pv(b);
+    match ctx.method {
+        Integration::BackwardEuler => {
+            // i = g·v − g·v_prev with g = C/dt.
+            let g = c / ctx.dt;
+            sys.stamp_conductance(ckt, a, b, g);
+            sys.stamp_current(ckt, a, b, -g * v_prev);
+        }
+        Integration::Trapezoidal => {
+            // i_{n+1} = g·(v_{n+1} − v_n) + (−i_n) with g = 2C/dt; the
+            // history current makes the rule second-order.
+            let g = 2.0 * c / ctx.dt;
+            let i_prev = ctx.cap_currents.get(k).copied().unwrap_or(0.0);
+            sys.stamp_conductance(ckt, a, b, g);
+            sys.stamp_current(ckt, a, b, -g * v_prev - i_prev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Waveform;
+    use stco_compact::model::CompactModel;
+
+    #[test]
+    fn divider_dc() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let mid = ckt.node("mid");
+        ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::Dc(3.0));
+        ckt.add_resistor("R1", vin, mid, 2.0e3);
+        ckt.add_resistor("R2", mid, Circuit::GROUND, 1.0e3);
+        let dc = ckt.dc_operating_point().unwrap();
+        assert!((dc.voltage(mid) - 1.0).abs() < 1e-6);
+        // Source current = −V/(R1+R2) by MNA convention (flows + → −).
+        let i = dc.branch_current(0);
+        assert!((i + 1.0e-3).abs() < 1e-8, "source current {i}");
+    }
+
+    #[test]
+    fn kcl_holds_at_dc() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::Dc(2.0));
+        ckt.add_resistor("R1", a, b, 1.0e3);
+        ckt.add_resistor("R2", b, Circuit::GROUND, 1.0e3);
+        ckt.add_resistor("R3", b, Circuit::GROUND, 2.0e3);
+        let dc = ckt.dc_operating_point().unwrap();
+        let vb = dc.voltage(b);
+        let i_in = (2.0 - vb) / 1.0e3;
+        let i_out = vb / 1.0e3 + vb / 2.0e3;
+        assert!((i_in - i_out).abs() < 1e-9, "KCL violated at node b");
+    }
+
+    #[test]
+    fn rc_transient_matches_analytic() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 0.0,
+                rise: 1e-12,
+                fall: 1e-12,
+                width: 1.0,
+                period: 0.0,
+            },
+        );
+        let r = 1.0e3;
+        let c = 1.0e-9; // τ = 1 µs
+        ckt.add_resistor("R", vin, out, r);
+        ckt.add_capacitor("C", out, Circuit::GROUND, c);
+        let tau = r * c;
+        let tr = ckt
+            .transient(&TranConfig {
+                t_stop: 5.0 * tau,
+                dt: tau / 100.0,
+            })
+            .unwrap();
+        let v = tr.voltage_trace(out);
+        let ts = tr.times();
+        // Compare at t = τ: expect 1 − e⁻¹ (BE has O(dt) error; 1 % step).
+        let idx = ts.iter().position(|&t| t >= tau).unwrap();
+        let expected = 1.0 - (-ts[idx] / tau).exp();
+        assert!(
+            (v[idx] - expected).abs() < 0.02,
+            "RC at τ: {} vs {}",
+            v[idx],
+            expected
+        );
+        // Final value approaches 1.
+        assert!((tr.final_voltage(out) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn tft_inverter_dc_transfer() {
+        // Resistive-load inverter with the n-type reference TFT.
+        let model = CompactModel::ntype_reference();
+        let mut low_out = f64::NAN;
+        let mut high_out = f64::NAN;
+        for (vin_val, out_slot) in [(0.0, &mut high_out), (3.0, &mut low_out)] {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let vin = ckt.node("in");
+            let out = ckt.node("out");
+            ckt.add_vsource("VDD", vdd, Circuit::GROUND, Waveform::Dc(3.0));
+            ckt.add_vsource("VIN", vin, Circuit::GROUND, Waveform::Dc(vin_val));
+            ckt.add_resistor("RL", vdd, out, 1.0e6);
+            ckt.add_tft("M1", out, vin, Circuit::GROUND, model.clone());
+            let dc = ckt.dc_operating_point().unwrap();
+            *out_slot = dc.voltage(out);
+        }
+        assert!(high_out > 2.9, "off transistor → output ≈ VDD: {high_out}");
+        assert!(low_out < 0.5, "on transistor pulls low: {low_out}");
+    }
+
+    #[test]
+    fn trapezoidal_beats_backward_euler_on_rc() {
+        // RC driven by a linear ramp (exactly representable by the PWL
+        // source at any step size, so the comparison isolates the
+        // integrator): v(t) = a·(t − τ(1 − e^{−t/τ})). At a deliberately
+        // coarse dt the second-order rule must be much closer.
+        let (r, c) = (1.0e3, 1.0e-9);
+        let tau = r * c;
+        let t_stop = 2.0 * tau;
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::Pwl(vec![(0.0, 0.0), (t_stop, 2.0)]), // a = 1 V/τ
+        );
+        ckt.add_resistor("R", vin, out, r);
+        ckt.add_capacitor("C", out, Circuit::GROUND, c);
+        let config = TranConfig {
+            t_stop,
+            dt: tau / 6.0, // deliberately coarse
+        };
+        let be = ckt.transient_with(&config, Integration::BackwardEuler).unwrap();
+        let tr = ckt.transient_with(&config, Integration::Trapezoidal).unwrap();
+        let a = 2.0 / t_stop;
+        let exact = |t: f64| a * (t - tau * (1.0 - (-t / tau).exp()));
+        let err = |res: &TranResult| -> f64 {
+            let v = res.voltage_trace(out);
+            res.times()
+                .iter()
+                .zip(&v)
+                .map(|(&t, &x)| (x - exact(t)).abs())
+                .fold(0.0_f64, f64::max)
+        };
+        let (be_err, tr_err) = (err(&be), err(&tr));
+        assert!(
+            tr_err < 0.3 * be_err,
+            "trap err {tr_err:.4e} vs BE err {be_err:.4e}"
+        );
+    }
+
+    #[test]
+    fn transient_rejects_bad_config() {
+        let ckt = Circuit::new();
+        assert!(ckt
+            .transient(&TranConfig {
+                t_stop: 0.0,
+                dt: 1e-9
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn capacitor_holds_charge_with_no_path() {
+        // A capacitor from a node fed only by g-min floats near 0 at DC.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_capacitor("C", a, Circuit::GROUND, 1e-12);
+        let dc = ckt.dc_operating_point().unwrap();
+        assert!(dc.voltage(a).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,197 @@
+//! Waveform measurements over transient traces: the primitives the cell
+//! characterizer composes into delay, output slew and switching energy.
+
+use crate::{Result, SpiceError};
+
+/// Edge direction of a logic transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Low-to-high transition.
+    Rising,
+    /// High-to-low transition.
+    Falling,
+}
+
+/// First time `signal` crosses `threshold` in the given direction, with
+/// linear interpolation between samples. Searches from `t_start`.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::BadNetlist`] (measurement context) if the
+/// crossing never happens or inputs are malformed.
+pub fn crossing_time(
+    times: &[f64],
+    signal: &[f64],
+    threshold: f64,
+    edge: Edge,
+    t_start: f64,
+) -> Result<f64> {
+    if times.len() != signal.len() || times.len() < 2 {
+        return Err(SpiceError::BadNetlist {
+            context: "crossing_time needs equal-length traces with ≥ 2 samples".into(),
+        });
+    }
+    for w in 0..times.len() - 1 {
+        let (t0, t1) = (times[w], times[w + 1]);
+        if t1 < t_start {
+            continue;
+        }
+        let (v0, v1) = (signal[w], signal[w + 1]);
+        let crosses = match edge {
+            Edge::Rising => v0 < threshold && v1 >= threshold,
+            Edge::Falling => v0 > threshold && v1 <= threshold,
+        };
+        if crosses {
+            let frac = (threshold - v0) / (v1 - v0);
+            let t = t0 + frac * (t1 - t0);
+            if t >= t_start {
+                return Ok(t);
+            }
+        }
+    }
+    Err(SpiceError::BadNetlist {
+        context: format!("signal never crosses {threshold} ({edge:?}) after {t_start:.3e}"),
+    })
+}
+
+/// Transition time between the `lo_frac` and `hi_frac` levels of a swing
+/// from `v_low` to `v_high` (e.g. 0.2/0.8 for 20–80 % slew).
+///
+/// # Errors
+///
+/// Propagates missing crossings.
+pub fn transition_time(
+    times: &[f64],
+    signal: &[f64],
+    v_low: f64,
+    v_high: f64,
+    lo_frac: f64,
+    hi_frac: f64,
+    edge: Edge,
+    t_start: f64,
+) -> Result<f64> {
+    let swing = v_high - v_low;
+    let (first, second) = match edge {
+        Edge::Rising => (v_low + lo_frac * swing, v_low + hi_frac * swing),
+        Edge::Falling => (v_low + hi_frac * swing, v_low + lo_frac * swing),
+    };
+    let t1 = crossing_time(times, signal, first, edge, t_start)?;
+    let t2 = crossing_time(times, signal, second, edge, t1)?;
+    Ok(t2 - t1)
+}
+
+/// Trapezoidal integral of `values` over `times` (e.g. charge from a
+/// current trace).
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn integrate(times: &[f64], values: &[f64]) -> f64 {
+    assert_eq!(times.len(), values.len(), "integrate length mismatch");
+    let mut acc = 0.0;
+    for w in 0..times.len().saturating_sub(1) {
+        let dt = times[w + 1] - times[w];
+        acc += 0.5 * (values[w] + values[w + 1]) * dt;
+    }
+    acc
+}
+
+/// Energy drawn from a DC supply of voltage `vdd` given its (MNA-signed)
+/// branch-current trace: `E = vdd · ∫ (−i_branch) dt` (the MNA branch
+/// current of a supply flows + → − inside the source, so delivered
+/// current is its negation).
+pub fn supply_energy(times: &[f64], branch_current: &[f64], vdd: f64) -> f64 {
+    -vdd * integrate(times, branch_current)
+}
+
+/// Steady-state check: true if the last `window` samples stay within
+/// `tol` of the final value (used by setup/hold bisection to verify the
+/// latch actually settled).
+pub fn settled(signal: &[f64], window: usize, tol: f64) -> bool {
+    if signal.len() < window || window < 2 {
+        return false;
+    }
+    let last = *signal.last().expect("non-empty");
+    signal[signal.len() - window..]
+        .iter()
+        .all(|v| (v - last).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> (Vec<f64>, Vec<f64>) {
+        let times: Vec<f64> = (0..=10).map(|k| k as f64).collect();
+        let signal: Vec<f64> = times.iter().map(|&t| t / 10.0).collect();
+        (times, signal)
+    }
+
+    #[test]
+    fn crossing_interpolates_linearly() {
+        let (t, v) = ramp();
+        let tc = crossing_time(&t, &v, 0.55, Edge::Rising, 0.0).unwrap();
+        assert!((tc - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn falling_crossing() {
+        let times: Vec<f64> = (0..=10).map(|k| k as f64).collect();
+        let signal: Vec<f64> = times.iter().map(|&t| 1.0 - t / 10.0).collect();
+        let tc = crossing_time(&times, &signal, 0.5, Edge::Falling, 0.0).unwrap();
+        assert!((tc - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_respects_start_time() {
+        // Signal crosses 0.5 twice (up at 2.5, down at 7.5).
+        let times: Vec<f64> = (0..=10).map(|k| k as f64).collect();
+        let signal: Vec<f64> = times
+            .iter()
+            .map(|&t| if t <= 5.0 { t / 5.0 } else { 2.0 - t / 5.0 })
+            .collect();
+        let up = crossing_time(&times, &signal, 0.5, Edge::Rising, 0.0).unwrap();
+        assert!((up - 2.5).abs() < 1e-12);
+        let down = crossing_time(&times, &signal, 0.5, Edge::Falling, up).unwrap();
+        assert!((down - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_crossing_is_an_error() {
+        let (t, v) = ramp();
+        assert!(crossing_time(&t, &v, 2.0, Edge::Rising, 0.0).is_err());
+        assert!(crossing_time(&t, &v, 0.5, Edge::Falling, 0.0).is_err());
+    }
+
+    #[test]
+    fn transition_time_20_80() {
+        let (t, v) = ramp();
+        let slew = transition_time(&t, &v, 0.0, 1.0, 0.2, 0.8, Edge::Rising, 0.0).unwrap();
+        assert!((slew - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_of_constant() {
+        let times = vec![0.0, 1.0, 2.0];
+        let values = vec![3.0, 3.0, 3.0];
+        assert!((integrate(&times, &values) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn supply_energy_sign() {
+        // Constant 1 mA drawn from a 2 V supply for 1 s: branch current is
+        // −1 mA (MNA), delivered energy +2 mJ.
+        let times = vec![0.0, 1.0];
+        let current = vec![-1e-3, -1e-3];
+        assert!((supply_energy(&times, &current, 2.0) - 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn settled_detects_flat_tails() {
+        let flat = vec![0.0, 0.5, 1.0, 1.0, 1.0, 1.0];
+        assert!(settled(&flat, 3, 1e-9));
+        let moving = vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+        assert!(!settled(&moving, 3, 1e-9));
+        assert!(!settled(&flat, 1, 1e-9));
+    }
+}

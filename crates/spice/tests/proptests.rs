@@ -1,0 +1,114 @@
+//! Property-based tests of the circuit simulator: DC solutions satisfy
+//! KCL and superposition on random linear networks, and transients
+//! conserve charge on source-free capacitive loops.
+
+use proptest::prelude::*;
+use stco_spice::analysis::TranConfig;
+use stco_spice::netlist::{Circuit, Waveform};
+
+/// A random resistive ladder: n nodes chained by resistors, one source,
+/// random cross resistors to ground.
+fn ladder(n: usize, rs: &[f64], cross: &[f64], v: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let nodes: Vec<_> = (0..n).map(|i| ckt.node(&format!("n{i}"))).collect();
+    ckt.add_vsource("V", nodes[0], Circuit::GROUND, Waveform::Dc(v));
+    for i in 0..n - 1 {
+        ckt.add_resistor(&format!("R{i}"), nodes[i], nodes[i + 1], rs[i]);
+    }
+    for (i, &r) in cross.iter().enumerate() {
+        ckt.add_resistor(&format!("G{i}"), nodes[i % n], Circuit::GROUND, r);
+    }
+    ckt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dc_is_linear_in_the_source(rs in prop::collection::vec(100.0..10_000.0f64, 4),
+                                  cross in prop::collection::vec(100.0..10_000.0f64, 3),
+                                  v in 0.5..5.0f64) {
+        let n = 5;
+        let base = ladder(n, &rs, &cross, v);
+        let doubled = ladder(n, &rs, &cross, 2.0 * v);
+        let dc1 = base.dc_operating_point().expect("solves");
+        let dc2 = doubled.dc_operating_point().expect("solves");
+        for i in 0..n {
+            let node = base.find_node(&format!("n{i}")).expect("exists");
+            let a = dc1.voltage(node);
+            let b = dc2.voltage(node);
+            prop_assert!((b - 2.0 * a).abs() < 1e-6 * (1.0 + a.abs()), "node {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dc_voltages_are_bounded_by_the_source(rs in prop::collection::vec(100.0..10_000.0f64, 4),
+                                             cross in prop::collection::vec(100.0..10_000.0f64, 3),
+                                             v in 0.5..5.0f64) {
+        // A purely resistive network cannot exceed its only source.
+        let ckt = ladder(5, &rs, &cross, v);
+        let dc = ckt.dc_operating_point().expect("solves");
+        for i in 0..5 {
+            let node = ckt.find_node(&format!("n{i}")).expect("exists");
+            let val = dc.voltage(node);
+            prop_assert!(val >= -1e-9 && val <= v + 1e-9, "node {i} = {val}");
+        }
+    }
+
+    #[test]
+    fn divider_matches_analytic(r1 in 100.0..50_000.0f64, r2 in 100.0..50_000.0f64, v in 0.1..10.0f64) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let mid = ckt.node("mid");
+        ckt.add_vsource("V", a, Circuit::GROUND, Waveform::Dc(v));
+        ckt.add_resistor("R1", a, mid, r1);
+        ckt.add_resistor("R2", mid, Circuit::GROUND, r2);
+        let dc = ckt.dc_operating_point().expect("solves");
+        let expected = v * r2 / (r1 + r2);
+        prop_assert!((dc.voltage(mid) - expected).abs() < 1e-6 * (1.0 + expected));
+        // Source current = −V/(R1+R2) in MNA convention.
+        let i = dc.branch_current(0);
+        prop_assert!((i + v / (r1 + r2)).abs() < 1e-9 * (1.0 + (v / (r1 + r2)).abs()));
+    }
+
+    #[test]
+    fn rc_transient_final_value_is_the_drive(r in 500.0..5_000.0f64, c in 0.2e-9..2.0e-9f64, v in 0.5..3.0f64) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("V", vin, Circuit::GROUND, Waveform::Dc(v));
+        ckt.add_resistor("R", vin, out, r);
+        ckt.add_capacitor("C", out, Circuit::GROUND, c);
+        let tau = r * c;
+        let tr = ckt
+            .transient(&TranConfig { t_stop: 10.0 * tau, dt: tau / 20.0 })
+            .expect("runs");
+        let vf = tr.final_voltage(out);
+        prop_assert!((vf - v).abs() < 0.01 * v, "settled at {vf}, drive {v}");
+        // Monotone rise: an RC step response never overshoots.
+        let trace = tr.voltage_trace(out);
+        for w in trace.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-9);
+        }
+        prop_assert!(trace.iter().all(|&x| x <= v + 1e-6));
+    }
+
+    #[test]
+    fn pwl_waveform_is_piecewise_exact(points in prop::collection::vec((0.0..1.0f64, -2.0..2.0f64), 2..6)) {
+        let mut pts = points.clone();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        // Deduplicate times to keep the waveform a function.
+        pts.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-9);
+        prop_assume!(pts.len() >= 2);
+        let w = Waveform::Pwl(pts.clone());
+        for &(t, v) in &pts {
+            prop_assert!((w.value_at(t) - v).abs() < 1e-9);
+        }
+        // Midpoints interpolate linearly.
+        for pair in pts.windows(2) {
+            let tm = 0.5 * (pair[0].0 + pair[1].0);
+            let vm = 0.5 * (pair[0].1 + pair[1].1);
+            prop_assert!((w.value_at(tm) - vm).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! End-to-end surrogate pipelines: dataset assembly and the harnesses
+//! that regenerate Table II (surrogate TCAD accuracy) and Table IV
+//! (cell-library prediction MAPE).
+
+use stco_cells::charac::{characterize, ArcSample, CharConfig};
+use stco_cells::encode::{encode_cell, EncodingContext};
+use stco_cells::library::CellType;
+use stco_compact::tech::{Corner, TechnologyCard};
+use stco_nn::train::TrainConfig;
+use stco_tcad::dataset::{generate_dataset, split_indices, DeviceSample};
+use stco_tcad::materials::Technology;
+
+use crate::cell_model::{metric_index, CellModel, CellModelConfig, CellSample};
+use crate::iv_predictor::{IvConfig, IvPredictor};
+use crate::poisson_emulator::{PoissonConfig, PoissonEmulator, RegressionMetrics};
+use crate::Result;
+
+/// Configuration of a Table II run.
+#[derive(Debug, Clone)]
+pub struct Table2Config {
+    /// Devices in the train/val/test population (paper: 50 000).
+    pub dataset_size: usize,
+    /// Additional unseen devices (paper: 32 000).
+    pub unseen_size: usize,
+    /// Technologies to sample.
+    pub technologies: Vec<Technology>,
+    /// Poisson-emulator architecture.
+    pub poisson: PoissonConfig,
+    /// IV-predictor architecture.
+    pub iv: IvConfig,
+    /// Shared training schedule.
+    pub train: TrainConfig,
+    /// Dataset seed.
+    pub seed: u64,
+}
+
+impl Default for Table2Config {
+    fn default() -> Self {
+        Table2Config {
+            dataset_size: 120,
+            unseen_size: 40,
+            technologies: vec![Technology::Cnt],
+            poisson: PoissonConfig::default(),
+            iv: IvConfig::default(),
+            train: TrainConfig {
+                epochs: 40,
+                batch_size: 4,
+                patience: Some(12),
+                ..TrainConfig::default()
+            },
+            seed: 2024,
+        }
+    }
+}
+
+/// The Table II report: accuracy of both surrogates on the three splits.
+#[derive(Debug, Clone)]
+pub struct Table2Report {
+    /// Poisson emulator on (validation, test, unseen).
+    pub poisson: [RegressionMetrics; 3],
+    /// IV predictor on (validation, test, unseen).
+    pub iv: [RegressionMetrics; 3],
+    /// Sizes of (train, val, test, unseen).
+    pub sizes: [usize; 4],
+    /// Parameter counts (poisson, iv).
+    pub parameter_counts: (usize, usize),
+}
+
+/// Runs the full Table II experiment: generate devices, train both
+/// surrogates, evaluate on validation/test/unseen.
+///
+/// # Errors
+///
+/// Propagates dataset-generation and training failures.
+pub fn run_table2(config: &Table2Config) -> Result<Table2Report> {
+    let data = generate_dataset(config.seed, config.dataset_size, &config.technologies)?;
+    let unseen = generate_dataset(
+        config.seed ^ 0x5EED_u64,
+        config.unseen_size,
+        &config.technologies,
+    )?;
+    let split = split_indices(data.len(), 0.7, 0.15, config.seed);
+    let pick = |idx: &[usize]| -> Vec<DeviceSample> {
+        idx.iter().map(|&i| data[i].clone()).collect()
+    };
+    let train = pick(&split.train);
+    let val = pick(&split.val);
+    let test = pick(&split.test);
+
+    let mut poisson = PoissonEmulator::new(config.poisson);
+    poisson.train(&train, &val, &config.train)?;
+    let p_val = poisson.evaluate(&val)?;
+    let p_test = poisson.evaluate(&test)?;
+    let p_unseen = poisson.evaluate(&unseen)?;
+
+    let mut iv = IvPredictor::new(config.iv);
+    iv.train(&train, &val, &config.train)?;
+    let i_val = iv.evaluate(&val)?;
+    let i_test = iv.evaluate(&test)?;
+    let i_unseen = iv.evaluate(&unseen)?;
+
+    Ok(Table2Report {
+        poisson: [p_val, p_test, p_unseen],
+        iv: [i_val, i_test, i_unseen],
+        sizes: [train.len(), val.len(), test.len(), unseen.len()],
+        parameter_counts: (poisson.parameter_count(), iv.parameter_count()),
+    })
+}
+
+/// Builds the encoding context of an arc sample: switching pin gets the
+/// transition states and the measured slew; the output pin carries the
+/// load; static pins sit at their sensitized level (approximated as 1).
+fn arc_context(cell: &CellType, arc: &ArcSample) -> EncodingContext {
+    let mut ctx = EncodingContext::default();
+    for pin in &cell.inputs {
+        let name = (*pin).to_string();
+        if *pin == arc.pin {
+            let (cur, next) = if arc.input_rising { (0.0, 1.0) } else { (1.0, 0.0) };
+            ctx.current_state.insert(name.clone(), cur);
+            ctx.next_state.insert(name.clone(), next);
+            ctx.input_slew.insert(name, arc.slew);
+        } else {
+            ctx.current_state.insert(name.clone(), 1.0);
+            ctx.next_state.insert(name.clone(), 1.0);
+            ctx.input_slew.insert(name, arc.slew);
+        }
+    }
+    for pin in &cell.outputs {
+        ctx.output_load.insert((*pin).to_string(), arc.load);
+    }
+    ctx
+}
+
+/// Characterizes `cells` at every corner of `corners` and encodes every
+/// measured metric row as a [`CellSample`].
+///
+/// # Errors
+///
+/// Propagates characterization failures.
+pub fn build_cell_dataset(
+    base: &TechnologyCard,
+    corners: &[Corner],
+    cells: &[CellType],
+    char_config: &CharConfig,
+) -> Result<Vec<CellSample>> {
+    let mut out = Vec::new();
+    for corner in corners {
+        let card = base.at_corner(*corner);
+        for cell in cells {
+            let built = cell.build(&card, 1.0);
+            let ch = characterize(cell, &card, char_config)?;
+            let push_arcs = |metric: &str, arcs: &[ArcSample], out: &mut Vec<CellSample>| {
+                let m = metric_index(metric).expect("known metric");
+                for arc in arcs {
+                    let graph = encode_cell(&built, &arc_context(cell, arc));
+                    out.push(CellSample {
+                        graph,
+                        metric: m,
+                        value: arc.value,
+                    });
+                }
+            };
+            push_arcs("delay", &ch.delay, &mut out);
+            push_arcs("output_slew", &ch.output_slew, &mut out);
+            push_arcs("flip_power", &ch.flip_power, &mut out);
+            push_arcs("nonflip_power", &ch.nonflip_power, &mut out);
+            // Scalar metrics: nominal context (mid slew/load, all-zero states).
+            let nominal = ArcSample {
+                pin: cell.inputs[0].to_string(),
+                input_rising: true,
+                slew: char_config.slews[char_config.slews.len() / 2],
+                load: char_config.loads[char_config.loads.len() / 2],
+                value: 0.0,
+            };
+            let graph = encode_cell(&built, &arc_context(cell, &nominal));
+            let push_scalar = |metric: &str, value: f64, out: &mut Vec<CellSample>| {
+                let m = metric_index(metric).expect("known metric");
+                out.push(CellSample {
+                    graph: graph.clone(),
+                    metric: m,
+                    value,
+                });
+            };
+            push_scalar("capacitance", ch.capacitance, &mut out);
+            push_scalar("leakage_power", ch.leakage_power, &mut out);
+            if let Some(v) = ch.min_setup {
+                push_scalar("min_setup", v, &mut out);
+            }
+            if let Some(v) = ch.min_hold {
+                push_scalar("min_hold", v, &mut out);
+            }
+            if let Some(v) = ch.min_pulse_width {
+                push_scalar("min_pulse_width", v, &mut out);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Configuration of a Table IV run for one technology.
+#[derive(Debug, Clone)]
+pub struct Table4Config {
+    /// Technology under study (paper reports LTPS and CNT columns).
+    pub technology: Technology,
+    /// Training corner levels per axis (paper: 5 → 125 corners).
+    pub train_levels: usize,
+    /// Testing corner levels per axis (paper: 8 → 512 corners).
+    pub test_levels: usize,
+    /// Cells to include (paper: all 35).
+    pub cells: Vec<CellType>,
+    /// Characterization grid.
+    pub char_config: CharConfig,
+    /// Surrogate architecture.
+    pub model: CellModelConfig,
+    /// Training schedule.
+    pub train: TrainConfig,
+}
+
+impl Table4Config {
+    /// A scaled-down default: 2³ training corners, 3³ testing corners,
+    /// a 6-cell subset and the fast characterization grid.
+    pub fn scaled_default(technology: Technology) -> Self {
+        use stco_cells::library::CellKind;
+        Table4Config {
+            technology,
+            train_levels: 2,
+            test_levels: 3,
+            cells: [
+                CellKind::Inv,
+                CellKind::Nand2,
+                CellKind::Nor2,
+                CellKind::And2,
+                CellKind::Xor2,
+                CellKind::Dff,
+            ]
+            .into_iter()
+            .map(CellType::by_kind)
+            .collect(),
+            char_config: CharConfig::fast(),
+            model: CellModelConfig {
+                hidden: 48,
+                head_hidden: 48,
+                ..CellModelConfig::default()
+            },
+            train: TrainConfig {
+                epochs: 120,
+                batch_size: 32,
+                patience: Some(25),
+                ..TrainConfig::default()
+            },
+        }
+    }
+}
+
+/// The Table IV report for one technology.
+#[derive(Debug, Clone)]
+pub struct Table4Report {
+    /// Technology evaluated.
+    pub technology: Technology,
+    /// `(metric, MAPE %, data points)` rows over the testing corners.
+    pub rows: Vec<(String, f64, usize)>,
+    /// Training/testing sample counts.
+    pub sizes: (usize, usize),
+}
+
+/// Runs the Table IV experiment for one technology.
+///
+/// # Errors
+///
+/// Propagates characterization and training failures.
+pub fn run_table4(config: &Table4Config) -> Result<Table4Report> {
+    let base = TechnologyCard::reference(config.technology);
+    let grid = stco_compact::tech::CornerGrid::default();
+    let train_corners = grid.corners(config.train_levels);
+    let test_corners = grid.corners(config.test_levels);
+    let train =
+        build_cell_dataset(&base, &train_corners, &config.cells, &config.char_config)?;
+    let test = build_cell_dataset(&base, &test_corners, &config.cells, &config.char_config)?;
+    let mut model = CellModel::new(config.model);
+    model.train(&train, &test, &config.train)?;
+    let rows = model.evaluate_mape(&test)?;
+    Ok(Table4Report {
+        technology: config.technology,
+        rows,
+        sizes: (train.len(), test.len()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stco_cells::library::CellKind;
+
+    #[test]
+    fn table2_runs_at_tiny_scale() {
+        let config = Table2Config {
+            dataset_size: 8,
+            unseen_size: 3,
+            train: TrainConfig {
+                epochs: 4,
+                batch_size: 2,
+                patience: None,
+                ..TrainConfig::default()
+            },
+            poisson: PoissonConfig {
+                depth: 1,
+                heads: 1,
+                head_dim: 6,
+                ..PoissonConfig::default()
+            },
+            iv: IvConfig {
+                depth: 1,
+                head_dim: 6,
+                mlp_hidden: 8,
+                ..IvConfig::default()
+            },
+            ..Table2Config::default()
+        };
+        let report = run_table2(&config).unwrap();
+        assert_eq!(report.sizes[0] + report.sizes[1] + report.sizes[2], 8);
+        assert_eq!(report.sizes[3], 3);
+        for m in report.poisson.iter().chain(report.iv.iter()) {
+            assert!(m.mse.is_finite());
+            assert!(m.count > 0);
+        }
+        assert!(report.parameter_counts.0 > 0);
+    }
+
+    #[test]
+    fn cell_dataset_covers_all_metric_kinds() {
+        let base = TechnologyCard::reference(Technology::Ltps);
+        let corners = [Corner::nominal(3.0)];
+        let cells = [
+            CellType::by_kind(CellKind::Nand2),
+            CellType::by_kind(CellKind::Dff),
+        ];
+        let ds = build_cell_dataset(&base, &corners, &cells, &CharConfig::fast()).unwrap();
+        let metrics: std::collections::BTreeSet<usize> =
+            ds.iter().map(|s| s.metric).collect();
+        // NAND2 provides delay/slew/cap/flip/nonflip/leakage; DFF adds
+        // setup, hold and pulse width → all nine.
+        assert_eq!(metrics.len(), 9, "metrics present: {metrics:?}");
+        assert!(ds.iter().all(|s| s.value >= 0.0));
+    }
+}

@@ -1,0 +1,373 @@
+//! The Poisson emulator: node regression of the electrostatic potential
+//! over the unified device encoding.
+//!
+//! Architecture (paper §II-A): a deep RelGAT — graph attention with edge
+//! features — with LayerNorm after every layer and an MLP head. The paper
+//! uses 12 layers × 2 heads (≈1 M parameters); depth, head count and
+//! width are configurable so scaled-down reproductions state their
+//! configuration explicitly.
+
+use std::rc::Rc;
+
+use stco_nn::ad::Graph;
+use stco_nn::gnn::{GraphData, RelGatStack};
+use stco_nn::layers::{Activation, Mlp};
+use stco_nn::optim::Adam;
+use stco_nn::train::{fit, TrainConfig};
+use stco_nn::Params;
+use stco_numerics::stats;
+use stco_tcad::dataset::DeviceSample;
+
+use crate::encoding::{encode_device, index_lists, potential_targets, TaskFeatures, EDGE_DIM, NODE_DIM};
+use crate::{Result, SurrogateError};
+
+/// Architecture hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonConfig {
+    /// Number of RelGAT layers (paper: 12).
+    pub depth: usize,
+    /// Attention heads per layer (paper: 2).
+    pub heads: usize,
+    /// Per-head feature width.
+    pub head_dim: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Weight seed.
+    pub seed: u64,
+}
+
+impl Default for PoissonConfig {
+    fn default() -> Self {
+        PoissonConfig {
+            depth: 4,
+            heads: 2,
+            head_dim: 8,
+            learning_rate: 3.0e-3,
+            seed: 42,
+        }
+    }
+}
+
+impl PoissonConfig {
+    /// The paper-scale configuration (12 layers, 2 heads, ≈1 M params).
+    pub fn paper_scale() -> Self {
+        PoissonConfig {
+            depth: 12,
+            heads: 2,
+            head_dim: 128,
+            learning_rate: 1.0e-3,
+            seed: 42,
+        }
+    }
+}
+
+/// A trained (or trainable) Poisson emulator.
+#[derive(Debug, Clone)]
+pub struct PoissonEmulator {
+    params: Params,
+    stack: RelGatStack,
+    head: Mlp,
+    config: PoissonConfig,
+    target_mean: f64,
+    target_std: f64,
+}
+
+/// One pre-encoded training item.
+pub struct EncodedDevice {
+    graph: GraphData,
+    src: Rc<Vec<usize>>,
+    dst: Rc<Vec<usize>>,
+    targets: stco_numerics::Matrix,
+}
+
+impl EncodedDevice {
+    /// Encodes a sample for the Poisson task.
+    pub fn from_sample(sample: &DeviceSample) -> Self {
+        let graph = encode_device(sample, TaskFeatures::Poisson);
+        let (src, dst) = index_lists(&graph);
+        EncodedDevice {
+            graph,
+            src,
+            dst,
+            targets: potential_targets(sample),
+        }
+    }
+}
+
+impl PoissonEmulator {
+    /// Builds an untrained emulator.
+    pub fn new(config: PoissonConfig) -> Self {
+        let mut params = Params::new(config.seed);
+        let stack = RelGatStack::new(
+            &mut params,
+            NODE_DIM,
+            EDGE_DIM,
+            config.head_dim,
+            config.heads,
+            config.depth,
+        );
+        let hidden = stack.hidden_dim();
+        let head = Mlp::new(&mut params, &[hidden, hidden, 1], Activation::Elu);
+        PoissonEmulator {
+            params,
+            stack,
+            head,
+            config,
+            target_mean: 0.0,
+            target_std: 1.0,
+        }
+    }
+
+    /// Total scalar parameter count (the paper quotes ≈1 M at full scale).
+    pub fn parameter_count(&self) -> usize {
+        self.params.scalar_count()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PoissonConfig {
+        &self.config
+    }
+
+    /// Trains on the given samples with validation-based checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SurrogateError::BadDataset`] on an empty training set.
+    pub fn train(
+        &mut self,
+        train: &[DeviceSample],
+        val: &[DeviceSample],
+        train_config: &TrainConfig,
+    ) -> Result<stco_nn::train::TrainHistory> {
+        if train.is_empty() {
+            return Err(SurrogateError::BadDataset {
+                context: "empty training set".into(),
+            });
+        }
+        // Standardize targets over the training set.
+        let all_psi: Vec<f64> = train
+            .iter()
+            .flat_map(|s| s.solution.psi.iter().copied())
+            .collect();
+        let (mean, std) = stats::mean_std(&all_psi)?;
+        self.target_mean = mean;
+        self.target_std = std.max(1e-9);
+
+        let encoded: Vec<EncodedDevice> =
+            train.iter().map(EncodedDevice::from_sample).collect();
+        let val_encoded: Vec<EncodedDevice> =
+            val.iter().map(EncodedDevice::from_sample).collect();
+
+        let mut adam = Adam::with_learning_rate(self.config.learning_rate);
+        let stack = self.stack.clone();
+        let head = self.head.clone();
+        let (t_mean, t_std) = (self.target_mean, self.target_std);
+        let history = fit(
+            &mut self.params,
+            train_config,
+            encoded.len(),
+            |batch, params| {
+                let mut loss_sum = 0.0;
+                for &idx in batch {
+                    let item = &encoded[idx];
+                    let mut g = Graph::new();
+                    let x = g.input(item.graph.node_features.clone());
+                    let e = g.input(item.graph.edge_features.clone());
+                    let mut t = item.targets.clone();
+                    for v in t.as_mut_slice() {
+                        *v = (*v - t_mean) / t_std;
+                    }
+                    let ti = g.input(t);
+                    let h = stack.forward(
+                        &mut g,
+                        params,
+                        x,
+                        e,
+                        &item.src,
+                        &item.dst,
+                        item.graph.num_nodes(),
+                    );
+                    let pred = head.forward(&mut g, params, h);
+                    let loss = g.mse_loss(pred, ti);
+                    let l = g.value(loss).get(0, 0);
+                    params.zero_grads();
+                    g.backward(loss, params);
+                    params.clip_grad_norm(5.0);
+                    adam.step(params);
+                    loss_sum += l;
+                }
+                loss_sum / batch.len().max(1) as f64
+            },
+            Some(|params: &Params| {
+                if val_encoded.is_empty() {
+                    return 0.0;
+                }
+                let mut total = 0.0;
+                for item in &val_encoded {
+                    total += eval_item(&stack, &head, params, item, t_mean, t_std).0;
+                }
+                total / val_encoded.len() as f64
+            }),
+        );
+        Ok(history)
+    }
+
+    /// Predicts the potential map of one sample (volts).
+    pub fn predict(&self, sample: &DeviceSample) -> Vec<f64> {
+        let item = EncodedDevice::from_sample(sample);
+        let mut g = Graph::new();
+        let x = g.input(item.graph.node_features.clone());
+        let e = g.input(item.graph.edge_features.clone());
+        let h = self.stack.forward(
+            &mut g,
+            &self.params,
+            x,
+            e,
+            &item.src,
+            &item.dst,
+            item.graph.num_nodes(),
+        );
+        let pred = self.head.forward(&mut g, &self.params, h);
+        g.value(pred)
+            .as_slice()
+            .iter()
+            .map(|v| v * self.target_std + self.target_mean)
+            .collect()
+    }
+
+    /// Evaluates normalized-target MSE and R² (the Table II metrics) over
+    /// a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SurrogateError::BadDataset`] on an empty set.
+    pub fn evaluate(&self, samples: &[DeviceSample]) -> Result<RegressionMetrics> {
+        if samples.is_empty() {
+            return Err(SurrogateError::BadDataset {
+                context: "empty evaluation set".into(),
+            });
+        }
+        let mut preds = Vec::new();
+        let mut targets = Vec::new();
+        for s in samples {
+            let p = self.predict(s);
+            preds.extend(p.iter().map(|v| (v - self.target_mean) / self.target_std));
+            targets.extend(
+                s.solution
+                    .psi
+                    .iter()
+                    .map(|v| (v - self.target_mean) / self.target_std),
+            );
+        }
+        Ok(RegressionMetrics {
+            mse: stats::mse(&preds, &targets)?,
+            // R² is undefined for (near-)constant target sets, which tiny
+            // smoke-test splits can produce; report NaN rather than fail.
+            r_squared: stats::r_squared(&preds, &targets).unwrap_or(f64::NAN),
+            count: targets.len(),
+        })
+    }
+}
+
+fn eval_item(
+    stack: &RelGatStack,
+    head: &Mlp,
+    params: &Params,
+    item: &EncodedDevice,
+    t_mean: f64,
+    t_std: f64,
+) -> (f64, usize) {
+    let mut g = Graph::new();
+    let x = g.input(item.graph.node_features.clone());
+    let e = g.input(item.graph.edge_features.clone());
+    let mut t = item.targets.clone();
+    for v in t.as_mut_slice() {
+        *v = (*v - t_mean) / t_std;
+    }
+    let ti = g.input(t);
+    let h = stack.forward(&mut g, params, x, e, &item.src, &item.dst, item.graph.num_nodes());
+    let pred = head.forward(&mut g, params, h);
+    let loss = g.mse_loss(pred, ti);
+    (g.value(loss).get(0, 0), item.graph.num_nodes())
+}
+
+/// MSE/R² pair over a dataset (normalized-target units, as Table II).
+#[derive(Debug, Clone, Copy)]
+pub struct RegressionMetrics {
+    /// Mean squared error on standardized targets.
+    pub mse: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Number of scalar predictions evaluated.
+    pub count: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stco_tcad::dataset::generate_dataset;
+    use stco_tcad::materials::Technology;
+
+    #[test]
+    fn emulator_learns_potential_maps() {
+        let data = generate_dataset(21, 8, &[Technology::Igzo]).unwrap();
+        let (train, val) = data.split_at(6);
+        let mut model = PoissonEmulator::new(PoissonConfig {
+            depth: 2,
+            heads: 1,
+            head_dim: 8,
+            learning_rate: 5.0e-3,
+            seed: 3,
+        });
+        let before = model.evaluate(val).unwrap();
+        let history = model
+            .train(
+                train,
+                val,
+                &TrainConfig {
+                    epochs: 30,
+                    batch_size: 2,
+                    patience: None,
+                    ..TrainConfig::default()
+                },
+            )
+            .unwrap();
+        let after = model.evaluate(val).unwrap();
+        assert!(
+            after.mse < 0.5 * before.mse,
+            "training must cut val MSE: {} → {} (history {:?})",
+            before.mse,
+            after.mse,
+            history.train_loss.last()
+        );
+        assert!(after.r_squared > 0.5, "R² {}", after.r_squared);
+    }
+
+    #[test]
+    fn paper_scale_parameter_count_is_about_a_million() {
+        let model = PoissonEmulator::new(PoissonConfig::paper_scale());
+        let count = model.parameter_count();
+        assert!(
+            (600_000..1_600_000).contains(&count),
+            "paper-scale params: {count}"
+        );
+    }
+
+    #[test]
+    fn predict_returns_one_value_per_node() {
+        let data = generate_dataset(22, 1, &[Technology::Ltps]).unwrap();
+        let model = PoissonEmulator::new(PoissonConfig::default());
+        let p = model.predict(&data[0]);
+        assert_eq!(p.len(), data[0].device.mesh().num_nodes());
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn empty_sets_are_rejected() {
+        let mut model = PoissonEmulator::new(PoissonConfig::default());
+        assert!(model
+            .train(&[], &[], &TrainConfig::default())
+            .is_err());
+        assert!(model.evaluate(&[]).is_err());
+    }
+}

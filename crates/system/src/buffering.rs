@@ -1,0 +1,204 @@
+//! High-fanout buffering: a post-mapping optimization pass that splits
+//! nets with excessive fanout behind buffer trees — the standard
+//! synthesis clean-up step that keeps STA slews physical on designs like
+//! the RISC-V cores, whose decode signals fan out to hundreds of sinks.
+
+use stco_cells::library::CellKind;
+
+use crate::mapper::{CellInstance, MappedNetlist};
+use crate::Result;
+
+/// Buffering configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BufferConfig {
+    /// Maximum sinks a net may drive before it is split.
+    pub max_fanout: usize,
+    /// Buffer cell used for the tree.
+    pub buffer: CellKind,
+}
+
+impl Default for BufferConfig {
+    fn default() -> Self {
+        BufferConfig {
+            max_fanout: 12,
+            buffer: CellKind::Buf,
+        }
+    }
+}
+
+/// Result summary of a buffering pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferReport {
+    /// Buffers inserted.
+    pub buffers_inserted: usize,
+    /// Nets that were split.
+    pub nets_split: usize,
+    /// Largest fanout before the pass.
+    pub max_fanout_before: usize,
+    /// Largest fanout after the pass.
+    pub max_fanout_after: usize,
+}
+
+/// Splits every over-limit net behind a balanced buffer tree (recursing
+/// until all levels obey the limit). Primary-output connections are left
+/// on the original net so the design's interface is unchanged.
+///
+/// # Errors
+///
+/// Currently infallible for valid netlists; returns `Result` for parity
+/// with the other passes.
+pub fn buffer_high_fanout(
+    netlist: &mut MappedNetlist,
+    config: &BufferConfig,
+) -> Result<BufferReport> {
+    if config.max_fanout < 2 {
+        return Err(crate::SystemError::BadNetlist {
+            context: "max_fanout must be at least 2 (splitting cannot terminate below that)"
+                .into(),
+        });
+    }
+    let max_fanout_before = peak_fanout(netlist);
+    let mut buffers_inserted = 0;
+    let mut nets_split = 0;
+
+    // Iterate until fixpoint: splitting introduces buffer output nets
+    // which themselves might (rarely) exceed the limit.
+    loop {
+        let fanouts = sink_pins(netlist);
+        let mut worked = false;
+        for (net, sinks) in fanouts.into_iter().enumerate() {
+            if sinks.len() <= config.max_fanout {
+                continue;
+            }
+            worked = true;
+            nets_split += 1;
+            // Partition the sinks into ⌈n/limit⌉ groups, one buffer each.
+            let groups: Vec<Vec<(usize, usize)>> = sinks
+                .chunks(config.max_fanout)
+                .map(|c| c.to_vec())
+                .collect();
+            for group in groups {
+                let buf_out = netlist.num_nets;
+                netlist.num_nets += 1;
+                netlist.instances.push(CellInstance {
+                    kind: config.buffer,
+                    inputs: vec![net],
+                    output: buf_out,
+                });
+                buffers_inserted += 1;
+                for (inst_idx, pin_idx) in group {
+                    netlist.instances[inst_idx].inputs[pin_idx] = buf_out;
+                }
+            }
+        }
+        if !worked {
+            break;
+        }
+    }
+    Ok(BufferReport {
+        buffers_inserted,
+        nets_split,
+        max_fanout_before,
+        max_fanout_after: peak_fanout(netlist),
+    })
+}
+
+/// Per-net sink pins as `(instance index, input pin index)`.
+fn sink_pins(netlist: &MappedNetlist) -> Vec<Vec<(usize, usize)>> {
+    let mut sinks = vec![Vec::new(); netlist.num_nets];
+    for (ii, inst) in netlist.instances.iter().enumerate() {
+        for (pi, &net) in inst.inputs.iter().enumerate() {
+            sinks[net].push((ii, pi));
+        }
+    }
+    sinks
+}
+
+fn peak_fanout(netlist: &MappedNetlist) -> usize {
+    sink_pins(netlist).iter().map(Vec::len).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_gen::Benchmark;
+    use crate::mapper::map_netlist;
+    use stco_cells::library::CellType;
+
+    #[test]
+    fn buffering_caps_fanout() {
+        let mut mapped = map_netlist(&Benchmark::Picorv32.generate()).expect("maps");
+        let before = peak_fanout(&mapped);
+        assert!(before > 12, "picorv32-like has high-fanout decode nets");
+        let report = buffer_high_fanout(&mut mapped, &BufferConfig::default()).expect("runs");
+        assert_eq!(report.max_fanout_before, before);
+        assert!(report.max_fanout_after <= 12);
+        assert!(report.buffers_inserted > 0);
+        assert!(report.nets_split > 0);
+    }
+
+    #[test]
+    fn buffering_preserves_function() {
+        // Build a small netlist with one hot net, buffer it, and compare
+        // functional evaluation over all input vectors.
+        use crate::netlist::{LogicNetlist, LogicOp};
+        let mut logic = LogicNetlist::new("fanout");
+        let a = logic.add_input();
+        let b = logic.add_input();
+        let hot = logic.add_gate(LogicOp::Xor, &[a, b]);
+        let mut outs = Vec::new();
+        for _ in 0..9 {
+            outs.push(logic.add_gate(LogicOp::Not, &[hot]));
+        }
+        let last = *outs.last().expect("non-empty");
+        logic.add_output(last);
+        let mut mapped = map_netlist(&logic).expect("maps");
+        let unbuffered = mapped.clone();
+        let _ = buffer_high_fanout(
+            &mut mapped,
+            &BufferConfig {
+                max_fanout: 3,
+                ..BufferConfig::default()
+            },
+        )
+        .expect("runs");
+
+        let lib: std::collections::BTreeMap<_, _> = CellType::library()
+            .into_iter()
+            .map(|c| (c.kind, c))
+            .collect();
+        let eval = |m: &MappedNetlist, vector: &[bool]| -> Vec<bool> {
+            let mut values = vec![false; m.num_nets];
+            for (&pi, &v) in m.primary_inputs.iter().zip(vector) {
+                values[pi] = v;
+            }
+            // Instances were appended in topological-compatible order
+            // (buffers read existing nets); two passes settle the tree.
+            for _ in 0..2 {
+                for inst in &m.instances {
+                    let ins: Vec<bool> = inst.inputs.iter().map(|&n| values[n]).collect();
+                    values[inst.output] = lib[&inst.kind].eval_comb(&ins)[0];
+                }
+            }
+            m.primary_outputs.iter().map(|&o| values[o]).collect()
+        };
+        for v in [[false, false], [false, true], [true, false], [true, true]] {
+            assert_eq!(eval(&mapped, &v), eval(&unbuffered, &v), "vector {v:?}");
+        }
+    }
+
+    #[test]
+    fn low_fanout_designs_are_untouched() {
+        let mut mapped = map_netlist(&Benchmark::S298.generate()).expect("maps");
+        let report = buffer_high_fanout(
+            &mut mapped,
+            &BufferConfig {
+                max_fanout: 1000,
+                ..BufferConfig::default()
+            },
+        )
+        .expect("runs");
+        assert_eq!(report.buffers_inserted, 0);
+        assert_eq!(report.nets_split, 0);
+    }
+}

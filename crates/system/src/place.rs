@@ -1,0 +1,344 @@
+//! Placement and physical checks: annealing cell placement on a row
+//! grid, half-perimeter wirelength (HPWL) wire loads for STA, and the
+//! DRC/LVS-style consistency checks the paper's flow runs after P&R.
+
+use stco_cells::liberty::Library;
+use stco_numerics::rng::Xorshift;
+
+use crate::mapper::MappedNetlist;
+use crate::{Result, SystemError};
+
+/// Placement configuration.
+#[derive(Debug, Clone)]
+pub struct PlaceConfig {
+    /// Annealing moves per instance.
+    pub moves_per_instance: usize,
+    /// Initial temperature as a fraction of the initial HPWL.
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per sweep.
+    pub cooling: f64,
+    /// Wire capacitance per meter of HPWL, F/m.
+    pub cap_per_meter: f64,
+    /// Site pitch (cell grid spacing), m.
+    pub site_pitch: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlaceConfig {
+    fn default() -> Self {
+        PlaceConfig {
+            moves_per_instance: 20,
+            initial_temperature: 0.1,
+            cooling: 0.75,
+            cap_per_meter: 1.0e-10, // 0.1 fF/µm
+            site_pitch: 10.0e-6,
+            seed: 1,
+        }
+    }
+}
+
+/// A legal placement.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Grid position per instance `(col, row)`.
+    pub positions: Vec<(usize, usize)>,
+    /// Grid dimension (cols = rows).
+    pub grid: usize,
+    /// Final total HPWL, m.
+    pub total_hpwl: f64,
+    /// Per-net wire capacitance, F.
+    pub net_caps: Vec<f64>,
+    /// HPWL before optimization (for improvement reporting), m.
+    pub initial_hpwl: f64,
+}
+
+impl Placement {
+    /// Wirelength improvement ratio (initial / final).
+    pub fn improvement(&self) -> f64 {
+        if self.total_hpwl <= 0.0 {
+            1.0
+        } else {
+            self.initial_hpwl / self.total_hpwl
+        }
+    }
+}
+
+/// Places a mapped netlist by simulated annealing on a √n × √n grid.
+///
+/// # Errors
+///
+/// Returns [`SystemError::BadNetlist`] for empty designs.
+pub fn place(netlist: &MappedNetlist, config: &PlaceConfig) -> Result<Placement> {
+    let n = netlist.instances.len();
+    if n == 0 {
+        return Err(SystemError::BadNetlist {
+            context: "cannot place an empty design".into(),
+        });
+    }
+    let grid = (n as f64).sqrt().ceil() as usize;
+    let mut rng = Xorshift::new(config.seed);
+
+    // Initial placement: row-major fill.
+    let mut positions: Vec<(usize, usize)> = (0..n).map(|i| (i % grid, i / grid)).collect();
+    // slot_of[(col,row)] = Some(instance) for swap moves.
+    let mut slot: Vec<Option<usize>> = vec![None; grid * grid];
+    for (i, &(c, r)) in positions.iter().enumerate() {
+        slot[r * grid + c] = Some(i);
+    }
+
+    // Nets → instance pins (driver + fanouts); PI/PO pinned to border.
+    let fanouts = netlist.fanouts();
+    let mut net_pins: Vec<Vec<usize>> = vec![Vec::new(); netlist.num_nets];
+    for (ii, inst) in netlist.instances.iter().enumerate() {
+        net_pins[inst.output].push(ii);
+        for &inp in &inst.inputs {
+            net_pins[inp].push(ii);
+        }
+    }
+    let _ = fanouts;
+
+    let hpwl_of_net = |net: usize, positions: &[(usize, usize)]| -> f64 {
+        let pins = &net_pins[net];
+        if pins.len() < 2 {
+            return 0.0;
+        }
+        let (mut min_c, mut max_c, mut min_r, mut max_r) = (usize::MAX, 0, usize::MAX, 0);
+        for &ii in pins {
+            let (c, r) = positions[ii];
+            min_c = min_c.min(c);
+            max_c = max_c.max(c);
+            min_r = min_r.min(r);
+            max_r = max_r.max(r);
+        }
+        ((max_c - min_c) + (max_r - min_r)) as f64 * config.site_pitch
+    };
+    let total = |positions: &[(usize, usize)]| -> f64 {
+        (0..netlist.num_nets)
+            .map(|net| hpwl_of_net(net, positions))
+            .sum()
+    };
+
+    // Nets touching each instance, for incremental cost evaluation.
+    let mut inst_nets: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (net, pins) in net_pins.iter().enumerate() {
+        for &ii in pins {
+            if !inst_nets[ii].contains(&net) {
+                inst_nets[ii].push(net);
+            }
+        }
+    }
+
+    let initial_hpwl = total(&positions);
+    // Best-seen snapshot (starts at the initial placement), restored
+    // before the final greedy sweep so the result can never be worse
+    // than the starting point.
+    let mut best_positions = positions.clone();
+    let mut best_hpwl = initial_hpwl;
+    // Temperature scales with a *single move's* typical cost delta (a few
+    // site pitches), not the global HPWL — otherwise every move is
+    // accepted and the anneal random-walks.
+    let mut temperature = config.initial_temperature * 40.0 * config.site_pitch;
+    let sweeps = 16;
+    let moves = config.moves_per_instance * n / sweeps.max(1);
+    for _sweep in 0..sweeps {
+        for _ in 0..moves {
+            let a = rng.gen_range(n);
+            let target = (rng.gen_range(grid), rng.gen_range(grid));
+            let b = slot[target.1 * grid + target.0];
+            // Cost delta over affected nets only.
+            let mut affected: Vec<usize> = inst_nets[a].clone();
+            if let Some(bi) = b {
+                for &net in &inst_nets[bi] {
+                    if !affected.contains(&net) {
+                        affected.push(net);
+                    }
+                }
+            }
+            let before: f64 = affected.iter().map(|&nt| hpwl_of_net(nt, &positions)).sum();
+            let old_a = positions[a];
+            positions[a] = target;
+            if let Some(bi) = b {
+                positions[bi] = old_a;
+            }
+            let after: f64 = affected.iter().map(|&nt| hpwl_of_net(nt, &positions)).sum();
+            let delta = after - before;
+            let accept = delta <= 0.0 || rng.chance((-delta / temperature.max(1e-30)).exp());
+            if accept {
+                slot[old_a.1 * grid + old_a.0] = b;
+                slot[target.1 * grid + target.0] = Some(a);
+            } else {
+                positions[a] = old_a;
+                if let Some(bi) = b {
+                    positions[bi] = target;
+                }
+            }
+        }
+        temperature *= config.cooling;
+        // End-of-sweep snapshot.
+        let sweep_hpwl = total(&positions);
+        if sweep_hpwl < best_hpwl {
+            best_hpwl = sweep_hpwl;
+            best_positions.copy_from_slice(&positions);
+        }
+    }
+    // Restore the best placement seen, rebuild the slot map, then run a
+    // zero-temperature (accept-only-improving) polish sweep.
+    positions.copy_from_slice(&best_positions);
+    for s in slot.iter_mut() {
+        *s = None;
+    }
+    for (i, &(c, r)) in positions.iter().enumerate() {
+        slot[r * grid + c] = Some(i);
+    }
+    for _ in 0..moves {
+        let a = rng.gen_range(n);
+        let target = (rng.gen_range(grid), rng.gen_range(grid));
+        let b = slot[target.1 * grid + target.0];
+        let mut affected: Vec<usize> = inst_nets[a].clone();
+        if let Some(bi) = b {
+            for &net in &inst_nets[bi] {
+                if !affected.contains(&net) {
+                    affected.push(net);
+                }
+            }
+        }
+        let before: f64 = affected.iter().map(|&nt| hpwl_of_net(nt, &positions)).sum();
+        let old_a = positions[a];
+        positions[a] = target;
+        if let Some(bi) = b {
+            positions[bi] = old_a;
+        }
+        let after: f64 = affected.iter().map(|&nt| hpwl_of_net(nt, &positions)).sum();
+        if after < before {
+            slot[old_a.1 * grid + old_a.0] = b;
+            slot[target.1 * grid + target.0] = Some(a);
+        } else {
+            positions[a] = old_a;
+            if let Some(bi) = b {
+                positions[bi] = target;
+            }
+        }
+    }
+
+    let final_hpwl = total(&positions);
+    let net_caps = (0..netlist.num_nets)
+        .map(|net| hpwl_of_net(net, &positions) * config.cap_per_meter)
+        .collect();
+    Ok(Placement {
+        positions,
+        grid,
+        total_hpwl: final_hpwl,
+        net_caps,
+        initial_hpwl,
+    })
+}
+
+/// DRC-style check: every instance sits on a unique site inside the grid.
+///
+/// # Errors
+///
+/// Returns [`SystemError::BadNetlist`] describing the first violation.
+pub fn check_drc(placement: &Placement) -> Result<()> {
+    let mut used = vec![false; placement.grid * placement.grid];
+    for (i, &(c, r)) in placement.positions.iter().enumerate() {
+        if c >= placement.grid || r >= placement.grid {
+            return Err(SystemError::BadNetlist {
+                context: format!("instance {i} placed off-grid at ({c},{r})"),
+            });
+        }
+        let s = r * placement.grid + c;
+        if used[s] {
+            return Err(SystemError::BadNetlist {
+                context: format!("overlap at site ({c},{r})"),
+            });
+        }
+        used[s] = true;
+    }
+    Ok(())
+}
+
+/// LVS-style check: the placed instance list matches the netlist (one
+/// position per instance; every cell kind present in the library).
+///
+/// # Errors
+///
+/// Returns [`SystemError::BadNetlist`] or [`SystemError::MissingCell`].
+pub fn check_lvs(netlist: &MappedNetlist, placement: &Placement, library: &Library) -> Result<()> {
+    if placement.positions.len() != netlist.instances.len() {
+        return Err(SystemError::BadNetlist {
+            context: format!(
+                "{} placed vs {} netlist instances",
+                placement.positions.len(),
+                netlist.instances.len()
+            ),
+        });
+    }
+    for inst in &netlist.instances {
+        if library.cell(inst.kind).is_none() {
+            return Err(SystemError::MissingCell {
+                cell: format!("{:?}", inst.kind),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_gen::Benchmark;
+    use crate::mapper::map_netlist;
+
+    fn small_mapped() -> MappedNetlist {
+        map_netlist(&Benchmark::S298.generate()).unwrap()
+    }
+
+    #[test]
+    fn placement_is_legal_and_improves_wirelength() {
+        let mapped = small_mapped();
+        let p = place(&mapped, &PlaceConfig::default()).unwrap();
+        check_drc(&p).unwrap();
+        assert_eq!(p.positions.len(), mapped.instances.len());
+        assert!(
+            p.improvement() > 1.05,
+            "annealing should improve HPWL ({:.3})",
+            p.improvement()
+        );
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let mapped = small_mapped();
+        let a = place(&mapped, &PlaceConfig::default()).unwrap();
+        let b = place(&mapped, &PlaceConfig::default()).unwrap();
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(a.total_hpwl, b.total_hpwl);
+    }
+
+    #[test]
+    fn net_caps_scale_with_cap_per_meter() {
+        let mapped = small_mapped();
+        let mut cfg = PlaceConfig::default();
+        let p1 = place(&mapped, &cfg).unwrap();
+        cfg.cap_per_meter *= 2.0;
+        let p2 = place(&mapped, &cfg).unwrap();
+        let s1: f64 = p1.net_caps.iter().sum();
+        let s2: f64 = p2.net_caps.iter().sum();
+        assert!((s2 / s1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_design_is_rejected() {
+        let empty = MappedNetlist::default();
+        assert!(place(&empty, &PlaceConfig::default()).is_err());
+    }
+
+    #[test]
+    fn drc_catches_overlap() {
+        let mapped = small_mapped();
+        let mut p = place(&mapped, &PlaceConfig::default()).unwrap();
+        p.positions[1] = p.positions[0];
+        assert!(check_drc(&p).is_err());
+    }
+}

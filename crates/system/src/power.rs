@@ -1,0 +1,162 @@
+//! Power analysis: leakage summation plus activity-based dynamic power.
+//!
+//! Dynamic power per net combines the CV²f term over the net's switched
+//! capacitance with the internal (short-circuit + parasitic) switching
+//! energy characterized per cell:
+//!
+//! ```text
+//! P_dyn = Σ_nets α_net · f_clk · (C_net · V_DD² + E_switch(driver))
+//! P_leak = Σ_cells P_leak(cell)
+//! ```
+
+use stco_cells::liberty::Library;
+
+use crate::mapper::MappedNetlist;
+use crate::sta::WireModel;
+use crate::{Result, SystemError};
+
+/// A power report.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerReport {
+    /// Total leakage power, W.
+    pub leakage: f64,
+    /// Total dynamic power at the given clock, W.
+    pub dynamic: f64,
+    /// Clock frequency the dynamic term was evaluated at, Hz.
+    pub frequency: f64,
+}
+
+impl PowerReport {
+    /// Total power, W.
+    pub fn total(&self) -> f64 {
+        self.leakage + self.dynamic
+    }
+}
+
+/// Computes leakage + dynamic power.
+///
+/// `activity` is the per-net toggle rate from
+/// [`crate::netlist::LogicNetlist::simulate_activity`] (nets added during
+/// mapping default to the average activity).
+///
+/// # Errors
+///
+/// Returns [`SystemError::MissingCell`] for uncharacterized cells.
+pub fn analyze_power(
+    netlist: &MappedNetlist,
+    library: &Library,
+    wires: &WireModel,
+    activity: &[f64],
+    frequency: f64,
+) -> Result<PowerReport> {
+    let vdd = library.card.vdd;
+    let fanouts = netlist.fanouts();
+    let avg_activity = if activity.is_empty() {
+        0.1
+    } else {
+        activity.iter().sum::<f64>() / activity.len() as f64
+    };
+    let act = |net: usize| -> f64 {
+        activity.get(net).copied().unwrap_or(avg_activity)
+    };
+
+    let mut leakage = 0.0;
+    let mut dynamic = 0.0;
+    for inst in &netlist.instances {
+        let cell = library.cell(inst.kind).ok_or_else(|| SystemError::MissingCell {
+            cell: format!("{:?}", inst.kind),
+        })?;
+        leakage += cell.leakage_power;
+        // Net capacitance driven by this instance.
+        let net = inst.output;
+        let mut cap = match wires {
+            WireModel::FanoutEstimate { per_fanout } => {
+                per_fanout * fanouts[net].len() as f64
+            }
+            WireModel::PerNet(caps) => caps.get(net).copied().unwrap_or(0.0),
+        };
+        for &ii in &fanouts[net] {
+            let sink = &netlist.instances[ii];
+            let sink_cell =
+                library.cell(sink.kind).ok_or_else(|| SystemError::MissingCell {
+                    cell: format!("{:?}", sink.kind),
+                })?;
+            cap += sink_cell.input_capacitance;
+        }
+        dynamic += act(net) * frequency * (cap * vdd * vdd + cell.switch_energy);
+    }
+    Ok(PowerReport {
+        leakage,
+        dynamic,
+        frequency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::map_netlist;
+    use crate::netlist::{LogicNetlist, LogicOp};
+    use stco_cells::charac::CharConfig;
+    use stco_cells::library::{CellKind, CellType};
+    use stco_compact::tech::TechnologyCard;
+    use stco_tcad::materials::Technology;
+
+    fn tiny_library() -> Library {
+        let card = TechnologyCard::reference(Technology::Ltps);
+        Library::characterize_subset(
+            &card,
+            &CharConfig::fast(),
+            &[
+                CellType::by_kind(CellKind::Inv),
+                CellType::by_kind(CellKind::Nand2),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn tiny_design() -> (MappedNetlist, Vec<f64>) {
+        let mut logic = LogicNetlist::new("p");
+        let a = logic.add_input();
+        let b = logic.add_input();
+        let x = logic.add_gate(LogicOp::Nand, &[a, b]);
+        let y = logic.add_gate(LogicOp::Not, &[x]);
+        logic.add_output(y);
+        let activity = logic.simulate_activity(500, 3).unwrap();
+        (map_netlist(&logic).unwrap(), activity)
+    }
+
+    #[test]
+    fn power_is_positive_and_scales_with_frequency() {
+        let lib = tiny_library();
+        let (mapped, act) = tiny_design();
+        let wires = WireModel::FanoutEstimate { per_fanout: 1e-15 };
+        let p1 = analyze_power(&mapped, &lib, &wires, &act, 1.0e6).unwrap();
+        let p2 = analyze_power(&mapped, &lib, &wires, &act, 2.0e6).unwrap();
+        assert!(p1.total() > 0.0);
+        assert!((p2.dynamic / p1.dynamic - 2.0).abs() < 1e-9);
+        assert!((p2.leakage - p1.leakage).abs() < 1e-18, "leakage is f-independent");
+    }
+
+    #[test]
+    fn leakage_counts_every_instance() {
+        let lib = tiny_library();
+        let (mapped, act) = tiny_design();
+        let wires = WireModel::FanoutEstimate { per_fanout: 1e-15 };
+        let p = analyze_power(&mapped, &lib, &wires, &act, 1.0e6).unwrap();
+        let inv = lib.cell(CellKind::Inv).unwrap().leakage_power;
+        let nand = lib.cell(CellKind::Nand2).unwrap().leakage_power;
+        assert!((p.leakage - (inv + nand)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_activity_means_zero_dynamic() {
+        let lib = tiny_library();
+        let (mapped, _) = tiny_design();
+        let wires = WireModel::FanoutEstimate { per_fanout: 1e-15 };
+        let act = vec![0.0; mapped.num_nets];
+        let p = analyze_power(&mapped, &lib, &wires, &act, 1.0e6).unwrap();
+        assert_eq!(p.dynamic, 0.0);
+        assert!(p.leakage > 0.0);
+    }
+}

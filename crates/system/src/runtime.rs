@@ -1,0 +1,208 @@
+//! Runtime accounting for Table I: wall-clock stage timing of our own
+//! substrates, plus the paper-calibrated constants for the technology
+//! stages.
+//!
+//! The paper's Table I composes each benchmark row as
+//!
+//! ```text
+//! traditional = system_eval + T_TCAD_commercial + T_cellchar_commercial
+//! ours        = system_eval + T_env + T_GNN_TCAD + T_GNN_cells
+//! speedup     = traditional / ours
+//! ```
+//!
+//! with the technology-stage constants measured once: commercial TCAD
+//! 142.07 s/device, commercial characterization ≈1900 s, GNN TCAD 1.38 s,
+//! GNN characterization 8.88 s, shared environment setup 8.12 s.
+//! [`SpeedupRow`] reproduces the arithmetic for any system-eval time —
+//! either the paper's reported seconds or our measured substrate times.
+
+use std::time::Instant;
+
+/// The paper's technology-stage runtime constants, seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperConstants {
+    /// Commercial TCAD device simulation (per optimization pass).
+    pub tcad_commercial: f64,
+    /// Commercial cell-library characterization.
+    pub cellchar_commercial: f64,
+    /// GNN TCAD surrogate inference.
+    pub gnn_tcad: f64,
+    /// GNN cell-characterization inference.
+    pub gnn_cellchar: f64,
+    /// Shared environment setup for the GNN path.
+    pub env_setup: f64,
+}
+
+impl Default for PaperConstants {
+    fn default() -> Self {
+        PaperConstants {
+            tcad_commercial: 142.07,
+            cellchar_commercial: 1900.0,
+            gnn_tcad: 1.38,
+            gnn_cellchar: 8.88,
+            env_setup: 8.12,
+        }
+    }
+}
+
+impl PaperConstants {
+    /// Per-task speedups of the two accelerated stages (paper: ">100×
+    /// for both individual tasks").
+    pub fn task_speedups(&self) -> (f64, f64) {
+        (
+            self.tcad_commercial / self.gnn_tcad,
+            self.cellchar_commercial / self.gnn_cellchar,
+        )
+    }
+}
+
+/// One Table I row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupRow {
+    /// Benchmark label.
+    pub benchmark: String,
+    /// System-evaluation seconds.
+    pub system_eval: f64,
+    /// Traditional full-iteration seconds.
+    pub traditional: f64,
+    /// Fast-STCO full-iteration seconds.
+    pub ours: f64,
+    /// Speedup factor.
+    pub speedup: f64,
+}
+
+impl SpeedupRow {
+    /// Composes a row from a system-eval time and stage constants.
+    pub fn compose(benchmark: &str, system_eval: f64, constants: &PaperConstants) -> Self {
+        let traditional =
+            system_eval + constants.tcad_commercial + constants.cellchar_commercial;
+        let ours = system_eval
+            + constants.env_setup
+            + constants.gnn_tcad
+            + constants.gnn_cellchar;
+        SpeedupRow {
+            benchmark: benchmark.to_string(),
+            system_eval,
+            traditional,
+            ours,
+            speedup: traditional / ours,
+        }
+    }
+}
+
+/// Wall-clock timer for flow stages.
+#[derive(Debug)]
+pub struct StageTimer {
+    stages: Vec<(String, f64)>,
+    current: Option<(String, Instant)>,
+}
+
+impl Default for StageTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StageTimer {
+    /// Creates an empty timer.
+    pub fn new() -> Self {
+        StageTimer {
+            stages: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// Starts (or restarts) timing a named stage, closing any open one.
+    pub fn start(&mut self, name: &str) {
+        self.finish();
+        self.current = Some((name.to_string(), Instant::now()));
+    }
+
+    /// Closes the open stage, recording its elapsed seconds.
+    pub fn finish(&mut self) {
+        if let Some((name, t0)) = self.current.take() {
+            self.stages.push((name, t0.elapsed().as_secs_f64()));
+        }
+    }
+
+    /// Recorded `(stage, seconds)` pairs.
+    pub fn stages(&self) -> &[(String, f64)] {
+        &self.stages
+    }
+
+    /// Total seconds of a named stage (summed across repeats).
+    pub fn total_of(&self, name: &str) -> f64 {
+        self.stages
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, s)| s)
+            .sum()
+    }
+
+    /// Total recorded seconds.
+    pub fn total(&self) -> f64 {
+        self.stages.iter().map(|(_, s)| s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_reproduce_table1_speedups() {
+        // Recompute the paper's own rows from its reported system-eval
+        // seconds; the published speedups should emerge (±0.3 — Table I
+        // prints rounded values).
+        let constants = PaperConstants::default();
+        let rows = [
+            ("s298", 142.0, 13.6),
+            ("s386", 136.0, 14.1),
+            ("s526", 202.0, 10.2),
+            ("s820", 198.0, 10.4),
+            ("s1196", 223.0, 9.4),
+            ("s1488", 230.0, 9.2),
+            ("16bit MAC", 536.0, 4.7),
+            ("32bit MAC", 1270.0, 2.6),
+            ("Picorv32", 939.0, 3.1),
+            ("Darkriscv", 2250.0, 1.9),
+        ];
+        for (name, sys, expected) in rows {
+            let row = SpeedupRow::compose(name, sys, &constants);
+            assert!(
+                (row.speedup - expected).abs() < 0.3,
+                "{name}: computed {:.2} vs paper {expected}",
+                row.speedup
+            );
+        }
+    }
+
+    #[test]
+    fn task_speedups_exceed_100x() {
+        let (tcad, cells) = PaperConstants::default().task_speedups();
+        assert!(tcad > 100.0, "TCAD task speedup {tcad:.1}");
+        assert!(cells > 100.0, "cell-char task speedup {cells:.1}");
+    }
+
+    #[test]
+    fn traditional_columns_match_paper_arithmetic() {
+        // Paper note: traditional = system eval + commercial TCAD +
+        // commercial characterization. s298: 142 + 142.07 + 1900 ≈ 2184.
+        let row = SpeedupRow::compose("s298", 142.0, &PaperConstants::default());
+        assert!((row.traditional - 2184.07).abs() < 0.2);
+        // ours: 142 + 8.12 + 1.38 + 8.88 ≈ 160.4.
+        assert!((row.ours - 160.38).abs() < 0.2);
+    }
+
+    #[test]
+    fn stage_timer_accumulates() {
+        let mut t = StageTimer::new();
+        t.start("a");
+        std::hint::black_box((0..10_000).sum::<u64>());
+        t.start("b");
+        t.finish();
+        assert_eq!(t.stages().len(), 2);
+        assert!(t.total() >= t.total_of("a"));
+        assert!(t.total_of("missing") == 0.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Static timing analysis: topological arrival-time and slew propagation
+//! with NLDM table lookup over the characterized library.
+//!
+//! The timing graph is the mapped netlist: launch points are primary
+//! inputs and flip-flop outputs; capture points are primary outputs and
+//! flip-flop `D` pins. Net loads combine the fanout pin capacitances
+//! with the wire capacitance reported by placement (or a fanout-based
+//! estimate when run pre-placement).
+
+use stco_cells::liberty::Library;
+
+use crate::mapper::MappedNetlist;
+use crate::netlist::NetId;
+use crate::{Result, SystemError};
+
+/// Wire-load source for STA.
+#[derive(Debug, Clone)]
+pub enum WireModel {
+    /// Fanout-based estimate: `cap = per_fanout × fanout_count`.
+    FanoutEstimate {
+        /// Capacitance per fanout, F.
+        per_fanout: f64,
+    },
+    /// Explicit per-net wire capacitance (from placement).
+    PerNet(Vec<f64>),
+}
+
+impl WireModel {
+    fn net_cap(&self, net: NetId, fanout: usize) -> f64 {
+        match self {
+            WireModel::FanoutEstimate { per_fanout } => per_fanout * fanout as f64,
+            WireModel::PerNet(caps) => caps.get(net).copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Result of a timing run.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Worst combinational path delay (launch → capture), s.
+    pub critical_path_delay: f64,
+    /// Worst path endpoints `(from_net, to_net)`.
+    pub critical_path: (NetId, NetId),
+    /// Minimum clock period including flip-flop setup, s.
+    pub min_clock_period: f64,
+    /// Maximum operating frequency, Hz.
+    pub max_frequency: f64,
+    /// Per-net arrival times (launch-relative), s.
+    pub arrival: Vec<f64>,
+}
+
+/// Runs STA over a mapped netlist with the given library and wire model.
+///
+/// # Errors
+///
+/// Returns [`SystemError::MissingCell`] if an instance's cell is not in
+/// the library, or propagates netlist errors.
+pub fn analyze_timing(
+    netlist: &MappedNetlist,
+    library: &Library,
+    wires: &WireModel,
+) -> Result<TimingReport> {
+    let fanouts = netlist.fanouts();
+    // Load per net: fanin pin caps + wire cap.
+    let mut net_load = vec![0.0; netlist.num_nets];
+    for (net, fo) in fanouts.iter().enumerate() {
+        let mut cap = wires.net_cap(net, fo.len());
+        for &ii in fo {
+            let inst = &netlist.instances[ii];
+            let cell = library.cell(inst.kind).ok_or_else(|| SystemError::MissingCell {
+                cell: format!("{:?}", inst.kind),
+            })?;
+            cap += cell.input_capacitance;
+        }
+        net_load[net] = cap;
+    }
+
+    // Topological order over combinational instances (FFs are boundaries).
+    let order = topo_order(netlist)?;
+
+    let default_slew = 2.0e-9;
+    let mut arrival = vec![0.0_f64; netlist.num_nets];
+    let mut slew = vec![default_slew; netlist.num_nets];
+
+    // Launch points: primary inputs arrive at 0 with default slew; FF
+    // outputs arrive at their clk→Q delay.
+    for inst in &netlist.instances {
+        if inst.kind == stco_cells::library::CellKind::Dff {
+            let cell = library
+                .cell(inst.kind)
+                .ok_or_else(|| SystemError::MissingCell {
+                    cell: "Dff".to_string(),
+                })?;
+            let q = inst.output;
+            let d = cell.timing.delay(default_slew, net_load[q]);
+            arrival[q] = d;
+            slew[q] = cell.timing.output_slew(default_slew, net_load[q]);
+        }
+    }
+
+    for &ii in &order {
+        let inst = &netlist.instances[ii];
+        if inst.kind == stco_cells::library::CellKind::Dff {
+            continue;
+        }
+        let cell = library.cell(inst.kind).ok_or_else(|| SystemError::MissingCell {
+            cell: format!("{:?}", inst.kind),
+        })?;
+        let load = net_load[inst.output];
+        let mut worst_arrival = 0.0_f64;
+        let mut worst_slew = default_slew;
+        for &n in &inst.inputs {
+            let a = arrival[n] + cell.timing.delay(slew[n], load);
+            if a > worst_arrival {
+                worst_arrival = a;
+                worst_slew = cell.timing.output_slew(slew[n], load);
+            }
+        }
+        arrival[inst.output] = worst_arrival;
+        slew[inst.output] = worst_slew;
+    }
+
+    // Capture points: FF D pins (plus setup) and primary outputs.
+    let mut worst = 0.0_f64;
+    let mut worst_ends = (0, 0);
+    let mut setup = 0.0_f64;
+    for inst in &netlist.instances {
+        if inst.kind == stco_cells::library::CellKind::Dff {
+            let cell = library.cell(inst.kind).expect("checked above");
+            setup = cell.min_setup.unwrap_or(0.0);
+            let d_net = inst.inputs[0];
+            if arrival[d_net] > worst {
+                worst = arrival[d_net];
+                worst_ends = (d_net, inst.output);
+            }
+        }
+    }
+    for &po in &netlist.primary_outputs {
+        if arrival[po] > worst {
+            worst = arrival[po];
+            worst_ends = (po, po);
+        }
+    }
+    let min_period = worst + setup;
+    Ok(TimingReport {
+        critical_path_delay: worst,
+        critical_path: worst_ends,
+        min_clock_period: min_period.max(1e-12),
+        max_frequency: 1.0 / min_period.max(1e-12),
+        arrival,
+    })
+}
+
+/// Topological order of instances (combinational dependencies only).
+fn topo_order(netlist: &MappedNetlist) -> Result<Vec<usize>> {
+    let mut driver: Vec<Option<usize>> = vec![None; netlist.num_nets];
+    for (ii, inst) in netlist.instances.iter().enumerate() {
+        driver[inst.output] = Some(ii);
+    }
+    let is_ff = |ii: usize| netlist.instances[ii].kind == stco_cells::library::CellKind::Dff;
+    let mut state = vec![0u8; netlist.instances.len()];
+    let mut order = Vec::with_capacity(netlist.instances.len());
+    for start in 0..netlist.instances.len() {
+        if state[start] != 0 || is_ff(start) {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        state[start] = 1;
+        while let Some(&mut (ii, ref mut child)) = stack.last_mut() {
+            let inst = &netlist.instances[ii];
+            if *child < inst.inputs.len() {
+                let net = inst.inputs[*child];
+                *child += 1;
+                if let Some(pred) = driver[net] {
+                    if is_ff(pred) {
+                        continue;
+                    }
+                    match state[pred] {
+                        0 => {
+                            state[pred] = 1;
+                            stack.push((pred, 0));
+                        }
+                        1 => {
+                            return Err(SystemError::BadNetlist {
+                                context: format!("combinational cycle through instance {pred}"),
+                            })
+                        }
+                        _ => {}
+                    }
+                }
+            } else {
+                state[ii] = 2;
+                order.push(ii);
+                stack.pop();
+            }
+        }
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::map_netlist;
+    use crate::netlist::{LogicNetlist, LogicOp};
+    use stco_cells::charac::CharConfig;
+    use stco_cells::library::{CellKind, CellType};
+    use stco_compact::tech::TechnologyCard;
+    use stco_tcad::materials::Technology;
+
+    fn small_library() -> Library {
+        let card = TechnologyCard::reference(Technology::Ltps);
+        let cells = [
+            CellType::by_kind(CellKind::Inv),
+            CellType::by_kind(CellKind::Nand2),
+            CellType::by_kind(CellKind::Xor2),
+            CellType::by_kind(CellKind::Dff),
+        ];
+        let config = CharConfig {
+            slews: vec![2.0e-9, 8.0e-9],
+            loads: vec![5.0e-15, 20.0e-15],
+            samples: 220,
+            max_leakage_states: 2,
+        };
+        Library::characterize_subset(&card, &config, &cells).expect("library characterizes")
+    }
+
+    #[test]
+    fn chain_delay_accumulates() {
+        let lib = small_library();
+        // inv chain of depth 1 vs depth 4.
+        let build_chain = |depth: usize| {
+            let mut logic = LogicNetlist::new("chain");
+            let a = logic.add_input();
+            let mut prev = a;
+            for _ in 0..depth {
+                prev = logic.add_gate(LogicOp::Not, &[prev]);
+            }
+            logic.add_output(prev);
+            map_netlist(&logic).unwrap()
+        };
+        let wires = WireModel::FanoutEstimate { per_fanout: 1e-15 };
+        let t1 = analyze_timing(&build_chain(1), &lib, &wires).unwrap();
+        let t4 = analyze_timing(&build_chain(4), &lib, &wires).unwrap();
+        assert!(t4.critical_path_delay > 3.0 * t1.critical_path_delay);
+        assert!(t1.max_frequency > t4.max_frequency);
+    }
+
+    #[test]
+    fn ff_paths_include_setup() {
+        let lib = small_library();
+        let mut logic = LogicNetlist::new("ff");
+        let q = logic.add_ff_output();
+        let d = logic.add_gate(LogicOp::Not, &[q]);
+        logic.connect_ff(q, d);
+        logic.add_output(q);
+        let mapped = map_netlist(&logic).unwrap();
+        let wires = WireModel::FanoutEstimate { per_fanout: 1e-15 };
+        let rep = analyze_timing(&mapped, &lib, &wires).unwrap();
+        // min period = clk→Q + inv delay + setup > path delay alone.
+        assert!(rep.min_clock_period > rep.critical_path_delay);
+        assert!(rep.critical_path_delay > 0.0);
+    }
+
+    #[test]
+    fn heavier_wire_model_slows_design() {
+        let lib = small_library();
+        let mut logic = LogicNetlist::new("w");
+        let a = logic.add_input();
+        let b = logic.add_input();
+        let x = logic.add_gate(LogicOp::Nand, &[a, b]);
+        let y = logic.add_gate(LogicOp::Xor, &[x, a]);
+        logic.add_output(y);
+        let mapped = map_netlist(&logic).unwrap();
+        let light = analyze_timing(
+            &mapped,
+            &lib,
+            &WireModel::FanoutEstimate { per_fanout: 0.5e-15 },
+        )
+        .unwrap();
+        let heavy = analyze_timing(
+            &mapped,
+            &lib,
+            &WireModel::FanoutEstimate { per_fanout: 20.0e-15 },
+        )
+        .unwrap();
+        assert!(heavy.critical_path_delay > light.critical_path_delay);
+    }
+
+    #[test]
+    fn missing_cell_is_reported() {
+        let card = TechnologyCard::reference(Technology::Ltps);
+        let config = CharConfig::fast();
+        let lib = Library::characterize_subset(
+            &card,
+            &config,
+            &[CellType::by_kind(CellKind::Inv)],
+        )
+        .unwrap();
+        let mut logic = LogicNetlist::new("m");
+        let a = logic.add_input();
+        let b = logic.add_input();
+        let y = logic.add_gate(LogicOp::Nand, &[a, b]);
+        logic.add_output(y);
+        let mapped = map_netlist(&logic).unwrap();
+        let res = analyze_timing(
+            &mapped,
+            &lib,
+            &WireModel::FanoutEstimate { per_fanout: 1e-15 },
+        );
+        assert!(matches!(res, Err(SystemError::MissingCell { .. })));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the system substrate: mapping preserves logic
+//! function on random netlists, topological orders respect dependencies,
+//! and placements stay legal under random configurations.
+
+use proptest::prelude::*;
+use stco_cells::library::{CellKind, CellType};
+use stco_numerics::rng::Xorshift;
+use stco_system::mapper::map_netlist;
+use stco_system::netlist::{LogicNetlist, LogicOp, NetId};
+use stco_system::place::{check_drc, place, PlaceConfig};
+
+/// Builds a random combinational netlist from a seed (deterministic per
+/// seed, so shrinking stays meaningful).
+fn random_comb_netlist(seed: u64, num_inputs: usize, num_gates: usize) -> LogicNetlist {
+    let mut rng = Xorshift::new(seed);
+    let mut n = LogicNetlist::new("prop");
+    let mut pool: Vec<NetId> = (0..num_inputs).map(|_| n.add_input()).collect();
+    let ops = [
+        LogicOp::And,
+        LogicOp::Or,
+        LogicOp::Nand,
+        LogicOp::Nor,
+        LogicOp::Xor,
+        LogicOp::Not,
+        LogicOp::Mux,
+        LogicOp::Maj,
+    ];
+    for _ in 0..num_gates {
+        let op = ops[rng.gen_range(ops.len())];
+        let arity = match op {
+            LogicOp::Not => 1,
+            LogicOp::Xor => 2,
+            LogicOp::Mux | LogicOp::Maj => 3,
+            _ => 2 + rng.gen_range(5), // up to 6-wide → forces decomposition
+        };
+        let inputs: Vec<NetId> = (0..arity).map(|_| pool[rng.gen_range(pool.len())]).collect();
+        let out = n.add_gate(op, &inputs);
+        pool.push(out);
+    }
+    let out = *pool.last().expect("non-empty");
+    n.add_output(out);
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mapping_preserves_function(seed in 0u64..5000, vectors in prop::collection::vec(prop::collection::vec(any::<bool>(), 4), 1..6)) {
+        let logic = random_comb_netlist(seed, 4, 12);
+        let mapped = map_netlist(&logic).expect("maps");
+        let lib: std::collections::BTreeMap<CellKind, CellType> =
+            CellType::library().into_iter().map(|c| (c.kind, c)).collect();
+        for vector in &vectors {
+            let expected = logic.simulate(&[vector.clone()]).expect("simulates")[0].clone();
+            // Evaluate the mapped netlist with cell truth tables.
+            let mut values = vec![false; mapped.num_nets];
+            for (&pi, &v) in mapped.primary_inputs.iter().zip(vector) {
+                values[pi] = v;
+            }
+            for inst in &mapped.instances {
+                let cell = &lib[&inst.kind];
+                let ins: Vec<bool> = inst.inputs.iter().map(|&x| values[x]).collect();
+                values[inst.output] = cell.eval_comb(&ins)[0];
+            }
+            let got: Vec<bool> = mapped.primary_outputs.iter().map(|&o| values[o]).collect();
+            prop_assert_eq!(got, expected, "seed {} diverged", seed);
+        }
+    }
+
+    #[test]
+    fn mapped_cells_never_exceed_four_inputs(seed in 0u64..5000) {
+        let logic = random_comb_netlist(seed, 5, 20);
+        let mapped = map_netlist(&logic).expect("maps");
+        for inst in &mapped.instances {
+            prop_assert!(inst.inputs.len() <= 4, "{:?} has {} inputs", inst.kind, inst.inputs.len());
+        }
+    }
+
+    #[test]
+    fn topological_order_respects_all_dependencies(seed in 0u64..5000) {
+        let logic = random_comb_netlist(seed, 4, 25);
+        let order = logic.topological_order().expect("acyclic by construction");
+        prop_assert_eq!(order.len(), logic.gates.len());
+        let mut position = vec![usize::MAX; logic.gates.len()];
+        for (pos, &gi) in order.iter().enumerate() {
+            position[gi] = pos;
+        }
+        // Driver of every gate input must come earlier.
+        let mut driver = vec![None; logic.num_nets];
+        for (gi, g) in logic.gates.iter().enumerate() {
+            driver[g.output] = Some(gi);
+        }
+        for (gi, g) in logic.gates.iter().enumerate() {
+            for &input in &g.inputs {
+                if let Some(pred) = driver[input] {
+                    prop_assert!(position[pred] < position[gi]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn placement_stays_legal_for_any_seed(netlist_seed in 0u64..2000, place_seed in 0u64..2000) {
+        let logic = random_comb_netlist(netlist_seed, 4, 15);
+        let mapped = map_netlist(&logic).expect("maps");
+        let config = PlaceConfig {
+            seed: place_seed,
+            moves_per_instance: 4,
+            ..PlaceConfig::default()
+        };
+        let p = place(&mapped, &config).expect("places");
+        check_drc(&p).expect("legal placement");
+        // The placer restores its best-seen snapshot before the greedy
+        // polish sweep, so the result can never be worse than the start.
+        prop_assert!(p.total_hpwl <= p.initial_hpwl + 1e-12,
+            "HPWL grew: {} → {}", p.initial_hpwl, p.total_hpwl);
+    }
+
+    #[test]
+    fn activity_rates_are_probabilities(seed in 0u64..2000) {
+        let logic = random_comb_netlist(seed, 4, 10);
+        let act = logic.simulate_activity(64, seed ^ 1).expect("simulates");
+        for (net, a) in act.iter().enumerate() {
+            prop_assert!((0.0..=1.0).contains(a), "net {net} activity {a}");
+        }
+    }
+}

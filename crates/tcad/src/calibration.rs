@@ -1,0 +1,78 @@
+//! The calibrated runtime study behind the paper's 142.07 s figure: the
+//! commercial-TCAD baseline was timed over "576 planar CNT devices with
+//! 2D TCAD simulations". This module reruns the same experiment shape on
+//! our FEM simulator: a fixed-size population of randomized planar CNT
+//! devices, each solved at one bias point, with per-device statistics.
+
+use std::time::Instant;
+
+use crate::dataset::generate_dataset;
+use crate::materials::Technology;
+use crate::Result;
+
+/// The device count of the paper's calibrated study.
+pub const PAPER_DEVICE_COUNT: usize = 576;
+
+/// Result of a calibration run.
+#[derive(Debug, Clone)]
+pub struct CalibrationReport {
+    /// Devices simulated.
+    pub devices: usize,
+    /// Mean seconds per device solve.
+    pub mean_seconds: f64,
+    /// Minimum / maximum per-device seconds.
+    pub min_seconds: f64,
+    /// Maximum per-device seconds.
+    pub max_seconds: f64,
+    /// Mean Newton iterations per solve.
+    pub mean_newton_iterations: f64,
+}
+
+/// Runs the calibration study on `count` randomized planar CNT devices
+/// (pass [`PAPER_DEVICE_COUNT`] for the paper's population size).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn calibrate_cnt_study(count: usize, seed: u64) -> Result<CalibrationReport> {
+    let t0 = Instant::now();
+    let mut per_device = Vec::with_capacity(count);
+    let mut iters = 0usize;
+    // Generate one at a time so the timing is per-solve, not batched.
+    for k in 0..count {
+        let t = Instant::now();
+        let sample = generate_dataset(seed.wrapping_add(k as u64), 1, &[Technology::Cnt])?;
+        per_device.push(t.elapsed().as_secs_f64());
+        iters += sample[0].solution.newton_iterations;
+    }
+    let total = t0.elapsed().as_secs_f64();
+    let _ = total;
+    let mean = per_device.iter().sum::<f64>() / count.max(1) as f64;
+    Ok(CalibrationReport {
+        devices: count,
+        mean_seconds: mean,
+        min_seconds: per_device.iter().cloned().fold(f64::INFINITY, f64::min),
+        max_seconds: per_device.iter().cloned().fold(0.0, f64::max),
+        mean_newton_iterations: iters as f64 / count.max(1) as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reports_sane_statistics() {
+        let report = calibrate_cnt_study(4, 99).expect("runs");
+        assert_eq!(report.devices, 4);
+        assert!(report.mean_seconds > 0.0);
+        assert!(report.min_seconds <= report.mean_seconds);
+        assert!(report.mean_seconds <= report.max_seconds);
+        assert!(report.mean_newton_iterations > 1.0);
+    }
+
+    #[test]
+    fn paper_count_constant_matches_publication() {
+        assert_eq!(PAPER_DEVICE_COUNT, 576);
+    }
+}

@@ -1,0 +1,179 @@
+//! Labelled device datasets for the GNN surrogates.
+//!
+//! Each [`DeviceSample`] bundles the device/bias specification with the
+//! ground-truth labels the two surrogates regress: the nodal potential map
+//! (Poisson emulator, node regression) and the terminal current (IV
+//! predictor, graph regression), plus the self-consistent per-node
+//! quantities (charge density, SRH) that the unified encoding may inject
+//! as task-specific features.
+//!
+//! The paper trains on 50 000 independent devices and evaluates on a
+//! further 32 000 unseen ones; this generator produces the same population
+//! at any requested size (documented scale-down in EXPERIMENTS.md).
+
+use crate::device::{Bias, Device, DeviceSampler, DeviceSpec};
+use crate::materials::Technology;
+use crate::poisson::{solve_poisson, PotentialSolution};
+use crate::transport::drain_current;
+use crate::Result;
+
+/// One labelled device for surrogate training.
+#[derive(Debug, Clone)]
+pub struct DeviceSample {
+    /// The device specification.
+    pub spec: DeviceSpec,
+    /// The meshed device (kept for encoding geometry).
+    pub device: Device,
+    /// Applied bias.
+    pub bias: Bias,
+    /// Converged electrostatics (labels + self-consistent features).
+    pub solution: PotentialSolution,
+    /// Terminal drain current, A.
+    pub current: f64,
+}
+
+impl DeviceSample {
+    /// Simulates one device at one bias point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Poisson convergence failures.
+    pub fn simulate(spec: DeviceSpec, bias: Bias) -> Result<Self> {
+        let device = spec.build()?;
+        let solution = solve_poisson(&device, bias)?;
+        let current = drain_current(&device, &solution, bias);
+        Ok(DeviceSample {
+            spec,
+            device,
+            bias,
+            solution,
+            current,
+        })
+    }
+
+    /// `log10(|I_D|)` with a 1 fA floor — the regression target of the IV
+    /// predictor (currents span many decades, so the model learns logs).
+    pub fn log_current(&self) -> f64 {
+        self.current.abs().max(1e-15).log10()
+    }
+}
+
+/// Deterministically generates `count` labelled devices.
+///
+/// Devices that fail to converge (rare, extreme corners) are skipped and
+/// replaced, so the returned set always has exactly `count` samples.
+///
+/// # Errors
+///
+/// Returns the last simulation error if fewer than `count` of
+/// `4 * count` attempts converge (indicative of a systematic problem).
+pub fn generate_dataset(
+    seed: u64,
+    count: usize,
+    technologies: &[Technology],
+) -> Result<Vec<DeviceSample>> {
+    let mut sampler = DeviceSampler::new(seed, technologies);
+    let mut out = Vec::with_capacity(count);
+    let mut last_err = None;
+    let mut attempts = 0;
+    while out.len() < count && attempts < 4 * count.max(1) {
+        attempts += 1;
+        let (spec, bias) = sampler.sample();
+        match DeviceSample::simulate(spec, bias) {
+            Ok(s) => out.push(s),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    if out.len() < count {
+        Err(last_err.expect("failure path implies an error"))
+    } else {
+        Ok(out)
+    }
+}
+
+/// An index-based train/validation/test split (70/15/15 by default).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitIndices {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Validation indices.
+    pub val: Vec<usize>,
+    /// Test indices.
+    pub test: Vec<usize>,
+}
+
+/// Splits `0..n` deterministically into train/val/test by fractions.
+///
+/// # Panics
+///
+/// Panics if the fractions are negative or sum above 1.
+pub fn split_indices(n: usize, train_frac: f64, val_frac: f64, seed: u64) -> SplitIndices {
+    assert!(train_frac >= 0.0 && val_frac >= 0.0 && train_frac + val_frac <= 1.0);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = stco_numerics::rng::Xorshift::new(seed);
+    rng.shuffle(&mut order);
+    let n_train = (n as f64 * train_frac).round() as usize;
+    let n_val = (n as f64 * val_frac).round() as usize;
+    let train = order[..n_train.min(n)].to_vec();
+    let val = order[n_train.min(n)..(n_train + n_val).min(n)].to_vec();
+    let test = order[(n_train + n_val).min(n)..].to_vec();
+    SplitIndices { train, val, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let ds = generate_dataset(3, 4, &[Technology::Igzo]).unwrap();
+        assert_eq!(ds.len(), 4);
+        for s in &ds {
+            assert!(s.current.is_finite());
+            assert!(s.solution.psi.iter().all(|p| p.is_finite()));
+        }
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let a = generate_dataset(9, 3, &[Technology::Cnt]).unwrap();
+        let b = generate_dataset(9, 3, &[Technology::Cnt]).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.spec, y.spec);
+            assert_eq!(x.current, y.current);
+        }
+    }
+
+    #[test]
+    fn log_current_floors_tiny_values() {
+        let ds = generate_dataset(5, 1, &[Technology::Ltps]).unwrap();
+        let lc = ds[0].log_current();
+        assert!(lc >= -15.0 && lc < 0.0, "log current {lc}");
+    }
+
+    #[test]
+    fn split_partitions_exactly() {
+        let s = split_indices(100, 0.7, 0.15, 42);
+        assert_eq!(s.train.len(), 70);
+        assert_eq!(s.val.len(), 15);
+        assert_eq!(s.test.len(), 15);
+        let mut all: Vec<usize> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_seed_dependent_but_stable() {
+        let a = split_indices(50, 0.8, 0.1, 1);
+        let b = split_indices(50, 0.8, 0.1, 1);
+        let c = split_indices(50, 0.8, 0.1, 2);
+        assert_eq!(a, b);
+        assert_ne!(a.train, c.train);
+    }
+}

@@ -1,0 +1,338 @@
+//! Rectilinear finite-volume meshes over a planar TFT cross-section.
+//!
+//! The mesh is a tensor grid `xs × ys` (x along the channel, y through the
+//! layer stack, gate at the bottom). Every node carries a [`Material`] and
+//! a [`Region`] label; the Poisson solver derives boundary conditions from
+//! the region, and the unified encoding (Fig. 2) derives its device-level
+//! one-hot from it.
+
+use crate::materials::Material;
+
+/// Functional region of a node — the device-level one-hot of the encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Gate electrode (Dirichlet at gate potential).
+    Gate,
+    /// Gate dielectric interior.
+    Dielectric,
+    /// Semiconductor channel interior.
+    Channel,
+    /// Source contact (Dirichlet at source potential).
+    SourceContact,
+    /// Drain contact (Dirichlet at drain potential).
+    DrainContact,
+    /// Passivation above the channel (Neumann).
+    Passivation,
+}
+
+impl Region {
+    /// Number of distinct regions (one-hot width).
+    pub const NUM_CLASSES: usize = 6;
+
+    /// One-hot index.
+    pub fn class_index(self) -> usize {
+        match self {
+            Region::Gate => 0,
+            Region::Dielectric => 1,
+            Region::Channel => 2,
+            Region::SourceContact => 3,
+            Region::DrainContact => 4,
+            Region::Passivation => 5,
+        }
+    }
+
+    /// Whether this node's potential is pinned by an electrode.
+    pub fn is_dirichlet(self) -> bool {
+        matches!(
+            self,
+            Region::Gate | Region::SourceContact | Region::DrainContact
+        )
+    }
+}
+
+/// A rectilinear 2-D mesh with per-node material and region labels.
+#[derive(Debug, Clone)]
+pub struct RectMesh {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    materials: Vec<Material>,
+    regions: Vec<Region>,
+}
+
+impl RectMesh {
+    /// Builds a mesh from grid lines and per-node labels (row-major over
+    /// `iy * nx + ix`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if axes are not strictly increasing or label lengths differ
+    /// from `xs.len() * ys.len()`.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>, materials: Vec<Material>, regions: Vec<Region>) -> Self {
+        assert!(xs.len() >= 2 && ys.len() >= 2, "mesh needs ≥ 2×2 nodes");
+        assert!(
+            xs.windows(2).all(|w| w[1] > w[0]) && ys.windows(2).all(|w| w[1] > w[0]),
+            "grid lines must be strictly increasing"
+        );
+        let n = xs.len() * ys.len();
+        assert_eq!(materials.len(), n, "one material per node");
+        assert_eq!(regions.len(), n, "one region per node");
+        RectMesh {
+            xs,
+            ys,
+            materials,
+            regions,
+        }
+    }
+
+    /// Grid lines along the channel (x).
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Grid lines through the stack (y).
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Node count in x.
+    pub fn nx(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Node count in y.
+    pub fn ny(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// Total node count.
+    pub fn num_nodes(&self) -> usize {
+        self.xs.len() * self.ys.len()
+    }
+
+    /// Flat index of node `(ix, iy)`.
+    #[inline]
+    pub fn node_index(&self, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.nx() && iy < self.ny());
+        iy * self.nx() + ix
+    }
+
+    /// Inverse of [`RectMesh::node_index`].
+    #[inline]
+    pub fn node_coords(&self, idx: usize) -> (usize, usize) {
+        (idx % self.nx(), idx / self.nx())
+    }
+
+    /// Physical position of a node, in meters.
+    pub fn position(&self, idx: usize) -> (f64, f64) {
+        let (ix, iy) = self.node_coords(idx);
+        (self.xs[ix], self.ys[iy])
+    }
+
+    /// Material at a node.
+    pub fn material(&self, idx: usize) -> Material {
+        self.materials[idx]
+    }
+
+    /// Region at a node.
+    pub fn region(&self, idx: usize) -> Region {
+        self.regions[idx]
+    }
+
+    /// Orthogonal neighbors of a node (up to four).
+    pub fn neighbors(&self, idx: usize) -> Vec<usize> {
+        let (ix, iy) = self.node_coords(idx);
+        let mut out = Vec::with_capacity(4);
+        if ix > 0 {
+            out.push(self.node_index(ix - 1, iy));
+        }
+        if ix + 1 < self.nx() {
+            out.push(self.node_index(ix + 1, iy));
+        }
+        if iy > 0 {
+            out.push(self.node_index(ix, iy - 1));
+        }
+        if iy + 1 < self.ny() {
+            out.push(self.node_index(ix, iy + 1));
+        }
+        out
+    }
+
+    /// Finite-volume control length around grid line `i` of `axis`
+    /// (half-distance to each neighbor, clipped at the boundary).
+    fn control_length(axis: &[f64], i: usize) -> f64 {
+        let lo = if i > 0 {
+            0.5 * (axis[i] - axis[i - 1])
+        } else {
+            0.0
+        };
+        let hi = if i + 1 < axis.len() {
+            0.5 * (axis[i + 1] - axis[i])
+        } else {
+            0.0
+        };
+        lo + hi
+    }
+
+    /// Control-volume area of a node (per meter of device width), m².
+    pub fn control_area(&self, idx: usize) -> f64 {
+        let (ix, iy) = self.node_coords(idx);
+        Self::control_length(&self.xs, ix) * Self::control_length(&self.ys, iy)
+    }
+
+    /// Coupling geometry factor between orthogonal neighbors `a → b`:
+    /// (face length ⟂ to the edge) / (node distance), per meter of width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nodes are not orthogonal neighbors.
+    pub fn coupling_factor(&self, a: usize, b: usize) -> f64 {
+        let (ax, ay) = self.node_coords(a);
+        let (bx, by) = self.node_coords(b);
+        if ay == by && ax.abs_diff(bx) == 1 {
+            let dist = (self.xs[ax] - self.xs[bx]).abs();
+            Self::control_length(&self.ys, ay) / dist
+        } else if ax == bx && ay.abs_diff(by) == 1 {
+            let dist = (self.ys[ay] - self.ys[by]).abs();
+            Self::control_length(&self.xs, ax) / dist
+        } else {
+            panic!("coupling_factor of non-neighbors {a} and {b}");
+        }
+    }
+
+    /// Permittivity (absolute, F/m) on the face between two neighbors:
+    /// arithmetic mean of node permittivities.
+    pub fn face_permittivity(&self, a: usize, b: usize) -> f64 {
+        let ea = self.materials[a].relative_permittivity();
+        let eb = self.materials[b].relative_permittivity();
+        0.5 * (ea + eb) * crate::VACUUM_PERMITTIVITY
+    }
+
+    /// Iterator over all node indices.
+    pub fn node_indices(&self) -> std::ops::Range<usize> {
+        0..self.num_nodes()
+    }
+}
+
+/// Builds a graded 1-D axis from 0 to `segments`-sum with `points[i]`
+/// nodes in segment `i` (shared endpoints merged). Helper for device
+/// meshing: each layer/region gets its own resolution.
+pub fn graded_axis(segments: &[(f64, usize)]) -> Vec<f64> {
+    let mut axis = vec![0.0];
+    let mut origin = 0.0;
+    for &(length, points) in segments {
+        assert!(length > 0.0 && points >= 1, "segment needs length and points");
+        for k in 1..=points {
+            axis.push(origin + length * k as f64 / points as f64);
+        }
+        origin += length;
+    }
+    axis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::materials::Technology;
+
+    fn tiny_mesh() -> RectMesh {
+        // 3×3 grid: bottom row gate, middle dielectric, top channel.
+        let xs = vec![0.0, 1e-6, 2e-6];
+        let ys = vec![0.0, 0.1e-6, 0.2e-6];
+        let mut materials = Vec::new();
+        let mut regions = Vec::new();
+        for iy in 0..3 {
+            for _ix in 0..3 {
+                match iy {
+                    0 => {
+                        materials.push(Material::Metal);
+                        regions.push(Region::Gate);
+                    }
+                    1 => {
+                        materials.push(Material::OxideSiO2);
+                        regions.push(Region::Dielectric);
+                    }
+                    _ => {
+                        materials.push(Material::Semiconductor(Technology::Igzo));
+                        regions.push(Region::Channel);
+                    }
+                }
+            }
+        }
+        RectMesh::new(xs, ys, materials, regions)
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let m = tiny_mesh();
+        for idx in m.node_indices() {
+            let (ix, iy) = m.node_coords(idx);
+            assert_eq!(m.node_index(ix, iy), idx);
+        }
+    }
+
+    #[test]
+    fn neighbor_counts() {
+        let m = tiny_mesh();
+        // Corner has 2, edge has 3, center has 4.
+        assert_eq!(m.neighbors(m.node_index(0, 0)).len(), 2);
+        assert_eq!(m.neighbors(m.node_index(1, 0)).len(), 3);
+        assert_eq!(m.neighbors(m.node_index(1, 1)).len(), 4);
+    }
+
+    #[test]
+    fn control_areas_tile_the_domain() {
+        let m = tiny_mesh();
+        let total: f64 = m.node_indices().map(|i| m.control_area(i)).sum();
+        let domain = 2e-6 * 0.2e-6;
+        assert!((total - domain).abs() / domain < 1e-12);
+    }
+
+    #[test]
+    fn coupling_factor_is_symmetric() {
+        let m = tiny_mesh();
+        let a = m.node_index(1, 1);
+        for b in m.neighbors(a) {
+            assert!((m.coupling_factor(a, b) - m.coupling_factor(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbors")]
+    fn coupling_factor_panics_for_non_neighbors() {
+        let m = tiny_mesh();
+        let _ = m.coupling_factor(0, 8);
+    }
+
+    #[test]
+    fn face_permittivity_averages_materials() {
+        let m = tiny_mesh();
+        let gate_diel = m.face_permittivity(m.node_index(0, 0), m.node_index(0, 1));
+        let expected = 0.5 * (1.0 + 3.9) * crate::VACUUM_PERMITTIVITY;
+        assert!((gate_diel - expected).abs() < 1e-20);
+    }
+
+    #[test]
+    fn regions_classify_dirichlet() {
+        assert!(Region::Gate.is_dirichlet());
+        assert!(Region::SourceContact.is_dirichlet());
+        assert!(!Region::Channel.is_dirichlet());
+        assert!(!Region::Passivation.is_dirichlet());
+    }
+
+    #[test]
+    fn graded_axis_builds_expected_knots() {
+        let a = graded_axis(&[(1.0, 2), (0.5, 1)]);
+        assert_eq!(a, vec![0.0, 0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn mesh_rejects_unsorted_axes() {
+        let _ = RectMesh::new(
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![Material::Metal; 4],
+            vec![Region::Gate; 4],
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the device simulator over randomized devices:
+//! converged solutions stay physical, currents obey monotonicity and
+//! geometric scaling, and the carrier statistics respect their analytic
+//! derivatives everywhere.
+
+use proptest::prelude::*;
+use stco_tcad::device::{Bias, DeviceSampler, DeviceSpec};
+use stco_tcad::materials::{ChannelParams, Polarity, Technology};
+use stco_tcad::physics;
+use stco_tcad::poisson::solve_poisson;
+use stco_tcad::transport::drain_current;
+
+fn any_technology() -> impl Strategy<Value = Technology> {
+    prop_oneof![
+        Just(Technology::Cnt),
+        Just(Technology::Igzo),
+        Just(Technology::Ltps),
+    ]
+}
+
+proptest! {
+    // Each case runs a handful of Newton solves; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sampled_devices_solve_and_stay_physical(seed in 0u64..10_000) {
+        let mut sampler = DeviceSampler::new(seed, &Technology::ALL);
+        let (spec, bias) = sampler.sample();
+        let device = spec.build().expect("sampled specs are valid");
+        let sol = solve_poisson(&device, bias).expect("sampled biases converge");
+        // Potentials bounded by the electrode range ± the built-in offsets.
+        let bound = bias.gate.abs() + bias.drain.abs() + 2.0;
+        for (i, &psi) in sol.psi.iter().enumerate() {
+            prop_assert!(psi.is_finite());
+            prop_assert!(psi.abs() <= bound, "node {i}: ψ = {psi}");
+        }
+        // Carrier densities are non-negative and finite.
+        for &n in &sol.carrier_density {
+            prop_assert!(n >= 0.0 && n.is_finite());
+        }
+        let id = drain_current(&device, &sol, bias);
+        prop_assert!(id.is_finite());
+        // Current sign follows the drain bias sign.
+        if bias.drain.abs() > 1e-9 {
+            prop_assert!(id.signum() == bias.drain.signum() || id == 0.0);
+        }
+    }
+
+    #[test]
+    fn gate_drive_increases_current(tech in any_technology(), drive in 1.5..3.0f64) {
+        let spec = DeviceSpec::reference(tech);
+        let device = spec.build().expect("reference builds");
+        let sign = spec.channel.polarity.sign();
+        let weak = {
+            let b = Bias { gate: sign * 0.8, drain: sign * 0.5 };
+            let sol = solve_poisson(&device, b).expect("converges");
+            drain_current(&device, &sol, b).abs()
+        };
+        let strong = {
+            let b = Bias { gate: sign * drive, drain: sign * 0.5 };
+            let sol = solve_poisson(&device, b).expect("converges");
+            drain_current(&device, &sol, b).abs()
+        };
+        prop_assert!(strong > weak, "|I| must grow with |V_G| ({weak:.3e} → {strong:.3e})");
+    }
+
+    #[test]
+    // Domain kept within ±~50 kT of overdrive: beyond that the density
+    // reaches 1e50/m³ scales where the central difference suffers
+    // catastrophic cancellation (the analytic form stays exact).
+    fn carrier_density_derivative_is_exact(tech in any_technology(),
+                                           psi in -1.0..1.0f64,
+                                           phi in -0.25..0.25f64) {
+        let p = ChannelParams::reference(tech);
+        let h = 1e-7;
+        let numeric = (physics::carrier_density(&p, psi + h, phi)
+            - physics::carrier_density(&p, psi - h, phi))
+            / (2.0 * h);
+        let analytic = physics::carrier_density_dpsi(&p, psi, phi);
+        let denom = numeric.abs().max(analytic.abs()).max(1e-3);
+        prop_assert!((numeric - analytic).abs() / denom < 1e-4);
+    }
+
+    #[test]
+    fn space_charge_sign_flips_with_polarity(tech in any_technology(), eta in 0.3..1.2f64) {
+        let p = ChannelParams::reference(tech);
+        // Strong accumulation: mobile carriers dominate doping.
+        let (psi, phi) = match p.polarity {
+            Polarity::NType => (eta, 0.0),
+            Polarity::PType => (-eta, 0.0),
+        };
+        let rho = physics::space_charge(&p, psi, phi);
+        match p.polarity {
+            // Accumulated electrons: net negative space charge.
+            Polarity::NType => prop_assert!(rho < 0.0),
+            // Accumulated holes: net positive.
+            Polarity::PType => prop_assert!(rho > 0.0),
+        }
+    }
+
+    #[test]
+    fn mobility_power_law_scales(tech in any_technology(), q in 1e-5..1e-2f64, k in 1.5..4.0f64) {
+        let p = ChannelParams::reference(tech);
+        let qref = 1e-3;
+        let m1 = physics::mobility(&p, q, qref);
+        let mk = physics::mobility(&p, k * q, qref);
+        prop_assert!((mk / m1 - k.powf(p.mobility_gamma)).abs() < 1e-9);
+    }
+}

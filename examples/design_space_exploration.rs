@@ -1,0 +1,71 @@
+//! Design-space exploration: the RL agent versus the random-search and
+//! grid-search baselines over the (V_DD, V_th, C_ox) technology space.
+//!
+//! The per-corner cost here is an analytic PPA proxy evaluated from the
+//! compact model (delay ∝ C/I_on, power ∝ leakage + C·V²·f), so the
+//! example runs in milliseconds while preserving the real trade-off
+//! surface; `stco_core::flow` provides the full-evaluation closure for
+//! production runs.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use stco_compact::tech::{Corner, TechnologyCard};
+use stco_core::rl::{grid_search, q_learning_explore, random_search, AgentConfig};
+use stco_core::space::DesignSpace;
+use stco_tcad::materials::Technology;
+
+/// Analytic PPA proxy: geometric mean of delay, power and an area-like
+/// C_ox penalty, all from the compact model at the corner.
+fn ppa_proxy(base: &TechnologyCard, corner: Corner) -> f64 {
+    let card = base.at_corner(corner);
+    let ion = card.nfet.on_current(card.vdd).max(1e-15);
+    let cload = 20.0e-15 * corner.cox_scale;
+    let delay = cload * card.vdd / ion;
+    let leak = card.nfet.off_current(card.vdd) * card.vdd;
+    let dynamic = cload * card.vdd * card.vdd / delay * 0.1;
+    let power = leak + dynamic;
+    let area = corner.cox_scale; // thicker effective oxide → larger device
+    (delay.ln() + power.ln() + area.ln()) / 3.0
+}
+
+fn main() {
+    println!("fast-stco design-space exploration (LTPS, analytic PPA proxy)\n");
+    let base = TechnologyCard::reference(Technology::Ltps);
+    let space = DesignSpace::new(6); // 216 corners
+
+    let grid = grid_search(&space, |c| ppa_proxy(&base, c));
+    let rl = q_learning_explore(&space, &AgentConfig::default(), |c| ppa_proxy(&base, c));
+    let rand = random_search(&space, rl.evaluations, 5, |c| ppa_proxy(&base, c));
+
+    let show = |name: &str, r: &stco_core::rl::ExplorationResult| {
+        println!(
+            "{:<14} cost {:+.4}  evaluations {:>4}  best corner: VDD {:.2} V, dVth {:+.3} V, Cox x{:.3}",
+            name, r.best_cost, r.evaluations, r.best_corner.vdd, r.best_corner.vth_shift, r.best_corner.cox_scale
+        );
+    };
+    show("grid search", &grid);
+    show("q-learning", &rl);
+    show("random", &rand);
+
+    println!(
+        "\nrl reaches within {:.1} % of the exhaustive optimum using {} of {} corners",
+        100.0 * (rl.best_cost - grid.best_cost).abs() / grid.best_cost.abs().max(1e-12),
+        rl.evaluations,
+        space.size()
+    );
+    println!("\nconvergence (best cost after each new evaluation):");
+    print!("  rl    :");
+    for (i, c) in rl.convergence.iter().enumerate() {
+        if i % (rl.convergence.len() / 8).max(1) == 0 {
+            print!(" {c:+.3}");
+        }
+    }
+    println!();
+    print!("  random:");
+    for (i, c) in rand.convergence.iter().enumerate() {
+        if i % (rand.convergence.len() / 8).max(1) == 0 {
+            print!(" {c:+.3}");
+        }
+    }
+    println!();
+}

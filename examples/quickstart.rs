@@ -1,0 +1,55 @@
+//! Quickstart: one traditional STCO iteration on the s298 benchmark.
+//!
+//! Builds the flow for the LTPS technology, runs TCAD device simulation,
+//! compact-model extraction, SPICE cell characterization and full system
+//! evaluation at the nominal corner, then prints the PPA report and the
+//! per-stage wall-clock breakdown.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use stco_compact::tech::Corner;
+use stco_core::flow::{FlowConfig, StcoFlow, TechnologyStage};
+use stco_system::bench_gen::Benchmark;
+use stco_tcad::materials::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("fast-stco quickstart: s298 on LTPS, traditional flow\n");
+
+    let config = FlowConfig::fast(Technology::Ltps, Benchmark::S298);
+    let flow = StcoFlow::new(config)?;
+    println!(
+        "benchmark: {} ({} gates, {} cells used)",
+        flow.logic().name,
+        flow.logic().gate_count(),
+        flow.cells().len()
+    );
+
+    let corner = Corner::nominal(3.0);
+    let result = flow.run_iteration(corner, TechnologyStage::Traditional, None)?;
+
+    println!("\nextracted compact parameters:");
+    println!("  mu0   = {:.3e} m^2/Vs", result.extracted.0);
+    println!("  Vth   = {:+.3} V", result.extracted.1);
+    println!("  gamma = {:.3}", result.extracted.2);
+
+    let ppa = &result.ppa;
+    println!("\nPPA at the nominal corner:");
+    println!("  gates          : {}", ppa.gate_count);
+    println!(
+        "  critical path  : {:.3} ns",
+        ppa.timing.critical_path_delay * 1e9
+    );
+    println!("  max frequency  : {:.3} MHz", ppa.timing.max_frequency / 1e6);
+    println!("  total power    : {:.3} uW", ppa.power.total() * 1e6);
+    println!("  area           : {:.3e} m^2", ppa.area);
+    println!("  wirelength     : {:.3} mm", ppa.wirelength * 1e3);
+
+    let s = &result.seconds;
+    println!("\nstage runtimes (wall clock):");
+    println!("  device simulation   : {:.3} s", s.device);
+    println!("  compact extraction  : {:.3} s", s.compact);
+    println!("  cell characterize   : {:.3} s", s.cells);
+    println!("  system evaluation   : {:.3} s", s.system);
+    println!("  total               : {:.3} s", s.total());
+    Ok(())
+}

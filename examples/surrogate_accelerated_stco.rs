@@ -1,0 +1,118 @@
+//! The full fast-STCO loop, surrogate-accelerated end to end: train the
+//! device and cell GNN surrogates (environment setup), bootstrap the
+//! system-evaluation PPA surrogate from a few real runs, let the RL agent
+//! explore the technology space on predicted costs, and re-evaluate only
+//! the shortlist for real.
+//!
+//! This is the paper's architecture plus its anticipated "AI-driven
+//! system evaluation" extension, on the s298 benchmark.
+//!
+//! Run with: `cargo run --release --example surrogate_accelerated_stco`
+//! (takes a few minutes: it trains three neural models from scratch).
+
+use stco_cells::charac::CharConfig;
+use stco_compact::tech::Corner;
+use stco_core::flow::{FlowConfig, StcoFlow, TechnologyStage, TrainedSurrogates};
+use stco_core::optimize::{explore_with_prescreen, PrescreenConfig};
+use stco_core::rl::AgentConfig;
+use stco_core::space::DesignSpace;
+use stco_nn::train::TrainConfig;
+use stco_surrogate::cell_model::{CellModel, CellModelConfig};
+use stco_surrogate::iv_predictor::{IvConfig, IvPredictor};
+use stco_surrogate::pipeline::build_cell_dataset;
+use stco_surrogate::poisson_emulator::{PoissonConfig, PoissonEmulator};
+use stco_system::bench_gen::Benchmark;
+use stco_tcad::dataset::generate_dataset;
+use stco_tcad::materials::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("fast-stco surrogate-accelerated exploration (s298, LTPS)\n");
+    let t_total = std::time::Instant::now();
+
+    let flow = StcoFlow::new(FlowConfig::fast(Technology::Ltps, Benchmark::S298))?;
+
+    // --- Environment setup (trained once, amortized across iterations).
+    println!("[1/3] training device + cell surrogates (environment setup)…");
+    let t0 = std::time::Instant::now();
+    let data = generate_dataset(7001, 12, &[Technology::Ltps])?;
+    let (train, val) = data.split_at(10);
+    let schedule = TrainConfig {
+        epochs: 15,
+        batch_size: 2,
+        patience: None,
+        ..TrainConfig::default()
+    };
+    let mut poisson = PoissonEmulator::new(PoissonConfig {
+        depth: 2,
+        heads: 1,
+        head_dim: 8,
+        ..PoissonConfig::default()
+    });
+    poisson.train(train, val, &schedule)?;
+    let mut iv = IvPredictor::new(IvConfig {
+        depth: 2,
+        head_dim: 8,
+        mlp_hidden: 12,
+        ..IvConfig::default()
+    });
+    iv.train(train, val, &schedule)?;
+    let base = stco_compact::tech::TechnologyCard::reference(Technology::Ltps);
+    let samples = build_cell_dataset(
+        &base,
+        &[Corner::nominal(2.5), Corner::nominal(3.5)],
+        flow.cells(),
+        &CharConfig::fast(),
+    )?;
+    let mut cells = CellModel::new(CellModelConfig::default());
+    cells.train(
+        &samples,
+        &[],
+        &TrainConfig {
+            epochs: 25,
+            batch_size: 16,
+            patience: None,
+            ..TrainConfig::default()
+        },
+    )?;
+    let surrogates = TrainedSurrogates { poisson, iv, cells };
+    println!("      done in {:.1} s", t0.elapsed().as_secs_f64());
+
+    // --- Exploration with PPA-surrogate prescreening.
+    println!("[2/3] exploring the (VDD, Vth, Cox) space…");
+    let space = DesignSpace::new(5); // 125 corners
+    let outcome = explore_with_prescreen(
+        &flow,
+        &space,
+        &AgentConfig::default(),
+        TechnologyStage::Fast,
+        Some(&surrogates),
+        &PrescreenConfig::default(),
+    )?;
+
+    println!("[3/3] results\n");
+    let best = &outcome.best_iteration;
+    println!(
+        "best corner : VDD {:.2} V, dVth {:+.3} V, Cox x{:.3}",
+        outcome.exploration.best_corner.vdd,
+        outcome.exploration.best_corner.vth_shift,
+        outcome.exploration.best_corner.cox_scale
+    );
+    println!(
+        "PPA         : {:.2} MHz, {:.1} uW, {:.2e} m^2",
+        best.ppa.timing.max_frequency / 1e6,
+        best.ppa.power.total() * 1e6,
+        best.ppa.area
+    );
+    println!(
+        "evaluations : {} real STCO iterations for a {}-corner space",
+        outcome.real_evaluations,
+        space.size()
+    );
+    println!(
+        "iteration   : {:.2} s/iteration in the fast flow ({:.2} s of it system eval)",
+        best.seconds.total(),
+        best.seconds.system
+    );
+    println!("\ntotal wall clock: {:.1} s", t_total.elapsed().as_secs_f64());
+    Ok(())
+}

@@ -1,0 +1,175 @@
+//! End-to-end STCO flow integration: both the traditional and the fast
+//! iteration on a real benchmark, sharing one trained surrogate bundle.
+
+use stco_cells::charac::CharConfig;
+use stco_compact::tech::Corner;
+use stco_core::flow::{FlowConfig, StcoFlow, TechnologyStage, TrainedSurrogates};
+use stco_nn::train::TrainConfig;
+use stco_surrogate::cell_model::{CellModel, CellModelConfig};
+use stco_surrogate::iv_predictor::{IvConfig, IvPredictor};
+use stco_surrogate::pipeline::build_cell_dataset;
+use stco_surrogate::poisson_emulator::{PoissonConfig, PoissonEmulator};
+use stco_system::bench_gen::Benchmark;
+use stco_tcad::dataset::generate_dataset;
+use stco_tcad::materials::Technology;
+
+/// Trains a small surrogate bundle good enough for the fast flow.
+fn train_surrogates(flow: &StcoFlow) -> TrainedSurrogates {
+    // Device surrogates on a small LTPS population.
+    let data = generate_dataset(77, 10, &[Technology::Ltps]).expect("devices generate");
+    let (train, val) = data.split_at(8);
+    let schedule = TrainConfig {
+        epochs: 12,
+        batch_size: 2,
+        patience: None,
+        ..TrainConfig::default()
+    };
+    let mut poisson = PoissonEmulator::new(PoissonConfig {
+        depth: 2,
+        heads: 1,
+        head_dim: 8,
+        ..PoissonConfig::default()
+    });
+    poisson.train(train, val, &schedule).expect("poisson trains");
+    let mut iv = IvPredictor::new(IvConfig {
+        depth: 2,
+        head_dim: 8,
+        mlp_hidden: 12,
+        ..IvConfig::default()
+    });
+    iv.train(train, val, &schedule).expect("iv trains");
+
+    // Cell surrogate on the benchmark's own cells at two corners.
+    let base = stco_compact::tech::TechnologyCard::reference(Technology::Ltps);
+    let corners = [Corner::nominal(2.5), Corner::nominal(3.5)];
+    let char_config = CharConfig::fast();
+    let samples = build_cell_dataset(&base, &corners, flow.cells(), &char_config)
+        .expect("cell dataset builds");
+    let mut cells = CellModel::new(CellModelConfig::default());
+    cells
+        .train(
+            &samples,
+            &[],
+            &TrainConfig {
+                epochs: 25,
+                batch_size: 16,
+                patience: None,
+                ..TrainConfig::default()
+            },
+        )
+        .expect("cell model trains");
+    TrainedSurrogates { poisson, iv, cells }
+}
+
+#[test]
+fn traditional_and_fast_flows_complete_and_agree_in_shape() {
+    let config = FlowConfig::fast(Technology::Ltps, Benchmark::S298);
+    let flow = StcoFlow::new(config).expect("flow builds");
+    let corner = Corner::nominal(3.0);
+
+    let traditional = flow
+        .run_iteration(corner, TechnologyStage::Traditional, None)
+        .expect("traditional iteration runs");
+    assert!(traditional.ppa.timing.critical_path_delay > 0.0);
+    assert!(traditional.ppa.power.total() > 0.0);
+    assert!(traditional.ppa.area > 0.0);
+    assert!(traditional.seconds.device > 0.0);
+    assert!(traditional.seconds.cells > 0.0);
+    assert!(traditional.seconds.system > 0.0);
+    // Extraction produced physical parameters.
+    let (mu0, vth, gamma) = traditional.extracted;
+    assert!(mu0 > 0.0 && mu0 < 1.0, "mu0 {mu0}");
+    assert!(vth.abs() < 3.0, "vth {vth}");
+    assert!((0.0..=2.0).contains(&gamma), "gamma {gamma}");
+
+    let surrogates = train_surrogates(&flow);
+    let fast = flow
+        .run_iteration(corner, TechnologyStage::Fast, Some(&surrogates))
+        .expect("fast iteration runs");
+    assert!(fast.ppa.timing.critical_path_delay > 0.0);
+    assert!(fast.ppa.power.total() > 0.0);
+
+    // The headline claim in miniature: the surrogate technology stages
+    // are faster than TCAD + SPICE on the same machine.
+    assert!(
+        fast.seconds.technology() < traditional.seconds.technology(),
+        "fast technology stages {:.3}s vs traditional {:.3}s",
+        fast.seconds.technology(),
+        traditional.seconds.technology()
+    );
+
+    // PPA from predicted libraries stays within an order of magnitude of
+    // the SPICE-characterized reference (surrogates here are tiny).
+    let ratio = fast.ppa.timing.critical_path_delay
+        / traditional.ppa.timing.critical_path_delay;
+    assert!(
+        (0.05..20.0).contains(&ratio),
+        "fast/traditional delay ratio {ratio:.3}"
+    );
+}
+
+#[test]
+fn fast_flow_without_surrogates_is_rejected() {
+    let config = FlowConfig::fast(Technology::Ltps, Benchmark::S298);
+    let flow = StcoFlow::new(config).expect("flow builds");
+    let err = flow.run_iteration(Corner::nominal(3.0), TechnologyStage::Fast, None);
+    assert!(err.is_err());
+}
+
+#[test]
+fn corner_changes_device_spec_consistently() {
+    let config = FlowConfig::fast(Technology::Ltps, Benchmark::S298);
+    let flow = StcoFlow::new(config).expect("flow builds");
+    let thin = flow.device_at(Corner {
+        vdd: 3.0,
+        vth_shift: 0.0,
+        cox_scale: 1.25,
+    });
+    let thick = flow.device_at(Corner {
+        vdd: 3.0,
+        vth_shift: 0.0,
+        cox_scale: 0.8,
+    });
+    // Higher C_ox scale → thinner oxide.
+    assert!(thin.oxide_thickness < thick.oxide_thickness);
+    let shifted = flow.device_at(Corner {
+        vdd: 3.0,
+        vth_shift: 0.2,
+        cox_scale: 1.0,
+    });
+    let base = flow.device_at(Corner::nominal(3.0));
+    assert!((shifted.channel.flat_band - base.channel.flat_band).abs() > 0.1);
+}
+
+#[test]
+fn rl_exploration_over_the_real_fast_flow() {
+    use stco_core::optimize::explore_with_flow;
+    use stco_core::rl::AgentConfig;
+    use stco_core::space::DesignSpace;
+
+    let config = FlowConfig::fast(Technology::Ltps, Benchmark::S298);
+    let flow = StcoFlow::new(config).expect("flow builds");
+    let surrogates = train_surrogates(&flow);
+    let space = DesignSpace::new(2); // 8 corners
+    let agent = AgentConfig {
+        episodes: 4,
+        steps_per_episode: 4,
+        ..AgentConfig::default()
+    };
+    let outcome = explore_with_flow(
+        &flow,
+        &space,
+        &agent,
+        TechnologyStage::Fast,
+        Some(&surrogates),
+    )
+    .expect("exploration runs");
+    assert!(outcome.real_evaluations >= 1);
+    assert!(outcome.real_evaluations <= space.size());
+    assert!(outcome.exploration.best_cost.is_finite());
+    let best = &outcome.best_iteration;
+    assert!(best.ppa.timing.max_frequency > 0.0);
+    assert!(best.ppa.power.total() > 0.0);
+    // The chosen corner's cost must match the exploration's best.
+    assert!((best.ppa.cost() - outcome.exploration.best_cost).abs() < 1e-9);
+}

@@ -1,0 +1,70 @@
+//! System-evaluation integration: every paper benchmark generates and
+//! validates; two of them run the complete mapping → placement → STA →
+//! power flow against one shared characterized library.
+
+use stco_cells::charac::CharConfig;
+use stco_cells::liberty::Library;
+use stco_cells::library::CellType;
+use stco_compact::tech::TechnologyCard;
+use stco_system::bench_gen::Benchmark;
+use stco_system::mapper::map_netlist;
+use stco_system::ppa::{evaluate_system, used_cells, EvalConfig};
+use stco_tcad::materials::Technology;
+
+#[test]
+fn all_ten_benchmarks_generate_and_map() {
+    for b in Benchmark::ALL {
+        let logic = b.generate();
+        logic.validate().unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        let mapped = map_netlist(&logic).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        assert!(
+            mapped.instances.len() >= logic.gate_count(),
+            "{}: mapping may only add instances",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn system_evaluation_scales_with_design_size() {
+    // Characterize the union of cells used by s298 and s1488 once.
+    let small = Benchmark::S298.generate();
+    let large = Benchmark::S1488.generate();
+    let mut kinds = used_cells(&map_netlist(&small).expect("maps"));
+    kinds.extend(used_cells(&map_netlist(&large).expect("maps")));
+    kinds.sort_unstable();
+    kinds.dedup();
+    let cells: Vec<CellType> = kinds.into_iter().map(CellType::by_kind).collect();
+
+    let card = TechnologyCard::reference(Technology::Ltps);
+    let config = CharConfig {
+        slews: vec![2.0e-9, 8.0e-9],
+        loads: vec![5.0e-15, 20.0e-15],
+        samples: 200,
+        max_leakage_states: 2,
+    };
+    let library = Library::characterize_subset(&card, &config, &cells).expect("characterizes");
+
+    let eval = EvalConfig::fast();
+    let t0 = std::time::Instant::now();
+    let r_small = evaluate_system(&small, &library, &eval).expect("s298 evaluates");
+    let t_small = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let r_large = evaluate_system(&large, &library, &eval).expect("s1488 evaluates");
+    let t_large = t1.elapsed().as_secs_f64();
+
+    // Bigger design: more gates, more area, more power, longer runtime.
+    assert!(r_large.gate_count > 3 * r_small.gate_count);
+    assert!(r_large.area > 2.0 * r_small.area);
+    assert!(r_large.power.total() > r_small.power.total());
+    assert!(
+        t_large > t_small,
+        "system-eval runtime must grow with size ({t_small:.3}s vs {t_large:.3}s)"
+    );
+    // Both reports are physically sane.
+    for r in [&r_small, &r_large] {
+        assert!(r.timing.critical_path_delay > 1e-12);
+        assert!(r.timing.max_frequency.is_finite());
+        assert!(r.wirelength > 0.0);
+    }
+}

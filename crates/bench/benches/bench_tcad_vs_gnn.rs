@@ -46,9 +46,7 @@ fn bench_tcad_vs_gnn(c: &mut Criterion) {
     group.bench_function("fem_poisson_solve", |b| {
         b.iter(|| solve_poisson(&sample.device, bias).expect("solves"))
     });
-    group.bench_function("relgat_inference", |b| {
-        b.iter(|| emulator.predict(&sample))
-    });
+    group.bench_function("relgat_inference", |b| b.iter(|| emulator.predict(&sample)));
     group.finish();
 }
 

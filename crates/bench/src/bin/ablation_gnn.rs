@@ -3,7 +3,7 @@
 //! depth sweep — quantifying what the FEM-inspired spatial embedding and
 //! the deep stack buy.
 
-use stco_bench::banner;
+use stco_bench::{banner, TraceSession};
 use stco_nn::train::TrainConfig;
 use stco_surrogate::poisson_emulator::{PoissonConfig, PoissonEmulator};
 use stco_tcad::dataset::{generate_dataset, DeviceSample};
@@ -43,6 +43,7 @@ fn train_and_eval(
 }
 
 fn main() {
+    let trace = TraceSession::start("ablation_gnn");
     banner("GNN ablation: Poisson emulator architecture sweep");
     let data = generate_dataset(808, 40, &[Technology::Cnt]).expect("devices");
     let (train, rest) = data.split_at(28);
@@ -97,4 +98,11 @@ fn main() {
     );
     println!("\nexpected shape: deeper/wider stacks reduce MSE at higher train cost —");
     println!("the paper's 12-layer choice sits on this same curve (EXPERIMENTS.md).");
+
+    if let Some(t) = trace {
+        let (profile, path) = t.finish();
+        banner("Profile (folded from the recorded trace)");
+        print!("{}", profile.to_markdown());
+        println!("\ntrace: {}", path.display());
+    }
 }

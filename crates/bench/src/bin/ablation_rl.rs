@@ -3,7 +3,7 @@
 //! using the analytic PPA proxy (instant per-corner cost) so the
 //! comparison isolates the explorers themselves.
 
-use stco_bench::banner;
+use stco_bench::{banner, TraceSession};
 use stco_compact::tech::{Corner, TechnologyCard};
 use stco_core::rl::{grid_search, q_learning_explore, random_search, AgentConfig};
 use stco_core::space::DesignSpace;
@@ -29,6 +29,7 @@ fn ppa_proxy(base: &TechnologyCard, corner: Corner) -> f64 {
 }
 
 fn main() {
+    let trace = TraceSession::start("ablation_rl");
     banner("RL ablation: explorer sample efficiency");
     let base = TechnologyCard::reference(Technology::Ltps);
     for levels in [4, 6, 8] {
@@ -48,9 +49,7 @@ fn main() {
                 },
                 |c| ppa_proxy(&base, c),
             );
-            let rand = random_search(&space, rl.evaluations, 200 + seed, |c| {
-                ppa_proxy(&base, c)
-            });
+            let rand = random_search(&space, rl.evaluations, 200 + seed, |c| ppa_proxy(&base, c));
             rl_evals.push(rl.evaluations as f64);
             rl_gap.push(rl.best_cost - grid.best_cost);
             rand_gap.push(rand.best_cost - grid.best_cost);
@@ -69,4 +68,11 @@ fn main() {
     println!("fraction of the exhaustive budget; the RL agent additionally learns a");
     println!("*policy* over moves — the asset the paper's framework carries across");
     println!("benchmarks, where each corner evaluation costs a full system run.");
+
+    if let Some(t) = trace {
+        let (profile, path) = t.finish();
+        banner("Profile (folded from the recorded trace)");
+        print!("{}", profile.to_markdown());
+        println!("\ntrace: {}", path.display());
+    }
 }

@@ -38,8 +38,14 @@ fn main() {
         Region::NUM_CLASSES
     );
     let a0 = r0 + Region::NUM_CLASSES;
-    println!("  [{a0}..{})  device-level attributes: x/L, y/stack, Vg, Vd, quasi-Fermi", a0 + 5);
-    println!("  [{}..{NODE_DIM})  task-specific self-consistent: log-charge, potential", a0 + 5);
+    println!(
+        "  [{a0}..{})  device-level attributes: x/L, y/stack, Vg, Vd, quasi-Fermi",
+        a0 + 5
+    );
+    println!(
+        "  [{}..{NODE_DIM})  task-specific self-consistent: log-charge, potential",
+        a0 + 5
+    );
     println!("edge features ({EDGE_DIM}): dx/L, dy/stack, ln(coupling)");
 
     for (task, name) in [
@@ -65,7 +71,9 @@ fn main() {
             "  sample channel node at ({:.2} um, {:.0} nm): {:?}",
             x * 1e6,
             y * 1e9,
-            row.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+            row.iter()
+                .map(|v| (v * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         );
     }
 }

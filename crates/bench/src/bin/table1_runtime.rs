@@ -12,9 +12,10 @@
 //!    measured system-evaluation seconds (scaled so the largest matches),
 //!    showing the crossover emerges from design size alone.
 
-use stco_bench::{banner, fmt_seconds, paper_scale};
+use stco_bench::{banner, fmt_seconds, paper_scale, TraceSession};
 use stco_cells::charac::CharConfig;
 use stco_compact::tech::Corner;
+use stco_core::flow::StageSeconds;
 use stco_core::flow::{FlowConfig, StcoFlow, TechnologyStage, TrainedSurrogates};
 use stco_core::speedup::{calibrated_from_measured, calibrated_rows, paper_table1, MeasuredRow};
 use stco_nn::train::TrainConfig;
@@ -52,8 +53,7 @@ fn train_bundle(flow: &StcoFlow, char_config: &CharConfig) -> TrainedSurrogates 
     iv.train(train, val, &schedule).expect("iv");
     let base = stco_compact::tech::TechnologyCard::reference(Technology::Ltps);
     let corners = [Corner::nominal(2.5), Corner::nominal(3.5)];
-    let samples =
-        build_cell_dataset(&base, &corners, flow.cells(), char_config).expect("cell ds");
+    let samples = build_cell_dataset(&base, &corners, flow.cells(), char_config).expect("cell ds");
     let mut cells = CellModel::new(CellModelConfig::default());
     cells
         .train(
@@ -70,7 +70,29 @@ fn train_bundle(flow: &StcoFlow, char_config: &CharConfig) -> TrainedSurrogates 
     TrainedSurrogates { poisson, iv, cells }
 }
 
+/// Checks that the per-stage seconds folded from the recorded trace
+/// agree with the seconds printed in the table (same clock reading, so
+/// the tolerance is far looser than the actual agreement).
+fn verify_trace_agreement(trace: &TraceSession, mark: usize, label: &str, printed: &StageSeconds) {
+    let profile = trace.profile_since(mark);
+    for (stage, seconds) in [
+        ("device", printed.device),
+        ("compact", printed.compact),
+        ("cells", printed.cells),
+        ("system", printed.system),
+    ] {
+        let folded = profile.total_of(&format!("flow.stage{{stage={stage}}}"));
+        let rel = (folded - seconds).abs() / seconds.abs().max(1e-9);
+        assert!(
+            rel < 0.01,
+            "{label}/{stage}: folded {folded:.6} s vs printed {seconds:.6} s ({:.3}% off)",
+            rel * 100.0
+        );
+    }
+}
+
 fn main() {
+    let trace = TraceSession::start("table1_runtime");
     let measured_set: Vec<Benchmark> = if paper_scale() {
         Benchmark::ALL.to_vec()
     } else {
@@ -89,13 +111,31 @@ fn main() {
         let flow = StcoFlow::new(config).expect("flow");
         let surrogates = train_bundle(&flow, &char_config);
         let corner = Corner::nominal(3.0);
+        let trad_mark = trace.as_ref().map(|t| t.mark());
         let trad = flow
             .run_iteration(corner, TechnologyStage::Traditional, None)
             .expect("traditional");
+        if let Some(t) = trace.as_ref() {
+            verify_trace_agreement(
+                t,
+                trad_mark.expect("marked"),
+                &format!("{}/traditional", bench.name()),
+                &trad.seconds,
+            );
+        }
+        let fast_mark = trace.as_ref().map(|t| t.mark());
         let fast = flow
             .run_iteration(corner, TechnologyStage::Fast, Some(&surrogates))
             .expect("fast");
-        let row = MeasuredRow::from_results(bench, &trad, &fast);
+        if let Some(t) = trace.as_ref() {
+            verify_trace_agreement(
+                t,
+                fast_mark.expect("marked"),
+                &format!("{}/fast", bench.name()),
+                &fast.seconds,
+            );
+        }
+        let row = MeasuredRow::from_results(bench, &trad, &fast).expect("one result per flow");
         println!(
             "{:<12} {:>10} {:>10} {:>10} {:>10} {:>8.1}x {:>8.1}x",
             row.benchmark,
@@ -161,4 +201,23 @@ fn main() {
         );
     }
     println!("\n(see EXPERIMENTS.md for the paper-vs-measured discussion)");
+
+    if let Some(t) = trace {
+        let (profile, path) = t.finish();
+        banner("Profile (folded from the recorded trace)");
+        let md = profile.to_markdown();
+        print!("{md}");
+        assert!(
+            md.contains("tcad.newton_iter"),
+            "profile must break down Newton iterations inside the TCAD stage"
+        );
+        assert!(
+            md.contains("nn.epoch"),
+            "profile must break down epochs inside surrogate training"
+        );
+        println!("\nper-stage agreement with the printed rows verified (<1%).");
+        println!("trace: {}", path.display());
+        banner("Metrics");
+        print!("{}", stco_obs::Recorder::global().metrics().markdown());
+    }
 }

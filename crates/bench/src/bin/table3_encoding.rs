@@ -10,7 +10,7 @@ use stco_tcad::materials::Technology;
 
 fn main() {
     banner("Table III: node feature vector definition");
-    println!("{:<6} {:<24} {}", "bit", "slot", "populated for");
+    println!("{:<6} {:<24} populated for", "bit", "slot");
     let populated = [
         "VDD, VSS",
         "OUT, N-FET, P-FET",

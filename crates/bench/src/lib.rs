@@ -5,11 +5,74 @@
 //! `STCO_SCALE=paper` runs closer to paper scale (slow), anything else
 //! (or unset) runs the scaled-down defaults documented in EXPERIMENTS.md.
 
+use std::path::PathBuf;
+
 use stco_cells::charac::CharConfig;
+use stco_obs::{JsonlSink, Profile, Recorder, RingBufferHandle, RingBufferSink};
 
 /// Whether the expensive "paper-scale" mode was requested.
 pub fn paper_scale() -> bool {
-    std::env::var("STCO_SCALE").map(|v| v == "paper").unwrap_or(false)
+    std::env::var("STCO_SCALE")
+        .map(|v| v == "paper")
+        .unwrap_or(false)
+}
+
+/// Whether `--trace` was passed on the command line.
+pub fn trace_flag() -> bool {
+    std::env::args().any(|a| a == "--trace")
+}
+
+/// A live tracing session for a bench binary: a JSONL sink streaming to
+/// `results/trace_<bin>.jsonl` plus an in-memory ring buffer the binary
+/// can fold into [`Profile`]s.
+pub struct TraceSession {
+    handle: RingBufferHandle,
+    path: PathBuf,
+}
+
+impl TraceSession {
+    /// Starts tracing if `--trace` is on the command line; returns
+    /// `None` (recording stays disabled, near-zero overhead) otherwise.
+    pub fn start(bin: &str) -> Option<TraceSession> {
+        if !trace_flag() {
+            return None;
+        }
+        let path = PathBuf::from(format!("results/trace_{bin}.jsonl"));
+        let recorder = Recorder::global();
+        recorder.clear_sinks();
+        let jsonl = JsonlSink::create(&path).expect("trace file under results/");
+        // Large enough that a full bench run never evicts (records are
+        // dominated by per-Newton-iteration and per-epoch events).
+        let (ring, handle) = RingBufferSink::with_capacity(1 << 21);
+        recorder.add_sink(Box::new(jsonl));
+        recorder.add_sink(Box::new(ring));
+        Some(TraceSession { handle, path })
+    }
+
+    /// Number of records captured so far — use as a mark, then fold
+    /// `records_since(mark)` to profile one section of the run.
+    pub fn mark(&self) -> usize {
+        self.handle.len()
+    }
+
+    /// Folds the records captured since `mark` into a profile.
+    pub fn profile_since(&self, mark: usize) -> Profile {
+        let records = self.handle.records();
+        Profile::from_records(&records[mark.min(records.len())..])
+    }
+
+    /// Ends the session: uninstalls the sinks (flushing the JSONL file)
+    /// and returns the full-run profile plus the trace path.
+    pub fn finish(self) -> (Profile, PathBuf) {
+        let recorder = Recorder::global();
+        recorder.clear_sinks();
+        let dropped = self.handle.dropped();
+        if dropped > 0 {
+            eprintln!("warning: trace ring buffer evicted {dropped} records");
+        }
+        let profile = Profile::from_records(&self.handle.records());
+        (profile, self.path)
+    }
 }
 
 /// The characterization grid used by the benches (2×2; paper grids are

@@ -149,9 +149,13 @@ pub fn characterize(
     card: &TechnologyCard,
     config: &CharConfig,
 ) -> Result<CellCharacterization> {
+    let _span = stco_obs::span!("cells.characterize", cell = cell.name);
     let built = cell.build(card, 1.0);
     let capacitance = built.max_input_capacitance();
-    let leakage_power = measure_leakage(&built, config)?;
+    let leakage_power = {
+        let _leak = stco_obs::span!("cells.leakage");
+        measure_leakage(&built, config)?
+    };
 
     let mut delay = Vec::new();
     let mut output_slew = Vec::new();
@@ -163,6 +167,7 @@ pub fn characterize(
 
     match cell.seq {
         SeqBehavior::Combinational => {
+            let _arcs = stco_obs::span!("cells.comb_arcs");
             for pin_idx in 0..cell.inputs.len() {
                 let Some(sens) = find_sensitization(cell, pin_idx) else {
                     return Err(CellsError::NoSensitization {
@@ -172,8 +177,7 @@ pub fn characterize(
                 };
                 for &slew in &config.slews {
                     for &load in &config.loads {
-                        let m =
-                            measure_comb_arc(&built, pin_idx, &sens, slew, load, config)?;
+                        let m = measure_comb_arc(&built, pin_idx, &sens, slew, load, config)?;
                         delay.extend(m.delay);
                         output_slew.extend(m.output_slew);
                         flip_power.extend(m.flip_energy);
@@ -195,18 +199,26 @@ pub fn characterize(
                 }
             }
         }
-        SeqBehavior::Latch { enable_high } | SeqBehavior::FlipFlop { negedge: enable_high, .. } => {
+        SeqBehavior::Latch { enable_high }
+        | SeqBehavior::FlipFlop {
+            negedge: enable_high,
+            ..
+        } => {
             // `enable_high` doubles as `negedge` in the FF arm purely for
             // binding convenience; the helpers re-read cell.seq.
             let _ = enable_high;
-            for &slew in &config.slews {
-                for &load in &config.loads {
-                    let m = measure_clock_to_q(&built, slew, load, config)?;
-                    delay.extend(m.delay);
-                    output_slew.extend(m.output_slew);
-                    flip_power.extend(m.flip_energy);
+            {
+                let _arcs = stco_obs::span!("cells.seq_arcs");
+                for &slew in &config.slews {
+                    for &load in &config.loads {
+                        let m = measure_clock_to_q(&built, slew, load, config)?;
+                        delay.extend(m.delay);
+                        output_slew.extend(m.output_slew);
+                        flip_power.extend(m.flip_energy);
+                    }
                 }
             }
+            let _constraints = stco_obs::span!("cells.seq_constraints");
             let slew = config.slews[config.slews.len() / 2];
             let load = config.loads[config.loads.len() / 2];
             min_pulse_width = Some(measure_min_pulse_width(&built, slew, load, config)?);
@@ -303,12 +315,13 @@ fn make_bench(
     ckt.add_vsource("VDDS", vdd_node, Circuit::GROUND, Waveform::Dc(vdd));
     for pin in &built.cell.inputs {
         let node = built.signal_node[*pin];
-        let wave = stimuli
-            .get(pin as &str)
-            .cloned()
-            .ok_or_else(|| CellsError::Characterization {
-                context: format!("pin {pin} has no stimulus"),
-            })?;
+        let wave =
+            stimuli
+                .get(pin as &str)
+                .cloned()
+                .ok_or_else(|| CellsError::Characterization {
+                    context: format!("pin {pin} has no stimulus"),
+                })?;
         ckt.add_vsource(&format!("V_{pin}"), node, Circuit::GROUND, wave);
     }
     let out_node = *built
@@ -427,8 +440,7 @@ fn measure_comb_arc(
             load,
             value: d.max(1e-15),
         });
-        let sl = transition_time(times, &out, 0.0, vdd, 0.2, 0.8, out_edge, t_edge)
-            .unwrap_or(slew);
+        let sl = transition_time(times, &out, 0.0, vdd, 0.2, 0.8, out_edge, t_edge).unwrap_or(slew);
         samples.output_slew.push(ArcSample {
             pin: pin.to_string(),
             input_rising,
@@ -463,13 +475,7 @@ fn measure_comb_arc(
 
 /// Supply energy in `[t0, t1]` plus a leakage estimate extrapolated from
 /// the pre-transition quiescent current.
-fn windowed_energy(
-    times: &[f64],
-    branch: &[f64],
-    vdd: f64,
-    t0: f64,
-    t1: f64,
-) -> (f64, f64) {
+fn windowed_energy(times: &[f64], branch: &[f64], vdd: f64, t0: f64, t1: f64) -> (f64, f64) {
     let mut wt = Vec::new();
     let mut wi = Vec::new();
     for (t, i) in times.iter().zip(branch) {
@@ -592,8 +598,8 @@ fn measure_leakage_sequential(built: &BuiltCell, config: &CharConfig) -> Result<
     let start = times.len() * 4 / 5;
     let mut total = 0.0;
     let mut count = 0usize;
-    for k in start..times.len() {
-        total += (-current[k] * vdd).max(0.0);
+    for &c in &current[start..times.len()] {
+        total += (-c * vdd).max(0.0);
         count += 1;
     }
     // Subtract nothing here: the transient has no g-min DC path bias
@@ -722,8 +728,7 @@ fn measure_clock_to_q(
         load,
         value: (q_cross - ck_cross).max(1e-15),
     }];
-    let sl = transition_time(times, &q, 0.0, vdd, 0.2, 0.8, Edge::Rising, capture)
-        .unwrap_or(slew);
+    let sl = transition_time(times, &q, 0.0, vdd, 0.2, 0.8, Edge::Rising, capture).unwrap_or(slew);
     let output_slew = vec![ArcSample {
         pin: clock.clone(),
         input_rising: true,
@@ -754,12 +759,7 @@ fn measure_clock_to_q(
 
 /// Minimum setup: bisect the smallest D-before-capture-edge margin that
 /// still captures.
-fn measure_min_setup(
-    built: &BuiltCell,
-    slew: f64,
-    load: f64,
-    config: &CharConfig,
-) -> Result<f64> {
+fn measure_min_setup(built: &BuiltCell, slew: f64, load: f64, config: &CharConfig) -> Result<f64> {
     let tau = intrinsic_tau(built, load);
     let period = (40.0 * tau).max(20.0 * slew);
     let pulse = 0.5 * period;
@@ -771,22 +771,15 @@ fn measure_min_setup(
             .map(|(ok, _)| ok)
             .unwrap_or(false)
     };
-    bisect_threshold(0.0, period, period / 256.0, probe).map_err(|_| {
-        CellsError::Characterization {
-            context: format!("{}: no passing setup found", built.cell.name),
-        }
+    bisect_threshold(0.0, period, period / 256.0, probe).map_err(|_| CellsError::Characterization {
+        context: format!("{}: no passing setup found", built.cell.name),
     })
 }
 
 /// Minimum hold: D rises before the edge, then *falls* shortly after it;
 /// bisect the smallest stable-after-edge margin where the new value is
 /// still captured.
-fn measure_min_hold(
-    built: &BuiltCell,
-    slew: f64,
-    load: f64,
-    config: &CharConfig,
-) -> Result<f64> {
+fn measure_min_hold(built: &BuiltCell, slew: f64, load: f64, config: &CharConfig) -> Result<f64> {
     let vdd = built.card.vdd;
     let tau = intrinsic_tau(built, load);
     let period = (40.0 * tau).max(20.0 * slew);
@@ -812,10 +805,8 @@ fn measure_min_hold(
             .map(|(ok, _)| ok)
             .unwrap_or(false)
     };
-    bisect_threshold(0.0, period, period / 256.0, probe).map_err(|_| {
-        CellsError::Characterization {
-            context: format!("{}: no passing hold found", built.cell.name),
-        }
+    bisect_threshold(0.0, period, period / 256.0, probe).map_err(|_| CellsError::Characterization {
+        context: format!("{}: no passing hold found", built.cell.name),
     })
 }
 
@@ -908,7 +899,12 @@ mod tests {
         let flip_avg =
             ch.flip_power.iter().map(|s| s.value).sum::<f64>() / ch.flip_power.len() as f64;
         for s in &ch.nonflip_power {
-            assert!(s.value < flip_avg, "nonflip {:.3e} vs flip {:.3e}", s.value, flip_avg);
+            assert!(
+                s.value < flip_avg,
+                "nonflip {:.3e} vs flip {:.3e}",
+                s.value,
+                flip_avg
+            );
         }
     }
 

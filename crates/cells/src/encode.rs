@@ -97,10 +97,10 @@ pub fn encode_cell(built: &BuiltCell, ctx: &EncodingContext) -> CellGraph {
     let mut kinds: Vec<CellNodeKind> = Vec::new();
     let mut index: BTreeMap<String, usize> = BTreeMap::new();
     let push_node = |label: String,
-                         kind: CellNodeKind,
-                         labels: &mut Vec<String>,
-                         kinds: &mut Vec<CellNodeKind>,
-                         index: &mut BTreeMap<String, usize>|
+                     kind: CellNodeKind,
+                     labels: &mut Vec<String>,
+                     kinds: &mut Vec<CellNodeKind>,
+                     index: &mut BTreeMap<String, usize>|
      -> usize {
         if let Some(&i) = index.get(&label) {
             return i;
@@ -113,8 +113,20 @@ pub fn encode_cell(built: &BuiltCell, ctx: &EncodingContext) -> CellGraph {
     };
 
     // Supplies first, then pins, then nets and FETs as encountered.
-    push_node("VDD".into(), CellNodeKind::Vdd, &mut labels, &mut kinds, &mut index);
-    push_node("VSS".into(), CellNodeKind::Vss, &mut labels, &mut kinds, &mut index);
+    push_node(
+        "VDD".into(),
+        CellNodeKind::Vdd,
+        &mut labels,
+        &mut kinds,
+        &mut index,
+    );
+    push_node(
+        "VSS".into(),
+        CellNodeKind::Vss,
+        &mut labels,
+        &mut kinds,
+        &mut index,
+    );
     for pin in &cell.inputs {
         push_node(
             (*pin).to_string(),

@@ -29,8 +29,8 @@
 pub mod charac;
 pub mod encode;
 pub mod expr;
-pub mod library;
 pub mod liberty;
+pub mod library;
 
 /// Errors from library construction and characterization.
 #[derive(Debug, Clone, PartialEq)]

@@ -203,67 +203,6 @@ fn worst_at(samples: &[ArcSample], slew: f64, load: f64) -> Result<f64> {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use stco_tcad::materials::Technology;
-
-    #[test]
-    fn small_library_characterizes() {
-        let card = TechnologyCard::reference(Technology::Ltps);
-        let cells = [
-            CellType::by_kind(CellKind::Inv),
-            CellType::by_kind(CellKind::Nand2),
-        ];
-        // A 2×2 grid so the NLDM tables have real slope in both axes.
-        let config = crate::charac::CharConfig {
-            slews: vec![2.0e-9, 8.0e-9],
-            loads: vec![5.0e-15, 20.0e-15],
-            samples: 250,
-            max_leakage_states: 4,
-        };
-        let lib = Library::characterize_subset(&card, &config, &cells).unwrap();
-        assert_eq!(lib.cells.len(), 2);
-        let inv = lib.cell(CellKind::Inv).unwrap();
-        assert!(inv.area > 0.0);
-        assert!(inv.input_capacitance > 0.0);
-        let d = inv.timing.delay(2.0e-9, 10.0e-15);
-        assert!(d > 0.0 && d < 1.0, "delay {d:.3e}");
-        // Extrapolated query still behaves.
-        let d_big = inv.timing.delay(2.0e-9, 80.0e-15);
-        assert!(d_big > d, "delay grows with load");
-    }
-
-    #[test]
-    fn liberty_writer_emits_expected_sections() {
-        let card = TechnologyCard::reference(Technology::Ltps);
-        let cells = [
-            CellType::by_kind(CellKind::Inv),
-            CellType::by_kind(CellKind::Dff),
-        ];
-        let lib = Library::characterize_subset(&card, &CharConfig::fast(), &cells).unwrap();
-        let text = write_liberty(&lib);
-        assert!(text.contains("library (fast_stco_ltps)"));
-        assert!(text.contains("cell (INV)"));
-        assert!(text.contains("cell (DFF)"));
-        assert!(text.contains("cell_rise (delay_template)"));
-        assert!(text.contains("min_setup"), "sequential constraints present");
-        // Balanced braces.
-        let opens = text.matches('{').count();
-        let closes = text.matches('}').count();
-        assert_eq!(opens, closes);
-    }
-
-    #[test]
-    fn missing_cell_lookup_is_none() {
-        let card = TechnologyCard::reference(Technology::Ltps);
-        let cells = [CellType::by_kind(CellKind::Inv)];
-        let lib =
-            Library::characterize_subset(&card, &CharConfig::fast(), &cells).unwrap();
-        assert!(lib.cell(CellKind::Nand4).is_none());
-    }
-}
-
 /// Serializes a characterized library in a Liberty-flavoured text format
 /// (a faithful subset: `cell`, `pin`, NLDM `lu_table` groups), so the
 /// characterization output can be inspected with standard tooling habits
@@ -342,4 +281,64 @@ pub fn write_liberty(library: &Library) -> String {
     }
     out.push_str("}\n");
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stco_tcad::materials::Technology;
+
+    #[test]
+    fn small_library_characterizes() {
+        let card = TechnologyCard::reference(Technology::Ltps);
+        let cells = [
+            CellType::by_kind(CellKind::Inv),
+            CellType::by_kind(CellKind::Nand2),
+        ];
+        // A 2×2 grid so the NLDM tables have real slope in both axes.
+        let config = crate::charac::CharConfig {
+            slews: vec![2.0e-9, 8.0e-9],
+            loads: vec![5.0e-15, 20.0e-15],
+            samples: 250,
+            max_leakage_states: 4,
+        };
+        let lib = Library::characterize_subset(&card, &config, &cells).unwrap();
+        assert_eq!(lib.cells.len(), 2);
+        let inv = lib.cell(CellKind::Inv).unwrap();
+        assert!(inv.area > 0.0);
+        assert!(inv.input_capacitance > 0.0);
+        let d = inv.timing.delay(2.0e-9, 10.0e-15);
+        assert!(d > 0.0 && d < 1.0, "delay {d:.3e}");
+        // Extrapolated query still behaves.
+        let d_big = inv.timing.delay(2.0e-9, 80.0e-15);
+        assert!(d_big > d, "delay grows with load");
+    }
+
+    #[test]
+    fn liberty_writer_emits_expected_sections() {
+        let card = TechnologyCard::reference(Technology::Ltps);
+        let cells = [
+            CellType::by_kind(CellKind::Inv),
+            CellType::by_kind(CellKind::Dff),
+        ];
+        let lib = Library::characterize_subset(&card, &CharConfig::fast(), &cells).unwrap();
+        let text = write_liberty(&lib);
+        assert!(text.contains("library (fast_stco_ltps)"));
+        assert!(text.contains("cell (INV)"));
+        assert!(text.contains("cell (DFF)"));
+        assert!(text.contains("cell_rise (delay_template)"));
+        assert!(text.contains("min_setup"), "sequential constraints present");
+        // Balanced braces.
+        let opens = text.matches('{').count();
+        let closes = text.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn missing_cell_lookup_is_none() {
+        let card = TechnologyCard::reference(Technology::Ltps);
+        let cells = [CellType::by_kind(CellKind::Inv)];
+        let lib = Library::characterize_subset(&card, &CharConfig::fast(), &cells).unwrap();
+        assert!(lib.cell(CellKind::Nand4).is_none());
+    }
 }

@@ -136,16 +136,23 @@ impl CellType {
     pub fn library() -> Vec<CellType> {
         use CellKind::*;
         let mut cells = Vec::new();
-        let comb = |kind, name, inputs: &[&'static str], outputs: &[&'static str], stages| CellType {
-            kind,
-            name,
-            inputs: inputs.to_vec(),
-            outputs: outputs.to_vec(),
-            stages,
-            seq: SeqBehavior::Combinational,
-        };
+        let comb =
+            |kind, name, inputs: &[&'static str], outputs: &[&'static str], stages| CellType {
+                kind,
+                name,
+                inputs: inputs.to_vec(),
+                outputs: outputs.to_vec(),
+                stages,
+                seq: SeqBehavior::Combinational,
+            };
 
-        cells.push(comb(Inv, "INV", &["A"], &["Y"], vec![Stage::new("Y", In("A"))]));
+        cells.push(comb(
+            Inv,
+            "INV",
+            &["A"],
+            &["Y"],
+            vec![Stage::new("Y", In("A"))],
+        ));
         cells.push(comb(
             Invx2,
             "INVX2",
@@ -165,13 +172,29 @@ impl CellType {
         ));
         // NAND / NOR families.
         let ins = ["A", "B", "C", "D"];
-        for (kind, name, n) in [(Nand2, "NAND2", 2), (Nand3, "NAND3", 3), (Nand4, "NAND4", 4)] {
+        for (kind, name, n) in [
+            (Nand2, "NAND2", 2),
+            (Nand3, "NAND3", 3),
+            (Nand4, "NAND4", 4),
+        ] {
             let pdn = Expr::And(ins[..n].iter().map(|&p| In(p)).collect());
-            cells.push(comb(kind, name, &ins[..n], &["Y"], vec![Stage::new("Y", pdn)]));
+            cells.push(comb(
+                kind,
+                name,
+                &ins[..n],
+                &["Y"],
+                vec![Stage::new("Y", pdn)],
+            ));
         }
         for (kind, name, n) in [(Nor2, "NOR2", 2), (Nor3, "NOR3", 3), (Nor4, "NOR4", 4)] {
             let pdn = Expr::Or(ins[..n].iter().map(|&p| In(p)).collect());
-            cells.push(comb(kind, name, &ins[..n], &["Y"], vec![Stage::new("Y", pdn)]));
+            cells.push(comb(
+                kind,
+                name,
+                &ins[..n],
+                &["Y"],
+                vec![Stage::new("Y", pdn)],
+            ));
         }
         for (kind, name, n) in [(And2, "AND2", 2), (And3, "AND3", 3), (And4, "AND4", 4)] {
             let pdn = Expr::And(ins[..n].iter().map(|&p| In(p)).collect());
@@ -204,10 +227,7 @@ impl CellType {
                 Stage::new("bn", In("B")),
                 Stage::new(
                     "Y",
-                    Expr::or(
-                        Expr::and(In("A"), In("B")),
-                        Expr::and(In("an"), In("bn")),
-                    ),
+                    Expr::or(Expr::and(In("A"), In("B")), Expr::and(In("an"), In("bn"))),
                 ),
             ],
         ));
@@ -221,10 +241,7 @@ impl CellType {
                 Stage::new("bn", In("B")),
                 Stage::new(
                     "Y",
-                    Expr::or(
-                        Expr::and(In("A"), In("bn")),
-                        Expr::and(In("an"), In("B")),
-                    ),
+                    Expr::or(Expr::and(In("A"), In("bn")), Expr::and(In("an"), In("B"))),
                 ),
             ],
         ));
@@ -234,7 +251,10 @@ impl CellType {
             "AOI21",
             &["A", "B", "C"],
             &["Y"],
-            vec![Stage::new("Y", Expr::or(Expr::and(In("A"), In("B")), In("C")))],
+            vec![Stage::new(
+                "Y",
+                Expr::or(Expr::and(In("A"), In("B")), In("C")),
+            )],
         ));
         cells.push(comb(
             Aoi22,
@@ -251,7 +271,10 @@ impl CellType {
             "OAI21",
             &["A", "B", "C"],
             &["Y"],
-            vec![Stage::new("Y", Expr::and(Expr::or(In("A"), In("B")), In("C")))],
+            vec![Stage::new(
+                "Y",
+                Expr::and(Expr::or(In("A"), In("B")), In("C")),
+            )],
         ));
         cells.push(comb(
             Oai22,
@@ -345,10 +368,7 @@ impl CellType {
                 Stage::new("bn", In("B")),
                 Stage::new(
                     "S",
-                    Expr::or(
-                        Expr::and(In("A"), In("B")),
-                        Expr::and(In("an"), In("bn")),
-                    ),
+                    Expr::or(Expr::and(In("A"), In("B")), Expr::and(In("an"), In("bn"))),
                 ),
                 Stage::new("cn", Expr::and(In("A"), In("B"))),
                 Stage::with_drive("CO", In("cn"), 2.0),
@@ -514,8 +534,12 @@ impl CellType {
             self.name
         );
         assert_eq!(inputs.len(), self.inputs.len(), "input count mismatch");
-        let mut values: BTreeMap<&str, bool> =
-            self.inputs.iter().copied().zip(inputs.iter().copied()).collect();
+        let mut values: BTreeMap<&str, bool> = self
+            .inputs
+            .iter()
+            .copied()
+            .zip(inputs.iter().copied())
+            .collect();
         for stage in &self.stages {
             let v = !stage.pdn.eval(&values);
             values.insert(stage.out, v);
@@ -578,7 +602,11 @@ fn dff_stages_with_data(data: &'static str, negedge: bool) -> Vec<Stage> {
     // For posedge: master transparent while CK low (enable = ckn), slave
     // transparent while CK high (enable = ckb, a buffered CK).
     let mut stages = vec![Stage::new("ckn", In("CK")), Stage::new("ckb", In("ckn"))];
-    let (men, sen) = if negedge { ("ckb", "ckn") } else { ("ckn", "ckb") };
+    let (men, sen) = if negedge {
+        ("ckb", "ckn")
+    } else {
+        ("ckn", "ckb")
+    };
     // The data complement is named "mdb" (not "mdn") so the scan flop's
     // mux output net cannot collide with it.
     stages.extend(vec![
@@ -598,7 +626,10 @@ fn dff_stages_with_data(data: &'static str, negedge: bool) -> Vec<Stage> {
 fn dffr_stages() -> Vec<Stage> {
     // Async active-low reset: rst = !RN forces Q low and qn high.
     let mut stages = vec![Stage::new("rst", In("RN"))];
-    stages.extend(vec![Stage::new("ckn", In("CK")), Stage::new("ckb", In("ckn"))]);
+    stages.extend(vec![
+        Stage::new("ckn", In("CK")),
+        Stage::new("ckb", In("ckn")),
+    ]);
     stages.extend(vec![
         Stage::new("mdn", In("D")),
         Stage::new("msq", Expr::and(In("D"), In("ckn"))),
@@ -616,7 +647,10 @@ fn dffr_stages() -> Vec<Stage> {
 fn dffs_stages() -> Vec<Stage> {
     // Async active-low set: set = !SN forces Q high and qn low.
     let mut stages = vec![Stage::new("set", In("SN"))];
-    stages.extend(vec![Stage::new("ckn", In("CK")), Stage::new("ckb", In("ckn"))]);
+    stages.extend(vec![
+        Stage::new("ckn", In("CK")),
+        Stage::new("ckb", In("ckn")),
+    ]);
     stages.extend(vec![
         Stage::new("mdn", In("D")),
         Stage::new("msq", Expr::and(In("D"), In("ckn"))),
@@ -711,10 +745,7 @@ mod tests {
                 );
             }
         };
-        check(
-            CellKind::Inv,
-            &[(&[false], true), (&[true], false)],
-        );
+        check(CellKind::Inv, &[(&[false], true), (&[true], false)]);
         check(
             CellKind::Nand2,
             &[
@@ -763,8 +794,12 @@ mod tests {
     fn mux4_selects_each_input() {
         let cell = CellType::by_kind(CellKind::Mux4);
         // Inputs: A, B, C, D, S0, S1.
-        for (sel, idx) in [((false, false), 0), ((true, false), 1), ((false, true), 2), ((true, true), 3)]
-        {
+        for (sel, idx) in [
+            ((false, false), 0),
+            ((true, false), 1),
+            ((false, true), 2),
+            ((true, true), 3),
+        ] {
             for active in 0..4 {
                 let mut inputs = [false; 6];
                 inputs[active] = true;

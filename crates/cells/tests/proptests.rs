@@ -118,9 +118,9 @@ proptest! {
             degree[a] += 1;
             degree[b] += 1;
         }
-        for i in 0..g.num_nodes() {
+        for (i, &deg) in degree.iter().enumerate() {
             if matches!(g.kinds[i], CellNodeKind::NFet | CellNodeKind::PFet) {
-                prop_assert!(degree[i] >= 6, "{}: FET {} degree {}", cell.name, i, degree[i]);
+                prop_assert!(deg >= 6, "{}: FET {} degree {}", cell.name, i, deg);
             }
         }
         // The VDD node carries the corner's supply.

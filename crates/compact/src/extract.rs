@@ -134,10 +134,15 @@ pub fn extract_parameters(template: &CompactModel, curves: &[TransferCurve]) -> 
 fn estimate_vth(device_type: DeviceType, curve: &TransferCurve) -> f64 {
     let imax = curve.id.iter().fold(0.0_f64, |m, &i| m.max(i.abs()));
     let thresh = 0.01 * imax;
-    let off_at_front = curve.id.first().map_or(0.0, |i| i.abs())
-        <= curve.id.last().map_or(0.0, |i| i.abs());
+    let off_at_front =
+        curve.id.first().map_or(0.0, |i| i.abs()) <= curve.id.last().map_or(0.0, |i| i.abs());
     let pairs: Vec<(f64, f64)> = if off_at_front {
-        curve.vgs.iter().zip(&curve.id).map(|(&v, &i)| (v, i)).collect()
+        curve
+            .vgs
+            .iter()
+            .zip(&curve.id)
+            .map(|(&v, &i)| (v, i))
+            .collect()
     } else {
         curve
             .vgs
@@ -181,7 +186,11 @@ mod tests {
         let template = CompactModel::ntype_reference();
         let ex = extract_parameters(&template, &curves).unwrap();
         assert!((ex.model.vth - 0.8).abs() < 0.05, "vth {}", ex.model.vth);
-        assert!((ex.model.gamma - 0.4).abs() < 0.1, "gamma {}", ex.model.gamma);
+        assert!(
+            (ex.model.gamma - 0.4).abs() < 0.1,
+            "gamma {}",
+            ex.model.gamma
+        );
         assert!(
             (ex.model.mu0 / 1.5e-3 - 1.0).abs() < 0.2,
             "mu0 {}",

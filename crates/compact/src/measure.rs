@@ -134,8 +134,7 @@ pub fn synthesize_measurement(
             let n = device.points.max(2);
             let vgs: Vec<f64> = (0..n)
                 .map(|k| {
-                    device.vg_start
-                        + (device.vg_stop - device.vg_start) * k as f64 / (n - 1) as f64
+                    device.vg_start + (device.vg_stop - device.vg_start) * k as f64 / (n - 1) as f64
                 })
                 .collect();
             let id: Vec<f64> = vgs

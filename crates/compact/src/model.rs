@@ -417,11 +417,9 @@ mod tests {
         // gm/gds use 1 mV central differences internally; compare with an
         // independent 0.1 mV step.
         let h = 1e-4;
-        let gm_ref =
-            (m.drain_current(1.5 + h, 1.0) - m.drain_current(1.5 - h, 1.0)) / (2.0 * h);
+        let gm_ref = (m.drain_current(1.5 + h, 1.0) - m.drain_current(1.5 - h, 1.0)) / (2.0 * h);
         assert!((m.gm(1.5, 1.0) - gm_ref).abs() / gm_ref.abs() < 1e-3);
-        let gds_ref =
-            (m.drain_current(1.5, 1.0 + h) - m.drain_current(1.5, 1.0 - h)) / (2.0 * h);
+        let gds_ref = (m.drain_current(1.5, 1.0 + h) - m.drain_current(1.5, 1.0 - h)) / (2.0 * h);
         assert!((m.gds(1.5, 1.0) - gds_ref).abs() / gds_ref.abs().max(1e-12) < 1e-2);
     }
 

@@ -8,10 +8,10 @@ use stco_compact::model::{CompactModel, DeviceType};
 /// Strategy: a valid randomized n-type model.
 fn ntype_model() -> impl Strategy<Value = CompactModel> {
     (
-        1.0e-4..5.0e-3f64,  // mu0
-        0.2..1.2f64,        // vth
-        0.0..1.0f64,        // gamma
-        1.0..2.5f64,        // ss_factor
+        1.0e-4..5.0e-3f64, // mu0
+        0.2..1.2f64,       // vth
+        0.0..1.0f64,       // gamma
+        1.0..2.5f64,       // ss_factor
     )
         .prop_map(|(mu0, vth, gamma, ss)| {
             let mut m = CompactModel::with_params(DeviceType::NType, mu0, vth, gamma);

@@ -28,9 +28,9 @@ use stco_system::runtime::StageTimer;
 use stco_tcad::dataset::DeviceSample;
 use stco_tcad::device::{Bias, DeviceSpec};
 use stco_tcad::materials::{Polarity, Technology};
+use stco_tcad::physics;
 use stco_tcad::poisson::{solve_poisson, PotentialSolution};
 use stco_tcad::transport::drain_current;
-use stco_tcad::physics;
 
 use crate::{Result, StcoError};
 
@@ -201,6 +201,14 @@ impl StcoFlow {
         stage: TechnologyStage,
         surrogates: Option<&TrainedSurrogates>,
     ) -> Result<IterationResult> {
+        let _span = stco_obs::span!(
+            "flow.iteration",
+            benchmark = self.logic.name.as_str(),
+            flow = match stage {
+                TechnologyStage::Traditional => "traditional",
+                TechnologyStage::Fast => "fast",
+            },
+        );
         let mut timer = StageTimer::new();
         let spec = self.device_at(corner);
         let device = spec.build()?;
@@ -212,8 +220,24 @@ impl StcoFlow {
             TechnologyStage::Traditional => {
                 let mut out = Vec::with_capacity(gates.len());
                 for &vg in &gates {
-                    let sol = solve_poisson(&device, Bias { gate: vg, drain: vd })?;
-                    out.push((vg, drain_current(&device, &sol, Bias { gate: vg, drain: vd })));
+                    let sol = solve_poisson(
+                        &device,
+                        Bias {
+                            gate: vg,
+                            drain: vd,
+                        },
+                    )?;
+                    out.push((
+                        vg,
+                        drain_current(
+                            &device,
+                            &sol,
+                            Bias {
+                                gate: vg,
+                                drain: vd,
+                            },
+                        ),
+                    ));
                 }
                 out
             }
@@ -223,8 +247,14 @@ impl StcoFlow {
                 })?;
                 let mut out = Vec::with_capacity(gates.len());
                 for &vg in &gates {
-                    let sample =
-                        fast_device_solution(&spec, Bias { gate: vg, drain: vd }, &s.poisson)?;
+                    let sample = fast_device_solution(
+                        &spec,
+                        Bias {
+                            gate: vg,
+                            drain: vd,
+                        },
+                        &s.poisson,
+                    )?;
                     let sign = spec.channel.polarity.sign();
                     out.push((vg, sign * s.iv.predict_current(&sample)));
                 }
@@ -325,14 +355,19 @@ pub fn fast_device_solution(
     bias: Bias,
     poisson: &PoissonEmulator,
 ) -> Result<DeviceSample> {
+    let _span = stco_obs::span!(
+        "flow.fast_device_solution",
+        gate = bias.gate,
+        drain = bias.drain,
+    );
     let device = spec.build()?;
     let mesh = device.mesh();
     let n = mesh.num_nodes();
     // Initial guess: Dirichlet potentials, zero elsewhere; charge from it.
     let mut psi = vec![0.0; n];
-    for i in 0..n {
+    for (i, p) in psi.iter_mut().enumerate() {
         if let Some(pd) = device.dirichlet_potential(i, bias) {
-            psi[i] = pd;
+            *p = pd;
         }
     }
     let mut sample = DeviceSample {
@@ -426,17 +461,16 @@ pub fn predicted_library(
                 slew_values.push(model.predict(&graph, m_slew));
             }
         }
-        let delay = Bilinear::new(slews.clone(), loads.clone(), delay_values)
-            .expect("grid axes are valid");
-        let out_slew = Bilinear::new(slews.clone(), loads.clone(), slew_values)
-            .expect("grid axes are valid");
+        let delay =
+            Bilinear::new(slews.clone(), loads.clone(), delay_values).expect("grid axes are valid");
+        let out_slew =
+            Bilinear::new(slews.clone(), loads.clone(), slew_values).expect("grid axes are valid");
         let nominal = encode_cell(
             &built,
             &context(slews[slews.len() / 2], loads[loads.len() / 2]),
         );
-        let predict = |name: &str| -> f64 {
-            model.predict(&nominal, metric_index(name).expect("known"))
-        };
+        let predict =
+            |name: &str| -> f64 { model.predict(&nominal, metric_index(name).expect("known")) };
         let seq = !matches!(cell.seq, SeqBehavior::Combinational);
         out.push(LibCell {
             kind: cell.kind,
@@ -545,7 +579,10 @@ mod tests {
             head_dim: 4,
             ..PoissonConfig::default()
         });
-        let bias = Bias { gate: 2.0, drain: 1.0 };
+        let bias = Bias {
+            gate: 2.0,
+            drain: 1.0,
+        };
         let sample = fast_device_solution(&spec, bias, &emulator).expect("runs");
         let n = sample.device.mesh().num_nodes();
         assert_eq!(sample.solution.psi.len(), n);

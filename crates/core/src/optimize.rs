@@ -152,7 +152,7 @@ pub fn explore_with_prescreen(
         let result = flow.run_iteration(corner, stage, surrogates)?;
         real += 1;
         let cost = result.ppa.cost();
-        if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
             best = Some((cost, result));
         }
     }

@@ -20,11 +20,16 @@ pub fn exploration_markdown(title: &str, result: &ExplorationResult) -> String {
         result.evaluations
     ));
     out.push_str("| evaluation | best-so-far cost |\n|---:|---:|\n");
-    let step = (result.convergence.len() / 10).max(1);
-    for (i, c) in result.convergence.iter().enumerate() {
-        if i % step == 0 || i + 1 == result.convergence.len() {
-            out.push_str(&format!("| {} | {:+.4} |\n", i + 1, c));
-        }
+    // Sample every step-th row plus the final one, deduplicated so the
+    // last row cannot repeat when it lands on a step boundary.
+    let n = result.convergence.len();
+    let step = (n / 10).max(1);
+    let mut indices: Vec<usize> = (0..n).step_by(step).collect();
+    if n > 0 && indices.last() != Some(&(n - 1)) {
+        indices.push(n - 1);
+    }
+    for i in indices {
+        out.push_str(&format!("| {} | {:+.4} |\n", i + 1, result.convergence[i]));
     }
     out
 }
@@ -92,7 +97,11 @@ mod tests {
     fn exploration_markdown_contains_key_fields() {
         let r = ExplorationResult {
             best_corner: Corner::nominal(3.0),
-            best_point: SpacePoint { vdd: 1, vth: 2, cox: 0 },
+            best_point: SpacePoint {
+                vdd: 1,
+                vth: 2,
+                cox: 0,
+            },
             best_cost: -1.25,
             evaluations: 17,
             convergence: vec![-0.5, -1.0, -1.25],
@@ -102,6 +111,39 @@ mod tests {
         assert!(md.contains("-1.2500"));
         assert!(md.contains("17"));
         assert!(md.contains("| 3 |"), "last convergence row present");
+    }
+
+    #[test]
+    fn exploration_markdown_prints_each_row_once() {
+        // Short trace: every index is a step boundary, including the last;
+        // each evaluation must still appear exactly once.
+        let r = ExplorationResult {
+            best_corner: Corner::nominal(3.0),
+            best_point: SpacePoint {
+                vdd: 0,
+                vth: 0,
+                cox: 0,
+            },
+            best_cost: -2.0,
+            evaluations: 3,
+            convergence: vec![-0.5, -1.0, -2.0],
+        };
+        let md = exploration_markdown("short", &r);
+        for row in ["| 1 |", "| 2 |", "| 3 |"] {
+            assert_eq!(
+                md.matches(row).count(),
+                1,
+                "row {row} must appear exactly once:\n{md}"
+            );
+        }
+        // Empty trace renders the header only, without panicking.
+        let empty = ExplorationResult {
+            convergence: vec![],
+            ..r
+        };
+        let md = exploration_markdown("empty", &empty);
+        assert!(md.contains("| evaluation |"));
+        assert!(!md.contains("| 1 |"));
     }
 
     #[test]

@@ -88,12 +88,15 @@ impl<'a, F: FnMut(Corner) -> f64> Evaluator<'a, F> {
             return c;
         }
         let c = (self.eval)(self.space.corner(p));
+        stco_obs::Recorder::global()
+            .metrics()
+            .counter("rl.corner_evals")
+            .inc();
         self.cache.insert(key, c);
-        if self.best.map_or(true, |(_, b)| c < b) {
+        if self.best.is_none_or(|(_, b)| c < b) {
             self.best = Some((key, c));
         }
-        self.convergence
-            .push(self.best.expect("just set").1);
+        self.convergence.push(self.best.expect("just set").1);
         c
     }
 
@@ -121,6 +124,10 @@ pub fn q_learning_explore<F>(
 where
     F: FnMut(Corner) -> f64,
 {
+    let _span = stco_obs::span!("rl.q_learning", episodes = config.episodes);
+    let reward_hist = stco_obs::Recorder::global()
+        .metrics()
+        .histogram("rl.episode_reward", &stco_obs::metrics::loss_buckets());
     let mut rng = Xorshift::new(config.seed);
     let mut ev = Evaluator::new(space, evaluate);
     let mut q = vec![0.0_f64; space.size() * Action::ALL.len()];
@@ -131,7 +138,7 @@ where
     let mut cost_sum = 0.0;
     let mut cost_count = 0usize;
 
-    for _episode in 0..config.episodes {
+    for episode in 0..config.episodes {
         // Half the episodes restart from the best corner seen so far
         // (exploitation); the rest from a random point (exploration).
         let mut state = match ev.best {
@@ -142,6 +149,7 @@ where
                 cox: rng.gen_range(space.levels()),
             },
         };
+        let mut episode_reward = 0.0;
         for _step in 0..config.steps_per_episode {
             let s_idx = space.flat_index(state);
             let action = if rng.chance(epsilon) {
@@ -162,6 +170,7 @@ where
             cost_count += 1;
             let baseline = cost_sum / cost_count as f64;
             let reward = baseline - cost; // positive when better than average
+            episode_reward += reward;
             let n_idx = space.flat_index(next);
             let max_next = Action::ALL
                 .iter()
@@ -172,6 +181,14 @@ where
                 old + config.alpha * (reward + config.discount * max_next - old);
             state = next;
         }
+        reward_hist.observe(episode_reward);
+        stco_obs::event!(
+            "rl.episode",
+            episode = episode,
+            epsilon = epsilon,
+            reward = episode_reward,
+            best_cost = ev.best.map(|(_, c)| c).unwrap_or(f64::NAN),
+        );
         epsilon *= config.epsilon_decay;
     }
     ev.finish()

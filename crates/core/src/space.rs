@@ -59,9 +59,8 @@ impl DesignSpace {
     /// Panics if an index is out of range.
     pub fn corner(&self, p: SpacePoint) -> Corner {
         assert!(p.vdd < self.levels && p.vth < self.levels && p.cox < self.levels);
-        let lerp = |(lo, hi): (f64, f64), i: usize| {
-            lo + (hi - lo) * i as f64 / (self.levels - 1) as f64
-        };
+        let lerp =
+            |(lo, hi): (f64, f64), i: usize| lo + (hi - lo) * i as f64 / (self.levels - 1) as f64;
         Corner {
             vdd: lerp(self.grid.vdd, p.vdd),
             vth_shift: lerp(self.grid.vth_shift, p.vth),
@@ -94,12 +93,30 @@ impl DesignSpace {
         let clamp_up = |i: usize| (i + 1).min(self.levels - 1);
         let clamp_dn = |i: usize| i.saturating_sub(1);
         match action {
-            Action::VddUp => SpacePoint { vdd: clamp_up(p.vdd), ..p },
-            Action::VddDown => SpacePoint { vdd: clamp_dn(p.vdd), ..p },
-            Action::VthUp => SpacePoint { vth: clamp_up(p.vth), ..p },
-            Action::VthDown => SpacePoint { vth: clamp_dn(p.vth), ..p },
-            Action::CoxUp => SpacePoint { cox: clamp_up(p.cox), ..p },
-            Action::CoxDown => SpacePoint { cox: clamp_dn(p.cox), ..p },
+            Action::VddUp => SpacePoint {
+                vdd: clamp_up(p.vdd),
+                ..p
+            },
+            Action::VddDown => SpacePoint {
+                vdd: clamp_dn(p.vdd),
+                ..p
+            },
+            Action::VthUp => SpacePoint {
+                vth: clamp_up(p.vth),
+                ..p
+            },
+            Action::VthDown => SpacePoint {
+                vth: clamp_dn(p.vth),
+                ..p
+            },
+            Action::CoxUp => SpacePoint {
+                cox: clamp_up(p.cox),
+                ..p
+            },
+            Action::CoxDown => SpacePoint {
+                cox: clamp_dn(p.cox),
+                ..p
+            },
             Action::Stay => p,
         }
     }
@@ -158,8 +175,16 @@ mod tests {
     #[test]
     fn corners_span_ranges() {
         let s = DesignSpace::new(3);
-        let lo = s.corner(SpacePoint { vdd: 0, vth: 0, cox: 0 });
-        let hi = s.corner(SpacePoint { vdd: 2, vth: 2, cox: 2 });
+        let lo = s.corner(SpacePoint {
+            vdd: 0,
+            vth: 0,
+            cox: 0,
+        });
+        let hi = s.corner(SpacePoint {
+            vdd: 2,
+            vth: 2,
+            cox: 2,
+        });
         assert!(lo.vdd < hi.vdd);
         assert!(lo.vth_shift < hi.vth_shift);
         assert!(lo.cox_scale < hi.cox_scale);
@@ -168,7 +193,11 @@ mod tests {
     #[test]
     fn steps_clamp_at_borders() {
         let s = DesignSpace::new(3);
-        let corner_point = SpacePoint { vdd: 0, vth: 2, cox: 1 };
+        let corner_point = SpacePoint {
+            vdd: 0,
+            vth: 2,
+            cox: 1,
+        };
         assert_eq!(s.step(corner_point, Action::VddDown), corner_point);
         assert_eq!(s.step(corner_point, Action::VthUp), corner_point);
         let moved = s.step(corner_point, Action::CoxUp);

@@ -14,6 +14,7 @@ use stco_system::bench_gen::Benchmark;
 use stco_system::runtime::{PaperConstants, SpeedupRow};
 
 use crate::flow::{IterationResult, StageSeconds, TechnologyStage};
+use crate::{Result, StcoError};
 
 /// One benchmark's measured Table I row: both flows timed end to end.
 #[derive(Debug, Clone)]
@@ -27,27 +28,36 @@ pub struct MeasuredRow {
 }
 
 impl MeasuredRow {
-    /// Composes a row from two iteration results.
+    /// Composes a row from two iteration results, one per flow.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the results come from the same flow.
+    /// Returns [`StcoError::InvalidConfig`] if both results come from
+    /// the same flow.
     pub fn from_results(
         benchmark: Benchmark,
         a: &IterationResult,
         b: &IterationResult,
-    ) -> MeasuredRow {
-        assert_ne!(a.stage, b.stage, "need one result per flow");
+    ) -> Result<MeasuredRow> {
+        if a.stage == b.stage {
+            return Err(StcoError::InvalidConfig {
+                context: format!(
+                    "measured row for {} needs one result per flow, got two {:?} results",
+                    benchmark.name(),
+                    a.stage
+                ),
+            });
+        }
         let (trad, fast) = if a.stage == TechnologyStage::Traditional {
             (a, b)
         } else {
             (b, a)
         };
-        MeasuredRow {
+        Ok(MeasuredRow {
             benchmark: benchmark.name().to_string(),
             traditional: trad.seconds,
             fast: fast.seconds,
-        }
+        })
     }
 
     /// The measured full-iteration speedup.
@@ -99,9 +109,12 @@ pub fn calibrated_from_measured(measured: &[(Benchmark, f64)]) -> Vec<SpeedupRow
         .map(|(_, s, _)| *s)
         .fold(0.0_f64, f64::max);
     let our_max = measured.iter().map(|(_, s)| *s).fold(0.0_f64, f64::max);
-    let scale = if our_max > 0.0 { paper_max / our_max } else { 1.0 };
-    let scaled: Vec<(Benchmark, f64)> =
-        measured.iter().map(|(b, s)| (*b, s * scale)).collect();
+    let scale = if our_max > 0.0 {
+        paper_max / our_max
+    } else {
+        1.0
+    };
+    let scaled: Vec<(Benchmark, f64)> = measured.iter().map(|(b, s)| (*b, s * scale)).collect();
     calibrated_rows(&scaled)
 }
 
@@ -111,8 +124,7 @@ mod tests {
 
     #[test]
     fn paper_rows_reproduce_reported_speedups() {
-        let sys: Vec<(Benchmark, f64)> =
-            paper_table1().iter().map(|(b, s, _)| (*b, *s)).collect();
+        let sys: Vec<(Benchmark, f64)> = paper_table1().iter().map(|(b, s, _)| (*b, *s)).collect();
         let rows = calibrated_rows(&sys);
         for (row, (_, _, expected)) in rows.iter().zip(paper_table1()) {
             assert!(
@@ -126,8 +138,7 @@ mod tests {
 
     #[test]
     fn speedup_shrinks_with_design_size() {
-        let sys: Vec<(Benchmark, f64)> =
-            paper_table1().iter().map(|(b, s, _)| (*b, *s)).collect();
+        let sys: Vec<(Benchmark, f64)> = paper_table1().iter().map(|(b, s, _)| (*b, *s)).collect();
         let rows = calibrated_rows(&sys);
         let s298 = rows.iter().find(|r| r.benchmark == "s298").unwrap();
         let dark = rows.iter().find(|r| r.benchmark == "Darkriscv").unwrap();
@@ -147,6 +158,62 @@ mod tests {
         assert!(rows[1].speedup > rows[2].speedup);
         // The largest is pinned to the paper's largest system-eval time.
         assert!((rows[2].system_eval - 2250.0).abs() < 1e-9);
+    }
+
+    fn fake_result(stage: TechnologyStage, device: f64) -> IterationResult {
+        use stco_system::power::PowerReport;
+        use stco_system::ppa::PpaReport;
+        use stco_system::sta::TimingReport;
+        IterationResult {
+            ppa: PpaReport {
+                name: "x".into(),
+                gate_count: 1,
+                timing: TimingReport {
+                    critical_path_delay: 1e-9,
+                    critical_path: (0, 1),
+                    min_clock_period: 2e-9,
+                    max_frequency: 5e8,
+                    arrival: vec![0.0, 1e-9],
+                },
+                power: PowerReport {
+                    leakage: 1e-9,
+                    dynamic: 1e-6,
+                    frequency: 5e8,
+                },
+                area: 1e-9,
+                wirelength: 1e-4,
+            },
+            seconds: StageSeconds {
+                device,
+                compact: 0.1,
+                cells: 1.0,
+                system: 0.5,
+            },
+            extracted: (1.0, 0.5, 0.1),
+            stage,
+        }
+    }
+
+    #[test]
+    fn from_results_accepts_one_result_per_flow_in_either_order() {
+        let trad = fake_result(TechnologyStage::Traditional, 10.0);
+        let fast = fake_result(TechnologyStage::Fast, 0.1);
+        let row = MeasuredRow::from_results(Benchmark::S298, &trad, &fast).unwrap();
+        assert_eq!(row.benchmark, "s298");
+        assert!((row.traditional.device - 10.0).abs() < 1e-12);
+        // Swapped argument order still assigns the flows correctly.
+        let swapped = MeasuredRow::from_results(Benchmark::S298, &fast, &trad).unwrap();
+        assert!((swapped.traditional.device - 10.0).abs() < 1e-12);
+        assert!((swapped.fast.device - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_results_rejects_same_flow_pairs() {
+        let a = fake_result(TechnologyStage::Fast, 0.1);
+        let b = fake_result(TechnologyStage::Fast, 0.2);
+        let err = MeasuredRow::from_results(Benchmark::S298, &a, &b).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("one result per flow"), "got: {msg}");
     }
 
     #[test]

@@ -141,8 +141,7 @@ impl SystemSurrogate {
                 let mut t = Vec::with_capacity(rows * 3);
                 for &i in batch {
                     x.extend_from_slice(&records[i].features);
-                    for ch in 0..3 {
-                        let (m, s) = norms[ch];
+                    for (ch, &(m, s)) in norms.iter().enumerate().take(3) {
                         t.push((records[i].targets[ch] - m) / s);
                     }
                 }
@@ -204,7 +203,10 @@ mod tests {
                 };
                 let gates = logic.gate_count() as f64;
                 let delay = 1e-9 * gates / (corner.vdd * corner.vdd);
-                let power = 1e-9 * gates * corner.vdd * corner.vdd
+                let power = 1e-9
+                    * gates
+                    * corner.vdd
+                    * corner.vdd
                     * (1.0 + (-corner.vth_shift * 8.0).exp());
                 let area = 1e-10 * gates * corner.cox_scale;
                 EvalRecord {

@@ -332,12 +332,20 @@ impl Graph {
             let mean = row.iter().sum::<f64>() / d as f64;
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / d as f64;
             let inv = 1.0 / (var + eps).sqrt();
-            for j in 0..d {
-                let xhat = (row[j] - mean) * inv;
+            for (j, &xj) in row.iter().enumerate().take(d) {
+                let xhat = (xj - mean) * inv;
                 out.set(i, j, xhat * gv.get(0, j) + bv.get(0, j));
             }
         }
-        self.push(out, Op::LayerNorm { x, gamma, beta, eps })
+        self.push(
+            out,
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+            },
+        )
     }
 
     /// Concatenates nodes along the column axis.
@@ -507,7 +515,10 @@ impl Graph {
             .map(|(p, t)| (p - t) * (p - t))
             .sum::<f64>()
             / n;
-        self.push(Matrix::from_vec(1, 1, vec![loss]), Op::MseLoss(pred, target))
+        self.push(
+            Matrix::from_vec(1, 1, vec![loss]),
+            Op::MseLoss(pred, target),
+        )
     }
 
     /// Huber (smooth-L1) loss with threshold `delta` → scalar node.
@@ -643,7 +654,12 @@ impl Graph {
                     let da = map_grad(&g, yv, |y| y * (1.0 - y));
                     accumulate(&mut grads, a.0, da);
                 }
-                Op::LayerNorm { x, gamma, beta, eps } => {
+                Op::LayerNorm {
+                    x,
+                    gamma,
+                    beta,
+                    eps,
+                } => {
                     let xv = &self.nodes[x.0].value;
                     let gv = &self.nodes[gamma.0].value;
                     let d = xv.cols();
@@ -793,7 +809,12 @@ impl Graph {
                         .zip(tv.as_slice())
                         .map(|(p, t)| {
                             let e = p - t;
-                            scale * if e.abs() <= delta { e } else { delta * e.signum() }
+                            scale
+                                * if e.abs() <= delta {
+                                    e
+                                } else {
+                                    delta * e.signum()
+                                }
                         })
                         .collect();
                     let dp = Matrix::from_vec(pv.rows(), pv.cols(), dp_data);
@@ -907,7 +928,9 @@ mod tests {
     }
 
     fn random_matrix(rng: &mut Xorshift, rows: usize, cols: usize) -> Matrix {
-        let data = (0..rows * cols).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.uniform_in(-1.0, 1.0))
+            .collect();
         Matrix::from_vec(rows, cols, data)
     }
 

@@ -43,7 +43,7 @@ impl GraphData {
         let mut data = self.edge_features.clone().into_vec();
         for i in 0..n {
             self.edges.push((i, i));
-            data.extend(std::iter::repeat(0.0).take(de));
+            data.extend(std::iter::repeat_n(0.0, de));
         }
         self.edge_features = Matrix::from_vec(self.edges.len(), de, data);
     }
@@ -131,7 +131,7 @@ impl GraphBatch {
             for &(s, d) in &g.edges {
                 edges.push((s + offset, d + offset));
             }
-            ids.extend(std::iter::repeat(gi).take(g.num_nodes()));
+            ids.extend(std::iter::repeat_n(gi, g.num_nodes()));
             offset += g.num_nodes();
         }
         GraphBatch {
@@ -340,6 +340,7 @@ impl RelGatStack {
 
     /// Records the full stack with residual connections and LayerNorm:
     /// `h ← LN(h + GAT(h))`.
+    #[allow(clippy::too_many_arguments)]
     pub fn forward(
         &self,
         g: &mut Graph,
@@ -416,7 +417,9 @@ mod tests {
 
     fn ring_graph(n: usize, node_dim: usize, edge_dim: usize, seed: u64) -> GraphData {
         let mut rng = Xorshift::new(seed);
-        let node_data = (0..n * node_dim).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+        let node_data = (0..n * node_dim)
+            .map(|_| rng.uniform_in(-1.0, 1.0))
+            .collect();
         let mut edges = Vec::new();
         for i in 0..n {
             edges.push((i, (i + 1) % n));
@@ -481,9 +484,9 @@ mod tests {
         let mut permuted = gd.clone();
         // Permute node features.
         let mut nf = Matrix::zeros(5, 3);
-        for i in 0..5 {
+        for (i, &pi) in perm.iter().enumerate() {
             let src_row: Vec<f64> = gd.node_features.row(i).to_vec();
-            nf.row_mut(perm[i]).copy_from_slice(&src_row);
+            nf.row_mut(pi).copy_from_slice(&src_row);
         }
         permuted.node_features = nf;
         permuted.edges = gd.edges.iter().map(|&(s, d)| (perm[s], perm[d])).collect();
@@ -501,10 +504,10 @@ mod tests {
         };
         let out_a = run(&gd);
         let out_b = run(&permuted);
-        for i in 0..5 {
+        for (i, &pi) in perm.iter().enumerate() {
             for j in 0..4 {
                 assert!(
-                    (out_a.get(i, j) - out_b.get(perm[i], j)).abs() < 1e-10,
+                    (out_a.get(i, j) - out_b.get(pi, j)).abs() < 1e-10,
                     "equivariance violated at node {i} feature {j}"
                 );
             }

@@ -130,11 +130,17 @@ impl Sgd {
     /// Applies one update from the accumulated gradients.
     pub fn step(&mut self, params: &mut Params) {
         while self.velocity.len() < params.len() {
-            let id = param_ids(params).nth(self.velocity.len()).expect("in range");
+            let id = param_ids(params)
+                .nth(self.velocity.len())
+                .expect("in range");
             let m = params.value(id);
             self.velocity.push(Matrix::zeros(m.rows(), m.cols()));
         }
-        for (idx, id) in param_ids(params).collect::<Vec<_>>().into_iter().enumerate() {
+        for (idx, id) in param_ids(params)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .enumerate()
+        {
             let grad = params.grad(id).clone();
             let vel = &mut self.velocity[idx];
             for (v, g) in vel.as_mut_slice().iter_mut().zip(grad.as_slice()) {

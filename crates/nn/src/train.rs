@@ -54,10 +54,13 @@ impl TrainHistory {
 
     /// Best validation loss observed, or `NaN` without validation.
     pub fn best_val_loss(&self) -> f64 {
-        self.val_loss
-            .iter()
-            .copied()
-            .fold(f64::NAN, |best, v| if v < best || best.is_nan() { v } else { best })
+        self.val_loss.iter().copied().fold(f64::NAN, |best, v| {
+            if v < best || best.is_nan() {
+                v
+            } else {
+                best
+            }
+        })
     }
 }
 
@@ -83,6 +86,10 @@ where
     FS: FnMut(&[usize], &mut Params) -> f64,
     FV: FnMut(&Params) -> f64,
 {
+    let _span = stco_obs::span!("nn.fit", epochs = config.epochs, num_items = num_items,);
+    let loss_hist = stco_obs::Recorder::global()
+        .metrics()
+        .histogram("nn.epoch_loss", &stco_obs::metrics::loss_buckets());
     let mut rng = Xorshift::new(config.seed);
     let mut history = TrainHistory::default();
     let mut indices: Vec<usize> = (0..num_items).collect();
@@ -98,11 +105,19 @@ where
             epoch_loss += train_step(chunk, params);
             batches += 1;
         }
-        history.train_loss.push(epoch_loss / batches.max(1) as f64);
+        let mean_loss = epoch_loss / batches.max(1) as f64;
+        history.train_loss.push(mean_loss);
+        loss_hist.observe(mean_loss);
 
         if let Some(v) = validate.as_mut() {
             let val = v(params);
             history.val_loss.push(val);
+            stco_obs::event!(
+                "nn.epoch",
+                epoch = epoch,
+                train_loss = mean_loss,
+                val_loss = val
+            );
             if val < best_val {
                 best_val = val;
                 best_params = Some(params.clone());
@@ -116,6 +131,8 @@ where
                     }
                 }
             }
+        } else {
+            stco_obs::event!("nn.epoch", epoch = epoch, train_loss = mean_loss);
         }
     }
     if let Some(best) = best_params {

@@ -71,7 +71,7 @@ proptest! {
         let mut sums = vec![0.0; n_seg];
         for (i, &s) in seg_raw.iter().enumerate() {
             let val = v.get(i, 0);
-            prop_assert!(val >= 0.0 && val <= 1.0 + 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&val));
             sums[s] += val;
         }
         for (s, total) in sums.iter().enumerate() {
@@ -105,9 +105,9 @@ proptest! {
 
         let mut permuted = gd.clone();
         let mut nf = Matrix::zeros(n, 3);
-        for i in 0..n {
+        for (i, &pi) in perm.iter().enumerate().take(n) {
             let row: Vec<f64> = gd.node_features.row(i).to_vec();
-            nf.row_mut(perm[i]).copy_from_slice(&row);
+            nf.row_mut(pi).copy_from_slice(&row);
         }
         permuted.node_features = nf;
         permuted.edges = gd.edges.iter().map(|&(s, d)| (perm[s], perm[d])).collect();
@@ -124,9 +124,9 @@ proptest! {
         };
         let a = run(&gd);
         let b = run(&permuted);
-        for i in 0..n {
+        for (i, &pi) in perm.iter().enumerate().take(n) {
             for j in 0..4 {
-                prop_assert!((a.get(i, j) - b.get(perm[i], j)).abs() < 1e-9);
+                prop_assert!((a.get(i, j) - b.get(pi, j)).abs() < 1e-9);
             }
         }
     }

@@ -68,7 +68,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -184,8 +188,8 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec shape mismatch");
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            out[i] = dot(self.row(i), x);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = dot(self.row(i), x);
         }
         out
     }
@@ -334,19 +338,13 @@ impl LuFactors {
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         // Forward substitution with unit-diagonal L.
         for i in 1..n {
-            let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[i * n + j] * x[j];
-            }
-            x[i] = s;
+            let s = dot(&self.lu[i * n..i * n + i], &x[..i]);
+            x[i] -= s;
         }
         // Back substitution with U.
         for i in (0..n).rev() {
-            let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.lu[i * n + j] * x[j];
-            }
-            x[i] = s / self.lu[i * n + i];
+            let s = dot(&self.lu[i * n + i + 1..i * n + n], &x[i + 1..n]);
+            x[i] = (x[i] - s) / self.lu[i * n + i];
         }
         Ok(x)
     }

@@ -132,7 +132,9 @@ impl Bilinear {
         let v01 = self.values[i * ny + j + 1];
         let v10 = self.values[(i + 1) * ny + j];
         let v11 = self.values[(i + 1) * ny + j + 1];
-        v00 * (1.0 - tx) * (1.0 - ty) + v10 * tx * (1.0 - ty) + v01 * (1.0 - tx) * ty
+        v00 * (1.0 - tx) * (1.0 - ty)
+            + v10 * tx * (1.0 - ty)
+            + v01 * (1.0 - tx) * ty
             + v11 * tx * ty
     }
 }

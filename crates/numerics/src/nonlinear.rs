@@ -389,13 +389,9 @@ mod tests {
     #[test]
     fn lm_respects_bounds() {
         // Unconstrained optimum at p = -1; bound at 0.
-        let sol = levenberg_marquardt(
-            vec![2.0],
-            &[0.0],
-            &[5.0],
-            &LmOptions::default(),
-            |p| vec![p[0] + 1.0],
-        )
+        let sol = levenberg_marquardt(vec![2.0], &[0.0], &[5.0], &LmOptions::default(), |p| {
+            vec![p[0] + 1.0]
+        })
         .unwrap();
         assert!(sol.params[0] >= 0.0);
         assert!(sol.params[0] < 1e-6, "{:?}", sol.params);

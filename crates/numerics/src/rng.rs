@@ -29,7 +29,11 @@ impl Xorshift {
     /// nonzero constant (xorshift has a zero fixed point).
     pub fn new(seed: u64) -> Self {
         Xorshift {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 

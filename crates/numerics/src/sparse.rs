@@ -66,7 +66,7 @@ impl CooBuilder {
     /// Converts to CSR, summing duplicate coordinates.
     pub fn to_csr(&self) -> CsrMatrix {
         let mut entries = self.entries.clone();
-        entries.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        entries.sort_unstable_by_key(|a| (a.0, a.1));
         let mut entry_rows = Vec::with_capacity(entries.len());
         let mut col_idx = Vec::with_capacity(entries.len());
         let mut values = Vec::with_capacity(entries.len());
@@ -171,22 +171,22 @@ impl CsrMatrix {
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "spmv shape mismatch");
         assert_eq!(y.len(), self.rows, "spmv output shape mismatch");
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut s = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 s += self.values[k] * x[self.col_idx[k]];
             }
-            y[i] = s;
+            *yi = s;
         }
     }
 
     /// The main diagonal, with zeros for missing entries.
     pub fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.rows.min(self.cols)];
-        for i in 0..d.len() {
+        for (i, di) in d.iter_mut().enumerate() {
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 if self.col_idx[k] == i {
-                    d[i] = self.values[k];
+                    *di = self.values[k];
                     break;
                 }
             }

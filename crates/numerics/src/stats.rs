@@ -130,7 +130,7 @@ impl Standardizer {
     /// multiple of `dim`, or [`NumericsError::InvalidArgument`] on empty
     /// data.
     pub fn fit(data: &[f64], dim: usize) -> Result<Self> {
-        if dim == 0 || data.len() % dim != 0 {
+        if dim == 0 || !data.len().is_multiple_of(dim) {
             return Err(NumericsError::ShapeMismatch {
                 context: format!("{} values with feature dim {dim}", data.len()),
             });

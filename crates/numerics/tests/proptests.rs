@@ -12,13 +12,14 @@ use stco_numerics::stats;
 /// Strategy: a strictly diagonally dominant matrix (always nonsingular,
 /// and friendly to every solver in the crate).
 fn dominant_matrix(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(-1.0..1.0f64, n),
-        n,
-    )
-    .prop_map(move |mut rows| {
+    prop::collection::vec(prop::collection::vec(-1.0..1.0f64, n), n).prop_map(move |mut rows| {
         for (i, row) in rows.iter_mut().enumerate() {
-            let off: f64 = row.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, v)| v.abs()).sum();
+            let off: f64 = row
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, v)| v.abs())
+                .sum();
             row[i] = off + 1.0;
         }
         rows

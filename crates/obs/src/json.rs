@@ -1,0 +1,511 @@
+//! Minimal JSON value model, writer and parser — enough to serialize
+//! trace records as JSONL and read them back, with no external
+//! dependencies.
+//!
+//! Numbers are `f64`; integers round-trip exactly up to 2⁵³, far beyond
+//! any id or nanosecond timestamp a trace produces in practice.
+
+use crate::record::{FieldValue, Record};
+use crate::ObsError;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number (f64).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<JsonValue>),
+    /// Object (insertion-ordered).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as f64 if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as u64 if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Renders compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(v) => {
+                if v.fract() == 0.0 && v.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *v as i64));
+                } else {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            JsonValue::Str(s) => render_string(s, out),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one JSON document (must consume the whole input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObsError::Json`] on malformed input.
+    pub fn parse(input: &str) -> crate::Result<JsonValue> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err(pos, "trailing data"));
+        }
+        Ok(value)
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn err(offset: usize, context: &str) -> ObsError {
+    ObsError::Json {
+        offset,
+        context: context.to_string(),
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, byte: u8) -> crate::Result<()> {
+    if *pos < b.len() && b[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, "unexpected byte"))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> crate::Result<JsonValue> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or ']'")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(pairs));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or '}'")),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: JsonValue) -> crate::Result<JsonValue> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, "bad literal"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> crate::Result<String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "bad \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| err(*pos, "bad \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| err(*pos, "bad \\u escape"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|_| err(*pos, "bad UTF-8"))?;
+                let c = s.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> crate::Result<JsonValue> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JsonValue::Num)
+        .ok_or_else(|| err(start, "bad number"))
+}
+
+fn fields_to_json(fields: &[(String, FieldValue)]) -> JsonValue {
+    JsonValue::Obj(
+        fields
+            .iter()
+            .map(|(k, v)| {
+                let jv = match v {
+                    FieldValue::F64(x) => JsonValue::Num(*x),
+                    FieldValue::I64(x) => JsonValue::Num(*x as f64),
+                    FieldValue::U64(x) => JsonValue::Num(*x as f64),
+                    FieldValue::Bool(x) => JsonValue::Bool(*x),
+                    FieldValue::Str(x) => JsonValue::Str(x.clone()),
+                };
+                (k.clone(), jv)
+            })
+            .collect(),
+    )
+}
+
+fn fields_from_json(v: Option<&JsonValue>) -> Vec<(String, FieldValue)> {
+    match v {
+        Some(JsonValue::Obj(pairs)) => pairs
+            .iter()
+            .map(|(k, v)| {
+                let fv = match v {
+                    JsonValue::Bool(b) => FieldValue::Bool(*b),
+                    JsonValue::Str(s) => FieldValue::Str(s.clone()),
+                    JsonValue::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n < 9.0e15 => {
+                        FieldValue::U64(*n as u64)
+                    }
+                    JsonValue::Num(n) if n.fract() == 0.0 && *n < 0.0 && *n > -9.0e15 => {
+                        FieldValue::I64(*n as i64)
+                    }
+                    JsonValue::Num(n) => FieldValue::F64(*n),
+                    _ => FieldValue::Str(v.render()),
+                };
+                (k.clone(), fv)
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Encodes a record as one JSONL line (no trailing newline).
+pub fn record_to_json(record: &Record) -> JsonValue {
+    match record {
+        Record::SpanStart {
+            id,
+            parent,
+            name,
+            fields,
+            t_ns,
+            thread,
+        } => JsonValue::Obj(vec![
+            ("type".into(), JsonValue::Str("span_start".into())),
+            ("id".into(), JsonValue::Num(*id as f64)),
+            (
+                "parent".into(),
+                parent.map_or(JsonValue::Null, |p| JsonValue::Num(p as f64)),
+            ),
+            ("name".into(), JsonValue::Str(name.clone())),
+            ("fields".into(), fields_to_json(fields)),
+            ("t_ns".into(), JsonValue::Num(*t_ns as f64)),
+            ("thread".into(), JsonValue::Num(*thread as f64)),
+        ]),
+        Record::SpanEnd {
+            id,
+            t_ns,
+            elapsed_ns,
+        } => JsonValue::Obj(vec![
+            ("type".into(), JsonValue::Str("span_end".into())),
+            ("id".into(), JsonValue::Num(*id as f64)),
+            ("t_ns".into(), JsonValue::Num(*t_ns as f64)),
+            ("elapsed_ns".into(), JsonValue::Num(*elapsed_ns as f64)),
+        ]),
+        Record::Event {
+            span,
+            name,
+            fields,
+            t_ns,
+            thread,
+        } => JsonValue::Obj(vec![
+            ("type".into(), JsonValue::Str("event".into())),
+            (
+                "span".into(),
+                span.map_or(JsonValue::Null, |s| JsonValue::Num(s as f64)),
+            ),
+            ("name".into(), JsonValue::Str(name.clone())),
+            ("fields".into(), fields_to_json(fields)),
+            ("t_ns".into(), JsonValue::Num(*t_ns as f64)),
+            ("thread".into(), JsonValue::Num(*thread as f64)),
+        ]),
+    }
+}
+
+/// Decodes one JSONL line back into a record.
+///
+/// # Errors
+///
+/// Returns [`ObsError::Json`] on malformed JSON or a missing/mistyped
+/// required key.
+pub fn record_from_json(line: &str) -> crate::Result<Record> {
+    let v = JsonValue::parse(line)?;
+    let ty = v
+        .get("type")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| err(0, "missing type"))?;
+    let u = |key: &str| -> crate::Result<u64> {
+        v.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| err(0, "missing integer key"))
+    };
+    let opt_u = |key: &str| -> Option<u64> { v.get(key).and_then(JsonValue::as_u64) };
+    let name = || -> crate::Result<String> {
+        Ok(v.get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| err(0, "missing name"))?
+            .to_string())
+    };
+    match ty {
+        "span_start" => Ok(Record::SpanStart {
+            id: u("id")?,
+            parent: opt_u("parent"),
+            name: name()?,
+            fields: fields_from_json(v.get("fields")),
+            t_ns: u("t_ns")?,
+            thread: u("thread")?,
+        }),
+        "span_end" => Ok(Record::SpanEnd {
+            id: u("id")?,
+            t_ns: u("t_ns")?,
+            elapsed_ns: u("elapsed_ns")?,
+        }),
+        "event" => Ok(Record::Event {
+            span: opt_u("span"),
+            name: name()?,
+            fields: fields_from_json(v.get("fields")),
+            t_ns: u("t_ns")?,
+            thread: u("thread")?,
+        }),
+        other => Err(ObsError::Json {
+            offset: 0,
+            context: format!("unknown record type {other:?}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        for src in [
+            "null",
+            "true",
+            "false",
+            "3",
+            "-2.5",
+            "\"a\\nb\"",
+            "[]",
+            "{}",
+        ] {
+            let v = JsonValue::parse(src).expect(src);
+            let again = JsonValue::parse(&v.render()).expect("re-parse");
+            assert_eq!(v, again, "{src}");
+        }
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        let src = r#"{"a":[1,2,{"b":"x","c":null}],"d":true}"#;
+        let v = JsonValue::parse(src).unwrap();
+        assert_eq!(v.render(), src);
+        assert_eq!(v.get("d"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for src in ["", "{", "[1,", "\"open", "tru", "{\"a\"}", "1 2"] {
+            assert!(JsonValue::parse(src).is_err(), "{src:?} should fail");
+        }
+    }
+
+    #[test]
+    fn record_roundtrip_all_variants() {
+        let records = vec![
+            Record::SpanStart {
+                id: 7,
+                parent: Some(3),
+                name: "flow.stage".into(),
+                fields: vec![
+                    ("stage".into(), FieldValue::Str("device".into())),
+                    ("gate".into(), FieldValue::F64(2.5)),
+                    ("iters".into(), FieldValue::U64(12)),
+                    ("delta".into(), FieldValue::I64(-3)),
+                    ("ok".into(), FieldValue::Bool(true)),
+                ],
+                t_ns: 123_456_789,
+                thread: 1,
+            },
+            Record::SpanEnd {
+                id: 7,
+                t_ns: 223_456_789,
+                elapsed_ns: 100_000_000,
+            },
+            Record::Event {
+                span: None,
+                name: "tcad.newton_iter".into(),
+                fields: vec![("max_dx".into(), FieldValue::F64(1.5e-7))],
+                t_ns: 150_000_000,
+                thread: 2,
+            },
+        ];
+        for r in &records {
+            let line = record_to_json(r).render();
+            let back = record_from_json(&line).expect("decodes");
+            // F64 fields with integral values decode as U64/I64; compare
+            // via a normalized f64 view where exact enum equality is not
+            // guaranteed. Here all F64 fields are fractional, so exact
+            // equality holds.
+            assert_eq!(&back, r, "line {line}");
+        }
+    }
+}

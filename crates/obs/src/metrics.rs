@@ -1,0 +1,478 @@
+//! The metrics registry: named counters, gauges and fixed-bucket
+//! histograms with percentile summaries.
+//!
+//! Metrics are always live (no sink required): handles are cheap
+//! `Arc`-backed clones, so hot loops fetch a handle once and update it
+//! with a single atomic op per observation.
+//!
+//! Label convention: low-cardinality labels are folded into the name as
+//! `name{key=value}` (see [`labeled`]).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Formats a labeled metric name: `name{key=value}`.
+pub fn labeled(name: &str, key: &str, value: &str) -> String {
+    format!("{name}{{{key}={value}}}")
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Default)]
+struct HistogramState {
+    /// Per-bucket observation counts (`counts[i]` ↔ `value ≤ bounds[i]`),
+    /// plus one overflow bucket at the end.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// A fixed-bucket histogram: cumulative-style buckets defined by their
+/// upper bounds, plus an overflow bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Arc<Vec<f64>>,
+    state: Arc<Mutex<HistogramState>>,
+}
+
+impl Histogram {
+    fn new(bounds: Vec<f64>) -> Self {
+        let n = bounds.len();
+        Histogram {
+            bounds: Arc::new(bounds),
+            state: Arc::new(Mutex::new(HistogramState {
+                counts: vec![0; n + 1],
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            })),
+        }
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        let mut s = self.state.lock().expect("histogram poisoned");
+        s.counts[idx] += 1;
+        s.count += 1;
+        s.sum += v;
+        s.min = s.min.min(v);
+        s.max = s.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.state.lock().expect("histogram poisoned").count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.state.lock().expect("histogram poisoned").sum
+    }
+
+    /// Mean observation, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let s = self.state.lock().expect("histogram poisoned");
+        (s.count > 0).then(|| s.sum / s.count as f64)
+    }
+
+    /// Estimated `q`-quantile (`0 ≤ q ≤ 1`), or `None` when empty.
+    ///
+    /// Linear interpolation inside the containing bucket, clamped to the
+    /// exact observed `[min, max]` — so single-sample histograms report
+    /// that sample for every quantile, and a saturated overflow bucket
+    /// reports `max` rather than infinity.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let s = self.state.lock().expect("histogram poisoned");
+        if s.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * s.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &c) in s.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cumulative + c;
+            if rank <= next as f64 || i + 1 == s.counts.len() {
+                // Bucket bounds: (lower, upper]; the overflow bucket and
+                // the first bucket borrow the observed extrema.
+                let upper = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    s.max
+                };
+                let lower = if i == 0 {
+                    s.min.min(upper)
+                } else {
+                    self.bounds[i - 1]
+                };
+                let frac = ((rank - cumulative as f64) / c as f64).clamp(0.0, 1.0);
+                let v = lower + (upper - lower) * frac;
+                return Some(v.clamp(s.min, s.max));
+            }
+            cumulative = next;
+        }
+        Some(s.max)
+    }
+
+    /// Resets all state (bounds kept).
+    pub fn reset(&self) {
+        let mut s = self.state.lock().expect("histogram poisoned");
+        for c in s.counts.iter_mut() {
+            *c = 0;
+        }
+        s.count = 0;
+        s.sum = 0.0;
+        s.min = f64::INFINITY;
+        s.max = f64::NEG_INFINITY;
+    }
+}
+
+/// Log-spaced seconds buckets (1 µs … 1000 s), the default for
+/// `*_seconds` histograms.
+pub fn seconds_buckets() -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut b = 1e-6;
+    while b <= 1.0e3 + 1e-9 {
+        out.push(b);
+        out.push(b * 2.5);
+        out.push(b * 5.0);
+        b *= 10.0;
+    }
+    out
+}
+
+/// Log-spaced dimensionless buckets (1e-9 … 1e3), suited to training
+/// losses and rewards spanning many decades.
+pub fn loss_buckets() -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut b = 1e-9;
+    while b <= 1.0e3 + 1e-9 {
+        out.push(b);
+        out.push(b * 3.0);
+        b *= 10.0;
+    }
+    out
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A point-in-time reading of one metric.
+#[derive(Debug, Clone)]
+pub enum MetricSnapshot {
+    /// Counter reading.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Value.
+        value: u64,
+    },
+    /// Gauge reading.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Value.
+        value: f64,
+    },
+    /// Histogram summary.
+    Histogram {
+        /// Metric name.
+        name: String,
+        /// Observation count.
+        count: u64,
+        /// Observation sum.
+        sum: f64,
+        /// Mean (`None` when empty).
+        mean: Option<f64>,
+        /// p50 estimate.
+        p50: Option<f64>,
+        /// p90 estimate.
+        p90: Option<f64>,
+        /// p99 estimate.
+        p99: Option<f64>,
+    },
+}
+
+impl MetricSnapshot {
+    /// The metric's name.
+    pub fn name(&self) -> &str {
+        match self {
+            MetricSnapshot::Counter { name, .. }
+            | MetricSnapshot::Gauge { name, .. }
+            | MetricSnapshot::Histogram { name, .. } => name,
+        }
+    }
+}
+
+/// Registry of named metrics. Same name → same underlying metric; a
+/// name registered as one kind and fetched as another panics (a naming
+/// bug worth failing loudly on).
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Fetches (or creates) a counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.inner.lock().expect("metrics registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Fetches (or creates) a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.inner.lock().expect("metrics registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Fetches (or creates) a histogram with the given bucket bounds
+    /// (bounds are fixed at first registration).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let mut m = self.inner.lock().expect("metrics registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds.to_vec())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Snapshots every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let m = self.inner.lock().expect("metrics registry poisoned");
+        m.iter()
+            .map(|(name, metric)| match metric {
+                Metric::Counter(c) => MetricSnapshot::Counter {
+                    name: name.clone(),
+                    value: c.get(),
+                },
+                Metric::Gauge(g) => MetricSnapshot::Gauge {
+                    name: name.clone(),
+                    value: g.get(),
+                },
+                Metric::Histogram(h) => MetricSnapshot::Histogram {
+                    name: name.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    mean: h.mean(),
+                    p50: h.quantile(0.5),
+                    p90: h.quantile(0.9),
+                    p99: h.quantile(0.99),
+                },
+            })
+            .collect()
+    }
+
+    /// Renders the snapshot as a Markdown table.
+    pub fn markdown(&self) -> String {
+        let mut out =
+            String::from("| metric | count/value | sum | mean | p50 | p90 | p99 |\n|---|---:|---:|---:|---:|---:|---:|\n");
+        let fmt = |v: Option<f64>| v.map_or("—".to_string(), |x| format!("{x:.4e}"));
+        for snap in self.snapshot() {
+            match snap {
+                MetricSnapshot::Counter { name, value } => {
+                    out.push_str(&format!("| {name} | {value} | — | — | — | — | — |\n"));
+                }
+                MetricSnapshot::Gauge { name, value } => {
+                    out.push_str(&format!("| {name} | {value:.4e} | — | — | — | — | — |\n"));
+                }
+                MetricSnapshot::Histogram {
+                    name,
+                    count,
+                    sum,
+                    mean,
+                    p50,
+                    p90,
+                    p99,
+                } => {
+                    out.push_str(&format!(
+                        "| {name} | {count} | {sum:.4e} | {} | {} | {} | {} |\n",
+                        fmt(mean),
+                        fmt(p50),
+                        fmt(p90),
+                        fmt(p99)
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Removes every metric (tests; bench bins between sections).
+    pub fn reset(&self) {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.b");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("a.b").get(), 5, "same name, same counter");
+        let g = reg.gauge("a.g");
+        g.set(-2.5);
+        assert_eq!(reg.gauge("a.g").get(), -2.5);
+        assert_eq!(reg.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new(vec![1.0, 2.0]);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_histogram_reports_that_sample() {
+        let h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        h.observe(7.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!((v - 7.0).abs() < 1e-12, "q={q}: {v}");
+        }
+        assert_eq!(h.mean(), Some(7.0));
+    }
+
+    #[test]
+    fn saturated_overflow_bucket_reports_observed_max() {
+        let h = Histogram::new(vec![1.0]);
+        for v in [5.0, 8.0, 11.0] {
+            h.observe(v);
+        }
+        // All mass above the last bound: quantiles must stay within
+        // [min, max] of the real observations, never infinite.
+        for q in [0.1, 0.5, 0.9, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!((5.0..=11.0).contains(&v), "q={q}: {v}");
+        }
+        assert_eq!(h.quantile(1.0), Some(11.0));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracketed() {
+        let h = Histogram::new(seconds_buckets());
+        for i in 1..=1000 {
+            h.observe(i as f64 * 1e-3);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!(v >= prev, "quantiles must be monotone in q");
+            assert!((1e-3..=1.0).contains(&v));
+            prev = v;
+        }
+        // Median of 1..1000 ms ≈ 0.5 s within bucket resolution (coarse
+        // log buckets: accept a 2.5× band).
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 > 0.2 && p50 < 1.0, "p50 {p50}");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn labeled_formats() {
+        assert_eq!(
+            labeled("flow.stage_seconds", "stage", "device"),
+            "flow.stage_seconds{stage=device}"
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! The trace data model: what sinks receive, what profiles fold.
+
+/// A typed field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Floating-point value.
+    F64(f64),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl FieldValue {
+    /// The value as `f64` where that makes sense.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            FieldValue::F64(v) => Some(*v),
+            FieldValue::I64(v) => Some(*v as f64),
+            FieldValue::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FieldValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! from_impls {
+    ($($ty:ty => $variant:ident as $cast:ty),+ $(,)?) => {
+        $(impl From<$ty> for FieldValue {
+            fn from(v: $ty) -> Self {
+                FieldValue::$variant(v as $cast)
+            }
+        })+
+    };
+}
+
+from_impls! {
+    f64 => F64 as f64,
+    f32 => F64 as f64,
+    i64 => I64 as i64,
+    i32 => I64 as i64,
+    u64 => U64 as u64,
+    u32 => U64 as u64,
+    usize => U64 as u64,
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// Named fields of a span or event.
+pub type Fields = Vec<(String, FieldValue)>;
+
+/// One trace record. Timestamps are nanoseconds since the global
+/// recorder's epoch (one clock for every record in a process).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A span opened.
+    SpanStart {
+        /// Process-unique span id.
+        id: u64,
+        /// Enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// Span name (`crate.operation`).
+        name: String,
+        /// Attached fields.
+        fields: Fields,
+        /// Start time, ns since epoch.
+        t_ns: u64,
+        /// Opening thread (opaque id).
+        thread: u64,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Id of the span being closed.
+        id: u64,
+        /// Close time, ns since epoch.
+        t_ns: u64,
+        /// Span duration, ns (close minus open on the same monotonic
+        /// clock — authoritative even if `t_ns` values are coarse).
+        elapsed_ns: u64,
+    },
+    /// A point-in-time event.
+    Event {
+        /// Innermost open span on the emitting thread, if any.
+        span: Option<u64>,
+        /// Event name.
+        name: String,
+        /// Attached fields.
+        fields: Fields,
+        /// Emission time, ns since epoch.
+        t_ns: u64,
+        /// Emitting thread (opaque id).
+        thread: u64,
+    },
+}
+
+impl Record {
+    /// The record's timestamp, ns since epoch.
+    pub fn t_ns(&self) -> u64 {
+        match self {
+            Record::SpanStart { t_ns, .. }
+            | Record::SpanEnd { t_ns, .. }
+            | Record::Event { t_ns, .. } => *t_ns,
+        }
+    }
+
+    /// The record's name, if it has one.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            Record::SpanStart { name, .. } | Record::Event { name, .. } => Some(name),
+            Record::SpanEnd { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_cover_common_types() {
+        assert_eq!(FieldValue::from(1.5f64), FieldValue::F64(1.5));
+        assert_eq!(FieldValue::from(3usize), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(-2i32), FieldValue::I64(-2));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".into()));
+        assert_eq!(FieldValue::from(true), FieldValue::Bool(true));
+    }
+
+    #[test]
+    fn as_f64_covers_numeric_variants() {
+        assert_eq!(FieldValue::U64(4).as_f64(), Some(4.0));
+        assert_eq!(FieldValue::I64(-4).as_f64(), Some(-4.0));
+        assert_eq!(FieldValue::Str("x".into()).as_f64(), None);
+    }
+}

@@ -1,0 +1,82 @@
+//! Losslessness of the global recorder under concurrent emission.
+//!
+//! Lives in its own integration-test binary: the recorder is
+//! process-global, and this test must own its sinks.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use stco_obs::{Record, Recorder, RingBufferSink};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every span opened on any thread appears exactly once as a
+    /// SpanStart with a matching SpanEnd, and nothing is invented.
+    #[test]
+    fn recorder_is_lossless_under_concurrent_spans(
+        threads in 4usize..8,
+        spans_per_thread in 1usize..24,
+        with_events in any::<bool>(),
+    ) {
+        let recorder = Recorder::global();
+        recorder.clear_sinks();
+        let capacity = threads * spans_per_thread * 4 + 16;
+        let (sink, handle) = RingBufferSink::with_capacity(capacity);
+        recorder.add_sink(Box::new(sink));
+
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..spans_per_thread {
+                        let span = Recorder::global().span(
+                            "test.concurrent",
+                            &[("worker", (t as u64).into()), ("i", (i as u64).into())],
+                        );
+                        if with_events {
+                            Recorder::global().event("test.tick", &[]);
+                        }
+                        let elapsed = span.close();
+                        assert!(elapsed >= 0.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker thread panicked");
+        }
+        recorder.clear_sinks();
+
+        let records = handle.records();
+        prop_assert_eq!(handle.dropped(), 0, "ring buffer must not evict");
+
+        let expected = threads * spans_per_thread;
+        let mut starts: HashMap<u64, u64> = HashMap::new(); // id -> count
+        let mut ends: HashMap<u64, u64> = HashMap::new();
+        let mut per_thread: HashMap<u64, usize> = HashMap::new();
+        let mut events = 0usize;
+        for record in &records {
+            match record {
+                Record::SpanStart { id, name, thread, .. } => {
+                    prop_assert_eq!(name.as_str(), "test.concurrent");
+                    *starts.entry(*id).or_insert(0) += 1;
+                    *per_thread.entry(*thread).or_insert(0) += 1;
+                }
+                Record::SpanEnd { id, .. } => {
+                    *ends.entry(*id).or_insert(0) += 1;
+                }
+                Record::Event { .. } => events += 1,
+            }
+        }
+        prop_assert_eq!(starts.len(), expected, "one start per span");
+        prop_assert_eq!(ends.len(), expected, "one end per span");
+        prop_assert!(starts.values().all(|&n| n == 1), "no duplicated starts");
+        prop_assert!(ends.values().all(|&n| n == 1), "no duplicated ends");
+        for id in starts.keys() {
+            prop_assert!(ends.contains_key(id), "span {} never closed", id);
+        }
+        prop_assert_eq!(per_thread.len(), threads, "all workers recorded");
+        prop_assert!(per_thread.values().all(|&n| n == spans_per_thread));
+        prop_assert_eq!(events, if with_events { expected } else { 0 });
+    }
+}

@@ -272,6 +272,10 @@ impl Circuit {
                 context: "transient needs positive dt and t_stop".into(),
             });
         }
+        let _span = stco_obs::span!("spice.transient", t_stop = config.t_stop, dt = config.dt,);
+        let metrics = stco_obs::Recorder::global().metrics();
+        let accepts = metrics.counter("spice.timestep_accepts");
+        let rejects = metrics.counter("spice.timestep_rejects");
         let dc = self.dc_operating_point()?;
         let n = self.num_nodes() - 1;
         let caps = self.cap_list();
@@ -319,16 +323,22 @@ impl Circuit {
                                 - (volt(&prev_v, a) - volt(&prev_v, b));
                             local_cap_i[k] = match method {
                                 Integration::BackwardEuler => c / dt * dv,
-                                Integration::Trapezoidal => {
-                                    2.0 * c / dt * dv - local_cap_i[k]
-                                }
+                                Integration::Trapezoidal => 2.0 * c / dt * dv - local_cap_i[k],
                             };
                         }
                         local_state = trial;
                         t_local = step_end;
+                        accepts.inc();
                     }
                     Err(e) => {
                         halvings += 1;
+                        rejects.inc();
+                        stco_obs::event!(
+                            "spice.timestep_reject",
+                            t = t_local,
+                            sub_dt = sub_dt,
+                            halvings = halvings,
+                        );
                         if halvings > 10 {
                             if std::env::var("STCO_SPICE_DEBUG").is_ok() {
                                 eprintln!(
@@ -434,7 +444,10 @@ fn newton_solve(
         }
         x_prev.copy_from_slice(x);
         if std::env::var("STCO_SPICE_DEBUG").is_ok() && iter % 25 == 0 {
-            eprintln!("  newton iter {iter}: max_dx {max_dx:.3e} x[..4] {:?}", &x[..x.len().min(4)]);
+            eprintln!(
+                "  newton iter {iter}: max_dx {max_dx:.3e} x[..4] {:?}",
+                &x[..x.len().min(4)]
+            );
         }
     }
     Err(SpiceError::NoConvergence {
@@ -696,8 +709,12 @@ mod tests {
             t_stop,
             dt: tau / 6.0, // deliberately coarse
         };
-        let be = ckt.transient_with(&config, Integration::BackwardEuler).unwrap();
-        let tr = ckt.transient_with(&config, Integration::Trapezoidal).unwrap();
+        let be = ckt
+            .transient_with(&config, Integration::BackwardEuler)
+            .unwrap();
+        let tr = ckt
+            .transient_with(&config, Integration::Trapezoidal)
+            .unwrap();
         let a = 2.0 / t_stop;
         let exact = |t: f64| a * (t - tau * (1.0 - (-t / tau).exp()));
         let err = |res: &TranResult| -> f64 {

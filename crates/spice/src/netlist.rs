@@ -287,7 +287,14 @@ impl Circuit {
     }
 
     /// Adds a TFT with the given (drain, gate, source) connection.
-    pub fn add_tft(&mut self, name: &str, drain: NodeId, gate: NodeId, source: NodeId, model: CompactModel) {
+    pub fn add_tft(
+        &mut self,
+        name: &str,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        model: CompactModel,
+    ) {
         self.elements.push(Element::Tft {
             name: name.to_string(),
             dgs: (drain, gate, source),
@@ -302,7 +309,10 @@ impl Circuit {
     /// Returns [`SpiceError::BadNetlist`] if no source has that name.
     pub fn vsource_branch(&self, name: &str) -> Result<usize> {
         for e in &self.elements {
-            if let Element::VoltageSource { name: n, branch, .. } = e {
+            if let Element::VoltageSource {
+                name: n, branch, ..
+            } = e
+            {
                 if n == name {
                     return Ok(*branch);
                 }
@@ -346,13 +356,7 @@ impl MnaSystem {
     }
 
     /// Stamps a conductance between two nodes.
-    pub(crate) fn stamp_conductance(
-        &mut self,
-        ckt: &Circuit,
-        a: NodeId,
-        b: NodeId,
-        g: f64,
-    ) {
+    pub(crate) fn stamp_conductance(&mut self, ckt: &Circuit, a: NodeId, b: NodeId, g: f64) {
         let (ia, ib) = (ckt.unknown_of(a), ckt.unknown_of(b));
         if let Some(i) = ia {
             self.matrix.add_at(i, i, g);

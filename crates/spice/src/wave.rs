@@ -60,6 +60,7 @@ pub fn crossing_time(
 /// # Errors
 ///
 /// Propagates missing crossings.
+#[allow(clippy::too_many_arguments)]
 pub fn transition_time(
     times: &[f64],
     signal: &[f64],

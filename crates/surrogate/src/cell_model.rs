@@ -207,11 +207,7 @@ impl CellModel {
                     let (mean, std) = norms[item.metric];
                     let mut g = Graph::new();
                     let pred = forward_one(&layers, &heads, params, item, &mut g);
-                    let t = g.input(Matrix::from_vec(
-                        1,
-                        1,
-                        vec![(item.log_value - mean) / std],
-                    ));
+                    let t = g.input(Matrix::from_vec(1, 1, vec![(item.log_value - mean) / std]));
                     let loss = g.mse_loss(pred, t);
                     let l = g.value(loss).get(0, 0);
                     params.zero_grads();

@@ -126,11 +126,7 @@ pub fn encode_device(sample: &DeviceSample, task: TaskFeatures) -> GraphData {
     let mut graph = GraphData {
         node_features: Matrix::from_vec(n, NODE_DIM, features),
         edges,
-        edge_features: Matrix::from_vec(
-            edge_feats.len() / EDGE_DIM,
-            EDGE_DIM,
-            edge_feats,
-        ),
+        edge_features: Matrix::from_vec(edge_feats.len() / EDGE_DIM, EDGE_DIM, edge_feats),
     };
     graph.add_self_loops();
     graph
@@ -138,11 +134,7 @@ pub fn encode_device(sample: &DeviceSample, task: TaskFeatures) -> GraphData {
 
 /// Node-regression targets for the Poisson emulator: the potential map.
 pub fn potential_targets(sample: &DeviceSample) -> Matrix {
-    Matrix::from_vec(
-        sample.solution.psi.len(),
-        1,
-        sample.solution.psi.clone(),
-    )
+    Matrix::from_vec(sample.solution.psi.len(), 1, sample.solution.psi.clone())
 }
 
 /// The `(src, dst)` index lists of a graph, shared across layers.
@@ -181,8 +173,9 @@ mod tests {
             let ones: f64 = row[..Material::NUM_CLASSES].iter().sum();
             assert_eq!(ones, 1.0, "node {i} material one-hot");
             let region_base = Material::NUM_CLASSES + 12;
-            let region_ones: f64 =
-                row[region_base..region_base + Region::NUM_CLASSES].iter().sum();
+            let region_ones: f64 = row[region_base..region_base + Region::NUM_CLASSES]
+                .iter()
+                .sum();
             assert_eq!(region_ones, 1.0, "node {i} region one-hot");
         }
     }

@@ -114,7 +114,13 @@ impl IvPredictor {
         // 4-layer MLP head, as the paper specifies.
         let head = Mlp::new(
             &mut params,
-            &[hidden, config.mlp_hidden, config.mlp_hidden, config.mlp_hidden / 2, 1],
+            &[
+                hidden,
+                config.mlp_hidden,
+                config.mlp_hidden,
+                config.mlp_hidden / 2,
+                1,
+            ],
             Activation::Elu,
         );
         IvPredictor {
@@ -257,7 +263,15 @@ fn forward_one(
 ) -> stco_nn::ad::NodeId {
     let x = g.input(item.graph.node_features.clone());
     let e = g.input(item.graph.edge_features.clone());
-    let h = stack.forward(g, params, x, e, &item.src, &item.dst, item.graph.num_nodes());
+    let h = stack.forward(
+        g,
+        params,
+        x,
+        e,
+        &item.src,
+        &item.dst,
+        item.graph.num_nodes(),
+    );
     let pooled = g.segment_mean(h, Rc::clone(&item.seg), 1);
     head.forward(g, params, pooled)
 }

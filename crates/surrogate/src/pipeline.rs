@@ -80,9 +80,8 @@ pub fn run_table2(config: &Table2Config) -> Result<Table2Report> {
         &config.technologies,
     )?;
     let split = split_indices(data.len(), 0.7, 0.15, config.seed);
-    let pick = |idx: &[usize]| -> Vec<DeviceSample> {
-        idx.iter().map(|&i| data[i].clone()).collect()
-    };
+    let pick =
+        |idx: &[usize]| -> Vec<DeviceSample> { idx.iter().map(|&i| data[i].clone()).collect() };
     let train = pick(&split.train);
     let val = pick(&split.val);
     let test = pick(&split.test);
@@ -115,7 +114,11 @@ fn arc_context(cell: &CellType, arc: &ArcSample) -> EncodingContext {
     for pin in &cell.inputs {
         let name = (*pin).to_string();
         if *pin == arc.pin {
-            let (cur, next) = if arc.input_rising { (0.0, 1.0) } else { (1.0, 0.0) };
+            let (cur, next) = if arc.input_rising {
+                (0.0, 1.0)
+            } else {
+                (1.0, 0.0)
+            };
             ctx.current_state.insert(name.clone(), cur);
             ctx.next_state.insert(name.clone(), next);
             ctx.input_slew.insert(name, arc.slew);
@@ -273,8 +276,7 @@ pub fn run_table4(config: &Table4Config) -> Result<Table4Report> {
     let grid = stco_compact::tech::CornerGrid::default();
     let train_corners = grid.corners(config.train_levels);
     let test_corners = grid.corners(config.test_levels);
-    let train =
-        build_cell_dataset(&base, &train_corners, &config.cells, &config.char_config)?;
+    let train = build_cell_dataset(&base, &train_corners, &config.cells, &config.char_config)?;
     let test = build_cell_dataset(&base, &test_corners, &config.cells, &config.char_config)?;
     let mut model = CellModel::new(config.model);
     model.train(&train, &test, &config.train)?;
@@ -335,8 +337,7 @@ mod tests {
             CellType::by_kind(CellKind::Dff),
         ];
         let ds = build_cell_dataset(&base, &corners, &cells, &CharConfig::fast()).unwrap();
-        let metrics: std::collections::BTreeSet<usize> =
-            ds.iter().map(|s| s.metric).collect();
+        let metrics: std::collections::BTreeSet<usize> = ds.iter().map(|s| s.metric).collect();
         // NAND2 provides delay/slew/cap/flip/nonflip/leakage; DFF adds
         // setup, hold and pulse width → all nine.
         assert_eq!(metrics.len(), 9, "metrics present: {metrics:?}");

@@ -18,7 +18,9 @@ use stco_nn::Params;
 use stco_numerics::stats;
 use stco_tcad::dataset::DeviceSample;
 
-use crate::encoding::{encode_device, index_lists, potential_targets, TaskFeatures, EDGE_DIM, NODE_DIM};
+use crate::encoding::{
+    encode_device, index_lists, potential_targets, TaskFeatures, EDGE_DIM, NODE_DIM,
+};
 use crate::{Result, SurrogateError};
 
 /// Architecture hyperparameters.
@@ -153,10 +155,8 @@ impl PoissonEmulator {
         self.target_mean = mean;
         self.target_std = std.max(1e-9);
 
-        let encoded: Vec<EncodedDevice> =
-            train.iter().map(EncodedDevice::from_sample).collect();
-        let val_encoded: Vec<EncodedDevice> =
-            val.iter().map(EncodedDevice::from_sample).collect();
+        let encoded: Vec<EncodedDevice> = train.iter().map(EncodedDevice::from_sample).collect();
+        let val_encoded: Vec<EncodedDevice> = val.iter().map(EncodedDevice::from_sample).collect();
 
         let mut adam = Adam::with_learning_rate(self.config.learning_rate);
         let stack = self.stack.clone();
@@ -285,7 +285,15 @@ fn eval_item(
         *v = (*v - t_mean) / t_std;
     }
     let ti = g.input(t);
-    let h = stack.forward(&mut g, params, x, e, &item.src, &item.dst, item.graph.num_nodes());
+    let h = stack.forward(
+        &mut g,
+        params,
+        x,
+        e,
+        &item.src,
+        &item.dst,
+        item.graph.num_nodes(),
+    );
     let pred = head.forward(&mut g, params, h);
     let loss = g.mse_loss(pred, ti);
     (g.value(loss).get(0, 0), item.graph.num_nodes())
@@ -365,9 +373,7 @@ mod tests {
     #[test]
     fn empty_sets_are_rejected() {
         let mut model = PoissonEmulator::new(PoissonConfig::default());
-        assert!(model
-            .train(&[], &[], &TrainConfig::default())
-            .is_err());
+        assert!(model.train(&[], &[], &TrainConfig::default()).is_err());
         assert!(model.evaluate(&[]).is_err());
     }
 }

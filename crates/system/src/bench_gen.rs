@@ -213,9 +213,9 @@ pub fn mac(width: usize) -> LogicNetlist {
 
     // Partial products.
     let mut pp: Vec<Vec<NetId>> = Vec::with_capacity(width);
-    for bi in 0..width {
+    for &bj in &b {
         let row: Vec<NetId> = (0..width)
-            .map(|ai| n.add_gate(LogicOp::And, &[a[ai], b[bi]]))
+            .map(|ai| n.add_gate(LogicOp::And, &[a[ai], bj]))
             .collect();
         pp.push(row);
     }
@@ -287,7 +287,13 @@ fn zero_net(n: &mut LogicNetlist, x: NetId) -> NetId {
 /// A RISC-V-datapath-like core: `regs` registers of `width` bits with
 /// read mux trees, a ripple ALU (add + logic ops + mux select), a
 /// barrel-ish shifter (`shift_levels` mux layers) and decode logic.
-pub fn riscv_like(name: &str, width: usize, regs: usize, shift_levels: usize, seed: u64) -> LogicNetlist {
+pub fn riscv_like(
+    name: &str,
+    width: usize,
+    regs: usize,
+    shift_levels: usize,
+    seed: u64,
+) -> LogicNetlist {
     let mut n = LogicNetlist::new(name);
     let mut rng = Xorshift::new(seed);
     // Instruction word input.
@@ -379,8 +385,8 @@ pub fn riscv_like(name: &str, width: usize, regs: usize, shift_levels: usize, se
             n.connect_ff(q, d);
         }
     }
-    for bit in 0..width {
-        n.add_output(shifted[bit]);
+    for &s in &shifted[..width] {
+        n.add_output(s);
     }
     n
 }
@@ -436,12 +442,8 @@ mod tests {
         };
         let vectors = vec![make_vec(3, 5); 4];
         let outs = n.simulate(&vectors).unwrap();
-        let read_acc = |bits: &[bool]| -> u64 {
-            bits.iter()
-                .enumerate()
-                .map(|(i, &b)| (b as u64) << i)
-                .sum()
-        };
+        let read_acc =
+            |bits: &[bool]| -> u64 { bits.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum() };
         // Cycle 0: acc = 0 (FFs reset). Cycle 1: acc = 15. Cycle 2: 30.
         assert_eq!(read_acc(&outs[0]), 0);
         assert_eq!(read_acc(&outs[1]), 15);

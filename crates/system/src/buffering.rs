@@ -53,8 +53,7 @@ pub fn buffer_high_fanout(
 ) -> Result<BufferReport> {
     if config.max_fanout < 2 {
         return Err(crate::SystemError::BadNetlist {
-            context: "max_fanout must be at least 2 (splitting cannot terminate below that)"
-                .into(),
+            context: "max_fanout must be at least 2 (splitting cannot terminate below that)".into(),
         });
     }
     let max_fanout_before = peak_fanout(netlist);

@@ -85,7 +85,13 @@ pub fn map_netlist(logic: &LogicNetlist) -> Result<MappedNetlist> {
     };
 
     for gate in &logic.gates {
-        map_gate(gate.op, &gate.inputs, gate.output, &mut mapped.instances, &mut alloc)?;
+        map_gate(
+            gate.op,
+            &gate.inputs,
+            gate.output,
+            &mut mapped.instances,
+            &mut alloc,
+        )?;
     }
     for ff in &logic.flip_flops {
         mapped.instances.push(CellInstance {
@@ -289,7 +295,7 @@ mod tests {
             .collect();
         for vec_id in 0..(1u32 << 6) {
             let vector: Vec<bool> = (0..6).map(|i| (vec_id >> i) & 1 == 1).collect();
-            let logic_out = logic.simulate(&[vector.clone()]).unwrap()[0][0];
+            let logic_out = logic.simulate(std::slice::from_ref(&vector)).unwrap()[0][0];
             // Evaluate mapped instances in emission order (map_netlist
             // preserves topological order of the source gates).
             let mut values = vec![false; mapped.num_nets];

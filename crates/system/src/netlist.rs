@@ -381,11 +381,7 @@ mod tests {
         n.add_output(x);
         n.add_output(y);
         let outs = n
-            .simulate(&[
-                vec![false, false],
-                vec![true, false],
-                vec![true, true],
-            ])
+            .simulate(&[vec![false, false], vec![true, false], vec![true, true]])
             .unwrap();
         assert_eq!(outs[0], vec![false, true]);
         assert_eq!(outs[1], vec![true, true]);
@@ -396,10 +392,7 @@ mod tests {
     fn unconnected_ff_is_rejected() {
         let mut n = LogicNetlist::new("bad");
         let _ = n.add_ff_output();
-        assert!(matches!(
-            n.validate(),
-            Err(SystemError::BadNetlist { .. })
-        ));
+        assert!(matches!(n.validate(), Err(SystemError::BadNetlist { .. })));
     }
 
     #[test]

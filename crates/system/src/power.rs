@@ -56,29 +56,28 @@ pub fn analyze_power(
     } else {
         activity.iter().sum::<f64>() / activity.len() as f64
     };
-    let act = |net: usize| -> f64 {
-        activity.get(net).copied().unwrap_or(avg_activity)
-    };
+    let act = |net: usize| -> f64 { activity.get(net).copied().unwrap_or(avg_activity) };
 
     let mut leakage = 0.0;
     let mut dynamic = 0.0;
     for inst in &netlist.instances {
-        let cell = library.cell(inst.kind).ok_or_else(|| SystemError::MissingCell {
-            cell: format!("{:?}", inst.kind),
-        })?;
+        let cell = library
+            .cell(inst.kind)
+            .ok_or_else(|| SystemError::MissingCell {
+                cell: format!("{:?}", inst.kind),
+            })?;
         leakage += cell.leakage_power;
         // Net capacitance driven by this instance.
         let net = inst.output;
         let mut cap = match wires {
-            WireModel::FanoutEstimate { per_fanout } => {
-                per_fanout * fanouts[net].len() as f64
-            }
+            WireModel::FanoutEstimate { per_fanout } => per_fanout * fanouts[net].len() as f64,
             WireModel::PerNet(caps) => caps.get(net).copied().unwrap_or(0.0),
         };
         for &ii in &fanouts[net] {
             let sink = &netlist.instances[ii];
-            let sink_cell =
-                library.cell(sink.kind).ok_or_else(|| SystemError::MissingCell {
+            let sink_cell = library
+                .cell(sink.kind)
+                .ok_or_else(|| SystemError::MissingCell {
                     cell: format!("{:?}", sink.kind),
                 })?;
             cap += sink_cell.input_capacitance;
@@ -135,7 +134,10 @@ mod tests {
         let p2 = analyze_power(&mapped, &lib, &wires, &act, 2.0e6).unwrap();
         assert!(p1.total() > 0.0);
         assert!((p2.dynamic / p1.dynamic - 2.0).abs() < 1e-9);
-        assert!((p2.leakage - p1.leakage).abs() < 1e-18, "leakage is f-independent");
+        assert!(
+            (p2.leakage - p1.leakage).abs() < 1e-18,
+            "leakage is f-independent"
+        );
     }
 
     #[test]

@@ -82,15 +82,31 @@ pub fn evaluate_system(
     library: &Library,
     config: &EvalConfig,
 ) -> Result<PpaReport> {
-    let mapped = map_netlist(logic)?;
-    let placement = place(&mapped, &config.place)?;
-    check_drc(&placement)?;
-    check_lvs(&mapped, &placement, library)?;
+    let _span = stco_obs::span!("system.evaluate", benchmark = logic.name.as_str());
+    let mapped = {
+        let _s = stco_obs::span!("system.map");
+        map_netlist(logic)?
+    };
+    let placement = {
+        let _s = stco_obs::span!("system.place");
+        place(&mapped, &config.place)?
+    };
+    {
+        let _s = stco_obs::span!("system.verify");
+        check_drc(&placement)?;
+        check_lvs(&mapped, &placement, library)?;
+    }
     let wires = WireModel::PerNet(placement.net_caps.clone());
-    let timing = analyze_timing(&mapped, library, &wires)?;
+    let timing = {
+        let _s = stco_obs::span!("system.sta");
+        analyze_timing(&mapped, library, &wires)?
+    };
     let cycles = config.activity_cycles.max(10);
-    let activity = logic.simulate_activity(cycles, config.activity_seed)?;
-    let power = analyze_power(&mapped, library, &wires, &activity, timing.max_frequency)?;
+    let power = {
+        let _s = stco_obs::span!("system.power");
+        let activity = logic.simulate_activity(cycles, config.activity_seed)?;
+        analyze_power(&mapped, library, &wires, &activity, timing.max_frequency)?
+    };
     let area = total_area(&mapped, library)?;
     Ok(PpaReport {
         name: logic.name.clone(),

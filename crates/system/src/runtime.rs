@@ -16,7 +16,7 @@
 //! [`SpeedupRow`] reproduces the arithmetic for any system-eval time —
 //! either the paper's reported seconds or our measured substrate times.
 
-use std::time::Instant;
+use stco_obs::SpanGuard;
 
 /// The paper's technology-stage runtime constants, seconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,12 +74,8 @@ pub struct SpeedupRow {
 impl SpeedupRow {
     /// Composes a row from a system-eval time and stage constants.
     pub fn compose(benchmark: &str, system_eval: f64, constants: &PaperConstants) -> Self {
-        let traditional =
-            system_eval + constants.tcad_commercial + constants.cellchar_commercial;
-        let ours = system_eval
-            + constants.env_setup
-            + constants.gnn_tcad
-            + constants.gnn_cellchar;
+        let traditional = system_eval + constants.tcad_commercial + constants.cellchar_commercial;
+        let ours = system_eval + constants.env_setup + constants.gnn_tcad + constants.gnn_cellchar;
         SpeedupRow {
             benchmark: benchmark.to_string(),
             system_eval,
@@ -91,10 +87,14 @@ impl SpeedupRow {
 }
 
 /// Wall-clock timer for flow stages.
+///
+/// Each stage is backed by a `flow.stage{stage=…}` obs span, so the
+/// seconds reported here and the seconds folded from a recorded trace
+/// come from the same clock reading — they agree exactly.
 #[derive(Debug)]
 pub struct StageTimer {
     stages: Vec<(String, f64)>,
-    current: Option<(String, Instant)>,
+    current: Option<(String, SpanGuard)>,
 }
 
 impl Default for StageTimer {
@@ -115,13 +115,22 @@ impl StageTimer {
     /// Starts (or restarts) timing a named stage, closing any open one.
     pub fn start(&mut self, name: &str) {
         self.finish();
-        self.current = Some((name.to_string(), Instant::now()));
+        let span = stco_obs::span!("flow.stage", stage = name);
+        self.current = Some((name.to_string(), span));
     }
 
     /// Closes the open stage, recording its elapsed seconds.
     pub fn finish(&mut self) {
-        if let Some((name, t0)) = self.current.take() {
-            self.stages.push((name, t0.elapsed().as_secs_f64()));
+        if let Some((name, span)) = self.current.take() {
+            let seconds = span.close();
+            stco_obs::Recorder::global()
+                .metrics()
+                .histogram(
+                    &stco_obs::metrics::labeled("flow.stage_seconds", "stage", &name),
+                    &stco_obs::metrics::seconds_buckets(),
+                )
+                .observe(seconds);
+            self.stages.push((name, seconds));
         }
     }
 

@@ -67,9 +67,11 @@ pub fn analyze_timing(
         let mut cap = wires.net_cap(net, fo.len());
         for &ii in fo {
             let inst = &netlist.instances[ii];
-            let cell = library.cell(inst.kind).ok_or_else(|| SystemError::MissingCell {
-                cell: format!("{:?}", inst.kind),
-            })?;
+            let cell = library
+                .cell(inst.kind)
+                .ok_or_else(|| SystemError::MissingCell {
+                    cell: format!("{:?}", inst.kind),
+                })?;
             cap += cell.input_capacitance;
         }
         net_load[net] = cap;
@@ -103,9 +105,11 @@ pub fn analyze_timing(
         if inst.kind == stco_cells::library::CellKind::Dff {
             continue;
         }
-        let cell = library.cell(inst.kind).ok_or_else(|| SystemError::MissingCell {
-            cell: format!("{:?}", inst.kind),
-        })?;
+        let cell = library
+            .cell(inst.kind)
+            .ok_or_else(|| SystemError::MissingCell {
+                cell: format!("{:?}", inst.kind),
+            })?;
         let load = net_load[inst.output];
         let mut worst_arrival = 0.0_f64;
         let mut worst_slew = default_slew;
@@ -275,13 +279,17 @@ mod tests {
         let light = analyze_timing(
             &mapped,
             &lib,
-            &WireModel::FanoutEstimate { per_fanout: 0.5e-15 },
+            &WireModel::FanoutEstimate {
+                per_fanout: 0.5e-15,
+            },
         )
         .unwrap();
         let heavy = analyze_timing(
             &mapped,
             &lib,
-            &WireModel::FanoutEstimate { per_fanout: 20.0e-15 },
+            &WireModel::FanoutEstimate {
+                per_fanout: 20.0e-15,
+            },
         )
         .unwrap();
         assert!(heavy.critical_path_delay > light.critical_path_delay);
@@ -291,12 +299,8 @@ mod tests {
     fn missing_cell_is_reported() {
         let card = TechnologyCard::reference(Technology::Ltps);
         let config = CharConfig::fast();
-        let lib = Library::characterize_subset(
-            &card,
-            &config,
-            &[CellType::by_kind(CellKind::Inv)],
-        )
-        .unwrap();
+        let lib = Library::characterize_subset(&card, &config, &[CellType::by_kind(CellKind::Inv)])
+            .unwrap();
         let mut logic = LogicNetlist::new("m");
         let a = logic.add_input();
         let b = logic.add_input();

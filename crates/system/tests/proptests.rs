@@ -33,7 +33,9 @@ fn random_comb_netlist(seed: u64, num_inputs: usize, num_gates: usize) -> LogicN
             LogicOp::Mux | LogicOp::Maj => 3,
             _ => 2 + rng.gen_range(5), // up to 6-wide → forces decomposition
         };
-        let inputs: Vec<NetId> = (0..arity).map(|_| pool[rng.gen_range(pool.len())]).collect();
+        let inputs: Vec<NetId> = (0..arity)
+            .map(|_| pool[rng.gen_range(pool.len())])
+            .collect();
         let out = n.add_gate(op, &inputs);
         pool.push(out);
     }
@@ -52,7 +54,7 @@ proptest! {
         let lib: std::collections::BTreeMap<CellKind, CellType> =
             CellType::library().into_iter().map(|c| (c.kind, c)).collect();
         for vector in &vectors {
-            let expected = logic.simulate(&[vector.clone()]).expect("simulates")[0].clone();
+            let expected = logic.simulate(std::slice::from_ref(vector)).expect("simulates")[0].clone();
             // Evaluate the mapped netlist with cell truth tables.
             let mut values = vec![false; mapped.num_nets];
             for (&pi, &v) in mapped.primary_inputs.iter().zip(vector) {

@@ -148,7 +148,7 @@ mod tests {
     fn log_current_floors_tiny_values() {
         let ds = generate_dataset(5, 1, &[Technology::Ltps]).unwrap();
         let lc = ds[0].log_current();
-        assert!(lc >= -15.0 && lc < 0.0, "log current {lc}");
+        assert!((-15.0..0.0).contains(&lc), "log current {lc}");
     }
 
     #[test]

@@ -328,7 +328,9 @@ impl DeviceSampler {
         let mut spec = DeviceSpec::reference(tech);
         let r = &self.ranges;
         spec.channel_length = self.rng.uniform_in(r.channel_length.0, r.channel_length.1);
-        spec.oxide_thickness = self.rng.uniform_in(r.oxide_thickness.0, r.oxide_thickness.1);
+        spec.oxide_thickness = self
+            .rng
+            .uniform_in(r.oxide_thickness.0, r.oxide_thickness.1);
         spec.channel_thickness = self
             .rng
             .uniform_in(r.channel_thickness.0, r.channel_thickness.1);
@@ -341,7 +343,9 @@ impl DeviceSampler {
         spec.channel.doping *= log_u(&mut self.rng, r.doping_scale);
         spec.channel.tail_trap_density *= log_u(&mut self.rng, r.trap_scale);
         spec.channel.mobility_mu0 *= log_u(&mut self.rng, r.mobility_scale);
-        spec.channel.flat_band += self.rng.uniform_in(r.flat_band_shift.0, r.flat_band_shift.1);
+        spec.channel.flat_band += self
+            .rng
+            .uniform_in(r.flat_band_shift.0, r.flat_band_shift.1);
         let sign = spec.channel.polarity.sign();
         let bias = Bias {
             gate: sign * self.rng.uniform_in(r.gate_bias.0, r.gate_bias.1),
@@ -392,10 +396,7 @@ mod tests {
         // Channel rows contain source, channel and drain from left to right.
         let row = d.channel_rows()[0];
         assert_eq!(m.region(m.node_index(0, row)), Region::SourceContact);
-        assert_eq!(
-            m.region(m.node_index(m.nx() / 2, row)),
-            Region::Channel
-        );
+        assert_eq!(m.region(m.node_index(m.nx() / 2, row)), Region::Channel);
         assert_eq!(
             m.region(m.node_index(m.nx() - 1, row)),
             Region::DrainContact
@@ -405,7 +406,10 @@ mod tests {
     #[test]
     fn quasi_fermi_ramps_linearly() {
         let d = DeviceSpec::reference(Technology::Igzo).build().unwrap();
-        let bias = Bias { gate: 2.0, drain: 1.0 };
+        let bias = Bias {
+            gate: 2.0,
+            drain: 1.0,
+        };
         assert_eq!(d.quasi_fermi(0.0, bias), 0.0);
         assert_eq!(d.quasi_fermi(10e-6, bias), 1.0);
         let mid = d.quasi_fermi(0.5e-6 + 1.0e-6, bias);
@@ -416,7 +420,10 @@ mod tests {
     fn dirichlet_potentials_follow_bias() {
         let d = DeviceSpec::reference(Technology::Igzo).build().unwrap();
         let m = d.mesh();
-        let bias = Bias { gate: 2.0, drain: 1.0 };
+        let bias = Bias {
+            gate: 2.0,
+            drain: 1.0,
+        };
         let gate_node = m.node_index(0, 0);
         let psi_gate = d.dirichlet_potential(gate_node, bias).unwrap();
         assert!((psi_gate - (2.0 - d.channel().flat_band)).abs() < 1e-12);
@@ -446,7 +453,10 @@ mod tests {
         for _ in 0..20 {
             let (spec, bias) = s.sample();
             assert_eq!(spec.channel.polarity, Polarity::PType);
-            assert!(bias.gate < 0.0 && bias.drain < 0.0, "p-type driven negative");
+            assert!(
+                bias.gate < 0.0 && bias.drain < 0.0,
+                "p-type driven negative"
+            );
             assert!(spec.build().is_ok());
         }
     }

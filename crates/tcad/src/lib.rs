@@ -103,4 +103,4 @@ pub const THERMAL_VOLTAGE: f64 = 0.025852;
 pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
 
 /// Vacuum permittivity in F/m.
-pub const VACUUM_PERMITTIVITY: f64 = 8.854_187_8128e-12;
+pub const VACUUM_PERMITTIVITY: f64 = 8.854_187_812_8e-12;

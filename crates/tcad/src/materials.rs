@@ -276,7 +276,7 @@ mod tests {
             Material::Metal,
             Material::Passivation,
         ];
-        let mut seen = vec![false; Material::NUM_CLASSES];
+        let mut seen = [false; Material::NUM_CLASSES];
         for m in mats {
             let i = m.class_index();
             assert!(i < Material::NUM_CLASSES);
@@ -288,7 +288,10 @@ mod tests {
 
     #[test]
     fn permittivities_are_physical() {
-        assert!(Material::OxideHfO2.relative_permittivity() > Material::OxideSiO2.relative_permittivity());
+        assert!(
+            Material::OxideHfO2.relative_permittivity()
+                > Material::OxideSiO2.relative_permittivity()
+        );
         for t in Technology::ALL {
             assert!(Material::Semiconductor(t).relative_permittivity() >= 1.0);
         }

@@ -220,7 +220,10 @@ pub fn graded_axis(segments: &[(f64, usize)]) -> Vec<f64> {
     let mut axis = vec![0.0];
     let mut origin = 0.0;
     for &(length, points) in segments {
-        assert!(length > 0.0 && points >= 1, "segment needs length and points");
+        assert!(
+            length > 0.0 && points >= 1,
+            "segment needs length and points"
+        );
         for k in 1..=points {
             axis.push(origin + length * k as f64 / points as f64);
         }

@@ -39,8 +39,7 @@ pub fn carrier_density(params: &ChannelParams, psi: f64, phi: f64) -> f64 {
         Polarity::PType => phi - psi,
     };
     let free = params.effective_dos * safe_exp(eta / THERMAL_VOLTAGE);
-    let tail =
-        params.tail_trap_density * safe_exp(eta / (params.tail_slope * THERMAL_VOLTAGE));
+    let tail = params.tail_trap_density * safe_exp(eta / (params.tail_slope * THERMAL_VOLTAGE));
     free + tail + params.intrinsic_density
 }
 
@@ -140,9 +139,8 @@ mod tests {
             let p = ChannelParams::reference(t);
             for &psi in &[-0.8, -0.2, 0.0, 0.3, 0.9] {
                 let h = 1e-7;
-                let num =
-                    (carrier_density(&p, psi + h, 0.1) - carrier_density(&p, psi - h, 0.1))
-                        / (2.0 * h);
+                let num = (carrier_density(&p, psi + h, 0.1) - carrier_density(&p, psi - h, 0.1))
+                    / (2.0 * h);
                 let ana = carrier_density_dpsi(&p, psi, 0.1);
                 let denom = num.abs().max(ana.abs()).max(1e-6);
                 assert!(

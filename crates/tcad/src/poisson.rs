@@ -43,6 +43,7 @@ pub struct PotentialSolution {
 /// Returns [`TcadError::PoissonDiverged`] if the damped-Newton iteration
 /// fails at the final continuation step, or propagates numerical errors.
 pub fn solve_poisson(device: &Device, bias: Bias) -> Result<PotentialSolution> {
+    let _span = stco_obs::span!("tcad.solve_poisson", gate = bias.gate, drain = bias.drain,);
     let mesh = device.mesh();
     let n = mesh.num_nodes();
     let mut psi = vec![0.0; n];
@@ -60,15 +61,16 @@ pub fn solve_poisson(device: &Device, bias: Bias) -> Result<PotentialSolution> {
             drain: bias.drain * frac,
         };
         // Seed Dirichlet nodes exactly; interior keeps the previous step.
-        for i in 0..n {
+        for (i, p) in psi.iter_mut().enumerate() {
             if let Some(pd) = device.dirichlet_potential(i, b) {
-                psi[i] = pd;
+                *p = pd;
             }
         }
+        let _step_span = stco_obs::span!("tcad.continuation_step", frac = frac);
         let max_iter = 200;
         let mut converged = false;
         let mut last_update = f64::INFINITY;
-        for _it in 0..max_iter {
+        for it in 0..max_iter {
             total_iters += 1;
             let (residual, jac) = assemble(device, b, &psi);
             let csr = jac.to_csr();
@@ -87,6 +89,7 @@ pub fn solve_poisson(device: &Device, bias: Bias) -> Result<PotentialSolution> {
                 max_dx = max_dx.max(step.abs());
             }
             last_update = max_dx;
+            stco_obs::event!("tcad.newton_iter", it = it, max_dx = max_dx);
             if max_dx < 1e-9 {
                 converged = true;
                 break;
@@ -116,6 +119,10 @@ pub fn solve_poisson(device: &Device, bias: Bias) -> Result<PotentialSolution> {
             srh[i] = physics::srh_recombination(params, nd, minority);
         }
     }
+    stco_obs::Recorder::global()
+        .metrics()
+        .counter("tcad.newton_iters")
+        .add(total_iters as u64);
     Ok(PotentialSolution {
         psi,
         carrier_density: carrier,
@@ -148,8 +155,7 @@ fn assemble(device: &Device, bias: Bias, state: &[f64]) -> (Vec<f64>, CooBuilder
             diag -= c;
             offs.push((nb, c));
         }
-        let is_channel_node =
-            mesh.material(i).is_semiconductor() && !mesh.region(i).is_dirichlet();
+        let is_channel_node = mesh.material(i).is_semiconductor() && !mesh.region(i).is_dirichlet();
         if is_channel_node {
             let (x, _) = mesh.position(i);
             let phi = device.quasi_fermi(x, bias);
@@ -188,7 +194,10 @@ mod tests {
     #[test]
     fn residual_of_converged_solution_is_small() {
         let d = DeviceSpec::reference(Technology::Igzo).build().unwrap();
-        let bias = Bias { gate: 2.0, drain: 0.5 };
+        let bias = Bias {
+            gate: 2.0,
+            drain: 0.5,
+        };
         let sol = solve_poisson(&d, bias).unwrap();
         let (res, _) = assemble(&d, bias, &sol.psi);
         let max = res.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
@@ -198,8 +207,22 @@ mod tests {
     #[test]
     fn positive_gate_accumulates_ntype_channel() {
         let d = DeviceSpec::reference(Technology::Igzo).build().unwrap();
-        let off = solve_poisson(&d, Bias { gate: -1.0, drain: 0.1 }).unwrap();
-        let on = solve_poisson(&d, Bias { gate: 3.0, drain: 0.1 }).unwrap();
+        let off = solve_poisson(
+            &d,
+            Bias {
+                gate: -1.0,
+                drain: 0.1,
+            },
+        )
+        .unwrap();
+        let on = solve_poisson(
+            &d,
+            Bias {
+                gate: 3.0,
+                drain: 0.1,
+            },
+        )
+        .unwrap();
         let mesh = d.mesh();
         let row = d.channel_rows()[0];
         let mid = mesh.node_index(mesh.nx() / 2, row);
@@ -214,8 +237,22 @@ mod tests {
     #[test]
     fn negative_gate_accumulates_ptype_cnt() {
         let d = DeviceSpec::reference(Technology::Cnt).build().unwrap();
-        let off = solve_poisson(&d, Bias { gate: 1.0, drain: -0.1 }).unwrap();
-        let on = solve_poisson(&d, Bias { gate: -3.0, drain: -0.1 }).unwrap();
+        let off = solve_poisson(
+            &d,
+            Bias {
+                gate: 1.0,
+                drain: -0.1,
+            },
+        )
+        .unwrap();
+        let on = solve_poisson(
+            &d,
+            Bias {
+                gate: -3.0,
+                drain: -0.1,
+            },
+        )
+        .unwrap();
         let mesh = d.mesh();
         let row = d.channel_rows()[0];
         let mid = mesh.node_index(mesh.nx() / 2, row);
@@ -227,7 +264,14 @@ mod tests {
         // With a strong positive gate and grounded channel, ψ must drop
         // monotonically from gate through the oxide at mid-channel.
         let d = DeviceSpec::reference(Technology::Igzo).build().unwrap();
-        let sol = solve_poisson(&d, Bias { gate: 3.0, drain: 0.0 }).unwrap();
+        let sol = solve_poisson(
+            &d,
+            Bias {
+                gate: 3.0,
+                drain: 0.0,
+            },
+        )
+        .unwrap();
         let mesh = d.mesh();
         let ix = mesh.nx() / 2;
         let first_ch_row = d.channel_rows()[0];
@@ -242,7 +286,14 @@ mod tests {
     #[test]
     fn solution_shapes_match_mesh() {
         let d = DeviceSpec::reference(Technology::Ltps).build().unwrap();
-        let sol = solve_poisson(&d, Bias { gate: 1.5, drain: 0.5 }).unwrap();
+        let sol = solve_poisson(
+            &d,
+            Bias {
+                gate: 1.5,
+                drain: 0.5,
+            },
+        )
+        .unwrap();
         let n = d.mesh().num_nodes();
         assert_eq!(sol.psi.len(), n);
         assert_eq!(sol.carrier_density.len(), n);

@@ -54,7 +54,11 @@ fn control_lengths(mesh: &crate::mesh::RectMesh, idx: usize) -> (f64, f64) {
     let xs = mesh.xs();
     let ys = mesh.ys();
     let xl = {
-        let lo = if ix > 0 { 0.5 * (xs[ix] - xs[ix - 1]) } else { 0.0 };
+        let lo = if ix > 0 {
+            0.5 * (xs[ix] - xs[ix - 1])
+        } else {
+            0.0
+        };
         let hi = if ix + 1 < xs.len() {
             0.5 * (xs[ix + 1] - xs[ix])
         } else {
@@ -63,7 +67,11 @@ fn control_lengths(mesh: &crate::mesh::RectMesh, idx: usize) -> (f64, f64) {
         lo + hi
     };
     let yl = {
-        let lo = if iy > 0 { 0.5 * (ys[iy] - ys[iy - 1]) } else { 0.0 };
+        let lo = if iy > 0 {
+            0.5 * (ys[iy] - ys[iy - 1])
+        } else {
+            0.0
+        };
         let hi = if iy + 1 < ys.len() {
             0.5 * (ys[iy + 1] - ys[iy])
         } else {
@@ -98,8 +106,8 @@ pub fn drain_current(device: &Device, solution: &PotentialSolution, bias: Bias) 
     for &(ix, qs) in &profile {
         let (x_len, _) = control_lengths(mesh, mesh.node_index(ix, device.channel_rows()[0]));
         let x = mesh.xs()[ix];
-        let dphi = device.quasi_fermi(x + 0.5 * x_len, bias)
-            - device.quasi_fermi(x - 0.5 * x_len, bias);
+        let dphi =
+            device.quasi_fermi(x + 0.5 * x_len, bias) - device.quasi_fermi(x - 0.5 * x_len, bias);
         let mu = physics::mobility(device.channel(), qs, q_ref);
         integral += mu * qs.abs() * dphi;
     }
@@ -152,8 +160,22 @@ mod tests {
     #[test]
     fn on_current_exceeds_off_current_by_orders() {
         let d = DeviceSpec::reference(Technology::Igzo).build().unwrap();
-        let off = simulate_point(&d, Bias { gate: -1.0, drain: 1.0 }).unwrap();
-        let on = simulate_point(&d, Bias { gate: 3.0, drain: 1.0 }).unwrap();
+        let off = simulate_point(
+            &d,
+            Bias {
+                gate: -1.0,
+                drain: 1.0,
+            },
+        )
+        .unwrap();
+        let on = simulate_point(
+            &d,
+            Bias {
+                gate: 3.0,
+                drain: 1.0,
+            },
+        )
+        .unwrap();
         assert!(
             on.current > 1e3 * off.current.max(1e-30),
             "on/off ratio too small: {:.3e} / {:.3e}",
@@ -196,8 +218,19 @@ mod tests {
     #[test]
     fn ptype_cnt_current_is_negative_under_negative_drive() {
         let d = DeviceSpec::reference(Technology::Cnt).build().unwrap();
-        let p = simulate_point(&d, Bias { gate: -3.0, drain: -1.0 }).unwrap();
-        assert!(p.current < 0.0, "p-type I_D should be negative: {}", p.current);
+        let p = simulate_point(
+            &d,
+            Bias {
+                gate: -3.0,
+                drain: -1.0,
+            },
+        )
+        .unwrap();
+        assert!(
+            p.current < 0.0,
+            "p-type I_D should be negative: {}",
+            p.current
+        );
         assert!(p.current.abs() > 1e-12);
     }
 
@@ -205,30 +238,69 @@ mod tests {
     fn current_scales_with_width() {
         let mut spec = DeviceSpec::reference(Technology::Igzo);
         let d1 = spec.build().unwrap();
-        let i1 = simulate_point(&d1, Bias { gate: 2.0, drain: 0.5 }).unwrap().current;
+        let i1 = simulate_point(
+            &d1,
+            Bias {
+                gate: 2.0,
+                drain: 0.5,
+            },
+        )
+        .unwrap()
+        .current;
         spec.width *= 2.0;
         let d2 = spec.build().unwrap();
-        let i2 = simulate_point(&d2, Bias { gate: 2.0, drain: 0.5 }).unwrap().current;
-        assert!((i2 / i1 - 2.0).abs() < 1e-6, "I ∝ W violated: ratio {}", i2 / i1);
+        let i2 = simulate_point(
+            &d2,
+            Bias {
+                gate: 2.0,
+                drain: 0.5,
+            },
+        )
+        .unwrap()
+        .current;
+        assert!(
+            (i2 / i1 - 2.0).abs() < 1e-6,
+            "I ∝ W violated: ratio {}",
+            i2 / i1
+        );
     }
 
     #[test]
     fn longer_channel_conducts_less() {
         let mut spec = DeviceSpec::reference(Technology::Igzo);
-        let i_short = simulate_point(&spec.build().unwrap(), Bias { gate: 2.0, drain: 0.5 })
-            .unwrap()
-            .current;
+        let i_short = simulate_point(
+            &spec.build().unwrap(),
+            Bias {
+                gate: 2.0,
+                drain: 0.5,
+            },
+        )
+        .unwrap()
+        .current;
         spec.channel_length *= 2.0;
-        let i_long = simulate_point(&spec.build().unwrap(), Bias { gate: 2.0, drain: 0.5 })
-            .unwrap()
-            .current;
+        let i_long = simulate_point(
+            &spec.build().unwrap(),
+            Bias {
+                gate: 2.0,
+                drain: 0.5,
+            },
+        )
+        .unwrap()
+        .current;
         assert!(i_long < i_short);
     }
 
     #[test]
     fn sheet_charge_profile_covers_channel() {
         let d = DeviceSpec::reference(Technology::Ltps).build().unwrap();
-        let sol = solve_poisson(&d, Bias { gate: 2.0, drain: 0.5 }).unwrap();
+        let sol = solve_poisson(
+            &d,
+            Bias {
+                gate: 2.0,
+                drain: 0.5,
+            },
+        )
+        .unwrap();
         let profile = sheet_charge_profile(&d, &sol);
         assert_eq!(profile.len(), d.channel_columns().len());
         assert!(profile.iter().all(|&(_, q)| q > 0.0));

@@ -49,6 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!();
     }
-    println!("(the paper validates against fabricated devices; see DESIGN.md for the substitution)");
+    println!(
+        "(the paper validates against fabricated devices; see DESIGN.md for the substitution)"
+    );
     Ok(())
 }

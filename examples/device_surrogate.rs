@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.parameter_counts.1 / 1000
     );
 
-    println!("{:<18} {:>12} {:>12} {:>12} {:>8}", "model", "val MSE", "test MSE", "unseen MSE", "R2");
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>8}",
+        "model", "val MSE", "test MSE", "unseen MSE", "R2"
+    );
     let row = |name: &str, m: &[stco_surrogate::poisson_emulator::RegressionMetrics; 3]| {
         println!(
             "{:<18} {:>12.3e} {:>12.3e} {:>12.3e} {:>8.4}",

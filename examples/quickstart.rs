@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  critical path  : {:.3} ns",
         ppa.timing.critical_path_delay * 1e9
     );
-    println!("  max frequency  : {:.3} MHz", ppa.timing.max_frequency / 1e6);
+    println!(
+        "  max frequency  : {:.3} MHz",
+        ppa.timing.max_frequency / 1e6
+    );
     println!("  total power    : {:.3} uW", ppa.power.total() * 1e6);
     println!("  area           : {:.3e} m^2", ppa.area);
     println!("  wirelength     : {:.3} mm", ppa.wirelength * 1e3);

@@ -113,6 +113,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         best.seconds.total(),
         best.seconds.system
     );
-    println!("\ntotal wall clock: {:.1} s", t_total.elapsed().as_secs_f64());
+    println!(
+        "\ntotal wall clock: {:.1} s",
+        t_total.elapsed().as_secs_f64()
+    );
     Ok(())
 }

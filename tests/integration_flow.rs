@@ -30,7 +30,9 @@ fn train_surrogates(flow: &StcoFlow) -> TrainedSurrogates {
         head_dim: 8,
         ..PoissonConfig::default()
     });
-    poisson.train(train, val, &schedule).expect("poisson trains");
+    poisson
+        .train(train, val, &schedule)
+        .expect("poisson trains");
     let mut iv = IvPredictor::new(IvConfig {
         depth: 2,
         head_dim: 8,
@@ -100,8 +102,7 @@ fn traditional_and_fast_flows_complete_and_agree_in_shape() {
 
     // PPA from predicted libraries stays within an order of magnitude of
     // the SPICE-characterized reference (surrogates here are tiny).
-    let ratio = fast.ppa.timing.critical_path_delay
-        / traditional.ppa.timing.critical_path_delay;
+    let ratio = fast.ppa.timing.critical_path_delay / traditional.ppa.timing.critical_path_delay;
     assert!(
         (0.05..20.0).contains(&ratio),
         "fast/traditional delay ratio {ratio:.3}"

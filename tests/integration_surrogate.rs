@@ -69,7 +69,10 @@ fn table4_pipeline_reports_mape_rows() {
     assert_eq!(report.technology, Technology::Ltps);
     assert!(!report.rows.is_empty());
     for (metric, mape, count) in &report.rows {
-        assert!(METRICS.contains(&metric.as_str()), "unknown metric {metric}");
+        assert!(
+            METRICS.contains(&metric.as_str()),
+            "unknown metric {metric}"
+        );
         assert!(mape.is_finite() && *mape >= 0.0, "{metric} MAPE {mape}");
         assert!(*count > 0);
     }

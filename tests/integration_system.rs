@@ -15,7 +15,9 @@ use stco_tcad::materials::Technology;
 fn all_ten_benchmarks_generate_and_map() {
     for b in Benchmark::ALL {
         let logic = b.generate();
-        logic.validate().unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        logic
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
         let mapped = map_netlist(&logic).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
         assert!(
             mapped.instances.len() >= logic.gate_count(),

@@ -1,0 +1,524 @@
+//! The lint passes: token-stream analysis of one source file.
+//!
+//! Scope rules (shared by every lint):
+//!
+//! * Integration tests (`tests/`), benches (`benches/`), examples and
+//!   binary entrypoints (`src/bin/`, `src/main.rs`) are exempt — they
+//!   are allowed to unwrap and print.
+//! * Shim crates (in-tree `proptest`/`criterion` stand-ins) are exempt.
+//! * Inline `#[cfg(test)]` modules are exempt from L2/L3/L4 but **not**
+//!   from L1 (`no-unwrap`): unit tests live in library files and must
+//!   propagate typed errors with `?` so failures carry solver context.
+//!
+//! Waivers: a comment `// stco-check: allow(<lint-id>, <reason>)` on a
+//! finding's line or the line directly above suppresses it. Waived
+//! findings are counted and reported — a waiver hides nothing, it just
+//! downgrades the finding from "fail CI" to "accounted for".
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+use crate::lints::{Lint, LintConfig};
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Human-readable description of the violation site.
+    pub message: String,
+}
+
+/// Analysis result for one file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Violations that count against the baseline.
+    pub findings: Vec<Finding>,
+    /// Violations suppressed by an inline waiver (still reported).
+    pub waived: Vec<Finding>,
+    /// Waiver comments that did not parse (`line`, `text`).
+    pub bad_waivers: Vec<(usize, String)>,
+}
+
+/// How a path is classified before linting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library source: all lints apply.
+    Library,
+    /// Test/bench/example/binary surface: no lints apply.
+    Exempt,
+}
+
+/// Classifies a workspace-relative path.
+pub fn classify(path: &str, cfg: &LintConfig) -> FileClass {
+    let norm = path.replace('\\', "/");
+    if let Some(krate) = crate_of(&norm) {
+        if cfg.shim_crates.contains(&krate) {
+            return FileClass::Exempt;
+        }
+    }
+    let exempt_dirs = ["/tests/", "/benches/", "/examples/", "/src/bin/"];
+    if exempt_dirs.iter().any(|d| norm.contains(d)) || norm.ends_with("/main.rs") {
+        return FileClass::Exempt;
+    }
+    FileClass::Library
+}
+
+/// The `crates/<name>` segment of a path, if any.
+pub fn crate_of(path: &str) -> Option<&str> {
+    let norm = path.strip_prefix("./").unwrap_or(path);
+    let rest = norm.split("crates/").nth(1)?;
+    rest.split('/').next()
+}
+
+/// A parsed waiver comment.
+#[derive(Debug, Clone)]
+struct Waiver {
+    line: usize,
+    lint: Lint,
+}
+
+/// Analyzes one file and returns its findings.
+pub fn analyze_file(path: &str, source: &str, cfg: &LintConfig) -> FileAnalysis {
+    let mut out = FileAnalysis::default();
+    if classify(path, cfg) == FileClass::Exempt {
+        return out;
+    }
+    let krate = crate_of(path).unwrap_or("");
+    let lexed = lex(source);
+    let toks = &lexed.tokens;
+    let test_regions = test_mod_regions(toks);
+    let in_test = |idx: usize| test_regions.iter().any(|&(a, b)| idx >= a && idx <= b);
+    let waivers = parse_waivers(&lexed.comments, &mut out.bad_waivers);
+
+    let mut raw: Vec<Finding> = Vec::new();
+
+    // L1 `no-unwrap` + L4 `no-print` + L3 `no-lossy-cast` in one walk.
+    let lossy = cfg.numeric_crates.contains(&krate);
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect"
+                if i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                raw.push(Finding {
+                    lint: Lint::NoUnwrap,
+                    file: path.to_string(),
+                    line: t.line,
+                    message: format!(".{}() — return a typed error instead", t.text),
+                });
+            }
+            "panic" if toks.get(i + 1).is_some_and(|n| n.is_punct('!')) => {
+                // `panic!` inside macro definitions or attr args still
+                // counts; library code should not panic.
+                raw.push(Finding {
+                    lint: Lint::NoUnwrap,
+                    file: path.to_string(),
+                    line: t.line,
+                    message: "panic! — return a typed error instead".to_string(),
+                });
+            }
+            "println" | "eprintln" | "print" | "eprint" | "dbg"
+                if toks.get(i + 1).is_some_and(|n| n.is_punct('!')) && !in_test(i) =>
+            {
+                raw.push(Finding {
+                    lint: Lint::NoPrint,
+                    file: path.to_string(),
+                    line: t.line,
+                    message: format!("{}! — route through stco-obs sinks", t.text),
+                });
+            }
+            "as" if lossy && !in_test(i) => {
+                if let Some(n) = toks.get(i + 1) {
+                    if n.kind == TokenKind::Ident && cfg.lossy_targets.contains(&n.text.as_str()) {
+                        raw.push(Finding {
+                            lint: Lint::NoLossyCast,
+                            file: path.to_string(),
+                            line: t.line,
+                            message: format!(
+                                "`as {}` may lose precision/range — use try_from/from",
+                                n.text
+                            ),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // L2 `obs-span`: configured entrypoints must open a span.
+    if let Some((_, fns)) = cfg.span_entrypoints.iter().find(|(k, _)| *k == krate) {
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("fn") || in_test(i) {
+                continue;
+            }
+            let Some(name_tok) = toks.get(i + 1) else {
+                continue;
+            };
+            if name_tok.kind != TokenKind::Ident || !fns.contains(&name_tok.text.as_str()) {
+                continue;
+            }
+            if !is_pub_fn(toks, i) {
+                continue;
+            }
+            // Bodiless trait declarations have nothing to lint.
+            if let Some((body_start, body_end)) = fn_body_range(toks, i + 2) {
+                let has_span = (body_start..body_end).any(|j| {
+                    toks[j].is_ident("span") && toks.get(j + 1).is_some_and(|n| n.is_punct('!'))
+                });
+                if !has_span {
+                    raw.push(Finding {
+                        lint: Lint::ObsSpan,
+                        file: path.to_string(),
+                        line: name_tok.line,
+                        message: format!(
+                            "pub fn {} opens no stco-obs span (expected `stco_obs::span!`)",
+                            name_tok.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Split findings into waived and live.
+    for f in raw {
+        let waived = waivers
+            .iter()
+            .any(|w| w.lint == f.lint && (w.line == f.line || w.line + 1 == f.line));
+        if waived {
+            out.waived.push(f);
+        } else {
+            out.findings.push(f);
+        }
+    }
+    out
+}
+
+/// Whether the `fn` at token index `fn_idx` is `pub` (incl. `pub(crate)`).
+fn is_pub_fn(toks: &[Token], fn_idx: usize) -> bool {
+    // Walk backwards over up to a few signature qualifiers.
+    let mut i = fn_idx;
+    let mut hops = 0;
+    while i > 0 && hops < 8 {
+        i -= 1;
+        hops += 1;
+        let t = &toks[i];
+        if t.is_ident("pub") {
+            return true;
+        }
+        // Qualifiers that may sit between `pub` and `fn`.
+        let passthrough = t.is_ident("const")
+            || t.is_ident("unsafe")
+            || t.is_ident("async")
+            || t.is_ident("extern")
+            || t.is_ident("crate")
+            || t.is_ident("super")
+            || t.is_ident("in")
+            || t.is_punct('(')
+            || t.is_punct(')')
+            || t.kind == TokenKind::Literal;
+        if !passthrough {
+            return false;
+        }
+    }
+    false
+}
+
+/// Token range `(start, end)` of a function body, given the index just
+/// after the function name. Returns `None` for bodiless declarations.
+fn fn_body_range(toks: &[Token], mut i: usize) -> Option<(usize, usize)> {
+    let mut paren = 0i32;
+    // Find the opening `{` at paren depth 0 (skip signature + where).
+    loop {
+        let t = toks.get(i)?;
+        match t.kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren -= 1,
+            TokenKind::Punct(';') if paren == 0 => return None,
+            TokenKind::Punct('{') if paren == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    let start = i;
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(i) {
+        match t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((start, i));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Some((start, toks.len()))
+}
+
+/// Token index ranges covered by `#[cfg(test)] mod ... { ... }`.
+fn test_mod_regions(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < toks.len() {
+        let is_cfg_test = toks[i].is_punct('#')
+            && toks[i + 1].is_punct('[')
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_punct('(')
+            && toks[i + 4].is_ident("test")
+            && toks[i + 5].is_punct(')')
+            && toks[i + 6].is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 7;
+        // Skip any further attributes between the cfg and the item.
+        while toks.get(j).is_some_and(|t| t.is_punct('#'))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let mut depth = 0i32;
+            let mut k = j + 1;
+            while let Some(t) = toks.get(k) {
+                match t.kind {
+                    TokenKind::Punct('[') => depth += 1,
+                    TokenKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        if toks.get(j).is_some_and(|t| t.is_ident("mod")) {
+            // Find the opening brace of the module, then its close.
+            let mut k = j;
+            while let Some(t) = toks.get(k) {
+                if t.is_punct('{') {
+                    break;
+                }
+                if t.is_punct(';') {
+                    // Out-of-line `mod tests;` — nothing inline to mark.
+                    k = usize::MAX;
+                    break;
+                }
+                k += 1;
+            }
+            if k != usize::MAX && k < toks.len() {
+                let mut depth = 0i32;
+                let mut m = k;
+                while let Some(t) = toks.get(m) {
+                    match t.kind {
+                        TokenKind::Punct('{') => depth += 1,
+                        TokenKind::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                regions.push((k, m.min(toks.len().saturating_sub(1))));
+                i = m.min(toks.len());
+                continue;
+            }
+        }
+        i = j;
+    }
+    regions
+}
+
+/// Parses waiver comments; malformed ones land in `bad`.
+fn parse_waivers(comments: &[Comment], bad: &mut Vec<(usize, String)>) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in comments {
+        // Only comments that *start* with the marker are waiver-intent;
+        // prose (e.g. docs describing the convention) merely mentions it.
+        let Some(rest) = c.text.trim().strip_prefix("stco-check:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let parsed = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.split_once(')'))
+            .map(|(inner, _)| inner)
+            .and_then(|inner| {
+                let id = inner.split(',').next().unwrap_or("").trim();
+                Lint::from_id(id)
+            });
+        match parsed {
+            Some(lint) => out.push(Waiver { line: c.line, lint }),
+            None => bad.push((c.line, c.text.clone())),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LintConfig {
+        LintConfig::default()
+    }
+
+    fn run(path: &str, src: &str) -> FileAnalysis {
+        analyze_file(path, src, &cfg())
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic() {
+        let src = r#"
+            pub fn f(x: Option<u8>) -> u8 {
+                let a = x.unwrap();
+                let b = x.expect("boom");
+                if a == b { panic!("no"); }
+                a
+            }
+        "#;
+        let a = run("crates/tcad/src/x.rs", src);
+        assert_eq!(
+            a.findings
+                .iter()
+                .filter(|f| f.lint == Lint::NoUnwrap)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn unwrap_in_inline_test_mod_still_counts() {
+        let src = r#"
+            pub fn ok() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); }
+            }
+        "#;
+        let a = run("crates/tcad/src/x.rs", src);
+        assert_eq!(
+            a.findings
+                .iter()
+                .filter(|f| f.lint == Lint::NoUnwrap)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn print_in_test_mod_is_fine_but_library_print_is_not() {
+        let src = r#"
+            pub fn f() { println!("hi"); }
+            #[cfg(test)]
+            mod tests {
+                fn t() { println!("test output ok"); }
+            }
+        "#;
+        let a = run("crates/system/src/x.rs", src);
+        assert_eq!(
+            a.findings
+                .iter()
+                .filter(|f| f.lint == Lint::NoPrint)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lossy_cast_only_in_numeric_crates() {
+        let src = "pub fn f(x: f64) -> f32 { x as f32 }";
+        assert_eq!(run("crates/nn/src/x.rs", src).findings.len(), 1);
+        assert_eq!(run("crates/obs/src/x.rs", src).findings.len(), 0);
+    }
+
+    #[test]
+    fn widening_casts_pass() {
+        let src = "pub fn f(x: u32) -> f64 { x as f64 }";
+        assert!(run("crates/nn/src/x.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn missing_span_is_flagged_and_present_span_passes() {
+        let bad = "pub fn solve_poisson(x: u8) -> u8 { x }";
+        let good = "pub fn solve_poisson(x: u8) -> u8 { let _s = stco_obs::span!(\"tcad.solve_poisson\"); x }";
+        let a = run("crates/tcad/src/p.rs", bad);
+        assert_eq!(
+            a.findings
+                .iter()
+                .filter(|f| f.lint == Lint::ObsSpan)
+                .count(),
+            1
+        );
+        let b = run("crates/tcad/src/p.rs", good);
+        assert!(b.findings.iter().all(|f| f.lint != Lint::ObsSpan));
+    }
+
+    #[test]
+    fn non_entrypoint_fn_needs_no_span() {
+        let src = "pub fn helper(x: u8) -> u8 { x }";
+        assert!(run("crates/tcad/src/p.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn waiver_suppresses_and_is_counted() {
+        let src = r#"
+            pub fn f(x: Option<u8>) -> u8 {
+                // stco-check: allow(no-unwrap, invariant: caller checked)
+                x.unwrap()
+            }
+        "#;
+        let a = run("crates/tcad/src/x.rs", src);
+        assert!(a.findings.is_empty());
+        assert_eq!(a.waived.len(), 1);
+    }
+
+    #[test]
+    fn waiver_for_wrong_lint_does_not_suppress() {
+        let src = r#"
+            pub fn f(x: Option<u8>) -> u8 {
+                // stco-check: allow(no-print, wrong lint)
+                x.unwrap()
+            }
+        "#;
+        let a = run("crates/tcad/src/x.rs", src);
+        assert_eq!(a.findings.len(), 1);
+    }
+
+    #[test]
+    fn malformed_waiver_is_reported() {
+        let src = "// stco-check: allow(not-a-lint)\npub fn f() {}";
+        let a = run("crates/tcad/src/x.rs", src);
+        assert_eq!(a.bad_waivers.len(), 1);
+    }
+
+    #[test]
+    fn exempt_paths_yield_nothing() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        for p in [
+            "crates/tcad/tests/t.rs",
+            "crates/bench/src/bin/table1_runtime.rs",
+            "crates/check/src/main.rs",
+            "crates/proptest/src/lib.rs",
+        ] {
+            assert!(run(p, src).findings.is_empty(), "{p} should be exempt");
+        }
+    }
+}

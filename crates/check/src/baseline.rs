@@ -1,0 +1,402 @@
+//! The ratcheting baseline: committed debt counts per `(file, lint)`.
+//!
+//! The ratchet compares *counts*, not line numbers, so refactors that
+//! move code around do not churn the baseline — only introducing a new
+//! violation in a file (count exceeds the committed count) fails, and
+//! fixing one lets `--write-baseline` shrink the committed debt.
+//!
+//! The format is a small hand-rolled JSON document (this crate is
+//! dependency-free); keys are emitted sorted so the file is diffable.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::analyze::Finding;
+use crate::lints::Lint;
+
+/// Format version for forward compatibility.
+pub const BASELINE_VERSION: u64 = 1;
+
+/// Committed violation counts keyed by file, then lint id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `file -> lint -> count`.
+    pub counts: BTreeMap<String, BTreeMap<Lint, u64>>,
+}
+
+impl Baseline {
+    /// Builds a baseline from a set of live findings.
+    pub fn from_findings<'a>(findings: impl IntoIterator<Item = &'a Finding>) -> Self {
+        let mut counts: BTreeMap<String, BTreeMap<Lint, u64>> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry(f.file.clone())
+                .or_default()
+                .entry(f.lint)
+                .or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Total violation count.
+    pub fn total(&self) -> u64 {
+        self.counts.values().flat_map(|m| m.values()).sum()
+    }
+
+    /// Committed count for a `(file, lint)` pair.
+    pub fn count(&self, file: &str, lint: Lint) -> u64 {
+        self.counts
+            .get(file)
+            .and_then(|m| m.get(&lint))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Serializes to deterministic, pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"version\": {BASELINE_VERSION},");
+        let _ = writeln!(s, "  \"total\": {},", self.total());
+        let _ = writeln!(s, "  \"files\": {{");
+        let nf = self.counts.len();
+        for (fi, (file, lints)) in self.counts.iter().enumerate() {
+            let _ = write!(s, "    {}: {{", json_string(file));
+            let nl = lints.len();
+            for (li, (lint, count)) in lints.iter().enumerate() {
+                let _ = write!(s, "{}: {count}", json_string(lint.id()));
+                if li + 1 < nl {
+                    let _ = write!(s, ", ");
+                }
+            }
+            let _ = write!(s, "}}");
+            let _ = writeln!(s, "{}", if fi + 1 < nf { "," } else { "" });
+        }
+        let _ = writeln!(s, "  }}");
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Parses a baseline document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax problem.
+    pub fn from_json(src: &str) -> Result<Self, String> {
+        let value = JsonParser::new(src).parse()?;
+        let JsonValue::Object(top) = value else {
+            return Err("baseline root must be an object".to_string());
+        };
+        let files = match top.iter().find(|(k, _)| k == "files") {
+            Some((_, JsonValue::Object(files))) => files,
+            Some(_) => return Err("`files` must be an object".to_string()),
+            None => return Err("baseline missing `files`".to_string()),
+        };
+        let mut counts: BTreeMap<String, BTreeMap<Lint, u64>> = BTreeMap::new();
+        for (file, entry) in files {
+            let JsonValue::Object(lints) = entry else {
+                return Err(format!("entry for {file} must be an object"));
+            };
+            let mut m = BTreeMap::new();
+            for (id, v) in lints {
+                let lint = Lint::from_id(id)
+                    .ok_or_else(|| format!("unknown lint id {id:?} in baseline"))?;
+                let JsonValue::Number(c) = v else {
+                    return Err(format!("count for {file}/{id} must be a number"));
+                };
+                m.insert(lint, *c as u64);
+            }
+            counts.insert(file.clone(), m);
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+/// Result of ratcheting current findings against a committed baseline.
+#[derive(Debug, Default)]
+pub struct RatchetDiff {
+    /// Findings beyond the committed count, i.e. CI failures.
+    pub new: Vec<Finding>,
+    /// `(file, lint, committed, current)` where debt shrank.
+    pub fixed: Vec<(String, Lint, u64, u64)>,
+}
+
+/// Diffs `findings` against `baseline`.
+///
+/// For each `(file, lint)` with more findings than committed, the
+/// *excess* findings (highest line numbers first removed last — we keep
+/// the trailing ones, which are most likely the newly added sites) are
+/// reported as new.
+pub fn ratchet(findings: &[Finding], baseline: &Baseline) -> RatchetDiff {
+    let mut by_key: BTreeMap<(String, Lint), Vec<&Finding>> = BTreeMap::new();
+    for f in findings {
+        by_key.entry((f.file.clone(), f.lint)).or_default().push(f);
+    }
+    let mut diff = RatchetDiff::default();
+    for ((file, lint), group) in &by_key {
+        let committed = baseline.count(file, *lint);
+        let current = group.len() as u64;
+        if current > committed {
+            let excess = (current - committed) as usize;
+            let mut sorted: Vec<&Finding> = group.clone();
+            sorted.sort_by_key(|f| f.line);
+            for f in sorted.iter().rev().take(excess) {
+                diff.new.push((*f).clone());
+            }
+        }
+    }
+    // Shrunk or fully-fixed entries (including files with no findings).
+    for (file, lints) in &baseline.counts {
+        for (lint, &committed) in lints {
+            let current = by_key
+                .get(&(file.clone(), *lint))
+                .map(|g| g.len() as u64)
+                .unwrap_or(0);
+            if current < committed {
+                diff.fixed.push((file.clone(), *lint, committed, current));
+            }
+        }
+    }
+    diff.new
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    diff
+}
+
+/// JSON string escaping (paths and lint ids only — no exotic content).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Just enough JSON for baseline documents.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Object(Vec<(String, JsonValue)>),
+    Number(f64),
+    String(String),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(src: &'a str) -> Self {
+        JsonParser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse(&mut self) -> Result<JsonValue, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b) if b.is_ascii_digit() || *b == b'-' => self.number(),
+            Some(b) => Err(format!("unexpected byte {:?} at {}", *b as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.pos += 1; // '{'
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b':') {
+                return Err(format!("expected ':' at {}", self.pos));
+            }
+            self.pos += 1;
+            let v = self.value()?;
+            entries.push((key, v));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(format!("expected string at {}", self.pos));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Copy the full UTF-8 sequence.
+                    let start = self.pos;
+                    let mut end = self.pos + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xc0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end]).map_err(|e| e.to_string())?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|e| format!("bad number at {start}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, lint: Lint, line: usize) -> Finding {
+        Finding {
+            lint,
+            file: file.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip() -> Result<(), String> {
+        let findings = vec![
+            finding("a.rs", Lint::NoUnwrap, 3),
+            finding("a.rs", Lint::NoUnwrap, 9),
+            finding("b.rs", Lint::NoPrint, 1),
+        ];
+        let base = Baseline::from_findings(&findings);
+        let parsed = Baseline::from_json(&base.to_json())?;
+        assert_eq!(base, parsed);
+        assert_eq!(parsed.total(), 3);
+        assert_eq!(parsed.count("a.rs", Lint::NoUnwrap), 2);
+        Ok(())
+    }
+
+    #[test]
+    fn ratchet_flags_only_excess() {
+        let committed = Baseline::from_findings(&[finding("a.rs", Lint::NoUnwrap, 3)]);
+        let now = vec![
+            finding("a.rs", Lint::NoUnwrap, 3),
+            finding("a.rs", Lint::NoUnwrap, 20),
+        ];
+        let diff = ratchet(&now, &committed);
+        assert_eq!(diff.new.len(), 1);
+        assert_eq!(diff.new[0].line, 20);
+    }
+
+    #[test]
+    fn ratchet_reports_fixed_debt() {
+        let committed = Baseline::from_findings(&[
+            finding("a.rs", Lint::NoUnwrap, 3),
+            finding("a.rs", Lint::NoUnwrap, 4),
+            finding("b.rs", Lint::NoPrint, 1),
+        ]);
+        let now = vec![finding("a.rs", Lint::NoUnwrap, 3)];
+        let diff = ratchet(&now, &committed);
+        assert!(diff.new.is_empty());
+        assert_eq!(diff.fixed.len(), 2);
+    }
+
+    #[test]
+    fn empty_baseline_makes_everything_new() {
+        let diff = ratchet(&[finding("a.rs", Lint::NoUnwrap, 1)], &Baseline::default());
+        assert_eq!(diff.new.len(), 1);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(Baseline::from_json("{").is_err());
+        assert!(Baseline::from_json("[]").is_err());
+        assert!(Baseline::from_json("{\"files\": {\"a.rs\": {\"bogus\": 1}}}").is_err());
+    }
+}

@@ -1,0 +1,426 @@
+//! A lightweight Rust lexer: just enough tokenization for project lints.
+//!
+//! This is *not* a compliant Rust lexer — it is a line-aware tokenizer
+//! that gets the hard parts right (nested block comments, raw strings,
+//! char literals vs. lifetimes, numeric literals with exponents) so the
+//! lint passes in [`crate::analyze`] never misfire inside strings or
+//! comments. Comments are preserved as a side channel because waiver
+//! comments (`// stco-check: allow(...)`) carry semantic weight.
+
+/// What a token is. Identifier text is kept; literal contents are not —
+/// no lint looks inside a string or number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `as`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (possibly split around an exponent sign).
+    Number,
+    /// String / char / byte-string literal (contents dropped).
+    Literal,
+    /// Single punctuation character (`.`, `!`, `{`, ...).
+    Punct(char),
+}
+
+/// One token with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Identifier text (empty for non-identifiers).
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A comment with its 1-indexed starting line and full text (markers
+/// stripped for line comments, kept verbatim for block comments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-indexed line the comment starts on.
+    pub line: usize,
+    /// Comment body.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus all comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Unknown bytes are skipped; the lexer never fails —
+/// a malformed file simply yields fewer tokens, and `cargo build` is the
+/// authority on validity.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = bytes.len();
+
+    let count_lines = |s: &[u8]| s.iter().filter(|&&b| b == b'\n').count();
+
+    while i < n {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b if b.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: src[start..j].trim().to_string(),
+                });
+                i = j;
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                // Nested block comment.
+                let start = i;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j + 1 < n && depth > 0 {
+                    if bytes[j] == b'/' && bytes[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                if depth > 0 {
+                    j = n;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: src[start..j.min(n)].trim().to_string(),
+                });
+                line += count_lines(&bytes[start..j.min(n)]);
+                i = j;
+            }
+            b'r' | b'b' | b'c' if is_raw_string_start(bytes, i) => {
+                let (end, newlines) = skip_raw_string(bytes, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'"' => {
+                let (end, newlines) = skip_string(bytes, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'b' if i + 1 < n && bytes[i + 1] == b'"' => {
+                let (end, newlines) = skip_string(bytes, i + 1);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'\'' => {
+                // Char literal or lifetime.
+                let (tok, end) = lex_quote(src, bytes, i, line);
+                out.tokens.push(tok);
+                i = end;
+            }
+            b if b == b'_' || b.is_ascii_alphabetic() => {
+                let start = i;
+                let mut j = i;
+                while j < n && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                // `b"..."` / `r"..."` handled above; here a plain ident.
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            b if b.is_ascii_digit() => {
+                let mut j = i;
+                while j < n
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'.')
+                {
+                    // Stop a `0..n` range from being eaten as one number.
+                    if bytes[j] == b'.' && j + 1 < n && bytes[j + 1] == b'.' {
+                        break;
+                    }
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: String::new(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(b as char),
+                    text: String::new(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` starts a raw (possibly byte/C) string: `r"`,
+/// `r#"`, `br"`, `br#"`, `cr#"`, ...
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' || bytes[j] == b'c' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// Skips a raw string starting at `i`; returns (end index, newline count).
+fn skip_raw_string(bytes: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i;
+    if bytes[j] == b'b' || bytes[j] == b'c' {
+        j += 1;
+    }
+    j += 1; // 'r'
+    let mut hashes = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let mut newlines = 0usize;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            newlines += 1;
+        }
+        if bytes[j] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && j + 1 + k < bytes.len() && bytes[j + 1 + k] == b'#' {
+                k += 1;
+            }
+            if k == hashes {
+                return (j + 1 + hashes, newlines);
+            }
+        }
+        j += 1;
+    }
+    (bytes.len(), newlines)
+}
+
+/// Skips a normal `"..."` string starting at the opening quote; returns
+/// (end index, newline count).
+fn skip_string(bytes: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i + 1;
+    let mut newlines = 0usize;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return (j + 1, newlines),
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (bytes.len(), newlines)
+}
+
+/// Lexes a `'`-introduced token: a char literal or a lifetime.
+fn lex_quote(src: &str, bytes: &[u8], i: usize, line: usize) -> (Token, usize) {
+    let n = bytes.len();
+    if i + 1 < n && bytes[i + 1] == b'\\' {
+        // Escaped char literal: scan to the closing quote.
+        let mut j = i + 2;
+        while j < n && bytes[j] != b'\'' && bytes[j] != b'\n' {
+            j += 1;
+        }
+        return (
+            Token {
+                kind: TokenKind::Literal,
+                text: String::new(),
+                line,
+            },
+            (j + 1).min(n),
+        );
+    }
+    // `'ident` — lifetime unless a closing quote follows the ident run.
+    let start = i + 1;
+    let mut j = start;
+    while j < n && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    if j < n && bytes[j] == b'\'' && j > start {
+        // Char literal like 'a' (possibly multibyte — treat any
+        // quote-delimited run as one literal).
+        (
+            Token {
+                kind: TokenKind::Literal,
+                text: String::new(),
+                line,
+            },
+            j + 1,
+        )
+    } else if j > start {
+        (
+            Token {
+                kind: TokenKind::Lifetime,
+                text: src[start..j].to_string(),
+                line,
+            },
+            j,
+        )
+    } else {
+        // Bare quote before a non-ident char (e.g. `'('`): treat as a
+        // char literal if a quote closes it, else punctuation.
+        if start < n && start + 1 < n && bytes[start + 1] == b'\'' {
+            (
+                Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                },
+                start + 2,
+            )
+        } else {
+            (
+                Token {
+                    kind: TokenKind::Punct('\''),
+                    text: String::new(),
+                    line,
+                },
+                i + 1,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_survive_strings_and_comments() {
+        let src = r#"
+            // unwrap() in a comment
+            /* panic! in /* a nested */ block */
+            let s = "unwrap() inside a string";
+            let c = 'u';
+            value.unwrap();
+        "#;
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|s| s.as_str() == "unwrap").count(),
+            1,
+            "{ids:?}"
+        );
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let src = r##"let s = r#"panic! "quoted" unwrap()"#; x.expect("msg");"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(ids.contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n\nc";
+        let lexed = lex(src);
+        let lines: Vec<usize> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let x = 1; // stco-check: allow(no-unwrap, fine)\nlet y = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].text.contains("allow(no-unwrap"));
+    }
+
+    #[test]
+    fn numbers_with_exponents_do_not_split_ranges() {
+        let src = "for i in 0..10 { let x = 1.5e-3; }";
+        let lexed = lex(src);
+        // The `..` must appear as two '.' puncts between two numbers.
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn escaped_char_literals_do_not_derail() {
+        let src = "let c = '\\n'; let d = '\\''; x.unwrap();";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap".to_string()));
+    }
+}

@@ -1,0 +1,131 @@
+//! `stco-check`: the workspace's own static-analysis pass.
+//!
+//! The paper's pitch — GNN surrogates safely replacing TCAD and cell
+//! characterization inside the STCO loop — only holds if the numerics
+//! never silently propagate NaN/Inf or panic mid-flow. This crate
+//! enforces the project-specific invariants `cargo clippy` cannot see:
+//!
+//! * **L1 `no-unwrap`** — no `.unwrap()` / `.expect()` / `panic!` in
+//!   library code (inline unit tests included: they must propagate
+//!   typed errors with `?`).
+//! * **L2 `obs-span`** — every public solver/training/characterization
+//!   entrypoint in `tcad`, `spice`, `nn`, `cells` and `system` opens an
+//!   `stco-obs` span.
+//! * **L3 `no-lossy-cast`** — no lossy numeric `as` casts in numeric
+//!   crates.
+//! * **L4 `no-print`** — no `println!`/`eprintln!`/`dbg!` in library
+//!   crates; diagnostics go through `stco-obs` sinks.
+//!
+//! Existing debt is committed to `stco-check.baseline.json` and
+//! *ratcheted*: CI fails only on counts exceeding the baseline, and
+//! `--write-baseline` shrinks it as debt is paid down. Individual sites
+//! can be waived inline with `// stco-check: allow(<lint>, <reason>)`;
+//! waivers are counted and reported, never silent.
+//!
+//! Run it as `cargo run -p stco-check` from anywhere in the workspace.
+
+pub mod analyze;
+pub mod baseline;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+
+pub use analyze::{analyze_file, classify, FileAnalysis, FileClass, Finding};
+pub use baseline::{ratchet, Baseline, RatchetDiff};
+pub use lints::{Lint, LintConfig, ALL_LINTS};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Aggregated result of scanning a workspace.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Live findings across all files.
+    pub findings: Vec<Finding>,
+    /// Waived findings across all files.
+    pub waived: Vec<Finding>,
+    /// Malformed waiver comments: `(file, line, text)`.
+    pub bad_waivers: Vec<(String, usize, String)>,
+    /// Number of `.rs` files analyzed (exempt files included).
+    pub files_scanned: usize,
+}
+
+/// Scans every `crates/*/src` tree under `root` with `cfg`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unreadable directories or files).
+pub fn scan_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Scan> {
+    let mut scan = Scan::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() {
+            crate_dirs.push(entry.path());
+        }
+    }
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            walk(&src, root, cfg, &mut scan)?;
+        }
+    }
+    scan.findings
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    scan.waived
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(scan)
+}
+
+fn walk(dir: &Path, root: &Path, cfg: &LintConfig, scan: &mut Scan) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(&path, root, cfg, scan)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = std::fs::read_to_string(&path)?;
+            let analysis = analyze_file(&rel, &source, cfg);
+            scan.files_scanned += 1;
+            scan.findings.extend(analysis.findings);
+            scan.waived.extend(analysis.waived);
+            scan.bad_waivers.extend(
+                analysis
+                    .bad_waivers
+                    .into_iter()
+                    .map(|(l, t)| (rel.clone(), l, t)),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root by walking up from `start` until a
+/// `Cargo.toml` declaring `[workspace]` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Lint identities and the workspace lint configuration.
+
+use std::fmt;
+
+/// The project-specific lints enforced by `stco-check`.
+///
+/// Identifiers (the names used in baselines, reports and waiver
+/// comments) are stable strings — renaming one invalidates committed
+/// baselines and in-tree waivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lint {
+    /// **L1** `no-unwrap`: no `.unwrap()` / `.expect(...)` / `panic!`
+    /// in library source files. Inline `#[cfg(test)]` modules are
+    /// included — unit tests must propagate typed errors with `?` so a
+    /// failure carries solver context instead of a bare panic.
+    NoUnwrap,
+    /// **L2** `obs-span`: every public solver/training/characterization
+    /// entrypoint must open an `stco-obs` span.
+    ObsSpan,
+    /// **L3** `no-lossy-cast`: no lossy numeric `as` casts
+    /// (`f64 as f32`, `usize as i32`, ...) in numeric crates; use
+    /// `try_from` / `u8::from` / checked helpers instead.
+    NoLossyCast,
+    /// **L4** `no-print`: no `println!` / `eprintln!` / `dbg!` in
+    /// library code — route diagnostics through `stco-obs` sinks.
+    NoPrint,
+}
+
+/// Every lint, in report order.
+pub const ALL_LINTS: [Lint; 4] = [
+    Lint::NoUnwrap,
+    Lint::ObsSpan,
+    Lint::NoLossyCast,
+    Lint::NoPrint,
+];
+
+impl Lint {
+    /// Stable string identifier (used in baselines and waivers).
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::NoUnwrap => "no-unwrap",
+            Lint::ObsSpan => "obs-span",
+            Lint::NoLossyCast => "no-lossy-cast",
+            Lint::NoPrint => "no-print",
+        }
+    }
+
+    /// Parses a stable identifier back into a lint.
+    pub fn from_id(id: &str) -> Option<Lint> {
+        ALL_LINTS.iter().copied().find(|l| l.id() == id)
+    }
+
+    /// One-line description for reports.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Lint::NoUnwrap => "unwrap()/expect()/panic! in library code",
+            Lint::ObsSpan => "public entrypoint without an stco-obs span",
+            Lint::NoLossyCast => "lossy numeric `as` cast in numeric crate",
+            Lint::NoPrint => "println!/eprintln!/dbg! in library code",
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Static workspace configuration for the lint passes.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Crates whose shipped code must satisfy L1/L4 and, where listed,
+    /// L2/L3. Crate name is the `crates/<name>` directory name.
+    pub shim_crates: &'static [&'static str],
+    /// `(crate, [entrypoint fn names])` that must open an obs span (L2).
+    pub span_entrypoints: &'static [(&'static str, &'static [&'static str])],
+    /// Crates subject to the lossy-cast lint (L3).
+    pub numeric_crates: &'static [&'static str],
+    /// Cast target types considered lossy (L3).
+    pub lossy_targets: &'static [&'static str],
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            // In-tree stand-ins for external APIs (proptest/criterion)
+            // mirror foreign idioms on purpose; linting them would just
+            // seed permanent waivers.
+            shim_crates: &["proptest", "criterion"],
+            span_entrypoints: &[
+                ("tcad", &["solve_poisson", "simulate_point"]),
+                ("spice", &["transient_with", "dc_operating_point"]),
+                ("nn", &["fit"]),
+                ("cells", &["characterize", "characterize_subset"]),
+                (
+                    "system",
+                    &["analyze_timing", "analyze_power", "place", "evaluate"],
+                ),
+            ],
+            numeric_crates: &[
+                "numerics",
+                "nn",
+                "tcad",
+                "compact",
+                "spice",
+                "cells",
+                "surrogate",
+                "system",
+                "core",
+            ],
+            lossy_targets: &["f32", "i8", "i16", "i32", "u8", "u16", "u32"],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for l in ALL_LINTS {
+            assert_eq!(Lint::from_id(l.id()), Some(l));
+        }
+        assert_eq!(Lint::from_id("nope"), None);
+    }
+
+    #[test]
+    fn default_config_covers_the_five_paper_crates() {
+        let cfg = LintConfig::default();
+        for c in ["tcad", "spice", "nn", "cells", "system"] {
+            assert!(
+                cfg.span_entrypoints.iter().any(|(k, _)| *k == c),
+                "missing span entrypoints for {c}"
+            );
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! CLI for the workspace lint engine.
+//!
+//! ```text
+//! cargo run -p stco-check                  # ratchet against the committed baseline
+//! cargo run -p stco-check -- --write-baseline
+//! cargo run -p stco-check -- --root <dir> --baseline <file>
+//! ```
+//!
+//! Exit codes: `0` no new violations, `1` new violations (or a missing
+//! baseline with findings present), `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use stco_check::{baseline::Baseline, find_workspace_root, report, scan_workspace, LintConfig};
+
+const USAGE: &str = "usage: stco-check [--root <dir>] [--baseline <file>] [--write-baseline]";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("stco-check: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = Some(PathBuf::from(args.next().ok_or("--root needs a value")?)),
+            "--baseline" => {
+                baseline_path = Some(PathBuf::from(
+                    args.next().ok_or("--baseline needs a value")?,
+                ));
+            }
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd)
+                .ok_or("no workspace root found (run inside the repo or pass --root)")?
+        }
+    };
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("stco-check.baseline.json"));
+
+    let cfg = LintConfig::default();
+    let scan =
+        scan_workspace(&root, &cfg).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+
+    if write_baseline {
+        let base = Baseline::from_findings(&scan.findings);
+        std::fs::write(&baseline_path, base.to_json())
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "stco-check: wrote baseline {} ({} findings across {} files, {} waived)",
+            baseline_path.display(),
+            base.total(),
+            base.counts.len(),
+            scan.waived.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = if baseline_path.is_file() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+        Baseline::from_json(&text)
+            .map_err(|e| format!("parsing {}: {e}", baseline_path.display()))?
+    } else {
+        eprintln!(
+            "stco-check: no baseline at {} — treating all findings as new (run --write-baseline to accept current debt)",
+            baseline_path.display()
+        );
+        Baseline::default()
+    };
+
+    let diff = stco_check::ratchet(&scan.findings, &baseline);
+    print!("{}", report::render(&scan, &baseline, &diff));
+    if diff.new.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}

@@ -1,0 +1,135 @@
+//! Human-readable reports for scan + ratchet results.
+
+use std::fmt::Write as _;
+
+use crate::baseline::{Baseline, RatchetDiff};
+use crate::lints::{Lint, ALL_LINTS};
+use crate::Scan;
+
+/// Renders the per-lint summary and the ratchet verdict.
+///
+/// The returned string is the full report printed by the CLI; the bool
+/// alongside the exit decision lives in `main`.
+pub fn render(scan: &Scan, baseline: &Baseline, diff: &RatchetDiff) -> String {
+    let mut s = String::new();
+    let count = |lint: Lint, findings: &[crate::Finding]| {
+        findings.iter().filter(|f| f.lint == lint).count()
+    };
+
+    let _ = writeln!(s, "stco-check: {} files scanned", scan.files_scanned);
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "{:<16} {:>8} {:>10} {:>8} {:>6}",
+        "lint", "current", "baseline", "waived", "new"
+    );
+    for lint in ALL_LINTS {
+        let cur = count(lint, &scan.findings);
+        let base: u64 = baseline.counts.values().filter_map(|m| m.get(&lint)).sum();
+        let waived = count(lint, &scan.waived);
+        let new = count(lint, &diff.new);
+        let _ = writeln!(
+            s,
+            "{:<16} {:>8} {:>10} {:>8} {:>6}",
+            lint.id(),
+            cur,
+            base,
+            waived,
+            new
+        );
+    }
+
+    if !diff.new.is_empty() {
+        let _ = writeln!(s);
+        let _ = writeln!(s, "NEW violations (not in baseline):");
+        for f in &diff.new {
+            let _ = writeln!(
+                s,
+                "  {}:{}: [{}] {}",
+                f.file,
+                f.line,
+                f.lint.id(),
+                f.message
+            );
+        }
+    }
+
+    if !diff.fixed.is_empty() {
+        let _ = writeln!(s);
+        let _ = writeln!(
+            s,
+            "fixed debt ({} entries shrank — run with --write-baseline to ratchet down):",
+            diff.fixed.len()
+        );
+        for (file, lint, committed, current) in &diff.fixed {
+            let _ = writeln!(s, "  {file}: [{}] {committed} -> {current}", lint.id());
+        }
+    }
+
+    if !scan.bad_waivers.is_empty() {
+        let _ = writeln!(s);
+        let _ = writeln!(s, "malformed waiver comments (fix or remove):");
+        for (file, line, text) in &scan.bad_waivers {
+            let _ = writeln!(s, "  {file}:{line}: {text}");
+        }
+    }
+
+    let _ = writeln!(s);
+    if diff.new.is_empty() {
+        let _ = writeln!(
+            s,
+            "OK: no new violations ({} baselined, {} waived)",
+            scan.findings.len(),
+            scan.waived.len()
+        );
+    } else {
+        let _ = writeln!(
+            s,
+            "FAIL: {} new violation(s). Fix them, add a `// stco-check: allow(<lint>, <reason>)` waiver, or (for accepted debt) regenerate the baseline with --write-baseline.",
+            diff.new.len()
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::ratchet;
+    use crate::Finding;
+
+    #[test]
+    fn report_mentions_new_and_fixed() {
+        let findings = vec![Finding {
+            lint: Lint::NoPrint,
+            file: "crates/nn/src/x.rs".to_string(),
+            line: 7,
+            message: "println!".to_string(),
+        }];
+        let baseline = Baseline::from_findings(&[Finding {
+            lint: Lint::NoUnwrap,
+            file: "crates/nn/src/y.rs".to_string(),
+            line: 1,
+            message: String::new(),
+        }]);
+        let scan = Scan {
+            findings: findings.clone(),
+            ..Scan::default()
+        };
+        let diff = ratchet(&findings, &baseline);
+        let text = render(&scan, &baseline, &diff);
+        assert!(text.contains("NEW violations"));
+        assert!(text.contains("crates/nn/src/x.rs:7"));
+        assert!(text.contains("fixed debt"));
+        assert!(text.contains("FAIL: 1 new violation"));
+    }
+
+    #[test]
+    fn clean_report_says_ok() {
+        let scan = Scan::default();
+        let baseline = Baseline::default();
+        let diff = ratchet(&[], &baseline);
+        let text = render(&scan, &baseline, &diff);
+        assert!(text.contains("OK: no new violations"));
+    }
+}

@@ -68,6 +68,7 @@ impl TraceSession {
         recorder.clear_sinks();
         let dropped = self.handle.dropped();
         if dropped > 0 {
+            // stco-check: allow(no-print, user-facing warning from the bench harness itself)
             eprintln!("warning: trace ring buffer evicted {dropped} records");
         }
         let profile = Profile::from_records(&self.handle.records());
@@ -88,6 +89,7 @@ pub fn bench_char_config() -> CharConfig {
 
 /// Prints a horizontal rule with a title.
 pub fn banner(title: &str) {
+    // stco-check: allow(no-print, bench table output is this helper's purpose)
     println!("\n=== {title} ===");
 }
 

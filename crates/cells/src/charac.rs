@@ -134,6 +134,11 @@ impl CellCharacterization {
         if let Some(v) = self.min_pulse_width {
             rows.push(("min_pulse_width", v));
         }
+        // These rows become surrogate training labels; one NaN metric
+        // here would silently poison the GCN dataset.
+        for (name, value) in &rows {
+            stco_numerics::debug_assert_finite!(*name, *value);
+        }
         rows
     }
 }

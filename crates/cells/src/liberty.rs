@@ -89,6 +89,7 @@ impl Library {
     ///
     /// Propagates the first characterization failure.
     pub fn characterize(card: &TechnologyCard, config: &CharConfig) -> Result<Library> {
+        let _span = stco_obs::span!("cells.library_characterize");
         Self::characterize_subset(card, config, &CellType::library())
     }
 
@@ -102,6 +103,7 @@ impl Library {
         config: &CharConfig,
         cells: &[CellType],
     ) -> Result<Library> {
+        let _span = stco_obs::span!("cells.library_characterize_subset", num_cells = cells.len());
         let mut out = Vec::with_capacity(cells.len());
         for cell in cells {
             let ch = characterize(cell, card, config)?;

@@ -360,8 +360,12 @@ fn parse_waivers(comments: &[Comment], bad: &mut Vec<(usize, String)>) -> Vec<Wa
             .and_then(|r| r.split_once(')'))
             .map(|(inner, _)| inner)
             .and_then(|inner| {
-                let id = inner.split(',').next().unwrap_or("").trim();
-                Lint::from_id(id)
+                // A reason is mandatory: `allow(<lint>, <reason>)`.
+                let (id, reason) = inner.split_once(',')?;
+                if reason.trim().is_empty() {
+                    return None;
+                }
+                Lint::from_id(id.trim())
             });
         match parsed {
             Some(lint) => out.push(Waiver { line: c.line, lint }),

@@ -1,0 +1,164 @@
+//! Fixture-based end-to-end tests of the lint engine: seeded violations
+//! are flagged, clean files pass, waivers suppress and are counted.
+
+use stco_check::{analyze_file, Baseline, Lint, LintConfig};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => panic!("fixture {} unreadable: {e}", path.display()),
+    }
+}
+
+fn lints_of(findings: &[stco_check::Finding]) -> Vec<(Lint, usize)> {
+    findings.iter().map(|f| (f.lint, f.line)).collect()
+}
+
+#[test]
+fn seeded_unwrap_violations_are_flagged() {
+    let cfg = LintConfig::default();
+    let a = analyze_file(
+        "crates/tcad/src/seeded.rs",
+        &fixture("seeded_unwrap.rs"),
+        &cfg,
+    );
+    let hits = lints_of(&a.findings);
+    assert_eq!(
+        hits,
+        vec![
+            (Lint::NoUnwrap, 3),
+            (Lint::NoUnwrap, 4),
+            (Lint::NoUnwrap, 6),
+        ],
+        "{:?}",
+        a.findings
+    );
+    assert!(a.waived.is_empty());
+    assert!(a.bad_waivers.is_empty());
+}
+
+#[test]
+fn seeded_lossy_casts_are_flagged_only_in_numeric_crates() {
+    let cfg = LintConfig::default();
+    let src = fixture("seeded_lossy_cast.rs");
+    let numeric = analyze_file("crates/numerics/src/seeded.rs", &src, &cfg);
+    let casts: Vec<_> = numeric
+        .findings
+        .iter()
+        .filter(|f| f.lint == Lint::NoLossyCast)
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(casts, vec![3, 4, 5], "{:?}", numeric.findings);
+
+    // The same file in a non-numeric crate raises no cast findings.
+    let outside = analyze_file("crates/obs/src/seeded.rs", &src, &cfg);
+    assert!(
+        outside.findings.iter().all(|f| f.lint != Lint::NoLossyCast),
+        "{:?}",
+        outside.findings
+    );
+}
+
+#[test]
+fn seeded_prints_are_flagged() {
+    let cfg = LintConfig::default();
+    let a = analyze_file(
+        "crates/cells/src/seeded.rs",
+        &fixture("seeded_print.rs"),
+        &cfg,
+    );
+    let prints: Vec<_> = a
+        .findings
+        .iter()
+        .filter(|f| f.lint == Lint::NoPrint)
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(prints, vec![3, 4, 5], "{:?}", a.findings);
+}
+
+#[test]
+fn configured_entrypoint_without_span_is_flagged() {
+    let cfg = LintConfig::default();
+    let a = analyze_file(
+        "crates/tcad/src/seeded.rs",
+        &fixture("seeded_missing_span.rs"),
+        &cfg,
+    );
+    let spans: Vec<_> = a
+        .findings
+        .iter()
+        .filter(|f| f.lint == Lint::ObsSpan)
+        .collect();
+    assert_eq!(spans.len(), 1, "{:?}", a.findings);
+    assert!(spans[0].message.contains("solve_poisson"));
+}
+
+#[test]
+fn clean_file_passes_every_lint() {
+    let cfg = LintConfig::default();
+    let a = analyze_file("crates/tcad/src/clean.rs", &fixture("clean.rs"), &cfg);
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+    assert!(a.bad_waivers.is_empty());
+}
+
+#[test]
+fn waivers_suppress_and_are_counted() {
+    let cfg = LintConfig::default();
+    let a = analyze_file("crates/spice/src/waived.rs", &fixture("waived.rs"), &cfg);
+    // The two well-formed waivers suppress their findings.
+    assert_eq!(a.waived.len(), 2, "{:?}", a.waived);
+    assert!(a.waived.iter().any(|f| f.lint == Lint::NoUnwrap));
+    assert!(a.waived.iter().any(|f| f.lint == Lint::NoPrint));
+    // The malformed waiver is reported and does NOT suppress.
+    assert_eq!(a.bad_waivers.len(), 1, "{:?}", a.bad_waivers);
+    // The unwaived + badly-waived unwraps are still findings.
+    let unwaived: Vec<_> = a.findings.iter().map(|f| f.line).collect();
+    assert_eq!(unwaived, vec![9, 10], "{:?}", a.findings);
+}
+
+#[test]
+fn ratchet_fails_on_new_and_reports_fixed() {
+    let cfg = LintConfig::default();
+    let a = analyze_file(
+        "crates/tcad/src/seeded.rs",
+        &fixture("seeded_unwrap.rs"),
+        &cfg,
+    );
+    // Baseline admits two of the three findings: the third is new.
+    let baseline = Baseline::from_findings(&a.findings[..2]);
+    let diff = stco_check::ratchet(&a.findings, &baseline);
+    assert_eq!(diff.new.len(), 1, "{:?}", diff.new);
+    assert!(diff.fixed.is_empty());
+
+    // Against a baseline with MORE debt than current, nothing is new and
+    // the shrunk entry is reported as fixed.
+    let mut fat = a.findings.clone();
+    fat.push(stco_check::Finding {
+        lint: Lint::NoUnwrap,
+        file: "crates/tcad/src/seeded.rs".to_string(),
+        line: 99,
+        message: String::new(),
+    });
+    let fat_baseline = Baseline::from_findings(&fat);
+    let diff = stco_check::ratchet(&a.findings, &fat_baseline);
+    assert!(diff.new.is_empty(), "{:?}", diff.new);
+    assert_eq!(diff.fixed.len(), 1, "{:?}", diff.fixed);
+}
+
+#[test]
+fn test_and_bench_paths_are_exempt() {
+    let cfg = LintConfig::default();
+    let src = fixture("seeded_unwrap.rs");
+    for path in [
+        "crates/tcad/tests/seeded.rs",
+        "crates/tcad/benches/seeded.rs",
+        "crates/bench/src/bin/seeded.rs",
+        "crates/proptest/src/seeded.rs",
+    ] {
+        let a = analyze_file(path, &src, &cfg);
+        assert!(a.findings.is_empty(), "{path} should be exempt");
+    }
+}

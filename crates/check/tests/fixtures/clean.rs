@@ -1,0 +1,19 @@
+// Fixture: a library file with no violations — typed errors, a span on
+// the configured entrypoint, no lossy casts, no prints.
+pub fn solve_poisson(n: usize) -> Result<Vec<f64>, String> {
+    let _span = stco_obs::span!("tcad.solve_poisson");
+    if n == 0 {
+        return Err("empty mesh".to_string());
+    }
+    Ok(vec![0.0; n])
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn solves() -> Result<(), String> {
+        let psi = super::solve_poisson(4)?;
+        assert_eq!(psi.len(), 4);
+        Ok(())
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: seeded L3 (no-lossy-cast) violations in a numeric crate.
+pub fn shrink(x: f64, n: u64) -> (f32, i32, u8) {
+    let a = x as f32; // line 3: f64 -> f32
+    let b = n as i32; // line 4: u64 -> i32
+    let c = n as u8; // line 5: u64 -> u8
+    (a, b, c)
+}
+
+pub fn widen_is_fine(x: f32, n: u8) -> (f64, u64) {
+    (x as f64, n as u64)
+}

@@ -1,0 +1,10 @@
+// Fixture: L2 (obs-span) — `solve_poisson` is a configured tcad
+// entrypoint and must open a span; this one does not.
+pub fn solve_poisson(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}
+
+// A non-entrypoint function needs no span.
+pub fn helper(n: usize) -> usize {
+    n + 1
+}

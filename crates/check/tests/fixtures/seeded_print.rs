@@ -1,0 +1,7 @@
+// Fixture: seeded L4 (no-print) violations.
+pub fn chatty(x: f64) -> f64 {
+    println!("x = {x}"); // line 3
+    eprintln!("still here"); // line 4
+    dbg!(x); // line 5
+    x
+}

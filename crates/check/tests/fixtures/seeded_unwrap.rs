@@ -1,0 +1,9 @@
+// Fixture: seeded L1 (no-unwrap) violations — one of each flavor.
+pub fn first_item(xs: &[i32]) -> i32 {
+    let head = xs.first().unwrap(); // line 3: unwrap
+    let tail = xs.last().expect("non-empty"); // line 4: expect
+    if *head > *tail {
+        panic!("unsorted"); // line 6: panic
+    }
+    *head
+}

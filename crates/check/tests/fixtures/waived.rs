@@ -1,0 +1,12 @@
+// Fixture: violations suppressed by well-formed waivers, plus one
+// malformed waiver comment and one unwaived violation.
+pub fn guarded(xs: &[i32]) -> i32 {
+    // stco-check: allow(no-unwrap, slice proven non-empty by caller contract)
+    let head = xs.first().unwrap();
+    // stco-check: allow(no-print, operator-facing progress line)
+    println!("head = {head}");
+    // stco-check: allow(no-unwrap) -- missing reason, malformed
+    let tail = xs.last().unwrap();
+    let _ = xs.first().unwrap(); // unwaived: must still be reported
+    *head + *tail
+}

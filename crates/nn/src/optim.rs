@@ -64,11 +64,15 @@ impl Adam {
     pub fn step(&mut self, params: &mut Params) {
         self.ensure_state(params);
         self.step_count += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.step_count as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.step_count as i32);
+        // Saturating conversion: beyond i32::MAX steps the bias-correction
+        // power underflows to 0 anyway, so clamping is exact in the limit.
+        let t = i32::try_from(self.step_count).unwrap_or(i32::MAX);
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
         for id in param_ids(params).collect::<Vec<_>>() {
             let idx = id.0;
             let grad = params.grad(id).clone();
+            stco_numerics::debug_assert_all_finite!("adam.grad", grad.as_slice());
             let m = &mut self.m[idx];
             let v = &mut self.v[idx];
             for ((mv, vv), g) in m
@@ -142,6 +146,7 @@ impl Sgd {
             .enumerate()
         {
             let grad = params.grad(id).clone();
+            stco_numerics::debug_assert_all_finite!("sgd.grad", grad.as_slice());
             let vel = &mut self.velocity[idx];
             for (v, g) in vel.as_mut_slice().iter_mut().zip(grad.as_slice()) {
                 *v = self.momentum * *v + g;

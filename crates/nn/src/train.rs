@@ -106,6 +106,9 @@ where
             batches += 1;
         }
         let mean_loss = epoch_loss / batches.max(1) as f64;
+        // A diverged epoch (NaN/Inf loss) should stop training in debug
+        // builds, not silently pollute the history and the loss histogram.
+        stco_numerics::debug_assert_finite!("nn.epoch_loss", mean_loss);
         history.train_loss.push(mean_loss);
         loss_hist.observe(mean_loss);
 

@@ -20,6 +20,7 @@
 //! ```
 
 pub mod dense;
+pub mod guard;
 pub mod interp;
 pub mod nonlinear;
 pub mod rng;
@@ -55,6 +56,11 @@ pub enum NumericsError {
         /// Human-readable description of the violation.
         context: String,
     },
+    /// A value that must be finite was NaN or ±Inf.
+    NonFinite {
+        /// What was checked and what it held, e.g. `psi[12] = NaN`.
+        context: String,
+    },
 }
 
 impl std::fmt::Display for NumericsError {
@@ -72,6 +78,7 @@ impl std::fmt::Display for NumericsError {
             ),
             NumericsError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
             NumericsError::InvalidArgument { context } => write!(f, "invalid argument: {context}"),
+            NumericsError::NonFinite { context } => write!(f, "non-finite value: {context}"),
         }
     }
 }

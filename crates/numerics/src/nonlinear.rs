@@ -6,6 +6,7 @@
 //! with finite-difference Jacobians over a handful of parameters.
 
 use crate::dense::{norm2, norm_inf, Matrix};
+use crate::guard::{check_finite, check_finite_scalar};
 use crate::{NumericsError, Result};
 
 /// Options for the damped Newton iteration.
@@ -56,15 +57,29 @@ pub struct NewtonSolution {
 ///
 /// # Errors
 ///
-/// Returns [`NumericsError::NoConvergence`] if the tolerances are not met
-/// within `opts.max_iter` iterations, or propagates errors from `system`.
+/// Returns [`NumericsError::NonFinite`] if the initial state contains
+/// NaN/Inf or the residual norm goes non-finite and damping cannot
+/// recover it, [`NumericsError::NoConvergence`] if the tolerances are
+/// not met within `opts.max_iter` iterations, or propagates errors
+/// from `system`.
 pub fn newton<F>(x0: Vec<f64>, opts: &NewtonOptions, mut system: F) -> Result<NewtonSolution>
 where
     F: FnMut(&[f64]) -> Result<(Vec<f64>, Vec<f64>)>,
 {
+    check_finite("newton.x0", &x0)?;
+    // `norm_inf` folds with f64::max, which silently drops NaN — a NaN
+    // residual would read as norm 0.0 and "converge" instantly. Force the
+    // norm itself to NaN so every acceptance comparison sees the poison.
+    let res_norm = |r: &[f64]| {
+        if crate::guard::all_finite(r) {
+            norm_inf(r)
+        } else {
+            f64::NAN
+        }
+    };
     let mut x = x0;
     let (mut residual, mut dx) = system(&x)?;
-    let mut rnorm = norm_inf(&residual);
+    let mut rnorm = res_norm(&residual);
     for it in 1..=opts.max_iter {
         if rnorm <= opts.residual_tol {
             return Ok(NewtonSolution {
@@ -83,15 +98,26 @@ where
                 .map(|(xi, di)| xi - lambda * di)
                 .collect();
             let (trial_res, trial_dx) = system(&trial)?;
-            let trial_norm = norm_inf(&trial_res);
-            if trial_norm < rnorm || lambda <= 1.0 / (1 << opts.max_backtracks) as f64 {
+            let trial_norm = res_norm(&trial_res);
+            // Only accept a finite residual at the damping floor: a NaN
+            // trial would otherwise poison every later iterate.
+            let at_floor = lambda <= 1.0 / (1 << opts.max_backtracks) as f64;
+            if trial_norm < rnorm || (at_floor && trial_norm.is_finite()) {
                 accepted = Some((trial, trial_res, trial_dx, trial_norm));
                 break;
             }
             lambda *= 0.5;
         }
-        let (nx, nres, ndx, nnorm) =
-            accepted.expect("loop always breaks with an accepted candidate");
+        // The floor condition guarantees the loop breaks unless every trial
+        // residual — including the most heavily damped one — was non-finite.
+        let Some((nx, nres, ndx, nnorm)) = accepted else {
+            return Err(NumericsError::NonFinite {
+                context: format!(
+                    "newton: residual norm non-finite after {} backtracks at iteration {it}",
+                    opts.max_backtracks
+                ),
+            });
+        };
         let step = norm_inf(&dx) * lambda;
         x = nx;
         residual = nres;
@@ -165,8 +191,10 @@ pub struct LmSolution {
 ///
 /// # Errors
 ///
-/// Returns [`NumericsError::InvalidArgument`] if the bounds are malformed
-/// and [`NumericsError::NoConvergence`] if no damping value yields progress.
+/// Returns [`NumericsError::InvalidArgument`] if the bounds are malformed,
+/// [`NumericsError::NonFinite`] if the initial guess, bounds, or initial
+/// cost contain NaN/Inf, and [`NumericsError::NoConvergence`] if no
+/// damping value yields progress.
 pub fn levenberg_marquardt<F>(
     p0: Vec<f64>,
     lower: &[f64],
@@ -178,6 +206,9 @@ where
     F: FnMut(&[f64]) -> Vec<f64>,
 {
     let np = p0.len();
+    check_finite("lm.p0", &p0)?;
+    check_finite("lm.lower", lower)?;
+    check_finite("lm.upper", upper)?;
     if lower.len() != np || upper.len() != np {
         return Err(NumericsError::InvalidArgument {
             context: "bounds must match parameter count".into(),
@@ -198,7 +229,9 @@ where
     clamp(&mut p);
     let mut r = residuals(&p);
     let m = r.len();
-    let mut cost = 0.5 * norm2(&r).powi(2);
+    // A NaN initial cost would make every `tcost < cost` comparison false
+    // and silently return the unfitted guess as a "solution".
+    let mut cost = check_finite_scalar("lm.initial_cost", 0.5 * norm2(&r).powi(2))?;
     let mut lambda = opts.lambda0;
 
     for it in 1..=opts.max_iter {
@@ -294,12 +327,23 @@ where
 ///
 /// # Errors
 ///
-/// Returns [`NumericsError::InvalidArgument`] if `pred(hi)` is `false`
-/// (no passing point in range) — the interval must bracket the threshold.
+/// Returns [`NumericsError::NonFinite`] if `lo`, `hi`, or `tol` is
+/// NaN/Inf (a NaN bracket would terminate the loop immediately and
+/// report `hi` as the threshold), and [`NumericsError::InvalidArgument`]
+/// if the interval is inverted or `pred(hi)` is `false` (no passing
+/// point in range) — the interval must bracket the threshold.
 pub fn bisect_threshold<F>(lo: f64, hi: f64, tol: f64, mut pred: F) -> Result<f64>
 where
     F: FnMut(f64) -> bool,
 {
+    check_finite_scalar("bisect.lo", lo)?;
+    check_finite_scalar("bisect.hi", hi)?;
+    check_finite_scalar("bisect.tol", tol)?;
+    if lo > hi {
+        return Err(NumericsError::InvalidArgument {
+            context: format!("inverted bracket [{lo}, {hi}]"),
+        });
+    }
     if !pred(hi) {
         return Err(NumericsError::InvalidArgument {
             context: format!("predicate false at upper bracket {hi}"),
@@ -414,5 +458,46 @@ mod tests {
     #[test]
     fn bisect_rejects_unbracketed() {
         assert!(bisect_threshold(0.0, 1.0, 1e-6, |v| v > 2.0).is_err());
+    }
+
+    #[test]
+    fn newton_rejects_non_finite_initial_state() {
+        let r = newton(vec![f64::NAN], &NewtonOptions::default(), |x| {
+            Ok((vec![x[0]], vec![x[0]]))
+        });
+        assert!(matches!(r, Err(NumericsError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn newton_errors_when_damping_cannot_recover_nan() {
+        // Every residual evaluation is NaN: no damping level can help.
+        let opts = NewtonOptions {
+            max_backtracks: 3,
+            ..NewtonOptions::default()
+        };
+        let r = newton(vec![1.0], &opts, |_| Ok((vec![f64::NAN], vec![1.0])));
+        assert!(matches!(r, Err(NumericsError::NonFinite { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn lm_rejects_non_finite_inputs() {
+        let opts = LmOptions::default();
+        let r = levenberg_marquardt(vec![f64::NAN], &[0.0], &[1.0], &opts, |_| vec![0.0]);
+        assert!(matches!(r, Err(NumericsError::NonFinite { .. })));
+        let r = levenberg_marquardt(vec![0.5], &[f64::NEG_INFINITY], &[1.0], &opts, |_| {
+            vec![0.0]
+        });
+        assert!(matches!(r, Err(NumericsError::NonFinite { .. })));
+        // NaN initial cost would otherwise return the unfitted guess as Ok.
+        let r = levenberg_marquardt(vec![0.5], &[0.0], &[1.0], &opts, |_| vec![f64::NAN]);
+        assert!(matches!(r, Err(NumericsError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn bisect_rejects_non_finite_bracket() {
+        assert!(bisect_threshold(f64::NAN, 1.0, 1e-6, |_| true).is_err());
+        assert!(bisect_threshold(0.0, f64::INFINITY, 1e-6, |_| true).is_err());
+        assert!(bisect_threshold(0.0, 1.0, f64::NAN, |_| true).is_err());
+        assert!(bisect_threshold(1.0, 0.0, 1e-6, |_| true).is_err());
     }
 }

@@ -185,6 +185,7 @@ impl Sink for StderrSink {
                 *depth += 1;
                 self.span_thread.insert(*id, *thread);
                 let fields: Vec<String> = fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                // stco-check: allow(no-print, StderrSink is the terminal print destination)
                 eprintln!("{pad}▶ {name} {}", fields.join(" "));
             }
             Record::SpanEnd { id, elapsed_ns, .. } => {
@@ -192,6 +193,7 @@ impl Sink for StderrSink {
                 let depth = self.depth.entry(thread).or_insert(1);
                 *depth = depth.saturating_sub(1);
                 let pad = Self::indent(*depth);
+                // stco-check: allow(no-print, StderrSink is the terminal print destination)
                 eprintln!("{pad}◀ {:.6} s", *elapsed_ns as f64 / 1e9);
             }
             Record::Event {
@@ -203,6 +205,7 @@ impl Sink for StderrSink {
                 let depth = self.depth.get(thread).copied().unwrap_or(0);
                 let pad = Self::indent(depth);
                 let fields: Vec<String> = fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                // stco-check: allow(no-print, StderrSink is the terminal print destination)
                 eprintln!("{pad}· {name} {}", fields.join(" "));
             }
         }

@@ -156,6 +156,7 @@ impl Circuit {
     /// Returns [`SpiceError::NoConvergence`] if Newton fails even with
     /// stepping, or propagates LU failures.
     pub fn dc_operating_point(&self) -> Result<DcSolution> {
+        let _span = stco_obs::span!("spice.dc_operating_point");
         let size = self.system_size();
         let mut x = vec![0.0; size];
         let direct = newton_solve(self, &mut x, 0.0, 1.0, None, 0.0);
@@ -327,6 +328,7 @@ impl Circuit {
                             };
                         }
                         local_state = trial;
+                        stco_numerics::debug_assert_all_finite!("spice.tran.state", &local_state);
                         t_local = step_end;
                         accepts.inc();
                     }
@@ -340,11 +342,11 @@ impl Circuit {
                             halvings = halvings,
                         );
                         if halvings > 10 {
-                            if std::env::var("STCO_SPICE_DEBUG").is_ok() {
-                                eprintln!(
-                                    "tran step failed at t={t_local:.4e}, sub_dt={sub_dt:.3e}"
-                                );
-                            }
+                            stco_obs::event!(
+                                "spice.tran_step_failed",
+                                t = t_local,
+                                sub_dt = sub_dt,
+                            );
                             return Err(e);
                         }
                         sub_dt *= 0.5;
@@ -444,10 +446,7 @@ fn newton_solve(
         }
         x_prev.copy_from_slice(x);
         if std::env::var("STCO_SPICE_DEBUG").is_ok() && iter % 25 == 0 {
-            eprintln!(
-                "  newton iter {iter}: max_dx {max_dx:.3e} x[..4] {:?}",
-                &x[..x.len().min(4)]
-            );
+            stco_obs::event!("spice.newton_progress", iter = iter, max_dx = max_dx);
         }
     }
     Err(SpiceError::NoConvergence {

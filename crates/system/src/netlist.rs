@@ -61,7 +61,7 @@ impl LogicOp {
                     inputs[0]
                 }
             }
-            LogicOp::Maj => (inputs[0] as u8 + inputs[1] as u8 + inputs[2] as u8) >= 2,
+            LogicOp::Maj => u8::from(inputs[0]) + u8::from(inputs[1]) + u8::from(inputs[2]) >= 2,
         }
     }
 }

@@ -70,6 +70,7 @@ impl Placement {
 ///
 /// Returns [`SystemError::BadNetlist`] for empty designs.
 pub fn place(netlist: &MappedNetlist, config: &PlaceConfig) -> Result<Placement> {
+    let _span = stco_obs::span!("system.place", num_instances = netlist.instances.len());
     let n = netlist.instances.len();
     if n == 0 {
         return Err(SystemError::BadNetlist {

@@ -49,6 +49,10 @@ pub fn analyze_power(
     activity: &[f64],
     frequency: f64,
 ) -> Result<PowerReport> {
+    let _span = stco_obs::span!(
+        "system.analyze_power",
+        num_instances = netlist.instances.len()
+    );
     let vdd = library.card.vdd;
     let fanouts = netlist.fanouts();
     let avg_activity = if activity.is_empty() {

@@ -60,6 +60,10 @@ pub fn analyze_timing(
     library: &Library,
     wires: &WireModel,
 ) -> Result<TimingReport> {
+    let _span = stco_obs::span!(
+        "system.analyze_timing",
+        num_instances = netlist.instances.len()
+    );
     let fanouts = netlist.fanouts();
     // Load per net: fanin pin caps + wire cap.
     let mut net_load = vec![0.0; netlist.num_nets];

@@ -62,6 +62,17 @@ pub enum TcadError {
         /// Residual at the final Newton iterate.
         residual: f64,
     },
+    /// A solver state or output went NaN/Inf.
+    NonFinite {
+        /// Mesh node at which the poison was first observed.
+        node: usize,
+        /// Gate bias of the offending solve (V).
+        gate: f64,
+        /// Drain bias of the offending solve (V).
+        drain: f64,
+        /// What was checked, e.g. `poisson.psi`.
+        context: String,
+    },
     /// An underlying numerical routine failed.
     Numerics(stco_numerics::NumericsError),
 }
@@ -73,6 +84,15 @@ impl std::fmt::Display for TcadError {
             TcadError::PoissonDiverged { residual } => {
                 write!(f, "poisson solve diverged (residual {residual:.3e})")
             }
+            TcadError::NonFinite {
+                node,
+                gate,
+                drain,
+                context,
+            } => write!(
+                f,
+                "non-finite {context} at node {node} (Vg={gate:.3} V, Vd={drain:.3} V)"
+            ),
             TcadError::Numerics(e) => write!(f, "numerics failure: {e}"),
         }
     }

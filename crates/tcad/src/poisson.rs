@@ -89,6 +89,17 @@ pub fn solve_poisson(device: &Device, bias: Bias) -> Result<PotentialSolution> {
                 max_dx = max_dx.max(step.abs());
             }
             last_update = max_dx;
+            // One poisoned node here would propagate through the carrier
+            // densities into every downstream I-V point; fail at the
+            // iteration that produced it, naming the node and bias.
+            if let Some((node, _)) = stco_numerics::guard::first_non_finite(&psi) {
+                return Err(TcadError::NonFinite {
+                    node,
+                    gate: bias.gate,
+                    drain: bias.drain,
+                    context: "poisson.psi".into(),
+                });
+            }
             stco_obs::event!("tcad.newton_iter", it = it, max_dx = max_dx);
             if max_dx < 1e-9 {
                 converged = true;
@@ -119,6 +130,8 @@ pub fn solve_poisson(device: &Device, bias: Bias) -> Result<PotentialSolution> {
             srh[i] = physics::srh_recombination(params, nd, minority);
         }
     }
+    stco_numerics::debug_assert_all_finite!("poisson.carrier_density", &carrier);
+    stco_numerics::debug_assert_all_finite!("poisson.space_charge", &charge);
     stco_obs::Recorder::global()
         .metrics()
         .counter("tcad.newton_iters")
@@ -182,47 +195,47 @@ mod tests {
     use crate::materials::Technology;
 
     #[test]
-    fn zero_bias_solution_is_near_flat_band_structure() {
-        let d = DeviceSpec::reference(Technology::Igzo).build().unwrap();
-        let sol = solve_poisson(&d, Bias::default()).unwrap();
+    fn zero_bias_solution_is_near_flat_band_structure() -> Result<()> {
+        let d = DeviceSpec::reference(Technology::Igzo).build()?;
+        let sol = solve_poisson(&d, Bias::default())?;
         assert!(sol.psi.iter().all(|p| p.is_finite()));
         // Gate node pinned at −V_FB.
         let gate = d.mesh().node_index(0, 0);
         assert!((sol.psi[gate] + d.channel().flat_band).abs() < 1e-9);
+        Ok(())
     }
 
     #[test]
-    fn residual_of_converged_solution_is_small() {
-        let d = DeviceSpec::reference(Technology::Igzo).build().unwrap();
+    fn residual_of_converged_solution_is_small() -> Result<()> {
+        let d = DeviceSpec::reference(Technology::Igzo).build()?;
         let bias = Bias {
             gate: 2.0,
             drain: 0.5,
         };
-        let sol = solve_poisson(&d, bias).unwrap();
+        let sol = solve_poisson(&d, bias)?;
         let (res, _) = assemble(&d, bias, &sol.psi);
         let max = res.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
         assert!(max < 1e-6, "converged residual {max}");
+        Ok(())
     }
 
     #[test]
-    fn positive_gate_accumulates_ntype_channel() {
-        let d = DeviceSpec::reference(Technology::Igzo).build().unwrap();
+    fn positive_gate_accumulates_ntype_channel() -> Result<()> {
+        let d = DeviceSpec::reference(Technology::Igzo).build()?;
         let off = solve_poisson(
             &d,
             Bias {
                 gate: -1.0,
                 drain: 0.1,
             },
-        )
-        .unwrap();
+        )?;
         let on = solve_poisson(
             &d,
             Bias {
                 gate: 3.0,
                 drain: 0.1,
             },
-        )
-        .unwrap();
+        )?;
         let mesh = d.mesh();
         let row = d.channel_rows()[0];
         let mid = mesh.node_index(mesh.nx() / 2, row);
@@ -232,46 +245,45 @@ mod tests {
             on.carrier_density[mid],
             off.carrier_density[mid]
         );
+        Ok(())
     }
 
     #[test]
-    fn negative_gate_accumulates_ptype_cnt() {
-        let d = DeviceSpec::reference(Technology::Cnt).build().unwrap();
+    fn negative_gate_accumulates_ptype_cnt() -> Result<()> {
+        let d = DeviceSpec::reference(Technology::Cnt).build()?;
         let off = solve_poisson(
             &d,
             Bias {
                 gate: 1.0,
                 drain: -0.1,
             },
-        )
-        .unwrap();
+        )?;
         let on = solve_poisson(
             &d,
             Bias {
                 gate: -3.0,
                 drain: -0.1,
             },
-        )
-        .unwrap();
+        )?;
         let mesh = d.mesh();
         let row = d.channel_rows()[0];
         let mid = mesh.node_index(mesh.nx() / 2, row);
         assert!(on.carrier_density[mid] > 100.0 * off.carrier_density[mid]);
+        Ok(())
     }
 
     #[test]
-    fn potential_is_monotone_through_oxide_in_accumulation() {
+    fn potential_is_monotone_through_oxide_in_accumulation() -> Result<()> {
         // With a strong positive gate and grounded channel, ψ must drop
         // monotonically from gate through the oxide at mid-channel.
-        let d = DeviceSpec::reference(Technology::Igzo).build().unwrap();
+        let d = DeviceSpec::reference(Technology::Igzo).build()?;
         let sol = solve_poisson(
             &d,
             Bias {
                 gate: 3.0,
                 drain: 0.0,
             },
-        )
-        .unwrap();
+        )?;
         let mesh = d.mesh();
         let ix = mesh.nx() / 2;
         let first_ch_row = d.channel_rows()[0];
@@ -281,24 +293,25 @@ mod tests {
             assert!(p <= prev + 1e-9, "ψ must not increase toward channel");
             prev = p;
         }
+        Ok(())
     }
 
     #[test]
-    fn solution_shapes_match_mesh() {
-        let d = DeviceSpec::reference(Technology::Ltps).build().unwrap();
+    fn solution_shapes_match_mesh() -> Result<()> {
+        let d = DeviceSpec::reference(Technology::Ltps).build()?;
         let sol = solve_poisson(
             &d,
             Bias {
                 gate: 1.5,
                 drain: 0.5,
             },
-        )
-        .unwrap();
+        )?;
         let n = d.mesh().num_nodes();
         assert_eq!(sol.psi.len(), n);
         assert_eq!(sol.carrier_density.len(), n);
         assert_eq!(sol.space_charge.len(), n);
         assert_eq!(sol.srh.len(), n);
         assert!(sol.newton_iterations > 0);
+        Ok(())
     }
 }

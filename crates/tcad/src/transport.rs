@@ -120,6 +120,7 @@ pub fn drain_current(device: &Device, solution: &PotentialSolution, bias: Bias) 
 ///
 /// Propagates Poisson convergence failures.
 pub fn simulate_point(device: &Device, bias: Bias) -> Result<IvPoint> {
+    let _span = stco_obs::span!("tcad.simulate_point", gate = bias.gate, drain = bias.drain,);
     let sol = solve_poisson(device, bias)?;
     Ok(IvPoint {
         bias,
@@ -158,50 +159,50 @@ mod tests {
     use crate::materials::Technology;
 
     #[test]
-    fn on_current_exceeds_off_current_by_orders() {
-        let d = DeviceSpec::reference(Technology::Igzo).build().unwrap();
+    fn on_current_exceeds_off_current_by_orders() -> Result<()> {
+        let d = DeviceSpec::reference(Technology::Igzo).build()?;
         let off = simulate_point(
             &d,
             Bias {
                 gate: -1.0,
                 drain: 1.0,
             },
-        )
-        .unwrap();
+        )?;
         let on = simulate_point(
             &d,
             Bias {
                 gate: 3.0,
                 drain: 1.0,
             },
-        )
-        .unwrap();
+        )?;
         assert!(
             on.current > 1e3 * off.current.max(1e-30),
             "on/off ratio too small: {:.3e} / {:.3e}",
             on.current,
             off.current
         );
+        Ok(())
     }
 
     #[test]
-    fn transfer_curve_is_monotone_ntype() {
-        let d = DeviceSpec::reference(Technology::Igzo).build().unwrap();
+    fn transfer_curve_is_monotone_ntype() -> Result<()> {
+        let d = DeviceSpec::reference(Technology::Igzo).build()?;
         let gates: Vec<f64> = (0..8).map(|i| -1.0 + 0.5 * i as f64).collect();
-        let curve = transfer_curve(&d, &gates, 1.0).unwrap();
+        let curve = transfer_curve(&d, &gates, 1.0)?;
         for w in curve.windows(2) {
             assert!(
                 w[1].current >= w[0].current * 0.999,
                 "I_D not monotone in V_G"
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn output_curve_saturates() {
-        let d = DeviceSpec::reference(Technology::Igzo).build().unwrap();
+    fn output_curve_saturates() -> Result<()> {
+        let d = DeviceSpec::reference(Technology::Igzo).build()?;
         let drains: Vec<f64> = (1..=10).map(|i| 0.3 * i as f64).collect();
-        let curve = output_curve(&d, 2.5, &drains).unwrap();
+        let curve = output_curve(&d, 2.5, &drains)?;
         // Monotone non-decreasing.
         for w in curve.windows(2) {
             assert!(w[1].current >= w[0].current * 0.98);
@@ -213,96 +214,95 @@ mod tests {
             g_last < 0.7 * g_first,
             "no saturation: first slope {g_first:.3e}, last {g_last:.3e}"
         );
+        Ok(())
     }
 
     #[test]
-    fn ptype_cnt_current_is_negative_under_negative_drive() {
-        let d = DeviceSpec::reference(Technology::Cnt).build().unwrap();
+    fn ptype_cnt_current_is_negative_under_negative_drive() -> Result<()> {
+        let d = DeviceSpec::reference(Technology::Cnt).build()?;
         let p = simulate_point(
             &d,
             Bias {
                 gate: -3.0,
                 drain: -1.0,
             },
-        )
-        .unwrap();
+        )?;
         assert!(
             p.current < 0.0,
             "p-type I_D should be negative: {}",
             p.current
         );
         assert!(p.current.abs() > 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn current_scales_with_width() {
+    fn current_scales_with_width() -> Result<()> {
         let mut spec = DeviceSpec::reference(Technology::Igzo);
-        let d1 = spec.build().unwrap();
+        let d1 = spec.build()?;
         let i1 = simulate_point(
             &d1,
             Bias {
                 gate: 2.0,
                 drain: 0.5,
             },
-        )
-        .unwrap()
+        )?
         .current;
         spec.width *= 2.0;
-        let d2 = spec.build().unwrap();
+        let d2 = spec.build()?;
         let i2 = simulate_point(
             &d2,
             Bias {
                 gate: 2.0,
                 drain: 0.5,
             },
-        )
-        .unwrap()
+        )?
         .current;
         assert!(
             (i2 / i1 - 2.0).abs() < 1e-6,
             "I ∝ W violated: ratio {}",
             i2 / i1
         );
+        Ok(())
     }
 
     #[test]
-    fn longer_channel_conducts_less() {
+    fn longer_channel_conducts_less() -> Result<()> {
         let mut spec = DeviceSpec::reference(Technology::Igzo);
         let i_short = simulate_point(
-            &spec.build().unwrap(),
+            &spec.build()?,
             Bias {
                 gate: 2.0,
                 drain: 0.5,
             },
-        )
-        .unwrap()
+        )?
         .current;
         spec.channel_length *= 2.0;
         let i_long = simulate_point(
-            &spec.build().unwrap(),
+            &spec.build()?,
             Bias {
                 gate: 2.0,
                 drain: 0.5,
             },
-        )
-        .unwrap()
+        )?
         .current;
         assert!(i_long < i_short);
+        Ok(())
     }
 
     #[test]
-    fn sheet_charge_profile_covers_channel() {
-        let d = DeviceSpec::reference(Technology::Ltps).build().unwrap();
+    fn sheet_charge_profile_covers_channel() -> Result<()> {
+        let d = DeviceSpec::reference(Technology::Ltps).build()?;
         let sol = solve_poisson(
             &d,
             Bias {
                 gate: 2.0,
                 drain: 0.5,
             },
-        )
-        .unwrap();
+        )?;
         let profile = sheet_charge_profile(&d, &sol);
         assert_eq!(profile.len(), d.channel_columns().len());
         assert!(profile.iter().all(|&(_, q)| q > 0.0));
+        Ok(())
     }
 }

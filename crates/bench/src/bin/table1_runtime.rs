@@ -12,6 +12,8 @@
 //!    measured system-evaluation seconds (scaled so the largest matches),
 //!    showing the crossover emerges from design size alone.
 
+use std::time::Instant;
+
 use stco_bench::{banner, fmt_seconds, paper_scale, TraceSession};
 use stco_cells::charac::CharConfig;
 use stco_compact::tech::Corner;
@@ -19,6 +21,7 @@ use stco_core::flow::StageSeconds;
 use stco_core::flow::{FlowConfig, StcoFlow, TechnologyStage, TrainedSurrogates};
 use stco_core::speedup::{calibrated_from_measured, calibrated_rows, paper_table1, MeasuredRow};
 use stco_nn::train::TrainConfig;
+use stco_par::{set_global_threads, ParConfig};
 use stco_surrogate::cell_model::{CellModel, CellModelConfig};
 use stco_surrogate::iv_predictor::{IvConfig, IvPredictor};
 use stco_surrogate::pipeline::build_cell_dataset;
@@ -27,6 +30,102 @@ use stco_system::bench_gen::Benchmark;
 use stco_system::ppa::{evaluate_system, EvalConfig};
 use stco_tcad::dataset::generate_dataset;
 use stco_tcad::materials::Technology;
+
+/// Measured thread-scaling of one parallel hot path.
+struct ScalingRow {
+    stage: &'static str,
+    serial_seconds: f64,
+    parallel_seconds: f64,
+}
+
+impl ScalingRow {
+    fn speedup(&self) -> f64 {
+        self.serial_seconds / self.parallel_seconds.max(1e-12)
+    }
+}
+
+/// Times `work` at 1 thread and at `threads`, asserting via `fingerprint`
+/// that both runs produce identical outputs (the determinism contract of
+/// stco-par makes this an equality, not a tolerance).
+fn time_scaling<T>(
+    stage: &'static str,
+    threads: usize,
+    work: impl Fn() -> T,
+    fingerprint: impl Fn(&T) -> Vec<u64>,
+) -> ScalingRow {
+    set_global_threads(1);
+    let t0 = Instant::now();
+    let serial = work();
+    let serial_seconds = t0.elapsed().as_secs_f64();
+    set_global_threads(threads);
+    let t0 = Instant::now();
+    let parallel = work();
+    let parallel_seconds = t0.elapsed().as_secs_f64();
+    set_global_threads(0);
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&parallel),
+        "{stage}: outputs differ between 1 and {threads} threads"
+    );
+    ScalingRow {
+        stage,
+        serial_seconds,
+        parallel_seconds,
+    }
+}
+
+fn json_stage(s: &StageSeconds) -> String {
+    format!(
+        "{{\"device\": {:.6}, \"compact\": {:.6}, \"cells\": {:.6}, \"system\": {:.6}, \"total\": {:.6}}}",
+        s.device,
+        s.compact,
+        s.cells,
+        s.system,
+        s.total()
+    )
+}
+
+/// Writes the machine-readable companion of the printed table to
+/// `BENCH_table1.json` at the repository root.
+fn write_bench_json(rows: &[(String, StageSeconds, StageSeconds, f64)], scaling: &[ScalingRow]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_table1.json");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"threads\": {},\n  \"available_parallelism\": {},\n",
+        ParConfig::current().threads,
+        cores
+    ));
+    out.push_str("  \"benchmarks\": [\n");
+    let bench_rows: Vec<String> = rows
+        .iter()
+        .map(|(name, trad, fast, speedup)| {
+            format!(
+                "    {{\"name\": \"{name}\", \"traditional\": {}, \"fast\": {}, \"speedup\": {speedup:.3}}}",
+                json_stage(trad),
+                json_stage(fast)
+            )
+        })
+        .collect();
+    out.push_str(&bench_rows.join(",\n"));
+    out.push_str("\n  ],\n  \"scaling\": [\n");
+    let scaling_rows: Vec<String> = scaling
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"stage\": \"{}\", \"serial_seconds\": {:.6}, \"parallel_seconds\": {:.6}, \"speedup\": {:.3}, \"identical_outputs\": true}}",
+                r.stage,
+                r.serial_seconds,
+                r.parallel_seconds,
+                r.speedup()
+            )
+        })
+        .collect();
+    out.push_str(&scaling_rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    std::fs::write(path, out).expect("write BENCH_table1.json");
+    println!("\nwrote {path}");
+}
 
 fn train_bundle(flow: &StcoFlow, char_config: &CharConfig) -> TrainedSurrogates {
     let data = generate_dataset(505, 12, &[Technology::Ltps]).expect("devices");
@@ -105,6 +204,7 @@ fn main() {
         "benchmark", "sys-eval", "trad tech", "fast tech", "trad tot", "speedup", "tech x"
     );
     let mut measured_sys: Vec<(Benchmark, f64)> = Vec::new();
+    let mut json_rows: Vec<(String, StageSeconds, StageSeconds, f64)> = Vec::new();
     for &bench in &measured_set {
         let config = FlowConfig::fast(Technology::Ltps, bench);
         let char_config = config.char_config.clone();
@@ -147,6 +247,12 @@ fn main() {
             row.technology_speedup(),
         );
         measured_sys.push((bench, row.traditional.system));
+        json_rows.push((
+            bench.name().to_string(),
+            trad.seconds,
+            fast.seconds,
+            row.speedup(),
+        ));
     }
 
     banner("Table I view 2: calibrated with the paper's system-eval seconds");
@@ -201,6 +307,74 @@ fn main() {
         );
     }
     println!("\n(see EXPERIMENTS.md for the paper-vs-measured discussion)");
+
+    banner("stco-par thread scaling (1 vs 4 threads, identical outputs)");
+    let scaling_threads = 4usize;
+    let scaling = vec![
+        time_scaling(
+            "dataset_generation",
+            scaling_threads,
+            || generate_dataset(606, 10, &[Technology::Ltps]).expect("scaling dataset"),
+            |ds| {
+                ds.iter()
+                    .flat_map(|s| {
+                        std::iter::once(s.current.to_bits())
+                            .chain(s.solution.psi.iter().map(|p| p.to_bits()))
+                    })
+                    .collect()
+            },
+        ),
+        time_scaling(
+            "characterization",
+            scaling_threads,
+            || {
+                stco_cells::liberty::Library::characterize_subset(
+                    &card,
+                    &stco_bench::bench_char_config(),
+                    &cells,
+                )
+                .expect("scaling characterization")
+            },
+            |lib| {
+                // Debug formatting prints f64 with shortest-roundtrip
+                // precision, so hashing the bytes is a bit-exact fingerprint.
+                let text = format!("{lib:?}");
+                text.into_bytes().into_iter().map(u64::from).collect()
+            },
+        ),
+    ];
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "{:<22} {:>10} {:>10} {:>9}",
+        "stage", "1 thread", "4 threads", "speedup"
+    );
+    for row in &scaling {
+        println!(
+            "{:<22} {:>9.3}s {:>9.3}s {:>8.2}x",
+            row.stage,
+            row.serial_seconds,
+            row.parallel_seconds,
+            row.speedup()
+        );
+    }
+    if cores >= 4 {
+        for row in &scaling {
+            assert!(
+                row.speedup() >= 2.0,
+                "{}: expected >= 2x speedup at 4 threads on a {cores}-core machine, got {:.2}x",
+                row.stage,
+                row.speedup()
+            );
+        }
+        println!("speedup >= 2x at 4 threads verified on {cores} cores.");
+    } else {
+        println!(
+            "(speedup assertion skipped: {cores} core(s) available; \
+             outputs verified identical)"
+        );
+    }
+
+    write_bench_json(&json_rows, &scaling);
 
     if let Some(t) = trace {
         let (profile, path) = t.finish();

@@ -95,6 +95,11 @@ impl Library {
 
     /// Characterizes a subset of cells (tests and scaled-down runs).
     ///
+    /// Per-cell characterizations run on the [`stco_par`] pool
+    /// (`STCO_THREADS`); cell order is preserved and the lowest-index
+    /// failure is the one reported, so the result is identical to the
+    /// serial loop at every thread count.
+    ///
     /// # Errors
     ///
     /// Propagates the first characterization failure.
@@ -104,11 +109,10 @@ impl Library {
         cells: &[CellType],
     ) -> Result<Library> {
         let _span = stco_obs::span!("cells.library_characterize_subset", num_cells = cells.len());
-        let mut out = Vec::with_capacity(cells.len());
-        for cell in cells {
+        let out = stco_par::try_par_map(stco_par::ParConfig::current(), cells, |cell| {
             let ch = characterize(cell, card, config)?;
-            out.push(build_lib_cell(cell, card, config, &ch)?);
-        }
+            build_lib_cell(cell, card, config, &ch)
+        })?;
         Ok(Library {
             card: card.clone(),
             cells: out,

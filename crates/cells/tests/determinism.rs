@@ -1,0 +1,30 @@
+//! Thread-count independence of corner characterization: the parallel
+//! per-cell fan-out must reproduce the serial loop exactly.
+//!
+//! This file holds a single test because it toggles the process-global
+//! thread override; adding further tests here would race on it.
+
+use stco_cells::charac::CharConfig;
+use stco_cells::liberty::Library;
+use stco_cells::library::CellType;
+use stco_compact::tech::TechnologyCard;
+use stco_par::set_global_threads;
+use stco_tcad::materials::Technology;
+
+#[test]
+fn characterization_is_identical_across_thread_counts() {
+    let card = TechnologyCard::reference(Technology::Igzo);
+    let config = CharConfig::fast();
+    let cells: Vec<CellType> = CellType::library().into_iter().take(6).collect();
+
+    set_global_threads(1);
+    let serial = Library::characterize_subset(&card, &config, &cells).expect("serial");
+    set_global_threads(4);
+    let parallel = Library::characterize_subset(&card, &config, &cells).expect("parallel");
+    set_global_threads(0);
+
+    assert_eq!(serial.cells.len(), parallel.cells.len());
+    // Debug formatting prints every f64 with shortest-roundtrip precision,
+    // so string equality here is bit equality of every table entry.
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+}

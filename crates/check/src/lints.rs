@@ -92,6 +92,10 @@ impl Default for LintConfig {
                 ("tcad", &["solve_poisson", "simulate_point"]),
                 ("spice", &["transient_with", "dc_operating_point"]),
                 ("nn", &["fit"]),
+                (
+                    "par",
+                    &["par_map", "try_par_map", "par_chunks_mut", "par_map_reduce"],
+                ),
                 ("cells", &["characterize", "characterize_subset"]),
                 (
                     "system",
@@ -101,6 +105,7 @@ impl Default for LintConfig {
             numeric_crates: &[
                 "numerics",
                 "nn",
+                "par",
                 "tcad",
                 "compact",
                 "spice",

@@ -108,20 +108,31 @@ pub fn explore_with_prescreen(
     config: &PrescreenConfig,
 ) -> Result<OptimizeOutcome> {
     // Bootstrap: evaluate a deterministic spread of corners for real.
+    // Corners are drawn serially (the RNG stream anchors determinism),
+    // then evaluated on the stco-par pool in index order.
     let mut rng = stco_numerics::rng::Xorshift::new(config.seed);
-    let mut records = Vec::new();
     let mut real = 0usize;
-    for _ in 0..config.bootstrap_evaluations.max(4) {
-        let p = crate::space::SpacePoint {
-            vdd: rng.gen_range(space.levels()),
-            vth: rng.gen_range(space.levels()),
-            cox: rng.gen_range(space.levels()),
-        };
-        let corner = space.corner(p);
-        let result = flow.run_iteration(corner, stage, surrogates)?;
-        real += 1;
-        records.push(EvalRecord::from_report(flow.logic(), corner, &result.ppa));
-    }
+    let bootstrap_corners: Vec<Corner> = (0..config.bootstrap_evaluations.max(4))
+        .map(|_| {
+            let p = crate::space::SpacePoint {
+                vdd: rng.gen_range(space.levels()),
+                vth: rng.gen_range(space.levels()),
+                cox: rng.gen_range(space.levels()),
+            };
+            space.corner(p)
+        })
+        .collect();
+    let bootstrap_results = stco_par::try_par_map(
+        stco_par::ParConfig::current(),
+        &bootstrap_corners,
+        |corner| flow.run_iteration(*corner, stage, surrogates),
+    )?;
+    real += bootstrap_results.len();
+    let records: Vec<EvalRecord> = bootstrap_corners
+        .iter()
+        .zip(&bootstrap_results)
+        .map(|(corner, result)| EvalRecord::from_report(flow.logic(), *corner, &result.ppa))
+        .collect();
     let mut ppa_model = SystemSurrogate::new(config.seed ^ 0xABCD);
     ppa_model.train(
         &records,
@@ -147,10 +158,20 @@ pub fn explore_with_prescreen(
         .collect();
     ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
 
+    // Re-evaluate the shortlist for real in parallel; scanning the
+    // results in rank order preserves the serial first-minimum choice.
+    let shortlist: Vec<Corner> = ranked
+        .into_iter()
+        .take(config.shortlist.max(1))
+        .map(|(_, corner)| corner)
+        .collect();
+    let shortlist_results =
+        stco_par::try_par_map(stco_par::ParConfig::current(), &shortlist, |corner| {
+            flow.run_iteration(*corner, stage, surrogates)
+        })?;
+    real += shortlist_results.len();
     let mut best: Option<(f64, IterationResult)> = None;
-    for (_, corner) in ranked.into_iter().take(config.shortlist.max(1)) {
-        let result = flow.run_iteration(corner, stage, surrogates)?;
-        real += 1;
+    for result in shortlist_results {
         let cost = result.ppa.cost();
         if best.as_ref().is_none_or(|(c, _)| cost < *c) {
             best = Some((cost, result));

@@ -13,7 +13,7 @@
 //! [`Graph::spmm`] for GCN-style normalized-adjacency aggregation. Every
 //! adjoint is verified against central finite differences in the tests.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use stco_numerics::{CsrMatrix, Matrix};
 
@@ -72,14 +72,14 @@ pub enum Op {
         /// Source rows.
         x: NodeId,
         /// Row indices, one per output row.
-        idx: Rc<Vec<usize>>,
+        idx: Arc<Vec<usize>>,
     },
     /// Row scatter-add: `y[idx[i]] += x[i]` over `out_rows` rows.
     ScatterAddRows {
         /// Source rows.
         x: NodeId,
         /// Destination row per source row.
-        idx: Rc<Vec<usize>>,
+        idx: Arc<Vec<usize>>,
         /// Number of output rows.
         out_rows: usize,
     },
@@ -88,7 +88,7 @@ pub enum Op {
         /// Scores `[m×1]`.
         x: NodeId,
         /// Segment id per row.
-        seg: Rc<Vec<usize>>,
+        seg: Arc<Vec<usize>>,
         /// Number of segments.
         n_seg: usize,
     },
@@ -97,16 +97,16 @@ pub enum Op {
         /// Input rows `[m×d]`.
         x: NodeId,
         /// Segment id per row.
-        seg: Rc<Vec<usize>>,
+        seg: Arc<Vec<usize>>,
         /// Number of segments.
         n_seg: usize,
     },
     /// Sparse-dense product `A · x` with a constant sparse matrix (GCN).
     SpMm {
         /// The (row-normalized adjacency) sparse operand.
-        a: Rc<CsrMatrix>,
+        a: Arc<CsrMatrix>,
         /// Its transpose, cached for the adjoint.
-        a_t: Rc<CsrMatrix>,
+        a_t: Arc<CsrMatrix>,
         /// Dense operand.
         x: NodeId,
     },
@@ -207,8 +207,7 @@ impl Graph {
         assert_eq!(av.cols(), bv.cols(), "broadcast width mismatch");
         let mut out = av.clone();
         for i in 0..out.rows() {
-            let brow: Vec<f64> = bv.row(0).to_vec();
-            for (o, b) in out.row_mut(i).iter_mut().zip(brow) {
+            for (o, b) in out.row_mut(i).iter_mut().zip(bv.row(0)) {
                 *o += b;
             }
         }
@@ -377,7 +376,7 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if any index is out of range.
-    pub fn gather_rows(&mut self, x: NodeId, idx: Rc<Vec<usize>>) -> NodeId {
+    pub fn gather_rows(&mut self, x: NodeId, idx: Arc<Vec<usize>>) -> NodeId {
         let xv = self.value(x);
         let mut out = Matrix::zeros(idx.len(), xv.cols());
         for (i, &r) in idx.iter().enumerate() {
@@ -392,14 +391,13 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `idx.len() != x.rows()` or an index is out of range.
-    pub fn scatter_add_rows(&mut self, x: NodeId, idx: Rc<Vec<usize>>, out_rows: usize) -> NodeId {
+    pub fn scatter_add_rows(&mut self, x: NodeId, idx: Arc<Vec<usize>>, out_rows: usize) -> NodeId {
         let xv = self.value(x);
         assert_eq!(idx.len(), xv.rows(), "one destination per source row");
         let mut out = Matrix::zeros(out_rows, xv.cols());
         for (i, &r) in idx.iter().enumerate() {
             assert!(r < out_rows, "scatter index {r} out of {out_rows}");
-            let src: Vec<f64> = xv.row(i).to_vec();
-            for (o, s) in out.row_mut(r).iter_mut().zip(src) {
+            for (o, s) in out.row_mut(r).iter_mut().zip(xv.row(i)) {
                 *o += s;
             }
         }
@@ -414,7 +412,7 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `x` is not a column vector or a segment id is out of range.
-    pub fn segment_softmax(&mut self, x: NodeId, seg: Rc<Vec<usize>>, n_seg: usize) -> NodeId {
+    pub fn segment_softmax(&mut self, x: NodeId, seg: Arc<Vec<usize>>, n_seg: usize) -> NodeId {
         let xv = self.value(x);
         assert_eq!(xv.cols(), 1, "segment softmax expects a column vector");
         assert_eq!(seg.len(), xv.rows(), "one segment id per row");
@@ -428,7 +426,7 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `seg.len() != x.rows()` or an id is out of range.
-    pub fn segment_mean(&mut self, x: NodeId, seg: Rc<Vec<usize>>, n_seg: usize) -> NodeId {
+    pub fn segment_mean(&mut self, x: NodeId, seg: Arc<Vec<usize>>, n_seg: usize) -> NodeId {
         let xv = self.value(x);
         assert_eq!(seg.len(), xv.rows(), "one segment id per row");
         let mut out = Matrix::zeros(n_seg, xv.cols());
@@ -436,8 +434,7 @@ impl Graph {
         for (i, &s) in seg.iter().enumerate() {
             assert!(s < n_seg, "segment id {s} out of {n_seg}");
             counts[s] += 1;
-            let src: Vec<f64> = xv.row(i).to_vec();
-            for (o, v) in out.row_mut(s).iter_mut().zip(src) {
+            for (o, v) in out.row_mut(s).iter_mut().zip(xv.row(i)) {
                 *o += v;
             }
         }
@@ -457,19 +454,18 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `a.cols() != x.rows()`.
-    pub fn spmm(&mut self, a: Rc<CsrMatrix>, x: NodeId) -> NodeId {
+    pub fn spmm(&mut self, a: Arc<CsrMatrix>, x: NodeId) -> NodeId {
         let xv = self.value(x);
         assert_eq!(a.cols(), xv.rows(), "spmm shape mismatch");
         let mut out = Matrix::zeros(a.rows(), xv.cols());
         for i in 0..a.rows() {
             for (j, w) in a.row_entries(i) {
-                let src: Vec<f64> = xv.row(j).to_vec();
-                for (o, v) in out.row_mut(i).iter_mut().zip(src) {
+                for (o, v) in out.row_mut(i).iter_mut().zip(xv.row(j)) {
                     *o += w * v;
                 }
             }
         }
-        let a_t = Rc::new(a.transpose());
+        let a_t = Arc::new(a.transpose());
         self.push(out, Op::SpMm { a, a_t, x })
     }
 
@@ -479,10 +475,10 @@ impl Graph {
     pub fn segment_mean_rows(
         &mut self,
         x: NodeId,
-        dst: &std::rc::Rc<Vec<usize>>,
+        dst: &std::sync::Arc<Vec<usize>>,
         num_nodes: usize,
     ) -> NodeId {
-        self.segment_mean(x, std::rc::Rc::clone(dst), num_nodes)
+        self.segment_mean(x, std::sync::Arc::clone(dst), num_nodes)
     }
 
     /// Mean over all rows: `[n×d] → [1×d]`.
@@ -491,8 +487,7 @@ impl Graph {
         let n = xv.rows().max(1);
         let mut out = Matrix::zeros(1, xv.cols());
         for i in 0..xv.rows() {
-            let src: Vec<f64> = xv.row(i).to_vec();
-            for (o, v) in out.row_mut(0).iter_mut().zip(src) {
+            for (o, v) in out.row_mut(0).iter_mut().zip(xv.row(i)) {
                 *o += v / n as f64;
             }
         }
@@ -557,7 +552,7 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `loss` is not a scalar node.
-    pub fn backward(&mut self, loss: NodeId, params: &mut Params) {
+    pub fn backward(&self, loss: NodeId, params: &mut Params) {
         let lv = self.value(loss);
         assert_eq!((lv.rows(), lv.cols()), (1, 1), "loss must be scalar");
         let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
@@ -565,11 +560,12 @@ impl Graph {
 
         for i in (0..self.nodes.len()).rev() {
             let Some(g) = grads[i].take() else { continue };
-            // Re-store (value reads below need immutable self).
-            let op = self.nodes[i].op.clone();
-            match op {
+            // Borrow the op off the tape — cloning it per node would copy
+            // every `ConcatCols` index vector and bump every `Arc` on the
+            // backward hot path.
+            match &self.nodes[i].op {
                 Op::Input => {}
-                Op::Param(pid) => params_accumulate(params, pid, &g),
+                Op::Param(pid) => params_accumulate(params, *pid, &g),
                 Op::MatMul(a, b) => {
                     let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
                     let da = g.matmul(&bv.transpose());
@@ -626,7 +622,7 @@ impl Graph {
                 }
                 Op::Scale(a, s) => {
                     let mut da = g;
-                    da.scale(s);
+                    da.scale(*s);
                     accumulate(&mut grads, a.0, da);
                 }
                 Op::Relu(a) => {
@@ -636,7 +632,7 @@ impl Graph {
                 }
                 Op::LeakyRelu(a, slope) => {
                     let av = &self.nodes[a.0].value;
-                    let da = map_grad(&g, av, |x| if x > 0.0 { 1.0 } else { slope });
+                    let da = map_grad(&g, av, |x| if x > 0.0 { 1.0 } else { *slope });
                     accumulate(&mut grads, a.0, da);
                 }
                 Op::Elu(a, alpha) => {
@@ -698,7 +694,7 @@ impl Graph {
                 }
                 Op::ConcatCols(parts) => {
                     let mut col0 = 0;
-                    for p in parts {
+                    for &p in parts {
                         let pv = &self.nodes[p.0].value;
                         let mut dp = Matrix::zeros(pv.rows(), pv.cols());
                         for r in 0..pv.rows() {
@@ -714,8 +710,7 @@ impl Graph {
                     let xv = &self.nodes[x.0].value;
                     let mut dx = Matrix::zeros(xv.rows(), xv.cols());
                     for (r, &src) in idx.iter().enumerate() {
-                        let grow: Vec<f64> = g.row(r).to_vec();
-                        for (o, v) in dx.row_mut(src).iter_mut().zip(grow) {
+                        for (o, v) in dx.row_mut(src).iter_mut().zip(g.row(r)) {
                             *o += v;
                         }
                     }
@@ -732,7 +727,7 @@ impl Graph {
                 Op::SegmentSoftmax { x, seg, n_seg } => {
                     let yv = &self.nodes[i].value;
                     // d x_i = y_i (g_i − Σ_{j ∈ seg(i)} y_j g_j)
-                    let mut seg_dot = vec![0.0; n_seg];
+                    let mut seg_dot = vec![0.0; *n_seg];
                     for (r, &s) in seg.iter().enumerate() {
                         seg_dot[s] += yv.get(r, 0) * g.get(r, 0);
                     }
@@ -744,15 +739,14 @@ impl Graph {
                 }
                 Op::SegmentMean { x, seg, n_seg } => {
                     let xv = &self.nodes[x.0].value;
-                    let mut counts = vec![0usize; n_seg];
+                    let mut counts = vec![0usize; *n_seg];
                     for &s in seg.iter() {
                         counts[s] += 1;
                     }
                     let mut dx = Matrix::zeros(xv.rows(), xv.cols());
                     for (r, &s) in seg.iter().enumerate() {
                         let c = counts[s] as f64;
-                        let grow: Vec<f64> = g.row(s).to_vec();
-                        for (o, v) in dx.row_mut(r).iter_mut().zip(grow) {
+                        for (o, v) in dx.row_mut(r).iter_mut().zip(g.row(s)) {
                             *o = v / c;
                         }
                     }
@@ -763,8 +757,7 @@ impl Graph {
                     let mut dx = Matrix::zeros(a_t.rows(), g.cols());
                     for r in 0..a_t.rows() {
                         for (j, w) in a_t.row_entries(r) {
-                            let grow: Vec<f64> = g.row(j).to_vec();
-                            for (o, v) in dx.row_mut(r).iter_mut().zip(grow) {
+                            for (o, v) in dx.row_mut(r).iter_mut().zip(g.row(j)) {
                                 *o += w * v;
                             }
                         }
@@ -776,8 +769,7 @@ impl Graph {
                     let n = xv.rows().max(1) as f64;
                     let mut dx = Matrix::zeros(xv.rows(), xv.cols());
                     for r in 0..xv.rows() {
-                        let grow: Vec<f64> = g.row(0).to_vec();
-                        for (o, v) in dx.row_mut(r).iter_mut().zip(grow) {
+                        for (o, v) in dx.row_mut(r).iter_mut().zip(g.row(0)) {
                             *o = v / n;
                         }
                     }
@@ -810,7 +802,7 @@ impl Graph {
                         .map(|(p, t)| {
                             let e = p - t;
                             scale
-                                * if e.abs() <= delta {
+                                * if e.abs() <= *delta {
                                     e
                                 } else {
                                     delta * e.signum()
@@ -1006,14 +998,14 @@ mod tests {
         let w = params.glorot(3, 3);
         let x = random_matrix(&mut rng, 4, 3);
         let t = random_matrix(&mut rng, 4, 3);
-        let idx = Rc::new(vec![0usize, 2, 2, 3, 1]);
+        let idx = Arc::new(vec![0usize, 2, 2, 3, 1]);
         grad_check(&mut params, &[w], |g, p| {
             let xi = g.input(x.clone());
             let ti = g.input(t.clone());
             let wi = g.param(p, w);
             let h = g.matmul(xi, wi);
-            let gat = g.gather_rows(h, Rc::clone(&idx));
-            let back = g.scatter_add_rows(gat, Rc::clone(&idx), 4);
+            let gat = g.gather_rows(h, Arc::clone(&idx));
+            let back = g.scatter_add_rows(gat, Arc::clone(&idx), 4);
             g.mse_loss(back, ti)
         });
     }
@@ -1026,16 +1018,16 @@ mod tests {
         let x = random_matrix(&mut rng, 6, 2);
         let msg = random_matrix(&mut rng, 6, 3);
         let t = random_matrix(&mut rng, 3, 3);
-        let seg = Rc::new(vec![0usize, 0, 1, 1, 2, 2]);
+        let seg = Arc::new(vec![0usize, 0, 1, 1, 2, 2]);
         grad_check(&mut params, &[w], |g, p| {
             let xi = g.input(x.clone());
             let mi = g.input(msg.clone());
             let ti = g.input(t.clone());
             let wi = g.param(p, w);
             let scores = g.matmul(xi, wi);
-            let alpha = g.segment_softmax(scores, Rc::clone(&seg), 3);
+            let alpha = g.segment_softmax(scores, Arc::clone(&seg), 3);
             let weighted = g.mul_col_broadcast(mi, alpha);
-            let agg = g.scatter_add_rows(weighted, Rc::clone(&seg), 3);
+            let agg = g.scatter_add_rows(weighted, Arc::clone(&seg), 3);
             g.mse_loss(agg, ti)
         });
     }
@@ -1047,13 +1039,13 @@ mod tests {
         let w = params.glorot(2, 3);
         let x = random_matrix(&mut rng, 5, 2);
         let t = random_matrix(&mut rng, 2, 3);
-        let seg = Rc::new(vec![0usize, 0, 0, 1, 1]);
+        let seg = Arc::new(vec![0usize, 0, 0, 1, 1]);
         grad_check(&mut params, &[w], |g, p| {
             let xi = g.input(x.clone());
             let ti = g.input(t.clone());
             let wi = g.param(p, w);
             let h = g.matmul(xi, wi);
-            let pooled = g.segment_mean(h, Rc::clone(&seg), 2);
+            let pooled = g.segment_mean(h, Arc::clone(&seg), 2);
             g.mse_loss(pooled, ti)
         });
     }
@@ -1065,7 +1057,7 @@ mod tests {
         let w = params.glorot(2, 2);
         let x = random_matrix(&mut rng, 4, 2);
         let t = random_matrix(&mut rng, 4, 2);
-        let adj = Rc::new(CsrMatrix::from_triplets(
+        let adj = Arc::new(CsrMatrix::from_triplets(
             4,
             4,
             &[
@@ -1083,7 +1075,7 @@ mod tests {
             let ti = g.input(t.clone());
             let wi = g.param(p, w);
             let h = g.matmul(xi, wi);
-            let agg = g.spmm(Rc::clone(&adj), h);
+            let agg = g.spmm(Arc::clone(&adj), h);
             g.mse_loss(agg, ti)
         });
     }
@@ -1132,7 +1124,7 @@ mod tests {
     fn segment_softmax_sums_to_one() {
         let mut g = Graph::new();
         let x = g.input(Matrix::from_vec(5, 1, vec![1.0, -2.0, 0.5, 3.0, 3.0]));
-        let seg = Rc::new(vec![0usize, 0, 0, 1, 1]);
+        let seg = Arc::new(vec![0usize, 0, 0, 1, 1]);
         let sm = g.segment_softmax(x, seg, 2);
         let v = g.value(sm);
         let s0 = v.get(0, 0) + v.get(1, 0) + v.get(2, 0);
@@ -1145,7 +1137,7 @@ mod tests {
     fn segment_softmax_is_stable_for_large_scores() {
         let mut g = Graph::new();
         let x = g.input(Matrix::from_vec(2, 1, vec![1000.0, 999.0]));
-        let sm = g.segment_softmax(x, Rc::new(vec![0, 0]), 1);
+        let sm = g.segment_softmax(x, Arc::new(vec![0, 0]), 1);
         let v = g.value(sm);
         assert!(v.get(0, 0).is_finite());
         assert!((v.get(0, 0) + v.get(1, 0) - 1.0).abs() < 1e-12);

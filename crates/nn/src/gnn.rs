@@ -2,7 +2,7 @@
 //! [`GcnLayer`] (Kipf & Welling) and [`RelGatLayer`] — graph attention with
 //! edge features, the "RelGAT" architecture of the paper's TCAD surrogates.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use stco_numerics::{CsrMatrix, Matrix};
 
@@ -40,7 +40,10 @@ impl GraphData {
     pub fn add_self_loops(&mut self) {
         let n = self.num_nodes();
         let de = self.edge_features.cols();
-        let mut data = self.edge_features.clone().into_vec();
+        // Move the backing buffer out instead of copying it: self-loop
+        // insertion runs once per encoded device/cell graph, which makes
+        // this a hot path during dataset generation.
+        let mut data = std::mem::take(&mut self.edge_features).into_vec();
         for i in 0..n {
             self.edges.push((i, i));
             data.extend(std::iter::repeat_n(0.0, de));
@@ -103,7 +106,7 @@ pub struct GraphBatch {
     /// The merged graph.
     pub merged: GraphData,
     /// Graph id of every node in the union.
-    pub node_graph_ids: Rc<Vec<usize>>,
+    pub node_graph_ids: Arc<Vec<usize>>,
     /// Number of graphs in the batch.
     pub num_graphs: usize,
 }
@@ -144,7 +147,7 @@ impl GraphBatch {
                     edge_data,
                 ),
             },
-            node_graph_ids: Rc::new(ids),
+            node_graph_ids: Arc::new(ids),
             num_graphs: graphs.len(),
         }
     }
@@ -176,11 +179,11 @@ impl GcnLayer {
         &self,
         g: &mut Graph,
         params: &Params,
-        adj: &Rc<CsrMatrix>,
+        adj: &Arc<CsrMatrix>,
         x: NodeId,
     ) -> NodeId {
         let h = self.linear.forward(g, params, x);
-        let agg = g.spmm(Rc::clone(adj), h);
+        let agg = g.spmm(Arc::clone(adj), h);
         self.activation.apply(g, agg)
     }
 }
@@ -258,23 +261,23 @@ impl RelGatLayer {
         params: &Params,
         x: NodeId,
         edge_feats: NodeId,
-        src: &Rc<Vec<usize>>,
-        dst: &Rc<Vec<usize>>,
+        src: &Arc<Vec<usize>>,
+        dst: &Arc<Vec<usize>>,
         num_nodes: usize,
     ) -> NodeId {
         let mut outs = Vec::with_capacity(self.heads.len());
         for head in &self.heads {
             let h = head.w.forward(g, params, x); // [N × dh]
             let he = head.we.forward(g, params, edge_feats); // [M × dh]
-            let hs = g.gather_rows(h, Rc::clone(src)); // [M × dh]
-            let hd = g.gather_rows(h, Rc::clone(dst)); // [M × dh]
+            let hs = g.gather_rows(h, Arc::clone(src)); // [M × dh]
+            let hd = g.gather_rows(h, Arc::clone(dst)); // [M × dh]
             let cat = g.concat_cols(&[hd, hs, he]); // [M × 3dh]
             let scores = head.attn.forward(g, params, cat); // [M × 1]
             let scores = g.leaky_relu(scores, 0.2);
-            let alpha = g.segment_softmax(scores, Rc::clone(dst), num_nodes);
+            let alpha = g.segment_softmax(scores, Arc::clone(dst), num_nodes);
             let msg = g.add(hs, he); // neighbor + edge message
             let weighted = g.mul_col_broadcast(msg, alpha);
-            let agg = g.scatter_add_rows(weighted, Rc::clone(dst), num_nodes);
+            let agg = g.scatter_add_rows(weighted, Arc::clone(dst), num_nodes);
             outs.push(agg);
         }
         let merged = if outs.len() == 1 {
@@ -347,8 +350,8 @@ impl RelGatStack {
         params: &Params,
         node_feats: NodeId,
         edge_feats: NodeId,
-        src: &Rc<Vec<usize>>,
-        dst: &Rc<Vec<usize>>,
+        src: &Arc<Vec<usize>>,
+        dst: &Arc<Vec<usize>>,
         num_nodes: usize,
     ) -> NodeId {
         let mut h = self.input_proj.forward(g, params, node_feats);
@@ -387,12 +390,12 @@ impl SageLayer {
         g: &mut Graph,
         params: &Params,
         x: NodeId,
-        src: &Rc<Vec<usize>>,
-        dst: &Rc<Vec<usize>>,
+        src: &Arc<Vec<usize>>,
+        dst: &Arc<Vec<usize>>,
         num_nodes: usize,
     ) -> NodeId {
         let self_term = self.w_self.forward(g, params, x);
-        let gathered = g.gather_rows(x, Rc::clone(src));
+        let gathered = g.gather_rows(x, Arc::clone(src));
         // Mean over incoming edges per destination node.
         let pooled = g.segment_mean_rows(gathered, dst, num_nodes);
         let nb_term = self.w_neighbor.forward(g, params, pooled);
@@ -403,10 +406,10 @@ impl SageLayer {
 
 /// Splits an edge list into the `(src, dst)` index vectors the attention
 /// layers consume.
-pub fn edge_index_lists(edges: &[(usize, usize)]) -> (Rc<Vec<usize>>, Rc<Vec<usize>>) {
+pub fn edge_index_lists(edges: &[(usize, usize)]) -> (Arc<Vec<usize>>, Arc<Vec<usize>>) {
     let src = edges.iter().map(|&(s, _)| s).collect();
     let dst = edges.iter().map(|&(_, d)| d).collect();
-    (Rc::new(src), Rc::new(dst))
+    (Arc::new(src), Arc::new(dst))
 }
 
 #[cfg(test)]
@@ -452,7 +455,7 @@ mod tests {
     #[test]
     fn gcn_layer_shapes() {
         let gd = ring_graph(6, 3, 1, 2);
-        let adj = Rc::new(gd.normalized_adjacency());
+        let adj = Arc::new(gd.normalized_adjacency());
         let mut params = Params::new(1);
         let layer = GcnLayer::new(&mut params, 3, 5, Activation::Relu);
         let mut g = Graph::new();

@@ -150,6 +150,37 @@ impl Params {
         }
     }
 
+    /// Adds every gradient accumulator of `other` into this store's —
+    /// the deterministic merge step of data-parallel training, where
+    /// each worker backpropagates into its own cloned buffer and the
+    /// buffers are combined in a fixed order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two stores hold different parameter shapes.
+    pub fn add_grads_from(&mut self, other: &Params) {
+        assert_eq!(
+            self.grads.len(),
+            other.grads.len(),
+            "gradient merge across mismatched parameter stores"
+        );
+        for (g, og) in self.grads.iter_mut().zip(&other.grads) {
+            for (gv, nv) in g.as_mut_slice().iter_mut().zip(og.as_slice()) {
+                *gv += nv;
+            }
+        }
+    }
+
+    /// Scales every gradient accumulator by `s` (sum → mean conversion
+    /// after a batch-accumulated backward pass).
+    pub fn scale_grads(&mut self, s: f64) {
+        for g in &mut self.grads {
+            for v in g.as_mut_slice() {
+                *v *= s;
+            }
+        }
+    }
+
     fn accumulate_grad(&mut self, id: ParamId, grad: &Matrix) {
         let g = &mut self.grads[id.0];
         for (gv, nv) in g.as_mut_slice().iter_mut().zip(grad.as_slice()) {

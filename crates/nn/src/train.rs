@@ -3,7 +3,9 @@
 //! validation metric and best-checkpoint tracking.
 
 use stco_numerics::rng::Xorshift;
+use stco_par::ParConfig;
 
+use crate::ad::{Graph, NodeId};
 use crate::Params;
 
 /// Configuration of a training run.
@@ -62,6 +64,58 @@ impl TrainHistory {
             }
         })
     }
+}
+
+/// Runs one data-parallel gradient-accumulation step over a mini-batch.
+///
+/// `per_sample(graph, params, idx)` builds the forward pass for dataset
+/// item `idx` on a fresh tape and returns the scalar loss node. Samples
+/// are distributed over [`stco_par`]'s fixed chunk layout; each chunk
+/// backpropagates into its own cloned gradient buffer and the buffers
+/// are merged in chunk order, so the accumulated gradient (and the
+/// returned mean loss) are bitwise identical at every thread count.
+///
+/// On return `params` holds the *mean* gradient over the batch; the
+/// caller applies clipping and a single optimizer step per batch.
+pub fn parallel_batch_step<F>(
+    config: ParConfig,
+    params: &mut Params,
+    batch: &[usize],
+    per_sample: F,
+) -> f64
+where
+    F: Fn(&mut Graph, &Params, usize) -> NodeId + Sync,
+{
+    if batch.is_empty() {
+        params.zero_grads();
+        return 0.0;
+    }
+    let base: &Params = params;
+    let (grads, loss_sum) = stco_par::par_map_reduce(
+        config,
+        batch,
+        |_, &idx| idx,
+        || {
+            let mut p = base.clone();
+            p.zero_grads();
+            (p, 0.0f64)
+        },
+        |acc, idx| {
+            let mut g = Graph::new();
+            let loss = per_sample(&mut g, base, idx);
+            acc.1 += g.value(loss).get(0, 0);
+            g.backward(loss, &mut acc.0);
+        },
+        |acc, other| {
+            acc.0.add_grads_from(&other.0);
+            acc.1 += other.1;
+        },
+    );
+    let inv = 1.0 / batch.len() as f64;
+    params.zero_grads();
+    params.add_grads_from(&grads);
+    params.scale_grads(inv);
+    loss_sum * inv
 }
 
 /// Runs a generic epoch/mini-batch loop.
@@ -214,6 +268,56 @@ mod tests {
         assert!((params.value(w).get(0, 0) - 3.0).abs() < 1e-12);
         assert!(history.val_loss.len() < 20, "early stopping engaged");
         assert!(history.best_val_loss() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_batch_step_is_bitwise_thread_count_invariant() {
+        let xs: Vec<f64> = (0..13).map(|i| i as f64 / 4.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 0.5).collect();
+        let mut reference: Option<(Vec<u64>, u64)> = None;
+        for t in [1usize, 2, 5] {
+            let mut params = Params::new(9);
+            let lin = Linear::new(&mut params, 1, 1);
+            let batch: Vec<usize> = (0..xs.len()).collect();
+            let loss = parallel_batch_step(
+                ParConfig::with_threads(t),
+                &mut params,
+                &batch,
+                |g, p, idx| {
+                    let xi = g.input(Matrix::from_vec(1, 1, vec![xs[idx]]));
+                    let ti = g.input(Matrix::from_vec(1, 1, vec![ys[idx]]));
+                    let pred = lin.forward(g, p, xi);
+                    g.mse_loss(pred, ti)
+                },
+            );
+            let snapshot: Vec<u64> = (0..params.len())
+                .flat_map(|i| {
+                    params
+                        .grad(crate::ParamId(i))
+                        .as_slice()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<u64>>()
+                })
+                .collect();
+            match &reference {
+                None => reference = Some((snapshot, loss.to_bits())),
+                Some((ref_grads, ref_loss)) => {
+                    assert_eq!(&snapshot, ref_grads, "gradient bits differ at t={t}");
+                    assert_eq!(loss.to_bits(), *ref_loss, "loss bits differ at t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_batch_step_empty_batch_is_a_no_op() {
+        let mut params = Params::new(2);
+        let _lin = Linear::new(&mut params, 1, 1);
+        let loss = parallel_batch_step(ParConfig::serial(), &mut params, &[], |g, _p, _idx| {
+            g.input(Matrix::zeros(1, 1))
+        });
+        assert_eq!(loss, 0.0);
     }
 
     #[test]

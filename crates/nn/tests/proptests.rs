@@ -3,7 +3,7 @@
 //! softmax invariants and message-passing equivariance under random
 //! permutations.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 use stco_nn::ad::Graph;
@@ -65,8 +65,8 @@ proptest! {
         let n_seg = 4;
         let mut g = Graph::new();
         let x = g.input(Matrix::from_vec(10, 1, scores));
-        let seg = Rc::new(seg_raw.clone());
-        let sm = g.segment_softmax(x, Rc::clone(&seg), n_seg);
+        let seg = Arc::new(seg_raw.clone());
+        let sm = g.segment_softmax(x, Arc::clone(&seg), n_seg);
         let v = g.value(sm);
         let mut sums = vec![0.0; n_seg];
         for (i, &s) in seg_raw.iter().enumerate() {

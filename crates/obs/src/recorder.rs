@@ -106,6 +106,15 @@ impl Recorder {
         }
     }
 
+    /// The innermost open span on the calling thread, if any.
+    ///
+    /// Capture this before handing work to another thread, then open the
+    /// worker's spans with [`Recorder::span_with_parent`] so the trace
+    /// tree stays connected across the thread boundary.
+    pub fn current_span(&self) -> Option<u64> {
+        SPAN_STACK.with(|s| s.borrow().last().copied())
+    }
+
     /// Opens a span. The returned guard closes it on drop; keep it alive
     /// for the duration of the region (`let _span = …`, not `let _ = …`).
     ///
@@ -117,13 +126,40 @@ impl Recorder {
         name: &'static str,
         fields: &[(&'static str, FieldValue)],
     ) -> SpanGuard {
+        self.span_inner(name, fields, None)
+    }
+
+    /// Opens a span whose parent is `parent` rather than this thread's
+    /// innermost open span — the cross-thread variant of
+    /// [`Recorder::span`] used by worker threads so their spans nest
+    /// under the span that spawned the parallel region.
+    ///
+    /// The new span still becomes the innermost span of the *calling*
+    /// thread, so nested spans and events opened by the worker attach
+    /// underneath it as usual.
+    pub fn span_with_parent(
+        &'static self,
+        name: &'static str,
+        fields: &[(&'static str, FieldValue)],
+        parent: Option<u64>,
+    ) -> SpanGuard {
+        self.span_inner(name, fields, Some(parent))
+    }
+
+    fn span_inner(
+        &'static self,
+        name: &'static str,
+        fields: &[(&'static str, FieldValue)],
+        parent_override: Option<Option<u64>>,
+    ) -> SpanGuard {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let parent = SPAN_STACK.with(|s| {
+        let stack_parent = SPAN_STACK.with(|s| {
             let mut s = s.borrow_mut();
             let parent = s.last().copied();
             s.push(id);
             parent
         });
+        let parent = parent_override.unwrap_or(stack_parent);
         let start = Instant::now();
         if self.enabled() {
             let record = Record::SpanStart {
@@ -279,5 +315,37 @@ mod tests {
         for w in records.windows(2) {
             assert!(w[1].t_ns() >= w[0].t_ns());
         }
+
+        // Cross-thread parenting: a worker thread has its own (empty)
+        // span stack, so span_with_parent must carry the caller's span id
+        // across the boundary explicitly.
+        let (sink, handle) = RingBufferSink::with_capacity(128);
+        recorder.add_sink(Box::new(sink));
+        let caller = recorder.span("test.caller", &[]);
+        let caller_id = caller.id();
+        assert_eq!(recorder.current_span(), Some(caller_id));
+        let worker_parent = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    assert_eq!(recorder.current_span(), None, "fresh thread stack");
+                    let w = recorder.span_with_parent("test.worker", &[], Some(caller_id));
+                    assert_eq!(recorder.current_span(), Some(w.id()));
+                    w.close();
+                })
+                .join()
+                // stco-check: allow(no-unwrap, test-only join on a thread that cannot panic)
+                .expect("worker thread");
+            handle.records().iter().find_map(|r| match r {
+                Record::SpanStart { name, parent, .. } if name == "test.worker" => Some(*parent),
+                _ => None,
+            })
+        });
+        caller.close();
+        recorder.clear_sinks();
+        assert_eq!(
+            worker_parent,
+            Some(Some(caller_id)),
+            "worker span parents under the caller's span"
+        );
     }
 }

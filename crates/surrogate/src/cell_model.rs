@@ -8,16 +8,17 @@
 //! Table IV metric (MAPE in original units).
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use stco_cells::encode::{CellGraph, FEATURE_DIM};
 use stco_nn::ad::Graph;
 use stco_nn::gnn::{GcnLayer, GraphData};
 use stco_nn::layers::{Activation, Mlp};
 use stco_nn::optim::Adam;
-use stco_nn::train::{fit, TrainConfig};
+use stco_nn::train::{fit, parallel_batch_step, TrainConfig};
 use stco_nn::Params;
 use stco_numerics::{CsrMatrix, Matrix};
+use stco_par::ParConfig;
 
 use crate::{Result, SurrogateError};
 
@@ -90,9 +91,9 @@ pub struct CellModel {
 }
 
 struct Prepared {
-    adj: Rc<CsrMatrix>,
+    adj: Arc<CsrMatrix>,
     features: Matrix,
-    seg: Rc<Vec<usize>>,
+    seg: Arc<Vec<usize>>,
     metric: usize,
     log_value: f64,
 }
@@ -105,12 +106,12 @@ fn prepare(sample: &CellSample) -> Prepared {
         edge_features: Matrix::zeros(sample.graph.edges.len(), 0),
     };
     // normalized_adjacency adds implicit self-loops itself.
-    let adj = Rc::new(gd.normalized_adjacency());
+    let adj = Arc::new(gd.normalized_adjacency());
     let features = std::mem::take(&mut gd.node_features);
     Prepared {
         adj,
         features,
-        seg: Rc::new(vec![0usize; n]),
+        seg: Arc::new(vec![0usize; n]),
         metric: sample.metric,
         log_value: sample.value.max(1e-21).log10(),
     }
@@ -201,22 +202,20 @@ impl CellModel {
             train_config,
             prepared.len(),
             |batch, params| {
-                let mut loss_sum = 0.0;
-                for &idx in batch {
-                    let item = &prepared[idx];
-                    let (mean, std) = norms[item.metric];
-                    let mut g = Graph::new();
-                    let pred = forward_one(&layers, &heads, params, item, &mut g);
-                    let t = g.input(Matrix::from_vec(1, 1, vec![(item.log_value - mean) / std]));
-                    let loss = g.mse_loss(pred, t);
-                    let l = g.value(loss).get(0, 0);
-                    params.zero_grads();
-                    g.backward(loss, params);
-                    params.clip_grad_norm(5.0);
-                    adam.step(params);
-                    loss_sum += l;
-                }
-                loss_sum / batch.len().max(1) as f64
+                // Batch-accumulated SGD with deterministic parallel
+                // gradient reduction; one optimizer step per batch.
+                let loss =
+                    parallel_batch_step(ParConfig::current(), params, batch, |g, params, idx| {
+                        let item = &prepared[idx];
+                        let (mean, std) = norms[item.metric];
+                        let pred = forward_one(&layers, &heads, params, item, g);
+                        let t =
+                            g.input(Matrix::from_vec(1, 1, vec![(item.log_value - mean) / std]));
+                        g.mse_loss(pred, t)
+                    });
+                params.clip_grad_norm(5.0);
+                adam.step(params);
+                loss
             },
             Some(|params: &Params| {
                 if val_prepared.is_empty() {
@@ -306,7 +305,7 @@ fn forward_one(
     for layer in layers {
         h = layer.forward(g, params, &item.adj, h);
     }
-    let pooled = g.segment_mean(h, Rc::clone(&item.seg), 1);
+    let pooled = g.segment_mean(h, Arc::clone(&item.seg), 1);
     heads[item.metric].forward(g, params, pooled)
 }
 

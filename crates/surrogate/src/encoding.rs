@@ -17,7 +17,7 @@
 //! Per edge (inspired by finite-element geometry): the normalized
 //! displacement `(Δx, Δy)` and the log coupling factor of the mesh face.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use stco_nn::gnn::GraphData;
 use stco_numerics::Matrix;
@@ -138,7 +138,7 @@ pub fn potential_targets(sample: &DeviceSample) -> Matrix {
 }
 
 /// The `(src, dst)` index lists of a graph, shared across layers.
-pub fn index_lists(graph: &GraphData) -> (Rc<Vec<usize>>, Rc<Vec<usize>>) {
+pub fn index_lists(graph: &GraphData) -> (Arc<Vec<usize>>, Arc<Vec<usize>>) {
     stco_nn::gnn::edge_index_lists(&graph.edges)
 }
 

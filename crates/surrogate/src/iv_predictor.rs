@@ -7,15 +7,16 @@
 //! and the regression target is `log₁₀|I_D|` (currents span many
 //! decades).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use stco_nn::ad::Graph;
 use stco_nn::gnn::{GraphData, RelGatStack};
 use stco_nn::layers::{Activation, Mlp};
 use stco_nn::optim::Adam;
-use stco_nn::train::{fit, TrainConfig};
+use stco_nn::train::{fit, parallel_batch_step, TrainConfig};
 use stco_nn::Params;
 use stco_numerics::stats;
+use stco_par::ParConfig;
 use stco_tcad::dataset::DeviceSample;
 
 use crate::encoding::{encode_device, index_lists, TaskFeatures, EDGE_DIM, NODE_DIM};
@@ -79,16 +80,16 @@ pub struct IvPredictor {
 
 struct EncodedIv {
     graph: GraphData,
-    src: Rc<Vec<usize>>,
-    dst: Rc<Vec<usize>>,
-    seg: Rc<Vec<usize>>,
+    src: Arc<Vec<usize>>,
+    dst: Arc<Vec<usize>>,
+    seg: Arc<Vec<usize>>,
     target: f64,
 }
 
 fn encode(sample: &DeviceSample) -> EncodedIv {
     let graph = encode_device(sample, TaskFeatures::Iv);
     let (src, dst) = index_lists(&graph);
-    let seg = Rc::new(vec![0usize; graph.num_nodes()]);
+    let seg = Arc::new(vec![0usize; graph.num_nodes()]);
     EncodedIv {
         graph,
         src,
@@ -176,25 +177,22 @@ impl IvPredictor {
             train_config,
             encoded.len(),
             |batch, params| {
-                let mut loss_sum = 0.0;
-                for &idx in batch {
-                    let item = &encoded[idx];
-                    let mut g = Graph::new();
-                    let pred = forward_one(&stack, &head, params, item, &mut g);
-                    let t = g.input(stco_numerics::Matrix::from_vec(
-                        1,
-                        1,
-                        vec![(item.target - t_mean) / t_std],
-                    ));
-                    let loss = g.mse_loss(pred, t);
-                    let l = g.value(loss).get(0, 0);
-                    params.zero_grads();
-                    g.backward(loss, params);
-                    params.clip_grad_norm(5.0);
-                    adam.step(params);
-                    loss_sum += l;
-                }
-                loss_sum / batch.len().max(1) as f64
+                // Batch-accumulated SGD with deterministic parallel
+                // gradient reduction; one optimizer step per batch.
+                let loss =
+                    parallel_batch_step(ParConfig::current(), params, batch, |g, params, idx| {
+                        let item = &encoded[idx];
+                        let pred = forward_one(&stack, &head, params, item, g);
+                        let t = g.input(stco_numerics::Matrix::from_vec(
+                            1,
+                            1,
+                            vec![(item.target - t_mean) / t_std],
+                        ));
+                        g.mse_loss(pred, t)
+                    });
+                params.clip_grad_norm(5.0);
+                adam.step(params);
+                loss
             },
             Some(|params: &Params| {
                 if val_encoded.is_empty() {
@@ -272,7 +270,7 @@ fn forward_one(
         &item.dst,
         item.graph.num_nodes(),
     );
-    let pooled = g.segment_mean(h, Rc::clone(&item.seg), 1);
+    let pooled = g.segment_mean(h, Arc::clone(&item.seg), 1);
     head.forward(g, params, pooled)
 }
 

@@ -137,19 +137,31 @@ fn arc_context(cell: &CellType, arc: &ArcSample) -> EncodingContext {
 /// Characterizes `cells` at every corner of `corners` and encodes every
 /// measured metric row as a [`CellSample`].
 ///
+/// Each (corner, cell) pair is characterized on the [`stco_par`] pool
+/// (`STCO_THREADS`); results concatenate in pair order, so the dataset
+/// matches the serial nested loop exactly at every thread count.
+///
 /// # Errors
 ///
-/// Propagates characterization failures.
+/// Propagates characterization failures (lowest pair index first).
 pub fn build_cell_dataset(
     base: &TechnologyCard,
     corners: &[Corner],
     cells: &[CellType],
     char_config: &CharConfig,
 ) -> Result<Vec<CellSample>> {
-    let mut out = Vec::new();
+    let mut pairs = Vec::with_capacity(corners.len() * cells.len());
     for corner in corners {
-        let card = base.at_corner(*corner);
         for cell in cells {
+            pairs.push((*corner, cell));
+        }
+    }
+    let per_pair = stco_par::try_par_map(
+        stco_par::ParConfig::current(),
+        &pairs,
+        |&(corner, cell)| -> Result<Vec<CellSample>> {
+            let card = base.at_corner(corner);
+            let mut out = Vec::new();
             let built = cell.build(&card, 1.0);
             let ch = characterize(cell, &card, char_config)?;
             let push_arcs = |metric: &str, arcs: &[ArcSample], out: &mut Vec<CellSample>| {
@@ -195,9 +207,10 @@ pub fn build_cell_dataset(
             if let Some(v) = ch.min_pulse_width {
                 push_scalar("min_pulse_width", v, &mut out);
             }
-        }
-    }
-    Ok(out)
+            Ok(out)
+        },
+    )?;
+    Ok(per_pair.into_iter().flatten().collect())
 }
 
 /// Configuration of a Table IV run for one technology.

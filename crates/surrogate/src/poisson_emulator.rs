@@ -7,15 +7,16 @@
 //! width are configurable so scaled-down reproductions state their
 //! configuration explicitly.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use stco_nn::ad::Graph;
 use stco_nn::gnn::{GraphData, RelGatStack};
 use stco_nn::layers::{Activation, Mlp};
 use stco_nn::optim::Adam;
-use stco_nn::train::{fit, TrainConfig};
+use stco_nn::train::{fit, parallel_batch_step, TrainConfig};
 use stco_nn::Params;
 use stco_numerics::stats;
+use stco_par::ParConfig;
 use stco_tcad::dataset::DeviceSample;
 
 use crate::encoding::{
@@ -77,8 +78,8 @@ pub struct PoissonEmulator {
 /// One pre-encoded training item.
 pub struct EncodedDevice {
     graph: GraphData,
-    src: Rc<Vec<usize>>,
-    dst: Rc<Vec<usize>>,
+    src: Arc<Vec<usize>>,
+    dst: Arc<Vec<usize>>,
     targets: stco_numerics::Matrix,
 }
 
@@ -167,36 +168,34 @@ impl PoissonEmulator {
             train_config,
             encoded.len(),
             |batch, params| {
-                let mut loss_sum = 0.0;
-                for &idx in batch {
-                    let item = &encoded[idx];
-                    let mut g = Graph::new();
-                    let x = g.input(item.graph.node_features.clone());
-                    let e = g.input(item.graph.edge_features.clone());
-                    let mut t = item.targets.clone();
-                    for v in t.as_mut_slice() {
-                        *v = (*v - t_mean) / t_std;
-                    }
-                    let ti = g.input(t);
-                    let h = stack.forward(
-                        &mut g,
-                        params,
-                        x,
-                        e,
-                        &item.src,
-                        &item.dst,
-                        item.graph.num_nodes(),
-                    );
-                    let pred = head.forward(&mut g, params, h);
-                    let loss = g.mse_loss(pred, ti);
-                    let l = g.value(loss).get(0, 0);
-                    params.zero_grads();
-                    g.backward(loss, params);
-                    params.clip_grad_norm(5.0);
-                    adam.step(params);
-                    loss_sum += l;
-                }
-                loss_sum / batch.len().max(1) as f64
+                // Batch-accumulated SGD: samples run forward/backward in
+                // parallel, gradients merge deterministically, then one
+                // optimizer step per batch.
+                let loss =
+                    parallel_batch_step(ParConfig::current(), params, batch, |g, params, idx| {
+                        let item = &encoded[idx];
+                        let x = g.input(item.graph.node_features.clone());
+                        let e = g.input(item.graph.edge_features.clone());
+                        let mut t = item.targets.clone();
+                        for v in t.as_mut_slice() {
+                            *v = (*v - t_mean) / t_std;
+                        }
+                        let ti = g.input(t);
+                        let h = stack.forward(
+                            g,
+                            params,
+                            x,
+                            e,
+                            &item.src,
+                            &item.dst,
+                            item.graph.num_nodes(),
+                        );
+                        let pred = head.forward(g, params, h);
+                        g.mse_loss(pred, ti)
+                    });
+                params.clip_grad_norm(5.0);
+                adam.step(params);
+                loss
             },
             Some(|params: &Params| {
                 if val_encoded.is_empty() {

@@ -1,0 +1,49 @@
+//! Thread-count independence of GNN training: with the deterministic
+//! per-chunk gradient reduction, the whole loss trajectory — not just the
+//! final loss — must be bitwise identical at 1 and 4 threads.
+//!
+//! This file holds a single test because it toggles the process-global
+//! thread override; adding further tests here would race on it.
+
+use stco_nn::train::TrainConfig;
+use stco_par::set_global_threads;
+use stco_surrogate::poisson_emulator::{PoissonConfig, PoissonEmulator};
+use stco_tcad::dataset::generate_dataset;
+use stco_tcad::materials::Technology;
+
+#[test]
+fn training_loss_trajectory_is_bitwise_identical_across_thread_counts() {
+    let data = generate_dataset(7, 6, &[Technology::Igzo]).expect("dataset");
+    let (train, val) = data.split_at(4);
+    let model_config = PoissonConfig {
+        depth: 2,
+        heads: 2,
+        head_dim: 4,
+        ..PoissonConfig::default()
+    };
+    let train_config = TrainConfig {
+        epochs: 4,
+        batch_size: 2,
+        patience: None,
+        ..TrainConfig::default()
+    };
+
+    let mut trajectories: Vec<(Vec<u64>, Vec<u64>)> = Vec::new();
+    for threads in [1usize, 4] {
+        set_global_threads(threads);
+        let mut model = PoissonEmulator::new(model_config);
+        let history = model
+            .train(train, val, &train_config)
+            .expect("training succeeds");
+        trajectories.push((
+            history.train_loss.iter().map(|l| l.to_bits()).collect(),
+            history.val_loss.iter().map(|l| l.to_bits()).collect(),
+        ));
+    }
+    set_global_threads(0);
+
+    assert_eq!(
+        trajectories[0], trajectories[1],
+        "loss trajectories diverge between 1 and 4 threads"
+    );
+}

@@ -63,6 +63,11 @@ impl DeviceSample {
 /// Devices that fail to converge (rare, extreme corners) are skipped and
 /// replaced, so the returned set always has exactly `count` samples.
 ///
+/// Simulations run on the [`stco_par`] pool (`STCO_THREADS`). The sampler
+/// stream is drawn serially and each round attempts at most the number of
+/// still-missing samples, so the attempt sequence — and therefore the
+/// returned dataset — is bitwise identical at every thread count.
+///
 /// # Errors
 ///
 /// Returns the last simulation error if fewer than `count` of
@@ -72,20 +77,36 @@ pub fn generate_dataset(
     count: usize,
     technologies: &[Technology],
 ) -> Result<Vec<DeviceSample>> {
+    let _span = stco_obs::span!("tcad.generate_dataset", count = count);
+    let config = stco_par::ParConfig::current();
     let mut sampler = DeviceSampler::new(seed, technologies);
     let mut out = Vec::with_capacity(count);
     let mut last_err = None;
-    let mut attempts = 0;
-    while out.len() < count && attempts < 4 * count.max(1) {
-        attempts += 1;
-        let (spec, bias) = sampler.sample();
-        match DeviceSample::simulate(spec, bias) {
-            Ok(s) => out.push(s),
-            Err(e) => last_err = Some(e),
+    let mut attempts = 0usize;
+    let cap = 4 * count.max(1);
+    while out.len() < count && attempts < cap {
+        let n_draw = (count - out.len()).min(cap - attempts);
+        let pairs: Vec<(DeviceSpec, Bias)> = (0..n_draw).map(|_| sampler.sample()).collect();
+        attempts += n_draw;
+        let results = stco_par::par_map(config, &pairs, |(spec, bias)| {
+            DeviceSample::simulate(spec.clone(), *bias)
+        });
+        for r in results {
+            match r {
+                Ok(s) => out.push(s),
+                Err(e) => last_err = Some(e),
+            }
         }
     }
     if out.len() < count {
-        Err(last_err.expect("failure path implies an error"))
+        match last_err {
+            Some(e) => Err(e),
+            // Unreachable: out.len() < count implies at least one failed
+            // attempt, which records an error.
+            None => Err(crate::TcadError::InvalidGeometry {
+                context: "dataset generation fell short without an error".into(),
+            }),
+        }
     } else {
         Ok(out)
     }

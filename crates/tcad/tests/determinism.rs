@@ -1,0 +1,31 @@
+//! Thread-count independence of dataset generation: the parallel attempt
+//! rounds must reproduce the serial sampler stream bit for bit.
+//!
+//! This file holds a single test because it toggles the process-global
+//! thread override; adding further tests here would race on it.
+
+use stco_par::set_global_threads;
+use stco_tcad::dataset::generate_dataset;
+use stco_tcad::materials::Technology;
+
+#[test]
+fn dataset_generation_is_bitwise_identical_across_thread_counts() {
+    let techs = [Technology::Igzo, Technology::Cnt, Technology::Ltps];
+
+    set_global_threads(1);
+    let serial = generate_dataset(11, 6, &techs).expect("serial generation");
+    set_global_threads(4);
+    let parallel = generate_dataset(11, 6, &techs).expect("parallel generation");
+    set_global_threads(0);
+
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.bias, b.bias);
+        assert_eq!(a.current.to_bits(), b.current.to_bits(), "terminal current");
+        assert_eq!(a.solution.psi.len(), b.solution.psi.len());
+        for (x, y) in a.solution.psi.iter().zip(&b.solution.psi) {
+            assert_eq!(x.to_bits(), y.to_bits(), "potential map");
+        }
+    }
+}

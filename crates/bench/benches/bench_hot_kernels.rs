@@ -1,0 +1,140 @@
+//! Criterion micro-benches for the kernels on the characterization and
+//! training hot paths: in-place GEMM variants against their
+//! allocate-and-transpose equivalents, factor-once LU against
+//! refactor-per-solve, and a single cell-characterization transient of
+//! the kind the Liberty bisection searches replay thousands of times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stco_compact::tech::TechnologyCard;
+use stco_numerics::dense::{LuFactors, Matrix};
+use stco_numerics::rng::Xorshift;
+use stco_spice::analysis::TranConfig;
+use stco_spice::netlist::{Circuit, Waveform};
+use stco_tcad::materials::Technology;
+
+fn random_matrix(rng: &mut Xorshift, rows: usize, cols: usize) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| rng.uniform_in(-1.0, 1.0))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// One RelGAT layer of the 12-layer surrogate works on roughly these
+/// shapes: a `[nodes × hidden]` activation against a `[hidden × hidden]`
+/// head weight, with an equal-shaped upstream gradient in backward.
+const GAT_NODES: usize = 64;
+const GAT_HIDDEN: usize = 32;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = Xorshift::new(42);
+    let x = random_matrix(&mut rng, GAT_NODES, GAT_HIDDEN);
+    let w = random_matrix(&mut rng, GAT_HIDDEN, GAT_HIDDEN);
+    let g = random_matrix(&mut rng, GAT_NODES, GAT_HIDDEN);
+
+    let mut group = c.benchmark_group("gemm_gat_layer");
+    group.bench_function("matmul_alloc", |b| b.iter(|| x.matmul(&w)));
+    group.bench_function("gemm_into_reused", |b| {
+        let mut out = Matrix::zeros(GAT_NODES, GAT_HIDDEN);
+        b.iter(|| {
+            out.reset_zeroed(GAT_NODES, GAT_HIDDEN);
+            x.gemm_into(&w, &mut out);
+        })
+    });
+    // MatMul backward, da = g · wᵀ.
+    group.bench_function("nt_transpose_then_matmul", |b| {
+        b.iter(|| g.matmul(&w.transpose()))
+    });
+    group.bench_function("gemm_nt_into_reused", |b| {
+        let mut out = Matrix::zeros(GAT_NODES, GAT_HIDDEN);
+        b.iter(|| {
+            out.reset_zeroed(GAT_NODES, GAT_HIDDEN);
+            g.gemm_nt_into(&w, &mut out);
+        })
+    });
+    // MatMul backward, dw = xᵀ · g.
+    group.bench_function("tn_transpose_then_matmul", |b| {
+        b.iter(|| x.transpose().matmul(&g))
+    });
+    group.bench_function("gemm_tn_into_reused", |b| {
+        let mut out = Matrix::zeros(GAT_HIDDEN, GAT_HIDDEN);
+        b.iter(|| {
+            out.reset_zeroed(GAT_HIDDEN, GAT_HIDDEN);
+            x.gemm_tn_into(&g, &mut out);
+        })
+    });
+    group.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    // A DFF characterization bench stamps an MNA system of roughly this
+    // size every Newton iteration.
+    const N: usize = 24;
+    let mut rng = Xorshift::new(7);
+    let mut a = random_matrix(&mut rng, N, N);
+    for i in 0..N {
+        let off: f64 = a.row(i).iter().map(|v| v.abs()).sum();
+        a.set(i, i, off + 1.0);
+    }
+    let b_vec: Vec<f64> = (0..N).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+
+    let mut group = c.benchmark_group("lu_mna_24");
+    group.bench_function("factor_alloc", |b| {
+        b.iter(|| a.lu_factor().expect("nonsingular"))
+    });
+    group.bench_function("factor_into_reused", |b| {
+        let mut factors = LuFactors::default();
+        b.iter(|| a.lu_factor_into(&mut factors).expect("nonsingular"))
+    });
+    let factors = a.lu_factor().expect("nonsingular");
+    group.bench_function("solve_alloc", |b| {
+        b.iter(|| factors.solve(&b_vec).expect("solves"))
+    });
+    group.bench_function("solve_into_reused", |b| {
+        let mut x = Vec::new();
+        b.iter(|| factors.solve_into(&b_vec, &mut x).expect("solves"))
+    });
+    group.finish();
+}
+
+fn bench_charac_transient(c: &mut Criterion) {
+    // A single inverter switching transient — the unit of work the
+    // characterization bisection searches repeat per probe.
+    let card = TechnologyCard::reference(Technology::Ltps);
+    let mut ckt = Circuit::new();
+    let gnd = ckt.node("0");
+    let vdd = ckt.node("vdd");
+    let inp = ckt.node("a");
+    let out = ckt.node("y");
+    ckt.add_vsource("vvdd", vdd, gnd, Waveform::Dc(card.vdd));
+    ckt.add_vsource(
+        "vin",
+        inp,
+        gnd,
+        Waveform::Pulse {
+            v0: 0.0,
+            v1: card.vdd,
+            delay: 1.0e-9,
+            rise: 2.0e-9,
+            fall: 2.0e-9,
+            width: 20.0e-9,
+            period: 0.0,
+        },
+    );
+    ckt.add_tft("mp", out, inp, vdd, card.pfet_sized(2.0));
+    ckt.add_tft("mn", out, inp, gnd, card.nfet_sized(1.0));
+    ckt.add_capacitor("cload", out, gnd, 10.0e-15);
+    let config = TranConfig {
+        t_stop: 40.0e-9,
+        dt: 0.2e-9,
+    };
+
+    let mut group = c.benchmark_group("charac");
+    group.sample_size(20);
+    group.bench_function("inverter_transient", |b| {
+        b.iter(|| ckt.transient(&config).expect("converges"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_lu, bench_charac_transient);
+criterion_main!(benches);

@@ -23,7 +23,7 @@ use std::collections::BTreeMap;
 
 use stco_compact::tech::TechnologyCard;
 use stco_numerics::nonlinear::bisect_threshold;
-use stco_spice::analysis::TranConfig;
+use stco_spice::analysis::{TranConfig, TranResult};
 use stco_spice::netlist::{Circuit, NodeId, Waveform};
 use stco_spice::wave::{crossing_time, supply_energy, transition_time, Edge};
 
@@ -212,11 +212,12 @@ pub fn characterize(
             // `enable_high` doubles as `negedge` in the FF arm purely for
             // binding convenience; the helpers re-read cell.seq.
             let _ = enable_high;
+            let mut memo = TranMemo::default();
             {
                 let _arcs = stco_obs::span!("cells.seq_arcs");
                 for &slew in &config.slews {
                     for &load in &config.loads {
-                        let m = measure_clock_to_q(&built, slew, load, config)?;
+                        let m = measure_clock_to_q(&built, slew, load, config, &mut memo)?;
                         delay.extend(m.delay);
                         output_slew.extend(m.output_slew);
                         flip_power.extend(m.flip_energy);
@@ -226,10 +227,12 @@ pub fn characterize(
             let _constraints = stco_obs::span!("cells.seq_constraints");
             let slew = config.slews[config.slews.len() / 2];
             let load = config.loads[config.loads.len() / 2];
-            min_pulse_width = Some(measure_min_pulse_width(&built, slew, load, config)?);
+            min_pulse_width = Some(measure_min_pulse_width(
+                &built, slew, load, config, &mut memo,
+            )?);
             if matches!(cell.seq, SeqBehavior::FlipFlop { .. }) {
-                min_setup = Some(measure_min_setup(&built, slew, load, config)?);
-                min_hold = Some(measure_min_hold(&built, slew, load, config)?);
+                min_setup = Some(measure_min_setup(&built, slew, load, config, &mut memo)?);
+                min_hold = Some(measure_min_hold(&built, slew, load, config, &mut memo)?);
             }
         }
     }
@@ -675,6 +678,108 @@ fn seq_stimuli(
     stimuli
 }
 
+/// A memoized sequential transient: the trace plus the bench handles
+/// needed to read it back.
+struct CachedTran {
+    tr: TranResult,
+    out_node: NodeId,
+    vdd_branch: usize,
+    vdd: f64,
+}
+
+/// Content-keyed transient memo for the sequential measurements.
+///
+/// Setup/hold/min-pulse bisections and the clock-to-Q grid re-run
+/// capture transients whose stimuli sometimes coincide exactly (e.g. the
+/// setup search's upper bracket replays a clock-to-Q stimulus). The memo
+/// keys on the *content* of the experiment — every waveform breakpoint
+/// bit pattern, the load, the window and the sample count — so a hit is
+/// bitwise-indistinguishable from re-simulating. Keys are structural
+/// (`Vec<u64>` in a `BTreeMap`), not hashes, so lookups are
+/// collision-free and deterministic. One memo lives for the duration of
+/// a single `characterize` call; distinct cells or corners change the
+/// built circuit and get fresh memos.
+#[derive(Default)]
+struct TranMemo {
+    map: BTreeMap<Vec<u64>, CachedTran>,
+}
+
+/// Appends a waveform's exact content (discriminant + bit patterns) to a
+/// structural memo key.
+fn push_waveform_key(key: &mut Vec<u64>, wave: &Waveform) {
+    match wave {
+        Waveform::Dc(v) => {
+            key.push(0);
+            key.push(v.to_bits());
+        }
+        Waveform::Pulse {
+            v0,
+            v1,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => {
+            key.push(1);
+            for v in [v0, v1, delay, rise, fall, width, period] {
+                key.push(v.to_bits());
+            }
+        }
+        Waveform::Pwl(points) => {
+            key.push(2);
+            key.push(points.len() as u64);
+            for (t, v) in points {
+                key.push(t.to_bits());
+                key.push(v.to_bits());
+            }
+        }
+    }
+}
+
+/// Runs (or replays) a sequential capture transient on output `Q`.
+fn run_seq_transient<'a>(
+    built: &BuiltCell,
+    stimuli: &BTreeMap<&'static str, Waveform>,
+    load: f64,
+    t_stop: f64,
+    samples: usize,
+    memo: &'a mut TranMemo,
+) -> Result<&'a CachedTran> {
+    let mut key = Vec::with_capacity(8 + 16 * stimuli.len());
+    key.push(load.to_bits());
+    key.push(t_stop.to_bits());
+    key.push(samples as u64);
+    for (pin, wave) in stimuli {
+        // Pin names are static identifiers; their bytes keep same-shaped
+        // waveforms on different pins from colliding.
+        key.push(pin.len() as u64);
+        key.extend(pin.bytes().map(u64::from));
+        push_waveform_key(&mut key, wave);
+    }
+    let metrics = stco_obs::Recorder::global().metrics();
+    match memo.map.entry(key) {
+        std::collections::btree_map::Entry::Occupied(e) => {
+            metrics.counter("cells.tran_memo_hits").inc();
+            Ok(e.into_mut())
+        }
+        std::collections::btree_map::Entry::Vacant(v) => {
+            metrics.counter("cells.tran_memo_misses").inc();
+            let bench = make_bench(built, &map_keys(stimuli), "Q", load)?;
+            let tr = bench.ckt.transient(&TranConfig {
+                t_stop,
+                dt: t_stop / samples as f64,
+            })?;
+            Ok(v.insert(CachedTran {
+                tr,
+                out_node: bench.out_node,
+                vdd_branch: bench.vdd_branch,
+                vdd: bench.vdd,
+            }))
+        }
+    }
+}
+
 /// Runs a sequential capture experiment; returns `(captured, trace)` where
 /// `captured` means Q ended above 50 % of V_DD.
 fn run_capture(
@@ -683,14 +788,11 @@ fn run_capture(
     load: f64,
     t_stop: f64,
     samples: usize,
+    memo: &mut TranMemo,
 ) -> Result<(bool, f64)> {
-    let bench = make_bench(built, &map_keys(stimuli), "Q", load)?;
-    let tr = bench.ckt.transient(&TranConfig {
-        t_stop,
-        dt: t_stop / samples as f64,
-    })?;
-    let q = tr.final_voltage(bench.out_node);
-    Ok((q > 0.5 * bench.vdd, q))
+    let cached = run_seq_transient(built, stimuli, load, t_stop, samples, memo)?;
+    let q = cached.tr.final_voltage(cached.out_node);
+    Ok((q > 0.5 * cached.vdd, q))
 }
 
 fn map_keys<'a>(m: &'a BTreeMap<&'static str, Waveform>) -> BTreeMap<&'a str, Waveform> {
@@ -703,6 +805,7 @@ fn measure_clock_to_q(
     slew: f64,
     load: f64,
     config: &CharConfig,
+    memo: &mut TranMemo,
 ) -> Result<ArcMeasurement> {
     let vdd = built.card.vdd;
     let tau = intrinsic_tau(built, load);
@@ -712,12 +815,9 @@ fn measure_clock_to_q(
     let capture = 3.0 * period;
     let t_stop = capture + 2.0 * period;
     let stimuli = seq_stimuli(built, slew, period, d_edge, capture, pulse);
-    let bench = make_bench(built, &map_keys(&stimuli), "Q", load)?;
-    let tr = bench.ckt.transient(&TranConfig {
-        t_stop,
-        dt: t_stop / config.samples as f64,
-    })?;
-    let q = tr.voltage_trace(bench.out_node);
+    let cached = run_seq_transient(built, &stimuli, load, t_stop, config.samples, memo)?;
+    let tr = &cached.tr;
+    let q = tr.voltage_trace(cached.out_node);
     let times = tr.times();
     let ck_cross = capture + 0.5 * slew;
     let q_cross = crossing_time(times, &q, 0.5 * vdd, Edge::Rising, capture).map_err(|_| {
@@ -743,7 +843,7 @@ fn measure_clock_to_q(
     }];
     let (e, leak) = windowed_energy(
         times,
-        &tr.branch_current_trace(bench.vdd_branch),
+        &tr.branch_current_trace(cached.vdd_branch),
         vdd,
         capture,
         (capture + period).min(t_stop),
@@ -764,7 +864,13 @@ fn measure_clock_to_q(
 
 /// Minimum setup: bisect the smallest D-before-capture-edge margin that
 /// still captures.
-fn measure_min_setup(built: &BuiltCell, slew: f64, load: f64, config: &CharConfig) -> Result<f64> {
+fn measure_min_setup(
+    built: &BuiltCell,
+    slew: f64,
+    load: f64,
+    config: &CharConfig,
+    memo: &mut TranMemo,
+) -> Result<f64> {
     let tau = intrinsic_tau(built, load);
     let period = (40.0 * tau).max(20.0 * slew);
     let pulse = 0.5 * period;
@@ -772,7 +878,7 @@ fn measure_min_setup(built: &BuiltCell, slew: f64, load: f64, config: &CharConfi
     let t_stop = capture + 2.0 * period;
     let probe = |setup: f64| -> bool {
         let stimuli = seq_stimuli(built, slew, period, capture - setup, capture, pulse);
-        run_capture(built, &stimuli, load, t_stop, config.samples)
+        run_capture(built, &stimuli, load, t_stop, config.samples, memo)
             .map(|(ok, _)| ok)
             .unwrap_or(false)
     };
@@ -784,7 +890,13 @@ fn measure_min_setup(built: &BuiltCell, slew: f64, load: f64, config: &CharConfi
 /// Minimum hold: D rises before the edge, then *falls* shortly after it;
 /// bisect the smallest stable-after-edge margin where the new value is
 /// still captured.
-fn measure_min_hold(built: &BuiltCell, slew: f64, load: f64, config: &CharConfig) -> Result<f64> {
+fn measure_min_hold(
+    built: &BuiltCell,
+    slew: f64,
+    load: f64,
+    config: &CharConfig,
+    memo: &mut TranMemo,
+) -> Result<f64> {
     let vdd = built.card.vdd;
     let tau = intrinsic_tau(built, load);
     let period = (40.0 * tau).max(20.0 * slew);
@@ -806,7 +918,7 @@ fn measure_min_hold(built: &BuiltCell, slew: f64, load: f64, config: &CharConfig
                 (drop_at + slew, 0.0),
             ]),
         );
-        run_capture(built, &stimuli, load, t_stop, config.samples)
+        run_capture(built, &stimuli, load, t_stop, config.samples, memo)
             .map(|(ok, _)| ok)
             .unwrap_or(false)
     };
@@ -821,6 +933,7 @@ fn measure_min_pulse_width(
     slew: f64,
     load: f64,
     config: &CharConfig,
+    memo: &mut TranMemo,
 ) -> Result<f64> {
     let tau = intrinsic_tau(built, load);
     let period = (40.0 * tau).max(20.0 * slew);
@@ -828,7 +941,7 @@ fn measure_min_pulse_width(
     let t_stop = capture + 2.0 * period;
     let probe = |width: f64| -> bool {
         let stimuli = seq_stimuli(built, slew, period, 2.0 * period, capture, width);
-        run_capture(built, &stimuli, load, t_stop, config.samples)
+        run_capture(built, &stimuli, load, t_stop, config.samples, memo)
             .map(|(ok, _)| ok)
             .unwrap_or(false)
     };
@@ -924,6 +1037,70 @@ mod tests {
         assert!(setup > 0.0 && setup.is_finite());
         assert!(hold >= 0.0 && hold.is_finite());
         assert!(pw > 0.0 && pw.is_finite());
+    }
+
+    #[test]
+    fn memo_replay_is_bitwise_identical_to_fresh_transient() -> Result<()> {
+        let built = CellType::by_kind(CellKind::Dff).build(&card(), 1.0);
+        let slew = 2.0e-9;
+        let load = 10.0e-15;
+        let tau = intrinsic_tau(&built, load);
+        let period = (40.0 * tau).max(20.0 * slew);
+        let capture = 3.0 * period;
+        let t_stop = capture + 2.0 * period;
+        let stimuli = seq_stimuli(&built, slew, period, 2.0 * period, capture, 0.5 * period);
+        let samples = 120;
+        let mut memo = TranMemo::default();
+        let (first_q, first_states) = {
+            let cached = run_seq_transient(&built, &stimuli, load, t_stop, samples, &mut memo)?;
+            (
+                cached.tr.final_voltage(cached.out_node),
+                cached.tr.voltage_trace(cached.out_node),
+            )
+        };
+        assert_eq!(memo.map.len(), 1);
+        // Second call with identical content must replay the same entry…
+        let replay_q = {
+            let cached = run_seq_transient(&built, &stimuli, load, t_stop, samples, &mut memo)?;
+            cached.tr.final_voltage(cached.out_node)
+        };
+        assert_eq!(memo.map.len(), 1, "identical content must hit the cache");
+        assert_eq!(first_q.to_bits(), replay_q.to_bits());
+        // …and that entry must be bitwise identical to an un-memoized run.
+        let bench = make_bench(&built, &map_keys(&stimuli), "Q", load)?;
+        let fresh = bench.ckt.transient(&TranConfig {
+            t_stop,
+            dt: t_stop / samples as f64,
+        })?;
+        let fresh_states = fresh.voltage_trace(bench.out_node);
+        assert_eq!(first_states.len(), fresh_states.len());
+        for (a, b) in first_states.iter().zip(&fresh_states) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A content change (different pulse width) must miss.
+        let other = seq_stimuli(&built, slew, period, 2.0 * period, capture, 0.4 * period);
+        run_seq_transient(&built, &other, load, t_stop, samples, &mut memo)?;
+        assert_eq!(memo.map.len(), 2);
+        Ok(())
+    }
+
+    #[test]
+    fn characterization_rows_identical_with_warm_and_cold_memo() -> Result<()> {
+        // The memo is scoped per `characterize` call, so two calls start
+        // cold and warm up internally; every row must still be bitwise
+        // reproducible.
+        let cfg = CharConfig::fast();
+        let cell = CellType::by_kind(CellKind::Dff);
+        let a = characterize(&cell, &card(), &cfg)?;
+        let b = characterize(&cell, &card(), &cfg)?;
+        let rows_a = a.flatten();
+        let rows_b = b.flatten();
+        assert_eq!(rows_a.len(), rows_b.len());
+        for ((na, va), (nb, vb)) in rows_a.iter().zip(&rows_b) {
+            assert_eq!(na, nb);
+            assert_eq!(va.to_bits(), vb.to_bits(), "metric {na} not reproducible");
+        }
+        Ok(())
     }
 
     #[test]

@@ -189,6 +189,57 @@ pub fn analyze_file(path: &str, source: &str, cfg: &LintConfig) -> FileAnalysis 
         }
     }
 
+    // L5 `no-alloc-in-hot-loop`: `// stco-hot` annotated functions must
+    // not allocate per call.
+    for c in &lexed.comments {
+        if c.text.trim() != "stco-hot" {
+            continue;
+        }
+        // The annotation sits directly above the (possibly qualified)
+        // `fn` it marks.
+        let Some(fn_idx) = toks.iter().position(|t| {
+            t.kind == TokenKind::Ident && t.text == "fn" && t.line > c.line && t.line <= c.line + 2
+        }) else {
+            continue;
+        };
+        let fn_name = toks
+            .get(fn_idx + 1)
+            .map_or("?", |t| t.text.as_str())
+            .to_string();
+        let Some((body_start, body_end)) = fn_body_range(toks, fn_idx + 2) else {
+            continue;
+        };
+        for j in body_start..body_end {
+            let t = &toks[j];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let opens_call = toks.get(j + 1).is_some_and(|n| n.is_punct('('));
+            let site = match t.text.as_str() {
+                "zeros"
+                    if opens_call
+                        && j >= 3
+                        && toks[j - 1].is_punct(':')
+                        && toks[j - 2].is_punct(':')
+                        && toks[j - 3].is_ident("Matrix") =>
+                {
+                    "Matrix::zeros(..)"
+                }
+                "to_vec" if opens_call && j >= 1 && toks[j - 1].is_punct('.') => ".to_vec()",
+                "clone" if opens_call && j >= 1 && toks[j - 1].is_punct('.') => ".clone()",
+                _ => continue,
+            };
+            raw.push(Finding {
+                lint: Lint::NoAllocInHotLoop,
+                file: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "{site} allocates inside `// stco-hot` fn {fn_name} — lease a workspace buffer instead"
+                ),
+            });
+        }
+    }
+
     // Split findings into waived and live.
     for f in raw {
         let waived = waivers
@@ -511,6 +562,69 @@ mod tests {
         let src = "// stco-check: allow(not-a-lint)\npub fn f() {}";
         let a = run("crates/tcad/src/x.rs", src);
         assert_eq!(a.bad_waivers.len(), 1);
+    }
+
+    #[test]
+    fn hot_annotated_fn_flags_allocations() {
+        let src = r#"
+            // stco-hot
+            pub fn kernel(a: &Matrix, out: &mut Matrix) {
+                let scratch = Matrix::zeros(2, 2);
+                let copy = a.as_slice().to_vec();
+                let dup = out.clone();
+            }
+        "#;
+        let a = run("crates/numerics/src/x.rs", src);
+        assert_eq!(
+            a.findings
+                .iter()
+                .filter(|f| f.lint == Lint::NoAllocInHotLoop)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn unannotated_fn_may_allocate() {
+        let src = r#"
+            pub fn cold(a: &Matrix) -> Matrix {
+                let out = Matrix::zeros(2, 2);
+                let _copy = a.as_slice().to_vec();
+                out.clone()
+            }
+        "#;
+        let a = run("crates/numerics/src/x.rs", src);
+        assert!(a.findings.iter().all(|f| f.lint != Lint::NoAllocInHotLoop));
+    }
+
+    #[test]
+    fn hot_annotated_allocation_free_fn_passes() {
+        let src = r#"
+            // stco-hot
+            pub fn kernel(a: &Matrix, out: &mut Matrix) {
+                out.reset_zeroed(a.rows(), a.cols());
+                out.as_mut_slice().copy_from_slice(a.as_slice());
+            }
+        "#;
+        let a = run("crates/numerics/src/x.rs", src);
+        assert!(a.findings.is_empty());
+    }
+
+    #[test]
+    fn hot_annotation_does_not_leak_past_its_fn() {
+        // The annotation marks only the fn directly below it; a later
+        // function in the same file may allocate freely.
+        let src = r#"
+            // stco-hot
+            pub fn kernel(out: &mut Matrix) {
+                out.reset_zeroed(2, 2);
+            }
+            pub fn cold() -> Matrix {
+                Matrix::zeros(2, 2)
+            }
+        "#;
+        let a = run("crates/numerics/src/x.rs", src);
+        assert!(a.findings.is_empty());
     }
 
     #[test]

@@ -24,14 +24,21 @@ pub enum Lint {
     /// **L4** `no-print`: no `println!` / `eprintln!` / `dbg!` in
     /// library code — route diagnostics through `stco-obs` sinks.
     NoPrint,
+    /// **L5** `no-alloc-in-hot-loop`: functions annotated with a
+    /// preceding `// stco-hot` comment must not allocate per call —
+    /// `Matrix::zeros(...)`, `.to_vec()` and `.clone()` are flagged;
+    /// lease buffers from a workspace or accept an `&mut` output
+    /// instead.
+    NoAllocInHotLoop,
 }
 
 /// Every lint, in report order.
-pub const ALL_LINTS: [Lint; 4] = [
+pub const ALL_LINTS: [Lint; 5] = [
     Lint::NoUnwrap,
     Lint::ObsSpan,
     Lint::NoLossyCast,
     Lint::NoPrint,
+    Lint::NoAllocInHotLoop,
 ];
 
 impl Lint {
@@ -42,6 +49,7 @@ impl Lint {
             Lint::ObsSpan => "obs-span",
             Lint::NoLossyCast => "no-lossy-cast",
             Lint::NoPrint => "no-print",
+            Lint::NoAllocInHotLoop => "no-alloc-in-hot-loop",
         }
     }
 
@@ -57,6 +65,7 @@ impl Lint {
             Lint::ObsSpan => "public entrypoint without an stco-obs span",
             Lint::NoLossyCast => "lossy numeric `as` cast in numeric crate",
             Lint::NoPrint => "println!/eprintln!/dbg! in library code",
+            Lint::NoAllocInHotLoop => "per-call allocation in a `// stco-hot` function",
         }
     }
 }

@@ -31,6 +31,20 @@ pub enum DeviceType {
     PType,
 }
 
+/// A drain-current operating point: the current and its partial
+/// derivatives with respect to the terminal voltages, as produced by
+/// [`CompactModel::linearize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Linearization {
+    /// Drain current, A (bitwise equal to `drain_current` at the same
+    /// bias).
+    pub id: f64,
+    /// Transconductance `∂I_D/∂V_GS`, S (analytic).
+    pub gm: f64,
+    /// Output conductance `∂I_D/∂V_DS`, S (analytic).
+    pub gds: f64,
+}
+
 /// The unified compact model parameters (one transistor instance).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompactModel {
@@ -227,6 +241,91 @@ impl CompactModel {
         (self.drain_current(vgs, vds + h) - self.drain_current(vgs, vds - h)) / (2.0 * h)
     }
 
+    /// Fused operating-point evaluation: drain current plus its analytic
+    /// partial derivatives in one pass.
+    ///
+    /// The SPICE Newton loop needs `(I_D, g_m, g_ds)` for every TFT on
+    /// every iteration. Evaluating them as `drain_current` + two
+    /// central-difference helpers costs five full model evaluations (and,
+    /// for P-type, five mirrored-model constructions); this method shares
+    /// the forward pass and differentiates the smoothing devices in closed
+    /// form, so one call replaces all five. The current is bitwise
+    /// identical to [`CompactModel::drain_current`]; the derivatives are
+    /// exact where `gm`/`gds` carry an `O(h²)` finite-difference error.
+    // stco-hot
+    pub fn linearize(&self, vgs: f64, vds: f64) -> Linearization {
+        match self.device_type {
+            DeviceType::NType => self.linearize_n(self.vth, vgs, vds),
+            // Mirror symmetry (see `drain_current`): I_P(Vgs, Vds) =
+            // −I_N'(−Vgs, −Vds), so both derivatives keep their sign:
+            // ∂I_P/∂Vgs = I_N'₁(−Vgs, −Vds) and likewise for ∂/∂Vds.
+            DeviceType::PType => {
+                let lin = self.linearize_n(-self.vth, -vgs, -vds);
+                Linearization {
+                    id: -lin.id,
+                    gm: lin.gm,
+                    gds: lin.gds,
+                }
+            }
+        }
+    }
+
+    /// N-type linearization with an explicit threshold (so the P-type
+    /// mirror never clones the model).
+    fn linearize_n(&self, vth: f64, vgs: f64, vds: f64) -> Linearization {
+        if vds < 0.0 {
+            // Source/drain exchange symmetry: I(Vgs, Vds) = −F(Vgs − Vds,
+            // −Vds), hence ∂I/∂Vgs = −F₁ and ∂I/∂Vds = F₁ + F₂.
+            let f = self.linearize_n_fwd(vth, vgs - vds, -vds);
+            return Linearization {
+                id: -f.id,
+                gm: -f.gm,
+                gds: f.gm + f.gds,
+            };
+        }
+        self.linearize_n_fwd(vth, vgs, vds)
+    }
+
+    /// First-quadrant model with forward value and analytic partials.
+    ///
+    /// The forward value replays `current_n_fwd` operation for operation
+    /// (so it stays bitwise identical); the derivative terms reuse its
+    /// intermediates. With `f(a, b) = a·(1 + (a/b)^m)^(−1/m)` the
+    /// smooth-min partials collapse to `∂f/∂a = w^(−(m+1)/m)` and
+    /// `∂f/∂b = (u^m/w)^((m+1)/m)` where `u = a/b`, `w = 1 + u^m`.
+    fn linearize_n_fwd(&self, vth: f64, vgs: f64, vds: f64) -> Linearization {
+        debug_assert!(vds >= 0.0);
+        let beta = self.gamma + 2.0;
+        let s = beta * self.ss_factor * THERMAL_VOLTAGE;
+        let x = (vgs - vth) / s;
+        // Softplus and its derivative share the single exp() evaluation;
+        // dV_ov/dV_GS = σ(x) because the `s` factors cancel.
+        let (sp, dvov) = softplus_with_derivative(x);
+        let vov = s * sp;
+        // Smooth saturation V_DSe = f(V_DS, V_ov) and its two partials.
+        let (vdse, df_dvds, df_dvov) = smooth_min_with_partials(vds, vov);
+        let k = self.mu0 * self.cox * self.width / self.length;
+        let vov_pow = vov.powf(beta);
+        let q = (vov - vdse).max(0.0);
+        let q_pow = q.powf(beta);
+        let drift = k * (vov_pow - q_pow) / beta;
+        let clm = 1.0 + self.lambda * vds;
+        let leak_g = self.leak_conductance * self.width / self.length;
+        let id = drift * clm + leak_g * vds;
+        // β·v^(β−1) = β·v^β / v; both bases are strictly positive except
+        // at exact zero, where the β > 2 power law has zero slope.
+        let vov_pm1 = if vov > 0.0 { vov_pow / vov } else { 0.0 };
+        let q_pm1 = if q > 0.0 { q_pow / q } else { 0.0 };
+        let dvdse_dvgs = df_dvov * dvov;
+        let ddrift_dvgs = k * (vov_pm1 * dvov - q_pm1 * (dvov - dvdse_dvgs));
+        let ddrift_dvds = k * q_pm1 * df_dvds;
+        Linearization {
+            id,
+            gm: ddrift_dvgs * clm,
+            gds: ddrift_dvds * clm + drift * self.lambda + leak_g,
+        }
+    }
+
     /// On-current at the given supply (|V_GS| = |V_DS| = V_DD with the
     /// polarity-correct signs).
     pub fn on_current(&self, vdd: f64) -> f64 {
@@ -256,6 +355,21 @@ fn softplus(x: f64) -> f64 {
     }
 }
 
+/// Softplus together with its derivative σ(x), sharing the single `exp`
+/// evaluation. The forward value is branch-for-branch identical to
+/// [`softplus`].
+fn softplus_with_derivative(x: f64) -> (f64, f64) {
+    if x > 30.0 {
+        (x, 1.0)
+    } else if x < -30.0 {
+        let e = x.exp();
+        (e, e)
+    } else {
+        let e = x.exp();
+        (e.ln_1p(), e / (1.0 + e))
+    }
+}
+
 /// Smooth minimum that approaches `min(a, b)` with C¹ continuity:
 /// `a·b / (a^m + b^m)^(1/m)`-style saturation with m = 4.
 fn smooth_min(a: f64, b: f64) -> f64 {
@@ -265,6 +379,28 @@ fn smooth_min(a: f64, b: f64) -> f64 {
     let m = 4.0;
     let u = a / b;
     a / (1.0 + u.powf(m)).powf(1.0 / m)
+}
+
+/// [`smooth_min`] together with both partials `(f, ∂f/∂a, ∂f/∂b)`.
+///
+/// With `u = a/b` and `w = 1 + u^m`, the quotient-rule expressions
+/// collapse (using `w − u^m = 1` and degree-1 homogeneity) to
+/// `∂f/∂a = w^(−(m+1)/m)` and `∂f/∂b = (u^m/w)^((m+1)/m)`. The forward
+/// value replays [`smooth_min`] exactly.
+fn smooth_min_with_partials(a: f64, b: f64) -> (f64, f64, f64) {
+    if b <= 0.0 {
+        return (0.0, 0.0, 0.0);
+    }
+    let m = 4.0;
+    let u = a / b;
+    let um = u.powf(m);
+    let value = a / (1.0 + um).powf(1.0 / m);
+    if !um.is_finite() {
+        // a ≫ b: f saturates at b, so ∂f/∂a → 0 and ∂f/∂b → 1.
+        return (value, 0.0, 1.0);
+    }
+    let w = 1.0 + um;
+    (value, w.powf(-(m + 1.0) / m), (um / w).powf((m + 1.0) / m))
 }
 
 #[cfg(test)]
@@ -421,6 +557,76 @@ mod tests {
         assert!((m.gm(1.5, 1.0) - gm_ref).abs() / gm_ref.abs() < 1e-3);
         let gds_ref = (m.drain_current(1.5, 1.0 + h) - m.drain_current(1.5, 1.0 - h)) / (2.0 * h);
         assert!((m.gds(1.5, 1.0) - gds_ref).abs() / gds_ref.abs().max(1e-12) < 1e-2);
+    }
+
+    #[test]
+    fn linearize_current_is_bitwise_drain_current() {
+        for m in [
+            CompactModel::ntype_reference(),
+            CompactModel::ptype_reference(),
+        ] {
+            for k in 0..400 {
+                // Sweep all four quadrants, through threshold and V_DS = 0.
+                let vgs = -2.0 + 0.23 * (k % 20) as f64;
+                let vds = -2.0 + 0.21 * (k / 20) as f64;
+                let lin = m.linearize(vgs, vds);
+                let id = m.drain_current(vgs, vds);
+                assert_eq!(
+                    lin.id.to_bits(),
+                    id.to_bits(),
+                    "{:?} at ({vgs}, {vds}): {} vs {id}",
+                    m.device_type(),
+                    lin.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linearize_derivatives_match_finite_differences() {
+        let h = 1e-5;
+        for m in [
+            CompactModel::ntype_reference(),
+            CompactModel::ptype_reference(),
+        ] {
+            for k in 0..100 {
+                let vgs = -1.8 + 0.4 * (k % 10) as f64;
+                let vds = -1.9 + 0.42 * (k / 10) as f64;
+                let lin = m.linearize(vgs, vds);
+                let gm_ref =
+                    (m.drain_current(vgs + h, vds) - m.drain_current(vgs - h, vds)) / (2.0 * h);
+                let gds_ref =
+                    (m.drain_current(vgs, vds + h) - m.drain_current(vgs, vds - h)) / (2.0 * h);
+                let scale = gm_ref.abs().max(gds_ref.abs()).max(1e-9);
+                assert!(
+                    (lin.gm - gm_ref).abs() <= 1e-4 * scale,
+                    "{:?} gm at ({vgs}, {vds}): {} vs {gm_ref}",
+                    m.device_type(),
+                    lin.gm
+                );
+                assert!(
+                    (lin.gds - gds_ref).abs() <= 1e-4 * scale,
+                    "{:?} gds at ({vgs}, {vds}): {} vs {gds_ref}",
+                    m.device_type(),
+                    lin.gds
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linearize_is_finite_at_extreme_bias() {
+        let m = CompactModel::ntype_reference();
+        // Deep subthreshold, huge drive, and a V_DS ≫ V_ov ratio that
+        // overflows u^m inside the smooth-min partials.
+        for (vgs, vds) in [(-40.0, 50.0), (40.0, 50.0), (-300.0, 200.0), (0.599, 1e6)] {
+            let lin = m.linearize(vgs, vds);
+            assert!(
+                lin.id.is_finite() && lin.gm.is_finite() && lin.gds.is_finite(),
+                "non-finite linearization at ({vgs}, {vds}): {lin:?}"
+            );
+            assert!(lin.gm >= 0.0, "gm must be non-negative, got {}", lin.gm);
+        }
     }
 
     #[test]

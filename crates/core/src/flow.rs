@@ -457,8 +457,11 @@ pub fn predicted_library(
         for &s in &slews {
             for &l in &loads {
                 let graph = encode_cell(&built, &context(s, l));
-                delay_values.push(model.predict(&graph, m_delay));
-                slew_values.push(model.predict(&graph, m_slew));
+                // One trunk evaluation for both timing metrics
+                // (bitwise-identical to per-metric predicts).
+                let both = model.predict_many(&graph, &[m_delay, m_slew]);
+                delay_values.push(both[0]);
+                slew_values.push(both[1]);
             }
         }
         let delay =
@@ -469,20 +472,29 @@ pub fn predicted_library(
             &built,
             &context(slews[slews.len() / 2], loads[loads.len() / 2]),
         );
-        let predict =
-            |name: &str| -> f64 { model.predict(&nominal, metric_index(name).expect("known")) };
         let seq = !matches!(cell.seq, SeqBehavior::Combinational);
+        let mut names = vec!["capacitance", "leakage_power", "flip_power"];
+        if seq {
+            names.extend(["min_setup", "min_hold", "min_pulse_width"]);
+        }
+        let metrics: Vec<usize> = names
+            .iter()
+            .map(|n| metric_index(n).expect("known"))
+            .collect();
+        // All scalar metrics share one trunk evaluation on the nominal
+        // graph (bitwise-identical to per-metric predicts).
+        let nominal_values = model.predict_many(&nominal, &metrics);
         out.push(LibCell {
             kind: cell.kind,
             name: cell.name.to_string(),
             area: built.area(),
-            input_capacitance: predict("capacitance"),
-            leakage_power: predict("leakage_power"),
-            switch_energy: predict("flip_power"),
+            input_capacitance: nominal_values[0],
+            leakage_power: nominal_values[1],
+            switch_energy: nominal_values[2],
             timing: TimingTable::from_tables(delay, out_slew),
-            min_setup: seq.then(|| predict("min_setup")),
-            min_hold: seq.then(|| predict("min_hold")),
-            min_pulse_width: seq.then(|| predict("min_pulse_width")),
+            min_setup: seq.then(|| nominal_values[3]),
+            min_hold: seq.then(|| nominal_values[4]),
+            min_pulse_width: seq.then(|| nominal_values[5]),
         });
     }
     Library {

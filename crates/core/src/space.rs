@@ -155,7 +155,15 @@ impl Action {
 
     /// Q-table index of the action.
     pub fn index(self) -> usize {
-        Action::ALL.iter().position(|a| *a == self).expect("listed")
+        match self {
+            Action::VddUp => 0,
+            Action::VddDown => 1,
+            Action::VthUp => 2,
+            Action::VthDown => 3,
+            Action::CoxUp => 4,
+            Action::CoxDown => 5,
+            Action::Stay => 6,
+        }
     }
 }
 

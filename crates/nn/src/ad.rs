@@ -13,6 +13,7 @@
 //! [`Graph::spmm`] for GCN-style normalized-adjacency aggregation. Every
 //! adjoint is verified against central finite differences in the tests.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use stco_numerics::{CsrMatrix, Matrix};
@@ -123,26 +124,115 @@ struct Node {
     op: Op,
 }
 
+/// Shape-keyed free list of recycled matrix buffers.
+///
+/// Forward values and backward gradient buffers are leased from here and
+/// returned once they are no longer reachable, so a tape that is
+/// [`Graph::reset`] between iterations reaches a steady state with zero
+/// heap allocation per forward/backward pass. The free list is a
+/// `BTreeMap` and leases pop in LIFO order, so buffer reuse is fully
+/// deterministic — recycling never changes any computed bit.
+#[derive(Default)]
+struct BufferPool {
+    free: std::collections::BTreeMap<(usize, usize), Vec<Matrix>>,
+}
+
+impl BufferPool {
+    /// Leases a zeroed `rows × cols` buffer, reusing a recycled matrix of
+    /// the same shape when one is available.
+    fn lease_zeroed(&mut self, rows: usize, cols: usize) -> Matrix {
+        match self.free.get_mut(&(rows, cols)).and_then(Vec::pop) {
+            Some(mut m) => {
+                m.reset_zeroed(rows, cols);
+                m
+            }
+            None => Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// Leases a buffer holding a copy of `src`.
+    fn lease_copy(&mut self, src: &Matrix) -> Matrix {
+        let mut m = self.lease_zeroed(src.rows(), src.cols());
+        m.as_mut_slice().copy_from_slice(src.as_slice());
+        m
+    }
+
+    /// Parks a buffer on the shape-keyed free list.
+    fn recycle(&mut self, m: Matrix) {
+        self.free.entry((m.rows(), m.cols())).or_default().push(m);
+    }
+
+    fn len(&self) -> usize {
+        self.free.values().map(Vec::len).sum()
+    }
+}
+
 /// A define-by-run autodiff tape.
 ///
 /// See the crate-level example for end-to-end training usage.
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    pool: BufferPool,
 }
 
 impl std::fmt::Debug for Graph {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Graph")
             .field("nodes", &self.nodes.len())
+            .field("free_buffers", &self.pool.len())
             .finish()
     }
+}
+
+thread_local! {
+    /// Per-thread recycled tape backing [`Graph::with_scratch`].
+    static SCRATCH_TAPE: RefCell<Graph> = RefCell::new(Graph::new());
 }
 
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Graph { nodes: Vec::new() }
+        Graph::default()
+    }
+
+    /// Clears the tape for the next forward pass, recycling every node
+    /// value into the internal buffer pool. Reusing one `Graph` across
+    /// iterations (instead of constructing a fresh one) lets forward and
+    /// backward run allocation-free once the pool has warmed up.
+    pub fn reset(&mut self) {
+        while let Some(node) = self.nodes.pop() {
+            self.pool.recycle(node.value);
+        }
+    }
+
+    /// Number of recycled buffers currently parked in the tape's free
+    /// list (diagnostic; see [`Graph::reset`]).
+    pub fn free_buffers(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Runs `f` on a thread-local recycled tape.
+    ///
+    /// This is the inference entrypoint: one-shot forward passes
+    /// (`predict`-style calls that would otherwise construct and drop a
+    /// fresh `Graph` each time) lease their value buffers from a
+    /// per-thread pool that persists across calls. The tape is
+    /// [`Graph::reset`] before `f` runs, so node indices start from zero
+    /// while warmed buffers are reused; results are bitwise-identical to
+    /// a fresh graph (leases are zeroed, and the free list is an
+    /// order-deterministic `BTreeMap` keyed by shape). Thread-locality
+    /// keeps the stco-par determinism contract intact: each worker warms
+    /// its own pool and no state crosses threads. Falls back to a fresh
+    /// tape under re-entrancy rather than panicking.
+    pub fn with_scratch<R>(f: impl FnOnce(&mut Graph) -> R) -> R {
+        SCRATCH_TAPE.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut g) => {
+                g.reset();
+                f(&mut g)
+            }
+            Err(_) => f(&mut Graph::new()),
+        })
     }
 
     /// Number of nodes recorded so far.
@@ -173,7 +263,8 @@ impl Graph {
     /// Records a trainable parameter by copying its current value onto the
     /// tape; gradients flow back into [`Params`] on [`Graph::backward`].
     pub fn param(&mut self, params: &Params, id: ParamId) -> NodeId {
-        self.push(params.value(id).clone(), Op::Param(id))
+        let v = self.pool.lease_copy(params.value(id));
+        self.push(v, Op::Param(id))
     }
 
     /// Dense matrix product.
@@ -182,8 +273,12 @@ impl Graph {
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(v, Op::MatMul(a, b))
+        let (rows, cols) = (self.nodes[a.0].value.rows(), self.nodes[b.0].value.cols());
+        let mut out = self.pool.lease_zeroed(rows, cols);
+        self.nodes[a.0]
+            .value
+            .gemm_into(&self.nodes[b.0].value, &mut out);
+        self.push(out, Op::MatMul(a, b))
     }
 
     /// Elementwise sum.
@@ -192,7 +287,7 @@ impl Graph {
     ///
     /// Panics on shape mismatch.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).add(self.value(b));
+        let v = self.map_binary(a, b, |x, y| x + y);
         self.push(v, Op::Add(a, b))
     }
 
@@ -202,10 +297,10 @@ impl Graph {
     ///
     /// Panics if `b` is not `1×d` with matching `d`.
     pub fn add_row_broadcast(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let (av, bv) = (self.value(a), self.value(b));
+        let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(bv.rows(), 1, "broadcast operand must be a row vector");
         assert_eq!(av.cols(), bv.cols(), "broadcast width mismatch");
-        let mut out = av.clone();
+        let mut out = self.pool.lease_copy(av);
         for i in 0..out.rows() {
             for (o, b) in out.row_mut(i).iter_mut().zip(bv.row(0)) {
                 *o += b;
@@ -220,15 +315,7 @@ impl Graph {
     ///
     /// Panics on shape mismatch.
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let (av, bv) = (self.value(a), self.value(b));
-        assert_eq!((av.rows(), av.cols()), (bv.rows(), bv.cols()));
-        let data = av
-            .as_slice()
-            .iter()
-            .zip(bv.as_slice())
-            .map(|(x, y)| x - y)
-            .collect();
-        let v = Matrix::from_vec(av.rows(), av.cols(), data);
+        let v = self.map_binary(a, b, |x, y| x - y);
         self.push(v, Op::Sub(a, b))
     }
 
@@ -238,15 +325,7 @@ impl Graph {
     ///
     /// Panics on shape mismatch.
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let (av, bv) = (self.value(a), self.value(b));
-        assert_eq!((av.rows(), av.cols()), (bv.rows(), bv.cols()));
-        let data = av
-            .as_slice()
-            .iter()
-            .zip(bv.as_slice())
-            .map(|(x, y)| x * y)
-            .collect();
-        let v = Matrix::from_vec(av.rows(), av.cols(), data);
+        let v = self.map_binary(a, b, |x, y| x * y);
         self.push(v, Op::Mul(a, b))
     }
 
@@ -256,10 +335,10 @@ impl Graph {
     ///
     /// Panics if `b` is not `n×1`.
     pub fn mul_col_broadcast(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let (av, bv) = (self.value(a), self.value(b));
+        let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(bv.cols(), 1, "column-broadcast operand must be n×1");
         assert_eq!(av.rows(), bv.rows(), "column-broadcast height mismatch");
-        let mut out = av.clone();
+        let mut out = self.pool.lease_copy(av);
         for i in 0..out.rows() {
             let s = bv.get(i, 0);
             for v in out.row_mut(i) {
@@ -271,7 +350,7 @@ impl Graph {
 
     /// Scalar multiplication.
     pub fn scale(&mut self, a: NodeId, s: f64) -> NodeId {
-        let mut v = self.value(a).clone();
+        let mut v = self.pool.lease_copy(&self.nodes[a.0].value);
         v.scale(s);
         self.push(v, Op::Scale(a, s))
     }
@@ -306,10 +385,28 @@ impl Graph {
         self.push(v, Op::Sigmoid(a))
     }
 
-    fn map_unary(&self, a: NodeId, f: impl Fn(f64) -> f64) -> Matrix {
-        let av = self.value(a);
-        let data = av.as_slice().iter().map(|&x| f(x)).collect();
-        Matrix::from_vec(av.rows(), av.cols(), data)
+    fn map_unary(&mut self, a: NodeId, f: impl Fn(f64) -> f64) -> Matrix {
+        let av = &self.nodes[a.0].value;
+        let mut out = self.pool.lease_zeroed(av.rows(), av.cols());
+        for (o, &x) in out.as_mut_slice().iter_mut().zip(av.as_slice()) {
+            *o = f(x);
+        }
+        out
+    }
+
+    fn map_binary(&mut self, a: NodeId, b: NodeId, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!((av.rows(), av.cols()), (bv.rows(), bv.cols()));
+        let mut out = self.pool.lease_zeroed(av.rows(), av.cols());
+        for ((o, &x), &y) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(av.as_slice())
+            .zip(bv.as_slice())
+        {
+            *o = f(x, y);
+        }
+        out
     }
 
     /// Per-row layer normalization with learnable `gamma`/`beta` (`[1×d]`).
@@ -319,13 +416,13 @@ impl Graph {
     /// Panics if gamma/beta are not `1×d` row vectors matching `x`.
     pub fn layer_norm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId) -> NodeId {
         let eps = 1e-5;
-        let xv = self.value(x);
-        let gv = self.value(gamma);
-        let bv = self.value(beta);
+        let xv = &self.nodes[x.0].value;
+        let gv = &self.nodes[gamma.0].value;
+        let bv = &self.nodes[beta.0].value;
         let d = xv.cols();
         assert_eq!((gv.rows(), gv.cols()), (1, d), "gamma must be 1×d");
         assert_eq!((bv.rows(), bv.cols()), (1, d), "beta must be 1×d");
-        let mut out = Matrix::zeros(xv.rows(), d);
+        let mut out = self.pool.lease_zeroed(xv.rows(), d);
         for i in 0..xv.rows() {
             let row = xv.row(i);
             let mean = row.iter().sum::<f64>() / d as f64;
@@ -354,19 +451,18 @@ impl Graph {
     /// Panics if row counts differ or `parts` is empty.
     pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
         assert!(!parts.is_empty(), "concat of zero parts");
-        let rows = self.value(parts[0]).rows();
-        let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
-        let mut out = Matrix::zeros(rows, total);
+        let rows = self.nodes[parts[0].0].value.rows();
+        let total: usize = parts.iter().map(|&p| self.nodes[p.0].value.cols()).sum();
+        let mut out = self.pool.lease_zeroed(rows, total);
         let mut col0 = 0;
         for &p in parts {
-            let pv = self.value(p);
+            let pv = &self.nodes[p.0].value;
             assert_eq!(pv.rows(), rows, "concat row mismatch");
+            let w = pv.cols();
             for i in 0..rows {
-                for j in 0..pv.cols() {
-                    out.set(i, col0 + j, pv.get(i, j));
-                }
+                out.row_mut(i)[col0..col0 + w].copy_from_slice(pv.row(i));
             }
-            col0 += pv.cols();
+            col0 += w;
         }
         self.push(out, Op::ConcatCols(parts.to_vec()))
     }
@@ -377,8 +473,8 @@ impl Graph {
     ///
     /// Panics if any index is out of range.
     pub fn gather_rows(&mut self, x: NodeId, idx: Arc<Vec<usize>>) -> NodeId {
-        let xv = self.value(x);
-        let mut out = Matrix::zeros(idx.len(), xv.cols());
+        let xv = &self.nodes[x.0].value;
+        let mut out = self.pool.lease_zeroed(idx.len(), xv.cols());
         for (i, &r) in idx.iter().enumerate() {
             assert!(r < xv.rows(), "gather index {r} out of {}", xv.rows());
             out.row_mut(i).copy_from_slice(xv.row(r));
@@ -392,9 +488,9 @@ impl Graph {
     ///
     /// Panics if `idx.len() != x.rows()` or an index is out of range.
     pub fn scatter_add_rows(&mut self, x: NodeId, idx: Arc<Vec<usize>>, out_rows: usize) -> NodeId {
-        let xv = self.value(x);
+        let xv = &self.nodes[x.0].value;
         assert_eq!(idx.len(), xv.rows(), "one destination per source row");
-        let mut out = Matrix::zeros(out_rows, xv.cols());
+        let mut out = self.pool.lease_zeroed(out_rows, xv.cols());
         for (i, &r) in idx.iter().enumerate() {
             assert!(r < out_rows, "scatter index {r} out of {out_rows}");
             for (o, s) in out.row_mut(r).iter_mut().zip(xv.row(i)) {
@@ -413,10 +509,11 @@ impl Graph {
     ///
     /// Panics if `x` is not a column vector or a segment id is out of range.
     pub fn segment_softmax(&mut self, x: NodeId, seg: Arc<Vec<usize>>, n_seg: usize) -> NodeId {
-        let xv = self.value(x);
+        let xv = &self.nodes[x.0].value;
         assert_eq!(xv.cols(), 1, "segment softmax expects a column vector");
         assert_eq!(seg.len(), xv.rows(), "one segment id per row");
-        let out = segment_softmax_forward(xv, &seg, n_seg);
+        let mut out = self.pool.lease_zeroed(seg.len(), 1);
+        segment_softmax_forward(xv, &seg, n_seg, &mut out);
         self.push(out, Op::SegmentSoftmax { x, seg, n_seg })
     }
 
@@ -427,9 +524,9 @@ impl Graph {
     ///
     /// Panics if `seg.len() != x.rows()` or an id is out of range.
     pub fn segment_mean(&mut self, x: NodeId, seg: Arc<Vec<usize>>, n_seg: usize) -> NodeId {
-        let xv = self.value(x);
+        let xv = &self.nodes[x.0].value;
         assert_eq!(seg.len(), xv.rows(), "one segment id per row");
-        let mut out = Matrix::zeros(n_seg, xv.cols());
+        let mut out = self.pool.lease_zeroed(n_seg, xv.cols());
         let mut counts = vec![0usize; n_seg];
         for (i, &s) in seg.iter().enumerate() {
             assert!(s < n_seg, "segment id {s} out of {n_seg}");
@@ -455,9 +552,9 @@ impl Graph {
     ///
     /// Panics if `a.cols() != x.rows()`.
     pub fn spmm(&mut self, a: Arc<CsrMatrix>, x: NodeId) -> NodeId {
-        let xv = self.value(x);
+        let xv = &self.nodes[x.0].value;
         assert_eq!(a.cols(), xv.rows(), "spmm shape mismatch");
-        let mut out = Matrix::zeros(a.rows(), xv.cols());
+        let mut out = self.pool.lease_zeroed(a.rows(), xv.cols());
         for i in 0..a.rows() {
             for (j, w) in a.row_entries(i) {
                 for (o, v) in out.row_mut(i).iter_mut().zip(xv.row(j)) {
@@ -483,9 +580,9 @@ impl Graph {
 
     /// Mean over all rows: `[n×d] → [1×d]`.
     pub fn mean_rows(&mut self, x: NodeId) -> NodeId {
-        let xv = self.value(x);
+        let xv = &self.nodes[x.0].value;
         let n = xv.rows().max(1);
-        let mut out = Matrix::zeros(1, xv.cols());
+        let mut out = self.pool.lease_zeroed(1, xv.cols());
         for i in 0..xv.rows() {
             for (o, v) in out.row_mut(0).iter_mut().zip(xv.row(i)) {
                 *o += v / n as f64;
@@ -510,10 +607,9 @@ impl Graph {
             .map(|(p, t)| (p - t) * (p - t))
             .sum::<f64>()
             / n;
-        self.push(
-            Matrix::from_vec(1, 1, vec![loss]),
-            Op::MseLoss(pred, target),
-        )
+        let mut out = self.pool.lease_zeroed(1, 1);
+        out.set(0, 0, loss);
+        self.push(out, Op::MseLoss(pred, target))
     }
 
     /// Huber (smooth-L1) loss with threshold `delta` → scalar node.
@@ -539,77 +635,95 @@ impl Graph {
             })
             .sum::<f64>()
             / n;
-        self.push(
-            Matrix::from_vec(1, 1, vec![loss]),
-            Op::HuberLoss(pred, target, delta),
-        )
+        let mut out = self.pool.lease_zeroed(1, 1);
+        out.set(0, 0, loss);
+        self.push(out, Op::HuberLoss(pred, target, delta))
     }
 
     /// Reverse pass from `loss` (which must be `1×1`), accumulating
     /// parameter gradients into `params`. The tape itself is left intact so
     /// node values can still be read afterwards.
     ///
+    /// Gradient buffers are leased from the tape's buffer pool and
+    /// recycled as soon as they are consumed, so repeated passes over a
+    /// [`Graph::reset`] tape are allocation-free in steady state.
+    ///
     /// # Panics
     ///
     /// Panics if `loss` is not a scalar node.
-    pub fn backward(&self, loss: NodeId, params: &mut Params) {
-        let lv = self.value(loss);
+    // stco-hot
+    pub fn backward(&mut self, loss: NodeId, params: &mut Params) {
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let lv = &nodes[loss.0].value;
         assert_eq!((lv.rows(), lv.cols()), (1, 1), "loss must be scalar");
-        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
-        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        let mut grads: Vec<Option<Matrix>> = Vec::new();
+        grads.resize_with(nodes.len(), || None);
+        let mut seed = pool.lease_zeroed(1, 1);
+        seed.set(0, 0, 1.0);
+        grads[loss.0] = Some(seed);
 
-        for i in (0..self.nodes.len()).rev() {
+        for i in (0..nodes.len()).rev() {
             let Some(g) = grads[i].take() else { continue };
             // Borrow the op off the tape — cloning it per node would copy
             // every `ConcatCols` index vector and bump every `Arc` on the
             // backward hot path.
-            match &self.nodes[i].op {
-                Op::Input => {}
-                Op::Param(pid) => params_accumulate(params, *pid, &g),
+            match &nodes[i].op {
+                Op::Input => pool.recycle(g),
+                Op::Param(pid) => {
+                    params_accumulate(params, *pid, &g);
+                    pool.recycle(g);
+                }
                 Op::MatMul(a, b) => {
-                    let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-                    let da = g.matmul(&bv.transpose());
-                    let db = av.transpose().matmul(&g);
-                    accumulate(&mut grads, a.0, da);
-                    accumulate(&mut grads, b.0, db);
+                    let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+                    // da = g · bᵀ and db = aᵀ · g, without materializing
+                    // either transpose.
+                    let mut da = pool.lease_zeroed(g.rows(), bv.rows());
+                    g.gemm_nt_into(bv, &mut da);
+                    let mut db = pool.lease_zeroed(av.cols(), g.cols());
+                    av.gemm_tn_into(&g, &mut db);
+                    accumulate(pool, &mut grads, a.0, da);
+                    accumulate(pool, &mut grads, b.0, db);
+                    pool.recycle(g);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, a.0, g.clone());
-                    accumulate(&mut grads, b.0, g);
+                    let ga = pool.lease_copy(&g);
+                    accumulate(pool, &mut grads, a.0, ga);
+                    accumulate(pool, &mut grads, b.0, g);
                 }
                 Op::AddRowBroadcast(a, b) => {
-                    let mut db = Matrix::zeros(1, g.cols());
+                    let mut db = pool.lease_zeroed(1, g.cols());
                     for r in 0..g.rows() {
                         for c in 0..g.cols() {
                             db.add_at(0, c, g.get(r, c));
                         }
                     }
-                    accumulate(&mut grads, a.0, g);
-                    accumulate(&mut grads, b.0, db);
+                    accumulate(pool, &mut grads, a.0, g);
+                    accumulate(pool, &mut grads, b.0, db);
                 }
                 Op::Sub(a, b) => {
-                    let mut neg = g.clone();
+                    let mut neg = pool.lease_copy(&g);
                     neg.scale(-1.0);
-                    accumulate(&mut grads, a.0, g);
-                    accumulate(&mut grads, b.0, neg);
+                    accumulate(pool, &mut grads, a.0, g);
+                    accumulate(pool, &mut grads, b.0, neg);
                 }
                 Op::Mul(a, b) => {
-                    let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-                    let da = hadamard(&g, bv);
-                    let db = hadamard(&g, av);
-                    accumulate(&mut grads, a.0, da);
-                    accumulate(&mut grads, b.0, db);
+                    let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+                    let da = hadamard(pool, &g, bv);
+                    let db = hadamard(pool, &g, av);
+                    accumulate(pool, &mut grads, a.0, da);
+                    accumulate(pool, &mut grads, b.0, db);
+                    pool.recycle(g);
                 }
                 Op::MulColBroadcast(a, b) => {
-                    let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-                    let mut da = g.clone();
+                    let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+                    let mut da = pool.lease_copy(&g);
                     for r in 0..da.rows() {
                         let s = bv.get(r, 0);
                         for v in da.row_mut(r) {
                             *v *= s;
                         }
                     }
-                    let mut db = Matrix::zeros(bv.rows(), 1);
+                    let mut db = pool.lease_zeroed(bv.rows(), 1);
                     for r in 0..g.rows() {
                         let mut s = 0.0;
                         for c in 0..g.cols() {
@@ -617,38 +731,49 @@ impl Graph {
                         }
                         db.set(r, 0, s);
                     }
-                    accumulate(&mut grads, a.0, da);
-                    accumulate(&mut grads, b.0, db);
+                    accumulate(pool, &mut grads, a.0, da);
+                    accumulate(pool, &mut grads, b.0, db);
+                    pool.recycle(g);
                 }
                 Op::Scale(a, s) => {
                     let mut da = g;
                     da.scale(*s);
-                    accumulate(&mut grads, a.0, da);
+                    accumulate(pool, &mut grads, a.0, da);
                 }
                 Op::Relu(a) => {
-                    let av = &self.nodes[a.0].value;
-                    let da = map_grad(&g, av, |x| if x > 0.0 { 1.0 } else { 0.0 });
-                    accumulate(&mut grads, a.0, da);
+                    let av = &nodes[a.0].value;
+                    let da = map_grad(pool, &g, av, |x| if x > 0.0 { 1.0 } else { 0.0 });
+                    accumulate(pool, &mut grads, a.0, da);
+                    pool.recycle(g);
                 }
                 Op::LeakyRelu(a, slope) => {
-                    let av = &self.nodes[a.0].value;
-                    let da = map_grad(&g, av, |x| if x > 0.0 { 1.0 } else { *slope });
-                    accumulate(&mut grads, a.0, da);
+                    let av = &nodes[a.0].value;
+                    let da = map_grad(pool, &g, av, |x| if x > 0.0 { 1.0 } else { *slope });
+                    accumulate(pool, &mut grads, a.0, da);
+                    pool.recycle(g);
                 }
                 Op::Elu(a, alpha) => {
-                    let av = &self.nodes[a.0].value;
-                    let da = map_grad(&g, av, |x| if x > 0.0 { 1.0 } else { alpha * x.exp() });
-                    accumulate(&mut grads, a.0, da);
+                    let av = &nodes[a.0].value;
+                    let da = map_grad(
+                        pool,
+                        &g,
+                        av,
+                        |x| if x > 0.0 { 1.0 } else { alpha * x.exp() },
+                    );
+                    accumulate(pool, &mut grads, a.0, da);
+                    pool.recycle(g);
                 }
                 Op::Tanh(a) => {
-                    let yv = &self.nodes[i].value;
-                    let da = map_grad(&g, yv, |y| 1.0 - y * y);
-                    accumulate(&mut grads, a.0, da);
+                    let yv = &nodes[i].value;
+                    let da = map_grad(pool, &g, yv, |y| 1.0 - y * y);
+                    accumulate(pool, &mut grads, a.0, da);
+                    pool.recycle(g);
                 }
                 Op::Sigmoid(a) => {
-                    let yv = &self.nodes[i].value;
-                    let da = map_grad(&g, yv, |y| y * (1.0 - y));
-                    accumulate(&mut grads, a.0, da);
+                    let yv = &nodes[i].value;
+                    let da = map_grad(pool, &g, yv, |y| y * (1.0 - y));
+                    accumulate(pool, &mut grads, a.0, da);
+                    pool.recycle(g);
                 }
                 Op::LayerNorm {
                     x,
@@ -656,23 +781,26 @@ impl Graph {
                     beta,
                     eps,
                 } => {
-                    let xv = &self.nodes[x.0].value;
-                    let gv = &self.nodes[gamma.0].value;
+                    let xv = &nodes[x.0].value;
+                    let gv = &nodes[gamma.0].value;
                     let d = xv.cols();
-                    let mut dx = Matrix::zeros(xv.rows(), d);
-                    let mut dgamma = Matrix::zeros(1, d);
-                    let mut dbeta = Matrix::zeros(1, d);
+                    let mut dx = pool.lease_zeroed(xv.rows(), d);
+                    let mut dgamma = pool.lease_zeroed(1, d);
+                    let mut dbeta = pool.lease_zeroed(1, d);
+                    let mut xhat = vec![0.0; d];
+                    let mut dxhat = vec![0.0; d];
                     for r in 0..xv.rows() {
                         let row = xv.row(r);
                         let mean = row.iter().sum::<f64>() / d as f64;
                         let var =
                             row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / d as f64;
                         let inv = 1.0 / (var + eps).sqrt();
-                        let xhat: Vec<f64> = row.iter().map(|v| (v - mean) * inv).collect();
+                        for (h, v) in xhat.iter_mut().zip(row) {
+                            *h = (v - mean) * inv;
+                        }
                         let grow = g.row(r);
                         let mut sum_dxhat = 0.0;
                         let mut sum_dxhat_xhat = 0.0;
-                        let mut dxhat = vec![0.0; d];
                         for j in 0..d {
                             dgamma.add_at(0, j, grow[j] * xhat[j]);
                             dbeta.add_at(0, j, grow[j]);
@@ -688,73 +816,78 @@ impl Graph {
                             dx.set(r, j, v);
                         }
                     }
-                    accumulate(&mut grads, x.0, dx);
-                    accumulate(&mut grads, gamma.0, dgamma);
-                    accumulate(&mut grads, beta.0, dbeta);
+                    accumulate(pool, &mut grads, x.0, dx);
+                    accumulate(pool, &mut grads, gamma.0, dgamma);
+                    accumulate(pool, &mut grads, beta.0, dbeta);
+                    pool.recycle(g);
                 }
                 Op::ConcatCols(parts) => {
                     let mut col0 = 0;
                     for &p in parts {
-                        let pv = &self.nodes[p.0].value;
-                        let mut dp = Matrix::zeros(pv.rows(), pv.cols());
-                        for r in 0..pv.rows() {
-                            for c in 0..pv.cols() {
-                                dp.set(r, c, g.get(r, col0 + c));
-                            }
+                        let pv = &nodes[p.0].value;
+                        let (rows, w) = (pv.rows(), pv.cols());
+                        let mut dp = pool.lease_zeroed(rows, w);
+                        for r in 0..rows {
+                            dp.row_mut(r).copy_from_slice(&g.row(r)[col0..col0 + w]);
                         }
-                        col0 += pv.cols();
-                        accumulate(&mut grads, p.0, dp);
+                        col0 += w;
+                        accumulate(pool, &mut grads, p.0, dp);
                     }
+                    pool.recycle(g);
                 }
                 Op::GatherRows { x, idx } => {
-                    let xv = &self.nodes[x.0].value;
-                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
+                    let xv = &nodes[x.0].value;
+                    let mut dx = pool.lease_zeroed(xv.rows(), xv.cols());
                     for (r, &src) in idx.iter().enumerate() {
                         for (o, v) in dx.row_mut(src).iter_mut().zip(g.row(r)) {
                             *o += v;
                         }
                     }
-                    accumulate(&mut grads, x.0, dx);
+                    accumulate(pool, &mut grads, x.0, dx);
+                    pool.recycle(g);
                 }
                 Op::ScatterAddRows { x, idx, .. } => {
-                    let xv = &self.nodes[x.0].value;
-                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
+                    let xv = &nodes[x.0].value;
+                    let mut dx = pool.lease_zeroed(xv.rows(), xv.cols());
                     for (r, &dst) in idx.iter().enumerate() {
                         dx.row_mut(r).copy_from_slice(g.row(dst));
                     }
-                    accumulate(&mut grads, x.0, dx);
+                    accumulate(pool, &mut grads, x.0, dx);
+                    pool.recycle(g);
                 }
                 Op::SegmentSoftmax { x, seg, n_seg } => {
-                    let yv = &self.nodes[i].value;
+                    let yv = &nodes[i].value;
                     // d x_i = y_i (g_i − Σ_{j ∈ seg(i)} y_j g_j)
                     let mut seg_dot = vec![0.0; *n_seg];
                     for (r, &s) in seg.iter().enumerate() {
                         seg_dot[s] += yv.get(r, 0) * g.get(r, 0);
                     }
-                    let mut dx = Matrix::zeros(yv.rows(), 1);
+                    let mut dx = pool.lease_zeroed(yv.rows(), 1);
                     for (r, &s) in seg.iter().enumerate() {
                         dx.set(r, 0, yv.get(r, 0) * (g.get(r, 0) - seg_dot[s]));
                     }
-                    accumulate(&mut grads, x.0, dx);
+                    accumulate(pool, &mut grads, x.0, dx);
+                    pool.recycle(g);
                 }
                 Op::SegmentMean { x, seg, n_seg } => {
-                    let xv = &self.nodes[x.0].value;
+                    let xv = &nodes[x.0].value;
                     let mut counts = vec![0usize; *n_seg];
                     for &s in seg.iter() {
                         counts[s] += 1;
                     }
-                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
+                    let mut dx = pool.lease_zeroed(xv.rows(), xv.cols());
                     for (r, &s) in seg.iter().enumerate() {
                         let c = counts[s] as f64;
                         for (o, v) in dx.row_mut(r).iter_mut().zip(g.row(s)) {
                             *o = v / c;
                         }
                     }
-                    accumulate(&mut grads, x.0, dx);
+                    accumulate(pool, &mut grads, x.0, dx);
+                    pool.recycle(g);
                 }
                 Op::SpMm { a_t, x, .. } => {
                     // dX = Aᵀ · G
-                    let mut dx = Matrix::zeros(a_t.rows(), g.cols());
+                    let mut dx = pool.lease_zeroed(a_t.rows(), g.cols());
                     for r in 0..a_t.rows() {
                         for (j, w) in a_t.row_entries(r) {
                             for (o, v) in dx.row_mut(r).iter_mut().zip(g.row(j)) {
@@ -762,65 +895,76 @@ impl Graph {
                             }
                         }
                     }
-                    accumulate(&mut grads, x.0, dx);
+                    accumulate(pool, &mut grads, x.0, dx);
+                    pool.recycle(g);
                 }
                 Op::MeanRows(x) => {
-                    let xv = &self.nodes[x.0].value;
+                    let xv = &nodes[x.0].value;
                     let n = xv.rows().max(1) as f64;
-                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
+                    let mut dx = pool.lease_zeroed(xv.rows(), xv.cols());
                     for r in 0..xv.rows() {
                         for (o, v) in dx.row_mut(r).iter_mut().zip(g.row(0)) {
                             *o = v / n;
                         }
                     }
-                    accumulate(&mut grads, x.0, dx);
+                    accumulate(pool, &mut grads, x.0, dx);
+                    pool.recycle(g);
                 }
                 Op::MseLoss(pred, target) => {
-                    let (pv, tv) = (&self.nodes[pred.0].value, &self.nodes[target.0].value);
+                    let (pv, tv) = (&nodes[pred.0].value, &nodes[target.0].value);
                     let n = (pv.rows() * pv.cols()) as f64;
                     let scale = 2.0 * g.get(0, 0) / n;
-                    let dp_data: Vec<f64> = pv
-                        .as_slice()
-                        .iter()
+                    let mut dp = pool.lease_zeroed(pv.rows(), pv.cols());
+                    for ((o, p), t) in dp
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(pv.as_slice())
                         .zip(tv.as_slice())
-                        .map(|(p, t)| scale * (p - t))
-                        .collect();
-                    let dp = Matrix::from_vec(pv.rows(), pv.cols(), dp_data);
-                    let mut dt = dp.clone();
+                    {
+                        *o = scale * (p - t);
+                    }
+                    let mut dt = pool.lease_copy(&dp);
                     dt.scale(-1.0);
-                    accumulate(&mut grads, pred.0, dp);
-                    accumulate(&mut grads, target.0, dt);
+                    accumulate(pool, &mut grads, pred.0, dp);
+                    accumulate(pool, &mut grads, target.0, dt);
+                    pool.recycle(g);
                 }
                 Op::HuberLoss(pred, target, delta) => {
-                    let (pv, tv) = (&self.nodes[pred.0].value, &self.nodes[target.0].value);
+                    let (pv, tv) = (&nodes[pred.0].value, &nodes[target.0].value);
                     let n = (pv.rows() * pv.cols()) as f64;
                     let scale = g.get(0, 0) / n;
-                    let dp_data: Vec<f64> = pv
-                        .as_slice()
-                        .iter()
+                    let mut dp = pool.lease_zeroed(pv.rows(), pv.cols());
+                    for ((o, p), t) in dp
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(pv.as_slice())
                         .zip(tv.as_slice())
-                        .map(|(p, t)| {
-                            let e = p - t;
-                            scale
-                                * if e.abs() <= *delta {
-                                    e
-                                } else {
-                                    delta * e.signum()
-                                }
-                        })
-                        .collect();
-                    let dp = Matrix::from_vec(pv.rows(), pv.cols(), dp_data);
-                    let mut dt = dp.clone();
+                    {
+                        let e = p - t;
+                        *o = scale
+                            * if e.abs() <= *delta {
+                                e
+                            } else {
+                                delta * e.signum()
+                            };
+                    }
+                    let mut dt = pool.lease_copy(&dp);
                     dt.scale(-1.0);
-                    accumulate(&mut grads, pred.0, dp);
-                    accumulate(&mut grads, target.0, dt);
+                    accumulate(pool, &mut grads, pred.0, dp);
+                    accumulate(pool, &mut grads, target.0, dt);
+                    pool.recycle(g);
                 }
             }
+        }
+        // Any gradient the reverse walk never consumed (e.g. a node with
+        // no path to the loss) still goes back to the pool.
+        for m in grads.into_iter().flatten() {
+            pool.recycle(m);
         }
     }
 }
 
-fn segment_softmax_forward(x: &Matrix, seg: &[usize], n_seg: usize) -> Matrix {
+fn segment_softmax_forward(x: &Matrix, seg: &[usize], n_seg: usize, out: &mut Matrix) {
     let mut seg_max = vec![f64::NEG_INFINITY; n_seg];
     for (r, &s) in seg.iter().enumerate() {
         assert!(s < n_seg, "segment id {s} out of {n_seg}");
@@ -833,43 +977,49 @@ fn segment_softmax_forward(x: &Matrix, seg: &[usize], n_seg: usize) -> Matrix {
         exps[r] = e;
         seg_sum[s] += e;
     }
-    let data: Vec<f64> = seg
-        .iter()
-        .enumerate()
-        .map(|(r, &s)| exps[r] / seg_sum[s].max(1e-300))
-        .collect();
-    Matrix::from_vec(seg.len(), 1, data)
+    for (r, &s) in seg.iter().enumerate() {
+        out.set(r, 0, exps[r] / seg_sum[s].max(1e-300));
+    }
 }
 
-fn accumulate(grads: &mut [Option<Matrix>], idx: usize, g: Matrix) {
+/// Adds `g` into the gradient slot for node `idx`, recycling `g` when the
+/// slot already holds a buffer.
+fn accumulate(pool: &mut BufferPool, grads: &mut [Option<Matrix>], idx: usize, g: Matrix) {
     match &mut grads[idx] {
         Some(existing) => {
             for (e, n) in existing.as_mut_slice().iter_mut().zip(g.as_slice()) {
                 *e += n;
             }
+            pool.recycle(g);
         }
         slot => *slot = Some(g),
     }
 }
 
-fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
-    let data = a
-        .as_slice()
-        .iter()
+fn hadamard(pool: &mut BufferPool, a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = pool.lease_zeroed(a.rows(), a.cols());
+    for ((o, &x), &y) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice())
         .zip(b.as_slice())
-        .map(|(x, y)| x * y)
-        .collect();
-    Matrix::from_vec(a.rows(), a.cols(), data)
+    {
+        *o = x * y;
+    }
+    out
 }
 
-fn map_grad(g: &Matrix, basis: &Matrix, f: impl Fn(f64) -> f64) -> Matrix {
-    let data = g
-        .as_slice()
-        .iter()
+fn map_grad(pool: &mut BufferPool, g: &Matrix, basis: &Matrix, f: impl Fn(f64) -> f64) -> Matrix {
+    let mut out = pool.lease_zeroed(g.rows(), g.cols());
+    for ((o, &gv), &bv) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(g.as_slice())
         .zip(basis.as_slice())
-        .map(|(gv, bv)| gv * f(*bv))
-        .collect();
-    Matrix::from_vec(g.rows(), g.cols(), data)
+    {
+        *o = gv * f(bv);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1141,6 +1291,72 @@ mod tests {
         let v = g.value(sm);
         assert!(v.get(0, 0).is_finite());
         assert!((v.get(0, 0) + v.get(1, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_tape_reuse_is_bitwise_identical_to_fresh_graph() {
+        let mut rng = Xorshift::new(19);
+        let mut params = Params::new(21);
+        let w1 = params.glorot(3, 4);
+        let w2 = params.glorot(4, 2);
+        let x = random_matrix(&mut rng, 5, 3);
+        let t = random_matrix(&mut rng, 5, 2);
+        let build = |g: &mut Graph, p: &Params| {
+            let xi = g.input(x.clone());
+            let ti = g.input(t.clone());
+            let a = g.param(p, w1);
+            let b = g.param(p, w2);
+            let h = g.matmul(xi, a);
+            let h = g.relu(h);
+            let h = g.matmul(h, b);
+            g.mse_loss(h, ti)
+        };
+
+        let mut fresh = Graph::new();
+        let loss = build(&mut fresh, &params);
+        params.zero_grads();
+        fresh.backward(loss, &mut params);
+        let ref_loss = fresh.value(loss).get(0, 0).to_bits();
+        let ref_g1: Vec<u64> = params
+            .grad(w1)
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let ref_g2: Vec<u64> = params
+            .grad(w2)
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+
+        // Warm a tape, reset it, and run the same pass on recycled buffers.
+        let mut reused = Graph::new();
+        let warm = build(&mut reused, &params);
+        params.zero_grads();
+        reused.backward(warm, &mut params);
+        reused.reset();
+        assert!(reused.is_empty(), "reset clears the tape");
+        assert!(reused.free_buffers() > 0, "reset parks buffers for reuse");
+
+        let loss2 = build(&mut reused, &params);
+        params.zero_grads();
+        reused.backward(loss2, &mut params);
+        assert_eq!(reused.value(loss2).get(0, 0).to_bits(), ref_loss);
+        let g1: Vec<u64> = params
+            .grad(w1)
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let g2: Vec<u64> = params
+            .grad(w2)
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(g1, ref_g1, "recycled buffers must not change gradient bits");
+        assert_eq!(g2, ref_g2, "recycled buffers must not change gradient bits");
     }
 
     #[test]

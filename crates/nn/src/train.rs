@@ -91,18 +91,24 @@ where
         return 0.0;
     }
     let base: &Params = params;
-    let (grads, loss_sum) = stco_par::par_map_reduce(
+    let (grads, loss_sum, _tape) = stco_par::par_map_reduce(
         config,
         batch,
         |_, &idx| idx,
         || {
             let mut p = base.clone();
             p.zero_grads();
-            (p, 0.0f64)
+            // One tape per chunk worker: `Graph::reset` between samples
+            // recycles every buffer, so steady-state forward/backward
+            // passes allocate nothing and chunks never contend on a
+            // shared arena (the 1-thread and N-thread schedules replay
+            // the identical per-sample lease sequence).
+            (p, 0.0f64, Graph::new())
         },
         |acc, idx| {
-            let mut g = Graph::new();
-            let loss = per_sample(&mut g, base, idx);
+            let g = &mut acc.2;
+            g.reset();
+            let loss = per_sample(g, base, idx);
             acc.1 += g.value(loss).get(0, 0);
             g.backward(loss, &mut acc.0);
         },

@@ -163,13 +163,37 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.gemm_into(rhs, &mut out);
+        out
+    }
+
+    /// Accumulating GEMM: `out += self · rhs`, no allocation.
+    ///
+    /// The dense path deliberately has no per-scalar zero-skip: on dense
+    /// operands the branch defeats pipelining and costs more than the
+    /// multiplies it saves (sparse stamping belongs in the MNA layer, not
+    /// here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `out` is not
+    /// `self.rows() × rhs.cols()`.
+    // stco-hot
+    pub fn gemm_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "gemm_into shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "gemm_into output shape mismatch"
+        );
         // ikj loop order keeps the inner loop contiguous in both operands.
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
                 let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
                 for (o, r) in orow.iter_mut().zip(rrow.iter()) {
@@ -177,7 +201,81 @@ impl Matrix {
                 }
             }
         }
-        out
+    }
+
+    /// Accumulating transpose-free GEMM: `out += self · rhsᵀ`.
+    ///
+    /// `rhs` is passed untransposed; each output element is a dot product
+    /// of two contiguous rows, so no transposed copy is ever materialized.
+    /// Accumulation order matches `self.matmul(&rhs.transpose())` bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()` or `out` is not
+    /// `self.rows() × rhs.rows()`.
+    // stco-hot
+    pub fn gemm_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "gemm_nt_into shape mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.rows),
+            "gemm_nt_into output shape mismatch"
+        );
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let orow = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o += dot(arow, &rhs.data[j * rhs.cols..(j + 1) * rhs.cols]);
+            }
+        }
+    }
+
+    /// Accumulating transpose-free GEMM: `out += selfᵀ · rhs`.
+    ///
+    /// `self` is passed untransposed; the kij loop order keeps the inner
+    /// loop contiguous in both `rhs` and `out`. Accumulation order matches
+    /// `self.transpose().matmul(&rhs)` bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()` or `out` is not
+    /// `self.cols() × rhs.cols()`.
+    // stco-hot
+    pub fn gemm_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "gemm_tn_into shape mismatch: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, rhs.cols),
+            "gemm_tn_into output shape mismatch"
+        );
+        for k in 0..self.rows {
+            let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+            for i in 0..self.cols {
+                let a = self.data[k * self.cols + i];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, r) in orow.iter_mut().zip(rrow.iter()) {
+                    *o += a * r;
+                }
+            }
+        }
+    }
+
+    /// Reshapes the matrix to `rows × cols` and zero-fills it, reusing the
+    /// existing allocation whenever the new size fits. The workspace idiom
+    /// every hot loop uses instead of `Matrix::zeros`.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Matrix-vector product `self · x`.
@@ -256,14 +354,35 @@ impl Matrix {
     /// Returns [`NumericsError::ShapeMismatch`] if the matrix is not square
     /// and [`NumericsError::SingularMatrix`] on pivot breakdown.
     pub fn lu_factor(&self) -> Result<LuFactors> {
+        let mut factors = LuFactors::default();
+        self.lu_factor_into(&mut factors)?;
+        Ok(factors)
+    }
+
+    /// Factors into an existing [`LuFactors`], reusing its buffers.
+    ///
+    /// The factor-once / solve-many workhorse of the SPICE Newton loop: no
+    /// allocation once the factors have grown to the system size.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Matrix::lu_factor`]. On error the factors are left in an
+    /// unspecified (but safely reusable) state.
+    // stco-hot
+    pub fn lu_factor_into(&self, factors: &mut LuFactors) -> Result<()> {
         if self.rows != self.cols {
             return Err(NumericsError::ShapeMismatch {
                 context: format!("LU of non-square {}x{} matrix", self.rows, self.cols),
             });
         }
         let n = self.rows;
-        let mut lu = self.data.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
+        factors.n = n;
+        factors.lu.clear();
+        factors.lu.extend_from_slice(&self.data);
+        factors.perm.clear();
+        factors.perm.extend(0..n);
+        let lu = &mut factors.lu;
+        let perm = &mut factors.perm;
         for k in 0..n {
             // Partial pivoting: find the largest magnitude in column k.
             let mut p = k;
@@ -293,7 +412,7 @@ impl Matrix {
                 }
             }
         }
-        Ok(LuFactors { n, lu, perm })
+        Ok(())
     }
 }
 
@@ -310,7 +429,7 @@ impl Matrix {
 /// let x = lu.solve(&[3.0, 5.0]).expect("solve");
 /// assert!((x[0] - 0.8).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LuFactors {
     n: usize,
     lu: Vec<f64>,
@@ -329,13 +448,30 @@ impl LuFactors {
     ///
     /// Returns [`NumericsError::ShapeMismatch`] if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` into a caller-owned buffer, reusing its allocation.
+    ///
+    /// `x` is cleared and refilled; its capacity is reused, so repeated
+    /// solves against the same workspace are allocation-free. Produces the
+    /// same bits as [`LuFactors::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::ShapeMismatch`] if `b.len() != self.dim()`.
+    // stco-hot
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<()> {
         if b.len() != self.n {
             return Err(NumericsError::ShapeMismatch {
                 context: format!("rhs length {} vs system dim {}", b.len(), self.n),
             });
         }
         let n = self.n;
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
         // Forward substitution with unit-diagonal L.
         for i in 1..n {
             let s = dot(&self.lu[i * n..i * n + i], &x[..i]);
@@ -346,7 +482,7 @@ impl LuFactors {
             let s = dot(&self.lu[i * n + i + 1..i * n + n], &x[i + 1..n]);
             x[i] = (x[i] - s) / self.lu[i * n + i];
         }
-        Ok(x)
+        Ok(())
     }
 }
 
@@ -473,6 +609,78 @@ mod tests {
             let r1 = x[0] + 3.0 * x[1] - b[1];
             assert!(r0.abs() < 1e-12 && r1.abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn gemm_into_accumulates() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut out = Matrix::full(2, 2, 1.0);
+        a.gemm_into(&b, &mut out);
+        let expected = a.matmul(&b);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(out.get(i, j), expected.get(i, j) + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[1.0, -1.0, 2.0]]);
+        let mut out = Matrix::zeros(2, 2);
+        a.gemm_nt_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn gemm_tn_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let mut out = Matrix::zeros(2, 2);
+        a.gemm_tn_into(&b, &mut out);
+        assert_eq!(out, a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn reset_zeroed_reuses_and_reshapes() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.reset_zeroed(1, 3);
+        assert_eq!((m.rows(), m.cols()), (1, 3));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn lu_factor_into_reuses_buffers() -> Result<()> {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let mut factors = LuFactors::default();
+        a.lu_factor_into(&mut factors)?;
+        let fresh = a.lu_factor()?;
+        assert_eq!(factors.lu, fresh.lu);
+        assert_eq!(factors.perm, fresh.perm);
+        // Refactor a different (larger) system into the same workspace.
+        let b = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]]);
+        b.lu_factor_into(&mut factors)?;
+        assert_eq!(factors.dim(), 3);
+        let x = factors.solve(&[1.0, 2.0, 3.0])?;
+        assert_eq!(x, vec![2.0, 1.0, 3.0]);
+        Ok(())
+    }
+
+    #[test]
+    fn solve_into_matches_solve_bitwise() -> Result<()> {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -1.0], &[0.2, -0.7, 5.0]]);
+        let lu = a.lu_factor()?;
+        let b = [1.0, -2.0, 0.25];
+        let fresh = lu.solve(&b)?;
+        let mut reused = vec![99.0; 7];
+        lu.solve_into(&b, &mut reused)?;
+        assert_eq!(fresh.len(), reused.len());
+        for (f, r) in fresh.iter().zip(reused.iter()) {
+            assert_eq!(f.to_bits(), r.to_bits());
+        }
+        Ok(())
     }
 
     #[test]

@@ -220,7 +220,7 @@ mod tests {
     }
 
     #[test]
-    fn bilinear_reproduces_bilinear_function() {
+    fn bilinear_reproduces_bilinear_function() -> Result<()> {
         // f(x, y) = 2x + 3y + xy is exactly representable.
         let xs = vec![0.0, 1.0, 2.0];
         let ys = vec![0.0, 0.5, 1.0];
@@ -231,10 +231,11 @@ mod tests {
                 values.push(f(x, y));
             }
         }
-        let t = Bilinear::new(xs, ys, values).unwrap();
+        let t = Bilinear::new(xs, ys, values)?;
         for &(x, y) in &[(0.25, 0.25), (1.5, 0.75), (0.9, 0.1), (3.0, 2.0)] {
             assert!((t.eval(x, y) - f(x, y)).abs() < 1e-12, "at ({x},{y})");
         }
+        Ok(())
     }
 
     #[test]

@@ -114,6 +114,64 @@ proptest! {
     }
 
     #[test]
+    fn gemm_nt_into_bitwise_matches_transpose_matmul(a in prop::collection::vec(-10.0..10.0f64, 12),
+                                                     b in prop::collection::vec(-10.0..10.0f64, 20)) {
+        let ma = Matrix::from_vec(3, 4, a);
+        let mb = Matrix::from_vec(5, 4, b);
+        let reference = ma.matmul(&mb.transpose());
+        let mut out = Matrix::zeros(3, 5);
+        ma.gemm_nt_into(&mb, &mut out);
+        for (x, y) in out.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn gemm_tn_into_bitwise_matches_transpose_matmul(a in prop::collection::vec(-10.0..10.0f64, 12),
+                                                     b in prop::collection::vec(-10.0..10.0f64, 20)) {
+        let ma = Matrix::from_vec(4, 3, a);
+        let mb = Matrix::from_vec(4, 5, b);
+        let reference = ma.transpose().matmul(&mb);
+        let mut out = Matrix::zeros(3, 5);
+        ma.gemm_tn_into(&mb, &mut out);
+        for (x, y) in out.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn gemm_into_bitwise_matches_matmul(a in prop::collection::vec(-10.0..10.0f64, 12),
+                                        b in prop::collection::vec(-10.0..10.0f64, 16)) {
+        let ma = Matrix::from_vec(3, 4, a);
+        let mb = Matrix::from_vec(4, 4, b);
+        let reference = ma.matmul(&mb);
+        let mut out = Matrix::zeros(3, 4);
+        ma.gemm_into(&mb, &mut out);
+        for (x, y) in out.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn lu_factor_into_and_solve_into_bitwise_match(rows in dominant_matrix(6),
+                                                   b in prop::collection::vec(-10.0..10.0f64, 6)) {
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&refs);
+        let reference = a.lu_solve(&b).expect("dominant matrices are nonsingular");
+        let mut factors = stco_numerics::dense::LuFactors::default();
+        // Factor a throwaway system first so the second factorization
+        // exercises genuine buffer reuse.
+        Matrix::identity(4).lu_factor_into(&mut factors).expect("identity factors");
+        a.lu_factor_into(&mut factors).expect("dominant matrices are nonsingular");
+        let mut x = vec![0.0; 2];
+        factors.solve_into(&b, &mut x).expect("solves");
+        prop_assert_eq!(x.len(), reference.len());
+        for (p, q) in x.iter().zip(&reference) {
+            prop_assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
     fn bilinear_interpolates_within_hull(vals in prop::collection::vec(0.0..10.0f64, 9),
                                          x in 0.0..2.0f64, y in 0.0..2.0f64) {
         let t = Bilinear::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 2.0], vals.clone()).expect("valid grid");

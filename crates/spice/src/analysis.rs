@@ -68,8 +68,12 @@ impl DcSolution {
 #[derive(Debug, Clone)]
 pub struct TranResult {
     times: Vec<f64>,
-    /// Per-sample full state (node voltages then branch currents).
-    states: Vec<Vec<f64>>,
+    /// Flat row-major sample storage: one `stride`-long full state (node
+    /// voltages then branch currents) per sample time. Flat rather than
+    /// `Vec<Vec<f64>>` so the transient loop appends samples without a
+    /// per-step allocation.
+    states: Vec<f64>,
+    stride: usize,
     num_node_unknowns: usize,
 }
 
@@ -91,26 +95,35 @@ impl TranResult {
 
     /// Voltage trace of a node.
     pub fn voltage_trace(&self, node: NodeId) -> Vec<f64> {
-        if node == Circuit::GROUND {
+        if node == Circuit::GROUND || self.stride == 0 {
             return vec![0.0; self.times.len()];
         }
-        self.states.iter().map(|s| s[node.0 - 1]).collect()
+        self.states
+            .chunks_exact(self.stride)
+            .map(|s| s[node.0 - 1])
+            .collect()
     }
 
     /// Branch-current trace of a voltage source.
     pub fn branch_current_trace(&self, branch: usize) -> Vec<f64> {
+        if self.stride == 0 {
+            return vec![0.0; self.times.len()];
+        }
         self.states
-            .iter()
+            .chunks_exact(self.stride)
             .map(|s| s[self.num_node_unknowns + branch])
             .collect()
     }
 
     /// Voltage of a node at the final time point.
     pub fn final_voltage(&self, node: NodeId) -> f64 {
-        if node == Circuit::GROUND {
+        if node == Circuit::GROUND || self.stride == 0 {
             return 0.0;
         }
-        self.states.last().map_or(0.0, |s| s[node.0 - 1])
+        self.states
+            .chunks_exact(self.stride)
+            .last()
+            .map_or(0.0, |s| s[node.0 - 1])
     }
 }
 
@@ -147,6 +160,34 @@ struct DynamicCtx<'a> {
     cap_currents: &'a [f64],
 }
 
+/// Reusable per-thread scratch for the Newton loop: the MNA accumulator,
+/// the LU factors and their solve buffer, and the previous-iterate copy.
+/// All of it is fully overwritten every iteration, so leasing a warm
+/// workspace is bitwise-equivalent to allocating a cold one.
+#[derive(Debug, Default)]
+struct NewtonWorkspace {
+    sys: MnaSystem,
+    factors: stco_numerics::dense::LuFactors,
+    solution: Vec<f64>,
+    x_prev: Vec<f64>,
+}
+
+thread_local! {
+    static NEWTON_WS: std::cell::RefCell<NewtonWorkspace> =
+        std::cell::RefCell::new(NewtonWorkspace::default());
+}
+
+/// Leases the thread-local solver workspace (each `stco-par` worker gets
+/// its own, so parallel characterization never allocates per item). Falls
+/// back to a fresh workspace on re-entrant use rather than panicking the
+/// `RefCell`.
+fn with_newton_workspace<R>(f: impl FnOnce(&mut NewtonWorkspace) -> R) -> R {
+    NEWTON_WS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        Err(_) => f(&mut NewtonWorkspace::default()),
+    })
+}
+
 impl Circuit {
     /// Solves the DC operating point (capacitors open, waveform DC
     /// values), with source-stepping fallback.
@@ -157,16 +198,20 @@ impl Circuit {
     /// stepping, or propagates LU failures.
     pub fn dc_operating_point(&self) -> Result<DcSolution> {
         let _span = stco_obs::span!("spice.dc_operating_point");
+        with_newton_workspace(|ws| self.dc_operating_point_ws(ws))
+    }
+
+    fn dc_operating_point_ws(&self, ws: &mut NewtonWorkspace) -> Result<DcSolution> {
         let size = self.system_size();
         let mut x = vec![0.0; size];
-        let direct = newton_solve(self, &mut x, 0.0, 1.0, None, 0.0);
+        let direct = newton_solve(self, &mut x, 0.0, 1.0, None, 0.0, ws);
         if direct.is_err() {
             // Source stepping: ramp all sources from 10 % to 100 %.
             x = vec![0.0; size];
             let mut stepped = Ok(());
             for k in 1..=10 {
                 let scale = k as f64 / 10.0;
-                stepped = newton_solve(self, &mut x, 0.0, scale, None, 0.0);
+                stepped = newton_solve(self, &mut x, 0.0, scale, None, 0.0, ws);
                 if stepped.is_err() {
                     break;
                 }
@@ -178,7 +223,7 @@ impl Circuit {
                 // Bulletproof for self-limiting device stacks that defeat
                 // damped Newton.
                 x = vec![0.0; size];
-                self.pseudo_transient_dc(&mut x)?;
+                self.pseudo_transient_dc(&mut x, ws)?;
             }
         }
         let n = self.num_nodes() - 1;
@@ -191,25 +236,27 @@ impl Circuit {
     /// Pseudo-transient DC: BE steps with an artificial capacitance on
     /// every node, step growing geometrically until the solution stops
     /// moving and the artificial conductance is negligible.
-    fn pseudo_transient_dc(&self, x: &mut [f64]) -> Result<()> {
+    fn pseudo_transient_dc(&self, x: &mut [f64], ws: &mut NewtonWorkspace) -> Result<()> {
         let n = self.num_nodes() - 1;
         let c_art = 1.0e-12; // 1 pF on every node
         let mut dt = 1.0e-9;
         let mut last_residual = f64::INFINITY;
         let mut failures = 0usize;
         let mut step = 0usize;
+        let mut prev = vec![0.0; n];
+        let mut trial = vec![0.0; x.len()];
         while step < 160 {
             step += 1;
-            let prev: Vec<f64> = x[..n].to_vec();
+            prev.copy_from_slice(&x[..n]);
             let g_art = c_art / dt;
-            let mut trial = x.to_vec();
+            trial.copy_from_slice(x);
             let ctx = DynamicCtx {
                 prev_v: &prev,
                 dt,
                 method: Integration::BackwardEuler,
                 cap_currents: &[],
             };
-            match newton_solve(self, &mut trial, 0.0, 1.0, Some(&ctx), g_art) {
+            match newton_solve(self, &mut trial, 0.0, 1.0, Some(&ctx), g_art, ws) {
                 Ok(()) => {
                     x.copy_from_slice(&trial);
                     let moved = x[..n]
@@ -274,10 +321,21 @@ impl Circuit {
             });
         }
         let _span = stco_obs::span!("spice.transient", t_stop = config.t_stop, dt = config.dt,);
+        with_newton_workspace(|ws| self.transient_ws(config, method, ws))
+    }
+
+    /// Transient body: all per-substep buffers are allocated once up
+    /// front and recycled, so the inner stepping loop is allocation-free.
+    fn transient_ws(
+        &self,
+        config: &TranConfig,
+        method: Integration,
+        ws: &mut NewtonWorkspace,
+    ) -> Result<TranResult> {
         let metrics = stco_obs::Recorder::global().metrics();
         let accepts = metrics.counter("spice.timestep_accepts");
         let rejects = metrics.counter("spice.timestep_rejects");
-        let dc = self.dc_operating_point()?;
+        let dc = self.dc_operating_point_ws(ws)?;
         let n = self.num_nodes() - 1;
         let caps = self.cap_list();
         let mut state: Vec<f64> = dc
@@ -286,30 +344,38 @@ impl Circuit {
             .chain(dc.branch_currents.iter())
             .copied()
             .collect();
+        let size = state.len();
         // At the operating point every capacitor carries zero current.
         let mut cap_currents = vec![0.0; caps.len()];
-        let mut times = vec![0.0];
-        let mut states = vec![state.clone()];
+        let expected = (config.t_stop / config.dt).ceil() as usize + 2;
+        let mut times = Vec::with_capacity(expected);
+        times.push(0.0);
+        let mut states = Vec::with_capacity(expected * size);
+        states.extend_from_slice(&state);
+        let mut local_state = vec![0.0; size];
+        let mut local_cap_i = vec![0.0; caps.len()];
+        let mut trial = vec![0.0; size];
+        let mut prev_v = vec![0.0; n];
         let mut t = 0.0;
         while t < config.t_stop - 1e-18 {
             let target = (t + config.dt).min(config.t_stop);
             let mut sub_dt = target - t;
             let mut t_local = t;
-            let mut local_state = state.clone();
-            let mut local_cap_i = cap_currents.clone();
+            local_state.copy_from_slice(&state);
+            local_cap_i.copy_from_slice(&cap_currents);
             let mut halvings = 0;
             while t_local < target - 1e-18 {
                 let step_end = (t_local + sub_dt).min(target);
                 let dt = step_end - t_local;
-                let mut trial = local_state.clone();
-                let prev_v = local_state[..n].to_vec();
+                trial.copy_from_slice(&local_state);
+                prev_v.copy_from_slice(&local_state[..n]);
                 let ctx = DynamicCtx {
                     prev_v: &prev_v,
                     dt,
                     method,
                     cap_currents: &local_cap_i,
                 };
-                match newton_solve(self, &mut trial, step_end, 1.0, Some(&ctx), 0.0) {
+                match newton_solve(self, &mut trial, step_end, 1.0, Some(&ctx), 0.0, ws) {
                     Ok(()) => {
                         // Advance the capacitor-current state.
                         let volt = |v: &[f64], node: NodeId| -> f64 {
@@ -327,7 +393,7 @@ impl Circuit {
                                 Integration::Trapezoidal => 2.0 * c / dt * dv - local_cap_i[k],
                             };
                         }
-                        local_state = trial;
+                        local_state.copy_from_slice(&trial);
                         stco_numerics::debug_assert_all_finite!("spice.tran.state", &local_state);
                         t_local = step_end;
                         accepts.inc();
@@ -353,15 +419,16 @@ impl Circuit {
                     }
                 }
             }
-            state = local_state;
-            cap_currents = local_cap_i;
+            state.copy_from_slice(&local_state);
+            cap_currents.copy_from_slice(&local_cap_i);
             t = target;
             times.push(t);
-            states.push(state.clone());
+            states.extend_from_slice(&state);
         }
         Ok(TranResult {
             times,
             states,
+            stride: size,
             num_node_unknowns: n,
         })
     }
@@ -397,6 +464,7 @@ impl Circuit {
 ///
 /// `cap_companion = Some((prev_node_voltages, dt))` enables backward-Euler
 /// capacitor companions; `None` leaves capacitors open (DC).
+// stco-hot
 fn newton_solve(
     ckt: &Circuit,
     x: &mut [f64],
@@ -404,14 +472,25 @@ fn newton_solve(
     source_scale: f64,
     dynamic: Option<&DynamicCtx<'_>>,
     artificial_g: f64,
+    ws: &mut NewtonWorkspace,
 ) -> Result<()> {
     let size = ckt.system_size();
     let n = ckt.num_nodes() - 1;
-    let mut x_prev: Vec<f64> = x.to_vec();
+    let iters = stco_obs::Recorder::global()
+        .metrics()
+        .counter("spice.newton_iters");
+    ws.x_prev.clear();
+    ws.x_prev.extend_from_slice(x);
+    let x_prev = &mut ws.x_prev;
     for iter in 0..MAX_NEWTON {
-        let mut sys = MnaSystem::new(size);
-        stamp_all(ckt, x, t, source_scale, dynamic, artificial_g, &mut sys);
-        let solution = sys.matrix.lu_solve(&sys.rhs)?;
+        iters.inc();
+        ws.sys.reset(size);
+        stamp_all(ckt, x, t, source_scale, dynamic, artificial_g, &mut ws.sys);
+        // Factor-once-per-iteration into the leased workspace: same bits
+        // as `lu_solve`, none of its allocations.
+        ws.sys.matrix.lu_factor_into(&mut ws.factors)?;
+        ws.factors.solve_into(&ws.sys.rhs, &mut ws.solution)?;
+        let solution = &ws.solution;
         // Progressive under-relaxation: full steps while easy progress is
         // made (supply ramp-up), then increasingly strong damping. The
         // companion fixed point is exact, so damping only has to defeat
@@ -426,7 +505,7 @@ fn newton_solve(
             _ => 0.02,
         };
         let mut max_dx = 0.0_f64;
-        for (i, (xi, xn)) in x.iter_mut().zip(&solution).enumerate() {
+        for (i, (xi, xn)) in x.iter_mut().zip(solution.iter()).enumerate() {
             let mut dx = xn - *xi;
             if i < n {
                 dx = dx.clamp(-VOLTAGE_CLAMP, VOLTAGE_CLAMP);
@@ -440,7 +519,7 @@ fn newton_solve(
         // Period-2 cycle breaker: averaging consecutive iterates lands a
         // two-cycle exactly on its midpoint (cross-coupled latch nodes).
         if iter % 16 == 15 {
-            for (xi, pi) in x.iter_mut().zip(&x_prev) {
+            for (xi, pi) in x.iter_mut().zip(x_prev.iter()) {
                 *xi = 0.5 * (*xi + pi);
             }
         }
@@ -455,6 +534,7 @@ fn newton_solve(
     })
 }
 
+// stco-hot
 fn stamp_all(
     ckt: &Circuit,
     x: &[f64],
@@ -518,13 +598,15 @@ fn stamp_all(
             } => {
                 let vgs = volt(*g) - volt(*s);
                 let vds = volt(*d) - volt(*s);
-                let id0 = model.drain_current(vgs, vds);
-                // True linearization — gm is legitimately negative when a
-                // stacked device operates with reversed V_DS, and clamping
-                // it corrupts the Jacobian (per-node g-min keeps the
-                // system nonsingular regardless).
-                let gm = model.gm(vgs, vds);
-                let gds = model.gds(vgs, vds);
+                // Fused evaluation: one model pass yields the current and
+                // its analytic gm/gds, replacing the five evaluations the
+                // central-difference helpers used to cost per TFT. gm is
+                // legitimately negative when a stacked device operates
+                // with reversed V_DS, and clamping it corrupts the
+                // Jacobian (per-node g-min keeps the system nonsingular
+                // regardless).
+                let lin = model.linearize(vgs, vds);
+                let (id0, gm, gds) = (lin.id, lin.gm, lin.gds);
                 // Companion: i_d = I_eq + gm·v_gs + gds·v_ds.
                 let i_eq = id0 - gm * vgs - gds * vds;
                 sys.stamp_conductance(ckt, *d, *s, gds);

@@ -341,18 +341,19 @@ impl Circuit {
 }
 
 /// Dense MNA accumulator used by the analyses.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub(crate) struct MnaSystem {
     pub(crate) matrix: Matrix,
     pub(crate) rhs: Vec<f64>,
 }
 
 impl MnaSystem {
-    pub(crate) fn new(size: usize) -> Self {
-        MnaSystem {
-            matrix: Matrix::zeros(size, size),
-            rhs: vec![0.0; size],
-        }
+    /// Re-zeros the accumulator at the given size, reusing storage; the
+    /// per-Newton-iteration alternative to building a fresh system.
+    pub(crate) fn reset(&mut self, size: usize) {
+        self.matrix.reset_zeroed(size, size);
+        self.rhs.clear();
+        self.rhs.resize(size, 0.0);
     }
 
     /// Stamps a conductance between two nodes.

@@ -224,9 +224,10 @@ impl CellModel {
                 let mut total = 0.0;
                 for item in &val_prepared {
                     let (mean, std) = norms[item.metric];
-                    let mut g = Graph::new();
-                    let pred = forward_one(&layers, &heads, params, item, &mut g);
-                    let p = g.value(pred).get(0, 0);
+                    let p = Graph::with_scratch(|g| {
+                        let pred = forward_one(&layers, &heads, params, item, g);
+                        g.value(pred).get(0, 0)
+                    });
                     let t = (item.log_value - mean) / std;
                     total += (p - t) * (p - t);
                 }
@@ -238,17 +239,41 @@ impl CellModel {
 
     /// Predicts a metric value (original units) for an encoded graph.
     pub fn predict(&self, graph: &CellGraph, metric: usize) -> f64 {
-        let sample = CellSample {
-            graph: graph.clone(),
-            metric,
-            value: 1.0,
+        self.predict_many(graph, &[metric])[0]
+    }
+
+    /// Predicts several metrics for one encoded graph in a single
+    /// forward pass: the GCN trunk and mean-pool run once, then each
+    /// requested head reads the shared pooled embedding. Values are
+    /// bitwise-identical to per-metric [`CellModel::predict`] calls
+    /// (the trunk recomputes to the same bits), at one trunk evaluation
+    /// instead of `metrics.len()`.
+    pub fn predict_many(&self, graph: &CellGraph, metrics: &[usize]) -> Vec<f64> {
+        let n = graph.num_nodes();
+        let mut gd = GraphData {
+            node_features: Matrix::from_vec(n, FEATURE_DIM, graph.features.clone()),
+            edges: graph.edges.clone(),
+            edge_features: Matrix::zeros(graph.edges.len(), 0),
         };
-        let item = prepare(&sample);
-        let (mean, std) = self.norms[metric];
-        let mut g = Graph::new();
-        let pred = forward_one(&self.layers, &self.heads, &self.params, &item, &mut g);
-        let z = g.value(pred).get(0, 0);
-        10.0_f64.powf(z * std + mean)
+        let adj = Arc::new(gd.normalized_adjacency());
+        let features = std::mem::take(&mut gd.node_features);
+        let seg = Arc::new(vec![0usize; n]);
+        Graph::with_scratch(|g| {
+            let mut h = g.input(features);
+            for layer in &self.layers {
+                h = layer.forward(g, &self.params, &adj, h);
+            }
+            let pooled = g.segment_mean(h, seg, 1);
+            metrics
+                .iter()
+                .map(|&metric| {
+                    let pred = self.heads[metric].forward(g, &self.params, pooled);
+                    let z = g.value(pred).get(0, 0);
+                    let (mean, std) = self.norms[metric];
+                    10.0_f64.powf(z * std + mean)
+                })
+                .collect()
+        })
     }
 
     /// Per-metric MAPE (%) over a dataset — the Table IV report.

@@ -200,9 +200,10 @@ impl IvPredictor {
                 }
                 let mut total = 0.0;
                 for item in &val_encoded {
-                    let mut g = Graph::new();
-                    let pred = forward_one(&stack, &head, params, item, &mut g);
-                    let p = g.value(pred).get(0, 0);
+                    let p = Graph::with_scratch(|g| {
+                        let pred = forward_one(&stack, &head, params, item, g);
+                        g.value(pred).get(0, 0)
+                    });
                     let t = (item.target - t_mean) / t_std;
                     total += (p - t) * (p - t);
                 }
@@ -215,9 +216,10 @@ impl IvPredictor {
     /// Predicts `log₁₀|I_D|` for one sample.
     pub fn predict_log_current(&self, sample: &DeviceSample) -> f64 {
         let item = encode(sample);
-        let mut g = Graph::new();
-        let pred = forward_one(&self.stack, &self.head, &self.params, &item, &mut g);
-        g.value(pred).get(0, 0) * self.target_std + self.target_mean
+        Graph::with_scratch(|g| {
+            let pred = forward_one(&self.stack, &self.head, &self.params, &item, g);
+            g.value(pred).get(0, 0) * self.target_std + self.target_mean
+        })
     }
 
     /// Predicted drain-current magnitude, A.

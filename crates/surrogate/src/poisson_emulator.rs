@@ -214,24 +214,25 @@ impl PoissonEmulator {
     /// Predicts the potential map of one sample (volts).
     pub fn predict(&self, sample: &DeviceSample) -> Vec<f64> {
         let item = EncodedDevice::from_sample(sample);
-        let mut g = Graph::new();
-        let x = g.input(item.graph.node_features.clone());
-        let e = g.input(item.graph.edge_features.clone());
-        let h = self.stack.forward(
-            &mut g,
-            &self.params,
-            x,
-            e,
-            &item.src,
-            &item.dst,
-            item.graph.num_nodes(),
-        );
-        let pred = self.head.forward(&mut g, &self.params, h);
-        g.value(pred)
-            .as_slice()
-            .iter()
-            .map(|v| v * self.target_std + self.target_mean)
-            .collect()
+        Graph::with_scratch(|g| {
+            let x = g.input(item.graph.node_features.clone());
+            let e = g.input(item.graph.edge_features.clone());
+            let h = self.stack.forward(
+                g,
+                &self.params,
+                x,
+                e,
+                &item.src,
+                &item.dst,
+                item.graph.num_nodes(),
+            );
+            let pred = self.head.forward(g, &self.params, h);
+            g.value(pred)
+                .as_slice()
+                .iter()
+                .map(|v| v * self.target_std + self.target_mean)
+                .collect()
+        })
     }
 
     /// Evaluates normalized-target MSE and R² (the Table II metrics) over
@@ -276,26 +277,27 @@ fn eval_item(
     t_mean: f64,
     t_std: f64,
 ) -> (f64, usize) {
-    let mut g = Graph::new();
-    let x = g.input(item.graph.node_features.clone());
-    let e = g.input(item.graph.edge_features.clone());
-    let mut t = item.targets.clone();
-    for v in t.as_mut_slice() {
-        *v = (*v - t_mean) / t_std;
-    }
-    let ti = g.input(t);
-    let h = stack.forward(
-        &mut g,
-        params,
-        x,
-        e,
-        &item.src,
-        &item.dst,
-        item.graph.num_nodes(),
-    );
-    let pred = head.forward(&mut g, params, h);
-    let loss = g.mse_loss(pred, ti);
-    (g.value(loss).get(0, 0), item.graph.num_nodes())
+    Graph::with_scratch(|g| {
+        let x = g.input(item.graph.node_features.clone());
+        let e = g.input(item.graph.edge_features.clone());
+        let mut t = item.targets.clone();
+        for v in t.as_mut_slice() {
+            *v = (*v - t_mean) / t_std;
+        }
+        let ti = g.input(t);
+        let h = stack.forward(
+            g,
+            params,
+            x,
+            e,
+            &item.src,
+            &item.dst,
+            item.graph.num_nodes(),
+        );
+        let pred = head.forward(g, params, h);
+        let loss = g.mse_loss(pred, ti);
+        (g.value(loss).get(0, 0), item.graph.num_nodes())
+    })
 }
 
 /// MSE/R² pair over a dataset (normalized-target units, as Table II).

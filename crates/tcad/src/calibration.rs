@@ -62,13 +62,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn calibration_reports_sane_statistics() {
-        let report = calibrate_cnt_study(4, 99).expect("runs");
+    fn calibration_reports_sane_statistics() -> Result<()> {
+        let report = calibrate_cnt_study(4, 99)?;
         assert_eq!(report.devices, 4);
         assert!(report.mean_seconds > 0.0);
         assert!(report.min_seconds <= report.mean_seconds);
         assert!(report.mean_seconds <= report.max_seconds);
         assert!(report.mean_newton_iterations > 1.0);
+        Ok(())
     }
 
     #[test]

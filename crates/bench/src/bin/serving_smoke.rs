@@ -1,0 +1,153 @@
+//! CI serving-smoke gate: exercises the full artifact → registry →
+//! TCP serving path under concurrent batched load and proves the
+//! replies are bitwise-identical to in-process `predict_many`.
+//!
+//! 1. trains the tiny demo cell model and exports it to a scratch
+//!    registry;
+//! 2. starts a `ModelService` + `TcpServer` on an ephemeral port;
+//! 3. fires 64 concurrent predict requests (one TCP connection each);
+//! 4. asserts every reply bitwise-matches the in-process prediction;
+//! 5. writes `BENCH_serving.json` (throughput, p50/p99 latency, mean
+//!    batch occupancy) at the repository root.
+//!
+//! Honours `STCO_THREADS` like every other parallel path, so CI runs it
+//! at 1 and 4 threads.
+
+use std::time::Instant;
+
+use stco_par::ParConfig;
+use stco_serve::demo::{demo_graph, demo_key, train_demo_model, DEMO_CELLS};
+use stco_serve::service::{BatchConfig, ModelService, PredictInput};
+use stco_serve::{Client, TcpServer};
+use stco_store::Registry;
+use stco_surrogate::cell_model::{CellModel, METRICS};
+
+const CONCURRENT_REQUESTS: usize = 64;
+
+fn main() {
+    let t_total = Instant::now();
+
+    // 1. Train and export into a scratch registry (unless STCO_STORE_DIR
+    // points somewhere explicit, which CI uses to keep runs hermetic).
+    let dir = std::env::var("STCO_STORE_DIR").map_or_else(
+        |_| std::env::temp_dir().join(format!("stco-serving-smoke-{}", std::process::id())),
+        std::path::PathBuf::from,
+    );
+    let registry = Registry::open(&dir).expect("open registry");
+    let key = demo_key();
+    let model = train_demo_model().expect("train demo model");
+    registry
+        .put(key, &model.to_artifact())
+        .expect("export artifact");
+    println!("exported demo model to {}", dir.display());
+
+    // 2. Serve it.
+    let service = ModelService::start(Some(registry), BatchConfig::default());
+    let server = TcpServer::start("127.0.0.1:0", service).expect("bind server");
+    let addr = server.addr().to_string();
+    let model_id = {
+        let mut admin = Client::connect(&addr).expect("connect admin client");
+        admin
+            .load(CellModel::ARTIFACT_KIND, key)
+            .expect("load artifact")
+    };
+    println!(
+        "serving {model_id} on {addr} (STCO_THREADS={})",
+        ParConfig::current().threads
+    );
+
+    // 3. 64 concurrent requests; every request's expected reply is the
+    // in-process prediction for the same input.
+    let all_metrics: Vec<usize> = (0..METRICS.len()).collect();
+    let requests: Vec<(PredictInput, Vec<u64>)> = (0..CONCURRENT_REQUESTS)
+        .map(|i| {
+            let kind = DEMO_CELLS[i % DEMO_CELLS.len()];
+            let metrics: Vec<usize> = match i % 3 {
+                0 => all_metrics.clone(),
+                1 => vec![0],
+                _ => vec![2, 5, 8],
+            };
+            let graph = demo_graph(kind);
+            let expected: Vec<u64> = model
+                .predict_many(&graph, &metrics)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            (PredictInput::Cell { graph, metrics }, expected)
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let mismatches: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|(input, expected)| {
+                let addr = addr.clone();
+                let model_id = model_id.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    let got: Vec<u64> = client
+                        .predict(&model_id, input, Some(10_000))
+                        .expect("predict")
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect();
+                    usize::from(&got != expected)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("join")).sum()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    // 4. Bitwise gate.
+    assert_eq!(
+        mismatches, 0,
+        "{mismatches}/{CONCURRENT_REQUESTS} TCP replies differed from in-process predict_many"
+    );
+    println!("all {CONCURRENT_REQUESTS} concurrent replies bitwise-match in-process predict_many");
+
+    // 5. Metrics + BENCH_serving.json.
+    let metrics = stco_obs::Recorder::global().metrics();
+    let latency = metrics.histogram(
+        "serve.latency_seconds",
+        &stco_obs::metrics::seconds_buckets(),
+    );
+    let occupancy_bounds: Vec<f64> = (1..=BatchConfig::default().max_batch)
+        .map(|n| n as f64)
+        .collect();
+    let occupancy = metrics.histogram("serve.batch_occupancy", &occupancy_bounds);
+    let p50 = latency.quantile(0.50).unwrap_or(0.0);
+    let p99 = latency.quantile(0.99).unwrap_or(0.0);
+    let mean_occupancy = occupancy.mean().unwrap_or(0.0);
+    let throughput = CONCURRENT_REQUESTS as f64 / wall.max(1e-9);
+    println!(
+        "throughput {throughput:.0} req/s, latency p50 {:.3} ms / p99 {:.3} ms, mean batch occupancy {mean_occupancy:.2}",
+        p50 * 1e3,
+        p99 * 1e3
+    );
+    assert!(
+        mean_occupancy >= 1.0,
+        "batch occupancy must be at least 1 (got {mean_occupancy})"
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    let out = format!(
+        "{{\n  \"threads\": {},\n  \"concurrent_requests\": {CONCURRENT_REQUESTS},\n  \
+         \"wall_seconds\": {wall:.6},\n  \"throughput_rps\": {throughput:.3},\n  \
+         \"latency_p50_seconds\": {p50:.9},\n  \"latency_p99_seconds\": {p99:.9},\n  \
+         \"mean_batch_occupancy\": {mean_occupancy:.3},\n  \"bitwise_identical\": true\n}}\n",
+        ParConfig::current().threads
+    );
+    std::fs::write(path, out).expect("write BENCH_serving.json");
+    println!("wrote {path}");
+
+    // Graceful shutdown over the wire, then tear down.
+    let mut admin = Client::connect(&addr).expect("connect admin client");
+    admin.shutdown().expect("shutdown");
+    server.stop();
+    if std::env::var("STCO_STORE_DIR").is_err() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!("done in {:.2} s", t_total.elapsed().as_secs_f64());
+}

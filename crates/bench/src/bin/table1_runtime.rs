@@ -127,46 +127,124 @@ fn write_bench_json(rows: &[(String, StageSeconds, StageSeconds, f64)], scaling:
     println!("\nwrote {path}");
 }
 
-fn train_bundle(flow: &StcoFlow, char_config: &CharConfig) -> TrainedSurrogates {
-    let data = generate_dataset(505, 12, &[Technology::Ltps]).expect("devices");
-    let (train, val) = data.split_at(10);
+/// Trains (or cache-loads) the surrogate bundle the fast flow uses.
+///
+/// Every cache key is a pure function of the configs below, so a second
+/// run with identical configs loads all three artifacts and performs
+/// zero training steps; `--no-cache` (registry = `None`) forces the
+/// full retrain. The device dataset and the SPICE cell characterization
+/// are only generated when at least one model actually needs training.
+fn train_bundle(
+    flow: &StcoFlow,
+    char_config: &CharConfig,
+    registry: Option<&stco_store::Registry>,
+) -> TrainedSurrogates {
+    const DATASET_SPEC: &str = "table1 dataset seed=505 n=12 tech=Ltps split=10";
     let schedule = TrainConfig {
         epochs: 15,
         batch_size: 2,
         patience: None,
         ..TrainConfig::default()
     };
-    let mut poisson = PoissonEmulator::new(PoissonConfig {
+    let poisson_config = PoissonConfig {
         depth: 2,
         heads: 1,
         head_dim: 8,
         ..PoissonConfig::default()
-    });
-    poisson.train(train, val, &schedule).expect("poisson");
-    let mut iv = IvPredictor::new(IvConfig {
+    };
+    let iv_config = IvConfig {
         depth: 2,
         head_dim: 8,
         mlp_hidden: 12,
         ..IvConfig::default()
-    });
-    iv.train(train, val, &schedule).expect("iv");
-    let base = stco_compact::tech::TechnologyCard::reference(Technology::Ltps);
+    };
+    let poisson_key = stco_store::ArtifactKey::from_parts(
+        PoissonEmulator::ARTIFACT_KIND,
+        &[
+            DATASET_SPEC,
+            &format!("{poisson_config:?}"),
+            &format!("{schedule:?}"),
+        ],
+    );
+    let iv_key = stco_store::ArtifactKey::from_parts(
+        IvPredictor::ARTIFACT_KIND,
+        &[
+            DATASET_SPEC,
+            &format!("{iv_config:?}"),
+            &format!("{schedule:?}"),
+        ],
+    );
+    let cell_config = CellModelConfig::default();
+    let cell_schedule = TrainConfig {
+        epochs: 25,
+        batch_size: 16,
+        patience: None,
+        ..TrainConfig::default()
+    };
     let corners = [Corner::nominal(2.5), Corner::nominal(3.5)];
-    let samples = build_cell_dataset(&base, &corners, flow.cells(), char_config).expect("cell ds");
-    let mut cells = CellModel::new(CellModelConfig::default());
-    cells
-        .train(
-            &samples,
-            &[],
-            &TrainConfig {
-                epochs: 25,
-                batch_size: 16,
-                patience: None,
-                ..TrainConfig::default()
-            },
-        )
-        .expect("cell model");
-    TrainedSurrogates { poisson, iv, cells }
+    let cell_names: Vec<&str> = flow.cells().iter().map(|c| c.name).collect();
+    let cell_key = stco_store::ArtifactKey::from_parts(
+        CellModel::ARTIFACT_KIND,
+        &[
+            "table1 base=Ltps-reference",
+            &format!("{cell_config:?}"),
+            &format!("{cell_schedule:?}"),
+            &format!("{char_config:?}"),
+            &format!("{corners:?}"),
+            &cell_names.join(","),
+        ],
+    );
+
+    let load = |kind: &str, key: stco_store::ArtifactKey| {
+        registry.and_then(|reg| reg.load(kind, key).expect("artifact cache read"))
+    };
+    let mut poisson = load(PoissonEmulator::ARTIFACT_KIND, poisson_key)
+        .map(|a| PoissonEmulator::from_artifact(&a).expect("rehydrate poisson"));
+    let mut iv = load(IvPredictor::ARTIFACT_KIND, iv_key)
+        .map(|a| IvPredictor::from_artifact(&a).expect("rehydrate iv"));
+    let mut cells = load(CellModel::ARTIFACT_KIND, cell_key)
+        .map(|a| CellModel::from_artifact(&a).expect("rehydrate cell model"));
+
+    if poisson.is_none() || iv.is_none() {
+        let data = generate_dataset(505, 12, &[Technology::Ltps]).expect("devices");
+        let (train, val) = data.split_at(10);
+        if poisson.is_none() {
+            let mut model = PoissonEmulator::new(poisson_config);
+            model.train(train, val, &schedule).expect("poisson");
+            if let Some(reg) = registry {
+                reg.put(poisson_key, &model.to_artifact())
+                    .expect("cache poisson");
+            }
+            poisson = Some(model);
+        }
+        if iv.is_none() {
+            let mut model = IvPredictor::new(iv_config);
+            model.train(train, val, &schedule).expect("iv");
+            if let Some(reg) = registry {
+                reg.put(iv_key, &model.to_artifact()).expect("cache iv");
+            }
+            iv = Some(model);
+        }
+    }
+    if cells.is_none() {
+        let base = stco_compact::tech::TechnologyCard::reference(Technology::Ltps);
+        let samples =
+            build_cell_dataset(&base, &corners, flow.cells(), char_config).expect("cell ds");
+        let mut model = CellModel::new(cell_config);
+        model
+            .train(&samples, &[], &cell_schedule)
+            .expect("cell model");
+        if let Some(reg) = registry {
+            reg.put(cell_key, &model.to_artifact())
+                .expect("cache cell model");
+        }
+        cells = Some(model);
+    }
+    TrainedSurrogates {
+        poisson: poisson.expect("poisson trained or loaded"),
+        iv: iv.expect("iv trained or loaded"),
+        cells: cells.expect("cell model trained or loaded"),
+    }
 }
 
 /// Checks that the per-stage seconds folded from the recorded trace
@@ -192,6 +270,7 @@ fn verify_trace_agreement(trace: &TraceSession, mark: usize, label: &str, printe
 
 fn main() {
     let trace = TraceSession::start("table1_runtime");
+    let registry = stco_bench::artifact_registry();
     let measured_set: Vec<Benchmark> = if paper_scale() {
         Benchmark::ALL.to_vec()
     } else {
@@ -209,7 +288,9 @@ fn main() {
         let config = FlowConfig::fast(Technology::Ltps, bench);
         let char_config = config.char_config.clone();
         let flow = StcoFlow::new(config).expect("flow");
-        let surrogates = train_bundle(&flow, &char_config);
+        let cache_before = stco_bench::cache_counters();
+        let surrogates = train_bundle(&flow, &char_config, registry.as_ref());
+        stco_bench::report_cache_delta(&format!("{}/surrogates", bench.name()), cache_before);
         let corner = Corner::nominal(3.0);
         let trad_mark = trace.as_ref().map(|t| t.mark());
         let trad = flow

@@ -6,10 +6,10 @@
 //! `STCO_SCALE=paper`: 1200 devices and the 12-layer architecture (still
 //! far below the paper's 50 000 — see EXPERIMENTS.md).
 
-use stco_bench::{banner, paper_scale};
+use stco_bench::{artifact_registry, banner, cache_counters, paper_scale, report_cache_delta};
 use stco_nn::train::TrainConfig;
 use stco_surrogate::iv_predictor::IvConfig;
-use stco_surrogate::pipeline::{run_table2, Table2Config};
+use stco_surrogate::pipeline::{run_table2_cached, Table2Config};
 use stco_surrogate::poisson_emulator::PoissonConfig;
 use stco_tcad::materials::Technology;
 
@@ -47,12 +47,16 @@ fn main() {
         "dataset: {} devices (+{} unseen), technologies {:?}",
         config.dataset_size, config.unseen_size, config.technologies
     );
+    let registry = artifact_registry();
+    let cache_before = cache_counters();
     let t0 = std::time::Instant::now();
-    let report = run_table2(&config).expect("table 2 pipeline");
+    let report = run_table2_cached(&config, registry.as_ref()).expect("table 2 pipeline");
     println!(
-        "pipeline wall clock: {:.1} s (generation + training + eval)\n",
+        "pipeline wall clock: {:.1} s (generation + training + eval)",
         t0.elapsed().as_secs_f64()
     );
+    report_cache_delta("table2", cache_before);
+    println!();
 
     println!(
         "{:<18} {:>12} {:>12} {:>12} {:>10}",

@@ -6,12 +6,15 @@
 //! grids and 35 cells are hours of single-core SPICE; see
 //! EXPERIMENTS.md).
 
-use stco_bench::{banner, bench_char_config, paper_scale};
+use stco_bench::{
+    artifact_registry, banner, bench_char_config, cache_counters, paper_scale, report_cache_delta,
+};
 use stco_cells::library::{CellKind, CellType};
-use stco_surrogate::pipeline::{run_table4, Table4Config};
+use stco_surrogate::pipeline::{run_table4_cached, Table4Config};
 use stco_tcad::materials::Technology;
 
 fn main() {
+    let registry = artifact_registry();
     let mut reports = Vec::new();
     for tech in [Technology::Ltps, Technology::Cnt] {
         let mut config = Table4Config::scaled_default(tech);
@@ -43,12 +46,14 @@ fn main() {
             config.train_levels,
             config.test_levels
         ));
+        let cache_before = cache_counters();
         let t0 = std::time::Instant::now();
-        let report = run_table4(&config).expect("table 4 pipeline");
+        let report = run_table4_cached(&config, registry.as_ref()).expect("table 4 pipeline");
         println!(
             "characterization + training wall clock: {:.1} s",
             t0.elapsed().as_secs_f64()
         );
+        report_cache_delta(&format!("table4/{tech}"), cache_before);
         println!(
             "samples: {} train / {} test\n",
             report.sizes.0, report.sizes.1

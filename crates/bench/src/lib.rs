@@ -22,6 +22,58 @@ pub fn trace_flag() -> bool {
     std::env::args().any(|a| a == "--trace")
 }
 
+/// Whether `--no-cache` was passed on the command line (forces a full
+/// retrain even when the artifact registry holds a matching model).
+pub fn no_cache_flag() -> bool {
+    std::env::args().any(|a| a == "--no-cache")
+}
+
+/// The artifact registry the bench binaries cache trained models in:
+/// `$STCO_STORE_DIR` (default `.stco-store`), or `None` with
+/// `--no-cache`. A registry that cannot be opened degrades to `None`
+/// with a warning rather than failing the bench.
+pub fn artifact_registry() -> Option<stco_store::Registry> {
+    if no_cache_flag() {
+        // stco-check: allow(no-print, user-facing bench harness status)
+        println!("artifact cache disabled (--no-cache)");
+        return None;
+    }
+    match stco_store::Registry::open_default() {
+        Ok(reg) => {
+            // stco-check: allow(no-print, user-facing bench harness status)
+            println!("artifact cache: {}", reg.dir().display());
+            Some(reg)
+        }
+        Err(e) => {
+            // stco-check: allow(no-print, user-facing bench harness warning)
+            eprintln!("warning: artifact cache unavailable ({e}); retraining");
+            None
+        }
+    }
+}
+
+/// Reads the global cache hit/miss counters (registered by
+/// `stco_store::Registry`), for before/after deltas around a cached
+/// stage.
+pub fn cache_counters() -> (u64, u64) {
+    let metrics = stco_obs::Recorder::global().metrics();
+    (
+        metrics.counter("store.cache_hit").get(),
+        metrics.counter("store.cache_miss").get(),
+    )
+}
+
+/// Prints the hit/miss delta since `before` (from [`cache_counters`]).
+pub fn report_cache_delta(label: &str, before: (u64, u64)) {
+    let (hit, miss) = cache_counters();
+    // stco-check: allow(no-print, user-facing bench harness status)
+    println!(
+        "{label}: artifact cache {} hit(s), {} miss(es)",
+        hit - before.0,
+        miss - before.1
+    );
+}
+
 /// A live tracing session for a bench binary: a JSONL sink streaming to
 /// `results/trace_<bin>.jsonl` plus an in-memory ring buffer the binary
 /// can fold into [`Profile`]s.

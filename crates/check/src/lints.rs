@@ -110,6 +110,8 @@ impl Default for LintConfig {
                     "system",
                     &["analyze_timing", "analyze_power", "place", "evaluate"],
                 ),
+                ("store", &["load", "put"]),
+                ("serve", &["submit", "load"]),
             ],
             numeric_crates: &[
                 "numerics",
@@ -122,6 +124,8 @@ impl Default for LintConfig {
                 "surrogate",
                 "system",
                 "core",
+                "store",
+                "serve",
             ],
             lossy_targets: &["f32", "i8", "i16", "i32", "u8", "u16", "u32"],
         }

@@ -1,0 +1,132 @@
+//! Artifact round-trip for calibrated compact-model parameter sets.
+//!
+//! A [`CompactModel`] is nine scalars plus a polarity tag; the artifact
+//! stores the scalars as one `1×9` tensor (raw IEEE-754 bits, so a
+//! rehydrated model evaluates bitwise-identically) and the polarity in
+//! the meta header. Kind tag: `"compact-params"`.
+
+use crate::model::{CompactModel, DeviceType};
+use stco_numerics::Matrix;
+use stco_obs::json::JsonValue;
+use stco_store::{Artifact, StoreError};
+
+/// Artifact kind tag for compact-model parameter sets.
+pub const ARTIFACT_KIND: &str = "compact-params";
+
+/// Field order of the parameter tensor (column layout of the `1×9`
+/// tensor in the artifact payload).
+pub const FIELDS: [&str; 9] = [
+    "mu0",
+    "vth",
+    "gamma",
+    "cox",
+    "width",
+    "length",
+    "ss_factor",
+    "lambda",
+    "leak_conductance",
+];
+
+/// Serializes a calibrated model into a `"compact-params"` artifact.
+#[must_use]
+pub fn to_artifact(model: &CompactModel) -> Artifact {
+    let polarity = match model.device_type() {
+        DeviceType::NType => "n",
+        DeviceType::PType => "p",
+    };
+    let values = vec![
+        model.mu0,
+        model.vth,
+        model.gamma,
+        model.cox,
+        model.width,
+        model.length,
+        model.ss_factor,
+        model.lambda,
+        model.leak_conductance,
+    ];
+    Artifact::new(
+        ARTIFACT_KIND,
+        JsonValue::Obj(vec![(
+            "device_type".to_string(),
+            JsonValue::Str(polarity.to_string()),
+        )]),
+        vec![Matrix::from_vec(1, FIELDS.len(), values)],
+    )
+}
+
+/// Rehydrates a compact model from a `"compact-params"` artifact,
+/// bitwise-faithful to the saved parameters.
+///
+/// # Errors
+///
+/// Typed [`StoreError`]s: `WrongKind` for a different artifact kind,
+/// `Header` for an unknown polarity or a malformed parameter tensor.
+pub fn from_artifact(artifact: &Artifact) -> std::result::Result<CompactModel, StoreError> {
+    artifact.expect_kind(ARTIFACT_KIND)?;
+    let device_type = match artifact.meta_str("device_type")? {
+        "n" => DeviceType::NType,
+        "p" => DeviceType::PType,
+        other => {
+            return Err(StoreError::Header {
+                context: format!("unknown device_type {other:?}"),
+            })
+        }
+    };
+    let tensor = artifact.tensors.first().ok_or_else(|| StoreError::Header {
+        context: "compact-params artifact holds no tensors".to_string(),
+    })?;
+    let v = tensor.as_slice();
+    if artifact.tensors.len() != 1 || v.len() != FIELDS.len() {
+        return Err(StoreError::Header {
+            context: format!(
+                "compact-params wants one 1×{} tensor, found {} tensors of {} values",
+                FIELDS.len(),
+                artifact.tensors.len(),
+                v.len()
+            ),
+        });
+    }
+    let mut model = CompactModel::with_params(device_type, v[0], v[1], v[2]);
+    model.cox = v[3];
+    model.width = v[4];
+    model.length = v[5];
+    model.ss_factor = v[6];
+    model.lambda = v[7];
+    model.leak_conductance = v[8];
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_bitwise() -> std::result::Result<(), StoreError> {
+        let mut model = CompactModel::ptype_reference();
+        model.mu0 *= 1.37;
+        model.vth = -0.61234567891234;
+        model.lambda = 0.0123;
+        let bytes = to_artifact(&model).to_bytes();
+        let back = from_artifact(&Artifact::from_bytes(&bytes)?)?;
+        assert_eq!(back, model);
+        assert_eq!(
+            back.drain_current(1.5, 2.0).to_bits(),
+            model.drain_current(1.5, 2.0).to_bits()
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn wrong_kind_is_typed() {
+        let other = Artifact::new(
+            "cell-model",
+            JsonValue::Obj(vec![]),
+            vec![Matrix::zeros(1, 9)],
+        );
+        assert!(matches!(
+            from_artifact(&other),
+            Err(StoreError::WrongKind { .. })
+        ));
+    }
+}

@@ -30,6 +30,7 @@
 //! assert_eq!(m.device_type(), DeviceType::NType);
 //! ```
 
+pub mod artifact;
 pub mod extract;
 pub mod measure;
 pub mod model;

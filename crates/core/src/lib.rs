@@ -74,7 +74,8 @@ from_stage_error!(
     stco_cells::CellsError,
     stco_system::SystemError,
     stco_surrogate::SurrogateError,
-    stco_numerics::NumericsError
+    stco_numerics::NumericsError,
+    stco_store::StoreError
 );
 
 /// Result alias for framework routines.

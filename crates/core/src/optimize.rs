@@ -107,42 +107,110 @@ pub fn explore_with_prescreen(
     surrogates: Option<&TrainedSurrogates>,
     config: &PrescreenConfig,
 ) -> Result<OptimizeOutcome> {
-    // Bootstrap: evaluate a deterministic spread of corners for real.
-    // Corners are drawn serially (the RNG stream anchors determinism),
-    // then evaluated on the stco-par pool in index order.
-    let mut rng = stco_numerics::rng::Xorshift::new(config.seed);
+    explore_with_prescreen_cached(flow, space, agent, stage, surrogates, config, None)
+}
+
+/// The artifact cache key of the PPA surrogate a prescreen run trains:
+/// prescreen config + design space + stage + the logic design's
+/// identity. The key does NOT capture the identity of the device/cell
+/// surrogate bundle behind `surrogates` — runs that swap bundles while
+/// keeping everything else fixed should use distinct registries (or
+/// `--no-cache`).
+pub fn prescreen_key(
+    flow: &StcoFlow,
+    space: &DesignSpace,
+    stage: TechnologyStage,
+    config: &PrescreenConfig,
+) -> stco_store::ArtifactKey {
+    let logic = flow.logic();
+    stco_store::ArtifactKey::from_parts(
+        SystemSurrogate::ARTIFACT_KIND,
+        &[
+            &format!("{config:?}"),
+            &format!("{space:?}"),
+            &format!("{stage:?}"),
+            &logic.name,
+            &format!(
+                "gates={} ffs={} pis={} nets={}",
+                logic.gate_count(),
+                logic.flip_flops.len(),
+                logic.primary_inputs.len(),
+                logic.num_nets
+            ),
+        ],
+    )
+}
+
+/// [`explore_with_prescreen`] with an optional artifact cache for the
+/// bootstrapped PPA surrogate: on a cache hit the bootstrap real
+/// evaluations AND the surrogate training are skipped entirely —
+/// `real_evaluations` drops to the shortlist size.
+///
+/// # Errors
+///
+/// Propagates flow/training/store failures.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_with_prescreen_cached(
+    flow: &StcoFlow,
+    space: &DesignSpace,
+    agent: &AgentConfig,
+    stage: TechnologyStage,
+    surrogates: Option<&TrainedSurrogates>,
+    config: &PrescreenConfig,
+    registry: Option<&stco_store::Registry>,
+) -> Result<OptimizeOutcome> {
+    let key = prescreen_key(flow, space, stage, config);
+    let cached = match registry {
+        Some(reg) => reg
+            .load(SystemSurrogate::ARTIFACT_KIND, key)?
+            .map(|a| SystemSurrogate::from_artifact(&a))
+            .transpose()?,
+        None => None,
+    };
     let mut real = 0usize;
-    let bootstrap_corners: Vec<Corner> = (0..config.bootstrap_evaluations.max(4))
-        .map(|_| {
-            let p = crate::space::SpacePoint {
-                vdd: rng.gen_range(space.levels()),
-                vth: rng.gen_range(space.levels()),
-                cox: rng.gen_range(space.levels()),
-            };
-            space.corner(p)
-        })
-        .collect();
-    let bootstrap_results = stco_par::try_par_map(
-        stco_par::ParConfig::current(),
-        &bootstrap_corners,
-        |corner| flow.run_iteration(*corner, stage, surrogates),
-    )?;
-    real += bootstrap_results.len();
-    let records: Vec<EvalRecord> = bootstrap_corners
-        .iter()
-        .zip(&bootstrap_results)
-        .map(|(corner, result)| EvalRecord::from_report(flow.logic(), *corner, &result.ppa))
-        .collect();
-    let mut ppa_model = SystemSurrogate::new(config.seed ^ 0xABCD);
-    ppa_model.train(
-        &records,
-        &stco_nn::train::TrainConfig {
-            epochs: 400,
-            batch_size: 8,
-            patience: None,
-            ..stco_nn::train::TrainConfig::default()
-        },
-    )?;
+    let ppa_model = if let Some(model) = cached {
+        model
+    } else {
+        // Bootstrap: evaluate a deterministic spread of corners for real.
+        // Corners are drawn serially (the RNG stream anchors determinism),
+        // then evaluated on the stco-par pool in index order.
+        let mut rng = stco_numerics::rng::Xorshift::new(config.seed);
+        let bootstrap_corners: Vec<Corner> = (0..config.bootstrap_evaluations.max(4))
+            .map(|_| {
+                let p = crate::space::SpacePoint {
+                    vdd: rng.gen_range(space.levels()),
+                    vth: rng.gen_range(space.levels()),
+                    cox: rng.gen_range(space.levels()),
+                };
+                space.corner(p)
+            })
+            .collect();
+        let bootstrap_results = stco_par::try_par_map(
+            stco_par::ParConfig::current(),
+            &bootstrap_corners,
+            |corner| flow.run_iteration(*corner, stage, surrogates),
+        )?;
+        real += bootstrap_results.len();
+        let records: Vec<EvalRecord> = bootstrap_corners
+            .iter()
+            .zip(&bootstrap_results)
+            .map(|(corner, result)| EvalRecord::from_report(flow.logic(), *corner, &result.ppa))
+            .collect();
+        let mut model = SystemSurrogate::new(config.seed ^ 0xABCD);
+        model.train(
+            &records,
+            &stco_nn::train::TrainConfig {
+                epochs: 400,
+                batch_size: 8,
+                patience: None,
+                ..stco_nn::train::TrainConfig::default()
+            },
+        )?;
+        if let Some(reg) = registry {
+            reg.put(key, &model.to_artifact())?;
+        }
+        model
+    };
 
     // Explore on the surrogate (free), then shortlist.
     let exploration = q_learning_explore(space, agent, |corner| {

@@ -95,6 +95,9 @@ impl Default for SystemSurrogate {
 }
 
 impl SystemSurrogate {
+    /// Artifact kind tag for [`SystemSurrogate::to_artifact`].
+    pub const ARTIFACT_KIND: &'static str = "system-surrogate";
+
     /// Builds an untrained surrogate.
     pub fn new(seed: u64) -> Self {
         let mut params = Params::new(seed);
@@ -159,6 +162,67 @@ impl SystemSurrogate {
             None::<fn(&Params) -> f64>,
         );
         Ok(history)
+    }
+
+    /// Serializes the trained surrogate into an artifact of kind
+    /// `"system-surrogate"`: MLP weights in canonical order plus the
+    /// per-channel `(mean, std)` table as a final `3×2` tensor. The
+    /// architecture is fixed (`[7, 32, 32, 3]` tanh), so no config
+    /// travels in the header.
+    pub fn to_artifact(&self) -> stco_store::Artifact {
+        let mut tensors = self.params.export_tensors();
+        let mut norm_data = Vec::with_capacity(6);
+        for (mean, std) in &self.norms {
+            norm_data.push(*mean);
+            norm_data.push(*std);
+        }
+        tensors.push(Matrix::from_vec(3, 2, norm_data));
+        stco_store::Artifact::new(
+            Self::ARTIFACT_KIND,
+            stco_obs::json::JsonValue::Obj(vec![]),
+            tensors,
+        )
+    }
+
+    /// Rehydrates a surrogate from an artifact; predicts
+    /// bitwise-identically to the saved model.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`stco_store::StoreError`]s on kind mismatch or tensors
+    /// that do not fit the fixed architecture.
+    pub fn from_artifact(
+        artifact: &stco_store::Artifact,
+    ) -> std::result::Result<Self, stco_store::StoreError> {
+        artifact.expect_kind(Self::ARTIFACT_KIND)?;
+        let (norms, weights) =
+            artifact
+                .tensors
+                .split_last()
+                .ok_or_else(|| stco_store::StoreError::Header {
+                    context: "system-surrogate artifact holds no tensors".to_string(),
+                })?;
+        let mut model = SystemSurrogate::new(0);
+        model
+            .params
+            .import_tensors(weights)
+            .map_err(|e| stco_store::StoreError::Header {
+                context: format!("weight tensors do not fit this architecture: {e}"),
+            })?;
+        if norms.rows() != 3 || norms.cols() != 2 {
+            return Err(stco_store::StoreError::Header {
+                context: format!(
+                    "system-surrogate norm tensor is {}×{}, want 3×2",
+                    norms.rows(),
+                    norms.cols()
+                ),
+            });
+        }
+        let ns = norms.as_slice();
+        for (ch, pair) in model.norms.iter_mut().enumerate() {
+            *pair = (ns[2 * ch], ns[2 * ch + 1]);
+        }
+        Ok(model)
     }
 
     /// Predicts PPA for a design/corner pair.

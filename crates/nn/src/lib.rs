@@ -62,6 +62,48 @@ use stco_numerics::Matrix;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParamId(pub(crate) usize);
 
+/// Why importing serialized tensors into a [`Params`] store failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamsImportError {
+    /// The tensor count does not match the model's parameter count.
+    CountMismatch {
+        /// Tensors the model expects.
+        expected: usize,
+        /// Tensors provided.
+        got: usize,
+    },
+    /// A tensor at `index` (canonical order) has the wrong shape.
+    ShapeMismatch {
+        /// Canonical tensor index ([`ParamId`] order).
+        index: usize,
+        /// `(rows, cols)` the model expects.
+        expected: (usize, usize),
+        /// `(rows, cols)` provided.
+        got: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for ParamsImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamsImportError::CountMismatch { expected, got } => {
+                write!(f, "tensor count mismatch: expected {expected}, got {got}")
+            }
+            ParamsImportError::ShapeMismatch {
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "tensor {index} shape mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParamsImportError {}
+
 /// Owns every trainable matrix of a model plus its gradient accumulator.
 ///
 /// Layers allocate their weights here at construction time and keep only
@@ -188,6 +230,66 @@ impl Params {
         }
     }
 
+    /// Iterates every parameter tensor in **canonical order**.
+    ///
+    /// # Canonical weight ordering (serialization contract)
+    ///
+    /// The canonical order of a model's tensors is **allocation order**:
+    /// ascending [`ParamId`], i.e. the order in which the model's layers
+    /// called [`Params::glorot`]/[`Params::zeros`]/[`Params::full`] at
+    /// construction time. Model construction is always single-threaded
+    /// and layer constructors allocate in a fixed sequence, so this
+    /// order is a pure function of the model configuration — it does not
+    /// depend on `STCO_THREADS`, on iteration over any hash-ordered
+    /// container, or on anything learned during training. Serialized
+    /// artifacts that write tensors in this order are therefore
+    /// byte-deterministic across runs and thread counts, and
+    /// [`Params::import_tensors`] can restore them into a freshly
+    /// constructed model of the same configuration.
+    pub fn tensors(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.values.iter().enumerate().map(|(i, m)| (ParamId(i), m))
+    }
+
+    /// Clones every parameter tensor in canonical order (see
+    /// [`Params::tensors`]) — the export half of artifact serialization.
+    pub fn export_tensors(&self) -> Vec<Matrix> {
+        self.values.clone()
+    }
+
+    /// Overwrites every parameter tensor from `tensors`, which must be
+    /// in canonical order (see [`Params::tensors`]) and shape-compatible
+    /// with this store. Gradient accumulators are zeroed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsImportError`] on a count or shape mismatch; the
+    /// store is left unmodified in that case.
+    pub fn import_tensors(
+        &mut self,
+        tensors: &[Matrix],
+    ) -> std::result::Result<(), ParamsImportError> {
+        if tensors.len() != self.values.len() {
+            return Err(ParamsImportError::CountMismatch {
+                expected: self.values.len(),
+                got: tensors.len(),
+            });
+        }
+        for (i, (have, new)) in self.values.iter().zip(tensors).enumerate() {
+            if have.rows() != new.rows() || have.cols() != new.cols() {
+                return Err(ParamsImportError::ShapeMismatch {
+                    index: i,
+                    expected: (have.rows(), have.cols()),
+                    got: (new.rows(), new.cols()),
+                });
+            }
+        }
+        for (slot, new) in self.values.iter_mut().zip(tensors) {
+            slot.as_mut_slice().copy_from_slice(new.as_slice());
+        }
+        self.zero_grads();
+        Ok(())
+    }
+
     /// Global gradient-norm clipping; returns the pre-clip norm.
     pub fn clip_grad_norm(&mut self, max_norm: f64) -> f64 {
         let total: f64 = self
@@ -215,4 +317,71 @@ pub(crate) fn params_accumulate(params: &mut Params, id: ParamId, grad: &Matrix)
 /// Internal index accessor for optimizers within the crate.
 pub(crate) fn param_ids(params: &Params) -> impl Iterator<Item = ParamId> {
     (0..params.len()).map(ParamId)
+}
+
+#[cfg(test)]
+mod canonical_order_tests {
+    use super::*;
+    use crate::layers::{Activation, Mlp};
+
+    fn build(seed: u64) -> Params {
+        let mut params = Params::new(seed);
+        let _mlp = Mlp::new(&mut params, &[3, 5, 2], Activation::Relu);
+        params
+    }
+
+    /// Two identically-configured models export bitwise-identical tensor
+    /// streams, in the same canonical order — the property artifact
+    /// determinism rests on.
+    #[test]
+    fn canonical_order_is_reproducible() {
+        let a = build(11);
+        let b = build(11);
+        let ta = a.export_tensors();
+        let tb = b.export_tensors();
+        assert_eq!(ta.len(), tb.len());
+        assert!(!ta.is_empty());
+        for (x, y) in ta.iter().zip(&tb) {
+            assert_eq!(x.rows(), y.rows());
+            assert_eq!(x.cols(), y.cols());
+            let bits_x: Vec<u64> = x.as_slice().iter().map(|v| v.to_bits()).collect();
+            let bits_y: Vec<u64> = y.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_x, bits_y);
+        }
+        // tensors() yields ascending ParamId — allocation order.
+        let ids: Vec<usize> = a.tensors().map(|(id, _)| id.0).collect();
+        let sorted: Vec<usize> = (0..a.len()).collect();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn import_round_trips_values() -> std::result::Result<(), ParamsImportError> {
+        let src = build(7);
+        let mut dst = build(99);
+        dst.import_tensors(&src.export_tensors())?;
+        for ((_, a), (_, b)) in src.tensors().zip(dst.tensors()) {
+            let bits_a: Vec<u64> = a.as_slice().iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u64> = b.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_a, bits_b);
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn import_rejects_count_and_shape_mismatches() {
+        let src = build(7);
+        let mut dst = build(7);
+        let mut short = src.export_tensors();
+        short.pop();
+        assert!(matches!(
+            dst.import_tensors(&short),
+            Err(ParamsImportError::CountMismatch { .. })
+        ));
+        let mut wrong = src.export_tensors();
+        wrong[0] = Matrix::zeros(1, 1);
+        assert!(matches!(
+            dst.import_tensors(&wrong),
+            Err(ParamsImportError::ShapeMismatch { index: 0, .. })
+        ));
+    }
 }

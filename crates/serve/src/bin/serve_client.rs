@@ -1,0 +1,80 @@
+//! A command-line client for a running `stco-serve` — step 3 of the
+//! serving quickstart.
+//!
+//! ```text
+//! serve_client ADDR ping
+//! serve_client ADDR stats
+//! serve_client ADDR load KIND HEXKEY
+//! serve_client ADDR predict-demo MODEL_ID
+//! serve_client ADDR shutdown
+//! ```
+//!
+//! `predict-demo` sends the demo Inv cell graph (the one
+//! `train_and_export` trained on) and prints all nine predicted
+//! metrics.
+
+use stco_cells::library::CellKind;
+use stco_serve::demo::demo_graph;
+use stco_serve::service::PredictInput;
+use stco_serve::Client;
+use stco_store::ArtifactKey;
+use stco_surrogate::cell_model::METRICS;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, op) = match args.as_slice() {
+        [addr, op, ..] => (addr.clone(), op.clone()),
+        _ => {
+            eprintln!("usage: serve_client ADDR ping|stats|load|predict-demo|shutdown [...]");
+            std::process::exit(2);
+        }
+    };
+    let mut client = Client::connect(&addr).expect("connect");
+    match op.as_str() {
+        "ping" => {
+            client.ping().expect("ping");
+            println!("pong");
+        }
+        "stats" => {
+            let (depth, loaded) = client.stats().expect("stats");
+            println!("queue depth: {depth}");
+            println!("loaded models ({}):", loaded.len());
+            for id in loaded {
+                println!("  {id}");
+            }
+        }
+        "load" => {
+            let [_, _, kind, hex] = args.as_slice() else {
+                eprintln!("usage: serve_client ADDR load KIND HEXKEY");
+                std::process::exit(2);
+            };
+            let key = u64::from_str_radix(hex, 16).expect("HEXKEY must be hex");
+            let id = client
+                .load(kind, ArtifactKey::from_value(key))
+                .expect("load");
+            println!("loaded {id}");
+        }
+        "predict-demo" => {
+            let [_, _, model] = args.as_slice() else {
+                eprintln!("usage: serve_client ADDR predict-demo MODEL_ID");
+                std::process::exit(2);
+            };
+            let input = PredictInput::Cell {
+                graph: demo_graph(CellKind::Inv),
+                metrics: (0..METRICS.len()).collect(),
+            };
+            let values = client.predict(model, &input, Some(5_000)).expect("predict");
+            for (name, value) in METRICS.iter().zip(&values) {
+                println!("{name:<20} {value:>14.6e}");
+            }
+        }
+        "shutdown" => {
+            client.shutdown().expect("shutdown");
+            println!("server shutting down");
+        }
+        other => {
+            eprintln!("unknown op {other:?}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Trains the tiny demo cell model and exports it into the artifact
+//! registry — step 1 of the serving quickstart.
+//!
+//! ```text
+//! train_and_export
+//! ```
+//!
+//! The registry directory comes from `$STCO_STORE_DIR` (default
+//! `.stco-store`). Prints the artifact kind, key and model id to pass
+//! to `stco-serve` / `serve_client`. Re-runs are cache hits: if the
+//! artifact already exists the model is not retrained.
+
+use stco_serve::demo::{demo_key, train_demo_model};
+use stco_serve::service::ModelService;
+use stco_store::Registry;
+use stco_surrogate::cell_model::CellModel;
+
+fn main() {
+    let registry = Registry::open_default().expect("open artifact registry");
+    let key = demo_key();
+    let cached = registry
+        .load(CellModel::ARTIFACT_KIND, key)
+        .expect("read registry");
+    let path = if cached.is_some() {
+        println!("cache hit: demo model already exported, no training run");
+        registry.path_for(CellModel::ARTIFACT_KIND, key)
+    } else {
+        let t0 = std::time::Instant::now();
+        let model = train_demo_model().expect("train demo model");
+        let path = registry
+            .put(key, &model.to_artifact())
+            .expect("write artifact");
+        println!("trained demo model in {:.2?}", t0.elapsed());
+        path
+    };
+    println!("artifact: {}", path.display());
+    println!("kind:     {}", CellModel::ARTIFACT_KIND);
+    println!("key:      {}", key.to_hex());
+    println!(
+        "model id: {}",
+        ModelService::model_id(CellModel::ARTIFACT_KIND, key)
+    );
+    println!();
+    println!("serve it:  cargo run -p stco-serve --bin stco-serve -- \\");
+    println!(
+        "             --load {}:{}",
+        CellModel::ARTIFACT_KIND,
+        key.to_hex()
+    );
+}

@@ -1,0 +1,57 @@
+//! `stco-serve`: serve surrogate models from an artifact registry over
+//! TCP.
+//!
+//! ```text
+//! stco-serve [--bind ADDR] [--load KIND:HEXKEY]...
+//! ```
+//!
+//! * `--bind` — listen address, default `127.0.0.1:7878` (use `:0` for
+//!   an ephemeral port; the bound address is printed).
+//! * `--load` — pre-load an artifact from the registry at startup
+//!   (clients can also load lazily with the `load` op).
+//!
+//! The registry directory comes from `$STCO_STORE_DIR` (default
+//! `.stco-store`). The server runs until a client sends `shutdown` or
+//! the process is killed.
+
+use stco_serve::service::{BatchConfig, ModelService};
+use stco_serve::TcpServer;
+use stco_store::{ArtifactKey, Registry};
+
+fn main() {
+    let mut bind = "127.0.0.1:7878".to_string();
+    let mut preload: Vec<(String, ArtifactKey)> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bind" => {
+                bind = args.next().expect("--bind needs an address");
+            }
+            "--load" => {
+                let spec = args.next().expect("--load needs KIND:HEXKEY");
+                let (kind, hex) = spec
+                    .rsplit_once(':')
+                    .expect("--load spec must be KIND:HEXKEY");
+                let key = u64::from_str_radix(hex, 16).expect("HEXKEY must be hex");
+                preload.push((kind.to_string(), ArtifactKey::from_value(key)));
+            }
+            "--help" | "-h" => {
+                println!("usage: stco-serve [--bind ADDR] [--load KIND:HEXKEY]...");
+                return;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let registry = Registry::open_default().expect("open artifact registry");
+    println!("registry: {}", registry.dir().display());
+    let service = ModelService::start(Some(registry), BatchConfig::default());
+    for (kind, key) in &preload {
+        let id = service.load(kind, *key).expect("preload artifact");
+        println!("loaded {id}");
+    }
+    let server = TcpServer::start(&bind, service).expect("bind server");
+    println!("listening on {}", server.addr());
+    server.wait();
+    println!("server stopped");
+}

@@ -1,0 +1,617 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every frame is `u32` (big-endian) byte length followed by one UTF-8
+//! JSON document rendered/parsed by [`stco_obs::json`]. Floats travel
+//! as shortest-roundtrip decimal, which Rust renders and re-parses to
+//! the same bits (`-0.0` renders as `0`, the one accepted exception —
+//! see `stco_obs::json`).
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"load","kind":"cell-model","key":"00ab…"}        // key: 16-hex
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! {"op":"predict","model":"cell-model:00ab…","deadline_ms":250,
+//!  "input":{"task":"cell","metrics":[0,3],"graph":{…}}}
+//! ```
+//!
+//! Replies mirror them: `{"ok":"pong"}`, `{"ok":"loaded","model":id}`,
+//! `{"ok":"stats",…}`, `{"ok":"shutting-down"}`,
+//! `{"ok":"values","values":[…]}` or
+//! `{"err":{"code":"queue-full","message":"…"}}`.
+
+use std::io::{Read, Write};
+
+use stco_cells::encode::{CellGraph, CellNodeKind};
+use stco_nn::gnn::GraphData;
+use stco_numerics::Matrix;
+use stco_obs::json::JsonValue;
+use stco_store::ArtifactKey;
+
+use crate::service::PredictInput;
+use crate::{Result, ServeError};
+
+/// Upper bound on a single frame (64 MiB) — a corrupt length prefix
+/// must not trigger a giant allocation.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+fn proto(context: impl Into<String>) -> ServeError {
+    ServeError::Protocol {
+        context: context.into(),
+    }
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] on oversized documents, [`ServeError::Io`]
+/// on socket failures.
+pub fn write_frame<W: Write>(w: &mut W, doc: &JsonValue) -> Result<()> {
+    let body = doc.render();
+    let len = u32::try_from(body.len())
+        .ok()
+        .filter(|l| *l as usize <= MAX_FRAME);
+    let len =
+        len.ok_or_else(|| proto(format!("frame of {} bytes exceeds MAX_FRAME", body.len())))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::Interrupted
+    )
+}
+
+/// Fills `buf` fully, retrying read timeouts — once a frame has
+/// started, a timeout must not drop the bytes already consumed.
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8], context: &str) -> Result<()> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(proto(format!("connection closed mid {context}"))),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {}
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame; `Ok(None)` on a clean EOF at a frame boundary.
+///
+/// A read timeout *before any byte of a frame* surfaces as
+/// [`ServeError::Io`] (`WouldBlock`/`TimedOut`) so idle loops can poll
+/// a stop flag; timeouts mid-frame are retried internally.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] on oversized/truncated/non-JSON frames,
+/// [`ServeError::Io`] on socket failures.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<JsonValue>> {
+    let mut prefix = [0u8; 4];
+    // First byte: EOF and timeouts surface to the caller.
+    let first = loop {
+        match r.read(&mut prefix[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break prefix[0],
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+    };
+    prefix[0] = first;
+    read_full(r, &mut prefix[1..], "length prefix")?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(proto(format!("frame length {len} exceeds MAX_FRAME")));
+    }
+    let mut body = vec![0u8; len];
+    read_full(r, &mut body, "frame body")?;
+    let text = String::from_utf8(body).map_err(|_| proto("frame body is not UTF-8"))?;
+    JsonValue::parse(&text)
+        .map(Some)
+        .map_err(|e| proto(format!("frame is not JSON: {e}")))
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Load an artifact from the registry into the warm cache.
+    Load {
+        /// Artifact kind.
+        kind: String,
+        /// Artifact key.
+        key: ArtifactKey,
+    },
+    /// Queue/model statistics.
+    Stats,
+    /// Graceful server shutdown.
+    Shutdown,
+    /// One prediction.
+    Predict {
+        /// Model id (`kind:hex`).
+        model: String,
+        /// The payload.
+        input: PredictInput,
+        /// Optional per-request deadline, milliseconds.
+        deadline_ms: Option<u64>,
+    },
+}
+
+fn num(v: usize) -> JsonValue {
+    JsonValue::Num(v as f64)
+}
+
+fn obj(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn str_field(doc: &JsonValue, key: &str) -> Result<String> {
+    doc.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| proto(format!("missing/non-string field {key:?}")))
+}
+
+fn f64_vec(doc: &JsonValue, key: &str) -> Result<Vec<f64>> {
+    let JsonValue::Arr(items) = doc
+        .get(key)
+        .ok_or_else(|| proto(format!("missing array field {key:?}")))?
+    else {
+        return Err(proto(format!("field {key:?} is not an array")));
+    };
+    items
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| proto(format!("non-number in {key:?}")))
+        })
+        .collect()
+}
+
+fn usize_vec(doc: &JsonValue, key: &str) -> Result<Vec<usize>> {
+    let JsonValue::Arr(items) = doc
+        .get(key)
+        .ok_or_else(|| proto(format!("missing array field {key:?}")))?
+    else {
+        return Err(proto(format!("field {key:?} is not an array")));
+    };
+    items
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .map(|u| u as usize)
+                .ok_or_else(|| proto(format!("non-index in {key:?}")))
+        })
+        .collect()
+}
+
+fn edges_to_json(edges: &[(usize, usize)]) -> JsonValue {
+    JsonValue::Arr(
+        edges
+            .iter()
+            .map(|(s, d)| JsonValue::Arr(vec![num(*s), num(*d)]))
+            .collect(),
+    )
+}
+
+fn edges_from_json(doc: &JsonValue, key: &str) -> Result<Vec<(usize, usize)>> {
+    let JsonValue::Arr(items) = doc
+        .get(key)
+        .ok_or_else(|| proto(format!("missing array field {key:?}")))?
+    else {
+        return Err(proto(format!("field {key:?} is not an array")));
+    };
+    items
+        .iter()
+        .map(|pair| {
+            let JsonValue::Arr(sd) = pair else {
+                return Err(proto("edge is not a 2-array"));
+            };
+            match sd.as_slice() {
+                [s, d] => {
+                    let s = s
+                        .as_u64()
+                        .ok_or_else(|| proto("edge src is not an index"))?;
+                    let d = d
+                        .as_u64()
+                        .ok_or_else(|| proto("edge dst is not an index"))?;
+                    Ok((s as usize, d as usize))
+                }
+                _ => Err(proto("edge is not a 2-array")),
+            }
+        })
+        .collect()
+}
+
+fn matrix_to_json(m: &Matrix) -> JsonValue {
+    obj(vec![
+        ("rows", num(m.rows())),
+        ("cols", num(m.cols())),
+        (
+            "data",
+            JsonValue::Arr(m.as_slice().iter().map(|v| JsonValue::Num(*v)).collect()),
+        ),
+    ])
+}
+
+fn matrix_from_json(doc: &JsonValue, key: &str) -> Result<Matrix> {
+    let m = doc
+        .get(key)
+        .ok_or_else(|| proto(format!("missing matrix field {key:?}")))?;
+    let rows = m
+        .get("rows")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| proto("matrix missing rows"))? as usize;
+    let cols = m
+        .get("cols")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| proto("matrix missing cols"))? as usize;
+    let data = f64_vec(m, "data")?;
+    if rows.checked_mul(cols) != Some(data.len()) {
+        return Err(proto(format!(
+            "matrix {key:?} claims {rows}×{cols} but carries {} values",
+            data.len()
+        )));
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+const KIND_TAGS: [(CellNodeKind, u64); 6] = [
+    (CellNodeKind::Input, 0),
+    (CellNodeKind::Output, 1),
+    (CellNodeKind::NFet, 2),
+    (CellNodeKind::PFet, 3),
+    (CellNodeKind::Vdd, 4),
+    (CellNodeKind::Vss, 5),
+];
+
+fn kind_to_tag(kind: CellNodeKind) -> u64 {
+    KIND_TAGS
+        .iter()
+        .find(|(k, _)| *k == kind)
+        .map_or(0, |(_, t)| *t)
+}
+
+fn kind_from_tag(tag: u64) -> Result<CellNodeKind> {
+    KIND_TAGS
+        .iter()
+        .find(|(_, t)| *t == tag)
+        .map(|(k, _)| *k)
+        .ok_or_else(|| proto(format!("unknown cell node kind tag {tag}")))
+}
+
+fn cell_graph_to_json(graph: &CellGraph) -> JsonValue {
+    obj(vec![
+        (
+            "features",
+            JsonValue::Arr(graph.features.iter().map(|v| JsonValue::Num(*v)).collect()),
+        ),
+        (
+            "kinds",
+            JsonValue::Arr(
+                graph
+                    .kinds
+                    .iter()
+                    .map(|k| JsonValue::Num(kind_to_tag(*k) as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "labels",
+            JsonValue::Arr(
+                graph
+                    .labels
+                    .iter()
+                    .map(|l| JsonValue::Str(l.clone()))
+                    .collect(),
+            ),
+        ),
+        ("edges", edges_to_json(&graph.edges)),
+    ])
+}
+
+fn cell_graph_from_json(doc: &JsonValue) -> Result<CellGraph> {
+    let features = f64_vec(doc, "features")?;
+    let kinds = usize_vec(doc, "kinds")?
+        .into_iter()
+        .map(|t| kind_from_tag(t as u64))
+        .collect::<Result<Vec<CellNodeKind>>>()?;
+    let JsonValue::Arr(label_items) = doc
+        .get("labels")
+        .ok_or_else(|| proto("missing array field \"labels\""))?
+    else {
+        return Err(proto("field \"labels\" is not an array"));
+    };
+    let labels = label_items
+        .iter()
+        .map(|l| {
+            l.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| proto("non-string label"))
+        })
+        .collect::<Result<Vec<String>>>()?;
+    let edges = edges_from_json(doc, "edges")?;
+    Ok(CellGraph {
+        features,
+        kinds,
+        labels,
+        edges,
+    })
+}
+
+fn device_graph_to_json(graph: &GraphData) -> JsonValue {
+    obj(vec![
+        ("node_features", matrix_to_json(&graph.node_features)),
+        ("edges", edges_to_json(&graph.edges)),
+        ("edge_features", matrix_to_json(&graph.edge_features)),
+    ])
+}
+
+fn device_graph_from_json(doc: &JsonValue) -> Result<GraphData> {
+    Ok(GraphData {
+        node_features: matrix_from_json(doc, "node_features")?,
+        edges: edges_from_json(doc, "edges")?,
+        edge_features: matrix_from_json(doc, "edge_features")?,
+    })
+}
+
+/// Encodes a predict input as its wire JSON.
+#[must_use]
+pub fn input_to_json(input: &PredictInput) -> JsonValue {
+    match input {
+        PredictInput::Cell { graph, metrics } => obj(vec![
+            ("task", JsonValue::Str("cell".to_string())),
+            (
+                "metrics",
+                JsonValue::Arr(metrics.iter().map(|m| num(*m)).collect()),
+            ),
+            ("graph", cell_graph_to_json(graph)),
+        ]),
+        PredictInput::Poisson { graph } => obj(vec![
+            ("task", JsonValue::Str("poisson".to_string())),
+            ("graph", device_graph_to_json(graph)),
+        ]),
+        PredictInput::Iv { graph } => obj(vec![
+            ("task", JsonValue::Str("iv".to_string())),
+            ("graph", device_graph_to_json(graph)),
+        ]),
+    }
+}
+
+/// Decodes a predict input from its wire JSON.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] on unknown tasks or malformed payloads.
+pub fn input_from_json(doc: &JsonValue) -> Result<PredictInput> {
+    let task = str_field(doc, "task")?;
+    let graph = doc
+        .get("graph")
+        .ok_or_else(|| proto("missing field \"graph\""))?;
+    match task.as_str() {
+        "cell" => Ok(PredictInput::Cell {
+            graph: cell_graph_from_json(graph)?,
+            metrics: usize_vec(doc, "metrics")?,
+        }),
+        "poisson" => Ok(PredictInput::Poisson {
+            graph: device_graph_from_json(graph)?,
+        }),
+        "iv" => Ok(PredictInput::Iv {
+            graph: device_graph_from_json(graph)?,
+        }),
+        other => Err(proto(format!("unknown task {other:?}"))),
+    }
+}
+
+impl Request {
+    /// Encodes the request as its wire JSON.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            Request::Ping => obj(vec![("op", JsonValue::Str("ping".to_string()))]),
+            Request::Load { kind, key } => obj(vec![
+                ("op", JsonValue::Str("load".to_string())),
+                ("kind", JsonValue::Str(kind.clone())),
+                ("key", JsonValue::Str(key.to_hex())),
+            ]),
+            Request::Stats => obj(vec![("op", JsonValue::Str("stats".to_string()))]),
+            Request::Shutdown => obj(vec![("op", JsonValue::Str("shutdown".to_string()))]),
+            Request::Predict {
+                model,
+                input,
+                deadline_ms,
+            } => {
+                let mut pairs = vec![
+                    ("op", JsonValue::Str("predict".to_string())),
+                    ("model", JsonValue::Str(model.clone())),
+                    ("input", input_to_json(input)),
+                ];
+                if let Some(ms) = deadline_ms {
+                    pairs.push(("deadline_ms", JsonValue::Num(*ms as f64)));
+                }
+                obj(pairs)
+            }
+        }
+    }
+
+    /// Decodes a request from its wire JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] on unknown ops or malformed fields.
+    pub fn from_json(doc: &JsonValue) -> Result<Request> {
+        let op = str_field(doc, "op")?;
+        match op.as_str() {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "load" => {
+                let kind = str_field(doc, "kind")?;
+                let hex = str_field(doc, "key")?;
+                let key = u64::from_str_radix(&hex, 16)
+                    .map_err(|_| proto(format!("key {hex:?} is not a hex u64")))?;
+                Ok(Request::Load {
+                    kind,
+                    key: ArtifactKey::from_value(key),
+                })
+            }
+            "predict" => {
+                let model = str_field(doc, "model")?;
+                let input = input_from_json(
+                    doc.get("input")
+                        .ok_or_else(|| proto("missing field \"input\""))?,
+                )?;
+                let deadline_ms = match doc.get("deadline_ms") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(v) => Some(
+                        v.as_u64()
+                            .ok_or_else(|| proto("deadline_ms is not an integer"))?,
+                    ),
+                };
+                Ok(Request::Predict {
+                    model,
+                    input,
+                    deadline_ms,
+                })
+            }
+            other => Err(proto(format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+/// A decoded server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Ping acknowledged.
+    Pong,
+    /// Artifact loaded into the warm cache.
+    Loaded {
+        /// Model id it is now served under.
+        model: String,
+    },
+    /// Queue/model statistics.
+    Stats {
+        /// Requests currently queued.
+        queue_depth: usize,
+        /// Loaded model ids, sorted.
+        loaded: Vec<String>,
+    },
+    /// Shutdown acknowledged; the server drains and exits.
+    ShuttingDown,
+    /// Prediction values.
+    Values(Vec<f64>),
+    /// Typed error.
+    Error {
+        /// Stable code (see [`ServeError::code`]).
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl Reply {
+    /// Encodes the reply as its wire JSON.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            Reply::Pong => obj(vec![("ok", JsonValue::Str("pong".to_string()))]),
+            Reply::Loaded { model } => obj(vec![
+                ("ok", JsonValue::Str("loaded".to_string())),
+                ("model", JsonValue::Str(model.clone())),
+            ]),
+            Reply::Stats {
+                queue_depth,
+                loaded,
+            } => obj(vec![
+                ("ok", JsonValue::Str("stats".to_string())),
+                ("queue_depth", num(*queue_depth)),
+                (
+                    "loaded",
+                    JsonValue::Arr(loaded.iter().map(|m| JsonValue::Str(m.clone())).collect()),
+                ),
+            ]),
+            Reply::ShuttingDown => obj(vec![("ok", JsonValue::Str("shutting-down".to_string()))]),
+            Reply::Values(values) => obj(vec![
+                ("ok", JsonValue::Str("values".to_string())),
+                (
+                    "values",
+                    JsonValue::Arr(values.iter().map(|v| JsonValue::Num(*v)).collect()),
+                ),
+            ]),
+            Reply::Error { code, message } => obj(vec![(
+                "err",
+                obj(vec![
+                    ("code", JsonValue::Str(code.clone())),
+                    ("message", JsonValue::Str(message.clone())),
+                ]),
+            )]),
+        }
+    }
+
+    /// Decodes a reply from its wire JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] on malformed replies.
+    pub fn from_json(doc: &JsonValue) -> Result<Reply> {
+        if let Some(err) = doc.get("err") {
+            return Ok(Reply::Error {
+                code: str_field(err, "code")?,
+                message: str_field(err, "message")?,
+            });
+        }
+        let ok = str_field(doc, "ok")?;
+        match ok.as_str() {
+            "pong" => Ok(Reply::Pong),
+            "loaded" => Ok(Reply::Loaded {
+                model: str_field(doc, "model")?,
+            }),
+            "stats" => Ok(Reply::Stats {
+                queue_depth: doc
+                    .get("queue_depth")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| proto("stats missing queue_depth"))?
+                    as usize,
+                loaded: {
+                    let JsonValue::Arr(items) = doc
+                        .get("loaded")
+                        .ok_or_else(|| proto("stats missing loaded"))?
+                    else {
+                        return Err(proto("stats loaded is not an array"));
+                    };
+                    items
+                        .iter()
+                        .map(|m| {
+                            m.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| proto("non-string model id"))
+                        })
+                        .collect::<Result<Vec<String>>>()?
+                },
+            }),
+            "shutting-down" => Ok(Reply::ShuttingDown),
+            "values" => Ok(Reply::Values(f64_vec(doc, "values")?)),
+            other => Err(proto(format!("unknown reply tag {other:?}"))),
+        }
+    }
+
+    /// The error reply for a serve-side failure.
+    #[must_use]
+    pub fn from_error(e: &ServeError) -> Reply {
+        Reply::Error {
+            code: e.code().to_string(),
+            message: e.to_string(),
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! The in-process model service: warm artifact cache + dynamic
+//! micro-batching queue.
+//!
+//! # Batching policy
+//!
+//! Requests enqueue into a bounded queue. A dedicated worker drains a
+//! batch when either (a) [`BatchConfig::max_batch`] requests are
+//! waiting, or (b) the *oldest* waiting request has lingered
+//! [`BatchConfig::max_linger`] — so a lone request pays at most the
+//! linger, and a burst fills batches immediately. The batch executes as
+//! one [`stco_par::par_map`] over the items; each item runs exactly the
+//! forward graph a serial `predict` call runs, so batched replies are
+//! bitwise-identical to serial ones at every thread count.
+//!
+//! # Backpressure and deadlines
+//!
+//! When [`BatchConfig::max_pending`] requests are queued, further
+//! submits fail fast with [`ServeError::QueueFull`] — the caller
+//! retries rather than the queue growing unboundedly. Every request
+//! carries a deadline; a request still queued past its deadline is
+//! answered [`ServeError::DeadlineExceeded`] without executing.
+//!
+//! # Shutdown
+//!
+//! [`ModelService::shutdown`] stops new submits, lets the worker drain
+//! every queued request (executing them — a accepted request is always
+//! answered), then joins the worker.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use stco_cells::encode::{CellGraph, FEATURE_DIM};
+use stco_nn::gnn::GraphData;
+use stco_store::{Artifact, ArtifactKey, Registry};
+use stco_surrogate::cell_model::{CellModel, METRICS};
+use stco_surrogate::encoding::{EDGE_DIM, NODE_DIM};
+use stco_surrogate::iv_predictor::IvPredictor;
+use stco_surrogate::poisson_emulator::PoissonEmulator;
+
+use crate::{Result, ServeError};
+
+/// Micro-batching queue parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Largest batch one worker pass executes.
+    pub max_batch: usize,
+    /// Longest the oldest request may wait before a partial batch runs.
+    pub max_linger: Duration,
+    /// Queue bound; submits beyond it fail with `QueueFull`.
+    pub max_pending: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 16,
+            max_linger: Duration::from_millis(2),
+            max_pending: 1024,
+            default_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A model rehydrated from an artifact, ready to answer predictions.
+#[derive(Debug)]
+pub enum LoadedModel {
+    /// GCN cell-characterization model.
+    Cell(CellModel),
+    /// RelGAT Poisson emulator.
+    Poisson(PoissonEmulator),
+    /// RelGAT IV predictor.
+    Iv(IvPredictor),
+}
+
+impl LoadedModel {
+    /// Rehydrates whichever model kind the artifact holds.
+    ///
+    /// # Errors
+    ///
+    /// [`stco_store::StoreError::WrongKind`] for artifact kinds that
+    /// are not servable models, plus any rehydration failure.
+    pub fn from_artifact(
+        artifact: &Artifact,
+    ) -> std::result::Result<LoadedModel, stco_store::StoreError> {
+        match artifact.kind.as_str() {
+            CellModel::ARTIFACT_KIND => Ok(LoadedModel::Cell(CellModel::from_artifact(artifact)?)),
+            PoissonEmulator::ARTIFACT_KIND => Ok(LoadedModel::Poisson(
+                PoissonEmulator::from_artifact(artifact)?,
+            )),
+            IvPredictor::ARTIFACT_KIND => {
+                Ok(LoadedModel::Iv(IvPredictor::from_artifact(artifact)?))
+            }
+            other => Err(stco_store::StoreError::WrongKind {
+                expected: "a servable model kind".to_string(),
+                found: other.to_string(),
+            }),
+        }
+    }
+
+    /// The artifact kind this model was loaded from.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LoadedModel::Cell(_) => CellModel::ARTIFACT_KIND,
+            LoadedModel::Poisson(_) => PoissonEmulator::ARTIFACT_KIND,
+            LoadedModel::Iv(_) => IvPredictor::ARTIFACT_KIND,
+        }
+    }
+
+    /// Runs one prediction — the exact forward pass a direct
+    /// `predict`/`predict_many` call runs, so the result is bitwise
+    /// identical to in-process inference.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] when the payload does not fit the
+    /// model (wrong task, inconsistent shapes, out-of-range indices).
+    pub fn predict(&self, input: &PredictInput) -> Result<Vec<f64>> {
+        input.validate()?;
+        match (self, input) {
+            (LoadedModel::Cell(model), PredictInput::Cell { graph, metrics }) => {
+                Ok(model.predict_many(graph, metrics))
+            }
+            (LoadedModel::Poisson(model), PredictInput::Poisson { graph }) => {
+                Ok(model.predict_graph(graph))
+            }
+            (LoadedModel::Iv(model), PredictInput::Iv { graph }) => {
+                Ok(vec![model.predict_log_current_graph(graph)])
+            }
+            _ => Err(ServeError::BadInput {
+                context: format!(
+                    "input task {:?} does not match model kind {:?}",
+                    input.task(),
+                    self.kind()
+                ),
+            }),
+        }
+    }
+}
+
+/// One predict request payload.
+#[derive(Debug, Clone)]
+pub enum PredictInput {
+    /// Cell-metric prediction over a Table III cell graph.
+    Cell {
+        /// The encoded cell graph.
+        graph: CellGraph,
+        /// Metric indices to read (into `METRICS`).
+        metrics: Vec<usize>,
+    },
+    /// Per-node potential map over an encoded device graph.
+    Poisson {
+        /// The encoded device graph (Poisson task features).
+        graph: GraphData,
+    },
+    /// `log₁₀|I_D|` over an encoded device graph.
+    Iv {
+        /// The encoded device graph (IV task features).
+        graph: GraphData,
+    },
+}
+
+impl PredictInput {
+    /// Short task tag (the wire `task` field).
+    #[must_use]
+    pub fn task(&self) -> &'static str {
+        match self {
+            PredictInput::Cell { .. } => "cell",
+            PredictInput::Poisson { .. } => "poisson",
+            PredictInput::Iv { .. } => "iv",
+        }
+    }
+
+    /// Validates internal consistency (shapes, index ranges).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] with a description of the violation.
+    pub fn validate(&self) -> Result<()> {
+        let bad = |context: String| Err(ServeError::BadInput { context });
+        match self {
+            PredictInput::Cell { graph, metrics } => {
+                let n = graph.num_nodes();
+                if graph.features.len() != n * FEATURE_DIM {
+                    return bad(format!(
+                        "cell graph has {} feature values for {n} nodes (want {})",
+                        graph.features.len(),
+                        n * FEATURE_DIM
+                    ));
+                }
+                if graph.labels.len() != n {
+                    return bad(format!("{} labels for {n} nodes", graph.labels.len()));
+                }
+                if n == 0 {
+                    return bad("empty cell graph".to_string());
+                }
+                if let Some((s, d)) = graph.edges.iter().find(|(s, d)| *s >= n || *d >= n) {
+                    return bad(format!("edge ({s},{d}) out of range for {n} nodes"));
+                }
+                if metrics.is_empty() {
+                    return bad("no metrics requested".to_string());
+                }
+                if let Some(m) = metrics.iter().find(|m| **m >= METRICS.len()) {
+                    return bad(format!("metric index {m} out of range"));
+                }
+                Ok(())
+            }
+            PredictInput::Poisson { graph } | PredictInput::Iv { graph } => {
+                let n = graph.num_nodes();
+                if n == 0 {
+                    return bad("empty device graph".to_string());
+                }
+                if graph.node_features.cols() != NODE_DIM {
+                    return bad(format!(
+                        "device graph has node dim {} (want {NODE_DIM})",
+                        graph.node_features.cols()
+                    ));
+                }
+                if graph.edge_features.rows() != graph.edges.len()
+                    || graph.edge_features.cols() != EDGE_DIM
+                {
+                    return bad(format!(
+                        "edge features are {}×{} for {} edges (want {}×{EDGE_DIM})",
+                        graph.edge_features.rows(),
+                        graph.edge_features.cols(),
+                        graph.edges.len(),
+                        graph.edges.len()
+                    ));
+                }
+                if let Some((s, d)) = graph.edges.iter().find(|(s, d)| *s >= n || *d >= n) {
+                    return bad(format!("edge ({s},{d}) out of range for {n} nodes"));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Reply channel for one queued request.
+type ReplySender = mpsc::Sender<Result<Vec<f64>>>;
+
+struct Pending {
+    model: Arc<LoadedModel>,
+    input: PredictInput,
+    enqueued: Instant,
+    deadline: Instant,
+    reply: ReplySender,
+}
+
+struct QueueState {
+    queue: VecDeque<Pending>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    batch: BatchConfig,
+}
+
+fn lock_state(shared: &Shared) -> std::sync::MutexGuard<'_, QueueState> {
+    // A panicking worker poisons the mutex; the queue data itself stays
+    // consistent, so recover the guard rather than propagate.
+    shared.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The warm-cache, micro-batching model service.
+pub struct ModelService {
+    registry: Option<Registry>,
+    models: RwLock<HashMap<String, Arc<LoadedModel>>>,
+    shared: Arc<Shared>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ModelService {
+    /// Starts a service (and its batching worker) over a registry.
+    #[must_use]
+    pub fn start(registry: Option<Registry>, batch: BatchConfig) -> Arc<ModelService> {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutting_down: false,
+            }),
+            cond: Condvar::new(),
+            batch,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("stco-serve-batcher".to_string())
+            .spawn(move || worker_loop(&worker_shared))
+            .ok();
+        Arc::new(ModelService {
+            registry,
+            models: RwLock::new(HashMap::new()),
+            shared,
+            worker: Mutex::new(worker),
+        })
+    }
+
+    /// The canonical id a model is cached under: `<kind>:<key hex>`.
+    #[must_use]
+    pub fn model_id(kind: &str, key: ArtifactKey) -> String {
+        format!("{kind}:{}", key.to_hex())
+    }
+
+    /// Loads an artifact from the registry into the warm cache and
+    /// returns its model id. A hit on an already-loaded id is free.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] when the registry has no such
+    /// artifact, [`ServeError::Store`] on read/decode failures.
+    pub fn load(&self, kind: &str, key: ArtifactKey) -> Result<String> {
+        let _span = stco_obs::span!("serve.load");
+        let id = Self::model_id(kind, key);
+        {
+            let models = self.models.read().unwrap_or_else(|e| e.into_inner());
+            if models.contains_key(&id) {
+                return Ok(id);
+            }
+        }
+        let registry = self
+            .registry
+            .as_ref()
+            .ok_or_else(|| ServeError::UnknownModel { id: id.clone() })?;
+        let artifact = registry
+            .load(kind, key)?
+            .ok_or_else(|| ServeError::UnknownModel { id: id.clone() })?;
+        let model = LoadedModel::from_artifact(&artifact)?;
+        self.install(&id, model);
+        stco_obs::event!("serve.model_loaded", model = id.as_str());
+        Ok(id)
+    }
+
+    /// Installs an in-memory model under an id (no registry round-trip
+    /// — used by tests and single-process pipelines).
+    pub fn install(&self, id: &str, model: LoadedModel) {
+        let mut models = self.models.write().unwrap_or_else(|e| e.into_inner());
+        models.insert(id.to_string(), Arc::new(model));
+        stco_obs::Recorder::global()
+            .metrics()
+            .gauge("serve.models_loaded")
+            .set(models.len() as f64);
+    }
+
+    /// Ids of every loaded model, sorted.
+    #[must_use]
+    pub fn loaded(&self) -> Vec<String> {
+        let models = self.models.read().unwrap_or_else(|e| e.into_inner());
+        let mut ids: Vec<String> = models.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Current pending-queue depth.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        lock_state(&self.shared).queue.len()
+    }
+
+    /// Submits one predict request and blocks until its reply.
+    ///
+    /// The request joins the micro-batching queue; `deadline` bounds
+    /// its total queue time (defaulting to
+    /// [`BatchConfig::default_deadline`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`], [`ServeError::QueueFull`],
+    /// [`ServeError::DeadlineExceeded`], [`ServeError::ShuttingDown`],
+    /// or [`ServeError::BadInput`] from execution.
+    pub fn submit(
+        &self,
+        model_id: &str,
+        input: PredictInput,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<f64>> {
+        let _span = stco_obs::span!("serve.submit");
+        let metrics = stco_obs::Recorder::global().metrics();
+        metrics.counter("serve.requests").inc();
+        let model = {
+            let models = self.models.read().unwrap_or_else(|e| e.into_inner());
+            models
+                .get(model_id)
+                .cloned()
+                .ok_or_else(|| ServeError::UnknownModel {
+                    id: model_id.to_string(),
+                })?
+        };
+        let now = Instant::now();
+        let deadline = now + deadline.unwrap_or(self.shared.batch.default_deadline);
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = lock_state(&self.shared);
+            if state.shutting_down {
+                metrics.counter("serve.errors").inc();
+                return Err(ServeError::ShuttingDown);
+            }
+            if state.queue.len() >= self.shared.batch.max_pending {
+                metrics.counter("serve.errors").inc();
+                return Err(ServeError::QueueFull {
+                    depth: state.queue.len(),
+                });
+            }
+            state.queue.push_back(Pending {
+                model,
+                input,
+                enqueued: now,
+                deadline,
+                reply: tx,
+            });
+            metrics
+                .gauge("serve.queue_depth")
+                .set(state.queue.len() as f64);
+        }
+        self.shared.cond.notify_all();
+        let result = rx.recv().unwrap_or(Err(ServeError::ShuttingDown));
+        if result.is_err() {
+            metrics.counter("serve.errors").inc();
+        } else {
+            metrics.counter("serve.replies").inc();
+        }
+        result
+    }
+
+    /// Stops accepting requests, drains the queue (every accepted
+    /// request is answered) and joins the worker. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut state = lock_state(&self.shared);
+            state.shutting_down = true;
+        }
+        self.shared.cond.notify_all();
+        let handle = {
+            let mut worker = self.worker.lock().unwrap_or_else(|e| e.into_inner());
+            worker.take()
+        };
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ModelService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The worker: waits for requests, forms batches under the
+/// size/linger policy, executes them on the stco-par pool.
+fn worker_loop(shared: &Shared) {
+    let metrics = stco_obs::Recorder::global().metrics();
+    let occupancy_bounds: Vec<f64> = (1..=shared.batch.max_batch).map(|n| n as f64).collect();
+    loop {
+        // Phase 1: wait until a batch is due (full, lingered, or draining).
+        let batch: Vec<Pending> = {
+            let mut state = lock_state(shared);
+            loop {
+                if state.queue.is_empty() {
+                    if state.shutting_down {
+                        return;
+                    }
+                    state = shared.cond.wait(state).unwrap_or_else(|e| e.into_inner());
+                    continue;
+                }
+                let full = state.queue.len() >= shared.batch.max_batch;
+                let oldest = state
+                    .queue
+                    .front()
+                    .map_or_else(Instant::now, |p| p.enqueued);
+                let due = oldest + shared.batch.max_linger;
+                let now = Instant::now();
+                if full || state.shutting_down || now >= due {
+                    let take = state.queue.len().min(shared.batch.max_batch);
+                    let drained: Vec<Pending> = state.queue.drain(..take).collect();
+                    metrics
+                        .gauge("serve.queue_depth")
+                        .set(state.queue.len() as f64);
+                    break drained;
+                }
+                let (next, _timeout) = shared
+                    .cond
+                    .wait_timeout(state, due - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = next;
+            }
+        };
+
+        let _span = stco_obs::span!("serve.batch", size = batch.len());
+        metrics
+            .histogram("serve.batch_occupancy", &occupancy_bounds)
+            .observe(batch.len() as f64);
+
+        // Phase 2: separate expired requests, execute the rest as one
+        // parallel pass. Reply senders are kept aside (mpsc::Sender is
+        // not Sync); the (model, input) pairs are.
+        let now = Instant::now();
+        let mut work: Vec<(Arc<LoadedModel>, PredictInput)> = Vec::with_capacity(batch.len());
+        let mut repliers: Vec<(ReplySender, Instant, bool)> = Vec::with_capacity(batch.len());
+        for p in batch {
+            let expired = now > p.deadline;
+            if !expired {
+                work.push((p.model, p.input));
+            }
+            repliers.push((p.reply, p.enqueued, expired));
+        }
+        let results = stco_par::par_map(stco_par::ParConfig::current(), &work, |(model, input)| {
+            model.predict(input)
+        });
+
+        let done = Instant::now();
+        let latency = metrics.histogram(
+            "serve.latency_seconds",
+            &stco_obs::metrics::seconds_buckets(),
+        );
+        let mut results = results.into_iter();
+        for (reply, enqueued, expired) in repliers {
+            let outcome = if expired {
+                metrics.counter("serve.deadline_exceeded").inc();
+                Err(ServeError::DeadlineExceeded)
+            } else {
+                results.next().unwrap_or(Err(ServeError::ShuttingDown))
+            };
+            latency.observe(done.duration_since(enqueued).as_secs_f64());
+            // A disconnected receiver means the submitter gave up; drop.
+            let _ = reply.send(outcome);
+        }
+    }
+}

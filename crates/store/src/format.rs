@@ -1,0 +1,349 @@
+//! The versioned binary artifact container.
+//!
+//! # Layout (all integers little-endian)
+//!
+//! ```text
+//! offset   size        field
+//! 0        8           magic  = b"STCOARTF"
+//! 8        4           schema version (u32, currently 1)
+//! 12       4           header length H (u32, bytes)
+//! 16       8           payload length P (u64, bytes)
+//! 24       H           header: UTF-8 JSON {"kind": <str>, "meta": <obj>}
+//! 24+H     P           payload: tensor count N (u64), then N records of
+//!                      rows (u64) · cols (u64) · rows*cols f64 values
+//! 24+H+P   8           FNV-1a 64 checksum of all preceding bytes
+//! ```
+//!
+//! Encoding is a pure function of the artifact contents — no timestamps,
+//! no environment — so two identical models encode to identical bytes
+//! and the content-addressed [`crate::Registry`] can dedupe them. f64
+//! values travel as raw IEEE-754 bits, so decode→predict is bitwise
+//! identical to the model that was saved.
+
+use crate::{fnv1a64, Result, StoreError};
+use stco_numerics::Matrix;
+use stco_obs::json::JsonValue;
+use std::path::Path;
+
+/// First 8 bytes of every artifact file.
+pub const MAGIC: [u8; 8] = *b"STCOARTF";
+
+/// Schema version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed prefix: magic + version + header length + payload length.
+const PREFIX_LEN: usize = 8 + 4 + 4 + 8;
+
+/// Trailing checksum size.
+const CHECKSUM_LEN: usize = 8;
+
+/// A decoded (or to-be-encoded) model artifact: a kind tag, a JSON
+/// metadata header, and the model's tensors in canonical `Params`
+/// order (see `stco_nn::Params::tensors`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    /// Model kind, e.g. `"poisson-emulator"`. Checked on load so an
+    /// artifact can never be rehydrated into the wrong model type.
+    pub kind: String,
+    /// Arbitrary JSON metadata: config fingerprints, normalization
+    /// constants, seeds (as strings — u64 does not fit f64 exactly).
+    pub meta: JsonValue,
+    /// Weight tensors, canonical allocation order.
+    pub tensors: Vec<Matrix>,
+}
+
+impl Artifact {
+    /// Builds an artifact from its parts.
+    #[must_use]
+    pub fn new(kind: &str, meta: JsonValue, tensors: Vec<Matrix>) -> Self {
+        Artifact {
+            kind: kind.to_string(),
+            meta,
+            tensors,
+        }
+    }
+
+    /// Returns an error unless the artifact holds the expected kind.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::WrongKind`] on mismatch.
+    pub fn expect_kind(&self, kind: &str) -> Result<()> {
+        if self.kind == kind {
+            Ok(())
+        } else {
+            Err(StoreError::WrongKind {
+                expected: kind.to_string(),
+                found: self.kind.clone(),
+            })
+        }
+    }
+
+    /// Looks up a required f64 field in `meta`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Header`] if the key is absent or not numeric.
+    pub fn meta_f64(&self, key: &str) -> Result<f64> {
+        self.meta
+            .get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| StoreError::Header {
+                context: format!("missing numeric meta field {key:?}"),
+            })
+    }
+
+    /// Looks up a required string field in `meta`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Header`] if the key is absent or not a string.
+    pub fn meta_str(&self, key: &str) -> Result<&str> {
+        self.meta
+            .get(key)
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| StoreError::Header {
+                context: format!("missing string meta field {key:?}"),
+            })
+    }
+
+    /// Looks up a required u64 field stored as a decimal string
+    /// (u64 seeds do not round-trip through JSON's f64 numbers).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Header`] if the key is absent or unparsable.
+    pub fn meta_u64_str(&self, key: &str) -> Result<u64> {
+        let s = self.meta_str(key)?;
+        s.parse::<u64>().map_err(|_| StoreError::Header {
+            context: format!("meta field {key:?} is not a u64 string: {s:?}"),
+        })
+    }
+
+    /// Encodes the artifact to its canonical byte form.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let header = JsonValue::Obj(vec![
+            ("kind".to_string(), JsonValue::Str(self.kind.clone())),
+            ("meta".to_string(), self.meta.clone()),
+        ])
+        .render();
+        let header_bytes = header.as_bytes();
+
+        let mut payload = Vec::with_capacity(
+            8 + self
+                .tensors
+                .iter()
+                .map(|t| 16 + 8 * t.as_slice().len())
+                .sum::<usize>(),
+        );
+        payload.extend_from_slice(&(self.tensors.len() as u64).to_le_bytes());
+        for t in &self.tensors {
+            payload.extend_from_slice(&(t.rows() as u64).to_le_bytes());
+            payload.extend_from_slice(&(t.cols() as u64).to_le_bytes());
+            for v in t.as_slice() {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+
+        let mut out =
+            Vec::with_capacity(PREFIX_LEN + header_bytes.len() + payload.len() + CHECKSUM_LEN);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        // Header length fits u32 by construction: headers are small JSON.
+        let header_len = u32::try_from(header_bytes.len()).unwrap_or(u32::MAX);
+        out.extend_from_slice(&header_len.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(header_bytes);
+        out.extend_from_slice(&payload);
+        let checksum = fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Decodes an artifact from bytes, validating magic, version,
+    /// declared lengths and the trailing checksum.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`StoreError`]s for every corruption mode: wrong magic,
+    /// unsupported version, truncation, checksum mismatch, malformed
+    /// header, impossible tensor shapes. Never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Artifact> {
+        if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+            return Err(StoreError::BadMagic {
+                found: bytes[..bytes.len().min(MAGIC.len())].to_vec(),
+            });
+        }
+        if bytes.len() < PREFIX_LEN {
+            return Err(StoreError::Truncated {
+                needed: PREFIX_LEN,
+                got: bytes.len(),
+            });
+        }
+        let version = u32::from_le_bytes(read_4(bytes, 8));
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let header_len = u32::from_le_bytes(read_4(bytes, 12)) as usize;
+        let payload_len = usize::try_from(u64::from_le_bytes(read_8(bytes, 16))).map_err(|_| {
+            StoreError::Truncated {
+                needed: usize::MAX,
+                got: bytes.len(),
+            }
+        })?;
+        let total = PREFIX_LEN
+            .checked_add(header_len)
+            .and_then(|n| n.checked_add(payload_len))
+            .and_then(|n| n.checked_add(CHECKSUM_LEN))
+            .ok_or(StoreError::Truncated {
+                needed: usize::MAX,
+                got: bytes.len(),
+            })?;
+        if bytes.len() < total {
+            return Err(StoreError::Truncated {
+                needed: total,
+                got: bytes.len(),
+            });
+        }
+        // Checksum covers everything before the trailing 8 bytes.
+        let body = &bytes[..total - CHECKSUM_LEN];
+        let stored = u64::from_le_bytes(read_8(bytes, total - CHECKSUM_LEN));
+        let computed = fnv1a64(body);
+        if stored != computed {
+            return Err(StoreError::ChecksumMismatch {
+                expected: computed,
+                found: stored,
+            });
+        }
+
+        let header_bytes = &bytes[PREFIX_LEN..PREFIX_LEN + header_len];
+        let header_str = std::str::from_utf8(header_bytes).map_err(|_| StoreError::Header {
+            context: "header is not UTF-8".to_string(),
+        })?;
+        let header = JsonValue::parse(header_str).map_err(|e| StoreError::Header {
+            context: format!("header JSON: {e}"),
+        })?;
+        let kind = header
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| StoreError::Header {
+                context: "missing \"kind\"".to_string(),
+            })?
+            .to_string();
+        let meta = header
+            .get("meta")
+            .cloned()
+            .ok_or_else(|| StoreError::Header {
+                context: "missing \"meta\"".to_string(),
+            })?;
+
+        let payload = &bytes[PREFIX_LEN + header_len..PREFIX_LEN + header_len + payload_len];
+        let tensors = decode_tensors(payload)?;
+        Ok(Artifact {
+            kind,
+            meta,
+            tensors,
+        })
+    }
+
+    /// Writes the artifact to a file (non-atomically; the registry
+    /// layers atomic temp+rename on top of this).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn write_file(&self, path: &Path) -> Result<()> {
+        std::fs::write(path, self.to_bytes()).map_err(|source| StoreError::Io {
+            path: path.display().to_string(),
+            source,
+        })
+    }
+
+    /// Reads and decodes an artifact file.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure, plus every decode
+    /// error from [`Artifact::from_bytes`].
+    pub fn read_file(path: &Path) -> Result<Artifact> {
+        let bytes = std::fs::read(path).map_err(|source| StoreError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        Artifact::from_bytes(&bytes)
+    }
+}
+
+fn read_4(bytes: &[u8], offset: usize) -> [u8; 4] {
+    let mut out = [0u8; 4];
+    out.copy_from_slice(&bytes[offset..offset + 4]);
+    out
+}
+
+fn read_8(bytes: &[u8], offset: usize) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    out.copy_from_slice(&bytes[offset..offset + 8]);
+    out
+}
+
+fn decode_tensors(payload: &[u8]) -> Result<Vec<Matrix>> {
+    let need = |needed: usize, got: usize| StoreError::Truncated { needed, got };
+    if payload.len() < 8 {
+        return Err(need(8, payload.len()));
+    }
+    let count = usize::try_from(u64::from_le_bytes(read_8(payload, 0)))
+        .map_err(|_| need(usize::MAX, payload.len()))?;
+    let mut pos = 8usize;
+    let mut tensors = Vec::new();
+    for index in 0..count {
+        if payload.len() < pos + 16 {
+            return Err(need(pos + 16, payload.len()));
+        }
+        let rows = usize::try_from(u64::from_le_bytes(read_8(payload, pos))).map_err(|_| {
+            StoreError::BadTensor {
+                index,
+                context: "rows overflows usize".to_string(),
+            }
+        })?;
+        let cols = usize::try_from(u64::from_le_bytes(read_8(payload, pos + 8))).map_err(|_| {
+            StoreError::BadTensor {
+                index,
+                context: "cols overflows usize".to_string(),
+            }
+        })?;
+        pos += 16;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or_else(|| StoreError::BadTensor {
+                index,
+                context: format!("shape {rows}×{cols} overflows"),
+            })?;
+        let byte_len = n.checked_mul(8).ok_or_else(|| StoreError::BadTensor {
+            index,
+            context: format!("shape {rows}×{cols} overflows"),
+        })?;
+        if payload.len() < pos + byte_len {
+            return Err(need(pos + byte_len, payload.len()));
+        }
+        let mut data = Vec::with_capacity(n);
+        for i in 0..n {
+            data.push(f64::from_le_bytes(read_8(payload, pos + 8 * i)));
+        }
+        pos += byte_len;
+        tensors.push(Matrix::from_vec(rows, cols, data));
+    }
+    if pos != payload.len() {
+        return Err(StoreError::Header {
+            context: format!(
+                "payload has {} trailing bytes after {} tensors",
+                payload.len() - pos,
+                count
+            ),
+        });
+    }
+    Ok(tensors)
+}

@@ -1,0 +1,142 @@
+//! `stco-store`: durable artifacts for trained fast-stco models.
+//!
+//! The paper's speedup claim (Table I) rests on *reusing* trained GNN
+//! surrogates across STCO iterations, yet without persistence every
+//! process retrains from scratch. This crate makes trained weights
+//! outlive the process:
+//!
+//! * [`mod@format`] — a dependency-free, versioned binary container
+//!   ([`Artifact`]): 8-byte magic, schema version, JSON metadata header
+//!   (via [`stco_obs::json::JsonValue`]), raw little-endian f64 tensor
+//!   payload, and a trailing FNV-1a content checksum. Byte output is a
+//!   pure function of the artifact contents — no timestamps, hostnames
+//!   or randomness — so identical models produce identical files.
+//! * [`registry`] — a content-addressed on-disk store ([`Registry`]):
+//!   the artifact key is a hash of model config + training config +
+//!   dataset seed, so a second run with identical configs resolves a
+//!   cache hit instead of retraining. Writes are atomic (temp file +
+//!   rename) and hits/misses are counted on the global obs recorder.
+//!
+//! Every failure mode is a typed [`StoreError`]; corrupt or truncated
+//! files never panic.
+
+pub mod format;
+pub mod registry;
+
+pub use format::{Artifact, FORMAT_VERSION, MAGIC};
+pub use registry::{ArtifactKey, Registry};
+
+use std::fmt;
+
+/// Errors from artifact encoding, decoding and registry I/O.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure (open, read, write, rename).
+    Io {
+        /// The path involved, when known.
+        path: String,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// The file does not start with the artifact magic bytes.
+    BadMagic {
+        /// The first bytes actually found (up to 8).
+        found: Vec<u8>,
+    },
+    /// The schema version is not one this build can read.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// The byte stream ended before the declared structure.
+    Truncated {
+        /// Bytes required by the declared lengths.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The trailing content checksum does not match the bytes.
+    ChecksumMismatch {
+        /// Checksum recomputed from the content.
+        expected: u64,
+        /// Checksum stored in the file.
+        found: u64,
+    },
+    /// The artifact holds a different model kind than requested.
+    WrongKind {
+        /// Kind the caller asked for.
+        expected: String,
+        /// Kind stored in the artifact.
+        found: String,
+    },
+    /// The metadata header is malformed or missing a required field.
+    Header {
+        /// What went wrong.
+        context: String,
+    },
+    /// A tensor record declares an impossible shape.
+    BadTensor {
+        /// Zero-based tensor index.
+        index: usize,
+        /// What went wrong.
+        context: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => write!(f, "artifact I/O on {path}: {source}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "not an stco artifact (magic bytes {found:02x?})")
+            }
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported artifact schema version {found} (this build reads {supported})"
+            ),
+            StoreError::Truncated { needed, got } => {
+                write!(f, "truncated artifact: need {needed} bytes, have {got}")
+            }
+            StoreError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "artifact checksum mismatch: content hashes to {expected:016x}, file says {found:016x}"
+            ),
+            StoreError::WrongKind { expected, found } => {
+                write!(f, "artifact kind mismatch: wanted {expected:?}, file holds {found:?}")
+            }
+            StoreError::Header { context } => write!(f, "bad artifact header: {context}"),
+            StoreError::BadTensor { index, context } => {
+                write!(f, "bad tensor record {index}: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Result alias for store routines.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// FNV-1a 64-bit hash — the content checksum and cache-key hash.
+///
+/// Chosen because it is dependency-free, stable across platforms and
+/// fast enough for multi-megabyte payloads; this is an integrity check
+/// against truncation and bit rot, not a cryptographic seal.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}

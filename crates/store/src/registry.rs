@@ -1,0 +1,174 @@
+//! Content-addressed on-disk artifact registry.
+//!
+//! The cache key is a hash of everything that determines the trained
+//! weights: model config, training config and dataset seed. Two runs
+//! with identical configs therefore resolve to the same key, and the
+//! second run loads the artifact instead of retraining — the
+//! amortization the paper's Table I speedups assume.
+
+use crate::{fnv1a64, Artifact, Result, StoreError};
+use std::path::{Path, PathBuf};
+
+/// Environment variable overriding the registry directory.
+pub const STORE_DIR_ENV: &str = "STCO_STORE_DIR";
+
+/// Default registry directory (relative to the working directory).
+pub const DEFAULT_DIR: &str = ".stco-store";
+
+/// A content-addressed cache key: FNV-1a 64 over the kind tag plus
+/// every config string that determines the trained weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArtifactKey(u64);
+
+impl ArtifactKey {
+    /// Derives a key from a kind tag and the config strings that
+    /// determine the trained weights (model config, training config,
+    /// dataset seed — typically their `Debug` renderings, which are
+    /// stable pure functions of the struct fields).
+    #[must_use]
+    pub fn from_parts(kind: &str, parts: &[&str]) -> Self {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(kind.as_bytes());
+        for part in parts {
+            // Length-prefix each part so ("ab","c") != ("a","bc").
+            buf.extend_from_slice(&(part.len() as u64).to_le_bytes());
+            buf.extend_from_slice(part.as_bytes());
+        }
+        ArtifactKey(fnv1a64(&buf))
+    }
+
+    /// The raw 64-bit key.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a key from its raw 64-bit value (e.g. parsed back from
+    /// the hex rendering a wire protocol or filename carries).
+    #[must_use]
+    pub fn from_value(value: u64) -> Self {
+        ArtifactKey(value)
+    }
+
+    /// Zero-padded lowercase hex rendering, used in file names.
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// An on-disk artifact store keyed by [`ArtifactKey`].
+///
+/// File layout: one artifact per file, named `<kind>-<key:016x>.stco`,
+/// written atomically (temp file in the same directory, then rename)
+/// so concurrent writers and crashed runs never leave a torn artifact
+/// behind.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    dir: PathBuf,
+}
+
+impl Registry {
+    /// Opens (creating if needed) a registry at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the directory cannot be created.
+    pub fn open(dir: &Path) -> Result<Registry> {
+        std::fs::create_dir_all(dir).map_err(|source| StoreError::Io {
+            path: dir.display().to_string(),
+            source,
+        })?;
+        Ok(Registry {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// Opens the default registry: `$STCO_STORE_DIR` if set, else
+    /// `.stco-store` under the working directory.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the directory cannot be created.
+    pub fn open_default() -> Result<Registry> {
+        let dir = std::env::var(STORE_DIR_ENV)
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from(DEFAULT_DIR));
+        Registry::open(&dir)
+    }
+
+    /// The registry directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file path an artifact of this kind/key lives at.
+    #[must_use]
+    pub fn path_for(&self, kind: &str, key: ArtifactKey) -> PathBuf {
+        self.dir.join(format!("{kind}-{}.stco", key.to_hex()))
+    }
+
+    /// Whether an artifact file exists for this kind/key.
+    #[must_use]
+    pub fn contains(&self, kind: &str, key: ArtifactKey) -> bool {
+        self.path_for(kind, key).is_file()
+    }
+
+    /// Loads the artifact for `key`, verifying it holds `kind`.
+    ///
+    /// Returns `Ok(None)` on a cache miss (no file). Counts
+    /// `store.cache_hit` / `store.cache_miss` on the global recorder.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from reading or decoding an existing file —
+    /// a present-but-corrupt artifact is an error, not a miss, so
+    /// corruption is surfaced instead of silently retraining.
+    pub fn load(&self, kind: &str, key: ArtifactKey) -> Result<Option<Artifact>> {
+        let _span = stco_obs::span!("store.load");
+        let metrics = stco_obs::Recorder::global().metrics();
+        let path = self.path_for(kind, key);
+        if !path.is_file() {
+            metrics.counter("store.cache_miss").inc();
+            stco_obs::event!("store.cache_miss", kind = kind, key = key.to_hex());
+            return Ok(None);
+        }
+        let artifact = Artifact::read_file(&path)?;
+        artifact.expect_kind(kind)?;
+        metrics.counter("store.cache_hit").inc();
+        stco_obs::event!("store.cache_hit", kind = kind, key = key.to_hex());
+        Ok(Some(artifact))
+    }
+
+    /// Stores an artifact under `key`, atomically.
+    ///
+    /// Returns the final path. The write goes to a temp file in the
+    /// registry directory and is renamed into place, so readers only
+    /// ever observe complete artifacts.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn put(&self, key: ArtifactKey, artifact: &Artifact) -> Result<PathBuf> {
+        let _span = stco_obs::span!("store.put");
+        let path = self.path_for(&artifact.kind, key);
+        // Unique-enough temp name: pid distinguishes concurrent
+        // processes; within a process, puts of the same key race to
+        // identical bytes, so last-rename-wins is still correct.
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{}-{}", std::process::id(), key.to_hex()));
+        artifact.write_file(&tmp)?;
+        std::fs::rename(&tmp, &path).map_err(|source| StoreError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        stco_obs::event!(
+            "store.put",
+            kind = artifact.kind.as_str(),
+            key = key.to_hex()
+        );
+        Ok(path)
+    }
+}

@@ -1,0 +1,72 @@
+//! Artifact packing shared by the three surrogates.
+//!
+//! Every `Params`-backed model serializes the same way: the weight
+//! tensors in canonical allocation order (`Params::tensors`), followed
+//! by one extra tensor holding the target-normalization constants, plus
+//! a JSON meta header carrying the architecture config needed to
+//! rebuild the model skeleton. Rehydration is `new(config)` +
+//! `import_tensors` + restore norms — values and norms fully determine
+//! inference, so a loaded model predicts bitwise-identically to the
+//! one that was saved.
+
+use stco_nn::Params;
+use stco_numerics::Matrix;
+use stco_obs::json::JsonValue;
+use stco_store::{Artifact, StoreError};
+
+/// Packs params + a norm tensor + meta into an artifact.
+pub(crate) fn pack_model(
+    kind: &str,
+    meta: Vec<(String, JsonValue)>,
+    params: &Params,
+    norms: Matrix,
+) -> Artifact {
+    let mut tensors = params.export_tensors();
+    tensors.push(norms);
+    Artifact::new(kind, JsonValue::Obj(meta), tensors)
+}
+
+/// Splits an artifact back into (weight tensors, norm tensor),
+/// checking the kind tag.
+pub(crate) fn unpack_model<'a>(
+    artifact: &'a Artifact,
+    kind: &str,
+) -> std::result::Result<(&'a [Matrix], &'a Matrix), StoreError> {
+    artifact.expect_kind(kind)?;
+    artifact
+        .tensors
+        .split_last()
+        .map(|(norms, weights)| (weights, norms))
+        .ok_or_else(|| StoreError::Header {
+            context: format!("{kind} artifact holds no tensors"),
+        })
+}
+
+/// Imports weight tensors into a freshly-built model's params,
+/// converting shape/count mismatches into a typed header error.
+pub(crate) fn import_weights(
+    params: &mut Params,
+    weights: &[Matrix],
+) -> std::result::Result<(), StoreError> {
+    params
+        .import_tensors(weights)
+        .map_err(|e| StoreError::Header {
+            context: format!("weight tensors do not fit this architecture: {e}"),
+        })
+}
+
+/// Reads a required meta field as usize (stored as a JSON number).
+pub(crate) fn meta_usize(artifact: &Artifact, key: &str) -> std::result::Result<usize, StoreError> {
+    let v = artifact.meta_f64(key)?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(StoreError::Header {
+            context: format!("meta field {key:?} is not a non-negative integer: {v}"),
+        });
+    }
+    Ok(v as usize)
+}
+
+/// Renders a usize meta field.
+pub(crate) fn num(v: usize) -> JsonValue {
+    JsonValue::Num(v as f64)
+}

@@ -118,6 +118,9 @@ fn prepare(sample: &CellSample) -> Prepared {
 }
 
 impl CellModel {
+    /// Artifact kind tag for [`CellModel::to_artifact`].
+    pub const ARTIFACT_KIND: &'static str = "cell-model";
+
     /// Builds an untrained model.
     pub fn new(config: CellModelConfig) -> Self {
         let mut params = Params::new(config.seed);
@@ -274,6 +277,80 @@ impl CellModel {
                 })
                 .collect()
         })
+    }
+
+    /// Serializes the trained model into an artifact of kind
+    /// `"cell-model"`: weights in canonical order, the per-metric
+    /// `(mean, std)` norm table as a final `METRICS.len()×2` tensor,
+    /// and the architecture config in the meta header.
+    pub fn to_artifact(&self) -> stco_store::Artifact {
+        use stco_obs::json::JsonValue;
+        let mut norm_data = Vec::with_capacity(2 * self.norms.len());
+        for (mean, std) in &self.norms {
+            norm_data.push(*mean);
+            norm_data.push(*std);
+        }
+        crate::artifact::pack_model(
+            Self::ARTIFACT_KIND,
+            vec![
+                ("depth".to_string(), crate::artifact::num(self.config.depth)),
+                (
+                    "hidden".to_string(),
+                    crate::artifact::num(self.config.hidden),
+                ),
+                (
+                    "head_hidden".to_string(),
+                    crate::artifact::num(self.config.head_hidden),
+                ),
+                (
+                    "learning_rate".to_string(),
+                    JsonValue::Num(self.config.learning_rate),
+                ),
+                (
+                    "seed".to_string(),
+                    JsonValue::Str(self.config.seed.to_string()),
+                ),
+            ],
+            &self.params,
+            stco_numerics::Matrix::from_vec(self.norms.len(), 2, norm_data),
+        )
+    }
+
+    /// Rehydrates a model from an artifact; predicts bitwise-identically
+    /// to the saved model.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`stco_store::StoreError`]s on kind mismatch, missing meta
+    /// fields, or tensors that do not fit the architecture.
+    pub fn from_artifact(
+        artifact: &stco_store::Artifact,
+    ) -> std::result::Result<Self, stco_store::StoreError> {
+        let (weights, norms) = crate::artifact::unpack_model(artifact, Self::ARTIFACT_KIND)?;
+        let config = CellModelConfig {
+            depth: crate::artifact::meta_usize(artifact, "depth")?,
+            hidden: crate::artifact::meta_usize(artifact, "hidden")?,
+            head_hidden: crate::artifact::meta_usize(artifact, "head_hidden")?,
+            learning_rate: artifact.meta_f64("learning_rate")?,
+            seed: artifact.meta_u64_str("seed")?,
+        };
+        let mut model = CellModel::new(config);
+        crate::artifact::import_weights(&mut model.params, weights)?;
+        if norms.rows() != METRICS.len() || norms.cols() != 2 {
+            return Err(stco_store::StoreError::Header {
+                context: format!(
+                    "cell norm tensor is {}×{}, want {}×2",
+                    norms.rows(),
+                    norms.cols(),
+                    METRICS.len()
+                ),
+            });
+        }
+        let ns = norms.as_slice();
+        for (m, pair) in model.norms.iter_mut().enumerate() {
+            *pair = (ns[2 * m], ns[2 * m + 1]);
+        }
+        Ok(model)
     }
 
     /// Per-metric MAPE (%) over a dataset — the Table IV report.

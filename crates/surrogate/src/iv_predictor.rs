@@ -100,6 +100,9 @@ fn encode(sample: &DeviceSample) -> EncodedIv {
 }
 
 impl IvPredictor {
+    /// Artifact kind tag for [`IvPredictor::to_artifact`].
+    pub const ARTIFACT_KIND: &'static str = "iv-predictor";
+
     /// Builds an untrained predictor.
     pub fn new(config: IvConfig) -> Self {
         let mut params = Params::new(config.seed);
@@ -215,11 +218,89 @@ impl IvPredictor {
 
     /// Predicts `log₁₀|I_D|` for one sample.
     pub fn predict_log_current(&self, sample: &DeviceSample) -> f64 {
-        let item = encode(sample);
+        self.predict_log_current_graph(&encode_device(sample, TaskFeatures::Iv))
+    }
+
+    /// Predicts `log₁₀|I_D|` from an already-encoded device graph (the
+    /// serving path). Bitwise-identical to
+    /// [`IvPredictor::predict_log_current`] on the sample the graph was
+    /// encoded from.
+    pub fn predict_log_current_graph(&self, graph: &GraphData) -> f64 {
+        let (src, dst) = index_lists(graph);
+        let item = EncodedIv {
+            graph: graph.clone(),
+            src,
+            dst,
+            seg: Arc::new(vec![0usize; graph.num_nodes()]),
+            target: 0.0,
+        };
         Graph::with_scratch(|g| {
             let pred = forward_one(&self.stack, &self.head, &self.params, &item, g);
             g.value(pred).get(0, 0) * self.target_std + self.target_mean
         })
+    }
+
+    /// Serializes the trained model into an artifact of kind
+    /// `"iv-predictor"` (weights + normalization + architecture).
+    pub fn to_artifact(&self) -> stco_store::Artifact {
+        use stco_obs::json::JsonValue;
+        crate::artifact::pack_model(
+            Self::ARTIFACT_KIND,
+            vec![
+                ("depth".to_string(), crate::artifact::num(self.config.depth)),
+                ("heads".to_string(), crate::artifact::num(self.config.heads)),
+                (
+                    "head_dim".to_string(),
+                    crate::artifact::num(self.config.head_dim),
+                ),
+                (
+                    "mlp_hidden".to_string(),
+                    crate::artifact::num(self.config.mlp_hidden),
+                ),
+                (
+                    "learning_rate".to_string(),
+                    JsonValue::Num(self.config.learning_rate),
+                ),
+                (
+                    "seed".to_string(),
+                    JsonValue::Str(self.config.seed.to_string()),
+                ),
+            ],
+            &self.params,
+            stco_numerics::Matrix::from_vec(1, 2, vec![self.target_mean, self.target_std]),
+        )
+    }
+
+    /// Rehydrates a predictor from an artifact; bitwise-faithful to the
+    /// saved model.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`stco_store::StoreError`]s on kind mismatch, missing meta
+    /// fields, or tensors that do not fit the architecture.
+    pub fn from_artifact(
+        artifact: &stco_store::Artifact,
+    ) -> std::result::Result<Self, stco_store::StoreError> {
+        let (weights, norms) = crate::artifact::unpack_model(artifact, Self::ARTIFACT_KIND)?;
+        let config = IvConfig {
+            depth: crate::artifact::meta_usize(artifact, "depth")?,
+            heads: crate::artifact::meta_usize(artifact, "heads")?,
+            head_dim: crate::artifact::meta_usize(artifact, "head_dim")?,
+            mlp_hidden: crate::artifact::meta_usize(artifact, "mlp_hidden")?,
+            learning_rate: artifact.meta_f64("learning_rate")?,
+            seed: artifact.meta_u64_str("seed")?,
+        };
+        let mut model = IvPredictor::new(config);
+        crate::artifact::import_weights(&mut model.params, weights)?;
+        let ns = norms.as_slice();
+        if ns.len() != 2 {
+            return Err(stco_store::StoreError::Header {
+                context: format!("iv norm tensor has {} values, want 2", ns.len()),
+            });
+        }
+        model.target_mean = ns[0];
+        model.target_std = ns[1];
+        Ok(model)
     }
 
     /// Predicted drain-current magnitude, A.

@@ -15,6 +15,7 @@
 //! * [`pipeline`] — dataset assembly, training loops and the metric
 //!   reports behind Tables II and IV.
 
+mod artifact;
 pub mod cell_model;
 pub mod encoding;
 pub mod iv_predictor;
@@ -35,6 +36,12 @@ pub enum SurrogateError {
     Cells(stco_cells::CellsError),
     /// An underlying numerical failure.
     Numerics(stco_numerics::NumericsError),
+    /// An artifact-store failure during cached training (stringified —
+    /// `StoreError` holds I/O errors and cannot be `Clone`).
+    Store {
+        /// Rendered store error.
+        context: String,
+    },
 }
 
 impl std::fmt::Display for SurrogateError {
@@ -44,6 +51,7 @@ impl std::fmt::Display for SurrogateError {
             SurrogateError::Tcad(e) => write!(f, "tcad failure: {e}"),
             SurrogateError::Cells(e) => write!(f, "cell failure: {e}"),
             SurrogateError::Numerics(e) => write!(f, "numerics failure: {e}"),
+            SurrogateError::Store { context } => write!(f, "artifact store failure: {context}"),
         }
     }
 }
@@ -74,6 +82,14 @@ impl From<stco_cells::CellsError> for SurrogateError {
 impl From<stco_numerics::NumericsError> for SurrogateError {
     fn from(e: stco_numerics::NumericsError) -> Self {
         SurrogateError::Numerics(e)
+    }
+}
+
+impl From<stco_store::StoreError> for SurrogateError {
+    fn from(e: stco_store::StoreError) -> Self {
+        SurrogateError::Store {
+            context: e.to_string(),
+        }
     }
 }
 

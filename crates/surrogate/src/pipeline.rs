@@ -10,6 +10,8 @@ use stco_nn::train::TrainConfig;
 use stco_tcad::dataset::{generate_dataset, split_indices, DeviceSample};
 use stco_tcad::materials::Technology;
 
+use stco_store::{ArtifactKey, Registry};
+
 use crate::cell_model::{metric_index, CellModel, CellModelConfig, CellSample};
 use crate::iv_predictor::{IvConfig, IvPredictor};
 use crate::poisson_emulator::{PoissonConfig, PoissonEmulator, RegressionMetrics};
@@ -73,6 +75,32 @@ pub struct Table2Report {
 ///
 /// Propagates dataset-generation and training failures.
 pub fn run_table2(config: &Table2Config) -> Result<Table2Report> {
+    run_table2_cached(config, None)
+}
+
+/// The artifact cache key of a model trained by a Table II run: the
+/// whole run config determines the dataset, the split and the training
+/// schedule, so hashing its `Debug` rendering (a pure function of the
+/// fields) keys the trained weights exactly.
+pub fn table2_key(kind: &str, config: &Table2Config) -> ArtifactKey {
+    ArtifactKey::from_parts(kind, &[&format!("table2 {config:?}")])
+}
+
+/// [`run_table2`] with an optional artifact cache: when `registry` is
+/// given and holds both models for this config, training is skipped
+/// entirely (zero training steps) and the saved weights are rehydrated;
+/// on a miss, models train as usual and are stored for the next run.
+/// Dataset generation and evaluation always run — only training is
+/// amortized.
+///
+/// # Errors
+///
+/// Propagates dataset, training and artifact-store failures (a corrupt
+/// cached artifact is an error, not a silent retrain).
+pub fn run_table2_cached(
+    config: &Table2Config,
+    registry: Option<&Registry>,
+) -> Result<Table2Report> {
     let data = generate_dataset(config.seed, config.dataset_size, &config.technologies)?;
     let unseen = generate_dataset(
         config.seed ^ 0x5EED_u64,
@@ -86,14 +114,48 @@ pub fn run_table2(config: &Table2Config) -> Result<Table2Report> {
     let val = pick(&split.val);
     let test = pick(&split.test);
 
-    let mut poisson = PoissonEmulator::new(config.poisson);
-    poisson.train(&train, &val, &config.train)?;
+    let poisson_key = table2_key(PoissonEmulator::ARTIFACT_KIND, config);
+    let cached_poisson = match registry {
+        Some(reg) => reg
+            .load(PoissonEmulator::ARTIFACT_KIND, poisson_key)?
+            .map(|a| PoissonEmulator::from_artifact(&a))
+            .transpose()?,
+        None => None,
+    };
+    let poisson = match cached_poisson {
+        Some(model) => model,
+        None => {
+            let mut model = PoissonEmulator::new(config.poisson);
+            model.train(&train, &val, &config.train)?;
+            if let Some(reg) = registry {
+                reg.put(poisson_key, &model.to_artifact())?;
+            }
+            model
+        }
+    };
     let p_val = poisson.evaluate(&val)?;
     let p_test = poisson.evaluate(&test)?;
     let p_unseen = poisson.evaluate(&unseen)?;
 
-    let mut iv = IvPredictor::new(config.iv);
-    iv.train(&train, &val, &config.train)?;
+    let iv_key = table2_key(IvPredictor::ARTIFACT_KIND, config);
+    let cached_iv = match registry {
+        Some(reg) => reg
+            .load(IvPredictor::ARTIFACT_KIND, iv_key)?
+            .map(|a| IvPredictor::from_artifact(&a))
+            .transpose()?,
+        None => None,
+    };
+    let iv = match cached_iv {
+        Some(model) => model,
+        None => {
+            let mut model = IvPredictor::new(config.iv);
+            model.train(&train, &val, &config.train)?;
+            if let Some(reg) = registry {
+                reg.put(iv_key, &model.to_artifact())?;
+            }
+            model
+        }
+    };
     let i_val = iv.evaluate(&val)?;
     let i_test = iv.evaluate(&test)?;
     let i_unseen = iv.evaluate(&unseen)?;
@@ -285,14 +347,51 @@ pub struct Table4Report {
 ///
 /// Propagates characterization and training failures.
 pub fn run_table4(config: &Table4Config) -> Result<Table4Report> {
+    run_table4_cached(config, None)
+}
+
+/// The artifact cache key of the cell model trained by a Table IV run.
+pub fn table4_key(config: &Table4Config) -> ArtifactKey {
+    ArtifactKey::from_parts(CellModel::ARTIFACT_KIND, &[&format!("table4 {config:?}")])
+}
+
+/// [`run_table4`] with an optional artifact cache: a second run with an
+/// identical config rehydrates the trained cell model (zero training
+/// steps) instead of retraining. Characterization and evaluation still
+/// run — only training is amortized.
+///
+/// # Errors
+///
+/// Propagates characterization, training and artifact-store failures.
+pub fn run_table4_cached(
+    config: &Table4Config,
+    registry: Option<&Registry>,
+) -> Result<Table4Report> {
     let base = TechnologyCard::reference(config.technology);
     let grid = stco_compact::tech::CornerGrid::default();
     let train_corners = grid.corners(config.train_levels);
     let test_corners = grid.corners(config.test_levels);
     let train = build_cell_dataset(&base, &train_corners, &config.cells, &config.char_config)?;
     let test = build_cell_dataset(&base, &test_corners, &config.cells, &config.char_config)?;
-    let mut model = CellModel::new(config.model);
-    model.train(&train, &test, &config.train)?;
+    let key = table4_key(config);
+    let cached = match registry {
+        Some(reg) => reg
+            .load(CellModel::ARTIFACT_KIND, key)?
+            .map(|a| CellModel::from_artifact(&a))
+            .transpose()?,
+        None => None,
+    };
+    let model = match cached {
+        Some(model) => model,
+        None => {
+            let mut model = CellModel::new(config.model);
+            model.train(&train, &test, &config.train)?;
+            if let Some(reg) = registry {
+                reg.put(key, &model.to_artifact())?;
+            }
+            model
+        }
+    };
     let rows = model.evaluate_mape(&test)?;
     Ok(Table4Report {
         technology: config.technology,

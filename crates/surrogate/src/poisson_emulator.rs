@@ -98,6 +98,9 @@ impl EncodedDevice {
 }
 
 impl PoissonEmulator {
+    /// Artifact kind tag for [`PoissonEmulator::to_artifact`].
+    pub const ARTIFACT_KIND: &'static str = "poisson-emulator";
+
     /// Builds an untrained emulator.
     pub fn new(config: PoissonConfig) -> Self {
         let mut params = Params::new(config.seed);
@@ -213,19 +216,21 @@ impl PoissonEmulator {
 
     /// Predicts the potential map of one sample (volts).
     pub fn predict(&self, sample: &DeviceSample) -> Vec<f64> {
-        let item = EncodedDevice::from_sample(sample);
+        self.predict_graph(&encode_device(sample, TaskFeatures::Poisson))
+    }
+
+    /// Predicts the potential map from an already-encoded device graph
+    /// (the serving path: clients ship the encoding, not the TCAD
+    /// sample). Bitwise-identical to [`PoissonEmulator::predict`] on
+    /// the sample the graph was encoded from.
+    pub fn predict_graph(&self, graph: &GraphData) -> Vec<f64> {
+        let (src, dst) = index_lists(graph);
         Graph::with_scratch(|g| {
-            let x = g.input(item.graph.node_features.clone());
-            let e = g.input(item.graph.edge_features.clone());
-            let h = self.stack.forward(
-                g,
-                &self.params,
-                x,
-                e,
-                &item.src,
-                &item.dst,
-                item.graph.num_nodes(),
-            );
+            let x = g.input(graph.node_features.clone());
+            let e = g.input(graph.edge_features.clone());
+            let h = self
+                .stack
+                .forward(g, &self.params, x, e, &src, &dst, graph.num_nodes());
             let pred = self.head.forward(g, &self.params, h);
             g.value(pred)
                 .as_slice()
@@ -233,6 +238,68 @@ impl PoissonEmulator {
                 .map(|v| v * self.target_std + self.target_mean)
                 .collect()
         })
+    }
+
+    /// Serializes the trained model (weights + target normalization +
+    /// architecture config) into a [`stco_store::Artifact`] of kind
+    /// `"poisson-emulator"`.
+    pub fn to_artifact(&self) -> stco_store::Artifact {
+        use stco_obs::json::JsonValue;
+        crate::artifact::pack_model(
+            Self::ARTIFACT_KIND,
+            vec![
+                ("depth".to_string(), crate::artifact::num(self.config.depth)),
+                ("heads".to_string(), crate::artifact::num(self.config.heads)),
+                (
+                    "head_dim".to_string(),
+                    crate::artifact::num(self.config.head_dim),
+                ),
+                (
+                    "learning_rate".to_string(),
+                    JsonValue::Num(self.config.learning_rate),
+                ),
+                (
+                    "seed".to_string(),
+                    JsonValue::Str(self.config.seed.to_string()),
+                ),
+            ],
+            &self.params,
+            stco_numerics::Matrix::from_vec(1, 2, vec![self.target_mean, self.target_std]),
+        )
+    }
+
+    /// Rehydrates a model from an artifact: rebuilds the architecture
+    /// from the meta header, imports the weight tensors in canonical
+    /// order and restores the target normalization. The result predicts
+    /// bitwise-identically to the model that produced the artifact.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`stco_store::StoreError`]s: `WrongKind` for a different
+    /// model kind, `Header` for missing meta fields or tensors that do
+    /// not fit the declared architecture.
+    pub fn from_artifact(
+        artifact: &stco_store::Artifact,
+    ) -> std::result::Result<Self, stco_store::StoreError> {
+        let (weights, norms) = crate::artifact::unpack_model(artifact, Self::ARTIFACT_KIND)?;
+        let config = PoissonConfig {
+            depth: crate::artifact::meta_usize(artifact, "depth")?,
+            heads: crate::artifact::meta_usize(artifact, "heads")?,
+            head_dim: crate::artifact::meta_usize(artifact, "head_dim")?,
+            learning_rate: artifact.meta_f64("learning_rate")?,
+            seed: artifact.meta_u64_str("seed")?,
+        };
+        let mut model = PoissonEmulator::new(config);
+        crate::artifact::import_weights(&mut model.params, weights)?;
+        let ns = norms.as_slice();
+        if ns.len() != 2 {
+            return Err(stco_store::StoreError::Header {
+                context: format!("poisson norm tensor has {} values, want 2", ns.len()),
+            });
+        }
+        model.target_mean = ns[0];
+        model.target_std = ns[1];
+        Ok(model)
     }
 
     /// Evaluates normalized-target MSE and R² (the Table II metrics) over

@@ -13,7 +13,7 @@
 use stco_cells::charac::CharConfig;
 use stco_compact::tech::Corner;
 use stco_core::flow::{FlowConfig, StcoFlow, TechnologyStage, TrainedSurrogates};
-use stco_core::optimize::{explore_with_prescreen, PrescreenConfig};
+use stco_core::optimize::{explore_with_prescreen_cached, PrescreenConfig};
 use stco_core::rl::AgentConfig;
 use stco_core::space::DesignSpace;
 use stco_nn::train::TrainConfig;
@@ -77,16 +77,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let surrogates = TrainedSurrogates { poisson, iv, cells };
     println!("      done in {:.1} s", t0.elapsed().as_secs_f64());
 
-    // --- Exploration with PPA-surrogate prescreening.
+    // --- Exploration with PPA-surrogate prescreening. The bootstrapped
+    // PPA surrogate is cached in the artifact registry: a second run
+    // skips the bootstrap evaluations and training entirely (pass
+    // --no-cache to force the full bootstrap).
     println!("[2/3] exploring the (VDD, Vth, Cox) space…");
+    let registry = if std::env::args().any(|a| a == "--no-cache") {
+        None
+    } else {
+        stco_store::Registry::open_default().ok()
+    };
     let space = DesignSpace::new(5); // 125 corners
-    let outcome = explore_with_prescreen(
+    let outcome = explore_with_prescreen_cached(
         &flow,
         &space,
         &AgentConfig::default(),
         TechnologyStage::Fast,
         Some(&surrogates),
         &PrescreenConfig::default(),
+        registry.as_ref(),
     )?;
 
     println!("[3/3] results\n");

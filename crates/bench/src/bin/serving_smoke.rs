@@ -5,24 +5,44 @@
 //! 1. trains the tiny demo cell model and exports it to a scratch
 //!    registry;
 //! 2. starts a `ModelService` + `TcpServer` on an ephemeral port;
-//! 3. fires 64 concurrent predict requests (one TCP connection each);
-//! 4. asserts every reply bitwise-matches the in-process prediction;
-//! 5. writes `BENCH_serving.json` (throughput, p50/p99 latency, mean
-//!    batch occupancy) at the repository root.
+//! 3. fires 64 concurrent predict requests (one TCP connection each)
+//!    and asserts every reply bitwise-matches the in-process
+//!    prediction;
+//! 4. probes the `metrics` op: the JSON snapshot must carry the serve
+//!    histograms and the Prometheus text must parse as exposition
+//!    lines;
+//! 5. runs the closed-loop latency-curve sweep (concurrency 4→64 via
+//!    `stco_serve::loadgen`), cross-checks the server's rolling-window
+//!    p99 against the exact client-side p99 (tolerance below), and
+//!    writes the `stco-serving-curve/v1` document to
+//!    `BENCH_serving.json` after validating it with
+//!    `stco_bench::validate_serving_curve`.
 //!
-//! Honours `STCO_THREADS` like every other parallel path, so CI runs it
-//! at 1 and 4 threads.
+//! **p99 tolerance.** The server quantile interpolates inside
+//! histogram buckets over the rolling window (every request since the
+//! window opened, all concurrency levels mixed) and times only the
+//! service's enqueue→reply span; the client quantile is an exact order
+//! statistic per step and includes TCP framing. The gate therefore
+//! only requires the two to agree within a factor of 4 or 2 ms,
+//! whichever is looser — see DESIGN.md §13.
+//!
+//! Honours `STCO_THREADS` like every other parallel path, so CI runs
+//! it at 1 and 4 threads.
 
 use std::time::Instant;
 
+use stco_obs::json::JsonValue;
 use stco_par::ParConfig;
 use stco_serve::demo::{demo_graph, demo_key, train_demo_model, DEMO_CELLS};
+use stco_serve::loadgen::{run_sweep, sweep_to_json, SweepConfig};
 use stco_serve::service::{BatchConfig, ModelService, PredictInput};
 use stco_serve::{Client, TcpServer};
 use stco_store::Registry;
 use stco_surrogate::cell_model::{CellModel, METRICS};
 
 const CONCURRENT_REQUESTS: usize = 64;
+const SWEEP_STEPS: [usize; 5] = [4, 8, 16, 32, 64];
+const SWEEP_REQUESTS_PER_STEP: usize = 128;
 
 fn main() {
     let t_total = Instant::now();
@@ -77,7 +97,6 @@ fn main() {
         })
         .collect();
 
-    let t0 = Instant::now();
     let mismatches: usize = std::thread::scope(|scope| {
         let handles: Vec<_> = requests
             .iter()
@@ -98,52 +117,124 @@ fn main() {
             .collect();
         handles.into_iter().map(|h| h.join().expect("join")).sum()
     });
-    let wall = t0.elapsed().as_secs_f64();
-
-    // 4. Bitwise gate.
     assert_eq!(
         mismatches, 0,
         "{mismatches}/{CONCURRENT_REQUESTS} TCP replies differed from in-process predict_many"
     );
     println!("all {CONCURRENT_REQUESTS} concurrent replies bitwise-match in-process predict_many");
 
-    // 5. Metrics + BENCH_serving.json.
-    let metrics = stco_obs::Recorder::global().metrics();
-    let latency = metrics.histogram(
-        "serve.latency_seconds",
-        &stco_obs::metrics::seconds_buckets(),
-    );
-    let occupancy_bounds: Vec<f64> = (1..=BatchConfig::default().max_batch)
-        .map(|n| n as f64)
-        .collect();
-    let occupancy = metrics.histogram("serve.batch_occupancy", &occupancy_bounds);
-    let p50 = latency.quantile(0.50).unwrap_or(0.0);
-    let p99 = latency.quantile(0.99).unwrap_or(0.0);
-    let mean_occupancy = occupancy.mean().unwrap_or(0.0);
-    let throughput = CONCURRENT_REQUESTS as f64 / wall.max(1e-9);
-    println!(
-        "throughput {throughput:.0} req/s, latency p50 {:.3} ms / p99 {:.3} ms, mean batch occupancy {mean_occupancy:.2}",
-        p50 * 1e3,
-        p99 * 1e3
+    // 4. The metrics op must expose the serve telemetry in both
+    // renderings, and stats must carry the moving counters + slow log.
+    let mut admin = Client::connect(&addr).expect("connect admin client");
+    let stats = admin.stats().expect("stats");
+    assert!(
+        stats.requests >= CONCURRENT_REQUESTS as u64,
+        "request counter must cover the bitwise phase: {stats:?}"
     );
     assert!(
-        mean_occupancy >= 1.0,
-        "batch occupancy must be at least 1 (got {mean_occupancy})"
+        !stats.slow_requests.is_empty(),
+        "slow-request log must have entries after {CONCURRENT_REQUESTS} requests"
+    );
+    let (snapshot, text) = admin.metrics().expect("metrics");
+    let JsonValue::Arr(entries) = snapshot.get("metrics").expect("metrics array") else {
+        panic!("metrics snapshot must hold an array");
+    };
+    let names: Vec<&str> = entries
+        .iter()
+        .filter_map(|e| e.get("name").and_then(JsonValue::as_str))
+        .collect();
+    for required in [
+        "serve.batch_size",
+        "serve.latency_seconds",
+        "serve.queue_depth",
+        "serve.queue_wait_seconds",
+        "serve.requests",
+        // cache_miss only appears once a miss happens; the load above
+        // guarantees at least the hit counter exists.
+        "store.cache_hit",
+    ] {
+        assert!(
+            names.contains(&required),
+            "metrics snapshot must include {required}, got {names:?}"
+        );
+    }
+    for series in [
+        "# TYPE serve_latency_seconds summary",
+        "serve_latency_seconds_count",
+        "serve_batch_size_bucket",
+        "serve_requests",
+    ] {
+        assert!(
+            text.contains(series),
+            "Prometheus text must carry {series:?}"
+        );
+    }
+    println!(
+        "metrics op ok: {} snapshot entries, {} exposition lines",
+        entries.len(),
+        text.lines().count()
     );
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
-    let out = format!(
-        "{{\n  \"threads\": {},\n  \"concurrent_requests\": {CONCURRENT_REQUESTS},\n  \
-         \"wall_seconds\": {wall:.6},\n  \"throughput_rps\": {throughput:.3},\n  \
-         \"latency_p50_seconds\": {p50:.9},\n  \"latency_p99_seconds\": {p99:.9},\n  \
-         \"mean_batch_occupancy\": {mean_occupancy:.3},\n  \"bitwise_identical\": true\n}}\n",
-        ParConfig::current().threads
+    // 5. Latency-curve sweep + BENCH_serving.json.
+    let sweep = SweepConfig {
+        addr: addr.clone(),
+        model: model_id.clone(),
+        inputs: requests.iter().map(|(input, _)| input.clone()).collect(),
+        steps: SWEEP_STEPS.to_vec(),
+        requests_per_step: SWEEP_REQUESTS_PER_STEP,
+        deadline_ms: Some(10_000),
+    };
+    let steps = run_sweep(&sweep).expect("load sweep");
+    let mut client_max_p99 = 0.0f64;
+    for step in &steps {
+        println!(
+            "concurrency {:>3}: achieved {:>7.0} req/s (offered {:>7.0}), \
+             client p50 {:.3} ms / p99 {:.3} ms, server window p99 {}",
+            step.concurrency,
+            step.achieved_rps,
+            step.offered_rps,
+            step.client_p50_seconds * 1e3,
+            step.client_p99_seconds * 1e3,
+            step.server_window_p99_seconds
+                .map_or("n/a".to_string(), |p| format!("{:.3} ms", p * 1e3)),
+        );
+        assert_eq!(
+            step.errors, 0,
+            "sweep step at concurrency {} saw errors",
+            step.concurrency
+        );
+        client_max_p99 = client_max_p99.max(step.client_p99_seconds);
+    }
+
+    // Cross-check: the final rolling-window p99 (covers every sweep
+    // request) against the worst exact client-side p99. Documented
+    // tolerance: factor of 4 or 2 ms, whichever is looser.
+    let server_p99 = steps
+        .last()
+        .and_then(|s| s.server_window_p99_seconds)
+        .expect("final step must carry a server window p99");
+    let ratio_ok =
+        server_p99 <= client_max_p99 * 4.0 && client_max_p99 <= server_p99.max(1e-12) * 4.0;
+    let abs_ok = (server_p99 - client_max_p99).abs() <= 2e-3;
+    assert!(
+        ratio_ok || abs_ok,
+        "server rolling p99 {server_p99:.6}s disagrees with client p99 {client_max_p99:.6}s \
+         beyond the documented tolerance (4x or 2 ms)"
     );
-    std::fs::write(path, out).expect("write BENCH_serving.json");
+    println!(
+        "p99 cross-check ok: server window {:.3} ms vs client max {:.3} ms",
+        server_p99 * 1e3,
+        client_max_p99 * 1e3
+    );
+
+    let doc = sweep_to_json(ParConfig::current().threads, true, &steps);
+    stco_bench::validate_serving_curve(&doc, SWEEP_STEPS.len())
+        .expect("BENCH_serving.json schema validation");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    std::fs::write(path, doc.render() + "\n").expect("write BENCH_serving.json");
     println!("wrote {path}");
 
     // Graceful shutdown over the wire, then tear down.
-    let mut admin = Client::connect(&addr).expect("connect admin client");
     admin.shutdown().expect("shutdown");
     server.stop();
     if std::env::var("STCO_STORE_DIR").is_err() {

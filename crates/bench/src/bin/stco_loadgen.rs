@@ -1,0 +1,206 @@
+//! Closed-loop latency-curve load generator for `stco-serve`.
+//!
+//! ```text
+//! stco_loadgen                              # self-host a demo server and sweep it
+//! stco_loadgen --addr HOST:PORT MODEL_ID   # sweep an already-running server
+//! stco_loadgen --steps 8,16,32 --requests 256 --out curve.json
+//! ```
+//!
+//! Each step runs `--requests` predictions through N closed-loop
+//! workers (own TCP connection each) and prints offered vs achieved
+//! throughput with exact client-side p50/p99, cross-referenced against
+//! the server's rolling `serve.latency_seconds` window fetched over
+//! the `metrics` op. `--out` writes the `stco-serving-curve/v1`
+//! document (schema-validated before writing).
+//!
+//! Self-hosted runs honour `STCO_THREADS` for the forward pool, like
+//! every other parallel path.
+
+use stco_par::ParConfig;
+use stco_serve::demo::{demo_graph, demo_key, train_demo_model, DEMO_CELLS};
+use stco_serve::loadgen::{run_sweep, sweep_to_json, SweepConfig};
+use stco_serve::service::{BatchConfig, ModelService, PredictInput};
+use stco_serve::{Client, TcpServer};
+use stco_store::Registry;
+use stco_surrogate::cell_model::{CellModel, METRICS};
+
+const DEFAULT_STEPS: [usize; 5] = [8, 16, 32, 64, 128];
+const DEFAULT_REQUESTS_PER_STEP: usize = 256;
+
+struct Args {
+    addr: Option<String>,
+    model: Option<String>,
+    steps: Vec<usize>,
+    requests: usize,
+    deadline_ms: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        model: None,
+        steps: DEFAULT_STEPS.to_vec(),
+        requests: DEFAULT_REQUESTS_PER_STEP,
+        deadline_ms: 10_000,
+        out: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let usage = || -> ! {
+        eprintln!(
+            "usage: stco_loadgen [--addr HOST:PORT MODEL_ID] [--steps N,N,...] \
+             [--requests N] [--deadline-ms MS] [--out PATH]"
+        );
+        std::process::exit(2);
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => {
+                if i + 2 >= argv.len() {
+                    usage();
+                }
+                args.addr = Some(argv[i + 1].clone());
+                args.model = Some(argv[i + 2].clone());
+                i += 3;
+            }
+            "--steps" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                let parsed: Option<Vec<usize>> = argv[i + 1]
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().ok().filter(|&n| n > 0))
+                    .collect();
+                match parsed {
+                    Some(steps) if !steps.is_empty() => args.steps = steps,
+                    _ => usage(),
+                }
+                i += 2;
+            }
+            "--requests" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                match argv[i + 1].parse::<usize>() {
+                    Ok(n) if n > 0 => args.requests = n,
+                    _ => usage(),
+                }
+                i += 2;
+            }
+            "--deadline-ms" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                match argv[i + 1].parse::<u64>() {
+                    Ok(ms) => args.deadline_ms = ms,
+                    Err(_) => usage(),
+                }
+                i += 2;
+            }
+            "--out" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                args.out = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn demo_inputs() -> Vec<PredictInput> {
+    let all: Vec<usize> = (0..METRICS.len()).collect();
+    DEMO_CELLS
+        .iter()
+        .map(|&kind| PredictInput::Cell {
+            graph: demo_graph(kind),
+            metrics: all.clone(),
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Self-host a demo server unless --addr points at a live one. The
+    // server (and its scratch registry) lives for the whole sweep.
+    let hosted = if args.addr.is_none() {
+        let dir = std::env::temp_dir().join(format!("stco-loadgen-{}", std::process::id()));
+        let registry = Registry::open(&dir).expect("open registry");
+        let key = demo_key();
+        let model = train_demo_model().expect("train demo model");
+        registry.put(key, &model.to_artifact()).expect("export");
+        let service = ModelService::start(Some(registry), BatchConfig::default());
+        let server = TcpServer::start("127.0.0.1:0", service).expect("bind server");
+        let addr = server.addr().to_string();
+        let mut admin = Client::connect(&addr).expect("connect");
+        let id = admin.load(CellModel::ARTIFACT_KIND, key).expect("load");
+        println!(
+            "self-hosting {id} on {addr} (STCO_THREADS={})",
+            ParConfig::current().threads
+        );
+        Some((server, dir, addr, id))
+    } else {
+        None
+    };
+    let (addr, model_id) = match (&hosted, &args.addr, &args.model) {
+        (Some((_, _, addr, id)), _, _) => (addr.clone(), id.clone()),
+        (None, Some(addr), Some(model)) => (addr.clone(), model.clone()),
+        _ => unreachable!("--addr always carries a model id"),
+    };
+
+    let sweep = SweepConfig {
+        addr,
+        model: model_id,
+        inputs: demo_inputs(),
+        steps: args.steps.clone(),
+        requests_per_step: args.requests,
+        deadline_ms: Some(args.deadline_ms).filter(|&ms| ms > 0),
+    };
+    let steps = run_sweep(&sweep).expect("load sweep");
+
+    println!(
+        "{:>11} {:>8} {:>7} {:>12} {:>12} {:>11} {:>11} {:>14}",
+        "concurrency",
+        "ok",
+        "errors",
+        "offered r/s",
+        "achieved r/s",
+        "p50 ms",
+        "p99 ms",
+        "server p99 ms"
+    );
+    for step in &steps {
+        println!(
+            "{:>11} {:>8} {:>7} {:>12.0} {:>12.0} {:>11.3} {:>11.3} {:>14}",
+            step.concurrency,
+            step.ok,
+            step.errors,
+            step.offered_rps,
+            step.achieved_rps,
+            step.client_p50_seconds * 1e3,
+            step.client_p99_seconds * 1e3,
+            step.server_window_p99_seconds
+                .map_or("n/a".to_string(), |p| format!("{:.3}", p * 1e3)),
+        );
+    }
+
+    if let Some(out) = &args.out {
+        let doc = sweep_to_json(ParConfig::current().threads, false, &steps);
+        // Single steps (or user-chosen step lists) are fine here; only
+        // monotone concurrency and field consistency are enforced.
+        stco_bench::validate_serving_curve(&doc, 1).expect("serving curve schema");
+        std::fs::write(out, doc.render() + "\n").expect("write sweep JSON");
+        println!("wrote {out}");
+    }
+
+    if let Some((server, dir, addr, _)) = hosted {
+        let mut admin = Client::connect(&addr).expect("connect");
+        admin.shutdown().expect("shutdown");
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -156,6 +156,101 @@ pub fn fmt_seconds(s: f64) -> String {
     }
 }
 
+/// Validates a `BENCH_serving.json` document against the
+/// `stco-serving-curve/v1` schema emitted by
+/// [`stco_serve::loadgen::sweep_to_json`]: required top-level fields,
+/// at least `min_steps` sweep steps with strictly increasing
+/// concurrency, and internally consistent per-step latencies
+/// (`p50 <= p99`, non-negative rates). CI calls this against the file
+/// the serving smoke wrote; the smoke itself calls it before writing.
+///
+/// # Errors
+///
+/// A human-readable description of the first schema violation.
+pub fn validate_serving_curve(
+    doc: &stco_obs::json::JsonValue,
+    min_steps: usize,
+) -> Result<(), String> {
+    use stco_obs::json::JsonValue;
+
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema field")?;
+    if schema != "stco-serving-curve/v1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let threads = doc
+        .get("threads")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing threads field")?;
+    if threads == 0 {
+        return Err("threads must be at least 1".to_string());
+    }
+    match doc.get("bitwise_identical") {
+        Some(JsonValue::Bool(_)) => {}
+        _ => return Err("missing bitwise_identical boolean".to_string()),
+    }
+    let Some(JsonValue::Arr(steps)) = doc.get("steps") else {
+        return Err("missing steps array".to_string());
+    };
+    if steps.len() < min_steps {
+        return Err(format!(
+            "sweep has {} steps, need at least {min_steps}",
+            steps.len()
+        ));
+    }
+    let mut prev_concurrency = 0u64;
+    for (i, step) in steps.iter().enumerate() {
+        let num = |key: &str| -> Result<f64, String> {
+            step.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or(format!("step {i}: missing numeric {key}"))
+        };
+        let concurrency = step
+            .get("concurrency")
+            .and_then(JsonValue::as_u64)
+            .ok_or(format!("step {i}: missing concurrency"))?;
+        if concurrency <= prev_concurrency {
+            return Err(format!(
+                "step {i}: concurrency {concurrency} must increase (previous {prev_concurrency})"
+            ));
+        }
+        prev_concurrency = concurrency;
+        let wall = num("wall_seconds")?;
+        if wall <= 0.0 {
+            return Err(format!("step {i}: wall_seconds must be positive"));
+        }
+        for key in [
+            "ok",
+            "errors",
+            "offered_rps",
+            "achieved_rps",
+            "client_mean_seconds",
+        ] {
+            if num(key)? < 0.0 {
+                return Err(format!("step {i}: {key} must be non-negative"));
+            }
+        }
+        let p50 = num("client_p50_seconds")?;
+        let p99 = num("client_p99_seconds")?;
+        if p50 < 0.0 || p99 < p50 {
+            return Err(format!(
+                "step {i}: client quantiles inconsistent (p50 {p50}, p99 {p99})"
+            ));
+        }
+        match step.get("server_window_p99_seconds") {
+            Some(JsonValue::Null | JsonValue::Num(_)) => {}
+            _ => {
+                return Err(format!(
+                    "step {i}: server_window_p99_seconds must be a number or null"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +267,66 @@ mod tests {
         let c = bench_char_config();
         assert_eq!(c.slews.len(), 2);
         assert_eq!(c.loads.len(), 2);
+    }
+
+    fn demo_curve(step_count: usize) -> stco_obs::json::JsonValue {
+        let steps: Vec<stco_serve::LoadStep> = (0..step_count)
+            .map(|i| stco_serve::LoadStep {
+                concurrency: 4 << i,
+                ok: 64,
+                errors: 0,
+                wall_seconds: 0.25,
+                offered_rps: 300.0,
+                achieved_rps: 256.0,
+                client_p50_seconds: 0.010,
+                client_p99_seconds: 0.045,
+                client_mean_seconds: 0.014,
+                server_window_p99_seconds: Some(0.040),
+            })
+            .collect();
+        stco_serve::loadgen::sweep_to_json(4, true, &steps)
+    }
+
+    #[test]
+    fn serving_curve_schema_accepts_valid_sweep() {
+        let doc = demo_curve(5);
+        assert_eq!(validate_serving_curve(&doc, 5), Ok(()));
+        // And survives a render/parse roundtrip, as CI reads the file.
+        let reparsed = stco_obs::json::JsonValue::parse(&doc.render()).expect("reparse");
+        assert_eq!(validate_serving_curve(&reparsed, 5), Ok(()));
+    }
+
+    #[test]
+    fn serving_curve_schema_rejects_short_and_malformed_sweeps() {
+        let err = validate_serving_curve(&demo_curve(3), 5).expect_err("too short");
+        assert!(err.contains("at least 5"), "{err}");
+
+        let err = validate_serving_curve(&stco_obs::json::JsonValue::Obj(vec![]), 1)
+            .expect_err("missing schema");
+        assert!(err.contains("schema"), "{err}");
+
+        // p99 below p50 must be rejected.
+        let mut steps = vec![stco_serve::LoadStep {
+            concurrency: 4,
+            ok: 1,
+            errors: 0,
+            wall_seconds: 0.1,
+            offered_rps: 1.0,
+            achieved_rps: 1.0,
+            client_p50_seconds: 0.5,
+            client_p99_seconds: 0.1,
+            client_mean_seconds: 0.5,
+            server_window_p99_seconds: None,
+        }];
+        let doc = stco_serve::loadgen::sweep_to_json(1, true, &steps);
+        let err = validate_serving_curve(&doc, 1).expect_err("inconsistent quantiles");
+        assert!(err.contains("quantiles"), "{err}");
+
+        // Non-increasing concurrency must be rejected.
+        steps[0].client_p99_seconds = 1.0;
+        steps.push(steps[0].clone());
+        let doc = stco_serve::loadgen::sweep_to_json(1, true, &steps);
+        let err = validate_serving_curve(&doc, 1).expect_err("flat concurrency");
+        assert!(err.contains("concurrency"), "{err}");
     }
 }

@@ -189,6 +189,45 @@ pub fn analyze_file(path: &str, source: &str, cfg: &LintConfig) -> FileAnalysis 
         }
     }
 
+    // L6 `metric-name`: string-literal names handed to the metric
+    // registry constructors must follow `area.noun_unit`.
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || in_test(i) {
+            continue;
+        }
+        let is_ctor = matches!(
+            t.text.as_str(),
+            "counter" | "gauge" | "histogram" | "windowed_histogram"
+        );
+        if !is_ctor || i == 0 || !toks[i - 1].is_punct('.') {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        // Only literal first arguments are checkable; computed names
+        // (e.g. the `labeled` helper) are out of scope here.
+        let Some(name_tok) = toks.get(i + 2) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Literal || name_tok.text.is_empty() {
+            continue;
+        }
+        if !valid_metric_name(&name_tok.text) {
+            raw.push(Finding {
+                lint: Lint::MetricName,
+                file: path.to_string(),
+                line: name_tok.line,
+                message: format!(
+                    "metric name {:?} — expected `area.noun_unit` (lowercase snake case, one dot, \
+                     optional `{{key=value}}` labels)",
+                    name_tok.text
+                ),
+            });
+        }
+    }
+
     // L5 `no-alloc-in-hot-loop`: `// stco-hot` annotated functions must
     // not allocate per call.
     for c in &lexed.comments {
@@ -252,6 +291,38 @@ pub fn analyze_file(path: &str, source: &str, cfg: &LintConfig) -> FileAnalysis 
         }
     }
     out
+}
+
+/// Whether a metric name follows the `area.noun_unit` convention:
+/// exactly two lowercase snake-case segments joined by one dot,
+/// optionally followed by a `{key=value,...}` label block.
+fn valid_metric_name(name: &str) -> bool {
+    let (base, labels) = match name.split_once('{') {
+        Some((base, rest)) => match rest.strip_suffix('}') {
+            Some(inner) => (base, Some(inner)),
+            None => return false,
+        },
+        None => (name, None),
+    };
+    let mut segments = base.split('.');
+    let (Some(area), Some(noun), None) = (segments.next(), segments.next(), segments.next()) else {
+        return false;
+    };
+    let segment_ok = |s: &str| {
+        s.starts_with(|c: char| c.is_ascii_lowercase())
+            && s.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    };
+    if !segment_ok(area) || !segment_ok(noun) {
+        return false;
+    }
+    labels.is_none_or(|inner| {
+        !inner.is_empty()
+            && inner.split(',').all(|pair| {
+                pair.split_once('=')
+                    .is_some_and(|(k, v)| segment_ok(k) && !v.is_empty() && !v.contains(['=', ' ']))
+            })
+    })
 }
 
 /// Whether the `fn` at token index `fn_idx` is `pub` (incl. `pub(crate)`).
@@ -625,6 +696,80 @@ mod tests {
         "#;
         let a = run("crates/numerics/src/x.rs", src);
         assert!(a.findings.is_empty());
+    }
+
+    #[test]
+    fn metric_name_convention_is_enforced() {
+        let bad = r#"
+            pub fn f(m: &MetricsRegistry) {
+                m.counter("serve_requests").add(1);
+                m.gauge("Serve.queueDepth").set(1.0);
+                m.histogram("serve.latency.seconds", &b);
+                m.windowed_histogram("latency", &b, cfg);
+            }
+        "#;
+        let a = run("crates/serve/src/x.rs", bad);
+        assert_eq!(
+            a.findings
+                .iter()
+                .filter(|f| f.lint == Lint::MetricName)
+                .count(),
+            4,
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn conventional_metric_names_pass() {
+        let good = r#"
+            pub fn f(m: &MetricsRegistry) {
+                m.counter("serve.requests").add(1);
+                m.gauge("par.pool_utilization").set(0.5);
+                m.histogram("serve.queue_wait_seconds", &b);
+                m.windowed_histogram("serve.latency_seconds", &b, cfg);
+                m.counter("tcad.sweep_points{device=nfet}").add(1);
+                m.counter(dynamic_name).add(1);
+            }
+        "#;
+        let a = run("crates/serve/src/x.rs", good);
+        assert!(
+            a.findings.iter().all(|f| f.lint != Lint::MetricName),
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn metric_names_in_test_mods_are_exempt() {
+        let src = r#"
+            pub fn ok() {}
+            #[cfg(test)]
+            mod tests {
+                fn t(m: &MetricsRegistry) { m.counter("whatever").add(1); }
+            }
+        "#;
+        let a = run("crates/serve/src/x.rs", src);
+        assert!(a.findings.iter().all(|f| f.lint != Lint::MetricName));
+    }
+
+    #[test]
+    fn metric_name_labels_must_be_key_value() {
+        let src = r#"
+            pub fn f(m: &MetricsRegistry) {
+                m.counter("serve.requests{model}").add(1);
+                m.counter("serve.requests{model=}").add(1);
+                m.counter("serve.requests{model=a,=b}").add(1);
+            }
+        "#;
+        let a = run("crates/serve/src/x.rs", src);
+        assert_eq!(
+            a.findings
+                .iter()
+                .filter(|f| f.lint == Lint::MetricName)
+                .count(),
+            3
+        );
     }
 
     #[test]

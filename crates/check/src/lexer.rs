@@ -7,8 +7,9 @@
 //! comments. Comments are preserved as a side channel because waiver
 //! comments (`// stco-check: allow(...)`) carry semantic weight.
 
-/// What a token is. Identifier text is kept; literal contents are not —
-/// no lint looks inside a string or number.
+/// What a token is. Identifier text is kept, and plain `"..."` string
+/// contents are retained (the `metric-name` lint validates metric name
+/// literals); raw/byte/char literal contents are dropped.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TokenKind {
     /// Identifier or keyword (`unwrap`, `fn`, `as`, ...).
@@ -17,7 +18,8 @@ pub enum TokenKind {
     Lifetime,
     /// Numeric literal (possibly split around an exponent sign).
     Number,
-    /// String / char / byte-string literal (contents dropped).
+    /// String / char / byte-string literal. `text` holds the contents
+    /// (escapes unprocessed) for plain strings, and is empty otherwise.
     Literal,
     /// Single punctuation character (`.`, `!`, `{`, ...).
     Punct(char),
@@ -135,9 +137,16 @@ pub fn lex(src: &str) -> Lexed {
             }
             b'"' => {
                 let (end, newlines) = skip_string(bytes, i);
+                // Contents kept (escapes left raw) so lints can check
+                // string arguments like metric names.
+                let body_end = if end > i + 1 && bytes[end - 1] == b'"' {
+                    end - 1
+                } else {
+                    end
+                };
                 out.tokens.push(Token {
                     kind: TokenKind::Literal,
-                    text: String::new(),
+                    text: src[i + 1..body_end].to_string(),
                     line,
                 });
                 line += newlines;
@@ -422,5 +431,29 @@ mod tests {
         let src = "let c = '\\n'; let d = '\\''; x.unwrap();";
         let ids = idents(src);
         assert!(ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn plain_string_contents_are_retained() {
+        let src = r#"metrics.counter("serve.requests").add(1);"#;
+        let lexed = lex(src);
+        let lit = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Literal)
+            .expect("string literal token");
+        assert_eq!(lit.text, "serve.requests");
+    }
+
+    #[test]
+    fn unterminated_string_keeps_partial_contents() {
+        let src = "let s = \"dangling";
+        let lexed = lex(src);
+        let lit = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Literal)
+            .expect("string literal token");
+        assert_eq!(lit.text, "dangling");
     }
 }

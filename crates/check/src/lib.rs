@@ -15,6 +15,11 @@
 //!   crates.
 //! * **L4 `no-print`** — no `println!`/`eprintln!`/`dbg!` in library
 //!   crates; diagnostics go through `stco-obs` sinks.
+//! * **L5 `no-alloc-in-hot-loop`** — `// stco-hot` annotated functions
+//!   must not allocate per call.
+//! * **L6 `metric-name`** — literal metric names follow the
+//!   `area.noun_unit` convention (one dot, lowercase snake case,
+//!   optional `{key=value}` labels).
 //!
 //! Existing debt is committed to `stco-check.baseline.json` and
 //! *ratcheted*: CI fails only on counts exceeding the baseline, and

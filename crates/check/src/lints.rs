@@ -30,15 +30,23 @@ pub enum Lint {
     /// lease buffers from a workspace or accept an `&mut` output
     /// instead.
     NoAllocInHotLoop,
+    /// **L6** `metric-name`: string-literal metric names passed to
+    /// `.counter(` / `.gauge(` / `.histogram(` / `.windowed_histogram(`
+    /// must follow the `area.noun_unit` convention —
+    /// `^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$`, optionally followed by a
+    /// `{key=value,...}` label block. One dot, lowercase snake case,
+    /// units spelled in the noun (`_seconds`, `_bytes`).
+    MetricName,
 }
 
 /// Every lint, in report order.
-pub const ALL_LINTS: [Lint; 5] = [
+pub const ALL_LINTS: [Lint; 6] = [
     Lint::NoUnwrap,
     Lint::ObsSpan,
     Lint::NoLossyCast,
     Lint::NoPrint,
     Lint::NoAllocInHotLoop,
+    Lint::MetricName,
 ];
 
 impl Lint {
@@ -50,6 +58,7 @@ impl Lint {
             Lint::NoLossyCast => "no-lossy-cast",
             Lint::NoPrint => "no-print",
             Lint::NoAllocInHotLoop => "no-alloc-in-hot-loop",
+            Lint::MetricName => "metric-name",
         }
     }
 
@@ -66,6 +75,7 @@ impl Lint {
             Lint::NoLossyCast => "lossy numeric `as` cast in numeric crate",
             Lint::NoPrint => "println!/eprintln!/dbg! in library code",
             Lint::NoAllocInHotLoop => "per-call allocation in a `// stco-hot` function",
+            Lint::MetricName => "metric name violates the `area.noun_unit` convention",
         }
     }
 }
@@ -111,7 +121,7 @@ impl Default for LintConfig {
                     &["analyze_timing", "analyze_power", "place", "evaluate"],
                 ),
                 ("store", &["load", "put"]),
-                ("serve", &["submit", "load"]),
+                ("serve", &["submit", "load", "run_sweep"]),
             ],
             numeric_crates: &[
                 "numerics",

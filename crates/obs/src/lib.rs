@@ -9,10 +9,14 @@
 //!   pluggable [`sink::Sink`]s (in-memory ring buffer, JSONL file,
 //!   stderr pretty-printer). The [`span!`]/[`event!`] macros compile to
 //!   a single atomic load when no sink is installed.
-//! * **Metrics** ([`metrics`]) — named counters, gauges and fixed-bucket
-//!   histograms with percentile summaries (`tcad.newton_iters`,
-//!   `nn.epoch_loss`, `spice.timestep_rejects`, `rl.episode_reward`,
-//!   `flow.stage_seconds{stage=…}`).
+//! * **Metrics** ([`metrics`]) — named counters, gauges and lock-free
+//!   fixed-bucket histograms with percentile summaries
+//!   (`tcad.newton_iters`, `nn.epoch_loss`, `spice.timestep_rejects`,
+//!   `rl.episode_reward`, `flow.stage_seconds{stage=…}`), including
+//!   sliding-window histograms ([`metrics::WindowedHistogram`]) for
+//!   rolling quantiles like a server's live p99.
+//! * **Exposition** ([`exposition`]) — renders a metrics snapshot as a
+//!   JSON document or Prometheus-style text for admin endpoints.
 //! * **Profiles** ([`profile`]) — folds a recorded span stream into a
 //!   per-stage/per-substage table (Markdown + JSON), the breakdown that
 //!   justifies each Table I row.
@@ -26,6 +30,7 @@
 //! The crate is dependency-free (std only) so every layer of the
 //! workspace can depend on it.
 
+pub mod exposition;
 pub mod json;
 pub mod metrics;
 pub mod profile;
@@ -33,7 +38,8 @@ pub mod record;
 pub mod recorder;
 pub mod sink;
 
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use exposition::{prometheus_text, snapshot_json};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, WindowConfig, WindowedHistogram};
 pub use profile::{Profile, ProfileNode};
 pub use record::{FieldValue, Record};
 pub use recorder::{Recorder, SpanGuard};

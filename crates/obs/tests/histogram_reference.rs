@@ -1,0 +1,188 @@
+//! Property tests pinning the lock-free histogram to a mutex-guarded
+//! reference implementation: for any observation stream, bucket counts
+//! (and count/sum/min/max/quantiles) must be identical.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use stco_obs::metrics::{seconds_buckets, Histogram, WindowConfig, WindowedHistogram};
+
+/// The pre-existing `Mutex<HistogramState>` implementation, kept here
+/// verbatim as the behavioral oracle.
+struct ReferenceHistogram {
+    bounds: Vec<f64>,
+    state: Mutex<RefState>,
+}
+
+#[derive(Default)]
+struct RefState {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl ReferenceHistogram {
+    fn new(bounds: Vec<f64>) -> Self {
+        let n = bounds.len();
+        ReferenceHistogram {
+            bounds,
+            state: Mutex::new(RefState {
+                counts: vec![0; n + 1],
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            }),
+        }
+    }
+
+    fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        let mut s = self.state.lock().expect("reference poisoned");
+        s.counts[idx] += 1;
+        s.count += 1;
+        s.sum += v;
+        s.min = s.min.min(v);
+        s.max = s.max.max(v);
+    }
+
+    fn quantile(&self, q: f64) -> Option<f64> {
+        let s = self.state.lock().expect("reference poisoned");
+        if s.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * s.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &c) in s.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cumulative + c;
+            if rank <= next as f64 || i + 1 == s.counts.len() {
+                let upper = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    s.max
+                };
+                let lower = if i == 0 {
+                    s.min.min(upper)
+                } else {
+                    self.bounds[i - 1]
+                };
+                let frac = ((rank - cumulative as f64) / c as f64).clamp(0.0, 1.0);
+                let v = lower + (upper - lower) * frac;
+                return Some(v.clamp(s.min, s.max));
+            }
+            cumulative = next;
+        }
+        Some(s.max)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Serial streams: the atomic histogram is bit-for-bit equivalent
+    /// to the mutex reference (counts, sum, extrema, quantiles).
+    #[test]
+    fn atomic_matches_reference_serially(
+        values in prop::collection::vec(-1e-4..2.0f64, 0..400),
+        qs in prop::collection::vec(0.0..1.0f64, 4),
+    ) {
+        let bounds = seconds_buckets();
+        let atomic = Histogram::with_bounds(bounds.clone());
+        let reference = ReferenceHistogram::new(bounds);
+        for &v in &values {
+            atomic.observe(v);
+            reference.observe(v);
+        }
+        let read = atomic.read();
+        let ref_state = reference.state.lock().expect("reference poisoned");
+        prop_assert_eq!(&read.counts, &ref_state.counts, "bucket counts must match");
+        prop_assert_eq!(read.count, ref_state.count);
+        prop_assert_eq!(read.sum.to_bits(), ref_state.sum.to_bits(), "sum must be bitwise equal");
+        prop_assert_eq!(read.min.to_bits(), ref_state.min.to_bits());
+        prop_assert_eq!(read.max.to_bits(), ref_state.max.to_bits());
+        drop(ref_state);
+        for q in qs {
+            let a = atomic.quantile(q);
+            let r = reference.quantile(q);
+            prop_assert_eq!(a, r, "quantile q={} must match", q);
+        }
+    }
+
+    /// Concurrent streams: bucket counts must equal the reference fed
+    /// the same multiset of observations (order-independent state), and
+    /// the sum must match up to f64 reassociation error.
+    #[test]
+    fn atomic_matches_reference_concurrently(
+        per_thread in prop::collection::vec(
+            prop::collection::vec(0.0..1.5f64, 1..120), 2..6),
+    ) {
+        let bounds = vec![0.1, 0.25, 0.5, 0.75, 1.0, 1.25];
+        let atomic = Histogram::with_bounds(bounds.clone());
+        let reference = ReferenceHistogram::new(bounds);
+        std::thread::scope(|scope| {
+            for chunk in &per_thread {
+                let atomic = atomic.clone();
+                scope.spawn(move || {
+                    for &v in chunk {
+                        atomic.observe(v);
+                    }
+                });
+            }
+        });
+        for chunk in &per_thread {
+            for &v in chunk {
+                reference.observe(v);
+            }
+        }
+        let read = atomic.read();
+        let ref_state = reference.state.lock().expect("reference poisoned");
+        prop_assert_eq!(&read.counts, &ref_state.counts, "no lost bucket increments");
+        prop_assert_eq!(read.count, ref_state.count);
+        prop_assert_eq!(read.min.to_bits(), ref_state.min.to_bits());
+        prop_assert_eq!(read.max.to_bits(), ref_state.max.to_bits());
+        let tol = 1e-9 * ref_state.count.max(1) as f64;
+        prop_assert!((read.sum - ref_state.sum).abs() <= tol,
+            "sum {} vs reference {} (tol {})", read.sum, ref_state.sum, tol);
+    }
+
+    /// The windowed histogram's cumulative state equals a plain atomic
+    /// histogram, and a window wide enough to cover every tick yields
+    /// the same bucket counts too.
+    #[test]
+    fn windowed_cumulative_matches_plain(
+        values in prop::collection::vec(0.0..2.0f64, 1..200),
+        ticks in prop::collection::vec(0u64..6, 1..200),
+    ) {
+        let bounds = vec![0.25, 0.5, 1.0, 1.5];
+        let plain = Histogram::with_bounds(bounds.clone());
+        let windowed = WindowedHistogram::with_bounds(
+            bounds,
+            WindowConfig { epoch_len: Duration::from_secs(1), epochs: 8 },
+        );
+        let n = values.len().min(ticks.len());
+        // Ticks must be fed non-decreasing, as a wall clock would.
+        let mut sorted_ticks = ticks[..n].to_vec();
+        sorted_ticks.sort_unstable();
+        for (v, t) in values[..n].iter().zip(&sorted_ticks) {
+            plain.observe(*v);
+            windowed.observe_at(*v, *t);
+        }
+        prop_assert_eq!(windowed.cumulative_reading().counts, plain.read().counts);
+        // Window spans 8 epochs ≥ the 0..6 tick range: nothing expired.
+        let win = windowed.window_reading_at(5);
+        prop_assert_eq!(win.counts, plain.read().counts,
+            "full-coverage window must see every observation");
+        prop_assert_eq!(win.count, plain.count());
+    }
+}

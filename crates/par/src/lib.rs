@@ -33,6 +33,11 @@
 //! profiles keep a connected tree across thread boundaries and Table-I
 //! stage seconds stay consistent.
 //!
+//! Each multi-threaded region also publishes pool health metrics:
+//! `par.pool_utilization` (sum of worker busy time over `threads ×`
+//! region wall, 1.0 = perfectly balanced) and a `par.region_items`
+//! counter of work items scheduled.
+//!
 //! # Nesting
 //!
 //! Parallel regions do not nest: a `par_*` call made from inside a
@@ -43,8 +48,9 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
 
 use stco_obs::{FieldValue, Recorder};
 
@@ -201,8 +207,11 @@ where
     } else {
         let next = AtomicUsize::new(0);
         let parent = Recorder::global().current_span();
+        let region_start = Instant::now();
+        let busy_ns = AtomicU64::new(0);
         let worker_loop = || {
             IN_POOL.with(|f| f.set(true));
+            let started = Instant::now();
             loop {
                 if abort.load(Ordering::Relaxed) {
                     break;
@@ -213,6 +222,7 @@ where
                 }
                 run_item(i);
             }
+            busy_ns.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
             IN_POOL.with(|f| f.set(false));
         };
         std::thread::scope(|scope| {
@@ -231,6 +241,18 @@ where
             // nest under the region span on this thread's stack.
             worker_loop();
         });
+        // Pool health: busy time summed across workers over the
+        // region's wall × threads budget. Spawn latency and tail
+        // imbalance both show up as utilization < 1.
+        let wall = region_start.elapsed().as_secs_f64();
+        if wall > 0.0 {
+            let busy = busy_ns.load(Ordering::Relaxed) as f64 * 1e-9;
+            let metrics = Recorder::global().metrics();
+            metrics
+                .gauge("par.pool_utilization")
+                .set((busy / (wall * threads as f64)).min(1.0));
+            metrics.counter("par.region_items").add(num_items as u64);
+        }
     }
 
     if let Some((_, payload)) = into_inner_ignore_poison(panic_slot) {

@@ -4,6 +4,7 @@
 //! ```text
 //! serve_client ADDR ping
 //! serve_client ADDR stats
+//! serve_client ADDR metrics
 //! serve_client ADDR load KIND HEXKEY
 //! serve_client ADDR predict-demo MODEL_ID
 //! serve_client ADDR shutdown
@@ -25,7 +26,9 @@ fn main() {
     let (addr, op) = match args.as_slice() {
         [addr, op, ..] => (addr.clone(), op.clone()),
         _ => {
-            eprintln!("usage: serve_client ADDR ping|stats|load|predict-demo|shutdown [...]");
+            eprintln!(
+                "usage: serve_client ADDR ping|stats|metrics|load|predict-demo|shutdown [...]"
+            );
             std::process::exit(2);
         }
     };
@@ -36,12 +39,36 @@ fn main() {
             println!("pong");
         }
         "stats" => {
-            let (depth, loaded) = client.stats().expect("stats");
-            println!("queue depth: {depth}");
-            println!("loaded models ({}):", loaded.len());
-            for id in loaded {
+            let stats = client.stats().expect("stats");
+            println!("queue depth: {}", stats.queue_depth);
+            println!(
+                "requests: {}  replies: {}  errors: {}  deadline-exceeded: {}",
+                stats.requests, stats.replies, stats.errors, stats.deadline_exceeded
+            );
+            println!("loaded models ({}):", stats.loaded.len());
+            for id in &stats.loaded {
                 println!("  {id}");
             }
+            if !stats.slow_requests.is_empty() {
+                println!("slowest requests ({}):", stats.slow_requests.len());
+                for slow in &stats.slow_requests {
+                    println!(
+                        "  trace {:>6}  total {:.6}s  queue {:.6}s  assembly {:.6}s  \
+                         forward {:.6}s  reply {:.6}s  batch {}",
+                        slow.trace_id,
+                        slow.total_seconds,
+                        slow.queue_seconds,
+                        slow.assembly_seconds,
+                        slow.forward_seconds,
+                        slow.reply_seconds,
+                        slow.batch_size
+                    );
+                }
+            }
+        }
+        "metrics" => {
+            let (_snapshot, text) = client.metrics().expect("metrics");
+            print!("{text}");
         }
         "load" => {
             let [_, _, kind, hex] = args.as_slice() else {

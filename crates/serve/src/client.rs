@@ -5,7 +5,9 @@ use std::net::TcpStream;
 
 use stco_store::ArtifactKey;
 
-use crate::protocol::{read_frame, write_frame, Reply, Request};
+use stco_obs::json::JsonValue;
+
+use crate::protocol::{read_frame, write_frame, Reply, Request, ServerStats};
 use crate::service::PredictInput;
 use crate::{Result, ServeError};
 
@@ -107,17 +109,28 @@ impl Client {
         }
     }
 
-    /// Queue depth and loaded model ids.
+    /// Server status: queue depth, loaded models, request/reply/error
+    /// counters, and the slow-request log.
     ///
     /// # Errors
     ///
     /// Transport failures or an unexpected reply.
-    pub fn stats(&mut self) -> Result<(usize, Vec<String>)> {
+    pub fn stats(&mut self) -> Result<ServerStats> {
         match Self::expect_ok(self.roundtrip(&Request::Stats)?)? {
-            Reply::Stats {
-                queue_depth,
-                loaded,
-            } => Ok((queue_depth, loaded)),
+            Reply::Stats(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Full metrics exposition: the registry snapshot as JSON plus the
+    /// Prometheus-style text rendering.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected reply.
+    pub fn metrics(&mut self) -> Result<(JsonValue, String)> {
+        match Self::expect_ok(self.roundtrip(&Request::Metrics)?)? {
+            Reply::Metrics { snapshot, text } => Ok((snapshot, text)),
             other => Err(unexpected(&other)),
         }
     }

@@ -19,20 +19,31 @@
 //!   shortest-roundtrip decimal, which Rust formats/parses exactly.
 //! * [`server`] / [`client`] — a std-only TCP front end and its
 //!   matching client.
+//! * [`loadgen`] — a closed-loop load generator that sweeps
+//!   concurrency against a running server and reports offered vs
+//!   achieved throughput with exact client-side quantiles,
+//!   cross-checked against the server's rolling latency window.
 //!
-//! Every stage records obs spans and metrics: `serve.queue_depth`,
-//! `serve.batch_occupancy`, `serve.latency_seconds`, request/reply/
-//! error counters.
+//! Every stage records obs spans and metrics: a `serve.queue_depth`
+//! gauge, `serve.batch_size` and `serve.queue_wait_seconds` histograms,
+//! a rolling-window `serve.latency_seconds` histogram, and request/
+//! reply/error counters. Each request carries a trace id from submit to
+//! reply; per-phase timings (queue wait, batch assembly, forward, reply
+//! write) feed a worst-K slow-request log, and the `metrics`/`stats`
+//! wire ops expose the whole registry (JSON + Prometheus text) and the
+//! slow log remotely.
 
 pub mod client;
 pub mod demo;
+pub mod loadgen;
 pub mod protocol;
 pub mod server;
 pub mod service;
 
 pub use client::Client;
+pub use loadgen::{run_sweep, LoadStep, SweepConfig};
 pub use server::TcpServer;
-pub use service::{BatchConfig, LoadedModel, ModelService, PredictInput};
+pub use service::{BatchConfig, LoadedModel, ModelService, PredictInput, SlowRequest};
 
 use std::fmt;
 

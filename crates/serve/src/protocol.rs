@@ -12,15 +12,23 @@
 //! {"op":"ping"}
 //! {"op":"load","kind":"cell-model","key":"00ab…"}        // key: 16-hex
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"shutdown"}
 //! {"op":"predict","model":"cell-model:00ab…","deadline_ms":250,
 //!  "input":{"task":"cell","metrics":[0,3],"graph":{…}}}
 //! ```
 //!
 //! Replies mirror them: `{"ok":"pong"}`, `{"ok":"loaded","model":id}`,
-//! `{"ok":"stats",…}`, `{"ok":"shutting-down"}`,
+//! `{"ok":"stats",…}`, `{"ok":"metrics",…}`, `{"ok":"shutting-down"}`,
 //! `{"ok":"values","values":[…]}` or
 //! `{"err":{"code":"queue-full","message":"…"}}`.
+//!
+//! `stats` carries the full [`ServerStats`] admin view: queue depth,
+//! loaded models, request/reply/error/deadline counters and the
+//! slow-request exemplar log with per-phase breakdowns. `metrics`
+//! carries the entire metrics registry twice over: a structured JSON
+//! snapshot (`stco_obs::exposition::snapshot_json`) under `"snapshot"`
+//! and a Prometheus-style text rendering under `"text"`.
 
 use std::io::{Read, Write};
 
@@ -30,7 +38,7 @@ use stco_numerics::Matrix;
 use stco_obs::json::JsonValue;
 use stco_store::ArtifactKey;
 
-use crate::service::PredictInput;
+use crate::service::{PredictInput, SlowRequest};
 use crate::{Result, ServeError};
 
 /// Upper bound on a single frame (64 MiB) — a corrupt length prefix
@@ -135,6 +143,8 @@ pub enum Request {
     },
     /// Queue/model statistics.
     Stats,
+    /// Full metrics registry snapshot (JSON + Prometheus text).
+    Metrics,
     /// Graceful server shutdown.
     Shutdown,
     /// One prediction.
@@ -426,6 +436,7 @@ impl Request {
                 ("key", JsonValue::Str(key.to_hex())),
             ]),
             Request::Stats => obj(vec![("op", JsonValue::Str("stats".to_string()))]),
+            Request::Metrics => obj(vec![("op", JsonValue::Str("metrics".to_string()))]),
             Request::Shutdown => obj(vec![("op", JsonValue::Str("shutdown".to_string()))]),
             Request::Predict {
                 model,
@@ -455,6 +466,7 @@ impl Request {
         match op.as_str() {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             "load" => {
                 let kind = str_field(doc, "kind")?;
@@ -490,6 +502,62 @@ impl Request {
     }
 }
 
+fn slow_to_json(r: &SlowRequest) -> JsonValue {
+    obj(vec![
+        ("trace_id", JsonValue::Num(r.trace_id as f64)),
+        ("batch_size", num(r.batch_size)),
+        ("queue_seconds", JsonValue::Num(r.queue_seconds)),
+        ("assembly_seconds", JsonValue::Num(r.assembly_seconds)),
+        ("forward_seconds", JsonValue::Num(r.forward_seconds)),
+        ("reply_seconds", JsonValue::Num(r.reply_seconds)),
+        ("total_seconds", JsonValue::Num(r.total_seconds)),
+    ])
+}
+
+fn slow_from_json(doc: &JsonValue) -> Result<SlowRequest> {
+    let field = |key: &str| -> Result<f64> {
+        doc.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| proto(format!("slow request missing {key}")))
+    };
+    Ok(SlowRequest {
+        trace_id: doc
+            .get("trace_id")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| proto("slow request missing trace_id"))?,
+        batch_size: doc
+            .get("batch_size")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| proto("slow request missing batch_size"))? as usize,
+        queue_seconds: field("queue_seconds")?,
+        assembly_seconds: field("assembly_seconds")?,
+        forward_seconds: field("forward_seconds")?,
+        reply_seconds: field("reply_seconds")?,
+        total_seconds: field("total_seconds")?,
+    })
+}
+
+/// The admin view the `stats` op returns: queue/model state, the
+/// service's traffic counters and the slow-request exemplar log.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServerStats {
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Loaded model ids, sorted.
+    pub loaded: Vec<String>,
+    /// Requests submitted (accepted or not).
+    pub requests: u64,
+    /// Successful replies.
+    pub replies: u64,
+    /// Errored submissions (rejections and failed executions).
+    pub errors: u64,
+    /// Requests answered `deadline-exceeded` without executing.
+    pub deadline_exceeded: u64,
+    /// Worst-latency exemplars, most severe first, with per-phase
+    /// breakdowns.
+    pub slow_requests: Vec<SlowRequest>,
+}
+
 /// A decoded server reply.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Reply {
@@ -500,12 +568,14 @@ pub enum Reply {
         /// Model id it is now served under.
         model: String,
     },
-    /// Queue/model statistics.
-    Stats {
-        /// Requests currently queued.
-        queue_depth: usize,
-        /// Loaded model ids, sorted.
-        loaded: Vec<String>,
+    /// Queue/model statistics and the slow-request log.
+    Stats(ServerStats),
+    /// Full metrics registry exposition.
+    Metrics {
+        /// Structured snapshot (`stco_obs::exposition::snapshot_json`).
+        snapshot: JsonValue,
+        /// Prometheus-style text rendering.
+        text: String,
     },
     /// Shutdown acknowledged; the server drains and exits.
     ShuttingDown,
@@ -530,16 +600,35 @@ impl Reply {
                 ("ok", JsonValue::Str("loaded".to_string())),
                 ("model", JsonValue::Str(model.clone())),
             ]),
-            Reply::Stats {
-                queue_depth,
-                loaded,
-            } => obj(vec![
+            Reply::Stats(stats) => obj(vec![
                 ("ok", JsonValue::Str("stats".to_string())),
-                ("queue_depth", num(*queue_depth)),
+                ("queue_depth", num(stats.queue_depth)),
                 (
                     "loaded",
-                    JsonValue::Arr(loaded.iter().map(|m| JsonValue::Str(m.clone())).collect()),
+                    JsonValue::Arr(
+                        stats
+                            .loaded
+                            .iter()
+                            .map(|m| JsonValue::Str(m.clone()))
+                            .collect(),
+                    ),
                 ),
+                ("requests", JsonValue::Num(stats.requests as f64)),
+                ("replies", JsonValue::Num(stats.replies as f64)),
+                ("errors", JsonValue::Num(stats.errors as f64)),
+                (
+                    "deadline_exceeded",
+                    JsonValue::Num(stats.deadline_exceeded as f64),
+                ),
+                (
+                    "slow_requests",
+                    JsonValue::Arr(stats.slow_requests.iter().map(slow_to_json).collect()),
+                ),
+            ]),
+            Reply::Metrics { snapshot, text } => obj(vec![
+                ("ok", JsonValue::Str("metrics".to_string())),
+                ("snapshot", snapshot.clone()),
+                ("text", JsonValue::Str(text.clone())),
             ]),
             Reply::ShuttingDown => obj(vec![("ok", JsonValue::Str("shutting-down".to_string()))]),
             Reply::Values(values) => obj(vec![
@@ -577,28 +666,54 @@ impl Reply {
             "loaded" => Ok(Reply::Loaded {
                 model: str_field(doc, "model")?,
             }),
-            "stats" => Ok(Reply::Stats {
-                queue_depth: doc
-                    .get("queue_depth")
-                    .and_then(JsonValue::as_u64)
-                    .ok_or_else(|| proto("stats missing queue_depth"))?
-                    as usize,
-                loaded: {
-                    let JsonValue::Arr(items) = doc
-                        .get("loaded")
-                        .ok_or_else(|| proto("stats missing loaded"))?
-                    else {
-                        return Err(proto("stats loaded is not an array"));
-                    };
-                    items
-                        .iter()
-                        .map(|m| {
-                            m.as_str()
-                                .map(str::to_string)
-                                .ok_or_else(|| proto("non-string model id"))
-                        })
-                        .collect::<Result<Vec<String>>>()?
-                },
+            "stats" => {
+                let counter = |key: &str| -> Result<u64> {
+                    doc.get(key)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| proto(format!("stats missing {key}")))
+                };
+                Ok(Reply::Stats(ServerStats {
+                    queue_depth: counter("queue_depth")? as usize,
+                    loaded: {
+                        let JsonValue::Arr(items) = doc
+                            .get("loaded")
+                            .ok_or_else(|| proto("stats missing loaded"))?
+                        else {
+                            return Err(proto("stats loaded is not an array"));
+                        };
+                        items
+                            .iter()
+                            .map(|m| {
+                                m.as_str()
+                                    .map(str::to_string)
+                                    .ok_or_else(|| proto("non-string model id"))
+                            })
+                            .collect::<Result<Vec<String>>>()?
+                    },
+                    requests: counter("requests")?,
+                    replies: counter("replies")?,
+                    errors: counter("errors")?,
+                    deadline_exceeded: counter("deadline_exceeded")?,
+                    slow_requests: {
+                        let JsonValue::Arr(items) = doc
+                            .get("slow_requests")
+                            .ok_or_else(|| proto("stats missing slow_requests"))?
+                        else {
+                            return Err(proto("stats slow_requests is not an array"));
+                        };
+                        items
+                            .iter()
+                            .map(slow_from_json)
+                            .collect::<Result<Vec<SlowRequest>>>()?
+                    },
+                }))
+            }
+            "metrics" => Ok(Reply::Metrics {
+                snapshot: doc
+                    .get("snapshot")
+                    .cloned()
+                    .ok_or_else(|| proto("metrics missing snapshot"))?,
+                text: str_field(doc, "text")?,
             }),
             "shutting-down" => Ok(Reply::ShuttingDown),
             "values" => Ok(Reply::Values(f64_vec(doc, "values")?)),

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crate::protocol::{read_frame, write_frame, Reply, Request};
+use crate::protocol::{read_frame, write_frame, Reply, Request, ServerStats};
 use crate::service::ModelService;
 use crate::{Result, ServeError};
 
@@ -181,10 +181,25 @@ fn serve_connection(stream: TcpStream, server: &Arc<TcpServer>) {
 fn dispatch(server: &Arc<TcpServer>, request: Request) -> Reply {
     match request {
         Request::Ping => Reply::Pong,
-        Request::Stats => Reply::Stats {
-            queue_depth: server.service.queue_depth(),
-            loaded: server.service.loaded(),
-        },
+        Request::Stats => {
+            let metrics = stco_obs::Recorder::global().metrics();
+            Reply::Stats(ServerStats {
+                queue_depth: server.service.queue_depth(),
+                loaded: server.service.loaded(),
+                requests: metrics.counter("serve.requests").get(),
+                replies: metrics.counter("serve.replies").get(),
+                errors: metrics.counter("serve.errors").get(),
+                deadline_exceeded: metrics.counter("serve.deadline_exceeded").get(),
+                slow_requests: server.service.slow_requests(),
+            })
+        }
+        Request::Metrics => {
+            let snaps = stco_obs::Recorder::global().metrics().snapshot();
+            Reply::Metrics {
+                snapshot: stco_obs::snapshot_json(&snaps),
+                text: stco_obs::prometheus_text(&snaps),
+            }
+        }
         Request::Load { kind, key } => match server.service.load(&kind, key) {
             Ok(model) => Reply::Loaded { model },
             Err(e) => Reply::from_error(&e),

@@ -25,8 +25,24 @@
 //! [`ModelService::shutdown`] stops new submits, lets the worker drain
 //! every queued request (executing them — a accepted request is always
 //! answered), then joins the worker.
+//!
+//! # Telemetry
+//!
+//! Every request gets a **trace id** at [`ModelService::submit`]. The
+//! worker measures the four phases of its life — queue wait, batch
+//! assembly, the stco-par forward pass, reply write — and:
+//!
+//! * observes `serve.queue_wait_seconds`, `serve.batch_size` and the
+//!   **sliding-window** `serve.latency_seconds` (rolling p50/p95/p99);
+//! * emits a `serve.request` event with the full phase breakdown for a
+//!   deterministic 1-in-[`BatchConfig::trace_sample_n`] sample of trace
+//!   ids;
+//! * keeps the worst [`BatchConfig::slow_log_k`] requests by total
+//!   latency as [`SlowRequest`] exemplars, readable via
+//!   [`ModelService::slow_requests`] and the TCP `stats` op.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::AtomicU64;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -52,6 +68,12 @@ pub struct BatchConfig {
     pub max_pending: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Duration,
+    /// Deterministic trace sampling: requests whose trace id is a
+    /// multiple of this emit a `serve.request` event with the full
+    /// phase breakdown (`0` disables sampling entirely).
+    pub trace_sample_n: u64,
+    /// How many worst-latency exemplars the slow-request log keeps.
+    pub slow_log_k: usize,
 }
 
 impl Default for BatchConfig {
@@ -61,7 +83,77 @@ impl Default for BatchConfig {
             max_linger: Duration::from_millis(2),
             max_pending: 1024,
             default_deadline: Duration::from_secs(5),
+            trace_sample_n: 64,
+            slow_log_k: 8,
         }
+    }
+}
+
+/// One slow-request exemplar: the full phase breakdown of a request's
+/// life in the service. `queue + assembly + forward + reply ≈ total`
+/// (the phases the worker controls; `total` is enqueue → reply sent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowRequest {
+    /// Trace id assigned at submit.
+    pub trace_id: u64,
+    /// Size of the batch this request executed in.
+    pub batch_size: usize,
+    /// Time from enqueue to batch drain (queue wait + linger).
+    pub queue_seconds: f64,
+    /// Time spent assembling the drained batch for execution.
+    pub assembly_seconds: f64,
+    /// Duration of the batch's stco-par forward pass.
+    pub forward_seconds: f64,
+    /// Time writing this request's reply to its channel.
+    pub reply_seconds: f64,
+    /// Total latency: enqueue → reply written.
+    pub total_seconds: f64,
+}
+
+/// Worst-K log of [`SlowRequest`] exemplars. The hot path is one
+/// relaxed atomic load when the candidate is faster than the current
+/// K-th worst; only genuinely slow requests take the mutex.
+struct SlowLog {
+    k: usize,
+    /// f64 bits of the admission threshold (the K-th worst total, or
+    /// `-inf` while the log is not yet full).
+    threshold_bits: AtomicU64,
+    entries: Mutex<Vec<SlowRequest>>,
+}
+
+impl SlowLog {
+    fn new(k: usize) -> Self {
+        SlowLog {
+            k,
+            threshold_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn record(&self, r: SlowRequest) {
+        use std::sync::atomic::Ordering;
+        if self.k == 0
+            || r.total_seconds <= f64::from_bits(self.threshold_bits.load(Ordering::Relaxed))
+        {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.push(r);
+        entries.sort_by(|a, b| b.total_seconds.total_cmp(&a.total_seconds));
+        entries.truncate(self.k);
+        if entries.len() == self.k {
+            if let Some(last) = entries.last() {
+                self.threshold_bits
+                    .store(last.total_seconds.to_bits(), Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn worst(&self) -> Vec<SlowRequest> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 }
 
@@ -244,6 +336,7 @@ impl PredictInput {
 type ReplySender = mpsc::Sender<Result<Vec<f64>>>;
 
 struct Pending {
+    trace_id: u64,
     model: Arc<LoadedModel>,
     input: PredictInput,
     enqueued: Instant,
@@ -260,6 +353,8 @@ struct Shared {
     state: Mutex<QueueState>,
     cond: Condvar,
     batch: BatchConfig,
+    next_trace: AtomicU64,
+    slow: SlowLog,
 }
 
 fn lock_state(shared: &Shared) -> std::sync::MutexGuard<'_, QueueState> {
@@ -287,6 +382,8 @@ impl ModelService {
             }),
             cond: Condvar::new(),
             batch,
+            next_trace: AtomicU64::new(1),
+            slow: SlowLog::new(batch.slow_log_k),
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
@@ -362,6 +459,14 @@ impl ModelService {
         lock_state(&self.shared).queue.len()
     }
 
+    /// The worst-latency request exemplars seen so far (most severe
+    /// first, at most [`BatchConfig::slow_log_k`] entries), each with
+    /// its full phase breakdown.
+    #[must_use]
+    pub fn slow_requests(&self) -> Vec<SlowRequest> {
+        self.shared.slow.worst()
+    }
+
     /// Submits one predict request and blocks until its reply.
     ///
     /// The request joins the micro-batching queue; `deadline` bounds
@@ -379,7 +484,11 @@ impl ModelService {
         input: PredictInput,
         deadline: Option<Duration>,
     ) -> Result<Vec<f64>> {
-        let _span = stco_obs::span!("serve.submit");
+        let trace_id = self
+            .shared
+            .next_trace
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let _span = stco_obs::span!("serve.submit", trace = trace_id);
         let metrics = stco_obs::Recorder::global().metrics();
         metrics.counter("serve.requests").inc();
         let model = {
@@ -407,6 +516,7 @@ impl ModelService {
                 });
             }
             state.queue.push_back(Pending {
+                trace_id,
                 model,
                 input,
                 enqueued: now,
@@ -455,7 +565,18 @@ impl Drop for ModelService {
 /// size/linger policy, executes them on the stco-par pool.
 fn worker_loop(shared: &Shared) {
     let metrics = stco_obs::Recorder::global().metrics();
-    let occupancy_bounds: Vec<f64> = (1..=shared.batch.max_batch).map(|n| n as f64).collect();
+    let size_bounds: Vec<f64> = (1..=shared.batch.max_batch).map(|n| n as f64).collect();
+    let batch_size_hist = metrics.histogram("serve.batch_size", &size_bounds);
+    let queue_wait_hist = metrics.histogram(
+        "serve.queue_wait_seconds",
+        &stco_obs::metrics::seconds_buckets(),
+    );
+    let latency = metrics.windowed_histogram(
+        "serve.latency_seconds",
+        &stco_obs::metrics::seconds_buckets(),
+        stco_obs::WindowConfig::default(),
+    );
+    let deadline_counter = metrics.counter("serve.deadline_exceeded");
     loop {
         // Phase 1: wait until a batch is due (full, lingered, or draining).
         let batch: Vec<Pending> = {
@@ -491,44 +612,71 @@ fn worker_loop(shared: &Shared) {
             }
         };
 
-        let _span = stco_obs::span!("serve.batch", size = batch.len());
-        metrics
-            .histogram("serve.batch_occupancy", &occupancy_bounds)
-            .observe(batch.len() as f64);
+        let batch_size = batch.len();
+        let _span = stco_obs::span!("serve.batch", size = batch_size);
+        batch_size_hist.observe(batch_size as f64);
 
-        // Phase 2: separate expired requests, execute the rest as one
-        // parallel pass. Reply senders are kept aside (mpsc::Sender is
-        // not Sync); the (model, input) pairs are.
-        let now = Instant::now();
-        let mut work: Vec<(Arc<LoadedModel>, PredictInput)> = Vec::with_capacity(batch.len());
-        let mut repliers: Vec<(ReplySender, Instant, bool)> = Vec::with_capacity(batch.len());
+        // Phase 2 (assembly): separate expired requests, lay the rest
+        // out for one parallel pass. Reply senders are kept aside
+        // (mpsc::Sender is not Sync); the (model, input) pairs are.
+        let drained = Instant::now();
+        let mut work: Vec<(Arc<LoadedModel>, PredictInput)> = Vec::with_capacity(batch_size);
+        let mut repliers: Vec<(ReplySender, Instant, bool, u64)> = Vec::with_capacity(batch_size);
         for p in batch {
-            let expired = now > p.deadline;
+            let expired = drained > p.deadline;
             if !expired {
                 work.push((p.model, p.input));
             }
-            repliers.push((p.reply, p.enqueued, expired));
+            queue_wait_hist.observe(drained.duration_since(p.enqueued).as_secs_f64());
+            repliers.push((p.reply, p.enqueued, expired, p.trace_id));
         }
+        let assembled = Instant::now();
+        let assembly_seconds = assembled.duration_since(drained).as_secs_f64();
+
+        // Phase 3 (forward): the batched stco-par pass.
         let results = stco_par::par_map(stco_par::ParConfig::current(), &work, |(model, input)| {
             model.predict(input)
         });
+        let forward_seconds = assembled.elapsed().as_secs_f64();
 
-        let done = Instant::now();
-        let latency = metrics.histogram(
-            "serve.latency_seconds",
-            &stco_obs::metrics::seconds_buckets(),
-        );
+        // Phase 4 (reply write): answer every request, then fold the
+        // phase breakdown into the windowed latency histogram, the
+        // sampled trace events and the slow-request log.
         let mut results = results.into_iter();
-        for (reply, enqueued, expired) in repliers {
+        for (reply, enqueued, expired, trace_id) in repliers {
             let outcome = if expired {
-                metrics.counter("serve.deadline_exceeded").inc();
+                deadline_counter.inc();
                 Err(ServeError::DeadlineExceeded)
             } else {
                 results.next().unwrap_or(Err(ServeError::ShuttingDown))
             };
-            latency.observe(done.duration_since(enqueued).as_secs_f64());
+            let reply_start = Instant::now();
             // A disconnected receiver means the submitter gave up; drop.
             let _ = reply.send(outcome);
+            let replied = Instant::now();
+            let breakdown = SlowRequest {
+                trace_id,
+                batch_size,
+                queue_seconds: drained.duration_since(enqueued).as_secs_f64(),
+                assembly_seconds,
+                forward_seconds,
+                reply_seconds: replied.duration_since(reply_start).as_secs_f64(),
+                total_seconds: replied.duration_since(enqueued).as_secs_f64(),
+            };
+            latency.observe(breakdown.total_seconds);
+            if shared.batch.trace_sample_n > 0 && trace_id % shared.batch.trace_sample_n == 0 {
+                stco_obs::event!(
+                    "serve.request",
+                    trace = trace_id,
+                    batch = batch_size,
+                    queue_s = breakdown.queue_seconds,
+                    assembly_s = breakdown.assembly_seconds,
+                    forward_s = breakdown.forward_seconds,
+                    reply_s = breakdown.reply_seconds,
+                    total_s = breakdown.total_seconds
+                );
+            }
+            shared.slow.record(breakdown);
         }
     }
 }

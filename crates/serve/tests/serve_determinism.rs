@@ -298,8 +298,8 @@ fn tcp_roundtrip_matches_in_process_predictions() {
     client.ping().expect("ping");
     let id = client.load(CellModel::ARTIFACT_KIND, key).expect("load");
     assert_eq!(id, ModelService::model_id(CellModel::ARTIFACT_KIND, key));
-    let (_depth, loaded) = client.stats().expect("stats");
-    assert_eq!(loaded, vec![id.clone()]);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.loaded, vec![id.clone()]);
 
     let metrics: Vec<usize> = (0..METRICS.len()).collect();
     for kind in DEMO_CELLS {

@@ -1,4 +1,10 @@
-//! The lint passes: token-stream analysis of one source file.
+//! The lint passes: analysis of one source file.
+//!
+//! L1–L6 are token-stream passes; the determinism & concurrency pack
+//! (L7–L11) runs on the [`crate::ast`] parse tree with per-function
+//! [`crate::dataflow`] facts, so "a HashMap flows into an ordered
+//! sink" and "a guard is live across a blocking call" resolve the way
+//! the compiler sees scopes, not by line distance.
 //!
 //! Scope rules (shared by every lint):
 //!
@@ -6,15 +12,19 @@
 //!   binary entrypoints (`src/bin/`, `src/main.rs`) are exempt — they
 //!   are allowed to unwrap and print.
 //! * Shim crates (in-tree `proptest`/`criterion` stand-ins) are exempt.
-//! * Inline `#[cfg(test)]` modules are exempt from L2/L3/L4 but **not**
-//!   from L1 (`no-unwrap`): unit tests live in library files and must
-//!   propagate typed errors with `?` so failures carry solver context.
+//! * Inline `#[cfg(test)]` modules are exempt from L2/L3/L4 and the
+//!   L7–L11 pack (tests may spawn raw threads and iterate maps) but
+//!   **not** from L1 (`no-unwrap`): unit tests live in library files
+//!   and must propagate typed errors with `?` so failures carry solver
+//!   context.
 //!
 //! Waivers: a comment `// stco-check: allow(<lint-id>, <reason>)` on a
 //! finding's line or the line directly above suppresses it. Waived
 //! findings are counted and reported — a waiver hides nothing, it just
 //! downgrades the finding from "fail CI" to "accounted for".
 
+use crate::ast::{self, Ast};
+use crate::dataflow::{FnFlow, Symbols};
 use crate::lexer::{lex, Comment, Token, TokenKind};
 use crate::lints::{Lint, LintConfig};
 
@@ -166,11 +176,11 @@ pub fn analyze_file(path: &str, source: &str, cfg: &LintConfig) -> FileAnalysis 
             if name_tok.kind != TokenKind::Ident || !fns.contains(&name_tok.text.as_str()) {
                 continue;
             }
-            if !is_pub_fn(toks, i) {
+            if !ast::is_pub_item(toks, i) {
                 continue;
             }
             // Bodiless trait declarations have nothing to lint.
-            if let Some((body_start, body_end)) = fn_body_range(toks, i + 2) {
+            if let Some((body_start, body_end)) = ast::fn_body_range(toks, i + 2) {
                 let has_span = (body_start..body_end).any(|j| {
                     toks[j].is_ident("span") && toks.get(j + 1).is_some_and(|n| n.is_punct('!'))
                 });
@@ -245,7 +255,7 @@ pub fn analyze_file(path: &str, source: &str, cfg: &LintConfig) -> FileAnalysis 
             .get(fn_idx + 1)
             .map_or("?", |t| t.text.as_str())
             .to_string();
-        let Some((body_start, body_end)) = fn_body_range(toks, fn_idx + 2) else {
+        let Some((body_start, body_end)) = ast::fn_body_range(toks, fn_idx + 2) else {
             continue;
         };
         for j in body_start..body_end {
@@ -278,6 +288,13 @@ pub fn analyze_file(path: &str, source: &str, cfg: &LintConfig) -> FileAnalysis 
             });
         }
     }
+
+    // L7–L11: the determinism & concurrency pack, on the AST +
+    // dataflow layers.
+    concurrency_lints(path, krate, toks, &lexed.comments, cfg, &in_test, &mut raw);
+
+    // Per-file finding order is part of the contract: line, then lint id.
+    raw.sort_by(|a, b| (a.line, a.lint.id()).cmp(&(b.line, b.lint.id())));
 
     // Split findings into waived and live.
     for f in raw {
@@ -325,68 +342,600 @@ fn valid_metric_name(name: &str) -> bool {
     })
 }
 
-/// Whether the `fn` at token index `fn_idx` is `pub` (incl. `pub(crate)`).
-fn is_pub_fn(toks: &[Token], fn_idx: usize) -> bool {
-    // Walk backwards over up to a few signature qualifiers.
-    let mut i = fn_idx;
-    let mut hops = 0;
-    while i > 0 && hops < 8 {
-        i -= 1;
-        hops += 1;
+// ---------------------------------------------------------------------
+// L7–L11: the determinism & concurrency pack.
+// ---------------------------------------------------------------------
+
+/// Hash-container iterator sources.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Adapters that preserve (and therefore propagate) iteration order
+/// without observing it per se.
+const NEUTRAL_ADAPTERS: &[&str] = &[
+    "map",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "cloned",
+    "copied",
+    "inspect",
+    "by_ref",
+    "peekable",
+];
+
+/// Terminals whose result is independent of iteration order.
+const SAFE_TERMINALS: &[&str] = &[
+    "count",
+    "len",
+    "any",
+    "all",
+    "contains",
+    "max",
+    "min",
+    "max_by",
+    "min_by",
+    "max_by_key",
+    "min_by_key",
+];
+
+/// Atomic memory operations that take an `Ordering` argument.
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_min",
+    "fetch_max",
+    "fetch_update",
+    "fetch_nand",
+];
+
+/// The five memory orderings.
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Channel/blocking-I/O methods a lock guard must not be held across
+/// (L11). Condvar `wait`/`wait_timeout` are deliberately absent: they
+/// *release* the guard while blocked, which is the correct pattern.
+const BLOCKING_SINKS: &[&str] = &[
+    "send",
+    "recv",
+    "recv_timeout",
+    "write_all",
+    "read_exact",
+    "read_to_end",
+    "flush",
+    "accept",
+    "connect",
+];
+
+/// Runs the AST/dataflow-driven lints, appending to `raw`.
+fn concurrency_lints(
+    path: &str,
+    krate: &str,
+    toks: &[Token],
+    comments: &[Comment],
+    cfg: &LintConfig,
+    in_test: &dyn Fn(usize) -> bool,
+    raw: &mut Vec<Finding>,
+) {
+    let parsed = ast::parse(toks);
+    let syms = Symbols::new(&parsed);
+    let guard_fns: Vec<String> = cfg.guard_fns.iter().map(|s| (*s).to_string()).collect();
+    let hot = hot_body_ranges(toks, comments);
+    let finding = |lint: Lint, line: usize, message: String| Finding {
+        lint,
+        file: path.to_string(),
+        line,
+        message,
+    };
+
+    for f in &parsed.fns {
+        let Some((body_open, body_close)) = f.body else {
+            continue;
+        };
+        if in_test(body_open) {
+            continue;
+        }
+        let flow = FnFlow::analyze(toks, f, &parsed, &syms, &guard_fns);
+        let in_hot = hot.iter().any(|&(a, b)| body_open >= a && body_open <= b);
+
+        lint_hash_iter(
+            toks, body_open, body_close, &parsed, &syms, &flow, raw, &finding,
+        );
+        lint_atomic_ordering(
+            toks, body_open, body_close, in_hot, &parsed, &syms, &flow, raw, &finding,
+        );
+        if krate != "par" {
+            lint_float_reduce(toks, body_open, body_close, cfg, raw, &finding);
+        }
+        if cfg.serve_hot_crates.contains(&krate) {
+            lint_lock_across_blocking(toks, body_close, &flow, raw, &finding);
+        }
+    }
+
+    if !cfg.raw_thread_crates.contains(&krate) {
+        lint_raw_thread(toks, &syms, in_test, raw, &finding);
+    }
+}
+
+/// Body token ranges of `// stco-hot` annotated functions.
+fn hot_body_ranges(toks: &[Token], comments: &[Comment]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for c in comments {
+        if c.text.trim() != "stco-hot" {
+            continue;
+        }
+        let Some(fn_idx) = toks.iter().position(|t| {
+            t.kind == TokenKind::Ident && t.text == "fn" && t.line > c.line && t.line <= c.line + 2
+        }) else {
+            continue;
+        };
+        if let Some(range) = ast::fn_body_range(toks, fn_idx + 2) {
+            out.push(range);
+        }
+    }
+    out
+}
+
+/// L7 `no-hashmap-iter-order`: a HashMap/HashSet iteration whose chain
+/// ends in an order-sensitive sink.
+#[allow(clippy::too_many_arguments)]
+fn lint_hash_iter(
+    toks: &[Token],
+    body_open: usize,
+    body_close: usize,
+    parsed: &Ast,
+    syms: &Symbols,
+    flow: &FnFlow,
+    raw: &mut Vec<Finding>,
+    finding: &dyn Fn(Lint, usize, String) -> Finding,
+) {
+    for i in body_open + 1..body_close {
         let t = &toks[i];
-        if t.is_ident("pub") {
+        // `for pat in [&[mut]] name { ... }` — plain loop over a map.
+        if t.is_ident("in") && i >= 2 {
+            let mut j = i + 1;
+            while toks
+                .get(j)
+                .is_some_and(|n| n.is_punct('&') || n.is_ident("mut"))
+            {
+                j += 1;
+            }
+            let hashy = flow.receiver_fact(toks, j, parsed, syms).hash;
+            if hashy && toks.get(j + 1).is_some_and(|n| n.is_punct('{')) {
+                raw.push(finding(
+                    Lint::NoHashMapIterOrder,
+                    toks[j].line,
+                    format!(
+                        "`for .. in {}` iterates a hash container in arbitrary order — \
+                         use a BTreeMap/BTreeSet or sort first",
+                        toks[j].text
+                    ),
+                ));
+            }
+            continue;
+        }
+        // `recv.iter()`-style sources.
+        if t.kind != TokenKind::Ident
+            || !ITER_METHODS.contains(&t.text.as_str())
+            || i < 2
+            || !toks[i - 1].is_punct('.')
+        {
+            continue;
+        }
+        if !flow.receiver_fact(toks, i - 2, parsed, syms).hash {
+            continue;
+        }
+        if let Some(sink) = chain_sink(toks, i, body_close, flow) {
+            raw.push(finding(
+                Lint::NoHashMapIterOrder,
+                t.line,
+                format!(
+                    "hash-container `.{}()` feeds `{}` — order-sensitive sink; \
+                     collect into a BTree container or sort before consuming",
+                    t.text, sink
+                ),
+            ));
+        }
+    }
+}
+
+/// Walks a method chain starting at the iterator-source method token.
+/// Returns `Some(sink description)` if the chain ends order-sensitive,
+/// `None` if it ends in an order-insensitive terminal.
+fn chain_sink(toks: &[Token], source: usize, body_close: usize, flow: &FnFlow) -> Option<String> {
+    let mut m = source;
+    loop {
+        // Skip an optional turbofish, collecting its type idents.
+        let mut j = m + 1;
+        let mut turbofish: Vec<&str> = Vec::new();
+        if toks.get(j).is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct('<'))
+        {
+            let end = ast::skip_angles(toks, j + 2);
+            for t in &toks[j + 2..end.min(toks.len())] {
+                if t.kind == TokenKind::Ident {
+                    turbofish.push(t.text.as_str());
+                }
+            }
+            j = end;
+        }
+        // The call itself.
+        if !toks.get(j).is_some_and(|t| t.is_punct('(')) {
+            return Some(format!("`{}` (no call)", toks[m].text));
+        }
+        let close = ast::matching_paren(toks, j);
+        let method = toks[m].text.as_str();
+
+        // Classify this link (the source method itself always chains on).
+        if m != source {
+            if SAFE_TERMINALS.contains(&method) {
+                return None;
+            }
+            if method == "sum" || method == "product" {
+                let int_like = turbofish.iter().any(|t| {
+                    matches!(
+                        *t,
+                        "i8" | "i16"
+                            | "i32"
+                            | "i64"
+                            | "i128"
+                            | "isize"
+                            | "u8"
+                            | "u16"
+                            | "u32"
+                            | "u64"
+                            | "u128"
+                            | "usize"
+                    )
+                });
+                if int_like {
+                    return None;
+                }
+                return Some(format!(
+                    ".{method}() over floats (order-sensitive addition)"
+                ));
+            }
+            if method == "collect" {
+                let ordered_free = turbofish.iter().any(|t| {
+                    matches!(
+                        *t,
+                        "BTreeMap" | "BTreeSet" | "HashMap" | "HashSet" | "BinaryHeap"
+                    )
+                });
+                if ordered_free {
+                    return None;
+                }
+                if collect_is_sorted_later(toks, source, body_close, flow) {
+                    return None;
+                }
+                return Some(".collect() into an order-preserving container".to_string());
+            }
+            if !NEUTRAL_ADAPTERS.contains(&method) {
+                return Some(format!(".{method}(..)"));
+            }
+        }
+
+        // Chain on: `.<ident>` after the call, else the iterator escapes
+        // (for-loop, let-binding, argument) — conservatively sensitive.
+        if toks.get(close + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(close + 2)
+                .is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            m = close + 2;
+        } else {
+            return Some("an escaping iterator (loop/binding/argument)".to_string());
+        }
+    }
+}
+
+/// Collect-then-sort suppression: the chain initializes a binding that
+/// is `.sort*()`ed later in the same scope.
+fn collect_is_sorted_later(
+    toks: &[Token],
+    source: usize,
+    body_close: usize,
+    flow: &FnFlow,
+) -> bool {
+    let Some(b) = flow
+        .bindings
+        .iter()
+        .find(|b| b.init.0 <= source && source <= b.init.1)
+    else {
+        return false;
+    };
+    let end = b.scope_end.min(body_close);
+    (b.init.1..end).any(|k| {
+        toks[k].is_ident(&b.name)
+            && toks.get(k + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(k + 2)
+                .is_some_and(|t| t.kind == TokenKind::Ident && t.text.starts_with("sort"))
+    })
+}
+
+/// L8 `atomic-ordering`: atomic ops must name a literal `Ordering::..`
+/// at the call site; `SeqCst` is banned inside `// stco-hot` fns.
+#[allow(clippy::too_many_arguments)]
+fn lint_atomic_ordering(
+    toks: &[Token],
+    body_open: usize,
+    body_close: usize,
+    in_hot: bool,
+    parsed: &Ast,
+    syms: &Symbols,
+    flow: &FnFlow,
+    raw: &mut Vec<Finding>,
+    finding: &dyn Fn(Lint, usize, String) -> Finding,
+) {
+    for i in body_open + 1..body_close {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident
+            || !ATOMIC_OPS.contains(&t.text.as_str())
+            || i < 2
+            || !toks[i - 1].is_punct('.')
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            continue;
+        }
+        if !flow.receiver_fact(toks, i - 2, parsed, syms).atomic {
+            continue;
+        }
+        let close = ast::matching_paren(toks, i + 1);
+        let mut named: Vec<&str> = Vec::new();
+        for j in i + 2..close {
+            if toks[j].is_ident("Ordering")
+                && toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(j + 2).is_some_and(|n| n.is_punct(':'))
+            {
+                if let Some(o) = toks.get(j + 3) {
+                    if ORDERINGS.contains(&o.text.as_str()) {
+                        named.push(o.text.as_str());
+                    }
+                }
+            }
+        }
+        if named.is_empty() {
+            raw.push(finding(
+                Lint::AtomicOrdering,
+                t.line,
+                format!(
+                    ".{}(..) names no literal `Ordering::..` at the call site — \
+                     spell out the weakest ordering the protocol needs",
+                    t.text
+                ),
+            ));
+        } else if in_hot && named.contains(&"SeqCst") {
+            raw.push(finding(
+                Lint::AtomicOrdering,
+                t.line,
+                format!(
+                    ".{}(.., Ordering::SeqCst) inside a `// stco-hot` fn — \
+                     SeqCst fences on the hot path; justify the weakest sufficient ordering",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// L9 `no-raw-thread`: `std::thread::{spawn, scope, Builder}` outside
+/// the contracted pool crates.
+fn lint_raw_thread(
+    toks: &[Token],
+    syms: &Symbols,
+    in_test: &dyn Fn(usize) -> bool,
+    raw: &mut Vec<Finding>,
+    finding: &dyn Fn(Lint, usize, String) -> Finding,
+) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || in_test(i) {
+            continue;
+        }
+        // `thread::spawn` / `thread::scope` / `thread::Builder` paths
+        // (import sites are skipped: the call site is the finding).
+        if t.text == "thread"
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|n| {
+                n.is_ident("spawn") || n.is_ident("scope") || n.is_ident("Builder")
+            })
+            && !inside_use_stmt(toks, i)
+        {
+            let m = &toks[i + 3];
+            raw.push(finding(
+                Lint::NoRawThread,
+                m.line,
+                format!(
+                    "thread::{} — all parallelism flows through stco-par's \
+                     determinism-contracted pool",
+                    m.text
+                ),
+            ));
+            continue;
+        }
+        // Bare `spawn(..)` / `scope(..)` / `Builder::..` resolved to
+        // std::thread through the symbol table.
+        let imported_from_thread = syms.resolve(&t.text).is_some_and(|p| p.contains("thread"));
+        let is_call = toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            || (toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct(':')));
+        if imported_from_thread
+            && is_call
+            && matches!(t.text.as_str(), "spawn" | "scope" | "Builder")
+            && !inside_use_stmt(toks, i)
+        {
+            raw.push(finding(
+                Lint::NoRawThread,
+                t.line,
+                format!(
+                    "{} (std::thread) — all parallelism flows through stco-par's \
+                     determinism-contracted pool",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether token `i` sits inside a `use ...;` statement.
+fn inside_use_stmt(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    let mut hops = 0;
+    while j > 0 && hops < 24 {
+        j -= 1;
+        hops += 1;
+        let t = &toks[j];
+        if t.is_ident("use") {
             return true;
         }
-        // Qualifiers that may sit between `pub` and `fn`.
-        let passthrough = t.is_ident("const")
-            || t.is_ident("unsafe")
-            || t.is_ident("async")
-            || t.is_ident("extern")
-            || t.is_ident("crate")
-            || t.is_ident("super")
-            || t.is_ident("in")
-            || t.is_punct('(')
-            || t.is_punct(')')
-            || t.kind == TokenKind::Literal;
-        if !passthrough {
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
             return false;
         }
     }
     false
 }
 
-/// Token range `(start, end)` of a function body, given the index just
-/// after the function name. Returns `None` for bodiless declarations.
-fn fn_body_range(toks: &[Token], mut i: usize) -> Option<(usize, usize)> {
-    let mut paren = 0i32;
-    // Find the opening `{` at paren depth 0 (skip signature + where).
-    loop {
-        let t = toks.get(i)?;
-        match t.kind {
-            TokenKind::Punct('(') => paren += 1,
-            TokenKind::Punct(')') => paren -= 1,
-            TokenKind::Punct(';') if paren == 0 => return None,
-            TokenKind::Punct('{') if paren == 0 => break,
-            _ => {}
-        }
-        i += 1;
+/// L10 `float-reduce-order`: float `.sum()`/`.fold()` in a fn that
+/// also calls the stco-par API — the reduction bypasses the
+/// fixed-chunk contract, so its result depends on traversal order.
+fn lint_float_reduce(
+    toks: &[Token],
+    body_open: usize,
+    body_close: usize,
+    cfg: &LintConfig,
+    raw: &mut Vec<Finding>,
+    finding: &dyn Fn(Lint, usize, String) -> Finding,
+) {
+    let par_adjacent = (body_open + 1..body_close).any(|i| {
+        let t = &toks[i];
+        t.kind == TokenKind::Ident
+            && cfg.par_entrypoints.contains(&t.text.as_str())
+            && (toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                || (toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))))
+    });
+    if !par_adjacent {
+        return;
     }
-    let start = i;
-    let mut depth = 0i32;
-    while let Some(t) = toks.get(i) {
-        match t.kind {
-            TokenKind::Punct('{') => depth += 1,
-            TokenKind::Punct('}') => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some((start, i));
+    for i in body_open + 1..body_close {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || i < 1 || !toks[i - 1].is_punct('.') {
+            continue;
+        }
+        match t.text.as_str() {
+            "sum" | "product" => {
+                // Only explicit float turbofish is provably float here.
+                let floaty = toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(i + 3).is_some_and(|n| n.is_punct('<'))
+                    && toks
+                        .get(i + 4)
+                        .is_some_and(|n| n.is_ident("f64") || n.is_ident("f32"));
+                if floaty {
+                    raw.push(finding(
+                        Lint::FloatReduceOrder,
+                        t.line,
+                        format!(
+                            ".{}::<float>() beside a par entrypoint — use par_map_reduce's \
+                             fixed-chunk reduction so results are thread-count invariant",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            "fold" if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) => {
+                // Float accumulator: literal with a dot / f64 suffix, or
+                // an `f64::CONST` seed as the first argument.
+                let close = ast::matching_paren(toks, i + 1);
+                let first_arg_end = (i + 2..close)
+                    .find(|&j| toks[j].is_punct(','))
+                    .unwrap_or(close);
+                let floaty = (i + 2..first_arg_end).any(|j| {
+                    let a = &toks[j];
+                    (a.kind == TokenKind::Number
+                        && (a.text.contains('.')
+                            || a.text.ends_with("f64")
+                            || a.text.ends_with("f32")))
+                        || a.is_ident("f64")
+                        || a.is_ident("f32")
+                });
+                if floaty {
+                    raw.push(finding(
+                        Lint::FloatReduceOrder,
+                        t.line,
+                        ".fold(float, ..) beside a par entrypoint — use par_map_reduce's \
+                         fixed-chunk reduction so results are thread-count invariant"
+                            .to_string(),
+                    ));
                 }
             }
             _ => {}
         }
-        i += 1;
     }
-    Some((start, toks.len()))
+}
+
+/// L11 `lock-across-await-free-zone`: a guard binding live across a
+/// channel/blocking-I/O call. `drop(guard)` ends liveness early.
+fn lint_lock_across_blocking(
+    toks: &[Token],
+    body_close: usize,
+    flow: &FnFlow,
+    raw: &mut Vec<Finding>,
+    finding: &dyn Fn(Lint, usize, String) -> Finding,
+) {
+    for b in flow.bindings.iter().filter(|b| b.fact.guard) {
+        let mut end = b.scope_end.min(body_close);
+        // `drop(name)` releases the guard before the scope closes.
+        for k in b.init.1..end {
+            if toks[k].is_ident("drop")
+                && toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+                && toks.get(k + 2).is_some_and(|t| t.is_ident(&b.name))
+                && toks.get(k + 3).is_some_and(|t| t.is_punct(')'))
+            {
+                end = k;
+                break;
+            }
+        }
+        for k in b.init.1..end {
+            let t = &toks[k];
+            if t.kind == TokenKind::Ident
+                && BLOCKING_SINKS.contains(&t.text.as_str())
+                && k >= 1
+                && toks[k - 1].is_punct('.')
+                && toks.get(k + 1).is_some_and(|n| n.is_punct('('))
+            {
+                raw.push(finding(
+                    Lint::LockAcrossBlocking,
+                    t.line,
+                    format!(
+                        "guard `{}` is held across `.{}()` — scope the guard to end \
+                         before the blocking call (or drop() it first)",
+                        b.name, t.text
+                    ),
+                ));
+            }
+        }
+    }
 }
 
 /// Token index ranges covered by `#[cfg(test)] mod ... { ... }`.
@@ -769,6 +1318,482 @@ mod tests {
                 .filter(|f| f.lint == Lint::MetricName)
                 .count(),
             3
+        );
+    }
+
+    // ----- L7 no-hashmap-iter-order --------------------------------
+
+    fn count(a: &FileAnalysis, lint: Lint) -> usize {
+        a.findings.iter().filter(|f| f.lint == lint).count()
+    }
+
+    #[test]
+    fn l7_hashmap_collect_to_vec_is_flagged() {
+        let src = r#"
+            use std::collections::HashMap;
+            pub fn f(m: &HashMap<String, f64>) -> Vec<String> {
+                m.keys().cloned().collect()
+            }
+        "#;
+        let a = run("crates/system/src/x.rs", src);
+        assert_eq!(count(&a, Lint::NoHashMapIterOrder), 1, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn l7_float_sum_over_hashmap_is_flagged() {
+        let src = r#"
+            use std::collections::HashMap;
+            pub fn f(m: &HashMap<String, f64>) -> f64 {
+                m.values().sum::<f64>()
+            }
+        "#;
+        let a = run("crates/system/src/x.rs", src);
+        assert_eq!(count(&a, Lint::NoHashMapIterOrder), 1);
+    }
+
+    #[test]
+    fn l7_plain_for_loop_over_map_is_flagged() {
+        let src = r#"
+            use std::collections::HashMap;
+            pub fn f(m: &HashMap<String, f64>, out: &mut Vec<String>) {
+                for k in m { out.push(k.0.clone()); }
+            }
+        "#;
+        let a = run("crates/system/src/x.rs", src);
+        assert_eq!(count(&a, Lint::NoHashMapIterOrder), 1);
+    }
+
+    #[test]
+    fn l7_order_insensitive_terminals_pass() {
+        let src = r#"
+            use std::collections::{HashMap, HashSet};
+            pub fn f(m: &HashMap<String, u64>, s: &HashSet<u32>) -> u64 {
+                let n = m.keys().count() as u64;
+                let total: u64 = m.values().sum::<u64>();
+                let hit = s.iter().any(|x| *x > 3);
+                if hit { n + total } else { total }
+            }
+        "#;
+        let a = run("crates/system/src/x.rs", src);
+        assert_eq!(count(&a, Lint::NoHashMapIterOrder), 0, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn l7_collect_into_btree_passes() {
+        let src = r#"
+            use std::collections::{BTreeMap, HashMap};
+            pub fn f(m: &HashMap<String, f64>) -> BTreeMap<String, f64> {
+                m.iter().map(|(k, v)| (k.clone(), *v)).collect::<BTreeMap<String, f64>>()
+            }
+        "#;
+        let a = run("crates/system/src/x.rs", src);
+        assert_eq!(count(&a, Lint::NoHashMapIterOrder), 0, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn l7_collect_then_sort_passes() {
+        let src = r#"
+            use std::collections::HashMap;
+            pub fn f(m: &HashMap<String, f64>) -> Vec<String> {
+                let mut ids: Vec<String> = m.keys().cloned().collect();
+                ids.sort();
+                ids
+            }
+        "#;
+        let a = run("crates/system/src/x.rs", src);
+        assert_eq!(count(&a, Lint::NoHashMapIterOrder), 0, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn l7_btreemap_iteration_passes() {
+        let src = r#"
+            use std::collections::BTreeMap;
+            pub fn f(m: &BTreeMap<String, f64>) -> Vec<String> {
+                m.keys().cloned().collect()
+            }
+        "#;
+        let a = run("crates/system/src/x.rs", src);
+        assert_eq!(count(&a, Lint::NoHashMapIterOrder), 0);
+    }
+
+    #[test]
+    fn l7_waiver_suppresses() {
+        let src = r#"
+            use std::collections::HashMap;
+            pub fn f(m: &HashMap<String, f64>) -> Vec<String> {
+                // stco-check: allow(no-hashmap-iter-order, diagnostic dump only)
+                m.keys().cloned().collect()
+            }
+        "#;
+        let a = run("crates/system/src/x.rs", src);
+        assert_eq!(count(&a, Lint::NoHashMapIterOrder), 0);
+        assert_eq!(a.waived.len(), 1);
+    }
+
+    #[test]
+    fn l7_guard_of_hash_field_is_tracked() {
+        let src = r#"
+            use std::collections::HashMap;
+            use std::sync::RwLock;
+            pub struct S { models: RwLock<HashMap<String, u32>> }
+            impl S {
+                pub fn ids(&self) -> Vec<String> {
+                    let map = self.models.read();
+                    map.keys().cloned().collect()
+                }
+            }
+        "#;
+        let a = run("crates/system/src/x.rs", src);
+        assert_eq!(count(&a, Lint::NoHashMapIterOrder), 1, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn l7_serve_loaded_shape_detects_and_suppresses() {
+        // The exact shape of StcoService::loaded(): a poisoned-read
+        // recovery chain, a guard over a hash field, collect-then-sort.
+        let sorted = r#"
+            use std::collections::HashMap;
+            use std::sync::{Arc, RwLock};
+            pub struct S { models: RwLock<HashMap<String, Arc<u32>>> }
+            impl S {
+                pub fn loaded(&self) -> Vec<String> {
+                    let models = self.models.read().unwrap_or_else(|e| e.into_inner());
+                    let mut ids: Vec<String> = models.keys().cloned().collect();
+                    ids.sort();
+                    ids
+                }
+            }
+        "#;
+        let a = run("crates/system/src/x.rs", sorted);
+        assert_eq!(count(&a, Lint::NoHashMapIterOrder), 0, "{:?}", a.findings);
+        // Without the sort, the same shape must be flagged.
+        let unsorted = sorted.replace("ids.sort();", "");
+        let b = run("crates/system/src/x.rs", &unsorted);
+        assert_eq!(count(&b, Lint::NoHashMapIterOrder), 1, "{:?}", b.findings);
+    }
+
+    // ----- L8 atomic-ordering --------------------------------------
+
+    #[test]
+    fn l8_missing_ordering_is_flagged() {
+        let src = r#"
+            use std::sync::atomic::{AtomicU64, Ordering};
+            pub fn f(a: &AtomicU64, o: Ordering) -> u64 {
+                a.load(o)
+            }
+        "#;
+        let a = run("crates/obs/src/x.rs", src);
+        assert_eq!(count(&a, Lint::AtomicOrdering), 1, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn l8_literal_ordering_passes() {
+        let src = r#"
+            use std::sync::atomic::{AtomicU64, Ordering};
+            pub fn f(a: &AtomicU64) -> u64 {
+                a.fetch_add(1, Ordering::Relaxed);
+                a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire).ok();
+                a.load(std::sync::atomic::Ordering::Acquire)
+            }
+        "#;
+        let a = run("crates/obs/src/x.rs", src);
+        assert_eq!(count(&a, Lint::AtomicOrdering), 0, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn l8_seqcst_in_hot_fn_is_flagged_but_fine_elsewhere() {
+        let src = r#"
+            use std::sync::atomic::{AtomicU64, Ordering};
+            // stco-hot
+            pub fn hot(a: &AtomicU64) -> u64 {
+                a.load(Ordering::SeqCst)
+            }
+            pub fn cold(a: &AtomicU64) -> u64 {
+                a.load(Ordering::SeqCst)
+            }
+        "#;
+        let a = run("crates/obs/src/x.rs", src);
+        assert_eq!(count(&a, Lint::AtomicOrdering), 1, "{:?}", a.findings);
+        assert!(a.findings[0].message.contains("SeqCst"));
+    }
+
+    #[test]
+    fn l8_non_atomic_receiver_named_load_passes() {
+        // `registry.load(..)` (stco-store) is not an atomic op.
+        let src = r#"
+            pub fn f(registry: &Registry) -> u64 {
+                registry.load("artifact")
+            }
+        "#;
+        let a = run("crates/obs/src/x.rs", src);
+        assert_eq!(count(&a, Lint::AtomicOrdering), 0);
+    }
+
+    #[test]
+    fn l8_atomic_field_receiver_is_tracked() {
+        let src = r#"
+            use std::sync::atomic::{AtomicU64, Ordering};
+            pub struct C { tick: AtomicU64 }
+            impl C {
+                pub fn f(&self, o: Ordering) -> u64 { self.tick.load(o) }
+            }
+        "#;
+        let a = run("crates/obs/src/x.rs", src);
+        assert_eq!(count(&a, Lint::AtomicOrdering), 1);
+    }
+
+    #[test]
+    fn l8_waiver_suppresses() {
+        let src = r#"
+            use std::sync::atomic::{AtomicU64, Ordering};
+            pub fn f(a: &AtomicU64, o: Ordering) -> u64 {
+                // stco-check: allow(atomic-ordering, ordering threaded from caller protocol)
+                a.load(o)
+            }
+        "#;
+        let a = run("crates/obs/src/x.rs", src);
+        assert_eq!(count(&a, Lint::AtomicOrdering), 0);
+        assert_eq!(a.waived.len(), 1);
+    }
+
+    // ----- L9 no-raw-thread ----------------------------------------
+
+    #[test]
+    fn l9_thread_spawn_outside_pool_crates_is_flagged() {
+        let src = r#"
+            pub fn f() {
+                std::thread::spawn(|| {});
+            }
+        "#;
+        let a = run("crates/nn/src/x.rs", src);
+        assert_eq!(count(&a, Lint::NoRawThread), 1, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn l9_imported_spawn_is_resolved_and_flagged() {
+        let src = r#"
+            use std::thread::spawn;
+            pub fn f() { spawn(|| {}); }
+        "#;
+        let a = run("crates/nn/src/x.rs", src);
+        assert_eq!(count(&a, Lint::NoRawThread), 1, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn l9_pool_crates_and_tests_are_exempt() {
+        let src = r#"
+            pub fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }
+        "#;
+        let a = run("crates/par/src/x.rs", src);
+        assert_eq!(count(&a, Lint::NoRawThread), 0);
+        let test_src = r#"
+            pub fn ok() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { std::thread::spawn(|| {}); }
+            }
+        "#;
+        let b = run("crates/nn/src/x.rs", test_src);
+        assert_eq!(count(&b, Lint::NoRawThread), 0, "{:?}", b.findings);
+    }
+
+    #[test]
+    fn l9_unrelated_spawn_method_passes() {
+        let src = r#"
+            pub fn f(pool: &Pool) { pool.spawn_task(); }
+        "#;
+        let a = run("crates/nn/src/x.rs", src);
+        assert_eq!(count(&a, Lint::NoRawThread), 0);
+    }
+
+    #[test]
+    fn l9_waiver_suppresses() {
+        let src = r#"
+            pub fn f() {
+                // stco-check: allow(no-raw-thread, watchdog must outlive the pool)
+                std::thread::spawn(|| {});
+            }
+        "#;
+        let a = run("crates/nn/src/x.rs", src);
+        assert_eq!(count(&a, Lint::NoRawThread), 0);
+        assert_eq!(a.waived.len(), 1);
+    }
+
+    // ----- L10 float-reduce-order ----------------------------------
+
+    #[test]
+    fn l10_float_sum_beside_par_entrypoint_is_flagged() {
+        let src = r#"
+            pub fn f(xs: &[f64]) -> f64 {
+                let ys = par_map(xs, |x| x * 2.0);
+                ys.iter().sum::<f64>()
+            }
+        "#;
+        let a = run("crates/surrogate/src/x.rs", src);
+        assert_eq!(count(&a, Lint::FloatReduceOrder), 1, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn l10_float_fold_beside_par_entrypoint_is_flagged() {
+        let src = r#"
+            pub fn f(xs: &[f64]) -> f64 {
+                let ys = par_map(xs, |x| x * 2.0);
+                ys.iter().fold(0.0, |a, b| a + b)
+            }
+        "#;
+        let a = run("crates/surrogate/src/x.rs", src);
+        assert_eq!(count(&a, Lint::FloatReduceOrder), 1);
+    }
+
+    #[test]
+    fn l10_without_par_entrypoint_passes() {
+        let src = r#"
+            pub fn f(xs: &[f64]) -> f64 {
+                xs.iter().sum::<f64>()
+            }
+        "#;
+        let a = run("crates/surrogate/src/x.rs", src);
+        assert_eq!(count(&a, Lint::FloatReduceOrder), 0);
+    }
+
+    #[test]
+    fn l10_integer_sum_beside_par_entrypoint_passes() {
+        let src = r#"
+            pub fn f(xs: &[u64]) -> u64 {
+                let ys = par_map(xs, |x| x * 2);
+                ys.iter().sum::<u64>()
+            }
+        "#;
+        let a = run("crates/surrogate/src/x.rs", src);
+        assert_eq!(count(&a, Lint::FloatReduceOrder), 0);
+    }
+
+    #[test]
+    fn l10_waiver_suppresses() {
+        let src = r#"
+            pub fn f(xs: &[f64]) -> f64 {
+                let ys = par_map(xs, |x| x * 2.0);
+                // stco-check: allow(float-reduce-order, serial tail after the par stage)
+                ys.iter().sum::<f64>()
+            }
+        "#;
+        let a = run("crates/surrogate/src/x.rs", src);
+        assert_eq!(count(&a, Lint::FloatReduceOrder), 0);
+        assert_eq!(a.waived.len(), 1);
+    }
+
+    // ----- L11 lock-across-await-free-zone -------------------------
+
+    #[test]
+    fn l11_guard_across_send_is_flagged() {
+        let src = r#"
+            pub fn f(m: &Mutex<u32>, tx: &Sender<u32>) {
+                let g = m.lock();
+                tx.send(*g);
+            }
+        "#;
+        let a = run("crates/serve/src/x.rs", src);
+        assert_eq!(count(&a, Lint::LockAcrossBlocking), 1, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn l11_scoped_guard_before_recv_passes() {
+        let src = r#"
+            pub fn f(m: &Mutex<u32>, rx: &Receiver<u32>) -> u32 {
+                let ticket = { let g = m.lock(); *g };
+                rx.recv().unwrap_or(ticket)
+            }
+        "#;
+        let a = run("crates/serve/src/x.rs", src);
+        assert_eq!(count(&a, Lint::LockAcrossBlocking), 0, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn l11_dropped_guard_before_send_passes() {
+        let src = r#"
+            pub fn f(m: &Mutex<u32>, tx: &Sender<u32>) {
+                let g = m.lock();
+                let v = *g;
+                drop(g);
+                tx.send(v);
+            }
+        "#;
+        let a = run("crates/serve/src/x.rs", src);
+        assert_eq!(count(&a, Lint::LockAcrossBlocking), 0, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn l11_only_serve_hot_crates_are_checked() {
+        let src = r#"
+            pub fn f(m: &Mutex<u32>, tx: &Sender<u32>) {
+                let g = m.lock();
+                tx.send(*g);
+            }
+        "#;
+        let a = run("crates/nn/src/x.rs", src);
+        assert_eq!(count(&a, Lint::LockAcrossBlocking), 0);
+    }
+
+    #[test]
+    fn l11_configured_guard_helper_is_tracked() {
+        let src = r#"
+            pub fn f(tx: &Sender<u32>) {
+                let g = lock_ignore_poison(&STATE);
+                tx.send(*g);
+            }
+        "#;
+        let a = run("crates/serve/src/x.rs", src);
+        assert_eq!(count(&a, Lint::LockAcrossBlocking), 1);
+    }
+
+    #[test]
+    fn l11_condvar_wait_is_not_a_sink() {
+        let src = r#"
+            pub fn f(m: &Mutex<u32>, cv: &Condvar) {
+                let mut g = m.lock();
+                g = cv.wait(g);
+                let _ = *g;
+            }
+        "#;
+        let a = run("crates/serve/src/x.rs", src);
+        assert_eq!(count(&a, Lint::LockAcrossBlocking), 0, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn l11_waiver_suppresses() {
+        let src = r#"
+            pub fn f(m: &Mutex<u32>, tx: &Sender<u32>) {
+                let g = m.lock();
+                // stco-check: allow(lock-across-await-free-zone, bounded channel never full here)
+                tx.send(*g);
+            }
+        "#;
+        let a = run("crates/serve/src/x.rs", src);
+        assert_eq!(count(&a, Lint::LockAcrossBlocking), 0);
+        assert_eq!(a.waived.len(), 1);
+    }
+
+    #[test]
+    fn concurrency_pack_skips_test_mods() {
+        let src = r#"
+            pub fn ok() {}
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                fn t(m: &HashMap<u32, f64>) -> Vec<u32> {
+                    std::thread::spawn(|| {});
+                    m.keys().cloned().collect()
+                }
+            }
+        "#;
+        let a = run("crates/system/src/x.rs", src);
+        assert!(
+            a.findings
+                .iter()
+                .all(|f| f.lint == Lint::NoUnwrap || f.lint == Lint::ObsSpan),
+            "{:?}",
+            a.findings
         );
     }
 

@@ -162,8 +162,8 @@ pub fn ratchet(findings: &[Finding], baseline: &Baseline) -> RatchetDiff {
     diff
 }
 
-/// JSON string escaping (paths and lint ids only — no exotic content).
-fn json_string(s: &str) -> String {
+/// JSON string escaping (paths, lint ids, finding messages).
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

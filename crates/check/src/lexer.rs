@@ -7,9 +7,11 @@
 //! comments. Comments are preserved as a side channel because waiver
 //! comments (`// stco-check: allow(...)`) carry semantic weight.
 
-/// What a token is. Identifier text is kept, and plain `"..."` string
-/// contents are retained (the `metric-name` lint validates metric name
-/// literals); raw/byte/char literal contents are dropped.
+/// What a token is. Identifier text is kept; plain `"..."` and raw
+/// `r#"..."#` string contents are retained (the `metric-name` lint
+/// validates metric name literals); byte/char literal contents are
+/// dropped. Numeric literals keep their source text so lints can tell
+/// float literals (`0.0`, `1e-3`) from integers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TokenKind {
     /// Identifier or keyword (`unwrap`, `fn`, `as`, ...).
@@ -19,7 +21,8 @@ pub enum TokenKind {
     /// Numeric literal (possibly split around an exponent sign).
     Number,
     /// String / char / byte-string literal. `text` holds the contents
-    /// (escapes unprocessed) for plain strings, and is empty otherwise.
+    /// (escapes unprocessed) for plain and raw strings, and is empty
+    /// otherwise.
     Literal,
     /// Single punctuation character (`.`, `!`, `{`, ...).
     Punct(char),
@@ -126,10 +129,17 @@ pub fn lex(src: &str) -> Lexed {
                 i = j;
             }
             b'r' | b'b' | b'c' if is_raw_string_start(bytes, i) => {
-                let (end, newlines) = skip_raw_string(bytes, i);
+                let (end, newlines, body) = skip_raw_string(bytes, i);
+                // Plain raw strings keep their contents (a raw metric
+                // name must still be checkable); byte/C strings do not.
+                let text = if b == b'r' {
+                    src.get(body.0..body.1).unwrap_or("").to_string()
+                } else {
+                    String::new()
+                };
                 out.tokens.push(Token {
                     kind: TokenKind::Literal,
-                    text: String::new(),
+                    text,
                     line,
                 });
                 line += newlines;
@@ -195,7 +205,7 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 out.tokens.push(Token {
                     kind: TokenKind::Number,
-                    text: String::new(),
+                    text: src[i..j].to_string(),
                     line,
                 });
                 i = j;
@@ -230,8 +240,9 @@ fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
     j < bytes.len() && bytes[j] == b'"'
 }
 
-/// Skips a raw string starting at `i`; returns (end index, newline count).
-fn skip_raw_string(bytes: &[u8], i: usize) -> (usize, usize) {
+/// Skips a raw string starting at `i`; returns (end index, newline
+/// count, body byte range between the delimiters).
+fn skip_raw_string(bytes: &[u8], i: usize) -> (usize, usize, (usize, usize)) {
     let mut j = i;
     if bytes[j] == b'b' || bytes[j] == b'c' {
         j += 1;
@@ -243,6 +254,7 @@ fn skip_raw_string(bytes: &[u8], i: usize) -> (usize, usize) {
         j += 1;
     }
     j += 1; // opening quote
+    let body_start = j;
     let mut newlines = 0usize;
     while j < bytes.len() {
         if bytes[j] == b'\n' {
@@ -254,12 +266,12 @@ fn skip_raw_string(bytes: &[u8], i: usize) -> (usize, usize) {
                 k += 1;
             }
             if k == hashes {
-                return (j + 1 + hashes, newlines);
+                return (j + 1 + hashes, newlines, (body_start, j));
             }
         }
         j += 1;
     }
-    (bytes.len(), newlines)
+    (bytes.len(), newlines, (body_start, bytes.len()))
 }
 
 /// Skips a normal `"..."` string starting at the opening quote; returns
@@ -269,7 +281,15 @@ fn skip_string(bytes: &[u8], i: usize) -> (usize, usize) {
     let mut newlines = 0usize;
     while j < bytes.len() {
         match bytes[j] {
-            b'\\' => j += 2,
+            b'\\' => {
+                // The escaped byte may itself be a newline (a `\`
+                // line continuation): it still advances the line
+                // counter, or every later token is misattributed.
+                if bytes.get(j + 1) == Some(&b'\n') {
+                    newlines += 1;
+                }
+                j += 2;
+            }
             b'"' => return (j + 1, newlines),
             b'\n' => {
                 newlines += 1;
@@ -285,8 +305,10 @@ fn skip_string(bytes: &[u8], i: usize) -> (usize, usize) {
 fn lex_quote(src: &str, bytes: &[u8], i: usize, line: usize) -> (Token, usize) {
     let n = bytes.len();
     if i + 1 < n && bytes[i + 1] == b'\\' {
-        // Escaped char literal: scan to the closing quote.
-        let mut j = i + 2;
+        // Escaped char literal: the byte after the backslash is part of
+        // the escape (it may be `'` itself, as in `'\''`), so skip it
+        // before scanning for the closing quote.
+        let mut j = (i + 3).min(n);
         while j < n && bytes[j] != b'\'' && bytes[j] != b'\n' {
             j += 1;
         }
@@ -388,6 +410,79 @@ mod tests {
         assert!(ids.contains(&"expect".to_string()));
     }
 
+    fn first_literal(src: &str) -> Option<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .find(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text)
+    }
+
+    #[test]
+    fn raw_string_contents_are_retained() {
+        let lit = first_literal(r##"m.counter(r#"serve.requests"#).add(1);"##);
+        assert_eq!(lit.as_deref(), Some("serve.requests"));
+        // Byte strings stay opaque.
+        let lit = first_literal(r##"let b = br#"bytes"#;"##);
+        assert_eq!(lit.as_deref(), Some(""));
+    }
+
+    #[test]
+    fn multiline_raw_string_advances_lines() {
+        let src = "let s = r#\"a\nb\nc\"#;\nx.unwrap();";
+        let lexed = lex(src);
+        let unwrap_line = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("unwrap"))
+            .map(|t| t.line);
+        assert_eq!(unwrap_line, Some(4));
+    }
+
+    #[test]
+    fn string_line_continuation_advances_lines() {
+        // A `\` at end of line inside a string escapes the newline; the
+        // newline must still count toward line numbering.
+        let src = "let s = \"a\\\nb\";\nx.unwrap();";
+        let lexed = lex(src);
+        let unwrap_line = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("unwrap"))
+            .map(|t| t.line);
+        assert_eq!(unwrap_line, Some(3), "{:?}", lexed.tokens);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_desync() {
+        let src = "let q = '\\''; let s = \"x\"; y.unwrap();";
+        let lexed = lex(src);
+        // The `'\''` literal must be consumed whole: exactly two
+        // literals (char + string) and no stray quote puncts.
+        let lits = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lits, 2, "{:?}", lexed.tokens);
+        assert!(!lexed.tokens.iter().any(|t| t.is_punct('\'')));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn numbers_retain_source_text() {
+        let src = "let a = 0.5; let b = 1e-3; let c = 42;";
+        let nums: Vec<String> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text)
+            .collect();
+        // `1e-3` splits around the exponent sign like any ident-ish run.
+        assert_eq!(nums[0], "0.5");
+        assert!(nums.contains(&"42".to_string()));
+    }
+
     #[test]
     fn lifetimes_are_not_char_literals() {
         let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
@@ -435,25 +530,13 @@ mod tests {
 
     #[test]
     fn plain_string_contents_are_retained() {
-        let src = r#"metrics.counter("serve.requests").add(1);"#;
-        let lexed = lex(src);
-        let lit = lexed
-            .tokens
-            .iter()
-            .find(|t| t.kind == TokenKind::Literal)
-            .expect("string literal token");
-        assert_eq!(lit.text, "serve.requests");
+        let lit = first_literal(r#"metrics.counter("serve.requests").add(1);"#);
+        assert_eq!(lit.as_deref(), Some("serve.requests"));
     }
 
     #[test]
     fn unterminated_string_keeps_partial_contents() {
-        let src = "let s = \"dangling";
-        let lexed = lex(src);
-        let lit = lexed
-            .tokens
-            .iter()
-            .find(|t| t.kind == TokenKind::Literal)
-            .expect("string literal token");
-        assert_eq!(lit.text, "dangling");
+        let lit = first_literal("let s = \"dangling");
+        assert_eq!(lit.as_deref(), Some("dangling"));
     }
 }

@@ -30,7 +30,9 @@
 //! Run it as `cargo run -p stco-check` from anywhere in the workspace.
 
 pub mod analyze;
+pub mod ast;
 pub mod baseline;
+pub mod dataflow;
 pub mod lexer;
 pub mod lints;
 pub mod report;

@@ -37,16 +37,51 @@ pub enum Lint {
     /// `{key=value,...}` label block. One dot, lowercase snake case,
     /// units spelled in the noun (`_seconds`, `_bytes`).
     MetricName,
+    /// **L7** `no-hashmap-iter-order`: iterating a `HashMap`/`HashSet`
+    /// into any order-sensitive sink — `collect` into an ordered
+    /// container, float reductions, `for_each`/`fold`, serialization —
+    /// is the classic silent determinism killer. Iterate a `BTreeMap`,
+    /// collect-then-sort, or reduce with an order-insensitive terminal
+    /// (`count`, `any`, integer `sum`).
+    NoHashMapIterOrder,
+    /// **L8** `atomic-ordering`: every `load`/`store`/`swap`/
+    /// `compare_exchange*`/`fetch_*` on an atomic must name an explicit
+    /// `Ordering::...` at the call site, and `SeqCst` is banned inside
+    /// `// stco-hot` functions (name the weakest ordering the protocol
+    /// needs; SeqCst-by-default hides the reasoning and costs fences).
+    AtomicOrdering,
+    /// **L9** `no-raw-thread`: `std::thread::spawn` / `scope` /
+    /// `Builder` outside `stco-par` and `stco-serve` internals — all
+    /// parallelism must flow through the determinism-contracted pool so
+    /// thread-count invariance holds.
+    NoRawThread,
+    /// **L10** `float-reduce-order`: `.sum::<f64>()` / float `fold` in
+    /// functions that also use the stco-par API bypasses the
+    /// fixed-chunk reduction contract — float addition is not
+    /// associative, so the result depends on traversal order. Use
+    /// `par_map_reduce` or the fixed-chunk serial helper.
+    FloatReduceOrder,
+    /// **L11** `lock-across-await-free-zone`: a `Mutex`/`RwLock` guard
+    /// held across a channel `send`/`recv` or blocking I/O call in
+    /// serve hot paths serializes the whole service (and deadlocks
+    /// under backpressure). Scope the guard to end before the blocking
+    /// call.
+    LockAcrossBlocking,
 }
 
 /// Every lint, in report order.
-pub const ALL_LINTS: [Lint; 6] = [
+pub const ALL_LINTS: [Lint; 11] = [
     Lint::NoUnwrap,
     Lint::ObsSpan,
     Lint::NoLossyCast,
     Lint::NoPrint,
     Lint::NoAllocInHotLoop,
     Lint::MetricName,
+    Lint::NoHashMapIterOrder,
+    Lint::AtomicOrdering,
+    Lint::NoRawThread,
+    Lint::FloatReduceOrder,
+    Lint::LockAcrossBlocking,
 ];
 
 impl Lint {
@@ -59,6 +94,11 @@ impl Lint {
             Lint::NoPrint => "no-print",
             Lint::NoAllocInHotLoop => "no-alloc-in-hot-loop",
             Lint::MetricName => "metric-name",
+            Lint::NoHashMapIterOrder => "no-hashmap-iter-order",
+            Lint::AtomicOrdering => "atomic-ordering",
+            Lint::NoRawThread => "no-raw-thread",
+            Lint::FloatReduceOrder => "float-reduce-order",
+            Lint::LockAcrossBlocking => "lock-across-await-free-zone",
         }
     }
 
@@ -76,6 +116,11 @@ impl Lint {
             Lint::NoPrint => "println!/eprintln!/dbg! in library code",
             Lint::NoAllocInHotLoop => "per-call allocation in a `// stco-hot` function",
             Lint::MetricName => "metric name violates the `area.noun_unit` convention",
+            Lint::NoHashMapIterOrder => "HashMap/HashSet iteration order reaches an ordered sink",
+            Lint::AtomicOrdering => "atomic op without an explicit ordering (or SeqCst in hot fn)",
+            Lint::NoRawThread => "raw std::thread use outside the contracted pool crates",
+            Lint::FloatReduceOrder => "order-sensitive float reduction in par-adjacent code",
+            Lint::LockAcrossBlocking => "lock guard held across channel/blocking I/O call",
         }
     }
 }
@@ -98,6 +143,18 @@ pub struct LintConfig {
     pub numeric_crates: &'static [&'static str],
     /// Cast target types considered lossy (L3).
     pub lossy_targets: &'static [&'static str],
+    /// Crates allowed to use `std::thread` directly (L9) — the
+    /// determinism-contracted pool and the serving runtime.
+    pub raw_thread_crates: &'static [&'static str],
+    /// Crates whose fns are checked for float reductions when they
+    /// also call a par entrypoint (L10).
+    pub par_entrypoints: &'static [&'static str],
+    /// Crates whose hot paths must not hold a lock guard across a
+    /// channel or blocking I/O call (L11).
+    pub serve_hot_crates: &'static [&'static str],
+    /// Workspace helpers that return a lock guard (feeds the guard
+    /// fact for L11).
+    pub guard_fns: &'static [&'static str],
 }
 
 impl Default for LintConfig {
@@ -138,6 +195,10 @@ impl Default for LintConfig {
                 "serve",
             ],
             lossy_targets: &["f32", "i8", "i16", "i32", "u8", "u16", "u32"],
+            raw_thread_crates: &["par", "serve"],
+            par_entrypoints: &["par_map", "try_par_map", "par_chunks_mut", "par_map_reduce"],
+            serve_hot_crates: &["serve"],
+            guard_fns: &["lock_ignore_poison", "lock_state"],
         }
     }
 }

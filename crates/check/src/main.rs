@@ -4,17 +4,26 @@
 //! cargo run -p stco-check                  # ratchet against the committed baseline
 //! cargo run -p stco-check -- --write-baseline
 //! cargo run -p stco-check -- --root <dir> --baseline <file>
+//! cargo run -p stco-check -- --format json # machine-readable, for CI
 //! ```
 //!
 //! Exit codes: `0` no new violations, `1` new violations (or a missing
-//! baseline with findings present), `2` usage or I/O error.
+//! baseline with findings present), `2` usage or I/O error. The exit
+//! code is the same for both output formats.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use stco_check::{baseline::Baseline, find_workspace_root, report, scan_workspace, LintConfig};
 
-const USAGE: &str = "usage: stco-check [--root <dir>] [--baseline <file>] [--write-baseline]";
+const USAGE: &str =
+    "usage: stco-check [--root <dir>] [--baseline <file>] [--write-baseline] [--format text|json]";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     match run() {
@@ -30,6 +39,7 @@ fn run() -> Result<ExitCode, String> {
     let mut root: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut write_baseline = false;
+    let mut format = Format::Text;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,6 +51,13 @@ fn run() -> Result<ExitCode, String> {
                 ));
             }
             "--write-baseline" => write_baseline = true,
+            "--format" => {
+                format = match args.next().ok_or("--format needs a value")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format {other:?} (text|json)")),
+                };
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(ExitCode::SUCCESS);
@@ -91,7 +108,10 @@ fn run() -> Result<ExitCode, String> {
     };
 
     let diff = stco_check::ratchet(&scan.findings, &baseline);
-    print!("{}", report::render(&scan, &baseline, &diff));
+    match format {
+        Format::Text => print!("{}", report::render(&scan, &baseline, &diff)),
+        Format::Json => print!("{}", report::render_json(&scan, &baseline, &diff)),
+    }
     if diff.new.is_empty() {
         Ok(ExitCode::SUCCESS)
     } else {

@@ -1,8 +1,10 @@
-//! Human-readable reports for scan + ratchet results.
+//! Reports for scan + ratchet results: a human-readable table
+//! ([`render`]) and a machine-readable JSON document ([`render_json`])
+//! for CI annotation tooling (`--format json`).
 
 use std::fmt::Write as _;
 
-use crate::baseline::{Baseline, RatchetDiff};
+use crate::baseline::{json_string, Baseline, RatchetDiff};
 use crate::lints::{Lint, ALL_LINTS};
 use crate::Scan;
 
@@ -92,6 +94,99 @@ pub fn render(scan: &Scan, baseline: &Baseline, diff: &RatchetDiff) -> String {
     s
 }
 
+/// Renders the scan + ratchet result as a single JSON document.
+///
+/// Shape (stable — CI tooling and the GitHub problem matcher consume
+/// it):
+///
+/// ```json
+/// {
+///   "files_scanned": 110,
+///   "ok": true,
+///   "summary": [{"lint": "no-unwrap", "current": 1, "baseline": 1,
+///                "waived": 0, "new": 0}, ...],
+///   "new": [{"file": "...", "line": 7, "lint": "...", "message": "..."}],
+///   "fixed": [{"file": "...", "lint": "...", "committed": 2, "current": 0}],
+///   "waived": [...same shape as "new"...],
+///   "bad_waivers": [{"file": "...", "line": 3, "text": "..."}]
+/// }
+/// ```
+pub fn render_json(scan: &Scan, baseline: &Baseline, diff: &RatchetDiff) -> String {
+    let count = |lint: Lint, findings: &[crate::Finding]| {
+        findings.iter().filter(|f| f.lint == lint).count()
+    };
+    let findings_array = |s: &mut String, items: &[crate::Finding]| {
+        s.push('[');
+        for (i, f) in items.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"file\":{},\"line\":{},\"lint\":{},\"message\":{}}}",
+                json_string(&f.file),
+                f.line,
+                json_string(f.lint.id()),
+                json_string(&f.message)
+            );
+        }
+        s.push(']');
+    };
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"files_scanned\":{},\"ok\":{},\"summary\":[",
+        scan.files_scanned,
+        diff.new.is_empty()
+    );
+    for (i, lint) in ALL_LINTS.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let base: u64 = baseline.counts.values().filter_map(|m| m.get(lint)).sum();
+        let _ = write!(
+            s,
+            "{{\"lint\":{},\"current\":{},\"baseline\":{},\"waived\":{},\"new\":{}}}",
+            json_string(lint.id()),
+            count(*lint, &scan.findings),
+            base,
+            count(*lint, &scan.waived),
+            count(*lint, &diff.new)
+        );
+    }
+    s.push_str("],\"new\":");
+    findings_array(&mut s, &diff.new);
+    s.push_str(",\"fixed\":[");
+    for (i, (file, lint, committed, current)) in diff.fixed.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"file\":{},\"lint\":{},\"committed\":{committed},\"current\":{current}}}",
+            json_string(file),
+            json_string(lint.id())
+        );
+    }
+    s.push_str("],\"waived\":");
+    findings_array(&mut s, &scan.waived);
+    s.push_str(",\"bad_waivers\":[");
+    for (i, (file, line, text)) in scan.bad_waivers.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"file\":{},\"line\":{line},\"text\":{}}}",
+            json_string(file),
+            json_string(text)
+        );
+    }
+    s.push_str("]}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +226,46 @@ mod tests {
         let diff = ratchet(&[], &baseline);
         let text = render(&scan, &baseline, &diff);
         assert!(text.contains("OK: no new violations"));
+    }
+
+    #[test]
+    fn json_report_carries_new_findings_and_verdict() {
+        let findings = vec![Finding {
+            lint: Lint::NoPrint,
+            file: "crates/nn/src/x.rs".to_string(),
+            line: 7,
+            message: "println! with \"quotes\"".to_string(),
+        }];
+        let baseline = Baseline::default();
+        let scan = Scan {
+            findings: findings.clone(),
+            ..Scan::default()
+        };
+        let diff = ratchet(&findings, &baseline);
+        let json = render_json(&scan, &baseline, &diff);
+        assert!(json.contains("\"ok\":false"), "{json}");
+        assert!(
+            json.contains("{\"file\":\"crates/nn/src/x.rs\",\"line\":7,\"lint\":\"no-print\""),
+            "{json}"
+        );
+        // Quotes inside messages must arrive escaped.
+        assert!(json.contains("println! with \\\"quotes\\\""), "{json}");
+    }
+
+    #[test]
+    fn json_report_is_ok_and_lists_every_lint_when_clean() {
+        let scan = Scan::default();
+        let baseline = Baseline::default();
+        let diff = ratchet(&[], &baseline);
+        let json = render_json(&scan, &baseline, &diff);
+        assert!(json.contains("\"ok\":true"), "{json}");
+        for lint in ALL_LINTS {
+            assert!(
+                json.contains(&format!("\"lint\":\"{}\"", lint.id())),
+                "{json}"
+            );
+        }
+        assert!(json.contains("\"new\":[]"), "{json}");
+        assert!(json.contains("\"bad_waivers\":[]"), "{json}");
     }
 }

@@ -120,6 +120,46 @@ fn waivers_suppress_and_are_counted() {
 }
 
 #[test]
+fn seeded_concurrency_violations_are_flagged_per_crate() {
+    let cfg = LintConfig::default();
+    let src = fixture("seeded_concurrency.rs");
+
+    // In a serve path: L7/L8/L10/L11 fire; L9 does not (serve may use
+    // raw threads).
+    let serve = analyze_file("crates/serve/src/seeded.rs", &src, &cfg);
+    let hits = lints_of(&serve.findings);
+    assert_eq!(
+        hits,
+        vec![
+            (Lint::NoHashMapIterOrder, 6),
+            (Lint::AtomicOrdering, 10),
+            (Lint::FloatReduceOrder, 19),
+            (Lint::LockAcrossBlocking, 24),
+        ],
+        "{:?}",
+        serve.findings
+    );
+    // The waived L7 is counted, not silent.
+    assert_eq!(serve.waived.len(), 1, "{:?}", serve.waived);
+    assert_eq!(serve.waived[0].lint, Lint::NoHashMapIterOrder);
+
+    // In an nn path: L9 fires instead of L11.
+    let nn = analyze_file("crates/nn/src/seeded.rs", &src, &cfg);
+    let hits = lints_of(&nn.findings);
+    assert_eq!(
+        hits,
+        vec![
+            (Lint::NoHashMapIterOrder, 6),
+            (Lint::AtomicOrdering, 10),
+            (Lint::NoRawThread, 14),
+            (Lint::FloatReduceOrder, 19),
+        ],
+        "{:?}",
+        nn.findings
+    );
+}
+
+#[test]
 fn ratchet_fails_on_new_and_reports_fixed() {
     let cfg = LintConfig::default();
     let a = analyze_file(

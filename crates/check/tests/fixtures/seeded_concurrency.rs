@@ -1,0 +1,30 @@
+//! Seeded L7–L11 violations (not compiled; consumed as fixture data).
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn hash_order(m: &HashMap<String, f64>) -> Vec<String> {
+    m.keys().cloned().collect() // L7: hash order into a Vec
+}
+
+pub fn atomic_no_ordering(a: &AtomicU64, o: Ordering) -> u64 {
+    a.load(o) // L8: no literal Ordering at the call site
+}
+
+pub fn raw_thread() {
+    std::thread::spawn(|| {}); // L9: raw thread outside the pool crates
+}
+
+pub fn float_reduce(xs: &[f64]) -> f64 {
+    let ys = par_map(xs, |x| x * 2.0);
+    ys.iter().sum::<f64>() // L10: float sum beside a par entrypoint
+}
+
+pub fn lock_across(m: &std::sync::Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock();
+    tx.send(*g); // L11: guard held across a channel send (serve only)
+}
+
+pub fn waived_hash_order(m: &HashMap<String, u64>) -> Vec<u64> {
+    // stco-check: allow(no-hashmap-iter-order, fixture: waiver accounting)
+    m.values().copied().collect()
+}

@@ -1,0 +1,111 @@
+//! Property tests for the stco-check frontend: the lexer, the AST
+//! parser and the full per-file analysis must never panic and must
+//! terminate on *arbitrary* input — the checker runs on every `.rs`
+//! file in the workspace, including ones mid-edit, so a malformed file
+//! must degrade to best-effort findings, not take down CI.
+//!
+//! Two input distributions:
+//!
+//! * raw byte soup (lossily decoded to UTF-8) — exercises the lexer's
+//!   byte-level scanning, quote/comment state machines and recovery;
+//! * "Rust-ish" fragment soup — random concatenations of the exact
+//!   constructs the parser cares about (`fn`, `use`, raw strings,
+//!   nested comments, unbalanced braces), which reaches far deeper
+//!   into the AST/dataflow layers than uniform bytes ever would.
+
+use proptest::prelude::*;
+use stco_check::lexer::lex;
+use stco_check::lints::LintConfig;
+use stco_check::{analyze_file, ast};
+
+/// Fragments biased toward the frontend's tricky paths.
+const FRAGMENTS: &[&str] = &[
+    "fn ",
+    "pub fn f",
+    "use ",
+    "std::thread::spawn",
+    "::{a, b as c}",
+    "struct S",
+    "static X: AtomicU64 = ",
+    "let m = HashMap::new();",
+    "let g = m.lock();",
+    "m.keys().cloned().collect()",
+    ".load(Ordering::Relaxed)",
+    "(",
+    ")",
+    "{",
+    "}",
+    "<",
+    ">",
+    ";",
+    ",",
+    "#[cfg(test)] mod t ",
+    "// stco-check: allow(no-unwrap, reason)",
+    "// stco-hot\n",
+    "/* nested /* block */ comment */",
+    "r#\"raw \"string\" body\"#",
+    "r\"raw\"",
+    "br#\"bytes\"#",
+    "\"str with \\\" escape\"",
+    "\"unterminated",
+    "'\\''",
+    "'a'",
+    "'static",
+    "1.5e-3",
+    "0xff",
+    "..",
+    "x.unwrap()",
+    "panic!(\"no\")",
+    "\u{1F600}",
+    "\\",
+    "\n",
+];
+
+fn rustish(picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|&i| FRAGMENTS[i % FRAGMENTS.len()])
+        .collect()
+}
+
+/// The whole frontend on one input: lex, parse, analyze. Returning at
+/// all is the termination half of the property; any panic fails the
+/// harness.
+fn frontend_survives(src: &str) -> Result<(), TestCaseError> {
+    let lexed = lex(src);
+    // Token lines must be non-decreasing — the invariant every lint
+    // report and waiver match depends on.
+    let mut prev = 0usize;
+    for t in &lexed.tokens {
+        prop_assert!(t.line >= prev, "token line went backwards: {:?}", t);
+        prev = t.line;
+    }
+    let parsed = ast::parse(&lexed.tokens);
+    // Item ranges must stay inside the token stream.
+    for f in &parsed.fns {
+        if let Some((a, b)) = f.body {
+            prop_assert!(a <= b && b < lexed.tokens.len().max(1), "bad body range");
+        }
+    }
+    let cfg = LintConfig::default();
+    let _ = analyze_file("crates/serve/src/fuzzed.rs", src, &cfg);
+    let _ = analyze_file("crates/nn/src/fuzzed.rs", src, &cfg);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn frontend_never_panics_on_bytes(bytes in prop::collection::vec(0u32..256, 0..512)) {
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let src = String::from_utf8_lossy(&raw).into_owned();
+        frontend_survives(&src)?;
+    }
+
+    #[test]
+    fn frontend_never_panics_on_rustish_soup(picks in prop::collection::vec(0usize..64, 0..64)) {
+        let src = rustish(&picks);
+        frontend_survives(&src)?;
+    }
+}

@@ -92,6 +92,7 @@ impl AtomicF64 {
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
+    // stco-hot
     fn add(&self, v: f64) {
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
@@ -107,6 +108,7 @@ impl AtomicF64 {
     }
 
     /// Lowers the stored value to `v` if `v` is smaller.
+    // stco-hot
     fn fetch_min(&self, v: f64) {
         let mut cur = self.0.load(Ordering::Relaxed);
         while v < f64::from_bits(cur) {
@@ -123,6 +125,7 @@ impl AtomicF64 {
     }
 
     /// Raises the stored value to `v` if `v` is larger.
+    // stco-hot
     fn fetch_max(&self, v: f64) {
         let mut cur = self.0.load(Ordering::Relaxed);
         while v > f64::from_bits(cur) {
@@ -164,12 +167,15 @@ impl AtomicBuckets {
         }
     }
 
+    // stco-hot
     #[inline]
     fn observe(&self, idx: usize, v: f64) {
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.add(v);
+        // stco-check: allow(atomic-ordering, AtomicF64 wrapper pins Relaxed in its CAS loop)
         self.min.fetch_min(v);
+        // stco-check: allow(atomic-ordering, AtomicF64 wrapper pins Relaxed in its CAS loop)
         self.max.fetch_max(v);
     }
 
@@ -333,6 +339,7 @@ impl Histogram {
 
     /// Records one observation. Lock-free: two `fetch_add`s plus CAS
     /// loops on the f64 accumulators.
+    // stco-hot
     pub fn observe(&self, v: f64) {
         let idx = bucket_index(&self.bounds, v);
         self.state.observe(idx, v);
@@ -501,6 +508,7 @@ impl WindowedHistogram {
     /// also counted into the cumulative state). Observations older than
     /// the slot's current owner are dropped from the window — they are
     /// already outside it.
+    // stco-hot
     pub fn observe_at(&self, v: f64, tick: u64) {
         let idx = bucket_index(&self.bounds, v);
         self.inner.cumulative.observe(idx, v);
@@ -766,6 +774,7 @@ impl MetricsRegistry {
             .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
         {
             Metric::Counter(c) => c.clone(),
+            // stco-check: allow(no-unwrap, kind mismatch is a caller bug; panicking here is the documented contract)
             _ => panic!("metric {name} already registered with a different kind"),
         }
     }
@@ -778,6 +787,7 @@ impl MetricsRegistry {
             .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))))
         {
             Metric::Gauge(g) => g.clone(),
+            // stco-check: allow(no-unwrap, kind mismatch is a caller bug; panicking here is the documented contract)
             _ => panic!("metric {name} already registered with a different kind"),
         }
     }
@@ -791,6 +801,7 @@ impl MetricsRegistry {
             .or_insert_with(|| Metric::Histogram(Histogram::with_bounds(bounds.to_vec())))
         {
             Metric::Histogram(h) => h.clone(),
+            // stco-check: allow(no-unwrap, kind mismatch is a caller bug; panicking here is the documented contract)
             _ => panic!("metric {name} already registered with a different kind"),
         }
     }
@@ -807,6 +818,7 @@ impl MetricsRegistry {
             Metric::Windowed(WindowedHistogram::with_bounds(bounds.to_vec(), config))
         }) {
             Metric::Windowed(w) => w.clone(),
+            // stco-check: allow(no-unwrap, kind mismatch is a caller bug; panicking here is the documented contract)
             _ => panic!("metric {name} already registered with a different kind"),
         }
     }
@@ -949,14 +961,15 @@ mod tests {
     }
 
     #[test]
-    fn single_sample_histogram_reports_that_sample() {
+    fn single_sample_histogram_reports_that_sample() -> Result<(), String> {
         let h = Histogram::with_bounds(vec![1.0, 10.0, 100.0]);
         h.observe(7.0);
         for q in [0.0, 0.5, 0.99, 1.0] {
-            let v = h.quantile(q).unwrap();
+            let v = h.quantile(q).ok_or(format!("no quantile at q={q}"))?;
             assert!((v - 7.0).abs() < 1e-12, "q={q}: {v}");
         }
         assert_eq!(h.mean(), Some(7.0));
+        Ok(())
     }
 
     #[test]
@@ -971,7 +984,7 @@ mod tests {
     }
 
     #[test]
-    fn saturated_overflow_bucket_reports_observed_max() {
+    fn saturated_overflow_bucket_reports_observed_max() -> Result<(), String> {
         let h = Histogram::with_bounds(vec![1.0]);
         for v in [5.0, 8.0, 11.0] {
             h.observe(v);
@@ -979,10 +992,11 @@ mod tests {
         // All mass above the last bound: quantiles must stay within
         // [min, max] of the real observations, never infinite.
         for q in [0.1, 0.5, 0.9, 1.0] {
-            let v = h.quantile(q).unwrap();
+            let v = h.quantile(q).ok_or(format!("no quantile at q={q}"))?;
             assert!((5.0..=11.0).contains(&v), "q={q}: {v}");
         }
         assert_eq!(h.quantile(1.0), Some(11.0));
+        Ok(())
     }
 
     #[test]
@@ -999,22 +1013,23 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_are_monotone_and_bracketed() {
+    fn quantiles_are_monotone_and_bracketed() -> Result<(), String> {
         let h = Histogram::with_bounds(seconds_buckets());
         for i in 1..=1000 {
             h.observe(i as f64 * 1e-3);
         }
         let mut prev = f64::NEG_INFINITY;
         for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
-            let v = h.quantile(q).unwrap();
+            let v = h.quantile(q).ok_or(format!("no quantile at q={q}"))?;
             assert!(v >= prev, "quantiles must be monotone in q");
             assert!((1e-3..=1.0).contains(&v));
             prev = v;
         }
         // Median of 1..1000 ms ≈ 0.5 s within bucket resolution (coarse
         // log buckets: accept a 2.5× band).
-        let p50 = h.quantile(0.5).unwrap();
+        let p50 = h.quantile(0.5).ok_or("no p50")?;
         assert!(p50 > 0.2 && p50 < 1.0, "p50 {p50}");
+        Ok(())
     }
 
     #[test]
@@ -1127,7 +1142,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_windowed_roundtrip() {
+    fn registry_windowed_roundtrip() -> Result<(), String> {
         let reg = MetricsRegistry::new();
         let w = reg.windowed_histogram("a.latency_seconds", &[1.0, 2.0], WindowConfig::default());
         w.observe_at(0.5, 0);
@@ -1135,12 +1150,13 @@ mod tests {
             reg.windowed_histogram("a.latency_seconds", &[1.0, 2.0], WindowConfig::default());
         assert_eq!(again.count(), 1, "same name, same histogram");
         let snaps = reg.snapshot();
-        match &snaps[0] {
-            MetricSnapshot::Windowed { name, count, .. } => {
+        match snaps.first() {
+            Some(MetricSnapshot::Windowed { name, count, .. }) => {
                 assert_eq!(name, "a.latency_seconds");
                 assert_eq!(*count, 1);
+                Ok(())
             }
-            other => panic!("expected windowed snapshot, got {other:?}"),
+            other => Err(format!("expected windowed snapshot, got {other:?}")),
         }
     }
 
@@ -1161,7 +1177,7 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_is_sorted_by_name() {
+    fn snapshot_is_sorted_by_name() -> Result<(), String> {
         let reg = MetricsRegistry::new();
         // Register deliberately out of order.
         reg.counter("z.last");
@@ -1175,11 +1191,12 @@ mod tests {
         assert_eq!(names, sorted, "snapshot must be name-sorted");
         // markdown derives from snapshot, so rows follow the same order.
         let md = reg.markdown();
-        let a = md.find("a.first").expect("a.first row");
-        let b = md.find("b.second").expect("b.second row");
-        let m = md.find("m.mid_seconds").expect("m.mid row");
-        let z = md.find("z.last").expect("z.last row");
+        let a = md.find("a.first").ok_or("a.first row missing")?;
+        let b = md.find("b.second").ok_or("b.second row missing")?;
+        let m = md.find("m.mid_seconds").ok_or("m.mid row missing")?;
+        let z = md.find("z.last").ok_or("z.last row missing")?;
         assert!(a < b && b < m && m < z, "markdown rows must be name-sorted");
+        Ok(())
     }
 
     #[test]

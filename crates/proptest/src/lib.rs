@@ -334,6 +334,9 @@ impl ProptestConfig {
 
 /// Runs `cases` generated cases of `body`, panicking on the first
 /// failure with the seed that produced it.
+///
+/// `STCO_PROPTEST_CASES` overrides every config's case count — used by
+/// the Miri CI job, where each case costs ~100x native time.
 pub fn run_cases<F>(config: ProptestConfig, test_name: &str, mut body: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
@@ -347,10 +350,14 @@ where
                 (h ^ b as u64).wrapping_mul(0x100000001b3)
             })
         });
+    let n_cases = std::env::var("STCO_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(config.cases);
     let mut rejected = 0u32;
     let mut case = 0u32;
-    let max_rejects = config.cases.saturating_mul(16).max(1024);
-    while case < config.cases {
+    let max_rejects = n_cases.saturating_mul(16).max(1024);
+    while case < n_cases {
         let seed = base.wrapping_add((case + rejected) as u64);
         let mut rng = TestRng::new(seed);
         match body(&mut rng) {

@@ -5,11 +5,17 @@
 //! the kind the Liberty bisection searches replay thousands of times.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use stco_compact::tech::TechnologyCard;
+use stco_cells::encode::{encode_cell, CellGraph, EncodingContext};
+use stco_cells::library::{CellKind, CellType};
+use stco_compact::tech::{CornerGrid, TechnologyCard};
 use stco_numerics::dense::{LuFactors, Matrix};
 use stco_numerics::rng::Xorshift;
+use stco_numerics::MatrixF32;
 use stco_spice::analysis::TranConfig;
 use stco_spice::netlist::{Circuit, Waveform};
+use stco_surrogate::cell_model::{
+    BatchedCellGraph, CellModel, CellModelConfig, InferencePrecision,
+};
 use stco_tcad::materials::Technology;
 
 fn random_matrix(rng: &mut Xorshift, rows: usize, cols: usize) -> Matrix {
@@ -61,6 +67,142 @@ fn bench_gemm(c: &mut Criterion) {
             out.reset_zeroed(GAT_HIDDEN, GAT_HIDDEN);
             x.gemm_tn_into(&g, &mut out);
         })
+    });
+    group.finish();
+}
+
+/// Blocked versus naive GEMM at the shapes the batched forward runs: a
+/// 32-graph union of 64-node graphs is a `[2048 × 32]` activation
+/// against `[32 × 32]` weights (DESIGN.md §15).
+const BATCHED_NODES: usize = 2048;
+
+fn bench_blocked_gemm(c: &mut Criterion) {
+    let mut rng = Xorshift::new(11);
+    for (label, m) in [("gat", GAT_NODES), ("batched_gat", BATCHED_NODES)] {
+        let x = random_matrix(&mut rng, m, GAT_HIDDEN);
+        let w = random_matrix(&mut rng, GAT_HIDDEN, GAT_HIDDEN);
+        let g = random_matrix(&mut rng, m, GAT_HIDDEN);
+        let mut group = c.benchmark_group(&format!("gemm_blocked_{label}"));
+        group.bench_function("nn_naive", |b| {
+            let mut out = Matrix::zeros(m, GAT_HIDDEN);
+            b.iter(|| {
+                out.reset_zeroed(m, GAT_HIDDEN);
+                x.gemm_into_naive(&w, &mut out);
+            })
+        });
+        group.bench_function("nn_blocked", |b| {
+            let mut out = Matrix::zeros(m, GAT_HIDDEN);
+            b.iter(|| {
+                out.reset_zeroed(m, GAT_HIDDEN);
+                x.gemm_into_blocked(&w, &mut out);
+            })
+        });
+        group.bench_function("nt_naive", |b| {
+            let mut out = Matrix::zeros(m, GAT_HIDDEN);
+            b.iter(|| {
+                out.reset_zeroed(m, GAT_HIDDEN);
+                g.gemm_nt_into_naive(&w, &mut out);
+            })
+        });
+        group.bench_function("nt_blocked", |b| {
+            let mut out = Matrix::zeros(m, GAT_HIDDEN);
+            b.iter(|| {
+                out.reset_zeroed(m, GAT_HIDDEN);
+                g.gemm_nt_into_blocked(&w, &mut out);
+            })
+        });
+        group.bench_function("tn_naive", |b| {
+            let mut out = Matrix::zeros(GAT_HIDDEN, GAT_HIDDEN);
+            b.iter(|| {
+                out.reset_zeroed(GAT_HIDDEN, GAT_HIDDEN);
+                x.gemm_tn_into_naive(&g, &mut out);
+            })
+        });
+        group.bench_function("tn_blocked", |b| {
+            let mut out = Matrix::zeros(GAT_HIDDEN, GAT_HIDDEN);
+            b.iter(|| {
+                out.reset_zeroed(GAT_HIDDEN, GAT_HIDDEN);
+                x.gemm_tn_into_blocked(&g, &mut out);
+            })
+        });
+        // The f32 fast-path kernel at the same shape.
+        let xf = MatrixF32::from_f64(&x);
+        let wf = MatrixF32::from_f64(&w);
+        group.bench_function("nn_blocked_f32", |b| {
+            let mut out = MatrixF32::zeros(m, GAT_HIDDEN);
+            b.iter(|| {
+                out.reset_zeroed(m, GAT_HIDDEN);
+                xf.gemm_into_blocked(&wf, &mut out);
+            })
+        });
+        group.finish();
+    }
+}
+
+/// Encodes one cell graph per (kind, corner) pair, cycling until `n`
+/// graphs exist — the inference population the serving path batches.
+fn encoded_graphs(n: usize) -> Vec<CellGraph> {
+    let base = TechnologyCard::reference(Technology::Ltps);
+    let corners = CornerGrid::default().corners(4);
+    let kinds = [CellKind::Inv, CellKind::Nand2, CellKind::Nor2];
+    let mut out = Vec::with_capacity(n);
+    'outer: loop {
+        for &kind in &kinds {
+            let cell = CellType::by_kind(kind);
+            for corner in &corners {
+                if out.len() == n {
+                    break 'outer;
+                }
+                let card = base.at_corner(*corner);
+                let built = cell.build(&card, 1.0);
+                let mut ctx = EncodingContext::default();
+                for pin in &cell.inputs {
+                    ctx.input_slew.insert((*pin).to_string(), 2.0e-9);
+                    ctx.current_state.insert((*pin).to_string(), 0.0);
+                    ctx.next_state.insert((*pin).to_string(), 1.0);
+                }
+                for pin in &cell.outputs {
+                    ctx.output_load
+                        .insert((*pin).to_string(), 10.0e-15 * corner.cox_scale);
+                }
+                out.push(encode_cell(&built, &ctx));
+            }
+        }
+    }
+    out
+}
+
+fn bench_batched_forward(c: &mut Criterion) {
+    const BATCH: usize = 32;
+    let graphs = encoded_graphs(BATCH);
+    let refs: Vec<&CellGraph> = graphs.iter().collect();
+    let metrics: Vec<usize> = vec![0, 1, 2];
+    let lists: Vec<&[usize]> = (0..BATCH).map(|_| metrics.as_slice()).collect();
+    let model = CellModel::new(CellModelConfig::default());
+
+    let mut group = c.benchmark_group("batched_forward");
+    group.bench_function("looped_predict_many_32", |b| {
+        b.iter(|| {
+            refs.iter()
+                .map(|g| model.predict_many(g, &metrics))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("predict_batch_32", |b| {
+        b.iter(|| {
+            let batch = BatchedCellGraph::pack(&refs);
+            model.predict_batch(&batch, &lists)
+        })
+    });
+    group.bench_function("predict_batch_32_prepacked", |b| {
+        let batch = BatchedCellGraph::pack(&refs);
+        b.iter(|| model.predict_batch(&batch, &lists))
+    });
+    let mut f32_model = model.clone();
+    f32_model.set_precision(InferencePrecision::F32);
+    group.bench_function("predict_batch_32_f32", |b| {
+        let batch = BatchedCellGraph::pack(&refs);
+        b.iter(|| f32_model.predict_batch(&batch, &lists))
     });
     group.finish();
 }
@@ -136,5 +278,12 @@ fn bench_charac_transient(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_lu, bench_charac_transient);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_blocked_gemm,
+    bench_batched_forward,
+    bench_lu,
+    bench_charac_transient
+);
 criterion_main!(benches);

@@ -5,14 +5,18 @@
 //!
 //! 1. the file parses and matches the expected schema (benchmarks with
 //!    per-stage traditional/fast seconds, scaling rows with a
-//!    determinism flag);
+//!    determinism flag, kernel rows with a bitwise-identity flag);
 //! 2. every fast-loop speedup is at least [`MIN_SPEEDUP`] — the paper's
 //!    headline claim, with headroom below our measured 25×–35×;
-//! 3. every scaling row reports `identical_outputs: true` (the stco-par
-//!    determinism contract is part of the benchmark, not an aside);
-//! 4. on machines with at least [`SCALING_CORE_GATE`] cores, the
-//!    characterization stage must scale (> 1× at 4 threads) — the
-//!    regression this gate exists to catch.
+//! 3. every scaling and kernel row reports `identical_outputs: true`
+//!    (the determinism contract is part of the benchmark, not an aside);
+//! 4. scaling rows may be `"status": "skipped"` on hosts below
+//!    [`SCALING_CORE_GATE`] cores — but a machine at or above the gate
+//!    must carry measured rows (a stale file is an error there), and
+//!    the characterization stage must scale (> 1× at 4 threads);
+//! 5. on gated machines every kernel row (blocked GEMM, batched
+//!    forward) must be at least [`KERNEL_MIN_SPEEDUP`] over its naive
+//!    baseline.
 //!
 //! Exits nonzero with a one-line reason on the first failure.
 
@@ -32,6 +36,10 @@ const MIN_SPEEDUP: f64 = 20.0;
 /// Parallel-scaling assertions only apply at or above this core count;
 /// below it the measurement is noise (CI runners vary).
 const SCALING_CORE_GATE: u64 = 4;
+
+/// Minimum accepted kernel-row speedup (blocked GEMM over naive,
+/// batched forward over looped `predict_many`) on gated machines.
+const KERNEL_MIN_SPEEDUP: f64 = 2.0;
 
 fn get_f64(obj: &JsonValue, key: &str, ctx: &str) -> Result<f64, String> {
     let v = obj
@@ -118,19 +126,13 @@ fn run(text: &str) -> Result<String, String> {
         _ => return Err("`scaling` missing or empty".to_string()),
     };
     let mut charac_speedup = None;
+    let mut measured_rows = 0usize;
     for row in scaling {
         let stage = row
             .get("stage")
             .and_then(JsonValue::as_str)
             .ok_or("scaling row missing `stage`")?
             .to_string();
-        for key in ["serial_seconds", "parallel_seconds"] {
-            let v = get_f64(row, key, &stage)?;
-            if v <= 0.0 {
-                return Err(format!("{stage}: `{key}` must be positive ({v})"));
-            }
-        }
-        let speedup = get_f64(row, "speedup", &stage)?;
         match row.get("identical_outputs") {
             Some(JsonValue::Bool(true)) => {}
             other => {
@@ -140,12 +142,42 @@ fn run(text: &str) -> Result<String, String> {
                 ))
             }
         }
-        if stage == "characterization" {
-            charac_speedup = Some(speedup);
+        // Rows without a `status` field predate it and are measured.
+        let status = match row.get("status") {
+            None => "measured",
+            Some(JsonValue::Str(s)) => s.as_str(),
+            other => return Err(format!("{stage}: non-string `status` ({other:?})")),
+        };
+        match status {
+            "measured" => {
+                measured_rows += 1;
+                for key in ["serial_seconds", "parallel_seconds"] {
+                    let v = get_f64(row, key, &stage)?;
+                    if v <= 0.0 {
+                        return Err(format!("{stage}: `{key}` must be positive ({v})"));
+                    }
+                }
+                let speedup = get_f64(row, "speedup", &stage)?;
+                if stage == "characterization" {
+                    charac_speedup = Some(speedup);
+                }
+            }
+            "skipped" => {
+                row.get("reason")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("{stage}: skipped scaling row missing `reason`"))?;
+            }
+            other => return Err(format!("{stage}: unknown scaling status `{other}`")),
         }
     }
-    let charac = charac_speedup.ok_or("no `characterization` scaling row")?;
     let scaling_line = if cores >= SCALING_CORE_GATE {
+        if measured_rows == 0 {
+            return Err(format!(
+                "every scaling row is skipped on a {cores}-core machine — \
+                 stale BENCH_table1.json from a core-starved host?"
+            ));
+        }
+        let charac = charac_speedup.ok_or("no measured `characterization` scaling row")?;
         if charac <= 1.0 {
             return Err(format!(
                 "characterization parallel scaling {charac:.3}x <= 1x on a \
@@ -153,17 +185,65 @@ fn run(text: &str) -> Result<String, String> {
             ));
         }
         format!("characterization scales {charac:.2}x at {threads} threads")
-    } else {
+    } else if let Some(charac) = charac_speedup {
         format!(
             "characterization scaling {charac:.2}x recorded \
              (gate skipped: {cores} core(s))"
         )
+    } else {
+        format!("scaling timings skipped ({cores} core(s), outputs verified identical)")
     };
+
+    let kernels = match root.get("kernels") {
+        Some(JsonValue::Arr(rows)) if !rows.is_empty() => rows,
+        _ => return Err("`kernels` missing or empty".to_string()),
+    };
+    let mut kernel_worst: Option<(String, f64)> = None;
+    for row in kernels {
+        let name = row
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("kernel row missing `name`")?
+            .to_string();
+        let baseline = get_f64(row, "baseline_seconds", &name)?;
+        let optimized = get_f64(row, "optimized_seconds", &name)?;
+        if baseline <= 0.0 || optimized <= 0.0 {
+            return Err(format!("{name}: kernel seconds must be positive"));
+        }
+        let speedup = get_f64(row, "speedup", &name)?;
+        let recomputed = baseline / optimized.max(1e-12);
+        let rel = (speedup - recomputed).abs() / recomputed.max(1e-9);
+        if rel > 0.01 {
+            return Err(format!(
+                "{name}: recorded kernel speedup {speedup:.3} disagrees with seconds ({recomputed:.3})"
+            ));
+        }
+        match row.get("identical_outputs") {
+            Some(JsonValue::Bool(true)) => {}
+            other => {
+                return Err(format!(
+                    "{name}: identical_outputs must be true, got {other:?} \
+                     (blocked/batched kernels are bitwise-pinned to their baselines)"
+                ))
+            }
+        }
+        if cores >= SCALING_CORE_GATE && speedup < KERNEL_MIN_SPEEDUP {
+            return Err(format!(
+                "{name}: kernel speedup {speedup:.2}x below the \
+                 {KERNEL_MIN_SPEEDUP:.0}x gate on a {cores}-core machine"
+            ));
+        }
+        if kernel_worst.as_ref().is_none_or(|(_, s)| speedup < *s) {
+            kernel_worst = Some((name, speedup));
+        }
+    }
+    let (kernel_name, kernel_speedup) = kernel_worst.ok_or("no kernel rows")?;
 
     let (worst_name, worst_speedup) = worst.ok_or("no benchmark rows")?;
     Ok(format!(
         "bench-smoke OK: {} benchmark(s), slowest fast-loop speedup {worst_speedup:.1}x \
-         ({worst_name}) >= {MIN_SPEEDUP:.0}x; {scaling_line}; all outputs bit-identical",
+         ({worst_name}) >= {MIN_SPEEDUP:.0}x; {scaling_line}; slowest kernel \
+         {kernel_speedup:.2}x ({kernel_name}); all outputs bit-identical",
         benches.len()
     ))
 }
@@ -190,10 +270,30 @@ fn main() {
 mod tests {
     use super::*;
 
-    fn sample(speedup: f64, charac_speedup: f64, identical: bool, cores: u64) -> String {
+    fn sample_full(
+        speedup: f64,
+        charac_speedup: f64,
+        identical: bool,
+        cores: u64,
+        scaling_skipped: bool,
+        kernel_speedup: f64,
+        kernel_identical: bool,
+    ) -> String {
         let fast_total = 0.02;
         let trad_total = fast_total * speedup;
         let trad_cells = trad_total - 0.003;
+        let scaling = if scaling_skipped {
+            format!(
+                r#"    {{"stage": "dataset_generation", "status": "skipped", "reason": "thread-scaling timings need >= 4 cores, host has {cores}", "identical_outputs": true}},
+    {{"stage": "characterization", "status": "skipped", "reason": "thread-scaling timings need >= 4 cores, host has {cores}", "identical_outputs": {identical}}}"#
+            )
+        } else {
+            format!(
+                r#"    {{"stage": "dataset_generation", "status": "measured", "serial_seconds": 0.08, "parallel_seconds": 0.04, "speedup": 2.0, "identical_outputs": true}},
+    {{"stage": "characterization", "status": "measured", "serial_seconds": 2.0, "parallel_seconds": {}, "speedup": {charac_speedup}, "identical_outputs": {identical}}}"#,
+                2.0 / charac_speedup
+            )
+        };
         format!(
             r#"{{
   "threads": 4,
@@ -205,12 +305,19 @@ mod tests {
       "speedup": {speedup}}}
   ],
   "scaling": [
-    {{"stage": "dataset_generation", "serial_seconds": 0.08, "parallel_seconds": 0.04, "speedup": 2.0, "identical_outputs": true}},
-    {{"stage": "characterization", "serial_seconds": 2.0, "parallel_seconds": {}, "speedup": {charac_speedup}, "identical_outputs": {identical}}}
+{scaling}
+  ],
+  "kernels": [
+    {{"name": "blocked_gemm_2048x32x32", "baseline_seconds": {}, "optimized_seconds": 0.0001, "speedup": {kernel_speedup}, "identical_outputs": {kernel_identical}}},
+    {{"name": "batched_forward_32", "baseline_seconds": 0.009, "optimized_seconds": 0.003, "speedup": 3.0, "identical_outputs": true}}
   ]
 }}"#,
-            2.0 / charac_speedup
+            0.0001 * kernel_speedup
         )
+    }
+
+    fn sample(speedup: f64, charac_speedup: f64, identical: bool, cores: u64) -> String {
+        sample_full(speedup, charac_speedup, identical, cores, false, 3.4, true)
     }
 
     #[test]
@@ -253,5 +360,54 @@ mod tests {
               "fast": {"device": 0.025, "compact": 0.025, "cells": 0.025, "system": 0.025, "total": 0.1},
               "speedup": 40.0}]}"#;
         assert!(run(missing_scaling).unwrap_err().contains("scaling"));
+    }
+
+    #[test]
+    fn skipped_scaling_rows_accepted_on_small_hosts_only() -> Result<(), String> {
+        // A 1-core host records skipped scaling rows: structurally valid.
+        let summary = run(&sample_full(55.0, 2.5, true, 1, true, 3.4, true))?;
+        assert!(summary.contains("scaling timings skipped"), "{summary}");
+        // The same skipped rows on a gated machine mean the file is stale.
+        let err = run(&sample_full(55.0, 2.5, true, 8, true, 3.4, true)).unwrap_err();
+        assert!(err.contains("stale"), "{err}");
+        Ok(())
+    }
+
+    #[test]
+    fn skipped_scaling_row_requires_reason() {
+        let report = sample_full(55.0, 2.5, true, 1, true, 3.4, true).replace(
+            ", \"reason\": \"thread-scaling timings need >= 4 cores, host has 1\"",
+            "",
+        );
+        let err = run(&report).unwrap_err();
+        assert!(err.contains("missing `reason`"), "{err}");
+    }
+
+    #[test]
+    fn slow_kernel_fails_on_gated_machines_only() -> Result<(), String> {
+        let err = run(&sample_full(55.0, 2.5, true, 8, false, 1.4, true)).unwrap_err();
+        assert!(err.contains("below the 2x gate"), "{err}");
+        // Recorded but not gated on a small host.
+        let summary = run(&sample_full(55.0, 2.5, true, 1, true, 1.4, true))?;
+        assert!(summary.contains("1.40x"), "{summary}");
+        Ok(())
+    }
+
+    #[test]
+    fn kernel_identity_flag_must_hold() {
+        let err = run(&sample_full(55.0, 2.5, true, 8, false, 3.4, false)).unwrap_err();
+        assert!(err.contains("bitwise-pinned"), "{err}");
+    }
+
+    #[test]
+    fn missing_kernels_section_fails() {
+        let report = sample(55.0, 2.5, true, 8);
+        let stripped = report
+            .split("  \"kernels\": [")
+            .next()
+            .map(|head| format!("{}  \"kernels\": []\n}}", head))
+            .unwrap_or_default();
+        let err = run(&stripped).unwrap_err();
+        assert!(err.contains("kernels"), "{err}");
     }
 }

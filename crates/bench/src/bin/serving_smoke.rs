@@ -28,6 +28,15 @@
 //!
 //! Honours `STCO_THREADS` like every other parallel path, so CI runs
 //! it at 1 and 4 threads.
+//!
+//! **`STCO_PRECISION=f32`.** The server process (this process) loads
+//! artifacts through `precision_from_env()`, so setting the variable
+//! switches the *served* model to the narrowed-weight f32 fast path
+//! while the in-process reference model here stays f64. Phase 3 then
+//! validates the precision contract end-to-end over TCP: every reply
+//! must land within `F32_REL_ERROR_BOUND` of the f64 prediction
+//! instead of bitwise-matching it, and the serving-curve document is
+//! written with `bitwise_identical: false`.
 
 use std::time::Instant;
 
@@ -38,14 +47,21 @@ use stco_serve::loadgen::{run_sweep, sweep_to_json, SweepConfig};
 use stco_serve::service::{BatchConfig, ModelService, PredictInput};
 use stco_serve::{Client, TcpServer};
 use stco_store::Registry;
-use stco_surrogate::cell_model::{CellModel, METRICS};
+use stco_surrogate::cell_model::{CellModel, F32_REL_ERROR_BOUND, METRICS};
 
 const CONCURRENT_REQUESTS: usize = 64;
 const SWEEP_STEPS: [usize; 5] = [4, 8, 16, 32, 64];
 const SWEEP_REQUESTS_PER_STEP: usize = 128;
 
+/// Mirrors the serve-side `precision_from_env()`: the served model and
+/// this gate must agree on the mode from the same variable.
+fn f32_mode() -> bool {
+    std::env::var("STCO_PRECISION").is_ok_and(|v| v.trim().eq_ignore_ascii_case("f32"))
+}
+
 fn main() {
     let t_total = Instant::now();
+    let f32_mode = f32_mode();
 
     // 1. Train and export into a scratch registry (unless STCO_STORE_DIR
     // points somewhere explicit, which CI uses to keep runs hermetic).
@@ -72,14 +88,18 @@ fn main() {
             .expect("load artifact")
     };
     println!(
-        "serving {model_id} on {addr} (STCO_THREADS={})",
-        ParConfig::current().threads
+        "serving {model_id} on {addr} (STCO_THREADS={}, precision={})",
+        ParConfig::current().threads,
+        if f32_mode { "f32" } else { "f64" }
     );
 
     // 3. 64 concurrent requests; every request's expected reply is the
-    // in-process prediction for the same input.
+    // in-process f64 prediction for the same input. In the default mode
+    // replies must match it bitwise; under STCO_PRECISION=f32 the served
+    // model runs the narrowed fast path, so replies must instead land
+    // within F32_REL_ERROR_BOUND of the f64 reference.
     let all_metrics: Vec<usize> = (0..METRICS.len()).collect();
-    let requests: Vec<(PredictInput, Vec<u64>)> = (0..CONCURRENT_REQUESTS)
+    let requests: Vec<(PredictInput, Vec<f64>)> = (0..CONCURRENT_REQUESTS)
         .map(|i| {
             let kind = DEMO_CELLS[i % DEMO_CELLS.len()];
             let metrics: Vec<usize> = match i % 3 {
@@ -88,11 +108,7 @@ fn main() {
                 _ => vec![2, 5, 8],
             };
             let graph = demo_graph(kind);
-            let expected: Vec<u64> = model
-                .predict_many(&graph, &metrics)
-                .iter()
-                .map(|v| v.to_bits())
-                .collect();
+            let expected = model.predict_many(&graph, &metrics);
             (PredictInput::Cell { graph, metrics }, expected)
         })
         .collect();
@@ -105,23 +121,44 @@ fn main() {
                 let model_id = model_id.clone();
                 scope.spawn(move || {
                     let mut client = Client::connect(&addr).expect("connect");
-                    let got: Vec<u64> = client
+                    let got = client
                         .predict(&model_id, input, Some(10_000))
-                        .expect("predict")
-                        .iter()
-                        .map(|v| v.to_bits())
-                        .collect();
-                    usize::from(&got != expected)
+                        .expect("predict");
+                    if got.len() != expected.len() {
+                        return 1usize;
+                    }
+                    let ok = got.iter().zip(expected).all(|(g, e)| {
+                        if f32_mode {
+                            ((g - e) / e).abs() <= F32_REL_ERROR_BOUND
+                        } else {
+                            g.to_bits() == e.to_bits()
+                        }
+                    });
+                    usize::from(!ok)
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("join")).sum()
     });
-    assert_eq!(
-        mismatches, 0,
-        "{mismatches}/{CONCURRENT_REQUESTS} TCP replies differed from in-process predict_many"
-    );
-    println!("all {CONCURRENT_REQUESTS} concurrent replies bitwise-match in-process predict_many");
+    if f32_mode {
+        assert_eq!(
+            mismatches, 0,
+            "{mismatches}/{CONCURRENT_REQUESTS} f32 TCP replies exceeded the \
+             {F32_REL_ERROR_BOUND:e} relative-error bound vs in-process f64 predict_many"
+        );
+        println!(
+            "all {CONCURRENT_REQUESTS} concurrent f32 replies within {F32_REL_ERROR_BOUND:e} \
+             of in-process f64 predict_many"
+        );
+    } else {
+        assert_eq!(
+            mismatches, 0,
+            "{mismatches}/{CONCURRENT_REQUESTS} TCP replies differed from in-process predict_many"
+        );
+        println!(
+            "all {CONCURRENT_REQUESTS} concurrent replies bitwise-match in-process predict_many"
+        );
+    }
 
     // 4. The metrics op must expose the serve telemetry in both
     // renderings, and stats must carry the moving counters + slow log.
@@ -227,7 +264,7 @@ fn main() {
         client_max_p99 * 1e3
     );
 
-    let doc = sweep_to_json(ParConfig::current().threads, true, &steps);
+    let doc = sweep_to_json(ParConfig::current().threads, !f32_mode, &steps);
     stco_bench::validate_serving_curve(&doc, SWEEP_STEPS.len())
         .expect("BENCH_serving.json schema validation");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");

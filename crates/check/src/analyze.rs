@@ -518,7 +518,10 @@ fn lint_hash_iter(
                 j += 1;
             }
             let hashy = flow.receiver_fact(toks, j, parsed, syms).hash;
-            if hashy && toks.get(j + 1).is_some_and(|n| n.is_punct('{')) {
+            if hashy
+                && toks.get(j + 1).is_some_and(|n| n.is_punct('{'))
+                && !binding_sorted_before(toks, flow, j)
+            {
                 raw.push(finding(
                     Lint::NoHashMapIterOrder,
                     toks[j].line,
@@ -645,6 +648,28 @@ fn chain_sink(toks: &[Token], source: usize, body_close: usize, flow: &FnFlow) -
             return Some("an escaping iterator (loop/binding/argument)".to_string());
         }
     }
+}
+
+/// Sort-then-iterate suppression for `for .. in name`: the binding was
+/// `.sort*()`ed between its initialization and the loop, so iteration
+/// order is deterministic even if the elements came from a hash
+/// container.
+fn binding_sorted_before(toks: &[Token], flow: &FnFlow, name_idx: usize) -> bool {
+    let name = toks[name_idx].text.as_str();
+    let Some(b) = flow
+        .bindings
+        .iter()
+        .find(|b| b.name == name && b.init.1 < name_idx && name_idx <= b.scope_end)
+    else {
+        return false;
+    };
+    (b.init.1..name_idx).any(|k| {
+        toks[k].is_ident(&b.name)
+            && toks.get(k + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(k + 2)
+                .is_some_and(|t| t.kind == TokenKind::Ident && t.text.starts_with("sort"))
+    })
 }
 
 /// Collect-then-sort suppression: the chain initializes a binding that
@@ -1402,6 +1427,32 @@ mod tests {
         "#;
         let a = run("crates/system/src/x.rs", src);
         assert_eq!(count(&a, Lint::NoHashMapIterOrder), 0, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn l7_sort_then_for_loop_passes() {
+        // The forward_batch shape: collect hash values, sort them, then
+        // consume with a plain `for` loop. Without the sort the loop
+        // must still be flagged.
+        let sorted = r#"
+            use std::collections::HashMap;
+            pub fn f(m: HashMap<usize, Vec<usize>>) -> Vec<usize> {
+                let mut groups: Vec<Vec<usize>> = m.into_values().collect();
+                groups.sort_unstable_by_key(|g| g[0]);
+                let mut out = Vec::new();
+                for g in groups {
+                    out.extend(g);
+                }
+                out
+            }
+        "#;
+        let a = run("crates/system/src/x.rs", sorted);
+        assert_eq!(count(&a, Lint::NoHashMapIterOrder), 0, "{:?}", a.findings);
+        let unsorted = sorted.replace("groups.sort_unstable_by_key(|g| g[0]);", "");
+        let b = run("crates/system/src/x.rs", &unsorted);
+        // Both the collect sink and the for loop are flagged once the
+        // sort is gone.
+        assert_eq!(count(&b, Lint::NoHashMapIterOrder), 2, "{:?}", b.findings);
     }
 
     #[test]

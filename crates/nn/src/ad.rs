@@ -523,6 +523,7 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `seg.len() != x.rows()` or an id is out of range.
+    // stco-hot
     pub fn segment_mean(&mut self, x: NodeId, seg: Arc<Vec<usize>>, n_seg: usize) -> NodeId {
         let xv = &self.nodes[x.0].value;
         assert_eq!(seg.len(), xv.rows(), "one segment id per row");
@@ -551,6 +552,7 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `a.cols() != x.rows()`.
+    // stco-hot
     pub fn spmm(&mut self, a: Arc<CsrMatrix>, x: NodeId) -> NodeId {
         let xv = &self.nodes[x.0].value;
         assert_eq!(a.cols(), xv.rows(), "spmm shape mismatch");

@@ -173,6 +173,17 @@ impl GcnLayer {
         }
     }
 
+    /// The underlying linear transform (weights exposed for the f32
+    /// fast-inference path, which replays the layer outside the tape).
+    pub fn linear(&self) -> &Linear {
+        &self.linear
+    }
+
+    /// The layer's activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
     /// Records one propagation step. `adj` must be the normalized
     /// adjacency from [`GraphData::normalized_adjacency`].
     pub fn forward(

@@ -87,6 +87,11 @@ impl Linear {
         self.weight
     }
 
+    /// Bias parameter handle.
+    pub fn bias(&self) -> ParamId {
+        self.bias
+    }
+
     /// Records `x·W + b` on the tape.
     pub fn forward(&self, g: &mut Graph, params: &Params, x: NodeId) -> NodeId {
         let w = g.param(params, self.weight);
@@ -150,6 +155,16 @@ impl Mlp {
     /// Number of linear layers.
     pub fn depth(&self) -> usize {
         self.layers.len()
+    }
+
+    /// The linear layers, in forward order.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// The shared hidden activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
     }
 
     /// Records the full forward pass; the final layer is linear.

@@ -7,7 +7,7 @@
 //! so a cache-friendly row-major layout with straightforward loops is both
 //! sufficient and easy to audit.
 
-use crate::{NumericsError, Result};
+use crate::{gemm, NumericsError, Result};
 
 /// A dense row-major `rows × cols` matrix of `f64`.
 ///
@@ -169,6 +169,13 @@ impl Matrix {
 
     /// Accumulating GEMM: `out += self · rhs`, no allocation.
     ///
+    /// Dispatches to the cache-blocked, register-tiled kernel in
+    /// [`crate::gemm`] once the product is large enough to amortize the
+    /// pack step ([`crate::gemm::use_blocked`]); MNA-sized products stay
+    /// on the naive ikj loop. Both paths produce bitwise-identical
+    /// results (proptest-pinned), so the dispatch is invisible to the
+    /// determinism contract.
+    ///
     /// The dense path deliberately has no per-scalar zero-skip: on dense
     /// operands the branch defeats pipelining and costs more than the
     /// multiplies it saves (sparse stamping belongs in the MNA layer, not
@@ -178,18 +185,19 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != rhs.rows()` or `out` is not
     /// `self.rows() × rhs.cols()`.
-    // stco-hot
     pub fn gemm_into(&self, rhs: &Matrix, out: &mut Matrix) {
-        assert_eq!(
-            self.cols, rhs.rows,
-            "gemm_into shape mismatch: {}x{} · {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        assert_eq!(
-            (out.rows, out.cols),
-            (self.rows, rhs.cols),
-            "gemm_into output shape mismatch"
-        );
+        if gemm::use_blocked(self.rows, rhs.cols, self.cols) {
+            self.gemm_into_blocked(rhs, out);
+        } else {
+            self.gemm_into_naive(rhs, out);
+        }
+    }
+
+    /// The naive ikj kernel behind [`Matrix::gemm_into`]: the proptest
+    /// oracle for the blocked path and the small-product fast path.
+    // stco-hot
+    pub fn gemm_into_naive(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.check_nn_shapes(rhs, out);
         // ikj loop order keeps the inner loop contiguous in both operands.
         for i in 0..self.rows {
             for k in 0..self.cols {
@@ -203,18 +211,89 @@ impl Matrix {
         }
     }
 
+    /// The blocked kernel behind [`Matrix::gemm_into`], callable directly
+    /// (below the dispatch threshold) by proptests and benches.
+    pub fn gemm_into_blocked(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.check_nn_shapes(rhs, out);
+        gemm::with_f64_scratch(|apack, bpack| {
+            gemm::gemm_nn_blocked(
+                self.rows,
+                rhs.cols,
+                self.cols,
+                &self.data,
+                &rhs.data,
+                &mut out.data,
+                apack,
+                bpack,
+            );
+        });
+    }
+
+    fn check_nn_shapes(&self, rhs: &Matrix, out: &Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "gemm_into shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "gemm_into output shape mismatch"
+        );
+    }
+
     /// Accumulating transpose-free GEMM: `out += self · rhsᵀ`.
     ///
-    /// `rhs` is passed untransposed; each output element is a dot product
-    /// of two contiguous rows, so no transposed copy is ever materialized.
-    /// Accumulation order matches `self.matmul(&rhs.transpose())` bitwise.
+    /// `rhs` is passed untransposed; no transposed copy is ever
+    /// materialized. Accumulation order matches
+    /// `self.matmul(&rhs.transpose())` bitwise on both the naive and the
+    /// blocked path (size-dispatched like [`Matrix::gemm_into`]).
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.cols()` or `out` is not
     /// `self.rows() × rhs.rows()`.
-    // stco-hot
     pub fn gemm_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        if gemm::use_blocked(self.rows, rhs.rows, self.cols) {
+            self.gemm_nt_into_blocked(rhs, out);
+        } else {
+            self.gemm_nt_into_naive(rhs, out);
+        }
+    }
+
+    /// The naive row-dot kernel behind [`Matrix::gemm_nt_into`]: the
+    /// proptest oracle for the blocked path and the small-product path.
+    // stco-hot
+    pub fn gemm_nt_into_naive(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.check_nt_shapes(rhs, out);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let orow = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o += dot(arow, &rhs.data[j * rhs.cols..(j + 1) * rhs.cols]);
+            }
+        }
+    }
+
+    /// The blocked kernel behind [`Matrix::gemm_nt_into`], callable
+    /// directly by proptests and benches.
+    pub fn gemm_nt_into_blocked(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.check_nt_shapes(rhs, out);
+        gemm::with_f64_scratch(|apack, bpack| {
+            gemm::gemm_nt_blocked(
+                self.rows,
+                rhs.rows,
+                self.cols,
+                &self.data,
+                &rhs.data,
+                &mut out.data,
+                apack,
+                bpack,
+            );
+        });
+    }
+
+    fn check_nt_shapes(&self, rhs: &Matrix, out: &Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "gemm_nt_into shape mismatch: {}x{} · ({}x{})ᵀ",
@@ -225,37 +304,31 @@ impl Matrix {
             (self.rows, rhs.rows),
             "gemm_nt_into output shape mismatch"
         );
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            let orow = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
-            for (j, o) in orow.iter_mut().enumerate() {
-                *o += dot(arow, &rhs.data[j * rhs.cols..(j + 1) * rhs.cols]);
-            }
-        }
     }
 
     /// Accumulating transpose-free GEMM: `out += selfᵀ · rhs`.
     ///
-    /// `self` is passed untransposed; the kij loop order keeps the inner
-    /// loop contiguous in both `rhs` and `out`. Accumulation order matches
-    /// `self.transpose().matmul(&rhs)` bitwise.
+    /// `self` is passed untransposed. Accumulation order matches
+    /// `self.transpose().matmul(&rhs)` bitwise on both the naive and the
+    /// blocked path (size-dispatched like [`Matrix::gemm_into`]).
     ///
     /// # Panics
     ///
     /// Panics if `self.rows() != rhs.rows()` or `out` is not
     /// `self.cols() × rhs.cols()`.
-    // stco-hot
     pub fn gemm_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
-        assert_eq!(
-            self.rows, rhs.rows,
-            "gemm_tn_into shape mismatch: ({}x{})ᵀ · {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        assert_eq!(
-            (out.rows, out.cols),
-            (self.cols, rhs.cols),
-            "gemm_tn_into output shape mismatch"
-        );
+        if gemm::use_blocked(self.cols, rhs.cols, self.rows) {
+            self.gemm_tn_into_blocked(rhs, out);
+        } else {
+            self.gemm_tn_into_naive(rhs, out);
+        }
+    }
+
+    /// The naive kij kernel behind [`Matrix::gemm_tn_into`]: the proptest
+    /// oracle for the blocked path and the small-product path.
+    // stco-hot
+    pub fn gemm_tn_into_naive(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.check_tn_shapes(rhs, out);
         for k in 0..self.rows {
             let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
             for i in 0..self.cols {
@@ -266,6 +339,37 @@ impl Matrix {
                 }
             }
         }
+    }
+
+    /// The blocked kernel behind [`Matrix::gemm_tn_into`], callable
+    /// directly by proptests and benches.
+    pub fn gemm_tn_into_blocked(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.check_tn_shapes(rhs, out);
+        gemm::with_f64_scratch(|apack, bpack| {
+            gemm::gemm_tn_blocked(
+                self.cols,
+                rhs.cols,
+                self.rows,
+                &self.data,
+                &rhs.data,
+                &mut out.data,
+                apack,
+                bpack,
+            );
+        });
+    }
+
+    fn check_tn_shapes(&self, rhs: &Matrix, out: &Matrix) {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "gemm_tn_into shape mismatch: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, rhs.cols),
+            "gemm_tn_into output shape mismatch"
+        );
     }
 
     /// Reshapes the matrix to `rows × cols` and zero-fills it, reusing the
@@ -527,32 +631,35 @@ mod tests {
     use super::*;
 
     #[test]
-    fn identity_solve_returns_rhs() {
+    fn identity_solve_returns_rhs() -> Result<()> {
         let a = Matrix::identity(4);
         let b = vec![1.0, -2.0, 3.0, 0.5];
-        let x = a.lu_solve(&b).unwrap();
+        let x = a.lu_solve(&b)?;
         for (xi, bi) in x.iter().zip(b.iter()) {
             assert!((xi - bi).abs() < 1e-14);
         }
+        Ok(())
     }
 
     #[test]
-    fn lu_solve_matches_known_solution() {
+    fn lu_solve_matches_known_solution() -> Result<()> {
         let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
-        let x = a.lu_solve(&[8.0, -11.0, -3.0]).unwrap();
+        let x = a.lu_solve(&[8.0, -11.0, -3.0])?;
         let expected = [2.0, 3.0, -1.0];
         for (xi, ei) in x.iter().zip(expected.iter()) {
             assert!((xi - ei).abs() < 1e-12, "{x:?}");
         }
+        Ok(())
     }
 
     #[test]
-    fn lu_requires_pivoting() {
+    fn lu_requires_pivoting() -> Result<()> {
         // Leading zero forces a row swap.
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
-        let x = a.lu_solve(&[2.0, 3.0]).unwrap();
+        let x = a.lu_solve(&[2.0, 3.0])?;
         assert!((x[0] - 3.0).abs() < 1e-14);
         assert!((x[1] - 2.0).abs() < 1e-14);
+        Ok(())
     }
 
     #[test]
@@ -600,15 +707,16 @@ mod tests {
     }
 
     #[test]
-    fn lu_factors_reusable_across_rhs() {
+    fn lu_factors_reusable_across_rhs() -> Result<()> {
         let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
-        let lu = a.lu_factor().unwrap();
+        let lu = a.lu_factor()?;
         for b in [[1.0, 0.0], [0.0, 1.0], [5.0, -2.0]] {
-            let x = lu.solve(&b).unwrap();
+            let x = lu.solve(&b)?;
             let r0 = 4.0 * x[0] + x[1] - b[0];
             let r1 = x[0] + 3.0 * x[1] - b[1];
             assert!(r0.abs() < 1e-12 && r1.abs() < 1e-12);
         }
+        Ok(())
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Dense row-major `f32` matrices for the opt-in fast inference path.
+//!
+//! [`MatrixF32`] is the single-precision twin of [`crate::dense::Matrix`],
+//! deliberately restricted to the operations the GNN forward pass needs.
+//! It exists for `InferencePrecision::F32` in the surrogate crate: weights
+//! are narrowed once at load time and the blocked GEMM kernels run in
+//! `f32`, trading the bitwise determinism contract of the `f64` path for
+//! a property-tested relative-error bound (DESIGN.md §15).
+
+use crate::gemm;
+
+/// Narrows an `f64` to `f32`.
+///
+/// The one sanctioned lossy conversion in the workspace: the f32
+/// inference path narrows weights and activations *by design*, and the
+/// resulting end-to-end error is bounded and proptested (DESIGN.md §15).
+#[inline]
+pub fn narrow(v: f64) -> f32 {
+    // stco-check: allow(no-lossy-cast, f32 fast-inference path narrows by design; end-to-end error bound proptested)
+    v as f32
+}
+
+/// A dense row-major `rows × cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MatrixF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatrixF32 {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        MatrixF32 {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must match shape");
+        MatrixF32 { rows, cols, data }
+    }
+
+    /// Narrows an `f64` matrix element-by-element.
+    pub fn from_f64(src: &crate::dense::Matrix) -> Self {
+        MatrixF32 {
+            rows: src.rows(),
+            cols: src.cols(),
+            data: src.as_slice().iter().map(|&v| narrow(v)).collect(),
+        }
+    }
+
+    /// Widens back to `f64` (exact; every `f32` is representable).
+    pub fn to_f64(&self) -> crate::dense::Matrix {
+        crate::dense::Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&v| f64::from(v)).collect(),
+        )
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Returns element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Borrow of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Reshapes to `rows × cols` and zero-fills, reusing the allocation.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Accumulating GEMM: `out += self · rhs`, size-dispatched between
+    /// the naive ikj loop and the blocked `f32` kernel exactly like the
+    /// `f64` [`crate::dense::Matrix::gemm_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn gemm_into(&self, rhs: &MatrixF32, out: &mut MatrixF32) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "f32 gemm_into shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "f32 gemm_into output shape mismatch"
+        );
+        if gemm::use_blocked(self.rows, rhs.cols, self.cols) {
+            gemm::with_f32_scratch(|apack, bpack| {
+                gemm::gemm_nn_blocked(
+                    self.rows,
+                    rhs.cols,
+                    self.cols,
+                    &self.data,
+                    &rhs.data,
+                    &mut out.data,
+                    apack,
+                    bpack,
+                );
+            });
+        } else {
+            self.gemm_into_naive(rhs, out);
+        }
+    }
+
+    /// The naive ikj `f32` kernel: oracle for the blocked path.
+    // stco-hot
+    pub fn gemm_into_naive(&self, rhs: &MatrixF32, out: &mut MatrixF32) {
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, r) in orow.iter_mut().zip(rrow.iter()) {
+                    *o += a * r;
+                }
+            }
+        }
+    }
+
+    /// Always-blocked `f32` GEMM entry point for proptests and benches.
+    pub fn gemm_into_blocked(&self, rhs: &MatrixF32, out: &mut MatrixF32) {
+        gemm::with_f32_scratch(|apack, bpack| {
+            gemm::gemm_nn_blocked(
+                self.rows,
+                rhs.cols,
+                self.cols,
+                &self.data,
+                &rhs.data,
+                &mut out.data,
+                apack,
+                bpack,
+            );
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Matrix;
+
+    #[test]
+    fn round_trip_through_f64_is_exact() {
+        let m = Matrix::from_rows(&[&[1.5, -2.25], &[0.125, 3.0]]);
+        let narrow = MatrixF32::from_f64(&m);
+        assert_eq!(narrow.to_f64(), m);
+    }
+
+    #[test]
+    fn f32_gemm_matches_hand_result() {
+        let a = MatrixF32::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = MatrixF32::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let mut out = MatrixF32::zeros(2, 2);
+        a.gemm_into(&b, &mut out);
+        assert_eq!(out.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn blocked_matches_naive_bitwise() {
+        let n = 40;
+        let vals: Vec<f32> = (0..n * n)
+            .map(|i| ((i * 37 % 201) as f32) / 100.0 - 1.0)
+            .collect();
+        let a = MatrixF32::from_vec(n, n, vals.clone());
+        let b = MatrixF32::from_vec(n, n, vals);
+        let mut naive = MatrixF32::zeros(n, n);
+        let mut blocked = MatrixF32::zeros(n, n);
+        a.gemm_into_naive(&b, &mut naive);
+        a.gemm_into_blocked(&b, &mut blocked);
+        for (x, y) in naive.as_slice().iter().zip(blocked.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -20,6 +20,8 @@
 //! ```
 
 pub mod dense;
+pub mod dense32;
+pub mod gemm;
 pub mod guard;
 pub mod interp;
 pub mod nonlinear;
@@ -29,6 +31,7 @@ pub mod sparse;
 pub mod stats;
 
 pub use dense::Matrix;
+pub use dense32::MatrixF32;
 pub use sparse::CsrMatrix;
 
 /// Workspace-wide error type for numerical routines.

@@ -213,37 +213,42 @@ mod tests {
     use super::*;
 
     #[test]
-    fn mse_of_perfect_prediction_is_zero() {
+    fn mse_of_perfect_prediction_is_zero() -> Result<()> {
         let y = [1.0, 2.0, 3.0];
-        assert_eq!(mse(&y, &y).unwrap(), 0.0);
-        assert_eq!(r_squared(&y, &y).unwrap(), 1.0);
+        assert_eq!(mse(&y, &y)?, 0.0);
+        assert_eq!(r_squared(&y, &y)?, 1.0);
+        Ok(())
     }
 
     #[test]
-    fn mse_hand_computed() {
-        let e = mse(&[1.0, 2.0], &[0.0, 4.0]).unwrap();
+    fn mse_hand_computed() -> Result<()> {
+        let e = mse(&[1.0, 2.0], &[0.0, 4.0])?;
         assert!((e - 2.5).abs() < 1e-15);
-        assert!((rmse(&[1.0, 2.0], &[0.0, 4.0]).unwrap() - 2.5f64.sqrt()).abs() < 1e-15);
+        assert!((rmse(&[1.0, 2.0], &[0.0, 4.0])? - 2.5f64.sqrt()).abs() < 1e-15);
+        Ok(())
     }
 
     #[test]
-    fn mape_hand_computed() {
+    fn mape_hand_computed() -> Result<()> {
         // |1-2|/2 = 0.5, |3-4|/4 = 0.25 → 37.5 %.
-        let m = mape(&[1.0, 3.0], &[2.0, 4.0], 0.0).unwrap();
+        let m = mape(&[1.0, 3.0], &[2.0, 4.0], 0.0)?;
         assert!((m - 37.5).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn mape_floor_skips_tiny_targets() {
-        let m = mape(&[1.0, 100.0], &[1e-15, 100.0], 1e-12).unwrap();
+    fn mape_floor_skips_tiny_targets() -> Result<()> {
+        let m = mape(&[1.0, 100.0], &[1e-15, 100.0], 1e-12)?;
         assert_eq!(m, 0.0);
+        Ok(())
     }
 
     #[test]
-    fn r_squared_of_mean_prediction_is_zero() {
+    fn r_squared_of_mean_prediction_is_zero() -> Result<()> {
         let target = [1.0, 2.0, 3.0, 4.0];
         let pred = [2.5; 4];
-        assert!(r_squared(&pred, &target).unwrap().abs() < 1e-12);
+        assert!(r_squared(&pred, &target)?.abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
@@ -258,9 +263,9 @@ mod tests {
     }
 
     #[test]
-    fn standardizer_round_trips() {
+    fn standardizer_round_trips() -> Result<()> {
         let data = vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0];
-        let s = Standardizer::fit(&data, 2).unwrap();
+        let s = Standardizer::fit(&data, 2)?;
         let mut z = data.clone();
         s.apply(&mut z);
         // Column means ~0 after standardization.
@@ -270,12 +275,14 @@ mod tests {
         for (a, b) in z.iter().zip(&data) {
             assert!((a - b).abs() < 1e-9);
         }
+        Ok(())
     }
 
     #[test]
-    fn mean_std_hand_computed() {
-        let (m, s) = mean_std(&[2.0, 4.0]).unwrap();
+    fn mean_std_hand_computed() -> Result<()> {
+        let (m, s) = mean_std(&[2.0, 4.0])?;
         assert_eq!(m, 3.0);
         assert_eq!(s, 1.0);
+        Ok(())
     }
 }

@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 use stco_numerics::dense::{norm2, Matrix};
+use stco_numerics::dense32::MatrixF32;
 use stco_numerics::interp::Bilinear;
 use stco_numerics::solve::{bicgstab, conjugate_gradient, IterOptions};
 use stco_numerics::sparse::CsrMatrix;
@@ -149,6 +150,126 @@ proptest! {
         ma.gemm_into(&mb, &mut out);
         for (x, y) in out.as_slice().iter().zip(reference.as_slice()) {
             prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_nn_bitwise_matches_naive_oracle(
+        shape in (1usize..20, 1usize..20, 0usize..20),
+        seed in 1u64..u64::MAX,
+        fill in -3.0..3.0f64,
+    ) {
+        // Odd/tail shapes well below the dispatch threshold, exercised
+        // through the always-blocked entry point, accumulating into a
+        // nonzero out.
+        let (m, n, k) = shape;
+        let mut rng = stco_numerics::rng::Xorshift::new(seed | 1);
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|_| rng.uniform_in(-5.0, 5.0)).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.uniform_in(-5.0, 5.0)).collect());
+        let mut naive = Matrix::full(m, n, fill);
+        let mut blocked = naive.clone();
+        a.gemm_into_naive(&b, &mut naive);
+        a.gemm_into_blocked(&b, &mut blocked);
+        for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_nt_bitwise_matches_naive_oracle(
+        shape in (1usize..20, 1usize..20, 0usize..20),
+        seed in 1u64..u64::MAX,
+        fill in -3.0..3.0f64,
+    ) {
+        let (m, n, k) = shape;
+        let mut rng = stco_numerics::rng::Xorshift::new(seed | 1);
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|_| rng.uniform_in(-5.0, 5.0)).collect());
+        let b = Matrix::from_vec(n, k, (0..n * k).map(|_| rng.uniform_in(-5.0, 5.0)).collect());
+        let mut naive = Matrix::full(m, n, fill);
+        let mut blocked = naive.clone();
+        a.gemm_nt_into_naive(&b, &mut naive);
+        a.gemm_nt_into_blocked(&b, &mut blocked);
+        for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_tn_bitwise_matches_naive_oracle(
+        shape in (1usize..20, 1usize..20, 1usize..20),
+        seed in 1u64..u64::MAX,
+        fill in -3.0..3.0f64,
+    ) {
+        let (m, n, k) = shape;
+        let mut rng = stco_numerics::rng::Xorshift::new(seed | 1);
+        let a = Matrix::from_vec(k, m, (0..k * m).map(|_| rng.uniform_in(-5.0, 5.0)).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.uniform_in(-5.0, 5.0)).collect());
+        let mut naive = Matrix::full(m, n, fill);
+        let mut blocked = naive.clone();
+        a.gemm_tn_into_naive(&b, &mut naive);
+        a.gemm_tn_into_blocked(&b, &mut blocked);
+        for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_above_threshold_dispatch_is_invisible(seed in 1u64..u64::MAX) {
+        // GAT-shaped product above the dispatch threshold: the public
+        // gemm_into (which takes the blocked path here) must be
+        // bitwise-identical to the retained naive oracle.
+        let (m, n, k) = (64usize, 32usize, 32usize);
+        let mut rng = stco_numerics::rng::Xorshift::new(seed | 1);
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|_| rng.uniform_in(-5.0, 5.0)).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.uniform_in(-5.0, 5.0)).collect());
+        let mut naive = Matrix::zeros(m, n);
+        let mut dispatched = Matrix::zeros(m, n);
+        a.gemm_into_naive(&b, &mut naive);
+        a.gemm_into(&b, &mut dispatched);
+        for (x, y) in dispatched.as_slice().iter().zip(naive.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_blocked_gemm_bitwise_matches_f32_naive(
+        shape in (1usize..16, 1usize..16, 1usize..16),
+        seed in 1u64..u64::MAX,
+    ) {
+        let (m, n, k) = shape;
+        let mut rng = stco_numerics::rng::Xorshift::new(seed | 1);
+        let af = Matrix::from_vec(m, k, (0..m * k).map(|_| rng.uniform_in(-5.0, 5.0)).collect());
+        let bf = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.uniform_in(-5.0, 5.0)).collect());
+        let a = MatrixF32::from_f64(&af);
+        let b = MatrixF32::from_f64(&bf);
+        let mut naive = MatrixF32::zeros(m, n);
+        let mut blocked = MatrixF32::zeros(m, n);
+        a.gemm_into_naive(&b, &mut naive);
+        a.gemm_into_blocked(&b, &mut blocked);
+        for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_gemm_stays_within_relative_error_of_f64(seed in 1u64..u64::MAX) {
+        // GAT-shaped product: the f32 path must track the f64 reference
+        // within a k·eps-scaled relative bound on every element.
+        let (m, n, k) = (64usize, 32usize, 32usize);
+        let mut rng = stco_numerics::rng::Xorshift::new(seed | 1);
+        let af = Matrix::from_vec(m, k, (0..m * k).map(|_| rng.uniform_in(-1.0, 1.0)).collect());
+        let bf = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.uniform_in(-1.0, 1.0)).collect());
+        let mut reference = Matrix::zeros(m, n);
+        af.gemm_into(&bf, &mut reference);
+        let a32 = MatrixF32::from_f64(&af);
+        let b32 = MatrixF32::from_f64(&bf);
+        let mut out32 = MatrixF32::zeros(m, n);
+        a32.gemm_into(&b32, &mut out32);
+        // Forward-error model: |err| <= k * eps_f32 * sum |a||b|; the
+        // operands are bounded by 1 so k bounds the absolute row sums.
+        let bound = k as f64 * f64::from(f32::EPSILON) * k as f64;
+        for (x, y) in out32.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!((f64::from(*x) - y).abs() <= bound, "{x} vs {y}");
         }
     }
 

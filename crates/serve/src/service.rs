@@ -50,7 +50,7 @@ use std::time::{Duration, Instant};
 use stco_cells::encode::{CellGraph, FEATURE_DIM};
 use stco_nn::gnn::GraphData;
 use stco_store::{Artifact, ArtifactKey, Registry};
-use stco_surrogate::cell_model::{CellModel, METRICS};
+use stco_surrogate::cell_model::{BatchedCellGraph, CellModel, InferencePrecision, METRICS};
 use stco_surrogate::encoding::{EDGE_DIM, NODE_DIM};
 use stco_surrogate::iv_predictor::IvPredictor;
 use stco_surrogate::poisson_emulator::PoissonEmulator;
@@ -157,6 +157,17 @@ impl SlowLog {
     }
 }
 
+/// Reads the `STCO_PRECISION` environment variable: `f32` opts a
+/// freshly loaded cell model into the bounded-error fast-inference path
+/// (DESIGN.md §15); anything else — including unset — keeps the
+/// bitwise-deterministic `f64` default.
+fn precision_from_env() -> InferencePrecision {
+    match std::env::var("STCO_PRECISION") {
+        Ok(v) if v.eq_ignore_ascii_case("f32") => InferencePrecision::F32,
+        _ => InferencePrecision::F64,
+    }
+}
+
 /// A model rehydrated from an artifact, ready to answer predictions.
 #[derive(Debug)]
 pub enum LoadedModel {
@@ -179,7 +190,11 @@ impl LoadedModel {
         artifact: &Artifact,
     ) -> std::result::Result<LoadedModel, stco_store::StoreError> {
         match artifact.kind.as_str() {
-            CellModel::ARTIFACT_KIND => Ok(LoadedModel::Cell(CellModel::from_artifact(artifact)?)),
+            CellModel::ARTIFACT_KIND => {
+                let mut model = CellModel::from_artifact(artifact)?;
+                model.set_precision(precision_from_env());
+                Ok(LoadedModel::Cell(model))
+            }
             PoissonEmulator::ARTIFACT_KIND => Ok(LoadedModel::Poisson(
                 PoissonEmulator::from_artifact(artifact)?,
             )),
@@ -634,9 +649,7 @@ fn worker_loop(shared: &Shared) {
         let assembly_seconds = assembled.duration_since(drained).as_secs_f64();
 
         // Phase 3 (forward): the batched stco-par pass.
-        let results = stco_par::par_map(stco_par::ParConfig::current(), &work, |(model, input)| {
-            model.predict(input)
-        });
+        let results = forward_batch(&work);
         let forward_seconds = assembled.elapsed().as_secs_f64();
 
         // Phase 4 (reply write): answer every request, then fold the
@@ -679,4 +692,96 @@ fn worker_loop(shared: &Shared) {
             shared.slow.record(breakdown);
         }
     }
+}
+
+/// One forward-pass unit of a drained batch: either a single request or
+/// a group of cell-graph requests sharing a model.
+enum ForwardTask {
+    Single(usize),
+    CellGroup(Vec<usize>),
+}
+
+/// Executes one drained batch. Cell-graph requests that share a model
+/// are packed into one block-diagonal [`BatchedCellGraph`] and answered
+/// by a single [`CellModel::predict_batch`] trunk evaluation — a few
+/// large blocked GEMMs instead of one small GEMM chain per request.
+/// Everything else (other model kinds, lone cell requests) runs its own
+/// per-item forward. The output is indexed like `work`, and every value
+/// is bitwise-identical to the per-item [`LoadedModel::predict`] result
+/// under the default `f64` precision (DESIGN.md §15).
+fn forward_batch(work: &[(Arc<LoadedModel>, PredictInput)]) -> Vec<Result<Vec<f64>>> {
+    // Group cell items by model identity (Arc pointer): requests for
+    // the same installed model share weights and can be packed.
+    let mut cell_groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, (model, input)) in work.iter().enumerate() {
+        if matches!(
+            (model.as_ref(), input),
+            (LoadedModel::Cell(_), PredictInput::Cell { .. })
+        ) && input.validate().is_ok()
+        {
+            cell_groups
+                .entry(Arc::as_ptr(model) as usize)
+                .or_default()
+                .push(i);
+        }
+    }
+    // Order groups by first member so the task list is deterministic
+    // regardless of allocator-dependent Arc pointer values.
+    let mut groups: Vec<Vec<usize>> = cell_groups
+        .into_values()
+        .filter(|idxs| idxs.len() > 1)
+        .collect();
+    groups.sort_unstable_by_key(|idxs| idxs[0]);
+    let mut tasks: Vec<ForwardTask> = Vec::new();
+    let mut in_group = vec![false; work.len()];
+    for idxs in groups {
+        for &i in &idxs {
+            in_group[i] = true;
+        }
+        tasks.push(ForwardTask::CellGroup(idxs));
+    }
+    for (i, grouped) in in_group.iter().enumerate() {
+        if !grouped {
+            tasks.push(ForwardTask::Single(i));
+        }
+    }
+    let produced = stco_par::par_map(stco_par::ParConfig::current(), &tasks, |task| match task {
+        ForwardTask::Single(i) => {
+            let (model, input) = &work[*i];
+            vec![(*i, model.predict(input))]
+        }
+        ForwardTask::CellGroup(idxs) => {
+            let LoadedModel::Cell(cell) = work[idxs[0]].0.as_ref() else {
+                return idxs
+                    .iter()
+                    .map(|&i| (i, work[i].0.predict(&work[i].1)))
+                    .collect();
+            };
+            let mut graphs: Vec<&CellGraph> = Vec::with_capacity(idxs.len());
+            let mut metric_lists: Vec<&[usize]> = Vec::with_capacity(idxs.len());
+            for &i in idxs {
+                let PredictInput::Cell { graph, metrics } = &work[i].1 else {
+                    return idxs
+                        .iter()
+                        .map(|&i| (i, work[i].0.predict(&work[i].1)))
+                        .collect();
+                };
+                graphs.push(graph);
+                metric_lists.push(metrics.as_slice());
+            }
+            let packed = BatchedCellGraph::pack(&graphs);
+            let outs = cell.predict_batch(&packed, &metric_lists);
+            idxs.iter().copied().zip(outs.into_iter().map(Ok)).collect()
+        }
+    });
+    // Every index is covered by exactly one task; the placeholder only
+    // survives if a task were somehow dropped.
+    let mut results: Vec<Result<Vec<f64>>> =
+        work.iter().map(|_| Err(ServeError::ShuttingDown)).collect();
+    for pairs in produced {
+        for (i, r) in pairs {
+            results[i] = r;
+        }
+    }
+    results
 }

@@ -3,18 +3,22 @@
 //! ```text
 //! stco_loadgen                              # self-host a demo server and sweep it
 //! stco_loadgen --addr HOST:PORT MODEL_ID   # sweep an already-running server
-//! stco_loadgen --steps 8,16,32 --requests 256 --out curve.json
+//! stco_loadgen --steps 8,16,32 --requests 64 --warmup 8 --out curve.json
+//! stco_loadgen --max-conns 128             # truncate the sweep at 128 connections
 //! ```
 //!
-//! Each step runs `--requests` predictions through N closed-loop
-//! workers (own TCP connection each) and prints offered vs achieved
-//! throughput with exact client-side p50/p99, cross-referenced against
-//! the server's rolling `serve.latency_seconds` window fetched over
-//! the `metrics` op. `--out` writes the `stco-serving-curve/v1`
+//! Each step runs `--requests` measured predictions *per connection*
+//! (after `--warmup` discarded warmup predictions per connection, so
+//! every step measures steady state rather than connection-setup
+//! transients) through N closed-loop workers — own TCP connection
+//! each — and prints offered vs achieved throughput with exact
+//! client-side p50/p99 plus the typed-shed count, cross-referenced
+//! against the server's rolling `serve.latency_seconds` window fetched
+//! over the `metrics` op. `--out` writes the `stco-serving-curve/v2`
 //! document (schema-validated before writing).
 //!
-//! Self-hosted runs honour `STCO_THREADS` for the forward pool, like
-//! every other parallel path.
+//! Self-hosted runs honour `STCO_THREADS` for the forward pool and
+//! `STCO_SHARDS` for the worker-shard count, like the server binary.
 
 use stco_par::ParConfig;
 use stco_serve::demo::{demo_graph, demo_key, train_demo_model, DEMO_CELLS};
@@ -24,14 +28,17 @@ use stco_serve::{Client, TcpServer};
 use stco_store::Registry;
 use stco_surrogate::cell_model::{CellModel, METRICS};
 
-const DEFAULT_STEPS: [usize; 5] = [8, 16, 32, 64, 128];
-const DEFAULT_REQUESTS_PER_STEP: usize = 256;
+const DEFAULT_STEPS: [usize; 7] = [8, 16, 32, 64, 128, 256, 512];
+const DEFAULT_REQUESTS_PER_CONN: usize = 32;
+const DEFAULT_WARMUP_PER_CONN: usize = 8;
 
 struct Args {
     addr: Option<String>,
     model: Option<String>,
     steps: Vec<usize>,
-    requests: usize,
+    requests_per_conn: usize,
+    warmup_per_conn: usize,
+    max_conns: Option<usize>,
     deadline_ms: u64,
     out: Option<String>,
 }
@@ -41,7 +48,9 @@ fn parse_args() -> Args {
         addr: None,
         model: None,
         steps: DEFAULT_STEPS.to_vec(),
-        requests: DEFAULT_REQUESTS_PER_STEP,
+        requests_per_conn: DEFAULT_REQUESTS_PER_CONN,
+        warmup_per_conn: DEFAULT_WARMUP_PER_CONN,
+        max_conns: None,
         deadline_ms: 10_000,
         out: None,
     };
@@ -50,7 +59,8 @@ fn parse_args() -> Args {
     let usage = || -> ! {
         eprintln!(
             "usage: stco_loadgen [--addr HOST:PORT MODEL_ID] [--steps N,N,...] \
-             [--requests N] [--deadline-ms MS] [--out PATH]"
+             [--requests PER_CONN] [--warmup PER_CONN] [--max-conns N] \
+             [--deadline-ms MS] [--out PATH]"
         );
         std::process::exit(2);
     };
@@ -83,7 +93,27 @@ fn parse_args() -> Args {
                     usage();
                 }
                 match argv[i + 1].parse::<usize>() {
-                    Ok(n) if n > 0 => args.requests = n,
+                    Ok(n) if n > 0 => args.requests_per_conn = n,
+                    _ => usage(),
+                }
+                i += 2;
+            }
+            "--warmup" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                match argv[i + 1].parse::<usize>() {
+                    Ok(n) => args.warmup_per_conn = n,
+                    Err(_) => usage(),
+                }
+                i += 2;
+            }
+            "--max-conns" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                match argv[i + 1].parse::<usize>() {
+                    Ok(n) if n > 0 => args.max_conns = Some(n),
                     _ => usage(),
                 }
                 i += 2;
@@ -123,7 +153,14 @@ fn demo_inputs() -> Vec<PredictInput> {
 }
 
 fn main() {
-    let args = parse_args();
+    let mut args = parse_args();
+    if let Some(cap) = args.max_conns {
+        args.steps.retain(|&c| c <= cap);
+        if args.steps.is_empty() {
+            eprintln!("--max-conns {cap} leaves no sweep steps");
+            std::process::exit(2);
+        }
+    }
 
     // Self-host a demo server unless --addr points at a live one. The
     // server (and its scratch registry) lives for the whole sweep.
@@ -153,20 +190,22 @@ fn main() {
     };
 
     let sweep = SweepConfig {
-        addr,
+        addr: addr.clone(),
         model: model_id,
         inputs: demo_inputs(),
         steps: args.steps.clone(),
-        requests_per_step: args.requests,
+        requests_per_conn: args.requests_per_conn,
+        warmup_per_conn: args.warmup_per_conn,
         deadline_ms: Some(args.deadline_ms).filter(|&ms| ms > 0),
     };
     let steps = run_sweep(&sweep).expect("load sweep");
 
     println!(
-        "{:>11} {:>8} {:>7} {:>12} {:>12} {:>11} {:>11} {:>14}",
+        "{:>11} {:>8} {:>7} {:>6} {:>12} {:>12} {:>11} {:>11} {:>14}",
         "concurrency",
         "ok",
         "errors",
+        "shed",
         "offered r/s",
         "achieved r/s",
         "p50 ms",
@@ -175,10 +214,11 @@ fn main() {
     );
     for step in &steps {
         println!(
-            "{:>11} {:>8} {:>7} {:>12.0} {:>12.0} {:>11.3} {:>11.3} {:>14}",
+            "{:>11} {:>8} {:>7} {:>6} {:>12.0} {:>12.0} {:>11.3} {:>11.3} {:>14}",
             step.concurrency,
             step.ok,
             step.errors,
+            step.shed,
             step.offered_rps,
             step.achieved_rps,
             step.client_p50_seconds * 1e3,
@@ -189,7 +229,12 @@ fn main() {
     }
 
     if let Some(out) = &args.out {
-        let doc = sweep_to_json(ParConfig::current().threads, false, &steps);
+        // The shard count comes from the live server, so remote sweeps
+        // (--addr) record it faithfully too.
+        let shards = Client::connect(&addr)
+            .and_then(|mut c| c.stats())
+            .map_or(1, |s| s.shards.max(1));
+        let doc = sweep_to_json(ParConfig::current().threads, shards, false, &steps);
         // Single steps (or user-chosen step lists) are fine here; only
         // monotone concurrency and field consistency are enforced.
         stco_bench::validate_serving_curve(&doc, 1).expect("serving curve schema");

@@ -157,12 +157,13 @@ pub fn fmt_seconds(s: f64) -> String {
 }
 
 /// Validates a `BENCH_serving.json` document against the
-/// `stco-serving-curve/v1` schema emitted by
-/// [`stco_serve::loadgen::sweep_to_json`]: required top-level fields,
-/// at least `min_steps` sweep steps with strictly increasing
-/// concurrency, and internally consistent per-step latencies
-/// (`p50 <= p99`, non-negative rates). CI calls this against the file
-/// the serving smoke wrote; the smoke itself calls it before writing.
+/// `stco-serving-curve/v2` schema emitted by
+/// [`stco_serve::loadgen::sweep_to_json`]: required top-level fields
+/// (including the worker shard count), at least `min_steps` sweep
+/// steps with strictly increasing concurrency, and internally
+/// consistent per-step latencies (`p50 <= p99`, non-negative rates
+/// and shed counts). CI calls this against the file the serving smoke
+/// wrote; the smoke itself calls it before writing.
 ///
 /// # Errors
 ///
@@ -177,7 +178,7 @@ pub fn validate_serving_curve(
         .get("schema")
         .and_then(JsonValue::as_str)
         .ok_or("missing schema field")?;
-    if schema != "stco-serving-curve/v1" {
+    if schema != "stco-serving-curve/v2" {
         return Err(format!("unexpected schema {schema:?}"));
     }
     let threads = doc
@@ -186,6 +187,13 @@ pub fn validate_serving_curve(
         .ok_or("missing threads field")?;
     if threads == 0 {
         return Err("threads must be at least 1".to_string());
+    }
+    let shards = doc
+        .get("shards")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing shards field")?;
+    if shards == 0 {
+        return Err("shards must be at least 1".to_string());
     }
     match doc.get("bitwise_identical") {
         Some(JsonValue::Bool(_)) => {}
@@ -224,6 +232,7 @@ pub fn validate_serving_curve(
         for key in [
             "ok",
             "errors",
+            "shed",
             "offered_rps",
             "achieved_rps",
             "client_mean_seconds",
@@ -275,6 +284,7 @@ mod tests {
                 concurrency: 4 << i,
                 ok: 64,
                 errors: 0,
+                shed: 0,
                 wall_seconds: 0.25,
                 offered_rps: 300.0,
                 achieved_rps: 256.0,
@@ -284,7 +294,7 @@ mod tests {
                 server_window_p99_seconds: Some(0.040),
             })
             .collect();
-        stco_serve::loadgen::sweep_to_json(4, true, &steps)
+        stco_serve::loadgen::sweep_to_json(4, 2, true, &steps)
     }
 
     #[test]
@@ -310,6 +320,7 @@ mod tests {
             concurrency: 4,
             ok: 1,
             errors: 0,
+            shed: 0,
             wall_seconds: 0.1,
             offered_rps: 1.0,
             achieved_rps: 1.0,
@@ -318,14 +329,14 @@ mod tests {
             client_mean_seconds: 0.5,
             server_window_p99_seconds: None,
         }];
-        let doc = stco_serve::loadgen::sweep_to_json(1, true, &steps);
+        let doc = stco_serve::loadgen::sweep_to_json(1, 1, true, &steps);
         let err = validate_serving_curve(&doc, 1).expect_err("inconsistent quantiles");
         assert!(err.contains("quantiles"), "{err}");
 
         // Non-increasing concurrency must be rejected.
         steps[0].client_p99_seconds = 1.0;
         steps.push(steps[0].clone());
-        let doc = stco_serve::loadgen::sweep_to_json(1, true, &steps);
+        let doc = stco_serve::loadgen::sweep_to_json(1, 1, true, &steps);
         let err = validate_serving_curve(&doc, 1).expect_err("flat concurrency");
         assert!(err.contains("concurrency"), "{err}");
     }

@@ -178,7 +178,18 @@ impl Default for LintConfig {
                     &["analyze_timing", "analyze_power", "place", "evaluate"],
                 ),
                 ("store", &["load", "put"]),
-                ("serve", &["submit", "load", "run_sweep"]),
+                (
+                    "serve",
+                    &[
+                        "submit",
+                        "submit_async",
+                        "load",
+                        "run_sweep",
+                        "drain_shard",
+                        "resume_shard",
+                        "io_loop",
+                    ],
+                ),
             ],
             numeric_crates: &[
                 "numerics",
@@ -195,6 +206,9 @@ impl Default for LintConfig {
                 "serve",
             ],
             lossy_targets: &["f32", "i8", "i16", "i32", "u8", "u16", "u32"],
+            // par: the determinism-contracted pool; serve: the serving
+            // runtime's mux I/O event threads, acceptor and shard
+            // workers.
             raw_thread_crates: &["par", "serve"],
             par_entrypoints: &["par_map", "try_par_map", "par_chunks_mut", "par_map_reduce"],
             serve_hot_crates: &["serve"],

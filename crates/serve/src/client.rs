@@ -76,12 +76,51 @@ impl Client {
     /// [`ServeError::Remote`] with the server's typed code on failure.
     pub fn load(&mut self, kind: &str, key: ArtifactKey) -> Result<String> {
         let _span = stco_obs::span!("serve.client_load");
+        self.load_with_shard(kind, key).map(|(model, _shard)| model)
+    }
+
+    /// [`Client::load`], also returning the worker shard the model's
+    /// content address routes to.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] with the server's typed code on failure.
+    pub fn load_with_shard(&mut self, kind: &str, key: ArtifactKey) -> Result<(String, usize)> {
+        let _span = stco_obs::span!("serve.client_load");
         let request = Request::Load {
             kind: kind.to_string(),
             key,
         };
         match Self::expect_ok(self.roundtrip(&request)?)? {
-            Reply::Loaded { model } => Ok(model),
+            Reply::Loaded { model, shard } => Ok((model, shard)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Drains one worker shard for a hot restart: returns once the
+    /// shard is quiescent. New work routed to it gets the typed
+    /// `draining` reject until [`Client::resume`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] (`bad-input` for an out-of-range shard)
+    /// or transport failures.
+    pub fn drain(&mut self, shard: usize) -> Result<()> {
+        match Self::expect_ok(self.roundtrip(&Request::Drain { shard })?)? {
+            Reply::Drained { .. } => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Reopens a drained shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] (`bad-input` for an out-of-range shard)
+    /// or transport failures.
+    pub fn resume(&mut self, shard: usize) -> Result<()> {
+        match Self::expect_ok(self.roundtrip(&Request::Resume { shard })?)? {
+            Reply::Resumed { .. } => Ok(()),
             other => Err(unexpected(&other)),
         }
     }

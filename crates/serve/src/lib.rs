@@ -4,21 +4,31 @@
 //! The paper frames the GNN surrogates as amortized, query-many assets;
 //! this crate serves them:
 //!
-//! * [`service`] — an in-process [`ModelService`]: loads artifacts from
-//!   the [`stco_store::Registry`] into a warm model cache and answers
-//!   predict requests through a **dynamic micro-batching queue**.
-//!   Concurrent requests coalesce (up to [`BatchConfig::max_batch`], or
-//!   until the oldest waits [`BatchConfig::max_linger`]) into one
-//!   batched forward pass executed on the [`stco_par`] pool. Replies
-//!   are bitwise-identical to serial `predict` calls: each request runs
-//!   the same single-item forward graph, batching only schedules them
-//!   together. Bounded-queue backpressure, per-request deadlines and
-//!   graceful queue-draining shutdown included.
+//! * [`service`] — an in-process [`ModelService`] **sharded N ways**:
+//!   each shard owns a warm `Arc` model cache and a bounded
+//!   micro-batching queue drained by its own worker. Requests route to
+//!   shards by consistent hashing over the model id (the stco-store
+//!   content address), so same-model traffic lands on the same shard
+//!   and keeps `predict_batch` grouping dense. Concurrent requests
+//!   coalesce (up to [`BatchConfig::max_batch`], or until the oldest
+//!   waits [`BatchConfig::max_linger`]) into one batched forward pass
+//!   executed on the [`stco_par`] pool. Replies are bitwise-identical
+//!   to serial `predict` calls: each request runs the same single-item
+//!   forward graph, batching only schedules them together. Admission
+//!   control stacks three layers: per-request deadlines, shedding
+//!   watermarks (typed `overloaded` rejects before the hard bound) and
+//!   bounded-queue backpressure (`queue-full`). Per-shard graceful
+//!   drain (`draining` rejects, in-flight work completes) supports hot
+//!   restarts.
 //! * [`protocol`] — length-prefixed JSON frames over any
 //!   `Read`/`Write`, reusing [`stco_obs::json`]. f64 payloads travel as
 //!   shortest-roundtrip decimal, which Rust formats/parses exactly.
-//! * [`server`] / [`client`] — a std-only TCP front end and its
-//!   matching client.
+//!   [`protocol::FrameDecoder`] is the incremental flavour: it accepts
+//!   bytes at any split boundary, for nonblocking sockets.
+//! * [`mux`] / [`server`] / [`client`] — a std-only readiness-loop TCP
+//!   front end (nonblocking sockets, a small fixed pool of I/O event
+//!   threads, per-connection frame state machines) and its matching
+//!   blocking client.
 //! * [`loadgen`] — a closed-loop load generator that sweeps
 //!   concurrency against a running server and reports offered vs
 //!   achieved throughput with exact client-side quantiles,
@@ -36,12 +46,14 @@
 pub mod client;
 pub mod demo;
 pub mod loadgen;
+pub mod mux;
 pub mod protocol;
 pub mod server;
 pub mod service;
 
 pub use client::Client;
 pub use loadgen::{run_sweep, LoadStep, SweepConfig};
+pub use mux::MuxConfig;
 pub use server::TcpServer;
 pub use service::{BatchConfig, LoadedModel, ModelService, PredictInput, SlowRequest};
 
@@ -66,6 +78,18 @@ pub enum ServeError {
     QueueFull {
         /// Queue depth at rejection time.
         depth: usize,
+    },
+    /// The shard crossed its shedding watermark — back off before the
+    /// hard queue bound is hit (admission control, DESIGN.md §16).
+    Overloaded {
+        /// Shard queue depth at rejection time.
+        depth: usize,
+    },
+    /// The shard is draining for a hot restart and rejects new work;
+    /// in-flight requests still complete.
+    Draining {
+        /// The draining shard's index.
+        shard: usize,
     },
     /// The request's deadline expired before execution.
     DeadlineExceeded,
@@ -97,6 +121,8 @@ impl ServeError {
             ServeError::UnknownModel { .. } => "unknown-model",
             ServeError::BadInput { .. } => "bad-input",
             ServeError::QueueFull { .. } => "queue-full",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::Draining { .. } => "draining",
             ServeError::DeadlineExceeded => "deadline-exceeded",
             ServeError::ShuttingDown => "shutting-down",
             ServeError::Protocol { .. } => "malformed-frame",
@@ -114,6 +140,12 @@ impl fmt::Display for ServeError {
             ServeError::BadInput { context } => write!(f, "bad predict input: {context}"),
             ServeError::QueueFull { depth } => {
                 write!(f, "request queue full ({depth} pending), retry later")
+            }
+            ServeError::Overloaded { depth } => {
+                write!(f, "shard shedding load ({depth} pending), back off")
+            }
+            ServeError::Draining { shard } => {
+                write!(f, "shard {shard} is draining, retry another replica")
             }
             ServeError::DeadlineExceeded => write!(f, "request deadline expired in queue"),
             ServeError::ShuttingDown => write!(f, "service is shutting down"),

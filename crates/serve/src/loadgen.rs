@@ -3,8 +3,22 @@
 //! [`run_sweep`] drives a concurrency sweep: for each step it spawns
 //! `concurrency` closed-loop workers (each with its own TCP
 //! connection, firing the next request as soon as the previous reply
-//! lands) and measures client-side latency per request. Each step
-//! reports:
+//! lands) and measures client-side latency per request.
+//!
+//! # Steady-state measurement
+//!
+//! Work scales **with** concurrency: every worker runs
+//! [`SweepConfig::warmup_per_conn`] unmeasured requests, synchronizes
+//! on a barrier, then runs [`SweepConfig::requests_per_conn`] measured
+//! requests; the step's wall clock is barrier-to-barrier. The warmup
+//! puts connections, shard queues and batch formation in steady state
+//! before the clock starts, and the per-connection request count keeps
+//! the measured window's duration roughly constant as concurrency
+//! grows — a fixed *total* budget would shrink the window until
+//! startup/teardown noise dominated, making offered throughput appear
+//! to fall at high concurrency.
+//!
+//! Each step reports:
 //!
 //! * **achieved throughput** — completed requests over the step's wall
 //!   clock;
@@ -13,6 +27,10 @@
 //!   achieved shows queueing/coordination overhead;
 //! * **client-side p50/p99** — exact order statistics over the step's
 //!   per-request latencies (not bucketed);
+//! * **sheds** — requests the server refused with the typed
+//!   `overloaded` / `queue-full` admission replies. Shedding is the
+//!   server protecting its latency, so sheds are tallied separately
+//!   from errors;
 //! * **server-side rolling p99** — the `serve.latency_seconds`
 //!   windowed histogram, fetched over the wire via the `metrics` op
 //!   right after the step. Client and server views are measured
@@ -23,7 +41,7 @@
 //! enqueue→reply span (no TCP framing), so the two agree only within
 //! a tolerance — see `DESIGN.md` §13 for the documented bound.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
 use std::time::Instant;
 
 use stco_obs::json::JsonValue;
@@ -43,8 +61,12 @@ pub struct SweepConfig {
     pub inputs: Vec<PredictInput>,
     /// Concurrency levels, one step per entry (typically increasing).
     pub steps: Vec<usize>,
-    /// Total requests per step (split across the step's workers).
-    pub requests_per_step: usize,
+    /// Measured requests **per worker connection** — total per-step
+    /// work is `concurrency × requests_per_conn`, so the measured
+    /// window stays roughly constant as concurrency grows.
+    pub requests_per_conn: usize,
+    /// Unmeasured warm-up requests per worker before the clock starts.
+    pub warmup_per_conn: usize,
     /// Per-request deadline forwarded to the server.
     pub deadline_ms: Option<u64>,
 }
@@ -56,9 +78,14 @@ pub struct LoadStep {
     pub concurrency: usize,
     /// Requests that completed successfully.
     pub ok: usize,
-    /// Requests that failed (typed server errors or transport).
+    /// Requests that failed (typed server errors or transport),
+    /// excluding sheds.
     pub errors: usize,
-    /// Step wall-clock in seconds.
+    /// Requests the server shed with the typed `overloaded` /
+    /// `queue-full` admission replies.
+    pub shed: usize,
+    /// Step wall-clock in seconds (barrier-to-barrier, warmup
+    /// excluded).
     pub wall_seconds: f64,
     /// `concurrency / mean latency` — the closed-loop offered rate.
     pub offered_rps: f64,
@@ -108,6 +135,12 @@ pub fn window_p99_from_snapshot(snapshot: &JsonValue) -> Option<f64> {
         .and_then(JsonValue::as_f64)
 }
 
+/// Whether a predict failure is the server *shedding* (typed admission
+/// rejects) rather than erroring.
+fn is_shed(e: &ServeError) -> bool {
+    matches!(e, ServeError::Remote { code, .. } if code == "overloaded" || code == "queue-full")
+}
+
 /// Runs the full concurrency sweep, one [`LoadStep`] per entry in
 /// [`SweepConfig::steps`].
 ///
@@ -116,12 +149,14 @@ pub fn window_p99_from_snapshot(snapshot: &JsonValue) -> Option<f64> {
 /// [`ServeError::Io`] if a worker cannot connect (or dies mid-step),
 /// or [`ServeError::Protocol`] on a malformed reply from the admin
 /// `metrics` probe. Per-request predict failures do *not* abort the
-/// sweep — they land in [`LoadStep::errors`].
+/// sweep — they land in [`LoadStep::errors`] (or [`LoadStep::shed`]
+/// for typed admission rejects).
 pub fn run_sweep(config: &SweepConfig) -> Result<Vec<LoadStep>> {
     let _span = stco_obs::span!(
         "serve.load_sweep",
         steps = config.steps.len(),
-        requests_per_step = config.requests_per_step
+        requests_per_conn = config.requests_per_conn,
+        warmup_per_conn = config.warmup_per_conn
     );
     if config.inputs.is_empty() {
         return Err(ServeError::BadInput {
@@ -137,6 +172,7 @@ pub fn run_sweep(config: &SweepConfig) -> Result<Vec<LoadStep>> {
             concurrency = step.concurrency,
             ok = step.ok,
             errors = step.errors,
+            shed = step.shed,
             achieved_rps = step.achieved_rps,
             client_p99_s = step.client_p99_seconds
         );
@@ -145,61 +181,95 @@ pub fn run_sweep(config: &SweepConfig) -> Result<Vec<LoadStep>> {
     Ok(out)
 }
 
+/// Per-worker step outcome; `dead` marks a connect failure or panic so
+/// the step surfaces a sweep error instead of undercounting.
+struct WorkerOutcome {
+    latencies: Vec<f64>,
+    errors: usize,
+    shed: usize,
+    dead: bool,
+}
+
 fn run_step(config: &SweepConfig, concurrency: usize, admin: &mut Client) -> Result<LoadStep> {
-    let next = AtomicUsize::new(0);
-    let total = config.requests_per_step;
-    let t0 = Instant::now();
-    // Each worker owns one connection and runs closed-loop: grab the
-    // next global request index, fire, wait for the reply, repeat.
-    let per_worker: Vec<(Vec<f64>, usize)> = std::thread::scope(|scope| {
+    // Two synchronization points, everyone (workers + coordinator)
+    // hits both: end of warmup (clock starts) and end of measured work
+    // (clock stops). Workers that fail to connect still hit the
+    // barriers so nobody deadlocks.
+    let barrier = Barrier::new(concurrency + 1);
+    let (wall, outcomes): (f64, Vec<WorkerOutcome>) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..concurrency)
             .map(|_| {
-                let next = &next;
+                let barrier = &barrier;
                 scope.spawn(move || {
-                    let mut latencies = Vec::new();
-                    let mut errors = 0usize;
-                    let Ok(mut client) = Client::connect(&config.addr) else {
-                        // usize::MAX marks the worker dead; the step
-                        // turns it into a sweep error instead of
-                        // silently undercounting.
-                        return (latencies, usize::MAX);
+                    let mut outcome = WorkerOutcome {
+                        latencies: Vec::with_capacity(config.requests_per_conn),
+                        errors: 0,
+                        shed: 0,
+                        dead: false,
                     };
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= total {
-                            break;
+                    let mut client = match Client::connect(&config.addr) {
+                        Ok(client) => Some(client),
+                        Err(_) => {
+                            outcome.dead = true;
+                            None
                         }
-                        let input = &config.inputs[i % config.inputs.len()];
-                        let sent = Instant::now();
-                        match client.predict(&config.model, input, config.deadline_ms) {
-                            Ok(_) => latencies.push(sent.elapsed().as_secs_f64()),
-                            Err(_) => errors += 1,
+                    };
+                    if let Some(client) = client.as_mut() {
+                        for i in 0..config.warmup_per_conn {
+                            let input = &config.inputs[i % config.inputs.len()];
+                            // Warmup outcomes are discarded — only
+                            // steady-state requests are measured.
+                            let _ = client.predict(&config.model, input, config.deadline_ms);
                         }
                     }
-                    (latencies, errors)
+                    barrier.wait();
+                    if let Some(client) = client.as_mut() {
+                        for i in 0..config.requests_per_conn {
+                            let input = &config.inputs[i % config.inputs.len()];
+                            let sent = Instant::now();
+                            match client.predict(&config.model, input, config.deadline_ms) {
+                                Ok(_) => outcome.latencies.push(sent.elapsed().as_secs_f64()),
+                                Err(e) if is_shed(&e) => outcome.shed += 1,
+                                Err(_) => outcome.errors += 1,
+                            }
+                        }
+                    }
+                    barrier.wait();
+                    outcome
                 })
             })
             .collect();
-        handles
+        barrier.wait();
+        let t0 = Instant::now();
+        barrier.wait();
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        let outcomes = handles
             .into_iter()
-            // A panicked worker is reported like a failed connect: the
-            // step errors out rather than poisoning the whole process.
-            .map(|h| h.join().unwrap_or_else(|_| (Vec::new(), usize::MAX)))
-            .collect()
+            .map(|h| {
+                h.join().unwrap_or(WorkerOutcome {
+                    latencies: Vec::new(),
+                    errors: 0,
+                    shed: 0,
+                    dead: true,
+                })
+            })
+            .collect();
+        (wall, outcomes)
     });
-    let wall = t0.elapsed().as_secs_f64().max(1e-9);
 
-    if per_worker.iter().any(|(_, e)| *e == usize::MAX) {
+    if outcomes.iter().any(|o| o.dead) {
         return Err(ServeError::Io(std::io::Error::new(
             std::io::ErrorKind::ConnectionRefused,
             "load worker could not connect or died mid-step",
         )));
     }
-    let mut latencies: Vec<f64> = Vec::with_capacity(total);
+    let mut latencies: Vec<f64> = Vec::with_capacity(concurrency * config.requests_per_conn);
     let mut errors = 0usize;
-    for (mut worker_latencies, worker_errors) in per_worker {
-        latencies.append(&mut worker_latencies);
-        errors += worker_errors;
+    let mut shed = 0usize;
+    for mut outcome in outcomes {
+        latencies.append(&mut outcome.latencies);
+        errors += outcome.errors;
+        shed += outcome.shed;
     }
     latencies.sort_by(f64::total_cmp);
     let ok = latencies.len();
@@ -213,6 +283,7 @@ fn run_step(config: &SweepConfig, concurrency: usize, admin: &mut Client) -> Res
         concurrency,
         ok,
         errors,
+        shed,
         wall_seconds: wall,
         offered_rps: if mean > 0.0 {
             concurrency as f64 / mean
@@ -228,10 +299,16 @@ fn run_step(config: &SweepConfig, concurrency: usize, admin: &mut Client) -> Res
 }
 
 /// Renders a sweep as the `BENCH_serving.json` document
-/// (`stco-serving-curve/v1` schema): top-level run facts plus one
-/// object per step.
+/// (`stco-serving-curve/v2` schema): top-level run facts — thread
+/// count, worker shard count, whether the f64 bitwise gate applies —
+/// plus one object per step, including its shed count.
 #[must_use]
-pub fn sweep_to_json(threads: usize, bitwise_identical: bool, steps: &[LoadStep]) -> JsonValue {
+pub fn sweep_to_json(
+    threads: usize,
+    shards: usize,
+    bitwise_identical: bool,
+    steps: &[LoadStep],
+) -> JsonValue {
     let steps_json: Vec<JsonValue> = steps
         .iter()
         .map(|s| {
@@ -242,6 +319,7 @@ pub fn sweep_to_json(threads: usize, bitwise_identical: bool, steps: &[LoadStep]
                 ),
                 ("ok".to_string(), JsonValue::Num(s.ok as f64)),
                 ("errors".to_string(), JsonValue::Num(s.errors as f64)),
+                ("shed".to_string(), JsonValue::Num(s.shed as f64)),
                 ("wall_seconds".to_string(), JsonValue::Num(s.wall_seconds)),
                 ("offered_rps".to_string(), JsonValue::Num(s.offered_rps)),
                 ("achieved_rps".to_string(), JsonValue::Num(s.achieved_rps)),
@@ -269,9 +347,10 @@ pub fn sweep_to_json(threads: usize, bitwise_identical: bool, steps: &[LoadStep]
     JsonValue::Obj(vec![
         (
             "schema".to_string(),
-            JsonValue::Str("stco-serving-curve/v1".to_string()),
+            JsonValue::Str("stco-serving-curve/v2".to_string()),
         ),
         ("threads".to_string(), JsonValue::Num(threads as f64)),
+        ("shards".to_string(), JsonValue::Num(shards as f64)),
         (
             "bitwise_identical".to_string(),
             JsonValue::Bool(bitwise_identical),
@@ -301,7 +380,7 @@ mod tests {
         assert_eq!(exact_quantile(&sorted, 0.0), Some(0.0));
         assert_eq!(exact_quantile(&sorted, 1.0), Some(3.0));
         assert_eq!(exact_quantile(&sorted, 0.5), Some(1.5));
-        let p99 = exact_quantile(&sorted, 0.99).expect("p99");
+        let p99 = exact_quantile(&sorted, 0.99).unwrap_or(f64::NAN);
         assert!((p99 - 2.97).abs() < 1e-12, "p99 was {p99}");
     }
 
@@ -332,11 +411,32 @@ mod tests {
     }
 
     #[test]
+    fn shed_classification_covers_both_admission_codes() {
+        let overloaded = ServeError::Remote {
+            code: "overloaded".to_string(),
+            message: String::new(),
+        };
+        let queue_full = ServeError::Remote {
+            code: "queue-full".to_string(),
+            message: String::new(),
+        };
+        let other = ServeError::Remote {
+            code: "bad-input".to_string(),
+            message: String::new(),
+        };
+        assert!(is_shed(&overloaded));
+        assert!(is_shed(&queue_full));
+        assert!(!is_shed(&other));
+        assert!(!is_shed(&ServeError::DeadlineExceeded));
+    }
+
+    #[test]
     fn sweep_json_has_schema_and_steps() {
         let steps = vec![LoadStep {
             concurrency: 8,
             ok: 64,
             errors: 0,
+            shed: 3,
             wall_seconds: 0.5,
             offered_rps: 130.0,
             achieved_rps: 128.0,
@@ -345,25 +445,40 @@ mod tests {
             client_mean_seconds: 0.015,
             server_window_p99_seconds: Some(0.048),
         }];
-        let doc = sweep_to_json(4, true, &steps);
+        let doc = sweep_to_json(4, 2, true, &steps);
         assert_eq!(
             doc.get("schema").and_then(JsonValue::as_str),
-            Some("stco-serving-curve/v1")
+            Some("stco-serving-curve/v2")
         );
         assert_eq!(doc.get("threads").and_then(JsonValue::as_u64), Some(4));
-        let JsonValue::Arr(rendered) = doc.get("steps").expect("steps") else {
-            panic!("steps must be an array");
+        assert_eq!(doc.get("shards").and_then(JsonValue::as_u64), Some(2));
+        let rendered_len = match doc.get("steps") {
+            Some(JsonValue::Arr(rendered)) => {
+                assert_eq!(
+                    rendered
+                        .first()
+                        .and_then(|s| s.get("concurrency"))
+                        .and_then(JsonValue::as_u64),
+                    Some(8)
+                );
+                assert_eq!(
+                    rendered
+                        .first()
+                        .and_then(|s| s.get("shed"))
+                        .and_then(JsonValue::as_u64),
+                    Some(3)
+                );
+                rendered.len()
+            }
+            _ => 0,
         };
-        assert_eq!(rendered.len(), 1);
-        assert_eq!(
-            rendered[0].get("concurrency").and_then(JsonValue::as_u64),
-            Some(8)
-        );
+        assert_eq!(rendered_len, 1);
         // The document must survive a render/parse cycle.
-        let reparsed = JsonValue::parse(&doc.render()).expect("reparse");
+        let reparsed = JsonValue::parse(&doc.render()).ok();
         assert_eq!(
             reparsed
-                .get("steps")
+                .as_ref()
+                .and_then(|d| d.get("steps"))
                 .and_then(|s| match s {
                     JsonValue::Arr(a) => a.first(),
                     _ => None,

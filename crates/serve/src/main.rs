@@ -2,11 +2,15 @@
 //! TCP.
 //!
 //! ```text
-//! stco-serve [--bind ADDR] [--load KIND:HEXKEY]...
+//! stco-serve [--bind ADDR] [--shards N] [--io-threads N]
+//!            [--load KIND:HEXKEY]...
 //! ```
 //!
 //! * `--bind` — listen address, default `127.0.0.1:7878` (use `:0` for
 //!   an ephemeral port; the bound address is printed).
+//! * `--shards` — worker shards (default: `$STCO_SHARDS` or 1).
+//! * `--io-threads` — multiplexer I/O event threads (default: auto
+//!   from the core count).
 //! * `--load` — pre-load an artifact from the registry at startup
 //!   (clients can also load lazily with the `load` op).
 //!
@@ -15,17 +19,32 @@
 //! the process is killed.
 
 use stco_serve::service::{BatchConfig, ModelService};
-use stco_serve::TcpServer;
+use stco_serve::{MuxConfig, TcpServer};
 use stco_store::{ArtifactKey, Registry};
 
 fn main() {
     let mut bind = "127.0.0.1:7878".to_string();
     let mut preload: Vec<(String, ArtifactKey)> = Vec::new();
+    let mut batch = BatchConfig::default();
+    let mut mux = MuxConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--bind" => {
                 bind = args.next().expect("--bind needs an address");
+            }
+            "--shards" => {
+                let n = args.next().expect("--shards needs a count");
+                batch.shards = n.parse().expect("--shards must be a positive integer");
+                assert!(batch.shards > 0, "--shards must be a positive integer");
+            }
+            "--io-threads" => {
+                let n = args.next().expect("--io-threads needs a count");
+                mux.io_threads = n.parse().expect("--io-threads must be a positive integer");
+                assert!(
+                    mux.io_threads > 0,
+                    "--io-threads must be a positive integer"
+                );
             }
             "--load" => {
                 let spec = args.next().expect("--load needs KIND:HEXKEY");
@@ -36,7 +55,10 @@ fn main() {
                 preload.push((kind.to_string(), ArtifactKey::from_value(key)));
             }
             "--help" | "-h" => {
-                println!("usage: stco-serve [--bind ADDR] [--load KIND:HEXKEY]...");
+                println!(
+                    "usage: stco-serve [--bind ADDR] [--shards N] [--io-threads N] \
+                     [--load KIND:HEXKEY]..."
+                );
                 return;
             }
             other => panic!("unknown argument {other:?}"),
@@ -45,12 +67,13 @@ fn main() {
 
     let registry = Registry::open_default().expect("open artifact registry");
     println!("registry: {}", registry.dir().display());
-    let service = ModelService::start(Some(registry), BatchConfig::default());
+    let service = ModelService::start(Some(registry), batch);
+    println!("shards: {}", service.shard_count());
     for (kind, key) in &preload {
         let id = service.load(kind, *key).expect("preload artifact");
-        println!("loaded {id}");
+        println!("loaded {id} (shard {})", service.shard_for(&id));
     }
-    let server = TcpServer::start(&bind, service).expect("bind server");
+    let server = TcpServer::start_with(&bind, service, mux).expect("bind server");
     println!("listening on {}", server.addr());
     server.wait();
     println!("server stopped");

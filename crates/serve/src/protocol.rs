@@ -13,22 +13,33 @@
 //! {"op":"load","kind":"cell-model","key":"00ab…"}        // key: 16-hex
 //! {"op":"stats"}
 //! {"op":"metrics"}
+//! {"op":"drain","shard":0}
+//! {"op":"resume","shard":0}
 //! {"op":"shutdown"}
 //! {"op":"predict","model":"cell-model:00ab…","deadline_ms":250,
 //!  "input":{"task":"cell","metrics":[0,3],"graph":{…}}}
 //! ```
 //!
-//! Replies mirror them: `{"ok":"pong"}`, `{"ok":"loaded","model":id}`,
-//! `{"ok":"stats",…}`, `{"ok":"metrics",…}`, `{"ok":"shutting-down"}`,
+//! Replies mirror them: `{"ok":"pong"}`,
+//! `{"ok":"loaded","model":id,"shard":0}`, `{"ok":"stats",…}`,
+//! `{"ok":"metrics",…}`, `{"ok":"drained","shard":0}`,
+//! `{"ok":"resumed","shard":0}`, `{"ok":"shutting-down"}`,
 //! `{"ok":"values","values":[…]}` or
 //! `{"err":{"code":"queue-full","message":"…"}}`.
 //!
-//! `stats` carries the full [`ServerStats`] admin view: queue depth,
-//! loaded models, request/reply/error/deadline counters and the
-//! slow-request exemplar log with per-phase breakdowns. `metrics`
-//! carries the entire metrics registry twice over: a structured JSON
-//! snapshot (`stco_obs::exposition::snapshot_json`) under `"snapshot"`
-//! and a Prometheus-style text rendering under `"text"`.
+//! `stats` carries the full [`ServerStats`] admin view: queue depth
+//! (total and per shard), loaded models, request/reply/error/deadline/
+//! shed counters and the slow-request exemplar log with per-phase
+//! breakdowns. `metrics` carries the entire metrics registry twice
+//! over: a structured JSON snapshot
+//! (`stco_obs::exposition::snapshot_json`) under `"snapshot"` and a
+//! Prometheus-style text rendering under `"text"`.
+//!
+//! Two frame readers share the format: the blocking [`read_frame`] for
+//! simple clients, and the incremental [`FrameDecoder`] state machine
+//! the nonblocking multiplexer drives — it accepts input split at *any*
+//! byte boundary (mid-prefix, mid-body) and yields whole documents as
+//! they complete.
 
 use std::io::{Read, Write};
 
@@ -51,6 +62,25 @@ fn proto(context: impl Into<String>) -> ServeError {
     }
 }
 
+/// Encodes one frame — length prefix plus rendered body — into a byte
+/// vector (the unit the multiplexer's out-buffers queue).
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] on oversized documents.
+pub fn encode_frame(doc: &JsonValue) -> Result<Vec<u8>> {
+    let body = doc.render();
+    let len = u32::try_from(body.len())
+        .ok()
+        .filter(|l| *l as usize <= MAX_FRAME);
+    let len =
+        len.ok_or_else(|| proto(format!("frame of {} bytes exceeds MAX_FRAME", body.len())))?;
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(body.as_bytes());
+    Ok(frame)
+}
+
 /// Writes one frame.
 ///
 /// # Errors
@@ -58,16 +88,100 @@ fn proto(context: impl Into<String>) -> ServeError {
 /// [`ServeError::Protocol`] on oversized documents, [`ServeError::Io`]
 /// on socket failures.
 pub fn write_frame<W: Write>(w: &mut W, doc: &JsonValue) -> Result<()> {
-    let body = doc.render();
-    let len = u32::try_from(body.len())
-        .ok()
-        .filter(|l| *l as usize <= MAX_FRAME);
-    let len =
-        len.ok_or_else(|| proto(format!("frame of {} bytes exceeds MAX_FRAME", body.len())))?;
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(body.as_bytes())?;
+    let frame = encode_frame(doc)?;
+    w.write_all(&frame)?;
     w.flush()?;
     Ok(())
+}
+
+/// Incremental frame decoder: the per-connection state machine the
+/// nonblocking multiplexer drives. Feed it whatever bytes the socket
+/// yields — split anywhere, including mid-prefix — and it emits decoded
+/// documents as frames complete.
+///
+/// Malformed frame *bodies* (non-UTF-8, non-JSON, empty) are recoverable
+/// because the stream stays framed: they surface as `Err` items in the
+/// output so the caller can answer with a typed error and keep the
+/// connection. An oversized length prefix is **fatal** — the stream can
+/// no longer be trusted to be framed — and fails the whole `push`.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    prefix: [u8; 4],
+    prefix_filled: usize,
+    body: Vec<u8>,
+    /// Body length of the frame in flight (`None` while reading the
+    /// prefix).
+    body_target: Option<usize>,
+}
+
+impl FrameDecoder {
+    /// A decoder at a frame boundary.
+    #[must_use]
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// True when some bytes of an unfinished frame have been consumed.
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        self.prefix_filled > 0 || self.body_target.is_some()
+    }
+
+    /// Consumes `bytes`, appending one entry to `out` per completed
+    /// frame: `Ok(doc)` for a well-formed document, `Err` for a
+    /// recoverable bad body (see type docs).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] when a length prefix exceeds
+    /// [`MAX_FRAME`] — the stream is desynchronized and the connection
+    /// must close after an error reply.
+    pub fn push(&mut self, mut bytes: &[u8], out: &mut Vec<Result<JsonValue>>) -> Result<()> {
+        while !bytes.is_empty() {
+            match self.body_target {
+                None => {
+                    let take = (4 - self.prefix_filled).min(bytes.len());
+                    self.prefix[self.prefix_filled..self.prefix_filled + take]
+                        .copy_from_slice(&bytes[..take]);
+                    self.prefix_filled += take;
+                    bytes = &bytes[take..];
+                    if self.prefix_filled == 4 {
+                        let len = u32::from_be_bytes(self.prefix) as usize;
+                        if len > MAX_FRAME {
+                            return Err(proto(format!("frame length {len} exceeds MAX_FRAME")));
+                        }
+                        // Cap the up-front reservation: a hostile prefix
+                        // under MAX_FRAME must not allocate 64 MiB before
+                        // any body byte arrives.
+                        self.body = Vec::with_capacity(len.min(64 * 1024));
+                        self.body_target = Some(len);
+                        self.prefix_filled = 0;
+                    }
+                }
+                Some(target) => {
+                    let take = (target - self.body.len()).min(bytes.len());
+                    self.body.extend_from_slice(&bytes[..take]);
+                    bytes = &bytes[take..];
+                    if self.body.len() == target {
+                        let body = std::mem::take(&mut self.body);
+                        self.body_target = None;
+                        out.push(decode_body(body));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one complete frame body (empty bodies are malformed — every
+/// request/reply is a JSON object).
+fn decode_body(body: Vec<u8>) -> Result<JsonValue> {
+    if body.is_empty() {
+        return Err(proto("empty frame body"));
+    }
+    let text = String::from_utf8(body).map_err(|_| proto("frame body is not UTF-8"))?;
+    JsonValue::parse(&text).map_err(|e| proto(format!("frame is not JSON: {e}")))
 }
 
 fn is_timeout(e: &std::io::Error) -> bool {
@@ -145,6 +259,17 @@ pub enum Request {
     Stats,
     /// Full metrics registry snapshot (JSON + Prometheus text).
     Metrics,
+    /// Drain one shard for a hot restart (new work typed-rejected,
+    /// in-flight work completes; the reply waits for quiescence).
+    Drain {
+        /// Shard index.
+        shard: usize,
+    },
+    /// Reopen a drained shard.
+    Resume {
+        /// Shard index.
+        shard: usize,
+    },
     /// Graceful server shutdown.
     Shutdown,
     /// One prediction.
@@ -164,6 +289,13 @@ fn num(v: usize) -> JsonValue {
 
 fn obj(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
     JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn shard_field(doc: &JsonValue) -> Result<usize> {
+    doc.get("shard")
+        .and_then(JsonValue::as_u64)
+        .map(|s| s as usize)
+        .ok_or_else(|| proto("missing/non-integer field \"shard\""))
 }
 
 fn str_field(doc: &JsonValue, key: &str) -> Result<String> {
@@ -437,6 +569,14 @@ impl Request {
             ]),
             Request::Stats => obj(vec![("op", JsonValue::Str("stats".to_string()))]),
             Request::Metrics => obj(vec![("op", JsonValue::Str("metrics".to_string()))]),
+            Request::Drain { shard } => obj(vec![
+                ("op", JsonValue::Str("drain".to_string())),
+                ("shard", num(*shard)),
+            ]),
+            Request::Resume { shard } => obj(vec![
+                ("op", JsonValue::Str("resume".to_string())),
+                ("shard", num(*shard)),
+            ]),
             Request::Shutdown => obj(vec![("op", JsonValue::Str("shutdown".to_string()))]),
             Request::Predict {
                 model,
@@ -467,6 +607,12 @@ impl Request {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
+            "drain" => Ok(Request::Drain {
+                shard: shard_field(doc)?,
+            }),
+            "resume" => Ok(Request::Resume {
+                shard: shard_field(doc)?,
+            }),
             "shutdown" => Ok(Request::Shutdown),
             "load" => {
                 let kind = str_field(doc, "kind")?;
@@ -541,8 +687,14 @@ fn slow_from_json(doc: &JsonValue) -> Result<SlowRequest> {
 /// service's traffic counters and the slow-request exemplar log.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ServerStats {
-    /// Requests currently queued.
+    /// Requests currently queued (total across shards).
     pub queue_depth: usize,
+    /// Worker shard count.
+    pub shards: usize,
+    /// Pending-queue depth of each shard, indexed by shard.
+    pub shard_queue_depths: Vec<usize>,
+    /// Requests rejected `overloaded` by the shedding watermarks.
+    pub shed: u64,
     /// Loaded model ids, sorted.
     pub loaded: Vec<String>,
     /// Requests submitted (accepted or not).
@@ -567,9 +719,21 @@ pub enum Reply {
     Loaded {
         /// Model id it is now served under.
         model: String,
+        /// The shard that owns it (consistent-hash home).
+        shard: usize,
     },
     /// Queue/model statistics and the slow-request log.
     Stats(ServerStats),
+    /// Shard drained to quiescence.
+    Drained {
+        /// Shard index.
+        shard: usize,
+    },
+    /// Shard reopened for traffic.
+    Resumed {
+        /// Shard index.
+        shard: usize,
+    },
     /// Full metrics registry exposition.
     Metrics {
         /// Structured snapshot (`stco_obs::exposition::snapshot_json`).
@@ -596,13 +760,28 @@ impl Reply {
     pub fn to_json(&self) -> JsonValue {
         match self {
             Reply::Pong => obj(vec![("ok", JsonValue::Str("pong".to_string()))]),
-            Reply::Loaded { model } => obj(vec![
+            Reply::Loaded { model, shard } => obj(vec![
                 ("ok", JsonValue::Str("loaded".to_string())),
                 ("model", JsonValue::Str(model.clone())),
+                ("shard", num(*shard)),
+            ]),
+            Reply::Drained { shard } => obj(vec![
+                ("ok", JsonValue::Str("drained".to_string())),
+                ("shard", num(*shard)),
+            ]),
+            Reply::Resumed { shard } => obj(vec![
+                ("ok", JsonValue::Str("resumed".to_string())),
+                ("shard", num(*shard)),
             ]),
             Reply::Stats(stats) => obj(vec![
                 ("ok", JsonValue::Str("stats".to_string())),
                 ("queue_depth", num(stats.queue_depth)),
+                ("shards", num(stats.shards)),
+                (
+                    "shard_queue_depths",
+                    JsonValue::Arr(stats.shard_queue_depths.iter().map(|d| num(*d)).collect()),
+                ),
+                ("shed", JsonValue::Num(stats.shed as f64)),
                 (
                     "loaded",
                     JsonValue::Arr(
@@ -665,6 +844,13 @@ impl Reply {
             "pong" => Ok(Reply::Pong),
             "loaded" => Ok(Reply::Loaded {
                 model: str_field(doc, "model")?,
+                shard: shard_field(doc).unwrap_or(0),
+            }),
+            "drained" => Ok(Reply::Drained {
+                shard: shard_field(doc)?,
+            }),
+            "resumed" => Ok(Reply::Resumed {
+                shard: shard_field(doc)?,
             }),
             "stats" => {
                 let counter = |key: &str| -> Result<u64> {
@@ -674,6 +860,9 @@ impl Reply {
                 };
                 Ok(Reply::Stats(ServerStats {
                     queue_depth: counter("queue_depth")? as usize,
+                    shards: counter("shards")? as usize,
+                    shard_queue_depths: usize_vec(doc, "shard_queue_depths")?,
+                    shed: counter("shed")?,
                     loaded: {
                         let JsonValue::Arr(items) = doc
                             .get("loaded")

@@ -1,229 +1,75 @@
-//! The std-only TCP front end.
+//! The std-only TCP front end: a thin handle over the readiness-loop
+//! connection multiplexer in [`crate::mux`].
 //!
-//! One accept-loop thread plus one thread per connection. Each
-//! connection reads frames, dispatches them against the shared
-//! [`ModelService`], and writes one reply frame per request. Malformed
-//! frames get a typed error reply (`code: "malformed-frame"`) and the
-//! connection stays usable when the stream is still frame-aligned.
+//! [`TcpServer::start`] binds, spins up the acceptor and the fixed I/O
+//! event-thread pool, and serves the shared [`ModelService`]. Malformed
+//! frames get a typed error reply (`code: "malformed-frame"`); the
+//! connection stays usable while the stream is still frame-aligned and
+//! closes (after the reply) when a corrupt length prefix desyncs it.
 //!
-//! A `shutdown` request (or [`TcpServer::stop`]) flips the stop flag,
-//! unblocks the acceptor with a self-connection, then drains the
-//! service queue so every accepted request is answered before exit.
+//! A wire `shutdown` request (or [`TcpServer::stop`]) stops accepting,
+//! flushes pending replies, and drains the service queues so every
+//! accepted request is answered before exit.
 
-use std::io::{BufReader, BufWriter};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::Arc;
 
-use crate::protocol::{read_frame, write_frame, Reply, Request, ServerStats};
+use crate::mux::{Multiplexer, MuxConfig};
 use crate::service::ModelService;
-use crate::{Result, ServeError};
+use crate::Result;
 
 /// A running TCP server.
 pub struct TcpServer {
-    service: Arc<ModelService>,
-    addr: std::net::SocketAddr,
-    stop: Arc<AtomicBool>,
-    acceptor: Mutex<Option<std::thread::JoinHandle<()>>>,
+    mux: Arc<Multiplexer>,
 }
 
 impl TcpServer {
     /// Binds `bind` (use port 0 for an ephemeral port) and starts
-    /// accepting connections against `service`.
+    /// serving `service` with default multiplexer tuning.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Io`] if the bind fails.
+    /// [`crate::ServeError::Io`] if the bind fails.
     pub fn start(bind: &str, service: Arc<ModelService>) -> Result<Arc<TcpServer>> {
-        let listener = TcpListener::bind(bind)?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let server = Arc::new(TcpServer {
-            service,
-            addr,
-            stop,
-            acceptor: Mutex::new(None),
-        });
-        let accept_server = Arc::clone(&server);
-        let handle = std::thread::Builder::new()
-            .name("stco-serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &accept_server))
-            .map_err(ServeError::Io)?;
-        {
-            let mut acceptor = server.acceptor.lock().unwrap_or_else(|e| e.into_inner());
-            *acceptor = Some(handle);
-        }
-        stco_obs::event!("serve.listening", addr = addr.to_string());
-        Ok(server)
+        Self::start_with(bind, service, MuxConfig::default())
+    }
+
+    /// [`TcpServer::start`] with explicit multiplexer tuning.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ServeError::Io`] if the bind fails.
+    pub fn start_with(
+        bind: &str,
+        service: Arc<ModelService>,
+        config: MuxConfig,
+    ) -> Result<Arc<TcpServer>> {
+        let mux = Multiplexer::start(bind, service, config)?;
+        Ok(Arc::new(TcpServer { mux }))
     }
 
     /// The bound address (resolves port 0).
     #[must_use]
     pub fn addr(&self) -> std::net::SocketAddr {
-        self.addr
+        self.mux.addr()
     }
 
     /// Whether a shutdown has been requested.
     #[must_use]
     pub fn stopping(&self) -> bool {
-        self.stop.load(Ordering::SeqCst)
+        self.mux.stopping()
     }
 
     /// Blocks until the server stops (via [`TcpServer::stop`] or a
     /// `shutdown` request). Safe to call from the main thread of a
     /// server binary.
     pub fn wait(&self) {
-        let handle = {
-            let mut acceptor = self.acceptor.lock().unwrap_or_else(|e| e.into_inner());
-            acceptor.take()
-        };
-        if let Some(handle) = handle {
-            let _ = handle.join();
-        }
+        self.mux.wait();
     }
 
-    /// Requests shutdown: stops accepting, then drains the service
-    /// queue. Idempotent; returns once the acceptor has exited.
+    /// Requests shutdown: stops accepting, flushes pending replies,
+    /// then drains the service queues. Idempotent; returns once the
+    /// front end has wound down.
     pub fn stop(&self) {
-        let first = !self.stop.swap(true, Ordering::SeqCst);
-        if first {
-            // Unblock the blocking accept() with a throwaway connection.
-            if let Ok(conn) = TcpStream::connect(self.addr) {
-                drop(conn);
-            }
-        }
-        let handle = {
-            let mut acceptor = self.acceptor.lock().unwrap_or_else(|e| e.into_inner());
-            acceptor.take()
-        };
-        if let Some(handle) = handle {
-            let _ = handle.join();
-        }
-        self.service.shutdown();
-    }
-}
-
-impl Drop for TcpServer {
-    fn drop(&mut self) {
-        self.stop();
-    }
-}
-
-fn accept_loop(listener: &TcpListener, server: &Arc<TcpServer>) {
-    let mut conn_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    for stream in listener.incoming() {
-        if server.stopping() {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let conn_server = Arc::clone(server);
-        let spawned = std::thread::Builder::new()
-            .name("stco-serve-conn".to_string())
-            .spawn(move || {
-                serve_connection(stream, &conn_server);
-            });
-        if let Ok(handle) = spawned {
-            conn_handles.push(handle);
-        }
-        conn_handles.retain(|h| !h.is_finished());
-    }
-    for handle in conn_handles {
-        let _ = handle.join();
-    }
-}
-
-fn serve_connection(stream: TcpStream, server: &Arc<TcpServer>) {
-    let _span = stco_obs::span!("serve.connection");
-    // Short read timeout so connection threads notice a stop request
-    // even while idle in read_frame.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(stream);
-    let mut writer = BufWriter::new(write_half);
-    loop {
-        let frame = match read_frame(&mut reader) {
-            Ok(Some(doc)) => doc,
-            Ok(None) => return,
-            Err(ServeError::Io(e))
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if server.stopping() {
-                    return;
-                }
-                continue;
-            }
-            Err(e @ ServeError::Protocol { .. }) => {
-                // Typed error back; the stream may be unframed now, so
-                // reply and close rather than guess at realignment.
-                let _ = write_frame(&mut writer, &Reply::from_error(&e).to_json());
-                return;
-            }
-            Err(_) => return,
-        };
-        let reply = match Request::from_json(&frame) {
-            Ok(request) => dispatch(server, request),
-            Err(e) => Reply::from_error(&e),
-        };
-        let closing = matches!(reply, Reply::ShuttingDown);
-        if write_frame(&mut writer, &reply.to_json()).is_err() {
-            return;
-        }
-        if closing {
-            return;
-        }
-    }
-}
-
-fn dispatch(server: &Arc<TcpServer>, request: Request) -> Reply {
-    match request {
-        Request::Ping => Reply::Pong,
-        Request::Stats => {
-            let metrics = stco_obs::Recorder::global().metrics();
-            Reply::Stats(ServerStats {
-                queue_depth: server.service.queue_depth(),
-                loaded: server.service.loaded(),
-                requests: metrics.counter("serve.requests").get(),
-                replies: metrics.counter("serve.replies").get(),
-                errors: metrics.counter("serve.errors").get(),
-                deadline_exceeded: metrics.counter("serve.deadline_exceeded").get(),
-                slow_requests: server.service.slow_requests(),
-            })
-        }
-        Request::Metrics => {
-            let snaps = stco_obs::Recorder::global().metrics().snapshot();
-            Reply::Metrics {
-                snapshot: stco_obs::snapshot_json(&snaps),
-                text: stco_obs::prometheus_text(&snaps),
-            }
-        }
-        Request::Load { kind, key } => match server.service.load(&kind, key) {
-            Ok(model) => Reply::Loaded { model },
-            Err(e) => Reply::from_error(&e),
-        },
-        Request::Shutdown => {
-            // Flip the flag and unblock the acceptor from a detached
-            // thread — stop() joins the acceptor, and the acceptor may
-            // be joining *this* connection thread.
-            let stopper = Arc::clone(server);
-            let _ = std::thread::Builder::new()
-                .name("stco-serve-stop".to_string())
-                .spawn(move || stopper.stop());
-            Reply::ShuttingDown
-        }
-        Request::Predict {
-            model,
-            input,
-            deadline_ms,
-        } => {
-            let deadline = deadline_ms.map(Duration::from_millis);
-            match server.service.submit(&model, input, deadline) {
-                Ok(values) => Reply::Values(values),
-                Err(e) => Reply::from_error(&e),
-            }
-        }
+        self.mux.stop();
     }
 }

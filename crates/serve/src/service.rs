@@ -1,39 +1,66 @@
-//! The in-process model service: warm artifact cache + dynamic
-//! micro-batching queue.
+//! The in-process model service: N worker shards, each with a warm
+//! artifact cache and a dynamic micro-batching queue.
+//!
+//! # Sharding
+//!
+//! The service runs [`BatchConfig::shards`] independent shards.
+//! Requests route to a shard by **consistent hashing** over the model
+//! id (the stco-store content address, `kind:hexkey`): an FNV-1a-64
+//! ring with 64 virtual nodes per shard, so same-model requests always
+//! land on the same shard and keep `predict_batch` grouping dense,
+//! while distinct models spread across shards. Each shard owns its own
+//! warm `Arc` model cache, bounded queue, condvar and worker thread —
+//! no cross-shard locks on the hot path.
 //!
 //! # Batching policy
 //!
-//! Requests enqueue into a bounded queue. A dedicated worker drains a
-//! batch when either (a) [`BatchConfig::max_batch`] requests are
-//! waiting, or (b) the *oldest* waiting request has lingered
+//! Requests enqueue into their shard's bounded queue. The shard worker
+//! drains a batch when either (a) [`BatchConfig::max_batch`] requests
+//! are waiting, or (b) the *oldest* waiting request has lingered
 //! [`BatchConfig::max_linger`] — so a lone request pays at most the
 //! linger, and a burst fills batches immediately. The batch executes as
 //! one [`stco_par::par_map`] over the items; each item runs exactly the
 //! forward graph a serial `predict` call runs, so batched replies are
 //! bitwise-identical to serial ones at every thread count.
 //!
-//! # Backpressure and deadlines
+//! # Admission control, backpressure and deadlines
 //!
-//! When [`BatchConfig::max_pending`] requests are queued, further
-//! submits fail fast with [`ServeError::QueueFull`] — the caller
-//! retries rather than the queue growing unboundedly. Every request
-//! carries a deadline; a request still queued past its deadline is
-//! answered [`ServeError::DeadlineExceeded`] without executing.
+//! Three layers, outermost first:
 //!
-//! # Shutdown
+//! * **Load shedding** — when a shard's queue depth crosses
+//!   [`BatchConfig::shed_high`] the shard enters *shedding* and rejects
+//!   submits with [`ServeError::Overloaded`] (counted in
+//!   `serve.shed_total`) until depth falls back to
+//!   [`BatchConfig::shed_low`] (hysteresis, so admission does not
+//!   flap at the watermark).
+//! * **Hard backpressure** — at [`BatchConfig::max_pending`] queued
+//!   requests further submits fail fast with [`ServeError::QueueFull`].
+//! * **Deadlines** — every request carries one; a request still queued
+//!   past its deadline is answered [`ServeError::DeadlineExceeded`]
+//!   without executing.
 //!
-//! [`ModelService::shutdown`] stops new submits, lets the worker drain
-//! every queued request (executing them — a accepted request is always
-//! answered), then joins the worker.
+//! # Drain and shutdown
+//!
+//! [`ModelService::drain_shard`] flips one shard into *draining*: new
+//! submits to it get [`ServeError::Draining`] while queued and
+//! in-flight requests complete; the call returns once the shard is
+//! quiescent (queue empty, worker idle). [`ModelService::resume_shard`]
+//! reopens it — together they support hot restarts.
+//! [`ModelService::shutdown`] stops new submits everywhere, lets every
+//! shard worker drain its queue (executing the requests — an accepted
+//! request is always answered), then joins the workers.
 //!
 //! # Telemetry
 //!
-//! Every request gets a **trace id** at [`ModelService::submit`]. The
-//! worker measures the four phases of its life — queue wait, batch
-//! assembly, the stco-par forward pass, reply write — and:
+//! Every request gets a **trace id** at submit. The worker measures the
+//! four phases of its life — queue wait, batch assembly, the stco-par
+//! forward pass, reply write — and:
 //!
 //! * observes `serve.queue_wait_seconds`, `serve.batch_size` and the
 //!   **sliding-window** `serve.latency_seconds` (rolling p50/p95/p99);
+//! * keeps `serve.queue_depth` (total across shards) and
+//!   `serve.shard_queue_depth` (hottest shard) gauges current, plus the
+//!   `serve.shed_total` shed counter;
 //! * emits a `serve.request` event with the full phase breakdown for a
 //!   deterministic 1-in-[`BatchConfig::trace_sample_n`] sample of trace
 //!   ids;
@@ -42,7 +69,7 @@
 //!   [`ModelService::slow_requests`] and the TCP `stats` op.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -57,14 +84,14 @@ use stco_surrogate::poisson_emulator::PoissonEmulator;
 
 use crate::{Result, ServeError};
 
-/// Micro-batching queue parameters.
+/// Micro-batching queue parameters (per shard).
 #[derive(Debug, Clone, Copy)]
 pub struct BatchConfig {
     /// Largest batch one worker pass executes.
     pub max_batch: usize,
     /// Longest the oldest request may wait before a partial batch runs.
     pub max_linger: Duration,
-    /// Queue bound; submits beyond it fail with `QueueFull`.
+    /// Per-shard queue bound; submits beyond it fail with `QueueFull`.
     pub max_pending: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Duration,
@@ -74,17 +101,29 @@ pub struct BatchConfig {
     pub trace_sample_n: u64,
     /// How many worst-latency exemplars the slow-request log keeps.
     pub slow_log_k: usize,
+    /// Worker shards. `0` reads `STCO_SHARDS` (default 1).
+    pub shards: usize,
+    /// Shedding high watermark: a shard whose queue depth reaches this
+    /// starts rejecting submits with `Overloaded`. `0` disables
+    /// shedding.
+    pub shed_high: usize,
+    /// Shedding low watermark: a shedding shard readmits once its
+    /// depth falls to this (hysteresis; clamped to `shed_high`).
+    pub shed_low: usize,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
         BatchConfig {
-            max_batch: 16,
-            max_linger: Duration::from_millis(2),
+            max_batch: 32,
+            max_linger: Duration::from_millis(1),
             max_pending: 1024,
             default_deadline: Duration::from_secs(5),
             trace_sample_n: 64,
             slow_log_k: 8,
+            shards: 0,
+            shed_high: 768,
+            shed_low: 512,
         }
     }
 }
@@ -131,7 +170,6 @@ impl SlowLog {
     }
 
     fn record(&self, r: SlowRequest) {
-        use std::sync::atomic::Ordering;
         if self.k == 0
             || r.total_seconds <= f64::from_bits(self.threshold_bits.load(Ordering::Relaxed))
         {
@@ -166,6 +204,17 @@ fn precision_from_env() -> InferencePrecision {
         Ok(v) if v.eq_ignore_ascii_case("f32") => InferencePrecision::F32,
         _ => InferencePrecision::F64,
     }
+}
+
+/// Reads `STCO_SHARDS` (default 1, capped at 64 — far above any sane
+/// shard count for one process).
+fn shards_from_env() -> usize {
+    std::env::var("STCO_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+        .min(64)
 }
 
 /// A model rehydrated from an artifact, ready to answer predictions.
@@ -347,8 +396,25 @@ impl PredictInput {
     }
 }
 
-/// Reply channel for one queued request.
-type ReplySender = mpsc::Sender<Result<Vec<f64>>>;
+/// Where a request's reply goes: a channel for blocking submitters, a
+/// callback for the nonblocking TCP multiplexer (invoked on the shard
+/// worker thread — or inline on admission rejection).
+pub enum ReplyTo {
+    /// Blocking submitter parked on an mpsc receiver.
+    Channel(mpsc::Sender<Result<Vec<f64>>>),
+    /// Completion callback (the mux's out-buffer writer).
+    Callback(Box<dyn FnOnce(Result<Vec<f64>>) + Send>),
+}
+
+impl ReplyTo {
+    fn deliver(self, result: Result<Vec<f64>>) {
+        match self {
+            // A disconnected receiver means the submitter gave up; drop.
+            ReplyTo::Channel(tx) => drop(tx.send(result)),
+            ReplyTo::Callback(f) => f(result),
+        }
+    }
+}
 
 struct Pending {
     trace_id: u64,
@@ -356,60 +422,171 @@ struct Pending {
     input: PredictInput,
     enqueued: Instant,
     deadline: Instant,
-    reply: ReplySender,
+    reply: ReplyTo,
 }
 
-struct QueueState {
+struct ShardQueue {
     queue: VecDeque<Pending>,
     shutting_down: bool,
+    draining: bool,
+    shedding: bool,
+    /// The worker is executing a drained batch (drain quiescence needs
+    /// both an empty queue and an idle worker).
+    busy: bool,
+}
+
+struct Shard {
+    state: Mutex<ShardQueue>,
+    cond: Condvar,
+    /// Lock-free mirror of `state.queue.len()` for stats/gauges.
+    depth: AtomicUsize,
+}
+
+/// FNV-1a 64-bit — stable, dependency-free, good enough dispersion for
+/// ring placement.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    // FNV alone leaves the high bits under-mixed for strings that differ
+    // only near the tail (one multiply cannot lift a small delta into
+    // the top bits), which collapses the ring: finish with a murmur3-
+    // style avalanche so nearby ids land far apart.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// Consistent-hash ring over the shard set: 64 virtual nodes per shard
+/// sorted by hash; a model id routes to the first ring point at or
+/// after its own hash (wrapping). Same id → same shard, always; adding
+/// a shard moves only ~1/N of the id space.
+struct HashRing {
+    points: Vec<(u64, usize)>,
+}
+
+const VNODES_PER_SHARD: usize = 64;
+
+impl HashRing {
+    fn new(shards: usize) -> HashRing {
+        let mut points = Vec::with_capacity(shards * VNODES_PER_SHARD);
+        for shard in 0..shards {
+            for vnode in 0..VNODES_PER_SHARD {
+                points.push((
+                    fnv1a64(format!("shard-{shard}/vnode-{vnode}").as_bytes()),
+                    shard,
+                ));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    fn route(&self, id: &str) -> usize {
+        if self.points.len() <= VNODES_PER_SHARD {
+            return 0;
+        }
+        let h = fnv1a64(id.as_bytes());
+        let i = self.points.partition_point(|(p, _)| *p < h);
+        self.points[i % self.points.len()].1
+    }
 }
 
 struct Shared {
-    state: Mutex<QueueState>,
-    cond: Condvar,
     batch: BatchConfig,
     next_trace: AtomicU64,
     slow: SlowLog,
+    ring: HashRing,
+    shards: Vec<Shard>,
 }
 
-fn lock_state(shared: &Shared) -> std::sync::MutexGuard<'_, QueueState> {
+fn lock_state(shard: &Shard) -> std::sync::MutexGuard<'_, ShardQueue> {
     // A panicking worker poisons the mutex; the queue data itself stays
     // consistent, so recover the guard rather than propagate.
-    shared.state.lock().unwrap_or_else(|e| e.into_inner())
+    shard.state.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// The warm-cache, micro-batching model service.
+/// Refreshes the depth gauges from the per-shard mirrors:
+/// `serve.queue_depth` is the total across shards,
+/// `serve.shard_queue_depth` the hottest single shard.
+fn update_depth_gauges(shared: &Shared) {
+    let metrics = stco_obs::Recorder::global().metrics();
+    let mut total = 0usize;
+    let mut hottest = 0usize;
+    for shard in &shared.shards {
+        let d = shard.depth.load(Ordering::Relaxed);
+        total += d;
+        hottest = hottest.max(d);
+    }
+    metrics.gauge("serve.queue_depth").set(total as f64);
+    metrics.gauge("serve.shard_queue_depth").set(hottest as f64);
+}
+
+/// The warm-cache, sharded micro-batching model service.
 pub struct ModelService {
     registry: Option<Registry>,
-    models: RwLock<HashMap<String, Arc<LoadedModel>>>,
+    /// One warm model cache per shard — a model lives only in its home
+    /// shard (the one its id routes to), so shard workers never share
+    /// cache locks.
+    models: Vec<RwLock<HashMap<String, Arc<LoadedModel>>>>,
     shared: Arc<Shared>,
-    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl ModelService {
-    /// Starts a service (and its batching worker) over a registry.
+    /// Starts a service (and its shard workers) over a registry.
     #[must_use]
     pub fn start(registry: Option<Registry>, batch: BatchConfig) -> Arc<ModelService> {
+        let mut batch = batch;
+        if batch.shards == 0 {
+            batch.shards = shards_from_env();
+        }
+        batch.shed_low = batch.shed_low.min(batch.shed_high);
+        let shards: Vec<Shard> = (0..batch.shards)
+            .map(|_| Shard {
+                state: Mutex::new(ShardQueue {
+                    queue: VecDeque::new(),
+                    shutting_down: false,
+                    draining: false,
+                    shedding: false,
+                    busy: false,
+                }),
+                cond: Condvar::new(),
+                depth: AtomicUsize::new(0),
+            })
+            .collect();
         let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState {
-                queue: VecDeque::new(),
-                shutting_down: false,
-            }),
-            cond: Condvar::new(),
             batch,
             next_trace: AtomicU64::new(1),
             slow: SlowLog::new(batch.slow_log_k),
+            ring: HashRing::new(batch.shards),
+            shards,
         });
-        let worker_shared = Arc::clone(&shared);
-        let worker = std::thread::Builder::new()
-            .name("stco-serve-batcher".to_string())
-            .spawn(move || worker_loop(&worker_shared))
-            .ok();
+        // Register the shed counter up front so every metrics snapshot
+        // carries it, sheds or not.
+        let _ = stco_obs::Recorder::global()
+            .metrics()
+            .counter("serve.shed_total");
+        let workers = (0..batch.shards)
+            .filter_map(|idx| {
+                let worker_shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("stco-serve-shard{idx}"))
+                    .spawn(move || worker_loop(&worker_shared, idx))
+                    .ok()
+            })
+            .collect();
         Arc::new(ModelService {
             registry,
-            models: RwLock::new(HashMap::new()),
+            models: (0..batch.shards)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
             shared,
-            worker: Mutex::new(worker),
+            workers: Mutex::new(workers),
         })
     }
 
@@ -419,8 +596,22 @@ impl ModelService {
         format!("{kind}:{}", key.to_hex())
     }
 
-    /// Loads an artifact from the registry into the warm cache and
-    /// returns its model id. A hit on an already-loaded id is free.
+    /// Number of worker shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// The shard a model id routes to (consistent hash over the
+    /// content address).
+    #[must_use]
+    pub fn shard_for(&self, model_id: &str) -> usize {
+        self.shared.ring.route(model_id)
+    }
+
+    /// Loads an artifact from the registry into its home shard's warm
+    /// cache and returns its model id. A hit on an already-loaded id
+    /// is free.
     ///
     /// # Errors
     ///
@@ -429,8 +620,9 @@ impl ModelService {
     pub fn load(&self, kind: &str, key: ArtifactKey) -> Result<String> {
         let _span = stco_obs::span!("serve.load");
         let id = Self::model_id(kind, key);
+        let shard = self.shard_for(&id);
         {
-            let models = self.models.read().unwrap_or_else(|e| e.into_inner());
+            let models = self.models[shard].read().unwrap_or_else(|e| e.into_inner());
             if models.contains_key(&id) {
                 return Ok(id);
             }
@@ -444,34 +636,66 @@ impl ModelService {
             .ok_or_else(|| ServeError::UnknownModel { id: id.clone() })?;
         let model = LoadedModel::from_artifact(&artifact)?;
         self.install(&id, model);
-        stco_obs::event!("serve.model_loaded", model = id.as_str());
+        stco_obs::event!("serve.model_loaded", model = id.as_str(), shard = shard);
         Ok(id)
     }
 
     /// Installs an in-memory model under an id (no registry round-trip
-    /// — used by tests and single-process pipelines).
+    /// — used by tests and single-process pipelines). The model lands
+    /// in the shard its id routes to.
     pub fn install(&self, id: &str, model: LoadedModel) {
-        let mut models = self.models.write().unwrap_or_else(|e| e.into_inner());
+        let shard = self.shard_for(id);
+        let mut models = self.models[shard]
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
         models.insert(id.to_string(), Arc::new(model));
+        drop(models);
+        let mut total = 0usize;
+        for m in &self.models {
+            total += m.read().unwrap_or_else(|e| e.into_inner()).len();
+        }
         stco_obs::Recorder::global()
             .metrics()
             .gauge("serve.models_loaded")
-            .set(models.len() as f64);
+            .set(total as f64);
     }
 
-    /// Ids of every loaded model, sorted.
+    /// Ids of every loaded model across all shards, sorted.
     #[must_use]
     pub fn loaded(&self) -> Vec<String> {
-        let models = self.models.read().unwrap_or_else(|e| e.into_inner());
-        let mut ids: Vec<String> = models.keys().cloned().collect();
+        let mut ids: Vec<String> = self
+            .models
+            .iter()
+            .flat_map(|m| {
+                m.read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<String>>()
+            })
+            .collect();
         ids.sort();
         ids
     }
 
-    /// Current pending-queue depth.
+    /// Total pending-queue depth across all shards.
     #[must_use]
     pub fn queue_depth(&self) -> usize {
-        lock_state(&self.shared).queue.len()
+        self.shared
+            .shards
+            .iter()
+            .map(|s| s.depth.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-shard pending-queue depths, indexed by shard.
+    #[must_use]
+    pub fn shard_queue_depths(&self) -> Vec<usize> {
+        self.shared
+            .shards
+            .iter()
+            .map(|s| s.depth.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// The worst-latency request exemplars seen so far (most severe
@@ -484,13 +708,14 @@ impl ModelService {
 
     /// Submits one predict request and blocks until its reply.
     ///
-    /// The request joins the micro-batching queue; `deadline` bounds
-    /// its total queue time (defaulting to
+    /// The request joins its shard's micro-batching queue; `deadline`
+    /// bounds its total queue time (defaulting to
     /// [`BatchConfig::default_deadline`]).
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownModel`], [`ServeError::QueueFull`],
+    /// [`ServeError::Overloaded`], [`ServeError::Draining`],
     /// [`ServeError::DeadlineExceeded`], [`ServeError::ShuttingDown`],
     /// or [`ServeError::BadInput`] from execution.
     pub fn submit(
@@ -499,75 +724,188 @@ impl ModelService {
         input: PredictInput,
         deadline: Option<Duration>,
     ) -> Result<Vec<f64>> {
-        let trace_id = self
-            .shared
-            .next_trace
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let _span = stco_obs::span!("serve.submit", trace = trace_id);
+        let _span = stco_obs::span!("serve.submit");
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(model_id, input, deadline, ReplyTo::Channel(tx));
+        rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Submits one predict request without blocking: `complete` runs
+    /// with the outcome — on the shard worker thread for executed
+    /// requests, or inline (before this call returns) for admission
+    /// rejections. The TCP multiplexer's I/O threads use this so a
+    /// slow forward pass never parks an event loop.
+    pub fn submit_async(
+        &self,
+        model_id: &str,
+        input: PredictInput,
+        deadline: Option<Duration>,
+        complete: Box<dyn FnOnce(Result<Vec<f64>>) + Send>,
+    ) {
+        let _span = stco_obs::span!("serve.submit_async");
+        self.enqueue(model_id, input, deadline, ReplyTo::Callback(complete));
+    }
+
+    /// Shared admission path: route, validate the model id, apply the
+    /// admission-control stack, enqueue. Rejections are delivered
+    /// through `reply` (and counted) rather than returned.
+    fn enqueue(
+        &self,
+        model_id: &str,
+        input: PredictInput,
+        deadline: Option<Duration>,
+        reply: ReplyTo,
+    ) {
+        let trace_id = self.shared.next_trace.fetch_add(1, Ordering::Relaxed);
         let metrics = stco_obs::Recorder::global().metrics();
         metrics.counter("serve.requests").inc();
+        let shard_idx = self.shard_for(model_id);
         let model = {
-            let models = self.models.read().unwrap_or_else(|e| e.into_inner());
-            models
-                .get(model_id)
-                .cloned()
-                .ok_or_else(|| ServeError::UnknownModel {
-                    id: model_id.to_string(),
-                })?
+            let models = self.models[shard_idx]
+                .read()
+                .unwrap_or_else(|e| e.into_inner());
+            models.get(model_id).cloned()
+        };
+        let Some(model) = model else {
+            reply.deliver(Err(ServeError::UnknownModel {
+                id: model_id.to_string(),
+            }));
+            return;
         };
         let now = Instant::now();
         let deadline = now + deadline.unwrap_or(self.shared.batch.default_deadline);
-        let (tx, rx) = mpsc::channel();
-        {
-            let mut state = lock_state(&self.shared);
-            if state.shutting_down {
-                metrics.counter("serve.errors").inc();
-                return Err(ServeError::ShuttingDown);
+        let shard = &self.shared.shards[shard_idx];
+        let rejection = {
+            let mut state = lock_state(shard);
+            let verdict = admission_verdict(&mut state, &self.shared.batch, shard_idx);
+            match verdict {
+                Some(err) => Some((err, reply)),
+                None => {
+                    state.queue.push_back(Pending {
+                        trace_id,
+                        model,
+                        input,
+                        enqueued: now,
+                        deadline,
+                        reply,
+                    });
+                    shard.depth.store(state.queue.len(), Ordering::Relaxed);
+                    None
+                }
             }
-            if state.queue.len() >= self.shared.batch.max_pending {
+        };
+        match rejection {
+            Some((err, reply)) => {
                 metrics.counter("serve.errors").inc();
-                return Err(ServeError::QueueFull {
-                    depth: state.queue.len(),
-                });
+                if matches!(err, ServeError::Overloaded { .. }) {
+                    metrics.counter("serve.shed_total").inc();
+                }
+                reply.deliver(Err(err));
             }
-            state.queue.push_back(Pending {
-                trace_id,
-                model,
-                input,
-                enqueued: now,
-                deadline,
-                reply: tx,
-            });
-            metrics
-                .gauge("serve.queue_depth")
-                .set(state.queue.len() as f64);
+            None => {
+                update_depth_gauges(&self.shared);
+                shard.cond.notify_all();
+            }
         }
-        self.shared.cond.notify_all();
-        let result = rx.recv().unwrap_or(Err(ServeError::ShuttingDown));
-        if result.is_err() {
-            metrics.counter("serve.errors").inc();
-        } else {
-            metrics.counter("serve.replies").inc();
-        }
-        result
     }
 
-    /// Stops accepting requests, drains the queue (every accepted
-    /// request is answered) and joins the worker. Idempotent.
-    pub fn shutdown(&self) {
-        {
-            let mut state = lock_state(&self.shared);
-            state.shutting_down = true;
-        }
-        self.shared.cond.notify_all();
-        let handle = {
-            let mut worker = self.worker.lock().unwrap_or_else(|e| e.into_inner());
-            worker.take()
+    /// Drains one shard for a hot restart: new submits to it get
+    /// [`ServeError::Draining`] immediately, queued and in-flight
+    /// requests complete, and the call returns once the shard is
+    /// quiescent (queue empty, worker idle). Requests already drained
+    /// into a running batch answer on their own channels.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] for an out-of-range shard index.
+    pub fn drain_shard(&self, shard: usize) -> Result<()> {
+        let _span = stco_obs::span!("serve.drain_shard", shard = shard);
+        let Some(s) = self.shared.shards.get(shard) else {
+            return Err(ServeError::BadInput {
+                context: format!("shard {shard} out of range (have {})", self.shard_count()),
+            });
         };
-        if let Some(handle) = handle {
+        let mut state = lock_state(s);
+        state.draining = true;
+        s.cond.notify_all();
+        while !state.queue.is_empty() || state.busy {
+            state = s.cond.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        stco_obs::event!("serve.shard_drained", shard = shard);
+        Ok(())
+    }
+
+    /// Reopens a drained shard (clears the draining and shedding
+    /// flags).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] for an out-of-range shard index.
+    pub fn resume_shard(&self, shard: usize) -> Result<()> {
+        let _span = stco_obs::span!("serve.resume_shard", shard = shard);
+        let Some(s) = self.shared.shards.get(shard) else {
+            return Err(ServeError::BadInput {
+                context: format!("shard {shard} out of range (have {})", self.shard_count()),
+            });
+        };
+        let mut state = lock_state(s);
+        state.draining = false;
+        state.shedding = false;
+        drop(state);
+        s.cond.notify_all();
+        stco_obs::event!("serve.shard_resumed", shard = shard);
+        Ok(())
+    }
+
+    /// Stops accepting requests, drains every shard queue (every
+    /// accepted request is answered) and joins the workers.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        for shard in &self.shared.shards {
+            let mut state = lock_state(shard);
+            state.shutting_down = true;
+            drop(state);
+            shard.cond.notify_all();
+        }
+        let handles: Vec<_> = {
+            let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+            workers.drain(..).collect()
+        };
+        for handle in handles {
             let _ = handle.join();
         }
     }
+}
+
+/// The admission-control stack for one submit, outermost check first:
+/// shutdown, drain, hard queue bound, shedding hysteresis. `None`
+/// admits; `Some(err)` rejects.
+fn admission_verdict(
+    state: &mut ShardQueue,
+    batch: &BatchConfig,
+    shard_idx: usize,
+) -> Option<ServeError> {
+    if state.shutting_down {
+        return Some(ServeError::ShuttingDown);
+    }
+    if state.draining {
+        return Some(ServeError::Draining { shard: shard_idx });
+    }
+    let depth = state.queue.len();
+    if depth >= batch.max_pending {
+        return Some(ServeError::QueueFull { depth });
+    }
+    if batch.shed_high > 0 {
+        if !state.shedding && depth >= batch.shed_high {
+            state.shedding = true;
+        } else if state.shedding && depth <= batch.shed_low {
+            state.shedding = false;
+        }
+        if state.shedding {
+            return Some(ServeError::Overloaded { depth });
+        }
+    }
+    None
 }
 
 impl Drop for ModelService {
@@ -576,9 +914,9 @@ impl Drop for ModelService {
     }
 }
 
-/// The worker: waits for requests, forms batches under the
+/// One shard's worker: waits for requests, forms batches under the
 /// size/linger policy, executes them on the stco-par pool.
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, shard_idx: usize) {
     let metrics = stco_obs::Recorder::global().metrics();
     let size_bounds: Vec<f64> = (1..=shared.batch.max_batch).map(|n| n as f64).collect();
     let batch_size_hist = metrics.histogram("serve.batch_size", &size_bounds);
@@ -592,16 +930,19 @@ fn worker_loop(shared: &Shared) {
         stco_obs::WindowConfig::default(),
     );
     let deadline_counter = metrics.counter("serve.deadline_exceeded");
+    let replies_counter = metrics.counter("serve.replies");
+    let errors_counter = metrics.counter("serve.errors");
+    let shard = &shared.shards[shard_idx];
     loop {
         // Phase 1: wait until a batch is due (full, lingered, or draining).
         let batch: Vec<Pending> = {
-            let mut state = lock_state(shared);
+            let mut state = lock_state(shard);
             loop {
                 if state.queue.is_empty() {
                     if state.shutting_down {
                         return;
                     }
-                    state = shared.cond.wait(state).unwrap_or_else(|e| e.into_inner());
+                    state = shard.cond.wait(state).unwrap_or_else(|e| e.into_inner());
                     continue;
                 }
                 let full = state.queue.len() >= shared.batch.max_batch;
@@ -611,32 +952,32 @@ fn worker_loop(shared: &Shared) {
                     .map_or_else(Instant::now, |p| p.enqueued);
                 let due = oldest + shared.batch.max_linger;
                 let now = Instant::now();
-                if full || state.shutting_down || now >= due {
+                if full || state.shutting_down || state.draining || now >= due {
                     let take = state.queue.len().min(shared.batch.max_batch);
                     let drained: Vec<Pending> = state.queue.drain(..take).collect();
-                    metrics
-                        .gauge("serve.queue_depth")
-                        .set(state.queue.len() as f64);
+                    state.busy = true;
+                    shard.depth.store(state.queue.len(), Ordering::Relaxed);
                     break drained;
                 }
-                let (next, _timeout) = shared
+                let (next, _timeout) = shard
                     .cond
                     .wait_timeout(state, due - now)
                     .unwrap_or_else(|e| e.into_inner());
                 state = next;
             }
         };
+        update_depth_gauges(shared);
 
         let batch_size = batch.len();
-        let _span = stco_obs::span!("serve.batch", size = batch_size);
+        let _span = stco_obs::span!("serve.batch", shard = shard_idx, size = batch_size);
         batch_size_hist.observe(batch_size as f64);
 
         // Phase 2 (assembly): separate expired requests, lay the rest
-        // out for one parallel pass. Reply senders are kept aside
-        // (mpsc::Sender is not Sync); the (model, input) pairs are.
+        // out for one parallel pass. Reply sinks are kept aside (the
+        // callback boxes are not Sync); the (model, input) pairs are.
         let drained = Instant::now();
         let mut work: Vec<(Arc<LoadedModel>, PredictInput)> = Vec::with_capacity(batch_size);
-        let mut repliers: Vec<(ReplySender, Instant, bool, u64)> = Vec::with_capacity(batch_size);
+        let mut repliers: Vec<(ReplyTo, Instant, bool, u64)> = Vec::with_capacity(batch_size);
         for p in batch {
             let expired = drained > p.deadline;
             if !expired {
@@ -663,9 +1004,13 @@ fn worker_loop(shared: &Shared) {
             } else {
                 results.next().unwrap_or(Err(ServeError::ShuttingDown))
             };
+            if outcome.is_err() {
+                errors_counter.inc();
+            } else {
+                replies_counter.inc();
+            }
             let reply_start = Instant::now();
-            // A disconnected receiver means the submitter gave up; drop.
-            let _ = reply.send(outcome);
+            reply.deliver(outcome);
             let replied = Instant::now();
             let breakdown = SlowRequest {
                 trace_id,
@@ -681,6 +1026,7 @@ fn worker_loop(shared: &Shared) {
                 stco_obs::event!(
                     "serve.request",
                     trace = trace_id,
+                    shard = shard_idx,
                     batch = batch_size,
                     queue_s = breakdown.queue_seconds,
                     assembly_s = breakdown.assembly_seconds,
@@ -691,6 +1037,13 @@ fn worker_loop(shared: &Shared) {
             }
             shared.slow.record(breakdown);
         }
+
+        // Batch fully answered: clear busy and wake drain waiters.
+        {
+            let mut state = lock_state(shard);
+            state.busy = false;
+        }
+        shard.cond.notify_all();
     }
 }
 

@@ -105,6 +105,93 @@ fn batched_replies_match_serial_four_threads() {
     assert_batched_matches_serial(4);
 }
 
+/// The bitwise gate must survive sharding: the same model installed
+/// under many ids spread over 3 shards, hammered concurrently, still
+/// answers bit-for-bit what serial `predict_many` computes — shard
+/// workers share nothing that could reorder reductions.
+fn assert_sharded_matches_serial(threads: usize) {
+    stco_par::set_global_threads(threads);
+    let (service, model, _id) = demo_service(BatchConfig {
+        shards: 3,
+        max_batch: 4,
+        max_linger: Duration::from_millis(5),
+        ..BatchConfig::default()
+    });
+
+    // Aliases of the same model, enough that several shards own one.
+    let aliases: Vec<String> = (0..8).map(|i| format!("cell-model:alias{i}")).collect();
+    for alias in &aliases {
+        service.install(
+            alias,
+            LoadedModel::Cell(CellModel::from_artifact(&model.to_artifact()).expect("rehydrate")),
+        );
+    }
+    let homes: std::collections::BTreeSet<usize> =
+        aliases.iter().map(|a| service.shard_for(a)).collect();
+    assert!(
+        homes.len() >= 2,
+        "8 aliases over 3 shards must span at least 2 shards: {homes:?}"
+    );
+
+    let inputs = demo_inputs();
+    let expected: Vec<Vec<u64>> = inputs
+        .iter()
+        .map(|(kind, metrics)| {
+            model
+                .predict_many(&demo_graph(*kind), metrics)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect();
+
+    // Each request targets a different alias, so batches form on
+    // several shards at once.
+    let got: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, (kind, metrics))| {
+                let service = Arc::clone(&service);
+                let id = aliases[i % aliases.len()].clone();
+                let input = PredictInput::Cell {
+                    graph: demo_graph(*kind),
+                    metrics: metrics.clone(),
+                };
+                scope.spawn(move || {
+                    service
+                        .submit(&id, input, None)
+                        .expect("predict")
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+
+    assert_eq!(
+        got, expected,
+        "sharded replies must be bitwise-identical to serial predict_many at {threads} threads"
+    );
+    service.shutdown();
+    stco_par::set_global_threads(0);
+}
+
+#[test]
+fn sharded_replies_match_serial_single_thread() {
+    assert_sharded_matches_serial(1);
+}
+
+#[test]
+fn sharded_replies_match_serial_four_threads() {
+    assert_sharded_matches_serial(4);
+}
+
 #[test]
 fn unknown_model_and_bad_input_are_typed() {
     let (service, _model, id) = demo_service(BatchConfig::default());

@@ -34,6 +34,9 @@ fn demo_slow() -> SlowRequest {
 fn stats_reply_roundtrips_with_slow_requests() {
     let reply = Reply::Stats(ServerStats {
         queue_depth: 7,
+        shards: 2,
+        shard_queue_depths: vec![4, 3],
+        shed: 5,
         loaded: vec!["cell-model:demo".to_string()],
         requests: 120,
         replies: 118,

@@ -260,6 +260,116 @@ pub fn validate_serving_curve(
     Ok(())
 }
 
+/// Schema check of a `BENCH_sweep.json` document (`stco-sweep/v1`) —
+/// CI's sweep-smoke gate calls this against the file the smoke wrote;
+/// the smoke itself calls it before writing.
+///
+/// The hard gates: a resumed sweep recomputed **zero** scenarios and
+/// reproduced the front **bitwise** (locally and over the wire), and
+/// the GP-lite BayesOpt explorer reached the reference front in fewer
+/// unique evaluations than ε-greedy.
+///
+/// # Errors
+///
+/// A human-readable description of the first schema violation.
+pub fn validate_sweep_bench(doc: &stco_obs::json::JsonValue) -> Result<(), String> {
+    use stco_obs::json::JsonValue;
+
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema field")?;
+    if schema != "stco-sweep/v1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let threads = doc
+        .get("threads")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing threads field")?;
+    if threads == 0 {
+        return Err("threads must be at least 1".to_string());
+    }
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing scenarios field")?;
+    if scenarios == 0 {
+        return Err("scenarios must be positive".to_string());
+    }
+    let rate = doc
+        .get("scenarios_per_sec")
+        .and_then(JsonValue::as_f64)
+        .ok_or("missing scenarios_per_sec field")?;
+    // NaN must be rejected too, hence the finite check first.
+    if !rate.is_finite() || rate <= 0.0 {
+        return Err(format!("scenarios_per_sec must be positive (got {rate})"));
+    }
+
+    let bitwise = |section: &JsonValue, name: &str| -> Result<(), String> {
+        match section.get("front_bitwise_identical") {
+            Some(JsonValue::Bool(true)) => Ok(()),
+            Some(JsonValue::Bool(false)) => {
+                Err(format!("{name}: front_bitwise_identical is false"))
+            }
+            _ => Err(format!("{name}: missing front_bitwise_identical boolean")),
+        }
+    };
+
+    let resume = doc.get("resume").ok_or("missing resume section")?;
+    let recomputed = resume
+        .get("recomputed")
+        .and_then(JsonValue::as_u64)
+        .ok_or("resume: missing recomputed field")?;
+    if recomputed != 0 {
+        return Err(format!(
+            "resume: recomputed must be 0, got {recomputed} (the journal failed its job)"
+        ));
+    }
+    let resumed = resume
+        .get("resumed")
+        .and_then(JsonValue::as_u64)
+        .ok_or("resume: missing resumed field")?;
+    if resumed == 0 {
+        return Err(
+            "resume: resumed must be positive (nothing was journaled before the kill)".to_string(),
+        );
+    }
+    bitwise(resume, "resume")?;
+
+    let remote = doc.get("remote").ok_or("missing remote section")?;
+    let workers = remote
+        .get("workers")
+        .and_then(JsonValue::as_u64)
+        .ok_or("remote: missing workers field")?;
+    if workers < 2 {
+        return Err(format!("remote: need at least 2 workers, got {workers}"));
+    }
+    bitwise(remote, "remote")?;
+
+    let ablation = doc.get("ablation").ok_or("missing ablation section")?;
+    let Some(JsonValue::Arr(cells)) = ablation.get("cells") else {
+        return Err("ablation: missing cells array".to_string());
+    };
+    if cells.is_empty() {
+        return Err("ablation: needs at least one cell".to_string());
+    }
+    let eps = ablation
+        .get("epsilon_greedy_samples")
+        .and_then(JsonValue::as_u64)
+        .ok_or("ablation: missing epsilon_greedy_samples")?;
+    let bayes = ablation
+        .get("bayesopt_samples")
+        .and_then(JsonValue::as_u64)
+        .ok_or("ablation: missing bayesopt_samples")?;
+    if bayes >= eps {
+        return Err(format!(
+            "ablation: BayesOpt must reach the front in fewer samples than ε-greedy \
+             (bayesopt {bayes} >= epsilon-greedy {eps})"
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,5 +449,134 @@ mod tests {
         let doc = stco_serve::loadgen::sweep_to_json(1, 1, true, &steps);
         let err = validate_serving_curve(&doc, 1).expect_err("flat concurrency");
         assert!(err.contains("concurrency"), "{err}");
+    }
+
+    fn demo_sweep_doc() -> stco_obs::json::JsonValue {
+        use stco_obs::json::JsonValue;
+        let obj = |pairs: Vec<(&str, JsonValue)>| {
+            JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        };
+        let cell = obj(vec![
+            ("technology", JsonValue::Str("cnt".to_string())),
+            ("benchmark", JsonValue::Str("s298".to_string())),
+            ("epsilon_samples", JsonValue::Num(40.0)),
+            ("bayes_samples", JsonValue::Num(12.0)),
+        ]);
+        obj(vec![
+            ("schema", JsonValue::Str("stco-sweep/v1".to_string())),
+            ("threads", JsonValue::Num(4.0)),
+            ("scenarios", JsonValue::Num(16.0)),
+            ("scenarios_per_sec", JsonValue::Num(2.5)),
+            (
+                "resume",
+                obj(vec![
+                    ("executed_before_kill", JsonValue::Num(7.0)),
+                    ("resumed", JsonValue::Num(7.0)),
+                    ("executed_after", JsonValue::Num(9.0)),
+                    ("recomputed", JsonValue::Num(0.0)),
+                    ("front_bitwise_identical", JsonValue::Bool(true)),
+                ]),
+            ),
+            (
+                "remote",
+                obj(vec![
+                    ("workers", JsonValue::Num(2.0)),
+                    ("completed", JsonValue::Num(54.0)),
+                    ("front_bitwise_identical", JsonValue::Bool(true)),
+                ]),
+            ),
+            (
+                "ablation",
+                obj(vec![
+                    ("levels", JsonValue::Num(5.0)),
+                    ("cells", JsonValue::Arr(vec![cell])),
+                    ("epsilon_greedy_samples", JsonValue::Num(40.0)),
+                    ("bayesopt_samples", JsonValue::Num(12.0)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Replaces `path` in the demo doc; returns false when the path is
+    /// absent so callers can assert it (a renamed field then breaks the
+    /// test instead of silently validating the unmodified doc).
+    fn set_field(
+        doc: &mut stco_obs::json::JsonValue,
+        path: &[&str],
+        v: stco_obs::json::JsonValue,
+    ) -> bool {
+        let stco_obs::json::JsonValue::Obj(pairs) = doc else {
+            return false;
+        };
+        let Some((key, rest)) = path.split_first() else {
+            return false;
+        };
+        let Some(slot) = pairs.iter_mut().find(|(k, _)| k == key).map(|(_, s)| s) else {
+            return false;
+        };
+        if rest.is_empty() {
+            *slot = v;
+            true
+        } else {
+            set_field(slot, rest, v)
+        }
+    }
+
+    #[test]
+    fn sweep_bench_schema_accepts_valid_doc() -> stco_obs::Result<()> {
+        let doc = demo_sweep_doc();
+        assert_eq!(validate_sweep_bench(&doc), Ok(()));
+        // And survives a render/parse roundtrip, as CI reads the file.
+        let reparsed = stco_obs::json::JsonValue::parse(&doc.render())?;
+        assert_eq!(validate_sweep_bench(&reparsed), Ok(()));
+        Ok(())
+    }
+
+    #[test]
+    fn sweep_bench_schema_rejects_broken_gates() {
+        use stco_obs::json::JsonValue;
+
+        let err = validate_sweep_bench(&JsonValue::Obj(vec![])).expect_err("missing schema");
+        assert!(err.contains("schema"), "{err}");
+
+        // A resumed run that recomputed anything fails the journal gate.
+        let mut doc = demo_sweep_doc();
+        assert!(set_field(
+            &mut doc,
+            &["resume", "recomputed"],
+            JsonValue::Num(3.0)
+        ));
+        let err = validate_sweep_bench(&doc).expect_err("recompute");
+        assert!(err.contains("recomputed"), "{err}");
+
+        // A non-bitwise remote front fails.
+        let mut doc = demo_sweep_doc();
+        assert!(set_field(
+            &mut doc,
+            &["remote", "front_bitwise_identical"],
+            JsonValue::Bool(false),
+        ));
+        let err = validate_sweep_bench(&doc).expect_err("remote drift");
+        assert!(err.contains("remote"), "{err}");
+
+        // BayesOpt must beat ε-greedy on samples-to-front.
+        let mut doc = demo_sweep_doc();
+        assert!(set_field(
+            &mut doc,
+            &["ablation", "bayesopt_samples"],
+            JsonValue::Num(40.0),
+        ));
+        let err = validate_sweep_bench(&doc).expect_err("ablation tie");
+        assert!(err.contains("fewer samples"), "{err}");
+
+        // An empty ablation is no evidence at all.
+        let mut doc = demo_sweep_doc();
+        assert!(set_field(
+            &mut doc,
+            &["ablation", "cells"],
+            JsonValue::Arr(vec![])
+        ));
+        let err = validate_sweep_bench(&doc).expect_err("empty cells");
+        assert!(err.contains("cell"), "{err}");
     }
 }

@@ -190,6 +190,16 @@ impl Default for LintConfig {
                         "io_loop",
                     ],
                 ),
+                (
+                    "sweep",
+                    &[
+                        "run_sweep",
+                        "record_scenario",
+                        "run_remote_worker",
+                        "bayes_explore",
+                        "explorer_ablation",
+                    ],
+                ),
             ],
             numeric_crates: &[
                 "numerics",
@@ -204,6 +214,7 @@ impl Default for LintConfig {
                 "core",
                 "store",
                 "serve",
+                "sweep",
             ],
             lossy_targets: &["f32", "i8", "i16", "i32", "u8", "u16", "u32"],
             // par: the determinism-contracted pool; serve: the serving

@@ -30,6 +30,12 @@ pub struct OptimizeOutcome {
     pub best_iteration: IterationResult,
     /// Real STCO iterations executed.
     pub real_evaluations: usize,
+    /// Prescreen-surrogate artifact-cache hits (0 or 1 per run; always
+    /// 0 for [`explore_with_flow`] and uncached prescreen runs).
+    pub cache_hits: usize,
+    /// Cache probes that missed and forced a bootstrap+train (always 0
+    /// when no registry was supplied — no probe happened at all).
+    pub cache_misses: usize,
 }
 
 /// Runs the RL agent over real STCO iterations.
@@ -69,6 +75,8 @@ pub fn explore_with_flow(
         exploration,
         best_iteration,
         real_evaluations: count,
+        cache_hits: 0,
+        cache_misses: 0,
     })
 }
 
@@ -167,6 +175,10 @@ pub fn explore_with_prescreen_cached(
             .transpose()?,
         None => None,
     };
+    // The hit/miss split must be taken before `cached` is consumed: a
+    // miss only counts as one when a registry was actually probed.
+    let cache_hits = usize::from(cached.is_some());
+    let cache_misses = usize::from(registry.is_some() && cached.is_none());
     let mut real = 0usize;
     let ppa_model = if let Some(model) = cached {
         model
@@ -252,17 +264,94 @@ pub fn explore_with_prescreen_cached(
         exploration,
         best_iteration,
         real_evaluations: real,
+        cache_hits,
+        cache_misses,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flow::FlowConfig;
 
     #[test]
     fn prescreen_config_defaults_are_sane() {
         let c = PrescreenConfig::default();
         assert!(c.bootstrap_evaluations >= 4);
         assert!(c.shortlist >= 1);
+    }
+
+    #[test]
+    fn cache_hit_and_miss_counts_surface_in_the_outcome() -> Result<()> {
+        let flow = StcoFlow::new(FlowConfig::fast(
+            stco_tcad::materials::Technology::Cnt,
+            stco_system::bench_gen::Benchmark::S298,
+        ))?;
+        // A gentle grid: the default ranges' extreme corners (low V_DD
+        // with a high V_th shift) can fail cell characterization, which
+        // is not what this test is about.
+        let space = DesignSpace::with_grid(
+            stco_compact::tech::CornerGrid {
+                vdd: (2.8, 3.4),
+                vth_shift: (-0.05, 0.05),
+                cox_scale: (0.95, 1.1),
+            },
+            2,
+        );
+        let agent = AgentConfig {
+            episodes: 2,
+            steps_per_episode: 3,
+            ..AgentConfig::default()
+        };
+        let config = PrescreenConfig {
+            bootstrap_evaluations: 4,
+            shortlist: 1,
+            seed: 31,
+        };
+        let stage = TechnologyStage::Traditional;
+
+        // No registry: no probe, so neither a hit nor a miss.
+        let uncached =
+            explore_with_prescreen_cached(&flow, &space, &agent, stage, None, &config, None)?;
+        assert_eq!(uncached.cache_hits, 0);
+        assert_eq!(uncached.cache_misses, 0);
+
+        let dir =
+            std::env::temp_dir().join(format!("stco-core-prescreen-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = stco_store::Registry::open(&dir)?;
+
+        // Cold registry: the probe misses and forces bootstrap+train.
+        let cold = explore_with_prescreen_cached(
+            &flow,
+            &space,
+            &agent,
+            stage,
+            None,
+            &config,
+            Some(&registry),
+        )?;
+        assert_eq!(cold.cache_misses, 1);
+        assert_eq!(cold.cache_hits, 0);
+
+        // Warm registry: the probe hits; only the shortlist re-runs.
+        let warm = explore_with_prescreen_cached(
+            &flow,
+            &space,
+            &agent,
+            stage,
+            None,
+            &config,
+            Some(&registry),
+        )?;
+        assert_eq!(warm.cache_hits, 1);
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.real_evaluations, config.shortlist);
+
+        // The flow driver never probes a cache.
+        let flow_outcome = explore_with_flow(&flow, &space, &agent, stage, None)?;
+        assert_eq!(flow_outcome.cache_hits, 0);
+        assert_eq!(flow_outcome.cache_misses, 0);
+        Ok(())
     }
 }

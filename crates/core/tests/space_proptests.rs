@@ -1,0 +1,85 @@
+//! Property-based tests pinning [`DesignSpace::flat_index`] and
+//! [`DesignSpace::point`] as exact inverses over random grids — the
+//! invariant the sweep crate's content addressing and the RL Q-table
+//! indexing both lean on.
+
+use proptest::prelude::*;
+use stco_compact::tech::CornerGrid;
+use stco_core::space::{DesignSpace, SpacePoint};
+
+fn grid() -> impl Strategy<Value = CornerGrid> {
+    (
+        (1.0..4.0f64, 0.5..2.0f64),
+        (-0.3..0.0f64, 0.01..0.3f64),
+        (0.5..1.2f64, 0.1..1.0f64),
+    )
+        .prop_map(
+            |((vdd_lo, vdd_w), (vth_lo, vth_w), (cox_lo, cox_w))| CornerGrid {
+                vdd: (vdd_lo, vdd_lo + vdd_w),
+                vth_shift: (vth_lo, vth_lo + vth_w),
+                cox_scale: (cox_lo, cox_lo + cox_w),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn point_inverts_flat_index_over_the_whole_space(g in grid(), levels in 2usize..10) {
+        let space = DesignSpace::with_grid(g, levels);
+        for flat in 0..space.size() {
+            let p = space.point(flat);
+            prop_assert!(p.vdd < levels && p.vth < levels && p.cox < levels);
+            prop_assert_eq!(space.flat_index(p), flat);
+        }
+    }
+
+    #[test]
+    fn flat_index_inverts_point_for_any_coordinates(
+        g in grid(),
+        levels in 2usize..10,
+        vdd in 0usize..9,
+        vth in 0usize..9,
+        cox in 0usize..9,
+    ) {
+        let space = DesignSpace::with_grid(g, levels);
+        let p = SpacePoint {
+            vdd: vdd % levels,
+            vth: vth % levels,
+            cox: cox % levels,
+        };
+        let flat = space.flat_index(p);
+        prop_assert!(flat < space.size());
+        prop_assert_eq!(space.point(flat), p);
+    }
+
+    #[test]
+    fn flat_index_is_a_bijection(g in grid(), levels in 2usize..8) {
+        let space = DesignSpace::with_grid(g, levels);
+        let mut seen = vec![false; space.size()];
+        for p in space.all_points() {
+            let flat = space.flat_index(p);
+            prop_assert!(!seen[flat], "flat index {} hit twice", flat);
+            seen[flat] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn corners_stay_inside_the_grid_ranges(g in grid(), levels in 2usize..10) {
+        let space = DesignSpace::with_grid(g, levels);
+        // `lo + (hi-lo)*i/(n-1)` can overshoot `hi` by an ulp at the
+        // top index — the bound holds up to rounding, not exactly.
+        let inside = |v: f64, (lo, hi): (f64, f64)| {
+            let slack = 4.0 * f64::EPSILON * (lo.abs() + hi.abs()).max(1.0);
+            v >= lo - slack && v <= hi + slack
+        };
+        for p in space.all_points() {
+            let c = space.corner(p);
+            prop_assert!(inside(c.vdd, g.vdd));
+            prop_assert!(inside(c.vth_shift, g.vth_shift));
+            prop_assert!(inside(c.cox_scale, g.cox_scale));
+        }
+    }
+}

@@ -7,8 +7,8 @@ use stco_store::ArtifactKey;
 
 use stco_obs::json::JsonValue;
 
-use crate::protocol::{read_frame, write_frame, Reply, Request, ServerStats};
-use crate::service::PredictInput;
+use crate::protocol::{read_frame, write_frame, Reply, Request, ServerStats, SweepAction};
+use crate::service::{LeasedScenario, PredictInput, SweepQueueStatus};
 use crate::{Result, ServeError};
 
 /// One connection to a running [`crate::TcpServer`].
@@ -170,6 +170,57 @@ impl Client {
     pub fn metrics(&mut self) -> Result<(JsonValue, String)> {
         match Self::expect_ok(self.roundtrip(&Request::Metrics)?)? {
             Reply::Metrics { snapshot, text } => Ok((snapshot, text)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Leases up to `max` pending sweep scenarios for `worker`. An
+    /// empty vector means the queue has nothing pending (the worker's
+    /// cue to stop polling).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] (`bad-input` when no sweep is attached)
+    /// or transport failures.
+    pub fn sweep_lease(&mut self, worker: &str, max: usize) -> Result<Vec<LeasedScenario>> {
+        let request = Request::Sweep(SweepAction::Lease {
+            worker: worker.to_string(),
+            max,
+        });
+        match Self::expect_ok(self.roundtrip(&request)?)? {
+            Reply::SweepLeased { scenarios } => Ok(scenarios),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Reports one completed sweep scenario by content-address hex with
+    /// its `[delay, power, area, cost]` values. `Ok(false)` means the
+    /// scenario was already complete (idempotent re-delivery).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] (`bad-input` for unknown scenarios,
+    /// `store` for journal failures) or transport failures.
+    pub fn sweep_complete(&mut self, scenario: &str, values: &[f64]) -> Result<bool> {
+        let request = Request::Sweep(SweepAction::Complete {
+            scenario: scenario.to_string(),
+            values: values.to_vec(),
+        });
+        match Self::expect_ok(self.roundtrip(&request)?)? {
+            Reply::SweepCompleted { accepted } => Ok(accepted),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Sweep progress snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] (`bad-input` when no sweep is attached)
+    /// or transport failures.
+    pub fn sweep_status(&mut self) -> Result<SweepQueueStatus> {
+        match Self::expect_ok(self.roundtrip(&Request::Sweep(SweepAction::Status))?)? {
+            Reply::SweepStatus(status) => Ok(status),
             other => Err(unexpected(&other)),
         }
     }

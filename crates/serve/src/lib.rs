@@ -55,7 +55,10 @@ pub use client::Client;
 pub use loadgen::{run_sweep, LoadStep, SweepConfig};
 pub use mux::MuxConfig;
 pub use server::TcpServer;
-pub use service::{BatchConfig, LoadedModel, ModelService, PredictInput, SlowRequest};
+pub use service::{
+    BatchConfig, LeasedScenario, LoadedModel, ModelService, PredictInput, SlowRequest,
+    SweepBackend, SweepQueueStatus,
+};
 
 use std::fmt;
 

@@ -25,7 +25,7 @@
 //!
 //! There is no OS readiness facility in std, so the loop *polls*: a
 //! sweep that makes no progress parks the thread on its
-//! [`Waker`] (a condvar) for [`MuxConfig::poll_interval`], escalating
+//! `Waker` (a condvar) for [`MuxConfig::poll_interval`], escalating
 //! to a longer nap when the pool has been idle a while. Completions
 //! and the acceptor wake it early, so reply latency does not eat the
 //! poll interval.
@@ -45,7 +45,7 @@ use std::time::{Duration, Instant};
 
 use stco_obs::json::JsonValue;
 
-use crate::protocol::{encode_frame, FrameDecoder, Reply, Request, ServerStats};
+use crate::protocol::{encode_frame, FrameDecoder, Reply, Request, ServerStats, SweepAction};
 use crate::service::ModelService;
 use crate::{Result, ServeError};
 
@@ -692,6 +692,30 @@ fn dispatch_item(mux: &Arc<Multiplexer>, io_idx: usize, conn: &mut Conn, item: R
             let _ = std::thread::Builder::new()
                 .name("stco-serve-stop".to_string())
                 .spawn(move || stopper.stop());
+        }
+        // Sweep queue ops run inline on the event thread: lease and
+        // status are in-memory bookkeeping, and complete is one
+        // atomic journal write (the Load precedent — rare admin-path
+        // registry I/O is not worth a helper thread).
+        Request::Sweep(action) => {
+            let reply = match shared.service.sweep_backend() {
+                None => Reply::from_error(&ServeError::BadInput {
+                    context: "no sweep attached to this server".to_string(),
+                }),
+                Some(backend) => match action {
+                    SweepAction::Lease { worker, max } => Reply::SweepLeased {
+                        scenarios: backend.lease(&worker, max),
+                    },
+                    SweepAction::Complete { scenario, values } => {
+                        match backend.complete(&scenario, &values) {
+                            Ok(accepted) => Reply::SweepCompleted { accepted },
+                            Err(e) => Reply::from_error(&e),
+                        }
+                    }
+                    SweepAction::Status => Reply::SweepStatus(backend.status()),
+                },
+            };
+            push_ready(&conn.shared, seq, &reply);
         }
         Request::Predict {
             model,

@@ -18,14 +18,26 @@
 //! {"op":"shutdown"}
 //! {"op":"predict","model":"cell-model:00ab…","deadline_ms":250,
 //!  "input":{"task":"cell","metrics":[0,3],"graph":{…}}}
+//! {"op":"sweep","action":"lease","worker":"w0","max":4}
+//! {"op":"sweep","action":"complete","scenario":"00ab…","values":[…]}
+//! {"op":"sweep","action":"status"}
 //! ```
 //!
 //! Replies mirror them: `{"ok":"pong"}`,
 //! `{"ok":"loaded","model":id,"shard":0}`, `{"ok":"stats",…}`,
 //! `{"ok":"metrics",…}`, `{"ok":"drained","shard":0}`,
 //! `{"ok":"resumed","shard":0}`, `{"ok":"shutting-down"}`,
-//! `{"ok":"values","values":[…]}` or
-//! `{"err":{"code":"queue-full","message":"…"}}`.
+//! `{"ok":"values","values":[…]}`,
+//! `{"ok":"sweep-leased","scenarios":[{"index":3,"id":"00ab…"}]}`,
+//! `{"ok":"sweep-completed","accepted":true}`,
+//! `{"ok":"sweep-status","total":16,"pending":9,"leased":2,"completed":5}`
+//! or `{"err":{"code":"queue-full","message":"…"}}`.
+//!
+//! The `sweep` op fronts an attached distributed-sweep queue
+//! (DESIGN.md §17): workers lease pending scenarios, evaluate them
+//! locally against their own copy of the spec, and report objective
+//! values back; the server journals each completion through the
+//! backend. With no queue attached the op answers `bad-input`.
 //!
 //! `stats` carries the full [`ServerStats`] admin view: queue depth
 //! (total and per shard), loaded models, request/reply/error/deadline/
@@ -49,7 +61,7 @@ use stco_numerics::Matrix;
 use stco_obs::json::JsonValue;
 use stco_store::ArtifactKey;
 
-use crate::service::{PredictInput, SlowRequest};
+use crate::service::{LeasedScenario, PredictInput, SlowRequest, SweepQueueStatus};
 use crate::{Result, ServeError};
 
 /// Upper bound on a single frame (64 MiB) — a corrupt length prefix
@@ -281,6 +293,29 @@ pub enum Request {
         /// Optional per-request deadline, milliseconds.
         deadline_ms: Option<u64>,
     },
+    /// Distributed-sweep queue operation (lease / complete / status).
+    Sweep(SweepAction),
+}
+
+/// The sub-operations of the `sweep` op.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepAction {
+    /// Lease up to `max` pending scenarios to a named worker.
+    Lease {
+        /// Worker identity (for lease bookkeeping and reclaim).
+        worker: String,
+        /// Maximum scenarios to lease in this call.
+        max: usize,
+    },
+    /// Report one completed scenario.
+    Complete {
+        /// Scenario content address, 16-hex.
+        scenario: String,
+        /// Objective values, `[delay, power, area, cost]`.
+        values: Vec<f64>,
+    },
+    /// Progress snapshot.
+    Status,
 }
 
 fn num(v: usize) -> JsonValue {
@@ -593,6 +628,27 @@ impl Request {
                 }
                 obj(pairs)
             }
+            Request::Sweep(action) => match action {
+                SweepAction::Lease { worker, max } => obj(vec![
+                    ("op", JsonValue::Str("sweep".to_string())),
+                    ("action", JsonValue::Str("lease".to_string())),
+                    ("worker", JsonValue::Str(worker.clone())),
+                    ("max", num(*max)),
+                ]),
+                SweepAction::Complete { scenario, values } => obj(vec![
+                    ("op", JsonValue::Str("sweep".to_string())),
+                    ("action", JsonValue::Str("complete".to_string())),
+                    ("scenario", JsonValue::Str(scenario.clone())),
+                    (
+                        "values",
+                        JsonValue::Arr(values.iter().map(|v| JsonValue::Num(*v)).collect()),
+                    ),
+                ]),
+                SweepAction::Status => obj(vec![
+                    ("op", JsonValue::Str("sweep".to_string())),
+                    ("action", JsonValue::Str("status".to_string())),
+                ]),
+            },
         }
     }
 
@@ -642,6 +698,25 @@ impl Request {
                     input,
                     deadline_ms,
                 })
+            }
+            "sweep" => {
+                let action = str_field(doc, "action")?;
+                match action.as_str() {
+                    "lease" => Ok(Request::Sweep(SweepAction::Lease {
+                        worker: str_field(doc, "worker")?,
+                        max: doc
+                            .get("max")
+                            .and_then(JsonValue::as_u64)
+                            .ok_or_else(|| proto("missing/non-integer field \"max\""))?
+                            as usize,
+                    })),
+                    "complete" => Ok(Request::Sweep(SweepAction::Complete {
+                        scenario: str_field(doc, "scenario")?,
+                        values: f64_vec(doc, "values")?,
+                    })),
+                    "status" => Ok(Request::Sweep(SweepAction::Status)),
+                    other => Err(proto(format!("unknown sweep action {other:?}"))),
+                }
             }
             other => Err(proto(format!("unknown op {other:?}"))),
         }
@@ -745,6 +820,20 @@ pub enum Reply {
     ShuttingDown,
     /// Prediction values.
     Values(Vec<f64>),
+    /// Scenarios leased to the requesting sweep worker (empty when the
+    /// queue has nothing pending).
+    SweepLeased {
+        /// The leased scenarios.
+        scenarios: Vec<LeasedScenario>,
+    },
+    /// Sweep completion acknowledged.
+    SweepCompleted {
+        /// False when the scenario was already complete (idempotent
+        /// re-delivery).
+        accepted: bool,
+    },
+    /// Sweep progress snapshot.
+    SweepStatus(SweepQueueStatus),
     /// Typed error.
     Error {
         /// Stable code (see [`ServeError::code`]).
@@ -816,6 +905,34 @@ impl Reply {
                     "values",
                     JsonValue::Arr(values.iter().map(|v| JsonValue::Num(*v)).collect()),
                 ),
+            ]),
+            Reply::SweepLeased { scenarios } => obj(vec![
+                ("ok", JsonValue::Str("sweep-leased".to_string())),
+                (
+                    "scenarios",
+                    JsonValue::Arr(
+                        scenarios
+                            .iter()
+                            .map(|s| {
+                                obj(vec![
+                                    ("index", num(s.index)),
+                                    ("id", JsonValue::Str(s.id.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Reply::SweepCompleted { accepted } => obj(vec![
+                ("ok", JsonValue::Str("sweep-completed".to_string())),
+                ("accepted", JsonValue::Bool(*accepted)),
+            ]),
+            Reply::SweepStatus(status) => obj(vec![
+                ("ok", JsonValue::Str("sweep-status".to_string())),
+                ("total", num(status.total)),
+                ("pending", num(status.pending)),
+                ("leased", num(status.leased)),
+                ("completed", num(status.completed)),
             ]),
             Reply::Error { code, message } => obj(vec![(
                 "err",
@@ -906,6 +1023,48 @@ impl Reply {
             }),
             "shutting-down" => Ok(Reply::ShuttingDown),
             "values" => Ok(Reply::Values(f64_vec(doc, "values")?)),
+            "sweep-leased" => {
+                let JsonValue::Arr(items) = doc
+                    .get("scenarios")
+                    .ok_or_else(|| proto("sweep-leased missing scenarios"))?
+                else {
+                    return Err(proto("sweep-leased scenarios is not an array"));
+                };
+                let scenarios = items
+                    .iter()
+                    .map(|s| {
+                        Ok(LeasedScenario {
+                            index: s
+                                .get("index")
+                                .and_then(JsonValue::as_u64)
+                                .ok_or_else(|| proto("leased scenario missing index"))?
+                                as usize,
+                            id: str_field(s, "id")?,
+                        })
+                    })
+                    .collect::<Result<Vec<LeasedScenario>>>()?;
+                Ok(Reply::SweepLeased { scenarios })
+            }
+            "sweep-completed" => match doc.get("accepted") {
+                Some(JsonValue::Bool(accepted)) => Ok(Reply::SweepCompleted {
+                    accepted: *accepted,
+                }),
+                _ => Err(proto("sweep-completed missing boolean accepted")),
+            },
+            "sweep-status" => {
+                let field = |key: &str| -> Result<usize> {
+                    doc.get(key)
+                        .and_then(JsonValue::as_u64)
+                        .map(|v| v as usize)
+                        .ok_or_else(|| proto(format!("sweep-status missing {key}")))
+                };
+                Ok(Reply::SweepStatus(SweepQueueStatus {
+                    total: field("total")?,
+                    pending: field("pending")?,
+                    leased: field("leased")?,
+                    completed: field("completed")?,
+                }))
+            }
             other => Err(proto(format!("unknown reply tag {other:?}"))),
         }
     }

@@ -526,6 +526,53 @@ fn update_depth_gauges(shared: &Shared) {
     metrics.gauge("serve.shard_queue_depth").set(hottest as f64);
 }
 
+/// One scenario leased to a remote sweep worker: its canonical index
+/// and its content-address hex (the worker cross-checks both against
+/// its locally expanded spec before evaluating).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeasedScenario {
+    /// Canonical index in the expanded scenario list.
+    pub index: usize,
+    /// Scenario content address, 16-hex.
+    pub id: String,
+}
+
+/// Snapshot of a sweep queue's progress, returned by the `sweep`
+/// status action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepQueueStatus {
+    /// Total scenarios in the spec.
+    pub total: usize,
+    /// Scenarios not yet leased or completed.
+    pub pending: usize,
+    /// Scenarios leased to a worker and awaiting completion.
+    pub leased: usize,
+    /// Scenarios with a journal record.
+    pub completed: usize,
+}
+
+/// A distributed-sweep work queue the TCP `sweep` op fronts. The
+/// canonical implementation lives in `stco-sweep` (which owns the
+/// scenario journal); serve only routes lease/complete/status calls,
+/// keeping the dependency arrow pointing sweep → serve.
+pub trait SweepBackend: Send + Sync {
+    /// Leases up to `max` pending scenarios to `worker`.
+    fn lease(&self, worker: &str, max: usize) -> Vec<LeasedScenario>;
+
+    /// Records a completed scenario by content-address hex with its
+    /// `[delay, power, area, cost]` values. Returns `Ok(false)` when
+    /// the scenario was already complete (idempotent re-delivery).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] on unknown scenarios or malformed
+    /// values, [`ServeError::Store`] on journal write failures.
+    fn complete(&self, scenario: &str, values: &[f64]) -> Result<bool>;
+
+    /// Progress snapshot.
+    fn status(&self) -> SweepQueueStatus;
+}
+
 /// The warm-cache, sharded micro-batching model service.
 pub struct ModelService {
     registry: Option<Registry>,
@@ -533,6 +580,8 @@ pub struct ModelService {
     /// shard (the one its id routes to), so shard workers never share
     /// cache locks.
     models: Vec<RwLock<HashMap<String, Arc<LoadedModel>>>>,
+    /// The attached distributed-sweep queue, if any.
+    sweep: RwLock<Option<Arc<dyn SweepBackend>>>,
     shared: Arc<Shared>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -585,9 +634,23 @@ impl ModelService {
             models: (0..batch.shards)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
+            sweep: RwLock::new(None),
             shared,
             workers: Mutex::new(workers),
         })
+    }
+
+    /// Attaches a distributed-sweep queue; subsequent `sweep` wire ops
+    /// route to it. Re-attaching replaces the previous queue.
+    pub fn attach_sweep(&self, backend: Arc<dyn SweepBackend>) {
+        let mut slot = self.sweep.write().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(backend);
+    }
+
+    /// The attached sweep queue, if any.
+    #[must_use]
+    pub fn sweep_backend(&self) -> Option<Arc<dyn SweepBackend>> {
+        self.sweep.read().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// The canonical id a model is cached under: `<kind>:<key hex>`.

@@ -1,0 +1,318 @@
+//! A dependency-free GP-lite Bayesian optimizer over the discrete
+//! design-space grid.
+//!
+//! The surrogate is a Gaussian process with an RBF kernel over grid
+//! coordinates normalized to `[0, 1]³` and a small noise nugget; the
+//! posterior is solved exactly with the workspace's LU factorization
+//! (the evaluation budget keeps `n` tiny, so O(n³) fits are free next
+//! to one real scenario evaluation). The acquisition is expected
+//! improvement for minimization, with the normal CDF from the
+//! Abramowitz–Stegun `erf` polynomial — no external special-function
+//! dependency.
+//!
+//! Everything is deterministic: the seed fixes the initial design,
+//! candidates are scanned in flat-index order with strict-improvement
+//! argmax (ties break to the lowest index), and all arithmetic is
+//! serial `f64`.
+
+use stco_compact::tech::Corner;
+use stco_core::rl::ExplorationResult;
+use stco_core::space::DesignSpace;
+use stco_numerics::dense::LuFactors;
+use stco_numerics::rng::Xorshift;
+use stco_numerics::Matrix;
+
+use crate::{bad_spec, Result};
+
+/// GP-lite explorer hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BayesOptConfig {
+    /// Total evaluation budget (including the initial design).
+    pub budget: usize,
+    /// Seeded space-filling evaluations before the GP takes over.
+    pub initial_samples: usize,
+    /// RBF kernel length scale in normalized `[0, 1]` coordinates.
+    pub length_scale: f64,
+    /// Noise nugget added to the kernel diagonal (conditioning).
+    pub noise: f64,
+    /// Exploration margin ξ of the expected-improvement acquisition.
+    pub xi: f64,
+    /// RNG seed of the initial design.
+    pub seed: u64,
+}
+
+impl Default for BayesOptConfig {
+    fn default() -> Self {
+        BayesOptConfig {
+            budget: 40,
+            initial_samples: 6,
+            length_scale: 0.35,
+            noise: 1e-6,
+            xi: 0.01,
+            seed: 17,
+        }
+    }
+}
+
+/// Abramowitz–Stegun 7.1.26 polynomial approximation of `erf`
+/// (|error| < 1.5e-7, plenty for an acquisition ranking).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Expected improvement (minimization) of a candidate with posterior
+/// mean `mu` and standard deviation `sigma` against incumbent `best`.
+fn expected_improvement(best: f64, mu: f64, sigma: f64, xi: f64) -> f64 {
+    let improvement = best - mu - xi;
+    if sigma < 1e-12 {
+        return improvement.max(0.0);
+    }
+    let z = improvement / sigma;
+    improvement * normal_cdf(z) + sigma * normal_pdf(z)
+}
+
+/// Grid coordinates of a flat index, normalized to `[0, 1]³`.
+fn features(space: &DesignSpace, flat: usize) -> [f64; 3] {
+    let p = space.point(flat);
+    let denom = (space.levels() - 1) as f64;
+    [
+        p.vdd as f64 / denom,
+        p.vth as f64 / denom,
+        p.cox as f64 / denom,
+    ]
+}
+
+fn rbf(a: [f64; 3], b: [f64; 3], length_scale: f64) -> f64 {
+    let d2 = (a[0] - b[0]) * (a[0] - b[0])
+        + (a[1] - b[1]) * (a[1] - b[1])
+        + (a[2] - b[2]) * (a[2] - b[2]);
+    (-d2 / (2.0 * length_scale * length_scale)).exp()
+}
+
+/// Runs GP-lite Bayesian optimization over the design space,
+/// minimizing `evaluate`. Returns the same [`ExplorationResult`] shape
+/// as the ε-greedy agent so the two plug into the same ablation.
+///
+/// # Errors
+///
+/// [`crate::SweepError::BadSpec`] on a zero budget or a non-positive
+/// length scale; [`crate::SweepError::Core`] never (the GP solve uses
+/// the numerics LU directly and surfaces singular systems as
+/// `BadSpec`, which the noise nugget prevents in practice).
+pub fn bayes_explore<F>(
+    space: &DesignSpace,
+    config: &BayesOptConfig,
+    mut evaluate: F,
+) -> Result<ExplorationResult>
+where
+    F: FnMut(Corner) -> f64,
+{
+    let _span = stco_obs::span!("sweep.bayes_explore", budget = config.budget);
+    if config.budget == 0 {
+        return Err(bad_spec("BayesOpt budget must be at least 1"));
+    }
+    // NaN must be rejected too, hence the finite check first.
+    if !config.length_scale.is_finite() || config.length_scale <= 0.0 {
+        return Err(bad_spec("BayesOpt length scale must be positive"));
+    }
+    let size = space.size();
+    let budget = config.budget.min(size);
+    let mut seen = vec![false; size];
+    let mut evaluated: Vec<(usize, f64)> = Vec::with_capacity(budget);
+    let mut best: Option<(usize, f64)> = None;
+    let mut convergence = Vec::with_capacity(budget);
+    let mut observe = |flat: usize,
+                       seen: &mut Vec<bool>,
+                       evaluated: &mut Vec<(usize, f64)>,
+                       best: &mut Option<(usize, f64)>,
+                       convergence: &mut Vec<f64>| {
+        let y = evaluate(space.corner(space.point(flat)));
+        stco_obs::Recorder::global()
+            .metrics()
+            .counter("sweep.bayes_evals")
+            .inc();
+        seen[flat] = true;
+        evaluated.push((flat, y));
+        if best.is_none_or(|(_, b)| y < b) {
+            *best = Some((flat, y));
+        }
+        if let Some((_, b)) = best {
+            convergence.push(*b);
+        }
+    };
+
+    // Initial design: a seeded spread of distinct grid points.
+    let mut rng = Xorshift::new(config.seed);
+    let initial = config.initial_samples.clamp(1, budget);
+    let mut guard = 0usize;
+    while evaluated.len() < initial && guard < initial * 64 {
+        guard += 1;
+        let flat = rng.gen_range(size);
+        if !seen[flat] {
+            observe(flat, &mut seen, &mut evaluated, &mut best, &mut convergence);
+        }
+    }
+    // Pathological seeds (tiny spaces) fall back to scanning in order.
+    for flat in 0..size {
+        if evaluated.len() >= initial {
+            break;
+        }
+        if !seen[flat] {
+            observe(flat, &mut seen, &mut evaluated, &mut best, &mut convergence);
+        }
+    }
+
+    while evaluated.len() < budget {
+        let n = evaluated.len();
+        // Standardize targets so the unit-variance prior fits any cost
+        // scale.
+        let mut mean = 0.0;
+        for (_, y) in &evaluated {
+            mean += *y;
+        }
+        mean /= n as f64;
+        let mut var = 0.0;
+        for (_, y) in &evaluated {
+            var += (*y - mean) * (*y - mean);
+        }
+        let std = (var / n as f64).sqrt().max(1e-12);
+        let ys: Vec<f64> = evaluated.iter().map(|(_, y)| (*y - mean) / std).collect();
+
+        let feats: Vec<[f64; 3]> = evaluated
+            .iter()
+            .map(|(flat, _)| features(space, *flat))
+            .collect();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = rbf(feats[i], feats[j], config.length_scale);
+                if i == j {
+                    v += config.noise.max(1e-12);
+                }
+                k.set(i, j, v);
+            }
+        }
+        let mut factors = LuFactors::default();
+        k.lu_factor_into(&mut factors)
+            .map_err(|e| bad_spec(format!("GP kernel factorization failed: {e}")))?;
+        let alpha = factors
+            .solve(&ys)
+            .map_err(|e| bad_spec(format!("GP posterior solve failed: {e}")))?;
+
+        let incumbent = best.map(|(_, b)| (b - mean) / std).unwrap_or(0.0);
+        let mut pick: Option<(usize, f64)> = None;
+        let mut kstar = vec![0.0; n];
+        for (flat, &already) in seen.iter().enumerate() {
+            if already {
+                continue;
+            }
+            let x = features(space, flat);
+            for (i, f) in feats.iter().enumerate() {
+                kstar[i] = rbf(x, *f, config.length_scale);
+            }
+            let mut mu = 0.0;
+            for i in 0..n {
+                mu += kstar[i] * alpha[i];
+            }
+            let v = factors
+                .solve(&kstar)
+                .map_err(|e| bad_spec(format!("GP variance solve failed: {e}")))?;
+            let mut kv = 0.0;
+            for i in 0..n {
+                kv += kstar[i] * v[i];
+            }
+            let sigma = (1.0 + config.noise - kv).max(0.0).sqrt();
+            let ei = expected_improvement(incumbent, mu, sigma, config.xi);
+            // Strict improvement: ties break to the lowest flat index.
+            if pick.is_none_or(|(_, cur)| ei > cur) {
+                pick = Some((flat, ei));
+            }
+        }
+        let Some((flat, _)) = pick else {
+            break; // the whole grid is evaluated
+        };
+        observe(flat, &mut seen, &mut evaluated, &mut best, &mut convergence);
+    }
+
+    let (best_flat, best_cost) = best.ok_or_else(|| bad_spec("empty design space"))?;
+    let best_point = space.point(best_flat);
+    Ok(ExplorationResult {
+        best_corner: space.corner(best_point),
+        best_point,
+        best_cost,
+        evaluations: evaluated.len(),
+        convergence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bowl(c: Corner) -> f64 {
+        (c.vdd - 2.5) * (c.vdd - 2.5)
+            + 4.0 * c.vth_shift * c.vth_shift
+            + (c.cox_scale - 1.0) * (c.cox_scale - 1.0)
+    }
+
+    #[test]
+    fn finds_the_grid_optimum_of_a_smooth_bowl() -> crate::Result<()> {
+        let space = DesignSpace::new(5);
+        let mut reference = f64::INFINITY;
+        for p in space.all_points() {
+            reference = reference.min(bowl(space.corner(p)));
+        }
+        let result = bayes_explore(&space, &BayesOptConfig::default(), bowl)?;
+        assert_eq!(result.best_cost, reference);
+        assert!(result.evaluations <= 40);
+        Ok(())
+    }
+
+    #[test]
+    fn exploration_is_deterministic_per_seed() -> crate::Result<()> {
+        let space = DesignSpace::new(4);
+        let config = BayesOptConfig::default();
+        let a = bayes_explore(&space, &config, bowl)?;
+        let b = bayes_explore(&space, &config, bowl)?;
+        assert_eq!(a.best_point, b.best_point);
+        assert_eq!(a.evaluations, b.evaluations);
+        for (x, y) in a.convergence.iter().zip(&b.convergence) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        // A&S 7.1.26 is a polynomial fit: |error| < 1.5e-7, not exact.
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_budget_is_rejected() {
+        let space = DesignSpace::new(3);
+        let config = BayesOptConfig {
+            budget: 0,
+            ..BayesOptConfig::default()
+        };
+        assert!(bayes_explore(&space, &config, bowl).is_err());
+    }
+}

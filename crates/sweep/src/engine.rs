@@ -1,0 +1,319 @@
+//! The sweep engine: a resumable work-queue scheduler over the
+//! expanded scenario list.
+//!
+//! Pending scenarios (those without a journal record) are sharded
+//! across threads with [`stco_par::try_par_map`]; each worker runs the
+//! evaluator and journals the result before moving on, so a kill at any
+//! scenario boundary loses at most in-flight work. Because stco-par
+//! degrades nested parallel regions to serial (the pool's `IN_POOL`
+//! flag), a scenario's inner flow always runs serially inside the
+//! engine — which is what makes sweep results bitwise identical at
+//! every `STCO_THREADS`.
+//!
+//! Evaluators implement [`ScenarioEval`]: [`FlowEval`] runs real STCO
+//! iterations (traditional or surrogate-backed), [`SyntheticEval`] is
+//! the closed-form stand-in used by tests, the remote smoke and the
+//! explorer ablation.
+
+use std::time::Instant;
+
+use stco_compact::tech::Corner;
+use stco_core::flow::{FlowConfig, StcoFlow, TechnologyStage, TrainedSurrogates};
+use stco_store::Registry;
+use stco_system::bench_gen::Benchmark;
+use stco_tcad::materials::Technology;
+
+use crate::journal::{ScenarioResult, SweepJournal};
+use crate::scenario::{Scenario, SweepSpec};
+use crate::{bad_spec, Result};
+
+/// A scenario evaluator. `Sync` so the engine can shard scenarios
+/// across the stco-par pool.
+pub trait ScenarioEval: Sync {
+    /// Evaluates one scenario to its objective values.
+    ///
+    /// # Errors
+    ///
+    /// Evaluator-specific; the engine aborts the sweep on the first
+    /// failure (deterministically — stco-par surfaces the
+    /// lowest-index error).
+    fn evaluate(&self, scenario: &Scenario) -> Result<ScenarioResult>;
+}
+
+/// Maps a full STCO iteration result onto the sweep's objective triple.
+#[must_use]
+pub fn result_from_ppa(ppa: &stco_system::ppa::PpaReport) -> ScenarioResult {
+    ScenarioResult {
+        delay: ppa.timing.min_clock_period,
+        power: ppa.power.total(),
+        area: ppa.area,
+        cost: ppa.cost(),
+    }
+}
+
+/// Real-flow evaluator: one prebuilt [`StcoFlow`] per
+/// (technology, benchmark) cell of the spec.
+pub struct FlowEval {
+    flows: Vec<(Technology, Benchmark, StcoFlow)>,
+    stage: TechnologyStage,
+    surrogates: Option<TrainedSurrogates>,
+}
+
+impl FlowEval {
+    /// Builds flows for every cell of the spec with
+    /// [`FlowConfig::fast`] settings (the test/bench-scale grid; paper
+    /// scale swaps in denser characterization via a custom
+    /// [`ScenarioEval`]).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SweepError::BadSpec`] on an invalid spec,
+    /// [`crate::SweepError::Core`] when flow construction fails.
+    pub fn new(
+        spec: &SweepSpec,
+        stage: TechnologyStage,
+        surrogates: Option<TrainedSurrogates>,
+    ) -> Result<FlowEval> {
+        spec.validate()?;
+        let mut flows = Vec::with_capacity(spec.technologies.len() * spec.benchmarks.len());
+        for technology in &spec.technologies {
+            for benchmark in &spec.benchmarks {
+                let flow = StcoFlow::new(FlowConfig::fast(*technology, *benchmark))?;
+                flows.push((*technology, *benchmark, flow));
+            }
+        }
+        Ok(FlowEval {
+            flows,
+            stage,
+            surrogates,
+        })
+    }
+}
+
+impl ScenarioEval for FlowEval {
+    fn evaluate(&self, scenario: &Scenario) -> Result<ScenarioResult> {
+        let flow = self
+            .flows
+            .iter()
+            .find(|(t, b, _)| *t == scenario.technology && *b == scenario.benchmark)
+            .map(|(_, _, flow)| flow)
+            .ok_or_else(|| {
+                bad_spec(format!(
+                    "no flow for cell ({}, {})",
+                    scenario.technology.name(),
+                    scenario.benchmark.name()
+                ))
+            })?;
+        let iteration =
+            flow.run_iteration(scenario.corner, self.stage, self.surrogates.as_ref())?;
+        Ok(result_from_ppa(&iteration.ppa))
+    }
+}
+
+/// Position of a benchmark in [`Benchmark::ALL`] (its Table I row).
+fn benchmark_ordinal(benchmark: Benchmark) -> usize {
+    Benchmark::ALL
+        .iter()
+        .position(|b| *b == benchmark)
+        .unwrap_or(0)
+}
+
+/// The closed-form synthetic technology model: smooth, deterministic
+/// objective values with real (delay ↔ power ↔ area) tradeoffs, shaped
+/// per technology and benchmark. Pure `f64` arithmetic on the corner
+/// values, so results are bitwise reproducible at any thread count —
+/// the property the kill/resume and remote tests assert.
+#[must_use]
+pub fn synthetic_result(
+    technology: Technology,
+    benchmark: Benchmark,
+    corner: Corner,
+) -> ScenarioResult {
+    let t = technology.index() as f64;
+    let b = benchmark_ordinal(benchmark) as f64;
+    // Effective overdrive: supply minus a technology-shifted threshold.
+    let vth_eff = 0.55 + corner.vth_shift + 0.05 * t;
+    let drive = (corner.vdd - vth_eff).max(0.25);
+    // Delay falls with overdrive and gate capacitance; power grows as
+    // V_DD² (and with C_ox, and as V_th drops); area grows with C_ox
+    // and the drive-strength implied by V_DD.
+    let delay =
+        (0.8e-9 + 0.12e-9 * b + 0.05e-9 * t) * drive.powf(-1.8) * (1.35 - 0.3 * corner.cox_scale);
+    let power = (0.4e-3 + 0.05e-3 * b + 0.07e-3 * t)
+        * corner.vdd
+        * corner.vdd
+        * (0.4 + corner.cox_scale)
+        * (1.1 - 1.8 * corner.vth_shift);
+    let area = (80.0e-12 + 12.0e-12 * b + 6.0e-12 * t)
+        * (0.9 + 0.3 * corner.cox_scale)
+        * (0.8 + 0.1 * corner.vdd);
+    ScenarioResult {
+        delay,
+        power,
+        area,
+        cost: (delay.ln() + power.ln() + area.ln()) / 3.0,
+    }
+}
+
+/// The synthetic evaluator (see [`synthetic_result`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SyntheticEval;
+
+impl ScenarioEval for SyntheticEval {
+    fn evaluate(&self, scenario: &Scenario) -> Result<ScenarioResult> {
+        Ok(synthetic_result(
+            scenario.technology,
+            scenario.benchmark,
+            scenario.corner,
+        ))
+    }
+}
+
+/// Outcome of one [`SweepEngine::run_sweep`] call.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// All completed scenarios (journal-resumed and newly executed),
+    /// in canonical scenario order.
+    pub records: Vec<(Scenario, ScenarioResult)>,
+    /// Scenarios evaluated by this call.
+    pub executed: usize,
+    /// Scenarios restored from the journal with zero recompute.
+    pub resumed: usize,
+    /// Scenarios still pending after this call (non-zero only when a
+    /// `limit` stopped the run early).
+    pub remaining: usize,
+    /// Wall-clock seconds of this call.
+    pub seconds: f64,
+}
+
+impl SweepOutcome {
+    /// True when every scenario of the spec has a record.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// The resumable sweep scheduler.
+pub struct SweepEngine {
+    scenarios: Vec<Scenario>,
+    journal: SweepJournal,
+}
+
+impl SweepEngine {
+    /// Expands the spec and opens the journal over `registry`.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SweepError::BadSpec`] on an invalid spec.
+    pub fn new(spec: &SweepSpec, registry: Registry) -> Result<SweepEngine> {
+        Ok(SweepEngine {
+            scenarios: spec.expand()?,
+            journal: SweepJournal::open(registry),
+        })
+    }
+
+    /// The canonical scenario list.
+    #[must_use]
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// The journal.
+    #[must_use]
+    pub fn journal(&self) -> &SweepJournal {
+        &self.journal
+    }
+
+    /// Runs (or resumes) the sweep: journaled scenarios are restored
+    /// without recompute, the rest are sharded across the stco-par
+    /// pool, each journaled as soon as it completes. `limit` caps the
+    /// number of scenarios *executed* by this call (the kill-at-a-
+    /// boundary story: stop after N, drop the engine, reopen, resume).
+    ///
+    /// # Errors
+    ///
+    /// The first (lowest-index) evaluator or journal failure.
+    pub fn run_sweep(&self, eval: &dyn ScenarioEval, limit: Option<usize>) -> Result<SweepOutcome> {
+        let _span = stco_obs::span!("sweep.run_sweep", scenarios = self.scenarios.len());
+        let start = Instant::now();
+        let mut completed: Vec<Option<ScenarioResult>> = Vec::with_capacity(self.scenarios.len());
+        for scenario in &self.scenarios {
+            completed.push(self.journal.load_scenario(scenario)?);
+        }
+        let resumed = completed.iter().filter(|r| r.is_some()).count();
+        let mut pending: Vec<&Scenario> = self
+            .scenarios
+            .iter()
+            .zip(&completed)
+            .filter(|(_, done)| done.is_none())
+            .map(|(s, _)| s)
+            .collect();
+        let total_pending = pending.len();
+        if let Some(cap) = limit {
+            pending.truncate(cap);
+        }
+        let fresh = stco_par::try_par_map(
+            stco_par::ParConfig::current(),
+            &pending,
+            |scenario| -> Result<ScenarioResult> {
+                let result = eval.evaluate(scenario)?;
+                self.journal.record_scenario(scenario, &result)?;
+                Ok(result)
+            },
+        )?;
+        let executed = fresh.len();
+        for (scenario, result) in pending.iter().zip(&fresh) {
+            completed[scenario.index] = Some(*result);
+        }
+        let metrics = stco_obs::Recorder::global().metrics();
+        metrics
+            .counter("sweep.scenarios_executed")
+            .add(executed as u64);
+        metrics
+            .counter("sweep.scenarios_resumed")
+            .add(resumed as u64);
+        let records: Vec<(Scenario, ScenarioResult)> = self
+            .scenarios
+            .iter()
+            .zip(&completed)
+            .filter_map(|(s, done)| done.map(|r| (s.clone(), r)))
+            .collect();
+        Ok(SweepOutcome {
+            records,
+            executed,
+            resumed,
+            remaining: total_pending - executed,
+            seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_model_is_deterministic_and_shaped() {
+        let corner = Corner {
+            vdd: 3.0,
+            vth_shift: 0.05,
+            cox_scale: 1.0,
+        };
+        let a = synthetic_result(Technology::Cnt, Benchmark::S298, corner);
+        let b = synthetic_result(Technology::Cnt, Benchmark::S298, corner);
+        assert_eq!(a.delay.to_bits(), b.delay.to_bits());
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        // Different cells land on different values.
+        let c = synthetic_result(Technology::Ltps, Benchmark::S386, corner);
+        assert_ne!(a.delay.to_bits(), c.delay.to_bits());
+        // Raising V_DD speeds the design up and spends more power.
+        let faster = synthetic_result(
+            Technology::Cnt,
+            Benchmark::S298,
+            Corner { vdd: 4.0, ..corner },
+        );
+        assert!(faster.delay < a.delay);
+        assert!(faster.power > a.power);
+    }
+}

@@ -1,0 +1,165 @@
+//! Samples-to-front ablation: GP-lite BayesOpt against the ε-greedy
+//! Q-learning agent.
+//!
+//! Both explorers expose the same best-so-far convergence curve (one
+//! entry per *unique* corner evaluation), so sample efficiency reduces
+//! to "how many evaluations until the curve touches the exhaustive
+//! grid-search optimum". The reference is computed with the same cost
+//! closure, so the comparison is exact (bitwise), not tolerance-based.
+
+use stco_core::rl::{q_learning_explore, AgentConfig};
+use stco_core::space::DesignSpace;
+use stco_system::bench_gen::Benchmark;
+use stco_tcad::materials::Technology;
+
+use crate::bayes::{bayes_explore, BayesOptConfig};
+use crate::engine::synthetic_result;
+use crate::{bad_spec, Result};
+
+/// Evaluations until the convergence curve reaches `reference`
+/// (first index `i` with `curve[i] <= reference`, one-based), `None`
+/// if it never does within its budget.
+#[must_use]
+pub fn samples_to_cost(convergence: &[f64], reference: f64) -> Option<usize> {
+    convergence
+        .iter()
+        .position(|&best| best <= reference)
+        .map(|i| i + 1)
+}
+
+/// One (technology, benchmark) cell of the ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct AblationCell {
+    /// The technology of this cell.
+    pub technology: Technology,
+    /// The benchmark of this cell.
+    pub benchmark: Benchmark,
+    /// Unique evaluations ε-greedy needed to reach the grid optimum
+    /// (space size when its budget ran out first).
+    pub epsilon_samples: usize,
+    /// Unique evaluations GP-lite BayesOpt needed.
+    pub bayes_samples: usize,
+    /// The exhaustive grid-search optimum both explorers chase.
+    pub reference_cost: f64,
+}
+
+/// The full samples-to-front ablation.
+#[derive(Debug, Clone)]
+pub struct AblationReport {
+    /// Per-cell results.
+    pub cells: Vec<AblationCell>,
+    /// Σ epsilon_samples.
+    pub epsilon_total: usize,
+    /// Σ bayes_samples.
+    pub bayes_total: usize,
+}
+
+/// Runs both explorers over every (technology, benchmark) cell of a
+/// `levels`-deep design space on the synthetic technology model and
+/// counts unique evaluations to the exhaustive optimum.
+///
+/// # Errors
+///
+/// [`crate::SweepError::BadSpec`] on empty cell lists or a BayesOpt
+/// misconfiguration.
+pub fn explorer_ablation(
+    levels: usize,
+    technologies: &[Technology],
+    benchmarks: &[Benchmark],
+    agent: &AgentConfig,
+    bayes: &BayesOptConfig,
+) -> Result<AblationReport> {
+    let _span = stco_obs::span!(
+        "sweep.explorer_ablation",
+        cells = technologies.len() * benchmarks.len()
+    );
+    if technologies.is_empty() || benchmarks.is_empty() {
+        return Err(bad_spec(
+            "ablation needs at least one technology and one benchmark",
+        ));
+    }
+    if levels < 2 {
+        return Err(bad_spec("ablation needs at least 2 grid levels"));
+    }
+    let space = DesignSpace::new(levels);
+    let mut cells = Vec::with_capacity(technologies.len() * benchmarks.len());
+    let mut epsilon_total = 0;
+    let mut bayes_total = 0;
+    for &technology in technologies {
+        for &benchmark in benchmarks {
+            let cost = |corner| synthetic_result(technology, benchmark, corner).cost;
+            let reference = stco_core::rl::grid_search(&space, cost).best_cost;
+            let eps = q_learning_explore(&space, agent, cost);
+            let bo = bayes_explore(&space, bayes, cost)?;
+            let epsilon_samples =
+                samples_to_cost(&eps.convergence, reference).unwrap_or(space.size());
+            let bayes_samples = samples_to_cost(&bo.convergence, reference).unwrap_or(space.size());
+            epsilon_total += epsilon_samples;
+            bayes_total += bayes_samples;
+            cells.push(AblationCell {
+                technology,
+                benchmark,
+                epsilon_samples,
+                bayes_samples,
+                reference_cost: reference,
+            });
+        }
+    }
+    Ok(AblationReport {
+        cells,
+        epsilon_total,
+        bayes_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_to_cost_finds_the_first_touch() {
+        assert_eq!(samples_to_cost(&[3.0, 2.0, 1.0], 2.0), Some(2));
+        assert_eq!(samples_to_cost(&[3.0, 2.5], 1.0), None);
+        assert_eq!(samples_to_cost(&[], 1.0), None);
+        assert_eq!(samples_to_cost(&[1.0], 1.0), Some(1));
+    }
+
+    #[test]
+    fn ablation_covers_every_cell_and_reaches_the_reference() -> crate::Result<()> {
+        let report = explorer_ablation(
+            4,
+            &[Technology::Cnt, Technology::Igzo],
+            &[Benchmark::S298],
+            &AgentConfig::default(),
+            &BayesOptConfig::default(),
+        )?;
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(
+            report.epsilon_total,
+            report
+                .cells
+                .iter()
+                .map(|c| c.epsilon_samples)
+                .sum::<usize>()
+        );
+        // Both explorers find the optimum of a 64-point grid within
+        // their budgets (neither hit the space-size sentinel).
+        for cell in &report.cells {
+            assert!(cell.bayes_samples <= 64);
+            assert!(cell.epsilon_samples <= 64);
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn empty_cell_lists_are_rejected() {
+        assert!(explorer_ablation(
+            3,
+            &[],
+            &[Benchmark::S298],
+            &AgentConfig::default(),
+            &BayesOptConfig::default(),
+        )
+        .is_err());
+    }
+}

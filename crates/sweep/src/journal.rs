@@ -1,0 +1,180 @@
+//! The sweep journal: checkpointed progress through the artifact
+//! registry.
+//!
+//! One [`stco_store::Artifact`] per completed scenario, written under
+//! the scenario's content address with the registry's atomic
+//! temp+rename `put`, so a kill at any point leaves either a complete
+//! record or none. Objective values travel as raw IEEE-754 `f64` bits
+//! in the artifact tensor, so a resumed sweep reproduces the original
+//! results bitwise — the resume identity the kill/resume tests and the
+//! CI sweep smoke gate.
+
+use stco_numerics::Matrix;
+use stco_obs::json::JsonValue;
+use stco_store::{Artifact, Registry};
+
+use crate::scenario::Scenario;
+use crate::{malformed, Result};
+
+/// Artifact kind of journal records (also the namespace of scenario
+/// content addresses).
+pub const RECORD_KIND: &str = "sweep-record";
+
+/// The objective values of one completed scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioResult {
+    /// Critical-path delay: the minimum clock period, seconds.
+    pub delay: f64,
+    /// Total power, watts.
+    pub power: f64,
+    /// Cell area, m².
+    pub area: f64,
+    /// The scalar log-cost the explorers minimize.
+    pub cost: f64,
+}
+
+impl ScenarioResult {
+    /// The wire/tensor encoding: `[delay, power, area, cost]`.
+    #[must_use]
+    pub fn to_values(self) -> [f64; 4] {
+        [self.delay, self.power, self.area, self.cost]
+    }
+
+    /// Decodes the `[delay, power, area, cost]` encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SweepError::MalformedRecord`] unless exactly four
+    /// values are present.
+    pub fn from_values(values: &[f64]) -> Result<ScenarioResult> {
+        match values {
+            [delay, power, area, cost] => Ok(ScenarioResult {
+                delay: *delay,
+                power: *power,
+                area: *area,
+                cost: *cost,
+            }),
+            _ => Err(malformed(format!(
+                "expected 4 objective values, got {}",
+                values.len()
+            ))),
+        }
+    }
+}
+
+/// The journal: a thin, typed view over an artifact [`Registry`].
+#[derive(Debug)]
+pub struct SweepJournal {
+    registry: Registry,
+}
+
+impl SweepJournal {
+    /// Opens a journal over a registry directory.
+    #[must_use]
+    pub fn open(registry: Registry) -> SweepJournal {
+        SweepJournal { registry }
+    }
+
+    /// The underlying registry.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Persists one completed scenario (atomic temp+rename). Re-writing
+    /// an existing record is allowed and idempotent: the record is a
+    /// pure function of the scenario under a deterministic evaluator.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SweepError::Store`] on registry write failures.
+    pub fn record_scenario(&self, scenario: &Scenario, result: &ScenarioResult) -> Result<()> {
+        let _span = stco_obs::span!("sweep.record_scenario", index = scenario.index);
+        let meta = JsonValue::Obj(vec![
+            ("scenario".to_string(), JsonValue::Str(scenario.id.to_hex())),
+            ("index".to_string(), JsonValue::Num(scenario.index as f64)),
+            (
+                "technology".to_string(),
+                JsonValue::Str(scenario.technology.name().to_string()),
+            ),
+            (
+                "benchmark".to_string(),
+                JsonValue::Str(scenario.benchmark.name().to_string()),
+            ),
+            ("vdd".to_string(), JsonValue::Num(scenario.point.vdd as f64)),
+            ("vth".to_string(), JsonValue::Num(scenario.point.vth as f64)),
+            ("cox".to_string(), JsonValue::Num(scenario.point.cox as f64)),
+        ]);
+        let tensor = Matrix::from_vec(1, 4, result.to_values().to_vec());
+        let artifact = Artifact::new(RECORD_KIND, meta, vec![tensor]);
+        self.registry.put(scenario.id, &artifact)?;
+        stco_obs::Recorder::global()
+            .metrics()
+            .counter("sweep.records_written")
+            .inc();
+        Ok(())
+    }
+
+    /// Loads one scenario's record, `Ok(None)` when not yet recorded.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SweepError::Store`] on registry read failures,
+    /// [`crate::SweepError::MalformedRecord`] on schema drift.
+    pub fn load_scenario(&self, scenario: &Scenario) -> Result<Option<ScenarioResult>> {
+        match self.registry.load(RECORD_KIND, scenario.id)? {
+            None => Ok(None),
+            Some(artifact) => decode_record(&artifact).map(Some),
+        }
+    }
+
+    /// True when the journal holds a record for the scenario (no
+    /// decode; just an existence probe).
+    #[must_use]
+    pub fn contains(&self, scenario: &Scenario) -> bool {
+        self.registry.contains(RECORD_KIND, scenario.id)
+    }
+}
+
+/// Decodes a journal artifact into its objective values.
+///
+/// # Errors
+///
+/// [`crate::SweepError::MalformedRecord`] on wrong kind or tensor
+/// shape.
+pub fn decode_record(artifact: &Artifact) -> Result<ScenarioResult> {
+    artifact
+        .expect_kind(RECORD_KIND)
+        .map_err(|e| malformed(e.to_string()))?;
+    match artifact.tensors.as_slice() {
+        [tensor] => ScenarioResult::from_values(tensor.as_slice()),
+        other => Err(malformed(format!("expected 1 tensor, got {}", other.len()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_roundtrip_bitwise() -> Result<()> {
+        let r = ScenarioResult {
+            delay: 1.25e-9,
+            power: 3.1e-3,
+            area: 0.1 + 0.2, // deliberately non-representable sum
+            cost: -7.5,
+        };
+        let back = ScenarioResult::from_values(&r.to_values())?;
+        assert_eq!(back.delay.to_bits(), r.delay.to_bits());
+        assert_eq!(back.power.to_bits(), r.power.to_bits());
+        assert_eq!(back.area.to_bits(), r.area.to_bits());
+        assert_eq!(back.cost.to_bits(), r.cost.to_bits());
+        Ok(())
+    }
+
+    #[test]
+    fn short_value_vectors_are_rejected() {
+        assert!(ScenarioResult::from_values(&[1.0, 2.0]).is_err());
+        assert!(ScenarioResult::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! `stco_sweep` — the design-space sweep driver.
+//!
+//! ```text
+//! stco_sweep                                    # demo spec, synthetic eval
+//! stco_sweep --spec spec.json --store journal/  # resumable: rerun to continue
+//! stco_sweep --technologies CNT,LTPS --benchmarks s298 --levels 3 --flow
+//! stco_sweep --limit 20                         # stop after 20 scenarios (kill point)
+//! stco_sweep --out reports/                     # write pareto.md + pareto.jsonl
+//! stco_sweep --worker w0 --addr 127.0.0.1:7878  # remote worker mode
+//! stco_sweep --ablation                         # ε-greedy vs BayesOpt samples-to-front
+//! ```
+//!
+//! The journal under `--store` makes every invocation resumable: a
+//! killed sweep rerun with the same spec and store recomputes nothing
+//! and reproduces the same Pareto front bitwise. `STCO_THREADS`
+//! controls sharding (results are identical at any thread count).
+
+use stco_core::flow::TechnologyStage;
+use stco_core::rl::AgentConfig;
+use stco_store::Registry;
+use stco_sweep::{
+    benchmark_from_name, explorer_ablation, front_fingerprint, front_jsonl, front_markdown,
+    pareto_front, run_remote_worker, technology_from_name, BayesOptConfig, FlowEval, ScenarioEval,
+    SweepEngine, SweepSpec, SyntheticEval,
+};
+
+struct Args {
+    spec: Option<String>,
+    technologies: Option<Vec<String>>,
+    benchmarks: Option<Vec<String>>,
+    levels: Option<usize>,
+    flow: bool,
+    limit: Option<usize>,
+    store: String,
+    out: Option<String>,
+    worker: Option<String>,
+    addr: Option<String>,
+    batch: usize,
+    ablation: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: stco_sweep [--spec FILE] [--technologies A,B] [--benchmarks A,B] [--levels N]\n\
+         \x20                [--flow] [--limit N] [--store DIR] [--out DIR]\n\
+         \x20                [--worker NAME --addr HOST:PORT [--batch N]] [--ablation]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        spec: None,
+        technologies: None,
+        benchmarks: None,
+        levels: None,
+        flow: false,
+        limit: None,
+        store: "sweep-journal".to_string(),
+        out: None,
+        worker: None,
+        addr: None,
+        batch: 4,
+        ablation: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        if *i + 1 >= argv.len() {
+            usage();
+        }
+        *i += 2;
+        argv[*i - 1].clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--spec" => args.spec = Some(value(&mut i)),
+            "--technologies" => {
+                args.technologies = Some(value(&mut i).split(',').map(str::to_string).collect());
+            }
+            "--benchmarks" => {
+                args.benchmarks = Some(value(&mut i).split(',').map(str::to_string).collect());
+            }
+            "--levels" => args.levels = value(&mut i).parse().ok().or_else(|| usage()),
+            "--flow" => {
+                args.flow = true;
+                i += 1;
+            }
+            "--limit" => args.limit = value(&mut i).parse().ok().or_else(|| usage()),
+            "--store" => args.store = value(&mut i),
+            "--out" => args.out = Some(value(&mut i)),
+            "--worker" => args.worker = Some(value(&mut i)),
+            "--addr" => args.addr = Some(value(&mut i)),
+            "--batch" => args.batch = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--ablation" => {
+                args.ablation = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn build_spec(args: &Args) -> SweepSpec {
+    let mut spec = match &args.spec {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read spec {path}: {e}");
+                std::process::exit(2);
+            });
+            SweepSpec::parse(&text).unwrap_or_else(|e| {
+                eprintln!("bad spec {path}: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => SweepSpec::demo(),
+    };
+    if let Some(names) = &args.technologies {
+        spec.technologies = names
+            .iter()
+            .map(|n| {
+                technology_from_name(n).unwrap_or_else(|| {
+                    eprintln!("unknown technology {n:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+    }
+    if let Some(names) = &args.benchmarks {
+        spec.benchmarks = names
+            .iter()
+            .map(|n| {
+                benchmark_from_name(n).unwrap_or_else(|| {
+                    eprintln!("unknown benchmark {n:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+    }
+    if let Some(levels) = args.levels {
+        spec.levels = levels;
+    }
+    if args.flow && args.spec.is_none() {
+        spec.eval_tag = "traditional-fast-config".to_string();
+    }
+    spec
+}
+
+fn build_eval(args: &Args, spec: &SweepSpec) -> Box<dyn ScenarioEval> {
+    if args.flow {
+        match FlowEval::new(spec, TechnologyStage::Traditional, None) {
+            Ok(eval) => Box::new(eval),
+            Err(e) => {
+                eprintln!("cannot build flows: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        Box::new(SyntheticEval)
+    }
+}
+
+fn run_ablation(args: &Args) {
+    let spec = build_spec(args);
+    let levels = args.levels.unwrap_or(5);
+    let report = explorer_ablation(
+        levels,
+        &spec.technologies,
+        &spec.benchmarks,
+        &AgentConfig::default(),
+        &BayesOptConfig::default(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("ablation failed: {e}");
+        std::process::exit(1);
+    });
+    println!("samples-to-front ablation ({levels}³ grid, synthetic model)");
+    println!("| technology | benchmark | ε-greedy | BayesOpt | reference cost |");
+    println!("|---|---|---|---|---|");
+    for cell in &report.cells {
+        println!(
+            "| {} | {} | {} | {} | {:.4} |",
+            cell.technology.name(),
+            cell.benchmark.name(),
+            cell.epsilon_samples,
+            cell.bayes_samples,
+            cell.reference_cost,
+        );
+    }
+    println!(
+        "totals: ε-greedy {} vs BayesOpt {} unique evaluations",
+        report.epsilon_total, report.bayes_total
+    );
+}
+
+fn run_worker(args: &Args, worker: &str, addr: &str) {
+    let spec = build_spec(args);
+    let eval = build_eval(args, &spec);
+    match run_remote_worker(addr, &spec, eval.as_ref(), worker, args.batch) {
+        Ok(done) => println!("worker {worker}: completed {done} scenarios"),
+        Err(e) => {
+            eprintln!("worker {worker} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.ablation {
+        run_ablation(&args);
+        return;
+    }
+    if let Some(worker) = &args.worker {
+        let Some(addr) = &args.addr else { usage() };
+        run_worker(&args, worker, addr);
+        return;
+    }
+
+    let spec = build_spec(&args);
+    let eval = build_eval(&args, &spec);
+    let registry = Registry::open(std::path::Path::new(&args.store)).unwrap_or_else(|e| {
+        eprintln!("cannot open store {}: {e}", args.store);
+        std::process::exit(1);
+    });
+    let engine = SweepEngine::new(&spec, registry).unwrap_or_else(|e| {
+        eprintln!("bad spec: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "sweep {}: {} scenarios ({} technologies × {} benchmarks × {}³ corners)",
+        spec.fingerprint_hex(),
+        spec.scenario_count(),
+        spec.technologies.len(),
+        spec.benchmarks.len(),
+        spec.levels,
+    );
+    let outcome = engine
+        .run_sweep(eval.as_ref(), args.limit)
+        .unwrap_or_else(|e| {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        });
+    println!(
+        "executed {} · resumed {} · remaining {} · {:.2}s ({:.1} scenarios/s)",
+        outcome.executed,
+        outcome.resumed,
+        outcome.remaining,
+        outcome.seconds,
+        outcome.executed as f64 / outcome.seconds.max(1e-9),
+    );
+    if !outcome.is_complete() {
+        println!(
+            "sweep incomplete — rerun with the same --spec/--store to resume with zero recompute"
+        );
+    }
+    let front = pareto_front(&outcome.records);
+    println!(
+        "Pareto front: {} of {} records (fingerprint {:016x})",
+        front.len(),
+        outcome.records.len(),
+        front_fingerprint(&front),
+    );
+    print!("{}", front_markdown(&front));
+    if let Some(out) = &args.out {
+        let dir = std::path::Path::new(out);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {out}: {e}");
+            std::process::exit(1);
+        }
+        let md = dir.join("pareto.md");
+        let jsonl = dir.join("pareto.jsonl");
+        if let Err(e) = std::fs::write(&md, front_markdown(&front))
+            .and_then(|()| std::fs::write(&jsonl, front_jsonl(&front)))
+        {
+            eprintln!("cannot write reports under {out}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {} and {}", md.display(), jsonl.display());
+    }
+}

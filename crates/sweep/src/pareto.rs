@@ -1,0 +1,164 @@
+//! Pareto-front extraction over (delay, power, area).
+//!
+//! A record **dominates** another when it is no worse on all three
+//! objectives and strictly better on at least one. The front is the set
+//! of non-dominated records, ordered deterministically by
+//! (delay, power, area, scenario index) under `f64::total_cmp` — so two
+//! runs that produced bitwise-identical records render bitwise-identical
+//! reports, which [`front_fingerprint`] turns into a single u64 the
+//! resume tests compare.
+
+use crate::journal::ScenarioResult;
+use crate::scenario::Scenario;
+
+/// True when `a` Pareto-dominates `b` on (delay, power, area).
+#[must_use]
+pub fn dominates(a: &ScenarioResult, b: &ScenarioResult) -> bool {
+    let no_worse = a.delay <= b.delay && a.power <= b.power && a.area <= b.area;
+    let better = a.delay < b.delay || a.power < b.power || a.area < b.area;
+    no_worse && better
+}
+
+/// Extracts the non-dominated front, sorted by
+/// (delay, power, area, scenario index).
+#[must_use]
+pub fn pareto_front(records: &[(Scenario, ScenarioResult)]) -> Vec<(Scenario, ScenarioResult)> {
+    let mut front: Vec<(Scenario, ScenarioResult)> = records
+        .iter()
+        .filter(|(_, r)| !records.iter().any(|(_, other)| dominates(other, r)))
+        .cloned()
+        .collect();
+    front.sort_by(|(sa, ra), (sb, rb)| {
+        ra.delay
+            .total_cmp(&rb.delay)
+            .then(ra.power.total_cmp(&rb.power))
+            .then(ra.area.total_cmp(&rb.area))
+            .then(sa.index.cmp(&sb.index))
+    });
+    front
+}
+
+/// FNV-1a-64 over the front's scenario ids and the raw bits of every
+/// objective value — equal iff the fronts are bitwise identical.
+#[must_use]
+pub fn front_fingerprint(front: &[(Scenario, ScenarioResult)]) -> u64 {
+    let mut bytes = Vec::with_capacity(front.len() * 40);
+    for (scenario, result) in front {
+        bytes.extend_from_slice(&scenario.id.value().to_le_bytes());
+        for v in result.to_values() {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    stco_store::fnv1a64(&bytes)
+}
+
+/// Renders the front as a markdown table.
+#[must_use]
+pub fn front_markdown(front: &[(Scenario, ScenarioResult)]) -> String {
+    let mut out = String::new();
+    out.push_str("| # | technology | benchmark | V_DD (V) | V_th shift (V) | C_ox scale | delay (ns) | power (mW) | area (µm²) | cost |\n");
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|\n");
+    for (i, (s, r)) in front.iter().enumerate() {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.3} | {:+.3} | {:.3} | {:.4} | {:.4} | {:.2} | {:.4} |\n",
+            i + 1,
+            s.technology.name(),
+            s.benchmark.name(),
+            s.corner.vdd,
+            s.corner.vth_shift,
+            s.corner.cox_scale,
+            r.delay * 1e9,
+            r.power * 1e3,
+            r.area * 1e12,
+            r.cost,
+        ));
+    }
+    out
+}
+
+/// Renders the front as JSONL: one exact-roundtrip JSON object per
+/// member (floats as shortest-roundtrip decimal).
+#[must_use]
+pub fn front_jsonl(front: &[(Scenario, ScenarioResult)]) -> String {
+    use stco_obs::json::JsonValue;
+    let mut out = String::new();
+    for (s, r) in front {
+        let doc = JsonValue::Obj(vec![
+            ("scenario".to_string(), JsonValue::Str(s.id.to_hex())),
+            ("index".to_string(), JsonValue::Num(s.index as f64)),
+            (
+                "technology".to_string(),
+                JsonValue::Str(s.technology.name().to_string()),
+            ),
+            (
+                "benchmark".to_string(),
+                JsonValue::Str(s.benchmark.name().to_string()),
+            ),
+            ("vdd".to_string(), JsonValue::Num(s.corner.vdd)),
+            ("vth_shift".to_string(), JsonValue::Num(s.corner.vth_shift)),
+            ("cox_scale".to_string(), JsonValue::Num(s.corner.cox_scale)),
+            ("delay_seconds".to_string(), JsonValue::Num(r.delay)),
+            ("power_watts".to_string(), JsonValue::Num(r.power)),
+            ("area_m2".to_string(), JsonValue::Num(r.area)),
+            ("cost".to_string(), JsonValue::Num(r.cost)),
+        ]);
+        out.push_str(&doc.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SweepSpec;
+    use crate::Result;
+
+    fn with_results(values: &[[f64; 3]]) -> Result<Vec<(Scenario, ScenarioResult)>> {
+        let scenarios = SweepSpec::demo().expand()?;
+        Ok(values
+            .iter()
+            .zip(scenarios)
+            .map(|([d, p, a], s)| {
+                (
+                    s,
+                    ScenarioResult {
+                        delay: *d,
+                        power: *p,
+                        area: *a,
+                        cost: d.ln() + p.ln() + a.ln(),
+                    },
+                )
+            })
+            .collect())
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() -> Result<()> {
+        let records = with_results(&[
+            [1.0, 1.0, 1.0], // dominated by the next record
+            [0.5, 0.5, 0.5],
+            [0.4, 2.0, 1.0], // trades delay for power: stays
+            [0.5, 0.5, 0.5], // duplicate of the survivor: stays (no strict better)
+        ])?;
+        let front = pareto_front(&records);
+        assert_eq!(front.len(), 3);
+        assert!(front.iter().all(|(_, r)| r.delay <= 0.5));
+        Ok(())
+    }
+
+    #[test]
+    fn front_order_and_fingerprint_are_stable() -> Result<()> {
+        let records = with_results(&[[1.0, 2.0, 3.0], [2.0, 1.0, 3.0], [3.0, 2.0, 1.0]])?;
+        let mut shuffled = records.clone();
+        shuffled.reverse();
+        let a = pareto_front(&records);
+        let b = pareto_front(&shuffled);
+        assert_eq!(front_fingerprint(&a), front_fingerprint(&b));
+        assert_eq!(a.len(), 3);
+        // Reports render without panicking and carry every member.
+        assert_eq!(front_jsonl(&a).lines().count(), 3);
+        assert_eq!(front_markdown(&a).lines().count(), 5);
+        Ok(())
+    }
+}

@@ -1,0 +1,360 @@
+//! Distributed sweeps: the serve-hosted work queue and the remote
+//! worker loop.
+//!
+//! [`SweepQueue`] implements [`stco_serve::SweepBackend`], so attaching
+//! it to a [`stco_serve::ModelService`] exposes the spec's pending
+//! scenarios over the TCP `sweep` op. Remote workers expand the *same*
+//! spec locally (the spec fingerprint is baked into every scenario
+//! content address, so a worker with a different spec simply fails the
+//! id cross-check), lease scenarios in small batches, evaluate them
+//! with their local [`ScenarioEval`], and report objective values back;
+//! the server journals each completion through the shared registry —
+//! the same journal a local [`crate::SweepEngine`] resumes from.
+//!
+//! Lease bookkeeping is in-memory only (a lease is an optimization, not
+//! a correctness structure): if a worker dies mid-lease,
+//! [`SweepQueue::reclaim_leases`] returns its scenarios to the pending
+//! queue, and the journal's idempotent completion makes duplicate
+//! delivery harmless.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use stco_serve::{Client, LeasedScenario, ServeError, SweepBackend, SweepQueueStatus};
+use stco_store::Registry;
+
+use crate::engine::ScenarioEval;
+use crate::journal::{ScenarioResult, SweepJournal};
+use crate::scenario::{Scenario, SweepSpec};
+use crate::{bad_spec, Result};
+
+struct QueueState {
+    pending: VecDeque<usize>,
+    leased: BTreeMap<usize, String>,
+    completed: BTreeSet<usize>,
+}
+
+/// The server-side sweep work queue (see the module docs).
+pub struct SweepQueue {
+    scenarios: Vec<Scenario>,
+    journal: SweepJournal,
+    id_to_index: BTreeMap<u64, usize>,
+    state: Mutex<QueueState>,
+}
+
+impl SweepQueue {
+    /// Expands the spec, pre-scans the journal (already-recorded
+    /// scenarios never enter the pending queue), and returns the queue
+    /// plus the number of scenarios resumed from the journal.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SweepError::BadSpec`] on an invalid spec.
+    pub fn open(spec: &SweepSpec, registry: Registry) -> Result<(Arc<SweepQueue>, usize)> {
+        let scenarios = spec.expand()?;
+        let journal = SweepJournal::open(registry);
+        let mut pending = VecDeque::new();
+        let mut completed = BTreeSet::new();
+        let mut id_to_index = BTreeMap::new();
+        for scenario in &scenarios {
+            id_to_index.insert(scenario.id.value(), scenario.index);
+            if journal.contains(scenario) {
+                completed.insert(scenario.index);
+            } else {
+                pending.push_back(scenario.index);
+            }
+        }
+        let resumed = completed.len();
+        Ok((
+            Arc::new(SweepQueue {
+                scenarios,
+                journal,
+                id_to_index,
+                state: Mutex::new(QueueState {
+                    pending,
+                    leased: BTreeMap::new(),
+                    completed,
+                }),
+            }),
+            resumed,
+        ))
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The canonical scenario list.
+    #[must_use]
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// True when every scenario has a journal record.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.state().completed.len() == self.scenarios.len()
+    }
+
+    /// Returns outstanding leases to the pending queue (lowest index
+    /// first), e.g. after a worker death. Returns how many were
+    /// reclaimed.
+    pub fn reclaim_leases(&self) -> usize {
+        let mut state = self.state();
+        let reclaimed = state.leased.len();
+        let indices: Vec<usize> = state.leased.keys().copied().collect();
+        state.leased.clear();
+        for index in indices {
+            state.pending.push_back(index);
+        }
+        reclaimed
+    }
+
+    /// Loads every completed scenario from the journal, in canonical
+    /// scenario order.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SweepError::Store`] /
+    /// [`crate::SweepError::MalformedRecord`] on journal read failures.
+    pub fn records(&self) -> Result<Vec<(Scenario, ScenarioResult)>> {
+        let completed: Vec<usize> = {
+            let state = self.state();
+            state.completed.iter().copied().collect()
+        };
+        let mut records = Vec::with_capacity(completed.len());
+        for index in completed {
+            let scenario = &self.scenarios[index];
+            if let Some(result) = self.journal.load_scenario(scenario)? {
+                records.push((scenario.clone(), result));
+            }
+        }
+        Ok(records)
+    }
+}
+
+impl SweepBackend for SweepQueue {
+    fn lease(&self, worker: &str, max: usize) -> Vec<LeasedScenario> {
+        let _span = stco_obs::span!("sweep.lease", max = max);
+        let mut state = self.state();
+        let mut leased = Vec::new();
+        while leased.len() < max {
+            let Some(index) = state.pending.pop_front() else {
+                break;
+            };
+            state.leased.insert(index, worker.to_string());
+            leased.push(LeasedScenario {
+                index,
+                id: self.scenarios[index].id.to_hex(),
+            });
+        }
+        stco_obs::Recorder::global()
+            .metrics()
+            .counter("sweep.scenarios_leased")
+            .add(leased.len() as u64);
+        leased
+    }
+
+    fn complete(&self, scenario: &str, values: &[f64]) -> stco_serve::Result<bool> {
+        let _span = stco_obs::span!("sweep.complete");
+        let value = u64::from_str_radix(scenario, 16).map_err(|_| ServeError::BadInput {
+            context: format!("scenario {scenario:?} is not a hex content address"),
+        })?;
+        let Some(&index) = self.id_to_index.get(&value) else {
+            return Err(ServeError::BadInput {
+                context: format!("scenario {scenario:?} is not part of this sweep"),
+            });
+        };
+        let result = ScenarioResult::from_values(values).map_err(|e| ServeError::BadInput {
+            context: e.to_string(),
+        })?;
+        {
+            let state = self.state();
+            if state.completed.contains(&index) {
+                return Ok(false);
+            }
+        }
+        self.journal
+            .record_scenario(&self.scenarios[index], &result)
+            .map_err(|e| match e {
+                crate::SweepError::Store(store) => ServeError::Store(store),
+                other => ServeError::BadInput {
+                    context: other.to_string(),
+                },
+            })?;
+        let mut state = self.state();
+        state.leased.remove(&index);
+        state.pending.retain(|i| *i != index);
+        state.completed.insert(index);
+        Ok(true)
+    }
+
+    fn status(&self) -> SweepQueueStatus {
+        let state = self.state();
+        SweepQueueStatus {
+            total: self.scenarios.len(),
+            pending: state.pending.len(),
+            leased: state.leased.len(),
+            completed: state.completed.len(),
+        }
+    }
+}
+
+/// The remote worker loop: lease scenarios in batches of `batch`,
+/// evaluate them locally, report objective values back. Returns the
+/// number of scenarios this worker completed (an idempotent re-delivery
+/// the server rejected does not count).
+///
+/// # Errors
+///
+/// [`crate::SweepError::Serve`] on transport/protocol failures,
+/// [`crate::SweepError::BadSpec`] when a leased scenario does not match
+/// the locally expanded spec (spec drift between server and worker).
+pub fn run_remote_worker(
+    addr: &str,
+    spec: &SweepSpec,
+    eval: &dyn ScenarioEval,
+    worker: &str,
+    batch: usize,
+) -> Result<usize> {
+    let _span = stco_obs::span!("sweep.run_remote_worker", batch = batch);
+    let scenarios = spec.expand()?;
+    let mut client = Client::connect(addr)?;
+    let batch = batch.max(1);
+    let mut done = 0usize;
+    loop {
+        let leased = client.sweep_lease(worker, batch)?;
+        if leased.is_empty() {
+            break;
+        }
+        for lease in leased {
+            let scenario = scenarios.get(lease.index).ok_or_else(|| {
+                bad_spec(format!(
+                    "leased index {} is outside the local spec ({} scenarios)",
+                    lease.index,
+                    scenarios.len()
+                ))
+            })?;
+            if scenario.id.to_hex() != lease.id {
+                return Err(bad_spec(format!(
+                    "leased scenario {} does not match the local spec (got {}, expected {}) — \
+                     server and worker are sweeping different specs",
+                    lease.index,
+                    lease.id,
+                    scenario.id.to_hex()
+                )));
+            }
+            let result = eval.evaluate(scenario)?;
+            if client.sweep_complete(&lease.id, &result.to_values())? {
+                done += 1;
+            }
+        }
+    }
+    stco_obs::Recorder::global()
+        .metrics()
+        .counter("sweep.worker_completed")
+        .add(done as u64);
+    Ok(done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SyntheticEval;
+
+    fn temp_registry(tag: &str) -> Result<Registry> {
+        let dir =
+            std::env::temp_dir().join(format!("stco-sweep-remote-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Registry::open(&dir).map_err(crate::SweepError::Store)
+    }
+
+    fn small_spec() -> SweepSpec {
+        let mut spec = SweepSpec::demo();
+        spec.technologies.truncate(1);
+        spec.benchmarks.truncate(1);
+        spec.levels = 2;
+        spec
+    }
+
+    #[test]
+    fn lease_complete_status_lifecycle() -> Result<()> {
+        let spec = small_spec();
+        let registry = temp_registry("lifecycle")?;
+        let (queue, resumed) = SweepQueue::open(&spec, registry)?;
+        assert_eq!(resumed, 0);
+        let total = queue.scenarios().len();
+        assert_eq!(queue.status().pending, total);
+
+        let leased = queue.lease("w0", 3);
+        assert_eq!(leased.len(), 3);
+        assert_eq!(queue.status().leased, 3);
+
+        let eval = SyntheticEval;
+        for lease in &leased {
+            let result = eval.evaluate(&queue.scenarios()[lease.index])?;
+            assert!(queue.complete(&lease.id, &result.to_values())?);
+            // Idempotent re-delivery is acknowledged but not re-counted.
+            assert!(!queue.complete(&lease.id, &result.to_values())?);
+        }
+        let status = queue.status();
+        assert_eq!(status.completed, 3);
+        assert_eq!(status.leased, 0);
+        assert_eq!(status.pending, total - 3);
+        assert!(!queue.is_complete());
+        assert_eq!(queue.records()?.len(), 3);
+        Ok(())
+    }
+
+    #[test]
+    fn unknown_and_malformed_completions_are_typed_rejects() -> Result<()> {
+        let spec = small_spec();
+        let registry = temp_registry("rejects")?;
+        let (queue, _) = SweepQueue::open(&spec, registry)?;
+        assert!(queue.complete("not-hex", &[1.0, 2.0, 3.0, 4.0]).is_err());
+        assert!(queue
+            .complete("00000000000000ff", &[1.0, 2.0, 3.0, 4.0])
+            .is_err());
+        let lease = queue.lease("w0", 1);
+        assert_eq!(lease.len(), 1);
+        assert!(queue.complete(&lease[0].id, &[1.0, 2.0]).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn reclaimed_leases_return_to_pending() -> Result<()> {
+        let spec = small_spec();
+        let registry = temp_registry("reclaim")?;
+        let (queue, _) = SweepQueue::open(&spec, registry)?;
+        let total = queue.scenarios().len();
+        let leased = queue.lease("w0", 2);
+        assert_eq!(leased.len(), 2);
+        assert_eq!(queue.reclaim_leases(), 2);
+        let status = queue.status();
+        assert_eq!(status.pending, total);
+        assert_eq!(status.leased, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn reopening_over_a_journal_resumes_completed_work() -> Result<()> {
+        let spec = small_spec();
+        let dir =
+            std::env::temp_dir().join(format!("stco-sweep-remote-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let open = || Registry::open(&dir).map_err(crate::SweepError::Store);
+        let (queue, resumed) = SweepQueue::open(&spec, open()?)?;
+        assert_eq!(resumed, 0);
+        let leased = queue.lease("w0", 2);
+        let eval = SyntheticEval;
+        for lease in &leased {
+            let result = eval.evaluate(&queue.scenarios()[lease.index])?;
+            queue.complete(&lease.id, &result.to_values())?;
+        }
+        drop(queue);
+        let (reopened, resumed) = SweepQueue::open(&spec, open()?)?;
+        assert_eq!(resumed, 2);
+        assert_eq!(reopened.status().completed, 2);
+        Ok(())
+    }
+}

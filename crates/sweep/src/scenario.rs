@@ -1,0 +1,407 @@
+//! The scenario DSL: a plain-struct (and JSON) grid description that
+//! expands deterministically into content-addressed scenarios.
+//!
+//! A [`SweepSpec`] names a cartesian grid — technologies × benchmarks ×
+//! a `levels³` corner grid — plus an `eval_tag` naming the evaluation
+//! configuration (so journals written under different flows never
+//! alias). Expansion order is fixed: technologies in spec order, then
+//! benchmarks in spec order, then corners in
+//! [`DesignSpace::flat_index`] order. Every scenario gets an
+//! [`ArtifactKey`] derived from the spec fingerprint plus its grid
+//! coordinates, which is both its journal key and its wire identity for
+//! remote leases.
+
+use stco_compact::tech::{Corner, CornerGrid};
+use stco_core::space::{DesignSpace, SpacePoint};
+use stco_obs::json::JsonValue;
+use stco_store::ArtifactKey;
+use stco_system::bench_gen::Benchmark;
+use stco_tcad::materials::Technology;
+
+use crate::journal::RECORD_KIND;
+use crate::{bad_spec, Result};
+
+/// A sweep specification: the grid a sweep covers.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Channel technologies to sweep, in sweep order.
+    pub technologies: Vec<Technology>,
+    /// Benchmarks to sweep, in sweep order.
+    pub benchmarks: Vec<Benchmark>,
+    /// Corner ranges of the per-(technology, benchmark) grid.
+    pub grid: CornerGrid,
+    /// Grid levels per corner axis (`levels³` corners per cell).
+    pub levels: usize,
+    /// Free-form tag naming the evaluation configuration (e.g.
+    /// `"traditional-fast-config"` or `"synthetic"`). Part of the spec
+    /// fingerprint: journals written under different evaluators never
+    /// share scenario keys.
+    pub eval_tag: String,
+}
+
+/// One expanded scenario: a (technology, benchmark, corner) cell of the
+/// sweep grid, with its content-addressed identity.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Position in the canonical expansion order (stable across runs).
+    pub index: usize,
+    /// Channel technology.
+    pub technology: Technology,
+    /// Benchmark under evaluation.
+    pub benchmark: Benchmark,
+    /// Grid coordinates of the corner.
+    pub point: SpacePoint,
+    /// The resolved corner values.
+    pub corner: Corner,
+    /// Content address: FNV over the spec fingerprint and the grid
+    /// coordinates. Journal key and wire identity.
+    pub id: ArtifactKey,
+}
+
+/// Parses a technology from its canonical name (case-insensitive).
+pub fn technology_from_name(name: &str) -> Option<Technology> {
+    Technology::ALL
+        .into_iter()
+        .find(|t| t.name().eq_ignore_ascii_case(name))
+}
+
+/// Parses a benchmark from its canonical name (case-insensitive); the
+/// MAC cores also accept the `mac16` / `mac32` spellings.
+pub fn benchmark_from_name(name: &str) -> Option<Benchmark> {
+    let canonical = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name));
+    canonical.or(match name.to_ascii_lowercase().as_str() {
+        "mac16" => Some(Benchmark::Mac16),
+        "mac32" => Some(Benchmark::Mac32),
+        _ => None,
+    })
+}
+
+fn range_json(range: (f64, f64)) -> JsonValue {
+    JsonValue::Arr(vec![JsonValue::Num(range.0), JsonValue::Num(range.1)])
+}
+
+fn range_from_json(doc: &JsonValue, key: &str) -> Result<(f64, f64)> {
+    let Some(JsonValue::Arr(items)) = doc.get(key) else {
+        return Err(bad_spec(format!("grid field {key:?} must be a 2-array")));
+    };
+    match items.as_slice() {
+        [lo, hi] => {
+            let lo = lo
+                .as_f64()
+                .ok_or_else(|| bad_spec(format!("grid {key} low bound is not a number")))?;
+            let hi = hi
+                .as_f64()
+                .ok_or_else(|| bad_spec(format!("grid {key} high bound is not a number")))?;
+            if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+                return Err(bad_spec(format!(
+                    "grid {key} range [{lo}, {hi}] is not an increasing finite interval"
+                )));
+            }
+            Ok((lo, hi))
+        }
+        _ => Err(bad_spec(format!("grid field {key:?} must be a 2-array"))),
+    }
+}
+
+fn str_list(doc: &JsonValue, key: &str) -> Result<Vec<String>> {
+    let Some(JsonValue::Arr(items)) = doc.get(key) else {
+        return Err(bad_spec(format!("field {key:?} must be an array")));
+    };
+    items
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| bad_spec(format!("non-string entry in {key:?}")))
+        })
+        .collect()
+}
+
+impl SweepSpec {
+    /// A small synthetic-evaluation spec (all technologies, the two
+    /// smallest benchmarks, a 4-level grid) — the quickstart default.
+    #[must_use]
+    pub fn demo() -> SweepSpec {
+        SweepSpec {
+            technologies: Technology::ALL.to_vec(),
+            benchmarks: vec![Benchmark::S298, Benchmark::S386],
+            grid: CornerGrid::default(),
+            levels: 4,
+            eval_tag: "synthetic".to_string(),
+        }
+    }
+
+    /// Validates the spec: non-empty axes, at least 2 levels.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SweepError::BadSpec`] describing the first violation.
+    pub fn validate(&self) -> Result<()> {
+        if self.technologies.is_empty() {
+            return Err(bad_spec("no technologies"));
+        }
+        if self.benchmarks.is_empty() {
+            return Err(bad_spec("no benchmarks"));
+        }
+        if self.levels < 2 {
+            return Err(bad_spec(format!(
+                "levels must be at least 2 (got {})",
+                self.levels
+            )));
+        }
+        Ok(())
+    }
+
+    /// Scenarios this spec expands to.
+    #[must_use]
+    pub fn scenario_count(&self) -> usize {
+        self.technologies.len() * self.benchmarks.len() * self.levels.pow(3)
+    }
+
+    /// The design space of one (technology, benchmark) cell.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SweepError::BadSpec`] when the spec is invalid.
+    pub fn space(&self) -> Result<DesignSpace> {
+        self.validate()?;
+        Ok(DesignSpace::with_grid(self.grid, self.levels))
+    }
+
+    /// Renders the spec as its canonical JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            (
+                "technologies".to_string(),
+                JsonValue::Arr(
+                    self.technologies
+                        .iter()
+                        .map(|t| JsonValue::Str(t.name().to_string()))
+                        .collect(),
+                ),
+            ),
+            (
+                "benchmarks".to_string(),
+                JsonValue::Arr(
+                    self.benchmarks
+                        .iter()
+                        .map(|b| JsonValue::Str(b.name().to_string()))
+                        .collect(),
+                ),
+            ),
+            (
+                "grid".to_string(),
+                JsonValue::Obj(vec![
+                    ("vdd".to_string(), range_json(self.grid.vdd)),
+                    ("vth_shift".to_string(), range_json(self.grid.vth_shift)),
+                    ("cox_scale".to_string(), range_json(self.grid.cox_scale)),
+                ]),
+            ),
+            ("levels".to_string(), JsonValue::Num(self.levels as f64)),
+            (
+                "eval_tag".to_string(),
+                JsonValue::Str(self.eval_tag.clone()),
+            ),
+        ])
+    }
+
+    /// Parses a spec from its JSON document. The `grid` object is
+    /// optional (defaults to [`CornerGrid::default`]).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SweepError::BadSpec`] on missing/malformed fields or
+    /// unknown technology/benchmark names.
+    pub fn from_json(doc: &JsonValue) -> Result<SweepSpec> {
+        let technologies = str_list(doc, "technologies")?
+            .iter()
+            .map(|name| {
+                technology_from_name(name)
+                    .ok_or_else(|| bad_spec(format!("unknown technology {name:?}")))
+            })
+            .collect::<Result<Vec<Technology>>>()?;
+        let benchmarks = str_list(doc, "benchmarks")?
+            .iter()
+            .map(|name| {
+                benchmark_from_name(name)
+                    .ok_or_else(|| bad_spec(format!("unknown benchmark {name:?}")))
+            })
+            .collect::<Result<Vec<Benchmark>>>()?;
+        let grid = match doc.get("grid") {
+            None => CornerGrid::default(),
+            Some(g) => CornerGrid {
+                vdd: range_from_json(g, "vdd")?,
+                vth_shift: range_from_json(g, "vth_shift")?,
+                cox_scale: range_from_json(g, "cox_scale")?,
+            },
+        };
+        let levels = doc
+            .get("levels")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| bad_spec("missing/non-integer field \"levels\""))?
+            as usize;
+        let eval_tag = doc
+            .get("eval_tag")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| bad_spec("missing/non-string field \"eval_tag\""))?
+            .to_string();
+        let spec = SweepSpec {
+            technologies,
+            benchmarks,
+            grid,
+            levels,
+            eval_tag,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SweepError::BadSpec`] on unparsable JSON or malformed
+    /// fields.
+    pub fn parse(text: &str) -> Result<SweepSpec> {
+        let doc = JsonValue::parse(text).map_err(|e| bad_spec(format!("spec is not JSON: {e}")))?;
+        SweepSpec::from_json(&doc)
+    }
+
+    /// The spec fingerprint: FNV-1a-64 over the canonical JSON
+    /// rendering. Every scenario id is derived from it, so any change
+    /// to the grid, the axes, or the `eval_tag` renames all scenarios.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        stco_store::fnv1a64(self.to_json().render().as_bytes())
+    }
+
+    /// [`SweepSpec::fingerprint`] as fixed-width hex.
+    #[must_use]
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint())
+    }
+
+    /// Expands the spec into its scenarios, in canonical order:
+    /// technologies (spec order) × benchmarks (spec order) × corners
+    /// (flat-index order).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SweepError::BadSpec`] when the spec is invalid.
+    pub fn expand(&self) -> Result<Vec<Scenario>> {
+        let space = self.space()?;
+        let fingerprint = self.fingerprint_hex();
+        let mut scenarios = Vec::with_capacity(self.scenario_count());
+        for technology in &self.technologies {
+            for benchmark in &self.benchmarks {
+                for flat in 0..space.size() {
+                    let point = space.point(flat);
+                    let id = scenario_key(&fingerprint, *technology, *benchmark, point);
+                    scenarios.push(Scenario {
+                        index: scenarios.len(),
+                        technology: *technology,
+                        benchmark: *benchmark,
+                        point,
+                        corner: space.corner(point),
+                        id,
+                    });
+                }
+            }
+        }
+        Ok(scenarios)
+    }
+}
+
+/// The content address of one scenario: FNV over the spec fingerprint,
+/// the cell, and the grid coordinates, under the journal's record kind.
+#[must_use]
+pub fn scenario_key(
+    spec_fingerprint_hex: &str,
+    technology: Technology,
+    benchmark: Benchmark,
+    point: SpacePoint,
+) -> ArtifactKey {
+    ArtifactKey::from_parts(
+        RECORD_KIND,
+        &[
+            spec_fingerprint_hex,
+            technology.name(),
+            benchmark.name(),
+            &point.vdd.to_string(),
+            &point.vth.to_string(),
+            &point.cox.to_string(),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_deterministic_and_content_addressed() -> Result<()> {
+        let spec = SweepSpec::demo();
+        let a = spec.expand()?;
+        let b = spec.expand()?;
+        assert_eq!(a.len(), spec.scenario_count());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.index, y.index);
+        }
+        // Ids are unique across the whole expansion.
+        let mut ids: Vec<u64> = a.iter().map(|s| s.id.value()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), a.len());
+        Ok(())
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_fingerprint() -> Result<()> {
+        let spec = SweepSpec::demo();
+        let text = spec.to_json().render();
+        let parsed = SweepSpec::parse(&text)?;
+        assert_eq!(parsed.fingerprint(), spec.fingerprint());
+        assert_eq!(parsed.scenario_count(), spec.scenario_count());
+        Ok(())
+    }
+
+    #[test]
+    fn eval_tag_renames_every_scenario() -> Result<()> {
+        let spec = SweepSpec::demo();
+        let mut other = spec.clone();
+        other.eval_tag = "traditional".to_string();
+        let a = spec.expand()?;
+        let b = other.expand()?;
+        for (x, y) in a.iter().zip(&b) {
+            assert_ne!(x.id, y.id);
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let mut spec = SweepSpec::demo();
+        spec.levels = 1;
+        assert!(spec.expand().is_err());
+        let mut spec = SweepSpec::demo();
+        spec.technologies.clear();
+        assert!(spec.validate().is_err());
+        assert!(SweepSpec::parse("{\"technologies\":[\"unobtainium\"]}").is_err());
+        assert!(SweepSpec::parse("not json").is_err());
+    }
+
+    #[test]
+    fn name_parsers_accept_canonical_spellings() {
+        assert_eq!(technology_from_name("cnt"), Some(Technology::Cnt));
+        assert_eq!(technology_from_name("LTPS"), Some(Technology::Ltps));
+        assert_eq!(technology_from_name("si"), None);
+        assert_eq!(benchmark_from_name("s298"), Some(Benchmark::S298));
+        assert_eq!(benchmark_from_name("mac16"), Some(Benchmark::Mac16));
+        assert_eq!(benchmark_from_name("16bit MAC"), Some(Benchmark::Mac16));
+        assert_eq!(benchmark_from_name("nope"), None);
+    }
+}
